@@ -1,0 +1,69 @@
+//===- bench/BenchUtil.h - Shared bench-binary helpers ----------*- C++ -*-===//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the table/figure bench binaries: option parsing
+/// (--scale shrinks workloads for quick runs), table printing, and the
+/// standard execution-time + speedup experiment over the paper's processor
+/// counts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNFB_BENCH_BENCHUTIL_H
+#define DYNFB_BENCH_BENCHUTIL_H
+
+#include "apps/Harness.h"
+#include "support/CommandLine.h"
+#include "support/StringUtils.h"
+#include "support/TablePrinter.h"
+
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dynfb::bench {
+
+/// Prints a rendered table to stdout with a separating blank line.
+inline void printTable(const Table &T) {
+  std::fputs(T.renderText().c_str(), stdout);
+  std::fputs("\n", stdout);
+}
+
+inline void printCsv(const std::string &Name, const std::string &Csv) {
+  std::printf("CSV [%s]:\n%s\n", Name.c_str(), Csv.c_str());
+}
+
+/// Execution times of every flavour at every processor count -- the shape
+/// of the paper's Tables 2 and 7 -- plus the serial time.
+struct TimingGrid {
+  double SerialSeconds = 0;
+  /// Row label -> (procs -> seconds).
+  std::vector<std::pair<std::string, std::map<unsigned, double>>> Rows;
+};
+
+/// Runs the standard execution-time experiment: Serial on one processor,
+/// each static policy and Dynamic on the paper's processor counts.
+TimingGrid runTimingGrid(const apps::App &App,
+                         const std::vector<unsigned> &Procs,
+                         const fb::FeedbackConfig &Config = {});
+
+/// Renders a TimingGrid as the paper's execution-time table.
+Table timesTable(const std::string &Title, const TimingGrid &Grid,
+                 const std::vector<unsigned> &Procs);
+
+/// Renders the corresponding speedup series (the paper's speedup figures).
+Table speedupTable(const std::string &Title, const TimingGrid &Grid,
+                   const std::vector<unsigned> &Procs);
+
+/// Speedup series as CSV for plotting.
+std::string speedupCsv(const TimingGrid &Grid,
+                       const std::vector<unsigned> &Procs);
+
+} // namespace dynfb::bench
+
+#endif // DYNFB_BENCH_BENCHUTIL_H

@@ -1,0 +1,85 @@
+//===- bench/bench_fig3_theory_region.cpp -----------------------------------=//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+// Regenerates paper Figure 3: the feasible region for the production
+// interval P with the example values S = 1, N = 2, alpha = 0.065,
+// eps = 0.5, plus the optimal production interval P_opt ~= 7.25 (Eq. 9)
+// and the sensitivity relationships the paper notes (the region grows with
+// eps and shrinks with S).
+//
+//===----------------------------------------------------------------------===//
+
+#include "../bench/BenchUtil.h"
+#include "theory/Analysis.h"
+
+#include <cmath>
+
+using namespace dynfb;
+using namespace dynfb::bench;
+using namespace dynfb::theory;
+
+int main() {
+  const AnalysisParams Params = AnalysisParams::figure3Example();
+
+  std::printf("Figure 3: Feasible Region for Production Interval P\n");
+  std::printf("(S = %.2f, N = %u, alpha = %.3f, eps = %.2f)\n\n", Params.S,
+              Params.N, Params.Alpha, Params.Epsilon);
+
+  const double Rhs = (Params.Epsilon - 1.0) * Params.S * Params.N +
+                     1.0 / Params.Alpha;
+  SeriesSet Set;
+  Series &Constraint = Set.getOrCreate("constraint_lhs");
+  Series &Threshold = Set.getOrCreate("threshold_rhs");
+  for (double P = 0.0; P <= 30.0; P += 0.5) {
+    const double Lhs = (1.0 - Params.Epsilon) * P +
+                       std::exp(-Params.Alpha * P) / Params.Alpha;
+    Constraint.addPoint(P, Lhs);
+    Threshold.addPoint(P, Rhs);
+  }
+  printCsv("fig3_constraint", renderSeriesCsv(Set, "P_seconds", "value"));
+
+  const auto Region = feasibleRegion(Params);
+  Table T("Feasible region and optimal production interval");
+  T.setHeader({"Quantity", "Value"});
+  if (Region) {
+    T.addRow({"Feasible region lower edge (s)",
+              formatDouble(Region->first, 3)});
+    T.addRow({"Feasible region upper edge (s)",
+              formatDouble(Region->second, 3)});
+  } else {
+    T.addRow({"Feasible region", "empty"});
+  }
+  const double POpt =
+      optimalProductionInterval(Params.S, Params.N, Params.Alpha);
+  T.addRow({"P_opt (Eq. 9)", formatDouble(POpt, 3)});
+  T.addRow({"Worst-case per-unit-time work difference at P_opt",
+            formatDouble(differencePerUnitTime(POpt, Params.S, Params.N,
+                                               Params.Alpha),
+                         4)});
+  printTable(T);
+
+  // Sensitivity: the paper's two monotonicity observations.
+  Table S("Sensitivity of the feasible region");
+  S.setHeader({"Parameters", "Region"});
+  for (double Eps : {0.4, 0.5, 0.6}) {
+    AnalysisParams P2 = Params;
+    P2.Epsilon = Eps;
+    const auto R = feasibleRegion(P2);
+    S.addRow({format("eps = %.2f", Eps),
+              R ? format("[%.2f, %.2f]", R->first, R->second)
+                : std::string("empty")});
+  }
+  for (double SV : {0.5, 1.0, 2.0, 4.0}) {
+    AnalysisParams P2 = Params;
+    P2.S = SV;
+    const auto R = feasibleRegion(P2);
+    S.addRow({format("S = %.2f", SV),
+              R ? format("[%.2f, %.2f]", R->first, R->second)
+                : std::string("empty")});
+  }
+  printTable(S);
+  std::printf("Paper reference: P_opt ~= 7.25; the region grows as eps "
+              "increases and shrinks as S increases.\n");
+  return 0;
+}

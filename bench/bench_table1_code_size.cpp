@@ -1,0 +1,66 @@
+//===- bench/bench_table1_code_size.cpp ------------------------------------==//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+// Regenerates paper Table 1: executable code sizes of the Serial,
+// Aggressive and Dynamic versions of the three applications. Sizes come
+// from the compiler's code-size model over the generated IR, with methods
+// identical across policies emitted once (shared closed subgraphs) and the
+// Dynamic flavour carrying every version plus instrumentation and dispatch.
+// Code size is independent of the workload, so tiny inputs are used.
+//
+//===----------------------------------------------------------------------===//
+
+#include "../bench/BenchUtil.h"
+#include "apps/barnes_hut/BarnesHutApp.h"
+#include "apps/string_tomo/StringApp.h"
+#include "apps/water/WaterApp.h"
+#include "xform/CodeSize.h"
+
+using namespace dynfb;
+using namespace dynfb::apps;
+using namespace dynfb::bench;
+using namespace dynfb::xform;
+
+int main() {
+  Table T("Table 1: Executable Code Sizes (bytes)");
+  T.setHeader({"Application", "Version", "Size (bytes)"});
+
+  const CodeSizeModel Model;
+
+  // The serial-base constants model each application's code outside the
+  // parallel sections (setup, I/O, serial phases), calibrated to the
+  // paper's MIPS text-segment sizes.
+  const auto AddRows = [&](const char *Name, const VersionedProgram &P,
+                           uint64_t SerialBase) {
+    const ExecutableSizes Sizes = computeExecutableSizes(P, Model, SerialBase);
+    T.addRow({Name, "Serial", withThousandsSep(Sizes.Serial)});
+    T.addRow({Name, "Aggressive", withThousandsSep(Sizes.Aggressive)});
+    T.addRow({Name, "Dynamic", withThousandsSep(Sizes.Dynamic)});
+  };
+
+  {
+    bh::BarnesHutConfig Config;
+    Config.NumBodies = 64;
+    bh::BarnesHutApp App(Config);
+    AddRows("Barnes-Hut", App.program(), 24800);
+  }
+  {
+    water::WaterConfig Config;
+    Config.NumMolecules = 16;
+    water::WaterApp App(Config);
+    AddRows("Water", App.program(), 35600);
+  }
+  {
+    string_tomo::StringConfig Config;
+    Config.NumRays = 16;
+    string_tomo::StringApp App(Config);
+    AddRows("String", App.program(), 35900);
+  }
+
+  printTable(T);
+  std::printf("Paper reference (bytes): Barnes-Hut 25,248 / 31,152 / "
+              "33,648; Water 36,832 / 46,096 / 50,784; String 36,640 / "
+              "43,616 / 45,664.\n");
+  return 0;
+}

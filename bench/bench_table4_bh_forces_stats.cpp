@@ -1,0 +1,38 @@
+//===- bench/bench_table4_bh_forces_stats.cpp -------------------------------=//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+// Regenerates paper Table 4: statistics for the Barnes-Hut FORCES section
+// -- the mean section size (serial execution time of the section), the
+// number of iterations of its parallel loop, and the mean iteration size.
+//
+//===----------------------------------------------------------------------===//
+
+#include "../bench/BenchUtil.h"
+#include "apps/barnes_hut/BarnesHutApp.h"
+
+using namespace dynfb;
+using namespace dynfb::apps;
+using namespace dynfb::bench;
+
+int main(int Argc, char **Argv) {
+  CommandLine CL(Argc, Argv);
+  bh::BarnesHutConfig Config;
+  Config.scale(CL.getDouble("scale", 1.0));
+  bh::BarnesHutApp App(Config);
+
+  const SectionStats Stats =
+      App.sectionStats("FORCES", rt::CostModel::dashLike());
+
+  Table T("Table 4: Statistics for the Barnes-Hut FORCES Section");
+  T.setHeader({"Mean Section Size", "Number of Iterations",
+               "Mean Iteration Size"});
+  T.addRow({formatDouble(Stats.MeanSectionSeconds, 2) + " seconds",
+            withThousandsSep(Stats.Iterations),
+            formatDouble(Stats.MeanIterationSeconds * 1e3, 2) +
+                " milliseconds"});
+  printTable(T);
+  std::printf("Paper reference: ~69 seconds, 16,384 iterations, ~4.2 "
+              "milliseconds.\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+//===- bench/bench_table5_bh_min_sampling.cpp -------------------------------=//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+// Regenerates paper Table 5: mean minimum effective sampling intervals for
+// the Barnes-Hut FORCES section on eight processors. With a target
+// sampling interval much smaller than a loop iteration, each actual
+// sampling interval is as short as the application permits -- processors
+// only poll at iteration boundaries -- so the measured interval is the
+// minimum effective sampling interval of each policy.
+//
+//===----------------------------------------------------------------------===//
+
+#include "../bench/BenchUtil.h"
+#include "apps/barnes_hut/BarnesHutApp.h"
+
+using namespace dynfb;
+using namespace dynfb::apps;
+using namespace dynfb::bench;
+
+int main(int Argc, char **Argv) {
+  CommandLine CL(Argc, Argv);
+  bh::BarnesHutConfig Config;
+  Config.scale(CL.getDouble("scale", 1.0));
+  bh::BarnesHutApp App(Config);
+
+  fb::FeedbackConfig FC;
+  FC.TargetSamplingNanos = rt::millisToNanos(0.1);
+  FC.TargetProductionNanos = rt::secondsToNanos(2.0);
+  const fb::RunResult R =
+      runApp(App, 8, Flavour::Dynamic, xform::PolicyKind::Original, FC);
+
+  std::map<std::string, RunningStat> PerVersion;
+  for (const fb::SectionExecutionTrace &T : R.Occurrences)
+    for (const auto &[Label, Stat] : T.EffectiveSamplingByVersion)
+      PerVersion[Label].merge(Stat);
+
+  Table T("Table 5: Mean Minimum Effective Sampling Intervals for the "
+          "Barnes-Hut FORCES Section on Eight Processors");
+  T.setHeader({"Version",
+               "Mean Minimum Effective Sampling Interval (milliseconds)"});
+  for (const auto &[Label, Stat] : PerVersion)
+    T.addRow({Label, formatDouble(Stat.mean() * 1e3, 1)});
+  printTable(T);
+  std::printf("Paper reference (ms): Original 10, Bounded 8, Aggressive 6 "
+              "-- larger than but comparable to the mean iteration size, "
+              "increasing with the lock overhead.\n");
+  return 0;
+}

@@ -1,0 +1,42 @@
+//===- bench/bench_table9_10_water_stats.cpp --------------------------------=//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+// Regenerates paper Tables 9 and 10: statistics for the Water INTERF and
+// POTENG sections (mean section size, iteration count, mean iteration
+// size), measured on the serial version.
+//
+//===----------------------------------------------------------------------===//
+
+#include "../bench/BenchUtil.h"
+#include "apps/water/WaterApp.h"
+
+using namespace dynfb;
+using namespace dynfb::apps;
+using namespace dynfb::bench;
+
+int main(int Argc, char **Argv) {
+  CommandLine CL(Argc, Argv);
+  water::WaterConfig Config;
+  Config.scale(CL.getDouble("scale", 1.0));
+  water::WaterApp App(Config);
+
+  const rt::CostModel CM = rt::CostModel::dashLike();
+  for (const char *Section : {"INTERF", "POTENG"}) {
+    const SectionStats Stats = App.sectionStats(Section, CM);
+    Table T(std::string("Table ") +
+            (std::string(Section) == "INTERF" ? "9" : "10") +
+            ": Statistics for the Water " + Section + " Section");
+    T.setHeader({"Mean Section Size", "Number of Iterations",
+                 "Mean Iteration Size"});
+    T.addRow({formatDouble(Stats.MeanSectionSeconds, 2) + " seconds",
+              withThousandsSep(Stats.Iterations),
+              formatDouble(Stats.MeanIterationSeconds * 1e3, 2) +
+                  " milliseconds"});
+    printTable(T);
+  }
+  std::printf("Paper reference: both sections run for tens of seconds over "
+              "512 iterations with iteration sizes of tens of "
+              "milliseconds.\n");
+  return 0;
+}

@@ -1,0 +1,197 @@
+//===- analysis/CallGraph.cpp ---------------------------------------------==//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CallGraph.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace dynfb;
+using namespace dynfb::analysis;
+using namespace dynfb::ir;
+
+namespace {
+
+/// Collects the direct callees of \p M (deduplicated, stable order).
+std::vector<const Method *> directCallees(const Method *M) {
+  std::vector<const Method *> Out;
+  std::vector<const std::vector<Stmt *> *> Work{&M->body()};
+  while (!Work.empty()) {
+    const std::vector<Stmt *> *List = Work.back();
+    Work.pop_back();
+    for (const Stmt *S : *List) {
+      if (const auto *C = stmtDynCast<CallStmt>(S)) {
+        if (std::find(Out.begin(), Out.end(), C->callee()) == Out.end())
+          Out.push_back(C->callee());
+      } else if (const auto *L = stmtDynCast<LoopStmt>(S)) {
+        Work.push_back(&L->Body);
+      }
+    }
+  }
+  return Out;
+}
+
+} // namespace
+
+CallGraph::CallGraph(const Module &M) {
+  for (const auto &Meth : M.methods())
+    addClosure(Meth.get());
+}
+
+CallGraph::CallGraph(const Method &Root) { addClosure(&Root); }
+
+void CallGraph::addClosure(const Method *Root) {
+  std::vector<const Method *> Work{Root};
+  while (!Work.empty()) {
+    const Method *M = Work.back();
+    Work.pop_back();
+    if (Edges.count(M))
+      continue;
+    Nodes.push_back(M);
+    auto Callees = directCallees(M);
+    for (const Method *Callee : Callees)
+      Work.push_back(Callee);
+    Edges[M] = std::move(Callees);
+  }
+}
+
+const std::vector<const Method *> &
+CallGraph::callees(const Method *M) const {
+  auto It = Edges.find(M);
+  assert(It != Edges.end() && "method not in call graph");
+  return It->second;
+}
+
+void CallGraph::computeSccs() const {
+  if (SccsComputed)
+    return;
+  SccsComputed = true;
+
+  // Iterative Tarjan.
+  std::map<const Method *, unsigned> Index, LowLink;
+  std::map<const Method *, bool> OnStack;
+  std::vector<const Method *> Stack;
+  unsigned NextIndex = 0;
+
+  struct Frame {
+    const Method *M;
+    size_t CalleeIdx;
+  };
+
+  for (const Method *Start : Nodes) {
+    if (Index.count(Start))
+      continue;
+    std::vector<Frame> Frames{{Start, 0}};
+    Index[Start] = LowLink[Start] = NextIndex++;
+    Stack.push_back(Start);
+    OnStack[Start] = true;
+
+    while (!Frames.empty()) {
+      Frame &F = Frames.back();
+      const auto &Cs = Edges.at(F.M);
+      if (F.CalleeIdx < Cs.size()) {
+        const Method *Next = Cs[F.CalleeIdx++];
+        if (!Index.count(Next)) {
+          Index[Next] = LowLink[Next] = NextIndex++;
+          Stack.push_back(Next);
+          OnStack[Next] = true;
+          Frames.push_back({Next, 0});
+        } else if (OnStack[Next]) {
+          LowLink[F.M] = std::min(LowLink[F.M], Index[Next]);
+        }
+        continue;
+      }
+      // Done with F.M.
+      if (LowLink[F.M] == Index[F.M]) {
+        const unsigned Id = static_cast<unsigned>(SccSize.size());
+        unsigned Size = 0;
+        bool SelfLoop = false;
+        for (;;) {
+          const Method *W = Stack.back();
+          Stack.pop_back();
+          OnStack[W] = false;
+          SccId[W] = Id;
+          ++Size;
+          for (const Method *Callee : Edges.at(W))
+            if (Callee == W)
+              SelfLoop = true;
+          if (W == F.M)
+            break;
+        }
+        SccSize.push_back(Size);
+        SccCyclic.push_back(Size > 1 || SelfLoop);
+      }
+      const Method *Done = F.M;
+      Frames.pop_back();
+      if (!Frames.empty())
+        LowLink[Frames.back().M] =
+            std::min(LowLink[Frames.back().M], LowLink[Done]);
+    }
+  }
+}
+
+std::vector<const Method *> CallGraph::bottomUpOrder() const {
+  // Iterative post-order DFS; within an SCC the completion order suffices
+  // for our transformation driver (our programs are acyclic anyway).
+  std::vector<const Method *> Order;
+  std::map<const Method *, bool> Done, Visiting;
+  struct Frame {
+    const Method *M;
+    size_t CalleeIdx;
+  };
+  for (const Method *Start : Nodes) {
+    if (Done.count(Start))
+      continue;
+    std::vector<Frame> Frames{{Start, 0}};
+    Visiting[Start] = true;
+    while (!Frames.empty()) {
+      Frame &F = Frames.back();
+      const auto &Cs = Edges.at(F.M);
+      bool Descended = false;
+      while (F.CalleeIdx < Cs.size()) {
+        const Method *Next = Cs[F.CalleeIdx++];
+        if (!Done.count(Next) && !Visiting.count(Next)) {
+          Visiting[Next] = true;
+          Frames.push_back({Next, 0});
+          Descended = true;
+          break;
+        }
+      }
+      if (Descended)
+        continue;
+      Done[F.M] = true;
+      Visiting.erase(F.M);
+      Order.push_back(F.M);
+      Frames.pop_back();
+    }
+  }
+  return Order;
+}
+
+bool CallGraph::isInCycle(const Method *M) const {
+  computeSccs();
+  auto It = SccId.find(M);
+  assert(It != SccId.end() && "method not in call graph");
+  return SccCyclic[It->second];
+}
+
+bool CallGraph::closureContainsCycle(const Method *Root) const {
+  computeSccs();
+  std::vector<const Method *> Work{Root};
+  std::map<const Method *, bool> Seen;
+  while (!Work.empty()) {
+    const Method *M = Work.back();
+    Work.pop_back();
+    if (Seen.count(M))
+      continue;
+    Seen[M] = true;
+    if (isInCycle(M))
+      return true;
+    for (const Method *Callee : Edges.at(M))
+      Work.push_back(Callee);
+  }
+  return false;
+}

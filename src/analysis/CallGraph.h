@@ -1,0 +1,68 @@
+//===- analysis/CallGraph.h - Call graph and SCCs ---------------*- C++ -*-===//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Call graph over the methods of a module, with Tarjan SCC computation.
+/// The Bounded synchronization policy admits a transformation only if the
+/// resulting critical region "will contain no cycles in the call graph"
+/// (paper Section 3); the transformation driver also uses the bottom-up
+/// (callees-first) order this analysis provides.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNFB_ANALYSIS_CALLGRAPH_H
+#define DYNFB_ANALYSIS_CALLGRAPH_H
+
+#include "ir/Module.h"
+
+#include <map>
+#include <vector>
+
+namespace dynfb::analysis {
+
+/// Call graph of one module (or of the closure of a set of roots).
+class CallGraph {
+public:
+  /// Builds the call graph of every method in \p M.
+  explicit CallGraph(const ir::Module &M);
+
+  /// Builds the call graph of the closure reachable from \p Root.
+  explicit CallGraph(const ir::Method &Root);
+
+  /// Direct callees of \p M (deduplicated, in first-occurrence order).
+  const std::vector<const ir::Method *> &callees(const ir::Method *M) const;
+
+  /// All nodes, in insertion order.
+  const std::vector<const ir::Method *> &nodes() const { return Nodes; }
+
+  /// Bottom-up order: every method appears after all methods it calls
+  /// (methods in one SCC appear adjacently, in arbitrary internal order).
+  std::vector<const ir::Method *> bottomUpOrder() const;
+
+  /// True if \p M participates in a call-graph cycle (including direct
+  /// self-recursion).
+  bool isInCycle(const ir::Method *M) const;
+
+  /// True if any method reachable from \p Root (inclusive) is in a cycle --
+  /// the Bounded policy's legality query for a region that would contain
+  /// calls into \p Root's closure.
+  bool closureContainsCycle(const ir::Method *Root) const;
+
+private:
+  void addClosure(const ir::Method *Root);
+  void computeSccs() const;
+
+  std::vector<const ir::Method *> Nodes;
+  std::map<const ir::Method *, std::vector<const ir::Method *>> Edges;
+  mutable std::map<const ir::Method *, unsigned> SccId;
+  mutable std::vector<unsigned> SccSize;
+  mutable std::vector<bool> SccCyclic;
+  mutable bool SccsComputed = false;
+};
+
+} // namespace dynfb::analysis
+
+#endif // DYNFB_ANALYSIS_CALLGRAPH_H

@@ -1,0 +1,57 @@
+//===- analysis/Commutativity.cpp -----------------------------------------==//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Commutativity.h"
+
+#include "analysis/FieldAccess.h"
+#include "support/StringUtils.h"
+
+using namespace dynfb;
+using namespace dynfb::analysis;
+using namespace dynfb::ir;
+
+static std::string fieldName(const FieldKey &K) {
+  return K.Class->name() + "." + K.Class->field(K.Field).Name;
+}
+
+CommutativityResult analysis::analyzeEntry(const Method &Entry) {
+  CommutativityResult Result;
+  const AccessSummary Summary = computeAccessSummary(Entry);
+
+  // (a) + (b): every write is a commuting read-modify-write, and all writes
+  // of one field agree on the operator.
+  for (const auto &[Key, Writes] : Summary.Writes) {
+    for (const WriteInfo &W : Writes)
+      if (!isCommutingOp(W.Op))
+        Result.Diagnostics.push_back(
+            "write to " + fieldName(Key) + " uses non-commuting operator '" +
+            binOpName(W.Op) + "'");
+    for (const WriteInfo &W : Writes)
+      if (W.Op != Writes.front().Op)
+        Result.Diagnostics.push_back(
+            "writes to " + fieldName(Key) +
+            " mix operators; reordering changes the result");
+  }
+
+  // (c): expressions must not read fields the section writes. The read set
+  // includes the value expressions of updates, so an update whose value
+  // depends on a written field (even its own) is rejected: `f = f + g`
+  // with g also updated does not commute in general.
+  for (const auto &[Key, Writes] : Summary.Writes) {
+    (void)Writes;
+    if (Summary.reads(Key))
+      Result.Diagnostics.push_back(
+          "expression reads " + fieldName(Key) +
+          ", which the section also writes; operations do not commute");
+  }
+
+  Result.Commutes = Result.Diagnostics.empty();
+  return Result;
+}
+
+CommutativityResult analysis::analyzeSection(const ParallelSection &Section) {
+  return analyzeEntry(*Section.IterMethod);
+}

@@ -1,0 +1,48 @@
+//===- analysis/Commutativity.h - Commutativity analysis --------*- C++ -*-===//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Commutativity analysis (paper Section 2): decides whether all operations
+/// in a parallel section generate the same result regardless of execution
+/// order, so the compiler may run the iterations in parallel (with per-object
+/// locks making each operation atomic).
+///
+/// This is the standard conservative core of the analysis: the section
+/// commutes if (a) every write is a read-modify-write `f = f <op> e` with an
+/// associative-commutative operator, (b) all writes to one (class, field)
+/// use the same operator, and (c) no expression reads a field the section
+/// writes (the old value consumed by an update's own read-modify-write is
+/// inherently order-insensitive for such operators). The full symbolic-
+/// execution generality of Rinard & Diniz's analysis is not needed for the
+/// programs in this repository; the deviation is documented in DESIGN.md.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNFB_ANALYSIS_COMMUTATIVITY_H
+#define DYNFB_ANALYSIS_COMMUTATIVITY_H
+
+#include "ir/Module.h"
+
+#include <string>
+#include <vector>
+
+namespace dynfb::analysis {
+
+/// Outcome of commutativity analysis for one parallel section.
+struct CommutativityResult {
+  bool Commutes = false;
+  std::vector<std::string> Diagnostics; ///< Why not, when !Commutes.
+};
+
+/// Analyzes the operations reachable from \p Section's iteration method.
+CommutativityResult analyzeSection(const ir::ParallelSection &Section);
+
+/// Analyzes an arbitrary entry method (used by tests).
+CommutativityResult analyzeEntry(const ir::Method &Entry);
+
+} // namespace dynfb::analysis
+
+#endif // DYNFB_ANALYSIS_COMMUTATIVITY_H

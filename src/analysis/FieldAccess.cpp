@@ -1,0 +1,93 @@
+//===- analysis/FieldAccess.cpp -------------------------------------------==//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/FieldAccess.h"
+
+#include "ir/Verifier.h"
+
+#include <cassert>
+
+using namespace dynfb;
+using namespace dynfb::analysis;
+using namespace dynfb::ir;
+
+namespace {
+
+class SummaryBuilder {
+public:
+  explicit SummaryBuilder(AccessSummary &Out) : Out(Out) {}
+
+  void walkMethod(const Method &M) {
+    if (!Visited.insert(&M).second)
+      return;
+    walkList(M, M.body());
+  }
+
+private:
+  void addExprReads(const Method &M, const Expr *E) {
+    switch (E->kind()) {
+    case ExprKind::FieldRead: {
+      const auto &FR = exprCast<FieldReadExpr>(E);
+      const ClassDecl *Cls = receiverClass(FR.Recv, M);
+      assert(Cls && "malformed receiver in expression");
+      Out.Reads.insert(FieldKey{Cls, FR.Field});
+      break;
+    }
+    case ExprKind::ParamRead:
+    case ExprKind::ConstFloat:
+      break;
+    case ExprKind::Binary: {
+      const auto &B = exprCast<BinaryExpr>(E);
+      addExprReads(M, B.LHS);
+      addExprReads(M, B.RHS);
+      break;
+    }
+    case ExprKind::ExternCall:
+      for (const Expr *Arg : exprCast<ExternCallExpr>(E).Args)
+        addExprReads(M, Arg);
+      break;
+    }
+  }
+
+  void walkList(const Method &M, const std::vector<Stmt *> &List) {
+    for (const Stmt *S : List) {
+      switch (S->kind()) {
+      case StmtKind::Compute:
+        for (const Expr *E : stmtCast<ComputeStmt>(S).Reads)
+          addExprReads(M, E);
+        break;
+      case StmtKind::Update: {
+        const auto &U = stmtCast<UpdateStmt>(S);
+        const ClassDecl *Cls = receiverClass(U.Recv, M);
+        assert(Cls && "malformed update receiver");
+        Out.Writes[FieldKey{Cls, U.Field}].push_back(WriteInfo{U.Op});
+        addExprReads(M, U.Value);
+        break;
+      }
+      case StmtKind::Acquire:
+      case StmtKind::Release:
+        break;
+      case StmtKind::Call:
+        walkMethod(*stmtCast<CallStmt>(S).callee());
+        break;
+      case StmtKind::Loop:
+        walkList(M, stmtCast<LoopStmt>(S).Body);
+        break;
+      }
+    }
+  }
+
+  AccessSummary &Out;
+  std::set<const Method *> Visited;
+};
+
+} // namespace
+
+AccessSummary analysis::computeAccessSummary(const Method &Root) {
+  AccessSummary Out;
+  SummaryBuilder(Out).walkMethod(Root);
+  return Out;
+}

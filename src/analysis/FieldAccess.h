@@ -1,0 +1,61 @@
+//===- analysis/FieldAccess.h - Read/write field sets -----------*- C++ -*-===//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Computes, per method and closed over calls, which (class, field) pairs
+/// an invocation may read and which it may write -- and with which update
+/// operator. Commutativity analysis consumes these sets.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNFB_ANALYSIS_FIELDACCESS_H
+#define DYNFB_ANALYSIS_FIELDACCESS_H
+
+#include "ir/Module.h"
+
+#include <map>
+#include <set>
+#include <vector>
+
+namespace dynfb::analysis {
+
+/// Identity of one field across all instances of a class.
+struct FieldKey {
+  const ir::ClassDecl *Class = nullptr;
+  unsigned Field = 0;
+
+  friend bool operator<(const FieldKey &A, const FieldKey &B) {
+    if (A.Class != B.Class)
+      return A.Class < B.Class;
+    return A.Field < B.Field;
+  }
+  friend bool operator==(const FieldKey &A, const FieldKey &B) {
+    return A.Class == B.Class && A.Field == B.Field;
+  }
+};
+
+/// One write observation: the field and the update operator used.
+struct WriteInfo {
+  ir::BinOp Op;
+};
+
+/// Read/write summary of a method closure.
+struct AccessSummary {
+  std::set<FieldKey> Reads;
+  std::map<FieldKey, std::vector<WriteInfo>> Writes;
+
+  bool writes(const FieldKey &K) const { return Writes.count(K) != 0; }
+  bool reads(const FieldKey &K) const { return Reads.count(K) != 0; }
+};
+
+/// Computes the access summary of \p Root's closure. Receivers are abstracted
+/// to their static class (any instance of the class may be touched), which is
+/// the sound abstraction the analysis needs.
+AccessSummary computeAccessSummary(const ir::Method &Root);
+
+} // namespace dynfb::analysis
+
+#endif // DYNFB_ANALYSIS_FIELDACCESS_H

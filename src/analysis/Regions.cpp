@@ -1,0 +1,173 @@
+//===- analysis/Regions.cpp -----------------------------------------------==//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Regions.h"
+
+#include <cassert>
+
+using namespace dynfb;
+using namespace dynfb::analysis;
+using namespace dynfb::ir;
+
+std::vector<Region> analysis::scanRegions(const std::vector<Stmt *> &List) {
+  std::vector<Region> Out;
+  std::optional<size_t> OpenIdx;
+  Receiver OpenRecv;
+  for (size_t I = 0; I < List.size(); ++I) {
+    if (const auto *A = stmtDynCast<AcquireStmt>(List[I])) {
+      assert(!OpenIdx && "nested region at the same statement level");
+      OpenIdx = I;
+      OpenRecv = A->Recv;
+      continue;
+    }
+    if (const auto *R = stmtDynCast<ReleaseStmt>(List[I])) {
+      assert(OpenIdx && "release without open region");
+      assert(R->Recv == OpenRecv && "mismatched region receiver");
+      (void)R;
+      Out.push_back(Region{*OpenIdx, I, OpenRecv});
+      OpenIdx.reset();
+    }
+  }
+  assert(!OpenIdx && "unbalanced region in statement list");
+  return Out;
+}
+
+bool ShapeAnalysis::listIsLockFree(const std::vector<Stmt *> &List) {
+  for (const Stmt *S : List) {
+    switch (S->kind()) {
+    case StmtKind::Acquire:
+    case StmtKind::Release:
+      return false;
+    case StmtKind::Call:
+      if (summary(stmtCast<CallStmt>(S).callee()).Shape !=
+          BodyShape::LockFree)
+        return false;
+      break;
+    case StmtKind::Loop:
+      if (!listIsLockFree(stmtCast<LoopStmt>(S).Body))
+        return false;
+      break;
+    case StmtKind::Compute:
+    case StmtKind::Update:
+      break;
+    }
+  }
+  return true;
+}
+
+std::optional<Receiver>
+ShapeAnalysis::translateToCaller(const Receiver &CalleeRecv,
+                                 const CallStmt &Call) {
+  if (CalleeRecv.Kind == RecvKind::This)
+    return Call.Recv;
+  if (CalleeRecv.Kind == RecvKind::Param) {
+    // Map the callee's object-parameter index to the positional object
+    // argument. ObjArgs are in object-parameter order.
+    unsigned ObjPos = 0;
+    const Method *Callee = Call.callee();
+    for (unsigned I = 0; I < CalleeRecv.ParamIdx; ++I)
+      if (I < Callee->params().size() && Callee->param(I).isObject())
+        ++ObjPos;
+    if (ObjPos < Call.ObjArgs.size())
+      return Call.ObjArgs[ObjPos];
+    return std::nullopt;
+  }
+  // ParamIndexed receivers depend on the callee's internal loop index and
+  // cannot be named by the caller.
+  return std::nullopt;
+}
+
+const ShapeSummary &ShapeAnalysis::summary(const Method *M) {
+  auto It = Cache.find(M);
+  if (It != Cache.end())
+    return It->second;
+  // Insert a Mixed placeholder first so (hypothetical) recursion degrades
+  // conservatively instead of diverging.
+  Cache[M] = ShapeSummary{BodyShape::Mixed, Receiver::thisObj()};
+  ShapeSummary S = compute(M);
+  return Cache[M] = S;
+}
+
+ShapeSummary ShapeAnalysis::compute(const Method *M) {
+  const std::vector<Stmt *> &Body = M->body();
+
+  // Classify the body as: pure prefix, one region element, pure suffix.
+  // A region element is either an explicit top-level Acquire..Release group
+  // or a single call to a SingleRegion callee with a caller-expressible
+  // receiver.
+  bool SawRegion = false;
+  Receiver RegionRecv = Receiver::thisObj();
+  std::optional<Receiver> Open;
+
+  auto PureStmt = [&](const Stmt *S) {
+    switch (S->kind()) {
+    case StmtKind::Compute:
+      return true;
+    case StmtKind::Update:
+      // A naked update outside any region (serial code) is pure for shape
+      // purposes: it contains no locking.
+      return true;
+    case StmtKind::Loop:
+      return listIsLockFree(stmtCast<LoopStmt>(S).Body);
+    case StmtKind::Call:
+      return summary(stmtCast<CallStmt>(S).callee()).Shape ==
+             BodyShape::LockFree;
+    case StmtKind::Acquire:
+    case StmtKind::Release:
+      return false;
+    }
+    return false;
+  };
+
+  for (const Stmt *S : Body) {
+    if (Open) {
+      // Inside the explicit region: everything must be lock-free until the
+      // matching release.
+      if (const auto *R = stmtDynCast<ReleaseStmt>(S)) {
+        if (!(R->Recv == *Open))
+          return {BodyShape::Mixed, Receiver::thisObj()};
+        Open.reset();
+        continue;
+      }
+      std::vector<Stmt *> One{const_cast<Stmt *>(S)};
+      if (!listIsLockFree(One))
+        return {BodyShape::Mixed, Receiver::thisObj()};
+      continue;
+    }
+    if (const auto *A = stmtDynCast<AcquireStmt>(S)) {
+      if (SawRegion)
+        return {BodyShape::Mixed, Receiver::thisObj()};
+      SawRegion = true;
+      RegionRecv = A->Recv;
+      Open = A->Recv;
+      continue;
+    }
+    if (const auto *C = stmtDynCast<CallStmt>(S)) {
+      const ShapeSummary &CS = summary(C->callee());
+      if (CS.Shape == BodyShape::LockFree)
+        continue;
+      if (CS.Shape == BodyShape::SingleRegion) {
+        if (SawRegion)
+          return {BodyShape::Mixed, Receiver::thisObj()};
+        std::optional<Receiver> Translated =
+            translateToCaller(CS.RegionRecv, *C);
+        if (!Translated)
+          return {BodyShape::Mixed, Receiver::thisObj()};
+        SawRegion = true;
+        RegionRecv = *Translated;
+        continue;
+      }
+      return {BodyShape::Mixed, Receiver::thisObj()};
+    }
+    if (!PureStmt(S))
+      return {BodyShape::Mixed, Receiver::thisObj()};
+  }
+  if (Open)
+    return {BodyShape::Mixed, Receiver::thisObj()};
+  if (!SawRegion)
+    return {BodyShape::LockFree, Receiver::thisObj()};
+  return {BodyShape::SingleRegion, RegionRecv};
+}

@@ -1,0 +1,79 @@
+//===- analysis/Regions.h - Critical-region shape analysis -----*- C++ -*-===//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Analyses of critical-region structure used by the synchronization
+/// optimizer: scanning the top-level regions of a statement list, deciding
+/// lock-freedom of lists and method closures, and summarizing method bodies
+/// into shapes (LockFree / SingleRegion / Mixed). A SingleRegion callee is
+/// what makes the interprocedural lift of the paper's Figures 1-2 legal.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNFB_ANALYSIS_REGIONS_H
+#define DYNFB_ANALYSIS_REGIONS_H
+
+#include "ir/Module.h"
+
+#include <map>
+#include <optional>
+#include <vector>
+
+namespace dynfb::analysis {
+
+/// One top-level critical region inside a statement list:
+/// List[AcqIdx] is the Acquire, List[RelIdx] the matching Release.
+struct Region {
+  size_t AcqIdx = 0;
+  size_t RelIdx = 0;
+  ir::Receiver Recv;
+};
+
+/// Shape classification of a method body.
+enum class BodyShape {
+  LockFree,     ///< No acquire/release anywhere in the closure.
+  SingleRegion, ///< Body is pure*, one region, pure* (region possibly via a
+                ///< single call to a SingleRegion callee).
+  Mixed         ///< Anything else.
+};
+
+/// Summary of one method's locking structure.
+struct ShapeSummary {
+  BodyShape Shape = BodyShape::Mixed;
+  /// For SingleRegion: the region's lock receiver in this method's frame.
+  ir::Receiver RegionRecv;
+};
+
+/// Scans \p List for top-level regions. Asserts balanced, non-nested
+/// structure at this level (nested regions inside the spanned statements are
+/// not inspected).
+std::vector<Region> scanRegions(const std::vector<ir::Stmt *> &List);
+
+/// Memoizing shape analysis over (possibly still-growing) method sets. The
+/// synchronization optimizer invalidates nothing: it queries summaries only
+/// for methods it has finished transforming (bottom-up order).
+class ShapeAnalysis {
+public:
+  /// Returns the shape summary of \p M, computing and caching it on demand.
+  const ShapeSummary &summary(const ir::Method *M);
+
+  /// True if \p List contains no acquire/release, directly or via calls.
+  bool listIsLockFree(const std::vector<ir::Stmt *> &List);
+
+  /// Translates \p CalleeRecv (a receiver in \p Call's callee frame) into
+  /// the caller's frame; std::nullopt if not expressible by the caller.
+  static std::optional<ir::Receiver>
+  translateToCaller(const ir::Receiver &CalleeRecv, const ir::CallStmt &Call);
+
+private:
+  ShapeSummary compute(const ir::Method *M);
+
+  std::map<const ir::Method *, ShapeSummary> Cache;
+};
+
+} // namespace dynfb::analysis
+
+#endif // DYNFB_ANALYSIS_REGIONS_H

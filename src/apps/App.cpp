@@ -1,0 +1,63 @@
+//===- apps/App.cpp -------------------------------------------------------==//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/App.h"
+
+#include "rt/Interp.h"
+#include "support/Compiler.h"
+
+using namespace dynfb;
+using namespace dynfb::apps;
+using namespace dynfb::xform;
+
+std::unique_ptr<sim::SimBackend>
+App::makeSimBackend(unsigned Procs, const rt::CostModel &Costs, Flavour F,
+                    PolicyKind FixedPolicy) const {
+  // The Dynamic executable compiles in the overhead instrumentation; the
+  // static flavours do not (paper Section 6).
+  const bool Instrumented = F == Flavour::Dynamic;
+  auto Backend = std::make_unique<sim::SimBackend>(Procs, Costs, Instrumented);
+
+  for (const VersionedSection &VS : Program.Sections) {
+    std::vector<sim::SimVersion> Versions;
+    switch (F) {
+    case Flavour::Serial:
+      Versions.push_back(sim::SimVersion{"Serial", VS.SerialEntry});
+      break;
+    case Flavour::Fixed:
+      Versions.push_back(sim::SimVersion{
+          policyName(FixedPolicy), VS.versionFor(FixedPolicy).Entry});
+      break;
+    case Flavour::Dynamic:
+      for (const SectionVersion &V : VS.Versions)
+        Versions.push_back(sim::SimVersion{V.label(), V.Entry});
+      break;
+    }
+    Backend->addSection(VS.Name, &binding(VS.Name), std::move(Versions));
+  }
+  return Backend;
+}
+
+SectionStats App::sectionStats(const std::string &Section,
+                               const rt::CostModel &Costs) const {
+  const VersionedSection *VS = Program.find(Section);
+  if (!VS)
+    reportFatalError("sectionStats: unknown section name");
+  const rt::DataBinding &B = binding(Section);
+  rt::IterationEmitter Emitter(VS->SerialEntry, B, Costs);
+
+  SectionStats Stats;
+  Stats.Iterations = B.iterationCount();
+  rt::Nanos Total = 0;
+  for (uint64_t I = 0; I < Stats.Iterations; ++I)
+    Total += Emitter.computeTime(I);
+  Stats.MeanSectionSeconds = rt::nanosToSeconds(Total);
+  Stats.MeanIterationSeconds =
+      Stats.Iterations == 0
+          ? 0.0
+          : Stats.MeanSectionSeconds / static_cast<double>(Stats.Iterations);
+  return Stats;
+}

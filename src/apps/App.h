@@ -1,0 +1,89 @@
+//===- apps/App.h - Benchmark application base -------------------*- C++ -*-=//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Common shape of the three benchmark applications (Barnes-Hut, Water,
+/// String). Each application owns an IR module with its parallel sections,
+/// the multi-versioned program the synchronization optimizer generates from
+/// it, a data binding per section (derived from genuinely computed data:
+/// octree traversals, pair lists, ray paths), and a phase schedule. The
+/// base class builds execution backends for the four executable flavours
+/// the paper measures: Serial, a fixed static policy, and Dynamic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNFB_APPS_APP_H
+#define DYNFB_APPS_APP_H
+
+#include "ir/Module.h"
+#include "rt/Backend.h"
+#include "rt/Binding.h"
+#include "rt/CostModel.h"
+#include "sim/Backend.h"
+#include "xform/MultiVersion.h"
+
+#include <memory>
+#include <string>
+
+namespace dynfb::apps {
+
+/// Statistics of one parallel section measured on the serial version
+/// (paper Tables 4, 9, 10).
+struct SectionStats {
+  double MeanSectionSeconds = 0; ///< Serial execution time of the section.
+  uint64_t Iterations = 0;
+  double MeanIterationSeconds = 0;
+};
+
+/// Executable flavour.
+enum class Flavour {
+  Serial,  ///< Lock-free serial code (run on one processor).
+  Fixed,   ///< One statically chosen synchronization policy.
+  Dynamic  ///< All versions + dynamic feedback, instrumented.
+};
+
+/// Base class of the benchmark applications.
+class App {
+public:
+  virtual ~App() = default;
+
+  const ir::Module &module() const { return M; }
+  ir::Module &module() { return M; }
+
+  /// The generated versions (valid after finalize()).
+  const xform::VersionedProgram &program() const { return Program; }
+
+  /// The application's phase schedule.
+  virtual rt::Schedule schedule() const = 0;
+
+  /// The data binding of the named section.
+  virtual const rt::DataBinding &binding(const std::string &Section) const = 0;
+
+  /// Builds a simulator backend for one executable flavour.
+  /// \p FixedPolicy selects the policy for Flavour::Fixed (ignored
+  /// otherwise).
+  std::unique_ptr<sim::SimBackend>
+  makeSimBackend(unsigned Procs, const rt::CostModel &Costs, Flavour F,
+                 xform::PolicyKind FixedPolicy =
+                     xform::PolicyKind::Original) const;
+
+  /// Serial-version statistics of one section (Tables 4, 9, 10).
+  SectionStats sectionStats(const std::string &Section,
+                            const rt::CostModel &Costs) const;
+
+protected:
+  explicit App(std::string Name) : M(std::move(Name)) {}
+
+  /// Runs version generation; call once after the module is authored.
+  void finalize() { Program = xform::generateVersions(M); }
+
+  ir::Module M;
+  xform::VersionedProgram Program;
+};
+
+} // namespace dynfb::apps
+
+#endif // DYNFB_APPS_APP_H

@@ -1,0 +1,37 @@
+//===- apps/Factory.cpp ---------------------------------------------------==//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/Factory.h"
+
+#include "apps/barnes_hut/BarnesHutApp.h"
+#include "apps/string_tomo/StringApp.h"
+#include "apps/water/WaterApp.h"
+
+using namespace dynfb;
+using namespace dynfb::apps;
+
+std::vector<std::string> apps::appNames() {
+  return {"barnes_hut", "water", "string"};
+}
+
+std::unique_ptr<App> apps::createApp(const std::string &Name, double Scale) {
+  if (Name == "barnes_hut") {
+    bh::BarnesHutConfig Config;
+    Config.scale(Scale);
+    return std::make_unique<bh::BarnesHutApp>(Config);
+  }
+  if (Name == "water") {
+    water::WaterConfig Config;
+    Config.scale(Scale);
+    return std::make_unique<water::WaterApp>(Config);
+  }
+  if (Name == "string") {
+    string_tomo::StringConfig Config;
+    Config.scale(Scale);
+    return std::make_unique<string_tomo::StringApp>(Config);
+  }
+  return nullptr;
+}

@@ -1,0 +1,32 @@
+//===- apps/Factory.h - Application factory ----------------------*- C++ -*-=//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Creates benchmark applications by name, for the command-line tools.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNFB_APPS_FACTORY_H
+#define DYNFB_APPS_FACTORY_H
+
+#include "apps/App.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dynfb::apps {
+
+/// Names accepted by createApp.
+std::vector<std::string> appNames();
+
+/// Creates the named application with its workload scaled by \p Scale.
+/// Returns nullptr for unknown names.
+std::unique_ptr<App> createApp(const std::string &Name, double Scale = 1.0);
+
+} // namespace dynfb::apps
+
+#endif // DYNFB_APPS_FACTORY_H

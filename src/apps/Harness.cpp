@@ -1,0 +1,30 @@
+//===- apps/Harness.cpp ---------------------------------------------------==//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/Harness.h"
+
+using namespace dynfb;
+using namespace dynfb::apps;
+
+fb::RunResult apps::runApp(const App &App, unsigned Procs, Flavour F,
+                           xform::PolicyKind Policy,
+                           const fb::FeedbackConfig &Config,
+                           fb::PolicyHistory *History,
+                           const rt::CostModel &Costs) {
+  auto Backend = App.makeSimBackend(Procs, Costs, F, Policy);
+  fb::RunOptions Options;
+  Options.Mode =
+      F == Flavour::Dynamic ? fb::ExecMode::Dynamic : fb::ExecMode::Fixed;
+  Options.Config = Config;
+  Options.History = History;
+  return fb::runSchedule(*Backend, App.schedule(), Options);
+}
+
+double apps::runAppSeconds(const App &App, unsigned Procs, Flavour F,
+                           xform::PolicyKind Policy,
+                           const fb::FeedbackConfig &Config) {
+  return rt::nanosToSeconds(runApp(App, Procs, F, Policy, Config).TotalNanos);
+}

@@ -1,0 +1,41 @@
+//===- apps/Harness.h - Shared experiment harness ----------------*- C++ -*-=//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the bench binaries: run one executable flavour of an
+/// application on the simulated machine and return the result, and the
+/// processor counts the paper's tables use.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNFB_APPS_HARNESS_H
+#define DYNFB_APPS_HARNESS_H
+
+#include "apps/App.h"
+#include "fb/Driver.h"
+
+#include <vector>
+
+namespace dynfb::apps {
+
+/// Processor counts of the paper's execution-time tables.
+inline const std::vector<unsigned> PaperProcCounts = {1, 2, 4, 8, 12, 16};
+
+/// Runs one executable flavour of \p App on a fresh simulated machine.
+fb::RunResult runApp(const App &App, unsigned Procs, Flavour F,
+                     xform::PolicyKind Policy = xform::PolicyKind::Original,
+                     const fb::FeedbackConfig &Config = {},
+                     fb::PolicyHistory *History = nullptr,
+                     const rt::CostModel &Costs = rt::CostModel::dashLike());
+
+/// Convenience: end-to-end execution time in seconds.
+double runAppSeconds(const App &App, unsigned Procs, Flavour F,
+                     xform::PolicyKind Policy = xform::PolicyKind::Original,
+                     const fb::FeedbackConfig &Config = {});
+
+} // namespace dynfb::apps
+
+#endif // DYNFB_APPS_HARNESS_H

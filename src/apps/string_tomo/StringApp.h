@@ -1,0 +1,89 @@
+//===- apps/string_tomo/StringApp.h - The String benchmark -------*- C++ -*-=//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The String benchmark (paper Section 6): seismic tomography that builds a
+/// velocity model of the geology between two oil wells. Each parallel
+/// iteration traces one ray through the current velocity grid (a pure,
+/// expensive computation; the real cell path comes from a DDA grid
+/// traversal) and then back-projects its residual along the path,
+/// accumulating into the shared model object's cells under the model's
+/// lock. Original pays one lock pair per accumulated quantity, Bounded
+/// coalesces the per-segment updates, and Aggressive lifts the model lock
+/// out of the segment loop (one pair per ray, short false exclusion).
+///
+/// The paper's String experimental subsection is truncated in our source
+/// text; the experiments mirror the Barnes-Hut structure (see DESIGN.md).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNFB_APPS_STRING_TOMO_STRINGAPP_H
+#define DYNFB_APPS_STRING_TOMO_STRINGAPP_H
+
+#include "apps/App.h"
+
+#include <memory>
+#include <vector>
+
+namespace dynfb::apps::string_tomo {
+
+/// Configuration of the String benchmark.
+struct StringConfig {
+  uint32_t GridW = 128;  ///< Velocity grid width (between the two wells).
+  uint32_t GridH = 128;  ///< Velocity grid depth.
+  uint32_t NumRays = 1024;
+  unsigned Sweeps = 3;   ///< Velocity-model refinement sweeps.
+  uint64_t Seed = 13;
+  rt::Nanos TraceCellNanos = 180000; ///< Ray tracing cost per crossed cell.
+  rt::Nanos BackprojectCellNanos = 2000; ///< Residual contribution per cell.
+  rt::Nanos SerialPhaseNanos = rt::secondsToNanos(1.5); ///< Model update.
+
+  void scale(double Factor);
+};
+
+/// One ray's geometry: entry/exit depths and the number of grid cells the
+/// DDA traversal crosses.
+struct Ray {
+  double SourceDepth = 0;
+  double ReceiverDepth = 0;
+  uint32_t Segments = 0;
+};
+
+/// Computes the number of cells a ray from (0, Z0) to (W-1, Z1) crosses in
+/// a W x H grid (2-D DDA / Amanatides-Woo traversal). Exposed for tests.
+uint32_t ddaCellCount(uint32_t W, uint32_t H, double Z0, double Z1);
+
+/// The String application.
+class StringApp : public App {
+public:
+  explicit StringApp(const StringConfig &Config);
+  ~StringApp() override;
+
+  rt::Schedule schedule() const override;
+  const rt::DataBinding &binding(const std::string &Section) const override;
+
+  static constexpr const char *TraceSection = "TRACE";
+
+  const StringConfig &config() const { return Config; }
+  const std::vector<Ray> &rays() const { return Rays; }
+  uint64_t totalSegments() const { return TotalSegments; }
+
+private:
+  void buildProgram();
+
+  StringConfig Config;
+  std::vector<Ray> Rays;
+  uint64_t TotalSegments = 0;
+
+  unsigned SegmentLoopId = 0;
+  unsigned TraceCostClass = 0;
+  unsigned BackprojectCostClass = 0;
+  std::unique_ptr<rt::DataBinding> TraceBinding;
+};
+
+} // namespace dynfb::apps::string_tomo
+
+#endif // DYNFB_APPS_STRING_TOMO_STRINGAPP_H

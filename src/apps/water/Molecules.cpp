@@ -1,0 +1,90 @@
+//===- apps/water/Molecules.cpp -------------------------------------------==//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/water/Molecules.h"
+
+#include "support/Random.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace dynfb;
+using namespace dynfb::apps::water;
+
+namespace {
+
+double dist2(const MolPos &A, const MolPos &B) {
+  const double DX = A.X - B.X, DY = A.Y - B.Y, DZ = A.Z - B.Z;
+  return DX * DX + DY * DY + DZ * DZ;
+}
+
+/// Mean half-list length at cutoff radius \p Rc.
+double meanNeighbors(const std::vector<MolPos> &P, double Rc) {
+  const double Rc2 = Rc * Rc;
+  uint64_t Pairs = 0;
+  for (size_t I = 0; I < P.size(); ++I)
+    for (size_t J = I + 1; J < P.size(); ++J)
+      if (dist2(P[I], P[J]) <= Rc2)
+        ++Pairs;
+  return static_cast<double>(Pairs) / static_cast<double>(P.size());
+}
+
+} // namespace
+
+MolecularSystem apps::water::buildMolecularSystem(uint32_t N, uint64_t Seed,
+                                                  double TargetMean) {
+  assert(N >= 2 && "need at least two molecules");
+  MolecularSystem Sys;
+
+  // Jittered cubic lattice in the unit box.
+  const uint32_t Side = static_cast<uint32_t>(
+      std::ceil(std::cbrt(static_cast<double>(N))));
+  const double Cell = 1.0 / static_cast<double>(Side);
+  Rng R(Seed);
+  Sys.Positions.reserve(N);
+  for (uint32_t I = 0; I < N; ++I) {
+    const uint32_t X = I % Side;
+    const uint32_t Y = (I / Side) % Side;
+    const uint32_t Z = I / (Side * Side);
+    Sys.Positions.push_back(MolPos{
+        (X + 0.5 + R.uniform(-0.3, 0.3)) * Cell,
+        (Y + 0.5 + R.uniform(-0.3, 0.3)) * Cell,
+        (Z + 0.5 + R.uniform(-0.3, 0.3)) * Cell});
+  }
+
+  // Calibrate the cutoff by bisection on the mean half-list length. The
+  // all-pairs limit is (N-1)/2.
+  const double MaxMean = static_cast<double>(N - 1) / 2.0;
+  const double Target = std::min(TargetMean, MaxMean);
+  double Lo = 0.0, Hi = 2.0; // Whole box: sqrt(3) < 2.
+  for (int Iter = 0; Iter < 40; ++Iter) {
+    const double Mid = 0.5 * (Lo + Hi);
+    if (meanNeighbors(Sys.Positions, Mid) < Target)
+      Lo = Mid;
+    else
+      Hi = Mid;
+    if (Hi - Lo < 1e-6)
+      break;
+  }
+  Sys.CutoffRadius = 0.5 * (Lo + Hi);
+
+  // Balanced half-lists: assign pair (i, j) to i when (i + j) is even,
+  // else to j, so every molecule receives about half of its incident
+  // pairs regardless of its index.
+  Sys.Neighbors.assign(N, {});
+  const double Rc2 = Sys.CutoffRadius * Sys.CutoffRadius;
+  for (uint32_t I = 0; I < N; ++I)
+    for (uint32_t J = I + 1; J < N; ++J) {
+      if (dist2(Sys.Positions[I], Sys.Positions[J]) > Rc2)
+        continue;
+      if ((I + J) % 2 == 0)
+        Sys.Neighbors[I].push_back(J);
+      else
+        Sys.Neighbors[J].push_back(I);
+    }
+  return Sys;
+}

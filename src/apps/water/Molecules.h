@@ -1,0 +1,57 @@
+//===- apps/water/Molecules.h - Real molecular geometry ---------*- C++ -*-===//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Real geometry for the Water benchmark: molecules placed on a jittered
+/// cubic lattice in a box, with pairwise interactions restricted to a
+/// spherical cutoff radius, as in the original application. The cutoff is
+/// calibrated so the average neighbor count hits a target, and unordered
+/// pairs are split into balanced half-lists (pair (i,j) is assigned to one
+/// of its endpoints such that every molecule gets a similar amount of
+/// work), which is what the parallel loop iterates over.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNFB_APPS_WATER_MOLECULES_H
+#define DYNFB_APPS_WATER_MOLECULES_H
+
+#include <cstdint>
+#include <vector>
+
+namespace dynfb::apps::water {
+
+/// Position of one molecule's center of mass.
+struct MolPos {
+  double X = 0, Y = 0, Z = 0;
+};
+
+/// The generated geometry and its neighbor structure.
+struct MolecularSystem {
+  std::vector<MolPos> Positions;
+  /// Balanced half-lists: Neighbors[i] holds the partners of the pairs
+  /// assigned to molecule i; every unordered pair within the cutoff
+  /// appears in exactly one list.
+  std::vector<std::vector<uint32_t>> Neighbors;
+  double CutoffRadius = 0;
+
+  uint64_t totalPairs() const {
+    uint64_t Total = 0;
+    for (const auto &L : Neighbors)
+      Total += L.size();
+    return Total;
+  }
+};
+
+/// Builds \p N molecules on a jittered cubic lattice (unit box),
+/// deterministic in \p Seed, and calibrates the cutoff radius so the mean
+/// half-list length is within ~2% of \p TargetMeanNeighbors (capped by the
+/// all-pairs limit (N-1)/2).
+MolecularSystem buildMolecularSystem(uint32_t N, uint64_t Seed,
+                                     double TargetMeanNeighbors);
+
+} // namespace dynfb::apps::water
+
+#endif // DYNFB_APPS_WATER_MOLECULES_H

@@ -1,0 +1,218 @@
+//===- apps/water/WaterApp.cpp --------------------------------------------==//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/water/WaterApp.h"
+
+#include "ir/Builder.h"
+#include "support/Random.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace dynfb;
+using namespace dynfb::apps;
+using namespace dynfb::apps::water;
+using namespace dynfb::ir;
+
+void WaterConfig::scale(double Factor) {
+  NumMolecules = std::max<uint32_t>(
+      8, static_cast<uint32_t>(static_cast<double>(NumMolecules) * Factor));
+  // The parallel sections are quadratic in the molecule count; scale the
+  // serial phase quadratically too so the benchmark keeps the full-size
+  // serial/parallel proportions.
+  SerialPhaseNanos = static_cast<rt::Nanos>(
+      static_cast<double>(SerialPhaseNanos) * Factor * Factor);
+}
+
+namespace {
+
+/// INTERF binding: iteration i processes the pairs of its half-neighbor
+/// list (real cutoff geometry); each pair updates both molecules.
+class InterfBindingImpl final : public rt::DataBinding {
+public:
+  InterfBindingImpl(const WaterConfig &Config, const MolecularSystem &Sys,
+                    unsigned LoopId, unsigned PairCostClass)
+      : Config(Config), Sys(Sys), LoopId(LoopId),
+        PairCostClass(PairCostClass) {}
+
+  uint64_t iterationCount() const override { return Config.NumMolecules; }
+  uint32_t objectCount() const override { return Config.NumMolecules; }
+  rt::ObjectId thisObject(uint64_t Iter) const override {
+    return static_cast<rt::ObjectId>(Iter);
+  }
+  std::vector<rt::ObjRef> sectionArgs(uint64_t) const override {
+    return {rt::ObjRef::array(0)};
+  }
+  rt::ObjectId elementOf(rt::ArrayId, uint64_t Index,
+                         const rt::LoopCtx &Ctx) const override {
+    return Sys.Neighbors[Ctx.Iter][Index];
+  }
+  uint64_t tripCount(unsigned Loop, const rt::LoopCtx &Ctx) const override {
+    assert(Loop == LoopId && "unexpected loop id");
+    (void)Loop;
+    return Sys.Neighbors[Ctx.Iter].size();
+  }
+  rt::Nanos computeNanos(unsigned CC, const rt::LoopCtx &Ctx) const override {
+    assert(CC == PairCostClass && "unexpected cost class");
+    (void)CC;
+    // Per-pair timing jitter: real pair kernels vary with the molecular
+    // geometry; without it the simulator's identical iterations would
+    // self-synchronize into an unrealistically contention-free pipeline.
+    const uint64_t Key = Ctx.Iter * 1000003ULL +
+                         (Ctx.Loops.empty() ? 0 : Ctx.Loops.back().second);
+    return static_cast<rt::Nanos>(
+        static_cast<double>(Config.PairKernelNanos) *
+        jitterFactor(Key, 0.15));
+  }
+
+private:
+  const WaterConfig &Config;
+  const MolecularSystem &Sys;
+  const unsigned LoopId;
+  const unsigned PairCostClass;
+};
+
+/// POTENG binding: iteration i accumulates nine energy terms per neighbor
+/// into the global accumulator (object id NumMolecules).
+class PotengBindingImpl final : public rt::DataBinding {
+public:
+  PotengBindingImpl(const WaterConfig &Config, const MolecularSystem &Sys,
+                    unsigned PartnerLoopId, unsigned TermLoopId,
+                    unsigned TermCostClass)
+      : Config(Config), Sys(Sys), PartnerLoopId(PartnerLoopId),
+        TermLoopId(TermLoopId), TermCostClass(TermCostClass) {}
+
+  uint64_t iterationCount() const override { return Config.NumMolecules; }
+  uint32_t objectCount() const override { return Config.NumMolecules + 1; }
+  rt::ObjectId thisObject(uint64_t Iter) const override {
+    return static_cast<rt::ObjectId>(Iter);
+  }
+  std::vector<rt::ObjRef> sectionArgs(uint64_t) const override {
+    return {rt::ObjRef::array(0), rt::ObjRef::single(Config.NumMolecules)};
+  }
+  rt::ObjectId elementOf(rt::ArrayId, uint64_t Index,
+                         const rt::LoopCtx &Ctx) const override {
+    return Sys.Neighbors[Ctx.Iter][Index];
+  }
+  uint64_t tripCount(unsigned Loop, const rt::LoopCtx &Ctx) const override {
+    if (Loop == PartnerLoopId)
+      return Sys.Neighbors[Ctx.Iter].size();
+    assert(Loop == TermLoopId && "unexpected loop id");
+    return 9; // The nine atom pairs of two 3-atom molecules.
+  }
+  rt::Nanos computeNanos(unsigned CC, const rt::LoopCtx &Ctx) const override {
+    assert(CC == TermCostClass && "unexpected cost class");
+    (void)CC;
+    uint64_t Key = Ctx.Iter * 1000003ULL + 17;
+    for (const auto &[LoopId, Index] : Ctx.Loops)
+      Key = Key * 31ULL + LoopId * 7ULL + Index;
+    return static_cast<rt::Nanos>(
+        static_cast<double>(Config.TermKernelNanos) *
+        jitterFactor(Key, 0.15));
+  }
+
+private:
+  const WaterConfig &Config;
+  const MolecularSystem &Sys;
+  const unsigned PartnerLoopId;
+  const unsigned TermLoopId;
+  const unsigned TermCostClass;
+};
+
+} // namespace
+
+WaterApp::WaterApp(const WaterConfig &Config)
+    : App("water"), Config(Config),
+      Sys(buildMolecularSystem(Config.NumMolecules, Config.Seed,
+                               Config.TargetMeanNeighbors)) {
+  buildProgram();
+  finalize();
+  InterfBinding = std::make_unique<InterfBindingImpl>(
+      this->Config, Sys, InterfLoopId, InterfPairCostClass);
+  PotengBinding = std::make_unique<PotengBindingImpl>(
+      this->Config, Sys, PotengPartnerLoopId, PotengTermLoopId,
+      PotengTermCostClass);
+}
+
+WaterApp::~WaterApp() = default;
+
+void WaterApp::buildProgram() {
+  // class molecule { lock mutex; double pos, fx, fy, fz; };
+  ClassDecl *Molecule = M.createClass("molecule");
+  const unsigned Pos = Molecule->addField("pos");
+  const unsigned Fx = Molecule->addField("fx");
+  const unsigned Fy = Molecule->addField("fy");
+  const unsigned Fz = Molecule->addField("fz");
+
+  // class accum { lock mutex; double poteng; };
+  ClassDecl *Accum = M.createClass("accum");
+  const unsigned Poteng = Accum->addField("poteng");
+
+  // void molecule::interf(molecule m[])
+  Method *Interf = M.createMethod("interf", Molecule);
+  Interf->addParam(Param{"m", Molecule, /*IsArray=*/true});
+  {
+    MethodBuilder B(M, Interf);
+    InterfLoopId = B.beginLoop();
+    const Receiver Partner = Receiver::paramIndexed(0, InterfLoopId);
+    const Expr *ThisPos = M.exprFieldRead(Receiver::thisObj(), Pos);
+    const Expr *PartnerPos = M.exprFieldRead(Partner, Pos);
+    // Forces of all nine atom pairs of the molecule pair.
+    InterfPairCostClass = B.compute({ThisPos, PartnerPos});
+    const Expr *Fwd = M.exprExternCall("pair_force", {ThisPos, PartnerPos});
+    const Expr *Bwd = M.exprExternCall("pair_force", {PartnerPos, ThisPos});
+    // Accumulate the nine atom-pair contributions on this molecule (three
+    // per force coordinate)...
+    const unsigned Coords[3] = {Fx, Fy, Fz};
+    for (unsigned K = 0; K < 9; ++K)
+      B.update(Receiver::thisObj(), Coords[K % 3], BinOp::Add, Fwd);
+    // ... and (negated) on the partner molecule.
+    for (unsigned K = 0; K < 9; ++K)
+      B.update(Partner, Coords[K % 3], BinOp::Add, Bwd);
+    B.endLoop();
+  }
+
+  // void molecule::poteng(molecule m[], accum *global)
+  Method *PotengM = M.createMethod("poteng", Molecule);
+  PotengM->addParam(Param{"m", Molecule, /*IsArray=*/true});
+  PotengM->addParam(Param{"global", Accum, /*IsArray=*/false});
+  {
+    MethodBuilder B(M, PotengM);
+    PotengPartnerLoopId = B.beginLoop();
+    const Receiver Partner = Receiver::paramIndexed(0, PotengPartnerLoopId);
+    const Expr *ThisPos = M.exprFieldRead(Receiver::thisObj(), Pos);
+    const Expr *PartnerPos = M.exprFieldRead(Partner, Pos);
+    PotengTermLoopId = B.beginLoop();
+    PotengTermCostClass = B.compute({ThisPos, PartnerPos});
+    B.endLoop();
+    // global->poteng += energy(this, partner);
+    const Expr *E = M.exprExternCall("pair_energy", {ThisPos, PartnerPos});
+    B.update(Receiver::param(1), Poteng, BinOp::Add, E);
+    B.endLoop();
+  }
+
+  M.addSection(InterfSection, Interf);
+  M.addSection(PotengSection, PotengM);
+}
+
+rt::Schedule WaterApp::schedule() const {
+  rt::Schedule Sched;
+  for (unsigned Step = 0; Step < Config.Timesteps; ++Step) {
+    Sched.push_back(rt::Phase::serial(Config.SerialPhaseNanos / 2));
+    Sched.push_back(rt::Phase::parallel(InterfSection));
+    Sched.push_back(rt::Phase::serial(Config.SerialPhaseNanos -
+                                      Config.SerialPhaseNanos / 2));
+    Sched.push_back(rt::Phase::parallel(PotengSection));
+  }
+  return Sched;
+}
+
+const rt::DataBinding &WaterApp::binding(const std::string &Section) const {
+  if (Section == InterfSection)
+    return *InterfBinding;
+  assert(Section == PotengSection && "unknown section");
+  return *PotengBinding;
+}

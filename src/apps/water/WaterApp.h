@@ -1,0 +1,86 @@
+//===- apps/water/WaterApp.h - The Water benchmark ---------------*- C++ -*-=//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Water benchmark (paper Section 6.2): liquid-state molecular dynamics
+/// over 512 molecules, with two computationally intensive parallel sections
+/// per timestep. INTERF computes pairwise intermolecular forces: each
+/// molecule pair updates the force accumulators of both molecules, so after
+/// coalescing nothing can be lifted -- the Bounded and Aggressive policies
+/// generate the same code. POTENG accumulates the potential energy into one
+/// global accumulator object: straight-line coalescing finds nothing
+/// (Original and Bounded coincide) while the Aggressive policy lifts the
+/// global lock out of the partner loop, holding it for entire iterations --
+/// the false exclusion that serializes the computation and destroys the
+/// Aggressive version's scalability, exactly as in the paper.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNFB_APPS_WATER_WATERAPP_H
+#define DYNFB_APPS_WATER_WATERAPP_H
+
+#include "apps/App.h"
+#include "apps/water/Molecules.h"
+
+#include <memory>
+
+namespace dynfb::apps::water {
+
+/// Configuration of the Water benchmark.
+struct WaterConfig {
+  uint32_t NumMolecules = 512; ///< Paper input: 512 molecules.
+  unsigned Timesteps = 2;
+  uint64_t Seed = 7;
+  /// Target mean half-neighbor-list length; the spherical cutoff radius is
+  /// calibrated against the real geometry to hit it (capped at all pairs).
+  double TargetMeanNeighbors = 128.0;
+  /// INTERF: one molecule-pair force kernel (all nine atom pairs).
+  rt::Nanos PairKernelNanos = 766000;
+  /// POTENG: one of the nine energy terms of a molecule pair.
+  rt::Nanos TermKernelNanos = 47600;
+  /// Serial work per timestep (predictor/corrector, bookkeeping).
+  rt::Nanos SerialPhaseNanos = rt::secondsToNanos(4.9);
+
+  /// Scales the molecule count.
+  void scale(double Factor);
+};
+
+/// The Water application.
+class WaterApp : public App {
+public:
+  explicit WaterApp(const WaterConfig &Config);
+  ~WaterApp() override;
+
+  rt::Schedule schedule() const override;
+  const rt::DataBinding &binding(const std::string &Section) const override;
+
+  static constexpr const char *InterfSection = "INTERF";
+  static constexpr const char *PotengSection = "POTENG";
+
+  const WaterConfig &config() const { return Config; }
+
+  /// The real molecular geometry driving both sections' workloads.
+  const MolecularSystem &system() const { return Sys; }
+
+private:
+  void buildProgram();
+
+  WaterConfig Config;
+  MolecularSystem Sys;
+
+  unsigned InterfLoopId = 0;
+  unsigned InterfPairCostClass = 0;
+  unsigned PotengPartnerLoopId = 0;
+  unsigned PotengTermLoopId = 0;
+  unsigned PotengTermCostClass = 0;
+
+  std::unique_ptr<rt::DataBinding> InterfBinding;
+  std::unique_ptr<rt::DataBinding> PotengBinding;
+};
+
+} // namespace dynfb::apps::water
+
+#endif // DYNFB_APPS_WATER_WATERAPP_H

@@ -1,0 +1,54 @@
+//===- fb/Config.h - Dynamic feedback configuration -------------*- C++ -*-===//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Configuration of the dynamic feedback algorithm: the target sampling and
+/// production intervals (paper Section 4.4; defaults are the paper's
+/// experimental settings of 10 milliseconds and 100 seconds) and the
+/// optional early cut-off / policy ordering refinements of Section 4.5.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNFB_FB_CONFIG_H
+#define DYNFB_FB_CONFIG_H
+
+#include "rt/Time.h"
+
+namespace dynfb::fb {
+
+/// Tuning knobs of the dynamic feedback controller.
+struct FeedbackConfig {
+  /// Target sampling interval: each candidate version runs this long during
+  /// a sampling phase (the effective interval may be longer -- processors
+  /// only poll at iteration boundaries).
+  rt::Nanos TargetSamplingNanos = rt::millisToNanos(10.0);
+
+  /// Target production interval: the best version runs this long before the
+  /// computation resamples.
+  rt::Nanos TargetProductionNanos = rt::secondsToNanos(100.0);
+
+  /// Early cut-off (Section 4.5): stop sampling as soon as a sampled
+  /// version's total overhead falls below EarlyCutoffThreshold -- no other
+  /// policy could do significantly better. Extreme policies are tried
+  /// first.
+  bool EarlyCutoff = false;
+  double EarlyCutoffThreshold = 0.05;
+
+  /// Policy ordering (Section 4.5): sample first the version that performed
+  /// best in previous executions of the same section.
+  bool UsePolicyOrdering = false;
+
+  /// Section 4.4's proposed extension: allow sampling and production
+  /// intervals to span multiple executions of the parallel section. Each
+  /// section keeps its own phase state across occurrences, so a section too
+  /// short for one production interval still amortizes its sampling cost
+  /// over many executions.
+  bool SpanSectionExecutions = false;
+};
+
+} // namespace dynfb::fb
+
+#endif // DYNFB_FB_CONFIG_H

@@ -1,0 +1,213 @@
+//===- fb/Controller.cpp --------------------------------------------------==//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fb/Controller.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+using namespace dynfb;
+using namespace dynfb::fb;
+using namespace dynfb::rt;
+
+std::optional<unsigned> SectionExecutionTrace::dominantVersion() const {
+  if (ChosenVersions.empty())
+    return std::nullopt;
+  std::map<unsigned, unsigned> Counts;
+  for (unsigned V : ChosenVersions)
+    ++Counts[V];
+  unsigned Best = ChosenVersions.front();
+  unsigned BestCount = 0;
+  for (const auto &[V, C] : Counts)
+    if (C > BestCount) {
+      Best = V;
+      BestCount = C;
+    }
+  return Best;
+}
+
+std::vector<unsigned>
+FeedbackController::samplingOrder(unsigned NumVersions,
+                                  const std::string &SectionName) const {
+  std::vector<unsigned> Order;
+  Order.reserve(NumVersions);
+
+  // Policy ordering: the previously best version is sampled first, so a
+  // still-acceptable measurement can cut sampling short.
+  if (Config.UsePolicyOrdering && History) {
+    if (std::optional<unsigned> Last = History->lastBest(SectionName))
+      if (*Last < NumVersions)
+        Order.push_back(*Last);
+  }
+
+  if (Config.EarlyCutoff) {
+    // Extreme policies first (Section 4.5): the policy with the least
+    // locking overhead and the one with the least waiting overhead bracket
+    // the monotone overhead components.
+    const unsigned Extremes[] = {NumVersions - 1, 0u};
+    for (unsigned V : Extremes)
+      if (std::find(Order.begin(), Order.end(), V) == Order.end())
+        Order.push_back(V);
+  }
+  for (unsigned V = 0; V < NumVersions; ++V)
+    if (std::find(Order.begin(), Order.end(), V) == Order.end())
+      Order.push_back(V);
+  return Order;
+}
+
+SectionExecutionTrace
+FeedbackController::executeSection(IntervalRunner &Runner,
+                                   const std::string &SectionName) {
+  return Config.SpanSectionExecutions
+             ? executeSpanning(Runner, SectionName)
+             : executePerOccurrence(Runner, SectionName);
+}
+
+SectionExecutionTrace
+FeedbackController::executeSpanning(IntervalRunner &Runner,
+                                    const std::string &SectionName) {
+  SectionExecutionTrace Trace;
+  Trace.SectionName = SectionName;
+  Trace.StartNanos = Runner.now();
+
+  const unsigned NumVersions = Runner.numVersions();
+  assert(NumVersions >= 1 && "section with no versions");
+
+  SpanState &State = SpanStates[SectionName];
+  auto StartSamplingPhase = [&] {
+    State.Phase = SpanState::PhaseKind::Sampling;
+    State.Order = samplingOrder(NumVersions, SectionName);
+    State.OrderIdx = 0;
+    State.Overheads.assign(NumVersions, std::nullopt);
+    State.CurrentIntervalStats = OverheadStats{};
+    State.Remaining = Config.TargetSamplingNanos;
+  };
+  if (State.Order.empty())
+    StartSamplingPhase(); // First ever occurrence of this section.
+
+  while (!Runner.done()) {
+    if (State.Phase == SpanState::PhaseKind::Sampling) {
+      const unsigned V = State.Order[State.OrderIdx];
+      const IntervalReport Report = Runner.runInterval(V, State.Remaining);
+      Trace.Total.merge(Report.Stats);
+      State.CurrentIntervalStats.merge(Report.Stats);
+      State.Remaining -= Report.EffectiveNanos;
+
+      const bool IntervalDone = State.Remaining <= 0;
+      if (!IntervalDone)
+        continue; // Section ended mid-interval; resume next occurrence.
+
+      // This version's sampling interval is complete: record it.
+      const double Overhead = State.CurrentIntervalStats.totalOverhead();
+      State.Overheads[V] = Overhead;
+      ++Trace.SampledIntervals;
+      Trace.SampledOverheads.getOrCreate(Runner.versionLabel(V))
+          .addPoint(nanosToSeconds(Runner.now()), Overhead);
+      State.CurrentIntervalStats = OverheadStats{};
+      State.Remaining = Config.TargetSamplingNanos;
+      ++State.OrderIdx;
+
+      const bool CutOff = Config.EarlyCutoff &&
+                          Overhead <= Config.EarlyCutoffThreshold;
+      if (CutOff)
+        Trace.SkippedByCutoff += static_cast<unsigned>(
+            State.Order.size() - State.OrderIdx);
+      if (State.OrderIdx >= State.Order.size() || CutOff) {
+        // Sampling phase complete: pick the best and enter production.
+        std::optional<unsigned> Best;
+        for (unsigned I = 0; I < NumVersions; ++I)
+          if (State.Overheads[I] &&
+              (!Best || *State.Overheads[I] < *State.Overheads[*Best]))
+            Best = I;
+        assert(Best && "sampling phase completed without measurements");
+        if (History)
+          History->recordBest(SectionName, *Best);
+        State.Phase = SpanState::PhaseKind::Production;
+        State.ProductionVersion = *Best;
+        State.Remaining = Config.TargetProductionNanos;
+        ++Trace.SamplingPhases;
+        Trace.ChosenVersions.push_back(*Best);
+      }
+      continue;
+    }
+
+    // Production: run the chosen version until its budget is exhausted,
+    // across as many section executions as it takes.
+    const IntervalReport Report =
+        Runner.runInterval(State.ProductionVersion, State.Remaining);
+    Trace.Total.merge(Report.Stats);
+    State.Remaining -= Report.EffectiveNanos;
+    if (State.Remaining <= 0)
+      StartSamplingPhase(); // Periodic resampling.
+  }
+
+  Trace.EndNanos = Runner.now();
+  return Trace;
+}
+
+SectionExecutionTrace
+FeedbackController::executePerOccurrence(IntervalRunner &Runner,
+                                         const std::string &SectionName) {
+  SectionExecutionTrace Trace;
+  Trace.SectionName = SectionName;
+  Trace.StartNanos = Runner.now();
+
+  const unsigned NumVersions = Runner.numVersions();
+  assert(NumVersions >= 1 && "section with no versions");
+
+  while (!Runner.done()) {
+    // ---- Sampling phase: measure each candidate version's overhead. ----
+    ++Trace.SamplingPhases;
+    std::vector<std::optional<double>> Overheads(NumVersions);
+    const std::vector<unsigned> Order =
+        samplingOrder(NumVersions, SectionName);
+
+    for (size_t OIdx = 0; OIdx < Order.size(); ++OIdx) {
+      const unsigned V = Order[OIdx];
+      if (Runner.done())
+        break;
+      const IntervalReport Report =
+          Runner.runInterval(V, Config.TargetSamplingNanos);
+      ++Trace.SampledIntervals;
+      Trace.Total.merge(Report.Stats);
+      const double Overhead = Report.Stats.totalOverhead();
+      Overheads[V] = Overhead;
+      Trace.SampledOverheads.getOrCreate(Runner.versionLabel(V))
+          .addPoint(nanosToSeconds(Runner.now()), Overhead);
+      Trace.EffectiveSamplingByVersion[Runner.versionLabel(V)].add(
+          nanosToSeconds(Report.EffectiveNanos));
+      if (Config.EarlyCutoff && Overhead <= Config.EarlyCutoffThreshold) {
+        // No other policy could do significantly better: cut sampling off.
+        Trace.SkippedByCutoff +=
+            static_cast<unsigned>(Order.size() - OIdx - 1);
+        break;
+      }
+    }
+
+    // Pick the sampled version with the least total overhead (ties resolve
+    // to the lowest version index, i.e. the earliest policy).
+    std::optional<unsigned> Best;
+    for (unsigned V = 0; V < NumVersions; ++V)
+      if (Overheads[V] && (!Best || *Overheads[V] < *Overheads[*Best]))
+        Best = V;
+    if (!Best)
+      break; // The section finished before anything could be sampled.
+    if (History)
+      History->recordBest(SectionName, *Best);
+    if (Runner.done())
+      break;
+
+    // ---- Production phase: run the best version. ----
+    Trace.ChosenVersions.push_back(*Best);
+    const IntervalReport Report =
+        Runner.runInterval(*Best, Config.TargetProductionNanos);
+    Trace.Total.merge(Report.Stats);
+  }
+
+  Trace.EndNanos = Runner.now();
+  return Trace;
+}

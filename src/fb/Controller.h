@@ -1,0 +1,133 @@
+//===- fb/Controller.h - The dynamic feedback algorithm ---------*- C++ -*-===//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's core technique. A parallel section executes an alternating
+/// sequence of sampling and production phases: each sampling phase runs
+/// every candidate code version for a target sampling interval and measures
+/// its total overhead ((locking + waiting) / execution time, Section 4.3);
+/// each production phase runs the version with the least sampled overhead
+/// for a target production interval; the computation then resamples,
+/// adapting dynamically if the best version has changed. Switching is
+/// synchronous at iteration-boundary switch points (Section 4.1).
+/// Optional refinements (Section 4.5): early cut-off of the sampling phase
+/// and sampling-order selection from past executions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNFB_FB_CONTROLLER_H
+#define DYNFB_FB_CONTROLLER_H
+
+#include "fb/Config.h"
+#include "rt/IntervalRunner.h"
+#include "support/Statistics.h"
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dynfb::fb {
+
+/// Cross-execution memory: the best version observed per section, used by
+/// the policy-ordering refinement.
+class PolicyHistory {
+public:
+  std::optional<unsigned> lastBest(const std::string &Section) const {
+    auto It = Best.find(Section);
+    if (It == Best.end())
+      return std::nullopt;
+    return It->second;
+  }
+  void recordBest(const std::string &Section, unsigned Version) {
+    Best[Section] = Version;
+  }
+
+private:
+  std::map<std::string, unsigned> Best;
+};
+
+/// Everything observed while executing one occurrence of a parallel section
+/// under dynamic feedback.
+struct SectionExecutionTrace {
+  std::string SectionName;
+  rt::Nanos StartNanos = 0;
+  rt::Nanos EndNanos = 0;
+
+  /// Aggregate measurements over the whole occurrence (sampling and
+  /// production phases).
+  rt::OverheadStats Total;
+
+  /// Sampled overhead time series, one series per version label: the data
+  /// behind the paper's Figures 5, 8 and 9.
+  SeriesSet SampledOverheads;
+
+  /// Version chosen for each production phase, in order.
+  std::vector<unsigned> ChosenVersions;
+
+  /// Effective sampling interval statistics per version label (Table 5
+  /// and Tables 11/12).
+  std::map<std::string, RunningStat> EffectiveSamplingByVersion;
+
+  unsigned SamplingPhases = 0;
+  unsigned SampledIntervals = 0;
+  unsigned SkippedByCutoff = 0; ///< Versions not sampled due to early cut-off.
+
+  rt::Nanos durationNanos() const { return EndNanos - StartNanos; }
+
+  /// The version used for the most production time (the de-facto decision).
+  std::optional<unsigned> dominantVersion() const;
+};
+
+/// Drives one or more section occurrences with the dynamic feedback
+/// algorithm.
+class FeedbackController {
+public:
+  explicit FeedbackController(FeedbackConfig Config,
+                              PolicyHistory *History = nullptr)
+      : Config(Config), History(History) {}
+
+  /// Executes the section behind \p Runner to completion. With
+  /// SpanSectionExecutions set, phase state persists inside the controller
+  /// across calls for the same section name (Section 4.4's extension).
+  SectionExecutionTrace executeSection(rt::IntervalRunner &Runner,
+                                       const std::string &SectionName);
+
+  /// The order in which versions are sampled, given the configuration and
+  /// any history for this section (exposed for tests).
+  std::vector<unsigned> samplingOrder(unsigned NumVersions,
+                                      const std::string &SectionName) const;
+
+private:
+  /// Cross-occurrence phase state for one section (spanning mode).
+  struct SpanState {
+    enum class PhaseKind { Sampling, Production } Phase =
+        PhaseKind::Sampling;
+    /// Sampling: position in the sampling order and per-version overheads
+    /// accumulated for the current sampling phase.
+    unsigned OrderIdx = 0;
+    std::vector<unsigned> Order;
+    std::vector<std::optional<double>> Overheads;
+    rt::OverheadStats CurrentIntervalStats;
+    /// Remaining budget of the interval currently in progress.
+    rt::Nanos Remaining = 0;
+    /// Production: the version being run.
+    unsigned ProductionVersion = 0;
+  };
+
+  SectionExecutionTrace executeSpanning(rt::IntervalRunner &Runner,
+                                        const std::string &SectionName);
+  SectionExecutionTrace executePerOccurrence(rt::IntervalRunner &Runner,
+                                             const std::string &SectionName);
+
+  const FeedbackConfig Config;
+  PolicyHistory *const History;
+  std::map<std::string, SpanState> SpanStates;
+};
+
+} // namespace dynfb::fb
+
+#endif // DYNFB_FB_CONTROLLER_H

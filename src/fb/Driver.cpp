@@ -1,0 +1,76 @@
+//===- fb/Driver.cpp ------------------------------------------------------==//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fb/Driver.h"
+
+#include "support/Compiler.h"
+
+#include <limits>
+
+using namespace dynfb;
+using namespace dynfb::fb;
+using namespace dynfb::rt;
+
+SeriesSet RunResult::mergedOverheadSeries(const std::string &Section) const {
+  SeriesSet Merged;
+  for (const SectionExecutionTrace &Trace : Occurrences) {
+    if (Trace.SectionName != Section)
+      continue;
+    for (const Series &S : Trace.SampledOverheads.all()) {
+      Series &Dst = Merged.getOrCreate(S.Label);
+      for (size_t I = 0; I < S.size(); ++I)
+        Dst.addPoint(S.Times[I], S.Values[I]);
+    }
+  }
+  return Merged;
+}
+
+/// Runs one section occurrence with a fixed version: a single interval with
+/// an effectively unbounded target.
+static SectionExecutionTrace runFixed(IntervalRunner &Runner,
+                                      const std::string &Name) {
+  SectionExecutionTrace Trace;
+  Trace.SectionName = Name;
+  Trace.StartNanos = Runner.now();
+  // Large but overflow-safe target.
+  const Nanos Unbounded = std::numeric_limits<Nanos>::max() / 4;
+  while (!Runner.done()) {
+    const IntervalReport Report = Runner.runInterval(0, Unbounded);
+    Trace.Total.merge(Report.Stats);
+    if (Report.Finished)
+      break;
+  }
+  Trace.EndNanos = Runner.now();
+  return Trace;
+}
+
+RunResult fb::runSchedule(ExecutionBackend &Backend, const Schedule &Sched,
+                          const RunOptions &Options) {
+  RunResult Result;
+  const Nanos Start = Backend.now();
+  FeedbackController Controller(Options.Config, Options.History);
+
+  for (const Phase &P : Sched) {
+    switch (P.K) {
+    case Phase::Kind::Serial:
+      Backend.runSerial(P.SerialNanos);
+      break;
+    case Phase::Kind::Parallel: {
+      std::unique_ptr<IntervalRunner> Runner =
+          Backend.beginSection(P.SectionName);
+      SectionExecutionTrace Trace =
+          Options.Mode == ExecMode::Dynamic
+              ? Controller.executeSection(*Runner, P.SectionName)
+              : runFixed(*Runner, P.SectionName);
+      Result.ParallelStats.merge(Trace.Total);
+      Result.Occurrences.push_back(std::move(Trace));
+      break;
+    }
+    }
+  }
+  Result.TotalNanos = Backend.now() - Start;
+  return Result;
+}

@@ -1,0 +1,59 @@
+//===- fb/Driver.h - Whole-run execution driver -----------------*- C++ -*-===//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes an application's phase schedule (alternating serial phases and
+/// parallel sections) against an execution backend, either under dynamic
+/// feedback or with a fixed statically-chosen version -- the four
+/// executable flavours of the paper's experiments (Original / Bounded /
+/// Aggressive / Dynamic).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNFB_FB_DRIVER_H
+#define DYNFB_FB_DRIVER_H
+
+#include "fb/Controller.h"
+#include "rt/Backend.h"
+
+#include <string>
+#include <vector>
+
+namespace dynfb::fb {
+
+/// How sections are executed.
+enum class ExecMode {
+  Dynamic, ///< Dynamic feedback over all registered versions.
+  Fixed    ///< Always run version 0 (the backend registers exactly the
+           ///< statically chosen version).
+};
+
+/// Options of one run.
+struct RunOptions {
+  ExecMode Mode = ExecMode::Dynamic;
+  FeedbackConfig Config;
+  PolicyHistory *History = nullptr; ///< Optional, for policy ordering.
+};
+
+/// Result of one run.
+struct RunResult {
+  rt::Nanos TotalNanos = 0;      ///< End-to-end (virtual) execution time.
+  rt::OverheadStats ParallelStats; ///< Aggregated over all parallel sections.
+  std::vector<SectionExecutionTrace> Occurrences; ///< One per section phase.
+
+  /// Merges the sampled-overhead series of every occurrence of \p Section
+  /// into one SeriesSet (absolute times; the gaps between occurrences are
+  /// the serial phases, as in the paper's time-series figures).
+  SeriesSet mergedOverheadSeries(const std::string &Section) const;
+};
+
+/// Runs \p Sched on \p Backend.
+RunResult runSchedule(rt::ExecutionBackend &Backend,
+                      const rt::Schedule &Sched, const RunOptions &Options);
+
+} // namespace dynfb::fb
+
+#endif // DYNFB_FB_DRIVER_H

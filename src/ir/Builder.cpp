@@ -1,0 +1,66 @@
+//===- ir/Builder.cpp -----------------------------------------------------==//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Builder.h"
+
+#include <cassert>
+
+using namespace dynfb::ir;
+
+MethodBuilder::MethodBuilder(Module &M, Method *Target)
+    : M(M), Target(Target) {
+  assert(Target && "builder needs a target method");
+}
+
+MethodBuilder::~MethodBuilder() {
+  assert(OpenLoops.empty() && "method builder destroyed with open loops");
+}
+
+std::vector<Stmt *> &MethodBuilder::current() {
+  return OpenLoops.empty() ? Target->body() : OpenLoops.back()->Body;
+}
+
+unsigned MethodBuilder::compute(std::vector<const Expr *> Reads) {
+  const unsigned CC = M.nextCostClass();
+  current().push_back(M.createCompute(CC, std::move(Reads)));
+  return CC;
+}
+
+void MethodBuilder::computeWithClass(unsigned CostClass,
+                                     std::vector<const Expr *> Reads) {
+  current().push_back(M.createCompute(CostClass, std::move(Reads)));
+}
+
+void MethodBuilder::update(Receiver Recv, unsigned Field, BinOp Op,
+                           const Expr *Value) {
+  current().push_back(M.createUpdate(Recv, Field, Op, Value));
+}
+
+void MethodBuilder::call(const Method *Callee, Receiver Recv,
+                         std::vector<Receiver> ObjArgs) {
+  current().push_back(M.createCall(Callee, Recv, std::move(ObjArgs)));
+}
+
+unsigned MethodBuilder::beginLoop() {
+  const unsigned Id = M.nextLoopId();
+  LoopStmt *L = M.createLoop(Id, {});
+  current().push_back(L);
+  OpenLoops.push_back(L);
+  return Id;
+}
+
+void MethodBuilder::endLoop() {
+  assert(!OpenLoops.empty() && "endLoop without beginLoop");
+  OpenLoops.pop_back();
+}
+
+void MethodBuilder::acquire(Receiver Recv) {
+  current().push_back(M.createAcquire(Recv));
+}
+
+void MethodBuilder::release(Receiver Recv) {
+  current().push_back(M.createRelease(Recv));
+}

@@ -1,0 +1,70 @@
+//===- ir/Builder.h - Fluent method-body construction ----------*- C++ -*-===//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// MethodBuilder assembles method bodies with an insertion-point stack, in
+/// the spirit of llvm::IRBuilder. Applications author their IR programs
+/// through this interface; explicit Acquire/Release statements are normally
+/// inserted later by the synchronization passes, not by hand.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNFB_IR_BUILDER_H
+#define DYNFB_IR_BUILDER_H
+
+#include "ir/Module.h"
+
+#include <vector>
+
+namespace dynfb::ir {
+
+/// Builds the body of one method. Loops are opened with beginLoop() (which
+/// returns the module-unique loop id usable in ParamIndexed receivers and
+/// data bindings) and closed with endLoop().
+class MethodBuilder {
+public:
+  MethodBuilder(Module &M, Method *Target);
+  ~MethodBuilder();
+
+  /// Appends a pure computation with a fresh module-unique cost class;
+  /// returns the cost class so the data binding can price it.
+  unsigned compute(std::vector<const Expr *> Reads = {});
+
+  /// Appends a pure computation with an existing cost class (for several
+  /// sites sharing one kernel).
+  void computeWithClass(unsigned CostClass,
+                        std::vector<const Expr *> Reads = {});
+
+  /// Appends the commuting update `recv->field = recv->field <op> value`.
+  void update(Receiver Recv, unsigned Field, BinOp Op, const Expr *Value);
+
+  /// Appends a method invocation.
+  void call(const Method *Callee, Receiver Recv,
+            std::vector<Receiver> ObjArgs = {});
+
+  /// Opens a counted loop and returns its module-unique id. Statements
+  /// appended until the matching endLoop() form the loop body.
+  unsigned beginLoop();
+
+  /// Closes the innermost open loop.
+  void endLoop();
+
+  /// Appends an explicit acquire/release (used by tests and passes; app
+  /// code normally relies on the default-placement pass).
+  void acquire(Receiver Recv);
+  void release(Receiver Recv);
+
+private:
+  std::vector<Stmt *> &current();
+
+  Module &M;
+  Method *const Target;
+  std::vector<LoopStmt *> OpenLoops;
+};
+
+} // namespace dynfb::ir
+
+#endif // DYNFB_IR_BUILDER_H

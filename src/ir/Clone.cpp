@@ -1,0 +1,105 @@
+//===- ir/Clone.cpp -------------------------------------------------------==//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Clone.h"
+
+#include "support/Compiler.h"
+
+#include <cassert>
+#include <set>
+
+using namespace dynfb;
+using namespace dynfb::ir;
+
+Stmt *ir::cloneStmt(Module &M, const Stmt *S,
+                    const std::map<const Method *, Method *> &CalleeMap) {
+  switch (S->kind()) {
+  case StmtKind::Compute: {
+    const auto &C = stmtCast<ComputeStmt>(S);
+    return M.createCompute(C.CostClass, C.Reads);
+  }
+  case StmtKind::Update: {
+    const auto &U = stmtCast<UpdateStmt>(S);
+    return M.createUpdate(U.Recv, U.Field, U.Op, U.Value);
+  }
+  case StmtKind::Acquire:
+    return M.createAcquire(stmtCast<AcquireStmt>(S).Recv);
+  case StmtKind::Release:
+    return M.createRelease(stmtCast<ReleaseStmt>(S).Recv);
+  case StmtKind::Call: {
+    const auto &C = stmtCast<CallStmt>(S);
+    const Method *Target = C.callee();
+    auto It = CalleeMap.find(Target);
+    if (It != CalleeMap.end())
+      Target = It->second;
+    return M.createCall(Target, C.Recv, C.ObjArgs);
+  }
+  case StmtKind::Loop: {
+    const auto &L = stmtCast<LoopStmt>(S);
+    std::vector<Stmt *> Body;
+    Body.reserve(L.Body.size());
+    for (const Stmt *Child : L.Body)
+      Body.push_back(cloneStmt(M, Child, CalleeMap));
+    return M.createLoop(L.LoopId, std::move(Body));
+  }
+  }
+  DYNFB_UNREACHABLE("invalid statement kind");
+}
+
+namespace {
+
+/// Collects the called-method closure in post order (callees first) so each
+/// clone can retarget to already-cloned callees.
+void collectClosure(const Method *M, std::vector<const Method *> &PostOrder,
+                    std::set<const Method *> &Visited,
+                    std::set<const Method *> &OnStack) {
+  if (Visited.count(M))
+    return;
+  assert(!OnStack.count(M) && "recursive method closure cannot be cloned");
+  OnStack.insert(M);
+
+  // Walk the body for call statements.
+  std::vector<const std::vector<Stmt *> *> Work{&M->body()};
+  std::vector<const Method *> Callees;
+  while (!Work.empty()) {
+    const std::vector<Stmt *> *List = Work.back();
+    Work.pop_back();
+    for (const Stmt *S : *List) {
+      if (const auto *C = stmtDynCast<CallStmt>(S))
+        Callees.push_back(C->callee());
+      else if (const auto *L = stmtDynCast<LoopStmt>(S))
+        Work.push_back(&L->Body);
+    }
+  }
+  for (const Method *Callee : Callees)
+    collectClosure(Callee, PostOrder, Visited, OnStack);
+
+  OnStack.erase(M);
+  Visited.insert(M);
+  PostOrder.push_back(M);
+}
+
+} // namespace
+
+CloneResult ir::cloneMethodClosure(Module &M, const Method *Root,
+                                   const std::string &Suffix) {
+  std::vector<const Method *> PostOrder;
+  std::set<const Method *> Visited, OnStack;
+  collectClosure(Root, PostOrder, Visited, OnStack);
+
+  CloneResult Result;
+  for (const Method *Orig : PostOrder) {
+    Method *Clone = M.createMethod(Orig->name() + Suffix, Orig->owner());
+    Clone->setSynthetic();
+    for (const Param &P : Orig->params())
+      Clone->addParam(P);
+    for (const Stmt *S : Orig->body())
+      Clone->body().push_back(cloneStmt(M, S, Result.Map));
+    Result.Map[Orig] = Clone;
+  }
+  Result.Root = Result.Map.at(Root);
+  return Result;
+}

@@ -1,0 +1,45 @@
+//===- ir/Clone.h - Deep cloning of method closures ------------*- C++ -*-===//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deep-clones a method together with every method it (transitively) calls,
+/// producing fresh synthetic methods the synchronization optimizer can
+/// mutate without disturbing the original program. Loop ids and compute
+/// cost classes are preserved so data bindings remain valid across versions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNFB_IR_CLONE_H
+#define DYNFB_IR_CLONE_H
+
+#include "ir/Module.h"
+
+#include <map>
+#include <string>
+
+namespace dynfb::ir {
+
+/// Result of cloning a method closure.
+struct CloneResult {
+  Method *Root = nullptr;
+  std::map<const Method *, Method *> Map; ///< original -> clone
+};
+
+/// Clones the closure rooted at \p Root into \p M. Clone names get
+/// \p Suffix appended. Calls inside clones are retargeted to the cloned
+/// callees. Requires the closure to be acyclic (no recursion), which holds
+/// for all programs in this repository and is asserted.
+CloneResult cloneMethodClosure(Module &M, const Method *Root,
+                               const std::string &Suffix);
+
+/// Clones a single statement tree, retargeting calls through \p CalleeMap
+/// (calls to methods absent from the map keep their original target).
+Stmt *cloneStmt(Module &M, const Stmt *S,
+                const std::map<const Method *, Method *> &CalleeMap);
+
+} // namespace dynfb::ir
+
+#endif // DYNFB_IR_CLONE_H

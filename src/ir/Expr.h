@@ -1,0 +1,176 @@
+//===- ir/Expr.h - Expression nodes ----------------------------*- C++ -*-===//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Side-effect-free expression trees. Expressions appear as the right-hand
+/// sides of commuting field updates (`sum = sum + interact(...)`) and as the
+/// documented reads of compute statements. Commutativity analysis (paper
+/// Section 2) inspects them to decide which fields an operation reads.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNFB_IR_EXPR_H
+#define DYNFB_IR_EXPR_H
+
+#include "ir/Receiver.h"
+
+#include <cassert>
+#include <string>
+#include <vector>
+
+namespace dynfb::ir {
+
+/// Discriminator for Expr subclasses (LLVM-style hand-rolled RTTI).
+enum class ExprKind {
+  FieldRead,  ///< recv->field
+  ParamRead,  ///< scalar parameter
+  ConstFloat, ///< floating constant
+  Binary,     ///< binary arithmetic
+  ExternCall  ///< call to a pure external function (e.g. `interact`)
+};
+
+/// Binary operators. The commuting subset (Add, Mul, Min, Max) is what makes
+/// field updates commute; Assign models a plain overwrite, which never
+/// commutes with another update of the same field.
+enum class BinOp { Add, Sub, Mul, Div, Min, Max, Assign };
+
+/// Returns true if `f = f <op> e1` and `f = f <op> e2` produce the same
+/// final value of `f` in either order (associative + commutative operator).
+inline bool isCommutingOp(BinOp Op) {
+  switch (Op) {
+  case BinOp::Add:
+  case BinOp::Mul:
+  case BinOp::Min:
+  case BinOp::Max:
+    return true;
+  case BinOp::Sub:
+  case BinOp::Div:
+  case BinOp::Assign:
+    return false;
+  }
+  return false;
+}
+
+/// Returns the source spelling of \p Op.
+inline const char *binOpName(BinOp Op) {
+  switch (Op) {
+  case BinOp::Add:
+    return "+";
+  case BinOp::Sub:
+    return "-";
+  case BinOp::Mul:
+    return "*";
+  case BinOp::Div:
+    return "/";
+  case BinOp::Min:
+    return "min";
+  case BinOp::Max:
+    return "max";
+  case BinOp::Assign:
+    return "=";
+  }
+  return "?";
+}
+
+/// Base class of all expressions. Expressions are immutable once built and
+/// arena-owned by their Module.
+class Expr {
+public:
+  ExprKind kind() const { return Kind; }
+  virtual ~Expr() = default;
+
+protected:
+  explicit Expr(ExprKind Kind) : Kind(Kind) {}
+
+private:
+  const ExprKind Kind;
+};
+
+/// Read of `recv->field`.
+class FieldReadExpr : public Expr {
+public:
+  FieldReadExpr(Receiver Recv, unsigned Field)
+      : Expr(ExprKind::FieldRead), Recv(Recv), Field(Field) {}
+
+  static bool classof(const Expr *E) {
+    return E->kind() == ExprKind::FieldRead;
+  }
+
+  const Receiver Recv;
+  const unsigned Field;
+};
+
+/// Read of a scalar (non-object) parameter.
+class ParamReadExpr : public Expr {
+public:
+  explicit ParamReadExpr(unsigned ParamIdx)
+      : Expr(ExprKind::ParamRead), ParamIdx(ParamIdx) {}
+
+  static bool classof(const Expr *E) {
+    return E->kind() == ExprKind::ParamRead;
+  }
+
+  const unsigned ParamIdx;
+};
+
+/// Floating-point constant.
+class ConstFloatExpr : public Expr {
+public:
+  explicit ConstFloatExpr(double Value)
+      : Expr(ExprKind::ConstFloat), Value(Value) {}
+
+  static bool classof(const Expr *E) {
+    return E->kind() == ExprKind::ConstFloat;
+  }
+
+  const double Value;
+};
+
+/// Binary arithmetic on two subexpressions.
+class BinaryExpr : public Expr {
+public:
+  BinaryExpr(BinOp Op, const Expr *LHS, const Expr *RHS)
+      : Expr(ExprKind::Binary), Op(Op), LHS(LHS), RHS(RHS) {
+    assert(LHS && RHS && "binary expression with null operand");
+  }
+
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::Binary; }
+
+  const BinOp Op;
+  const Expr *const LHS;
+  const Expr *const RHS;
+};
+
+/// Call to a pure external function (no side effects, result depends only on
+/// the arguments) -- e.g. `interact(this->pos, b->pos)` in the paper's
+/// Figure 1.
+class ExternCallExpr : public Expr {
+public:
+  ExternCallExpr(std::string Name, std::vector<const Expr *> Args)
+      : Expr(ExprKind::ExternCall), Name(std::move(Name)),
+        Args(std::move(Args)) {}
+
+  static bool classof(const Expr *E) {
+    return E->kind() == ExprKind::ExternCall;
+  }
+
+  const std::string Name;
+  const std::vector<const Expr *> Args;
+};
+
+/// Checked downcast helpers in the spirit of llvm::cast/dyn_cast, scoped to
+/// the Expr hierarchy.
+template <typename T> const T *exprDynCast(const Expr *E) {
+  return E && T::classof(E) ? static_cast<const T *>(E) : nullptr;
+}
+template <typename T> const T &exprCast(const Expr *E) {
+  assert(E && T::classof(E) && "invalid exprCast");
+  return *static_cast<const T *>(E);
+}
+
+} // namespace dynfb::ir
+
+#endif // DYNFB_IR_EXPR_H

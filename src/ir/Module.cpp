@@ -1,0 +1,107 @@
+//===- ir/Module.cpp ------------------------------------------------------==//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Module.h"
+
+using namespace dynfb::ir;
+
+template <typename T, typename... ArgTs>
+T *Module::allocStmt(ArgTs &&...Args) {
+  auto Owned = std::make_unique<T>(std::forward<ArgTs>(Args)...);
+  T *Raw = Owned.get();
+  StmtArena.push_back(std::move(Owned));
+  return Raw;
+}
+
+template <typename T, typename... ArgTs>
+const T *Module::allocExpr(ArgTs &&...Args) {
+  auto Owned = std::make_unique<T>(std::forward<ArgTs>(Args)...);
+  const T *Raw = Owned.get();
+  ExprArena.push_back(std::move(Owned));
+  return Raw;
+}
+
+ClassDecl *Module::createClass(std::string ClassName) {
+  Classes.push_back(
+      std::make_unique<ClassDecl>(NextClassId++, std::move(ClassName)));
+  return Classes.back().get();
+}
+
+Method *Module::createMethod(std::string MethodName, const ClassDecl *Owner) {
+  Methods.push_back(
+      std::make_unique<Method>(NextMethodId++, std::move(MethodName), Owner));
+  return Methods.back().get();
+}
+
+ParallelSection *Module::addSection(std::string SectionName,
+                                    const Method *IterMethod) {
+  Sections.push_back(ParallelSection{std::move(SectionName), IterMethod});
+  return &Sections.back();
+}
+
+ComputeStmt *Module::createCompute(unsigned CostClass,
+                                   std::vector<const Expr *> Reads) {
+  return allocStmt<ComputeStmt>(CostClass, std::move(Reads));
+}
+
+UpdateStmt *Module::createUpdate(Receiver Recv, unsigned Field, BinOp Op,
+                                 const Expr *Value) {
+  return allocStmt<UpdateStmt>(Recv, Field, Op, Value);
+}
+
+AcquireStmt *Module::createAcquire(Receiver Recv) {
+  return allocStmt<AcquireStmt>(Recv);
+}
+
+ReleaseStmt *Module::createRelease(Receiver Recv) {
+  return allocStmt<ReleaseStmt>(Recv);
+}
+
+CallStmt *Module::createCall(const Method *Callee, Receiver Recv,
+                             std::vector<Receiver> ObjArgs) {
+  return allocStmt<CallStmt>(Callee, Recv, std::move(ObjArgs));
+}
+
+LoopStmt *Module::createLoop(unsigned LoopId, std::vector<Stmt *> Body) {
+  return allocStmt<LoopStmt>(LoopId, std::move(Body));
+}
+
+const FieldReadExpr *Module::exprFieldRead(Receiver Recv, unsigned Field) {
+  return allocExpr<FieldReadExpr>(Recv, Field);
+}
+
+const ParamReadExpr *Module::exprParamRead(unsigned ParamIdx) {
+  return allocExpr<ParamReadExpr>(ParamIdx);
+}
+
+const ConstFloatExpr *Module::exprConst(double Value) {
+  return allocExpr<ConstFloatExpr>(Value);
+}
+
+const BinaryExpr *Module::exprBinary(BinOp Op, const Expr *LHS,
+                                     const Expr *RHS) {
+  return allocExpr<BinaryExpr>(Op, LHS, RHS);
+}
+
+const ExternCallExpr *Module::exprExternCall(std::string FnName,
+                                             std::vector<const Expr *> Args) {
+  return allocExpr<ExternCallExpr>(std::move(FnName), std::move(Args));
+}
+
+const Method *Module::findMethod(const std::string &MethodName) const {
+  for (const auto &M : Methods)
+    if (M->name() == MethodName)
+      return M.get();
+  return nullptr;
+}
+
+const ParallelSection *
+Module::findSection(const std::string &SectionName) const {
+  for (const ParallelSection &S : Sections)
+    if (S.Name == SectionName)
+      return &S;
+  return nullptr;
+}

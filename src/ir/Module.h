@@ -1,0 +1,119 @@
+//===- ir/Module.h - Top-level IR container --------------------*- C++ -*-===//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Module owns every IR entity (classes, methods, statements,
+/// expressions) in arena style and hands out stable pointers. It also
+/// allocates module-unique loop ids so bindings survive cloning.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNFB_IR_MODULE_H
+#define DYNFB_IR_MODULE_H
+
+#include "ir/Decl.h"
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dynfb::ir {
+
+/// Arena-owning container of one program.
+class Module {
+public:
+  explicit Module(std::string Name) : Name(std::move(Name)) {}
+
+  Module(const Module &) = delete;
+  Module &operator=(const Module &) = delete;
+
+  const std::string &name() const { return Name; }
+
+  /// Creates a class declaration owned by this module.
+  ClassDecl *createClass(std::string ClassName);
+
+  /// Creates a method owned by this module.
+  Method *createMethod(std::string MethodName, const ClassDecl *Owner);
+
+  /// Allocates a fresh module-unique loop id.
+  unsigned nextLoopId() { return NextLoopId++; }
+
+  /// Allocates a fresh module-unique compute cost class.
+  unsigned nextCostClass() { return NextCostClass++; }
+
+  /// Marks \p Id as used so future nextLoopId() calls stay unique (the
+  /// textual parser reconstructs printed ids).
+  void reserveLoopId(unsigned Id) {
+    if (Id >= NextLoopId)
+      NextLoopId = Id + 1;
+  }
+
+  /// Marks \p CC as used so future nextCostClass() calls stay unique.
+  void reserveCostClass(unsigned CC) {
+    if (CC >= NextCostClass)
+      NextCostClass = CC + 1;
+  }
+
+  /// Registers a parallel section. The entry method's receiver class is the
+  /// iteration class.
+  ParallelSection *addSection(std::string SectionName,
+                              const Method *IterMethod);
+
+  /// Statement factories. All returned pointers stay valid for the module's
+  /// lifetime.
+  ComputeStmt *createCompute(unsigned CostClass,
+                             std::vector<const Expr *> Reads = {});
+  UpdateStmt *createUpdate(Receiver Recv, unsigned Field, BinOp Op,
+                           const Expr *Value);
+  AcquireStmt *createAcquire(Receiver Recv);
+  ReleaseStmt *createRelease(Receiver Recv);
+  CallStmt *createCall(const Method *Callee, Receiver Recv,
+                       std::vector<Receiver> ObjArgs = {});
+  LoopStmt *createLoop(unsigned LoopId, std::vector<Stmt *> Body);
+
+  /// Expression factories.
+  const FieldReadExpr *exprFieldRead(Receiver Recv, unsigned Field);
+  const ParamReadExpr *exprParamRead(unsigned ParamIdx);
+  const ConstFloatExpr *exprConst(double Value);
+  const BinaryExpr *exprBinary(BinOp Op, const Expr *LHS, const Expr *RHS);
+  const ExternCallExpr *exprExternCall(std::string FnName,
+                                       std::vector<const Expr *> Args);
+
+  const std::vector<std::unique_ptr<ClassDecl>> &classes() const {
+    return Classes;
+  }
+  const std::vector<std::unique_ptr<Method>> &methods() const {
+    return Methods;
+  }
+  const std::vector<ParallelSection> &sections() const { return Sections; }
+
+  /// Finds a method by name; returns nullptr if absent.
+  const Method *findMethod(const std::string &MethodName) const;
+
+  /// Finds a section by name; returns nullptr if absent.
+  const ParallelSection *findSection(const std::string &SectionName) const;
+
+private:
+  template <typename T, typename... ArgTs> T *allocStmt(ArgTs &&...Args);
+  template <typename T, typename... ArgTs>
+  const T *allocExpr(ArgTs &&...Args);
+
+  const std::string Name;
+  std::vector<std::unique_ptr<ClassDecl>> Classes;
+  std::vector<std::unique_ptr<Method>> Methods;
+  std::vector<ParallelSection> Sections;
+  std::deque<std::unique_ptr<Stmt>> StmtArena;
+  std::deque<std::unique_ptr<Expr>> ExprArena;
+  unsigned NextLoopId = 0;
+  unsigned NextCostClass = 0;
+  unsigned NextClassId = 0;
+  unsigned NextMethodId = 0;
+};
+
+} // namespace dynfb::ir
+
+#endif // DYNFB_IR_MODULE_H

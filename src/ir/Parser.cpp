@@ -1,0 +1,652 @@
+//===- ir/Parser.cpp ------------------------------------------------------==//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Parser.h"
+
+#include "support/StringUtils.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <optional>
+#include <vector>
+
+using namespace dynfb;
+using namespace dynfb::ir;
+
+namespace {
+
+// ------------------------------- Lexer -------------------------------------
+
+struct Token {
+  enum class Kind { Ident, Number, Punct, End } K = Kind::End;
+  std::string Text;
+  unsigned Line = 1;
+
+  bool is(const char *P) const {
+    return K == Kind::Punct && Text == P;
+  }
+  bool isIdent(const char *S) const {
+    return K == Kind::Ident && Text == S;
+  }
+};
+
+class Lexer {
+public:
+  explicit Lexer(const std::string &Text) : Text(Text) { tokenize(); }
+
+  const std::vector<Token> &tokens() const { return Tokens; }
+
+private:
+  void tokenize() {
+    size_t I = 0;
+    unsigned Line = 1;
+    const size_t N = Text.size();
+    while (I < N) {
+      const char C = Text[I];
+      if (C == '\n') {
+        ++Line;
+        ++I;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(C))) {
+        ++I;
+        continue;
+      }
+      if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+        // '$' participates in identifiers so compiler-generated version
+        // names (one_interaction$agg, ...) round-trip.
+        size_t J = I;
+        while (J < N && (std::isalnum(static_cast<unsigned char>(Text[J])) ||
+                         Text[J] == '_' || Text[J] == '$'))
+          ++J;
+        Tokens.push_back({Token::Kind::Ident, Text.substr(I, J - I), Line});
+        I = J;
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(C))) {
+        size_t J = I;
+        while (J < N && (std::isalnum(static_cast<unsigned char>(Text[J])) ||
+                         Text[J] == '.' || Text[J] == '+' ||
+                         Text[J] == '-')) {
+          // Stop a number before ".." (range punctuation) and before
+          // +/- that is not an exponent sign.
+          if (Text[J] == '.' && J + 1 < N && Text[J + 1] == '.')
+            break;
+          if ((Text[J] == '+' || Text[J] == '-') &&
+              !(J > I && (Text[J - 1] == 'e' || Text[J - 1] == 'E')))
+            break;
+          ++J;
+        }
+        Tokens.push_back({Token::Kind::Number, Text.substr(I, J - I), Line});
+        I = J;
+        continue;
+      }
+      // Multi-character punctuation.
+      if (C == ':' && I + 1 < N && Text[I + 1] == ':') {
+        Tokens.push_back({Token::Kind::Punct, "::", Line});
+        I += 2;
+        continue;
+      }
+      if (C == '-' && I + 1 < N && Text[I + 1] == '>') {
+        Tokens.push_back({Token::Kind::Punct, "->", Line});
+        I += 2;
+        continue;
+      }
+      if (C == '.' && I + 1 < N && Text[I + 1] == '.') {
+        Tokens.push_back({Token::Kind::Punct, "..", Line});
+        I += 2;
+        continue;
+      }
+      Tokens.push_back({Token::Kind::Punct, std::string(1, C), Line});
+      ++I;
+    }
+    Tokens.push_back({Token::Kind::End, "", Line});
+  }
+
+  const std::string &Text;
+  std::vector<Token> Tokens;
+};
+
+// ------------------------------- Parser ------------------------------------
+
+class Parser {
+public:
+  explicit Parser(const std::string &Text) : Lex(Text) {}
+
+  ParseResult run() {
+    parseTopLevel();
+    ParseResult Result;
+    if (!Error.empty()) {
+      Result.Error = Error;
+      return Result;
+    }
+    Result.M = std::move(M);
+    return Result;
+  }
+
+private:
+  // --- token cursor helpers ---
+  const Token &peek(size_t Ahead = 0) const {
+    const auto &Tokens = Lex.tokens();
+    const size_t I = std::min(Pos + Ahead, Tokens.size() - 1);
+    return Tokens[I];
+  }
+  const Token &next() {
+    const Token &T = peek();
+    if (T.K != Token::Kind::End)
+      ++Pos;
+    return T;
+  }
+  bool accept(const char *P) {
+    if (peek().is(P)) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+  bool acceptIdent(const char *S) {
+    if (peek().isIdent(S)) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+  void fail(const std::string &Msg) {
+    if (Error.empty())
+      Error = format("line %u: ", peek().Line) + Msg + " (got '" +
+              peek().Text + "')";
+  }
+  bool expect(const char *P) {
+    if (accept(P))
+      return true;
+    fail(std::string("expected '") + P + "'");
+    return false;
+  }
+  std::optional<std::string> expectIdent() {
+    if (peek().K == Token::Kind::Ident)
+      return next().Text;
+    fail("expected identifier");
+    return std::nullopt;
+  }
+
+  // --- symbol tables ---
+  ClassDecl *findClass(const std::string &Name) {
+    for (const auto &C : M->classes())
+      if (C->name() == Name)
+        return const_cast<ClassDecl *>(C.get());
+    return nullptr;
+  }
+  Method *findMethod(const ClassDecl *Owner, const std::string &Name) {
+    for (const auto &Meth : M->methods())
+      if (Meth->owner() == Owner && Meth->name() == Name)
+        return const_cast<Method *>(Meth.get());
+    return nullptr;
+  }
+  static std::optional<unsigned> fieldIndex(const ClassDecl *Cls,
+                                            const std::string &Name) {
+    for (unsigned I = 0; I < Cls->fields().size(); ++I)
+      if (Cls->field(I).Name == Name)
+        return I;
+    return std::nullopt;
+  }
+  static std::optional<unsigned> paramIndex(const Method *Meth,
+                                            const std::string &Name) {
+    for (unsigned I = 0; I < Meth->params().size(); ++I)
+      if (Meth->param(I).Name == Name)
+        return I;
+    return std::nullopt;
+  }
+
+  /// Extracts the numeric suffix of `i<N>` / `n<N>` identifiers.
+  static std::optional<unsigned> idSuffix(const std::string &Name,
+                                          char Prefix) {
+    if (Name.size() < 2 || Name[0] != Prefix)
+      return std::nullopt;
+    for (size_t I = 1; I < Name.size(); ++I)
+      if (!std::isdigit(static_cast<unsigned char>(Name[I])))
+        return std::nullopt;
+    return static_cast<unsigned>(std::strtoul(Name.c_str() + 1, nullptr, 10));
+  }
+
+  // --- grammar ---
+  void parseTopLevel() {
+    if (!acceptIdent("module")) {
+      fail("expected 'module'");
+      return;
+    }
+    const auto Name = expectIdent();
+    if (!Name)
+      return;
+    M = std::make_unique<Module>(*Name);
+
+    // Pass 1: declarations (bodies skipped and recorded).
+    struct PendingBody {
+      Method *Meth = nullptr;
+      size_t BodyStart = 0; ///< Token index just after '{'.
+    };
+    std::vector<PendingBody> Pending;
+
+    while (Error.empty() && peek().K != Token::Kind::End) {
+      if (acceptIdent("class")) {
+        parseClass();
+        continue;
+      }
+      if (acceptIdent("void")) {
+        Method *Meth = parseSignature();
+        if (!Meth)
+          return;
+        if (!expect("{"))
+          return;
+        Pending.push_back({Meth, Pos});
+        skipBalancedBody();
+        continue;
+      }
+      if (acceptIdent("parallel")) {
+        parseSection();
+        continue;
+      }
+      fail("expected 'class', 'void' or 'parallel'");
+      return;
+    }
+
+    // Pass 2: bodies.
+    for (const PendingBody &P : Pending) {
+      if (!Error.empty())
+        return;
+      Pos = P.BodyStart;
+      parseStmtList(P.Meth, P.Meth->body());
+    }
+  }
+
+  void parseClass() {
+    const auto Name = expectIdent();
+    if (!Name || !expect("{"))
+      return;
+    ClassDecl *Cls = M->createClass(*Name);
+    // `lock mutex;`
+    if (!acceptIdent("lock") || !acceptIdent("mutex") || !expect(";")) {
+      fail("expected 'lock mutex;'");
+      return;
+    }
+    while (acceptIdent("double")) {
+      const auto FieldName = expectIdent();
+      if (!FieldName || !expect(";"))
+        return;
+      Cls->addField(*FieldName);
+    }
+    if (!expect("}") || !expect(";"))
+      return;
+  }
+
+  Method *parseSignature() {
+    const auto ClsName = expectIdent();
+    if (!ClsName || !expect("::"))
+      return nullptr;
+    ClassDecl *Owner = findClass(*ClsName);
+    if (!Owner) {
+      fail("unknown class '" + *ClsName + "'");
+      return nullptr;
+    }
+    const auto MethName = expectIdent();
+    if (!MethName || !expect("("))
+      return nullptr;
+    Method *Meth = M->createMethod(*MethName, Owner);
+    if (!accept(")")) {
+      do {
+        const auto TypeName = expectIdent();
+        if (!TypeName)
+          return nullptr;
+        if (*TypeName == "double") {
+          const auto PName = expectIdent();
+          if (!PName)
+            return nullptr;
+          Meth->addParam(Param{*PName, nullptr, false});
+          continue;
+        }
+        ClassDecl *PCls = findClass(*TypeName);
+        if (!PCls) {
+          fail("unknown parameter class '" + *TypeName + "'");
+          return nullptr;
+        }
+        if (accept("*")) {
+          const auto PName = expectIdent();
+          if (!PName)
+            return nullptr;
+          Meth->addParam(Param{*PName, PCls, false});
+        } else {
+          const auto PName = expectIdent();
+          if (!PName || !expect("[") || !expect("]"))
+            return nullptr;
+          Meth->addParam(Param{*PName, PCls, true});
+        }
+      } while (accept(","));
+      if (!expect(")"))
+        return nullptr;
+    }
+    return Meth;
+  }
+
+  void skipBalancedBody() {
+    unsigned Depth = 1;
+    while (Depth > 0 && peek().K != Token::Kind::End) {
+      if (peek().is("{"))
+        ++Depth;
+      else if (peek().is("}"))
+        --Depth;
+      next();
+    }
+  }
+
+  void parseSection() {
+    // parallel section NAME: for all objects o: o-><method>(...)
+    if (!acceptIdent("section")) {
+      fail("expected 'section'");
+      return;
+    }
+    const auto Name = expectIdent();
+    if (!Name)
+      return;
+    // Skip to the method name: ... o -> IDENT ( ... )
+    std::string MethodName;
+    while (peek().K != Token::Kind::End) {
+      if (peek().is("->")) {
+        next();
+        const auto MN = expectIdent();
+        if (!MN)
+          return;
+        MethodName = *MN;
+        break;
+      }
+      next();
+    }
+    // Skip the trailing (...) literally.
+    if (expect("("))
+      while (peek().K != Token::Kind::End && !accept(")"))
+        next();
+    for (const auto &Meth : M->methods())
+      if (Meth->name() == MethodName) {
+        M->addSection(*Name, Meth.get());
+        return;
+      }
+    fail("section entry method '" + MethodName + "' not found");
+  }
+
+  /// Parses a receiver occurrence: this | name | name[iK].
+  std::optional<Receiver> parseReceiver(const Method *Meth) {
+    const auto Name = expectIdent();
+    if (!Name)
+      return std::nullopt;
+    if (*Name == "this")
+      return Receiver::thisObj();
+    const auto PIdx = paramIndex(Meth, *Name);
+    if (!PIdx) {
+      fail("unknown parameter '" + *Name + "'");
+      return std::nullopt;
+    }
+    if (accept("[")) {
+      const auto Idx = expectIdent();
+      if (!Idx || !expect("]"))
+        return std::nullopt;
+      const auto LoopId = idSuffix(*Idx, 'i');
+      if (!LoopId) {
+        fail("expected loop index 'iN'");
+        return std::nullopt;
+      }
+      return Receiver::paramIndexed(*PIdx, *LoopId);
+    }
+    return Receiver::param(*PIdx);
+  }
+
+  static std::optional<BinOp> opFromToken(const Token &T) {
+    if (T.is("+"))
+      return BinOp::Add;
+    if (T.is("-"))
+      return BinOp::Sub;
+    if (T.is("*"))
+      return BinOp::Mul;
+    if (T.is("/"))
+      return BinOp::Div;
+    if (T.isIdent("min"))
+      return BinOp::Min;
+    if (T.isIdent("max"))
+      return BinOp::Max;
+    return std::nullopt;
+  }
+
+  /// Parses a primary expression (the printer emits binaries parenthesized
+  /// except at the top level of an update).
+  const Expr *parseExpr(const Method *Meth) {
+    if (peek().K == Token::Kind::Number)
+      return M->exprConst(std::strtod(next().Text.c_str(), nullptr));
+    if (accept("(")) {
+      const Expr *LHS = parseExpr(Meth);
+      if (!LHS)
+        return nullptr;
+      const auto Op = opFromToken(peek());
+      if (!Op) {
+        fail("expected binary operator");
+        return nullptr;
+      }
+      next();
+      const Expr *RHS = parseExpr(Meth);
+      if (!RHS || !expect(")"))
+        return nullptr;
+      return M->exprBinary(*Op, LHS, RHS);
+    }
+    if (peek().K != Token::Kind::Ident) {
+      fail("expected expression");
+      return nullptr;
+    }
+    // this / param receiver followed by ->field, an extern call, or a
+    // scalar parameter read.
+    if (peek(1).is("(") && !peek().isIdent("this")) {
+      const std::string FnName = next().Text;
+      expect("(");
+      std::vector<const Expr *> Args;
+      if (!accept(")")) {
+        do {
+          const Expr *Arg = parseExpr(Meth);
+          if (!Arg)
+            return nullptr;
+          Args.push_back(Arg);
+        } while (accept(","));
+        if (!expect(")"))
+          return nullptr;
+      }
+      return M->exprExternCall(FnName, std::move(Args));
+    }
+    if ((peek(1).is("->") || peek(1).is("[")) || peek().isIdent("this")) {
+      const auto Recv = parseReceiver(Meth);
+      if (!Recv || !expect("->"))
+        return nullptr;
+      const auto FieldName = expectIdent();
+      if (!FieldName)
+        return nullptr;
+      const ClassDecl *Cls = Recv->Kind == RecvKind::This
+                                 ? Meth->owner()
+                                 : Meth->param(Recv->ParamIdx).ObjClass;
+      const auto FIdx = fieldIndex(Cls, *FieldName);
+      if (!FIdx) {
+        fail("unknown field '" + *FieldName + "'");
+        return nullptr;
+      }
+      return M->exprFieldRead(*Recv, *FIdx);
+    }
+    // Scalar parameter read.
+    const std::string Name = next().Text;
+    const auto PIdx = paramIndex(Meth, Name);
+    if (!PIdx) {
+      fail("unknown name '" + Name + "' in expression");
+      return nullptr;
+    }
+    return M->exprParamRead(*PIdx);
+  }
+
+  void parseStmtList(Method *Meth, std::vector<Stmt *> &Out) {
+    while (Error.empty() && !accept("}")) {
+      if (peek().K == Token::Kind::End) {
+        fail("unterminated body");
+        return;
+      }
+      parseStmt(Meth, Out);
+    }
+  }
+
+  void parseStmt(Method *Meth, std::vector<Stmt *> &Out) {
+    // compute #N [reads(...)];
+    if (acceptIdent("compute")) {
+      if (!expect("#"))
+        return;
+      if (peek().K != Token::Kind::Number) {
+        fail("expected cost class number");
+        return;
+      }
+      const unsigned CC =
+          static_cast<unsigned>(std::strtoul(next().Text.c_str(), nullptr,
+                                             10));
+      M->reserveCostClass(CC);
+      std::vector<const Expr *> Reads;
+      if (acceptIdent("reads")) {
+        if (!expect("("))
+          return;
+        do {
+          const Expr *E = parseExpr(Meth);
+          if (!E)
+            return;
+          Reads.push_back(E);
+        } while (accept(","));
+        if (!expect(")"))
+          return;
+      }
+      if (!expect(";"))
+        return;
+      Out.push_back(M->createCompute(CC, std::move(Reads)));
+      return;
+    }
+
+    // for iN in 0..nN { ... }
+    if (acceptIdent("for")) {
+      const auto Var = expectIdent();
+      if (!Var)
+        return;
+      const auto LoopId = idSuffix(*Var, 'i');
+      if (!LoopId) {
+        fail("expected loop variable 'iN'");
+        return;
+      }
+      if (!acceptIdent("in")) {
+        fail("expected 'in'");
+        return;
+      }
+      next(); // 0
+      if (!expect(".."))
+        return;
+      next(); // nN
+      if (!expect("{"))
+        return;
+      M->reserveLoopId(*LoopId);
+      LoopStmt *L = M->createLoop(*LoopId, {});
+      Out.push_back(L);
+      parseStmtList(Meth, L->Body);
+      return;
+    }
+
+    // Receiver-led statements.
+    const auto Recv = parseReceiver(Meth);
+    if (!Recv || !expect("->"))
+      return;
+    const auto Name = expectIdent();
+    if (!Name)
+      return;
+
+    if (*Name == "mutex") {
+      if (!expect("."))
+        return;
+      const auto Which = expectIdent();
+      if (!Which || !expect("(") || !expect(")") || !expect(";"))
+        return;
+      if (*Which == "acquire")
+        Out.push_back(M->createAcquire(*Recv));
+      else if (*Which == "release")
+        Out.push_back(M->createRelease(*Recv));
+      else
+        fail("expected acquire or release");
+      return;
+    }
+
+    if (accept("(")) {
+      // Method call.
+      const ClassDecl *Cls = Recv->Kind == RecvKind::This
+                                 ? Meth->owner()
+                                 : Meth->param(Recv->ParamIdx).ObjClass;
+      Method *Callee = findMethod(Cls, *Name);
+      if (!Callee) {
+        fail("unknown method '" + *Name + "'");
+        return;
+      }
+      std::vector<Receiver> Args;
+      if (!accept(")")) {
+        do {
+          const auto Arg = parseReceiver(Meth);
+          if (!Arg)
+            return;
+          Args.push_back(*Arg);
+        } while (accept(","));
+        if (!expect(")"))
+          return;
+      }
+      if (!expect(";"))
+        return;
+      Out.push_back(M->createCall(Callee, *Recv, std::move(Args)));
+      return;
+    }
+
+    // Field update: target already consumed as recv->field; expect '='.
+    const ClassDecl *Cls = Recv->Kind == RecvKind::This
+                               ? Meth->owner()
+                               : Meth->param(Recv->ParamIdx).ObjClass;
+    const auto FIdx = fieldIndex(Cls, *Name);
+    if (!FIdx) {
+      fail("unknown field '" + *Name + "'");
+      return;
+    }
+    if (!expect("="))
+      return;
+    const Expr *First = parseExpr(Meth);
+    if (!First)
+      return;
+    if (const auto Op = opFromToken(peek())) {
+      // Commuting form: target = target <op> value. Validate the repeated
+      // target.
+      const auto *FR = exprDynCast<FieldReadExpr>(First);
+      if (!FR || !(FR->Recv == *Recv) || FR->Field != *FIdx) {
+        fail("update must repeat its target on the right-hand side");
+        return;
+      }
+      next();
+      const Expr *Value = parseExpr(Meth);
+      if (!Value || !expect(";"))
+        return;
+      Out.push_back(M->createUpdate(*Recv, *FIdx, *Op, Value));
+      return;
+    }
+    if (!expect(";"))
+      return;
+    Out.push_back(M->createUpdate(*Recv, *FIdx, BinOp::Assign, First));
+  }
+
+  Lexer Lex;
+  size_t Pos = 0;
+  std::unique_ptr<Module> M;
+  std::string Error;
+};
+
+} // namespace
+
+ParseResult ir::parseModule(const std::string &Text) {
+  return Parser(Text).run();
+}

@@ -1,0 +1,47 @@
+//===- ir/Parser.h - Textual IR parsing --------------------------*- C++ -*-=//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses the textual form produced by ir/Printer.h back into a Module, so
+/// programs can be stored, diffed and round-tripped like LLVM IR. The
+/// grammar is exactly the printer's output language:
+///
+///   module <name>
+///   class <name> { lock mutex; double <field>; ... };
+///   void <class>::<method>(<params>) { <stmts> }
+///   parallel section <name>: for all objects o: o-><method>(...)
+///
+/// Statements: `compute #N [reads(e, ...)];`, commuting updates
+/// `r->f = r->f <op> e;` (or `r->f = e;` for overwrites),
+/// `r->mutex.acquire();` / `r->mutex.release();`, calls `r->m(args);` and
+/// loops `for iN in 0..nN { ... }`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNFB_IR_PARSER_H
+#define DYNFB_IR_PARSER_H
+
+#include "ir/Module.h"
+
+#include <memory>
+#include <string>
+
+namespace dynfb::ir {
+
+/// Result of parsing: the module, or an error message with a line number.
+struct ParseResult {
+  std::unique_ptr<Module> M;
+  std::string Error; ///< Empty on success.
+
+  bool ok() const { return M != nullptr; }
+};
+
+/// Parses \p Text (the printer's output language) into a fresh module.
+ParseResult parseModule(const std::string &Text);
+
+} // namespace dynfb::ir
+
+#endif // DYNFB_IR_PARSER_H

@@ -1,0 +1,172 @@
+//===- ir/Printer.cpp -----------------------------------------------------==//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Printer.h"
+
+#include "support/Compiler.h"
+#include "support/StringUtils.h"
+
+using namespace dynfb;
+using namespace dynfb::ir;
+
+std::string ir::printReceiver(const Receiver &R, const Method &M) {
+  switch (R.Kind) {
+  case RecvKind::This:
+    return "this";
+  case RecvKind::Param:
+    return M.param(R.ParamIdx).Name;
+  case RecvKind::ParamIndexed:
+    return M.param(R.ParamIdx).Name + "[i" + format("%u", R.LoopId) + "]";
+  }
+  DYNFB_UNREACHABLE("invalid receiver kind");
+}
+
+std::string ir::printExpr(const Expr *E, const Method &Context) {
+  switch (E->kind()) {
+  case ExprKind::FieldRead: {
+    const auto &FR = exprCast<FieldReadExpr>(E);
+    const ClassDecl *Cls = nullptr;
+    switch (FR.Recv.Kind) {
+    case RecvKind::This:
+      Cls = Context.owner();
+      break;
+    case RecvKind::Param:
+    case RecvKind::ParamIndexed:
+      Cls = Context.param(FR.Recv.ParamIdx).ObjClass;
+      break;
+    }
+    const std::string FieldName =
+        Cls ? Cls->field(FR.Field).Name : format("f%u", FR.Field);
+    return printReceiver(FR.Recv, Context) + "->" + FieldName;
+  }
+  case ExprKind::ParamRead:
+    return Context.param(exprCast<ParamReadExpr>(E).ParamIdx).Name;
+  case ExprKind::ConstFloat:
+    return format("%g", exprCast<ConstFloatExpr>(E).Value);
+  case ExprKind::Binary: {
+    const auto &B = exprCast<BinaryExpr>(E);
+    return "(" + printExpr(B.LHS, Context) + " " + binOpName(B.Op) + " " +
+           printExpr(B.RHS, Context) + ")";
+  }
+  case ExprKind::ExternCall: {
+    const auto &C = exprCast<ExternCallExpr>(E);
+    std::string Out = C.Name + "(";
+    for (size_t I = 0; I < C.Args.size(); ++I) {
+      if (I != 0)
+        Out += ", ";
+      Out += printExpr(C.Args[I], Context);
+    }
+    return Out + ")";
+  }
+  }
+  DYNFB_UNREACHABLE("invalid expression kind");
+}
+
+static void printStmtList(const std::vector<Stmt *> &List, const Method &M,
+                          unsigned Indent, std::string &Out) {
+  const std::string Pad(Indent, ' ');
+  for (const Stmt *S : List) {
+    switch (S->kind()) {
+    case StmtKind::Compute: {
+      const auto &C = stmtCast<ComputeStmt>(S);
+      Out += Pad + format("compute #%u", C.CostClass);
+      if (!C.Reads.empty()) {
+        Out += " reads(";
+        for (size_t I = 0; I < C.Reads.size(); ++I) {
+          if (I != 0)
+            Out += ", ";
+          Out += printExpr(C.Reads[I], M);
+        }
+        Out += ")";
+      }
+      Out += ";\n";
+      break;
+    }
+    case StmtKind::Update: {
+      const auto &U = stmtCast<UpdateStmt>(S);
+      const ClassDecl *Cls = U.Recv.Kind == RecvKind::This
+                                 ? M.owner()
+                                 : M.param(U.Recv.ParamIdx).ObjClass;
+      const std::string FieldName =
+          Cls ? Cls->field(U.Field).Name : format("f%u", U.Field);
+      const std::string Target =
+          printReceiver(U.Recv, M) + "->" + FieldName;
+      if (U.Op == BinOp::Assign)
+        Out += Pad + Target + " = " + printExpr(U.Value, M) + ";\n";
+      else
+        Out += Pad + Target + " = " + Target + " " + binOpName(U.Op) + " " +
+               printExpr(U.Value, M) + ";\n";
+      break;
+    }
+    case StmtKind::Acquire:
+      Out += Pad + printReceiver(stmtCast<AcquireStmt>(S).Recv, M) +
+             "->mutex.acquire();\n";
+      break;
+    case StmtKind::Release:
+      Out += Pad + printReceiver(stmtCast<ReleaseStmt>(S).Recv, M) +
+             "->mutex.release();\n";
+      break;
+    case StmtKind::Call: {
+      const auto &C = stmtCast<CallStmt>(S);
+      Out += Pad + printReceiver(C.Recv, M) + "->" + C.callee()->name() + "(";
+      for (size_t I = 0; I < C.ObjArgs.size(); ++I) {
+        if (I != 0)
+          Out += ", ";
+        Out += printReceiver(C.ObjArgs[I], M);
+      }
+      Out += ");\n";
+      break;
+    }
+    case StmtKind::Loop: {
+      const auto &L = stmtCast<LoopStmt>(S);
+      Out += Pad + format("for i%u in 0..n%u {\n", L.LoopId, L.LoopId);
+      printStmtList(L.Body, M, Indent + 2, Out);
+      Out += Pad + "}\n";
+      break;
+    }
+    }
+  }
+}
+
+std::string ir::printMethod(const Method &M) {
+  std::string Out =
+      "void " + M.owner()->name() + "::" + M.name() + "(";
+  for (size_t I = 0; I < M.params().size(); ++I) {
+    if (I != 0)
+      Out += ", ";
+    const Param &P = M.param(static_cast<unsigned>(I));
+    if (P.isObject())
+      Out += P.ObjClass->name() + (P.IsArray ? " " + P.Name + "[]"
+                                             : " *" + P.Name);
+    else
+      Out += "double " + P.Name;
+  }
+  Out += ") {\n";
+  printStmtList(M.body(), M, 2, Out);
+  Out += "}\n";
+  return Out;
+}
+
+std::string ir::printModule(const Module &M, bool IncludeSynthetic) {
+  std::string Out = "module " + M.name() + "\n\n";
+  for (const auto &C : M.classes()) {
+    Out += "class " + C->name() + " { lock mutex; ";
+    for (const Field &F : C->fields())
+      Out += "double " + F.Name + "; ";
+    Out += "};\n";
+  }
+  Out += "\n";
+  for (const auto &Meth : M.methods()) {
+    if (!IncludeSynthetic && Meth->isSynthetic())
+      continue;
+    Out += printMethod(*Meth);
+    Out += "\n";
+  }
+  for (const ParallelSection &S : M.sections())
+    Out += "parallel section " + S.Name + ": for all objects o: o->" +
+           S.IterMethod->name() + "(...)\n";
+  return Out;
+}

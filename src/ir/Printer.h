@@ -1,0 +1,40 @@
+//===- ir/Printer.h - Textual IR dump --------------------------*- C++ -*-===//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders IR entities as stable, human-readable pseudo-source. Used by the
+/// golden tests and for debugging transformed versions (the printed form of
+/// the Barnes-Hut program before/after lifting matches the paper's
+/// Figures 1 and 2 in structure).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNFB_IR_PRINTER_H
+#define DYNFB_IR_PRINTER_H
+
+#include "ir/Module.h"
+
+#include <string>
+
+namespace dynfb::ir {
+
+/// Renders one expression.
+std::string printExpr(const Expr *E, const Method &Context);
+
+/// Renders one method (signature + indented body).
+std::string printMethod(const Method &M);
+
+/// Renders the whole module: classes, methods, sections. When
+/// \p IncludeSynthetic is false, compiler-generated method variants are
+/// omitted (the author's source form).
+std::string printModule(const Module &M, bool IncludeSynthetic = true);
+
+/// Renders a receiver in context of \p M (e.g. "this", "b", "b[i2]").
+std::string printReceiver(const Receiver &R, const Method &M);
+
+} // namespace dynfb::ir
+
+#endif // DYNFB_IR_PRINTER_H

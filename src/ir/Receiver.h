@@ -1,0 +1,71 @@
+//===- ir/Receiver.h - Object references in the IR -------------*- C++ -*-===//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Receiver names the object a statement touches: the enclosing method's
+/// `this`, an object-typed parameter, or an element of an object-array
+/// parameter selected by an enclosing loop's index (e.g. `b[i]` in the
+/// paper's Figure 1). Lock identity, update targets and call receivers are
+/// all expressed as Receivers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNFB_IR_RECEIVER_H
+#define DYNFB_IR_RECEIVER_H
+
+namespace dynfb::ir {
+
+/// How a Receiver designates its object.
+enum class RecvKind {
+  This,        ///< The enclosing method's receiver object.
+  Param,       ///< An object-typed parameter (single object).
+  ParamIndexed ///< An element of an object-array parameter, indexed by the
+               ///< enclosing loop with id LoopId.
+};
+
+/// Reference to the object a statement operates on. Plain value type;
+/// compared structurally.
+struct Receiver {
+  RecvKind Kind = RecvKind::This;
+  unsigned ParamIdx = 0; ///< Parameter slot for Param / ParamIndexed.
+  unsigned LoopId = 0;   ///< Selecting loop for ParamIndexed (module-unique
+                         ///< loop id, stable across cloning).
+
+  static Receiver thisObj() { return Receiver{RecvKind::This, 0, 0}; }
+  static Receiver param(unsigned Idx) {
+    return Receiver{RecvKind::Param, Idx, 0};
+  }
+  static Receiver paramIndexed(unsigned Idx, unsigned LoopId) {
+    return Receiver{RecvKind::ParamIndexed, Idx, LoopId};
+  }
+
+  friend bool operator==(const Receiver &A, const Receiver &B) {
+    if (A.Kind != B.Kind)
+      return false;
+    switch (A.Kind) {
+    case RecvKind::This:
+      return true;
+    case RecvKind::Param:
+      return A.ParamIdx == B.ParamIdx;
+    case RecvKind::ParamIndexed:
+      return A.ParamIdx == B.ParamIdx && A.LoopId == B.LoopId;
+    }
+    return false;
+  }
+  friend bool operator!=(const Receiver &A, const Receiver &B) {
+    return !(A == B);
+  }
+
+  /// True if the designated object cannot change across iterations of the
+  /// loop with id \p LoopId (i.e. it is not indexed by that loop).
+  bool isInvariantIn(unsigned LoopIdQuery) const {
+    return Kind != RecvKind::ParamIndexed || LoopId != LoopIdQuery;
+  }
+};
+
+} // namespace dynfb::ir
+
+#endif // DYNFB_IR_RECEIVER_H

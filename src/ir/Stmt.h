@@ -1,0 +1,172 @@
+//===- ir/Stmt.h - Statement nodes -----------------------------*- C++ -*-===//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Statement nodes of the object-based IR. A method body is a sequence of
+/// statements; the synchronization optimizer works by inserting, removing
+/// and moving Acquire/Release statements around the other statement kinds.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNFB_IR_STMT_H
+#define DYNFB_IR_STMT_H
+
+#include "ir/Expr.h"
+#include "ir/Receiver.h"
+
+#include <cassert>
+#include <vector>
+
+namespace dynfb::ir {
+
+class Method;
+
+/// Discriminator for Stmt subclasses.
+enum class StmtKind {
+  Compute, ///< Pure local computation with a symbolic cost class.
+  Update,  ///< Commuting field update `recv->f = recv->f <op> e`.
+  Acquire, ///< Acquire the mutual exclusion lock of a receiver object.
+  Release, ///< Release the mutual exclusion lock of a receiver object.
+  Call,    ///< Invocation of another method on a receiver object.
+  Loop     ///< Counted loop; the trip count is bound at execution time.
+};
+
+/// Base class of all statements. Statements are arena-owned by their Module;
+/// bodies hold non-owning pointers. Statements are mutable only through the
+/// transformation passes.
+class Stmt {
+public:
+  StmtKind kind() const { return Kind; }
+  virtual ~Stmt() = default;
+
+protected:
+  explicit Stmt(StmtKind Kind) : Kind(Kind) {}
+
+private:
+  const StmtKind Kind;
+};
+
+/// Pure local computation: no object state is written. CostClass is a
+/// module-unique tag the execution-time data binding maps to a cost (and the
+/// native backends map to an actual kernel). Reads documents the
+/// expressions the computation consumes, for commutativity analysis.
+class ComputeStmt : public Stmt {
+public:
+  ComputeStmt(unsigned CostClass, std::vector<const Expr *> Reads)
+      : Stmt(StmtKind::Compute), CostClass(CostClass),
+        Reads(std::move(Reads)) {}
+
+  static bool classof(const Stmt *S) {
+    return S->kind() == StmtKind::Compute;
+  }
+
+  const unsigned CostClass;
+  const std::vector<const Expr *> Reads;
+};
+
+/// Commuting field update `recv->field = recv->field <op> value`. In the
+/// default synchronization placement every update executes inside its own
+/// critical region on the receiver's lock.
+class UpdateStmt : public Stmt {
+public:
+  UpdateStmt(Receiver Recv, unsigned Field, BinOp Op, const Expr *Value)
+      : Stmt(StmtKind::Update), Recv(Recv), Field(Field), Op(Op),
+        Value(Value) {
+    assert(Value && "update with null value expression");
+  }
+
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::Update; }
+
+  const Receiver Recv;
+  const unsigned Field;
+  const BinOp Op;
+  const Expr *const Value;
+};
+
+/// Acquire of the receiver object's mutual exclusion lock.
+class AcquireStmt : public Stmt {
+public:
+  explicit AcquireStmt(Receiver Recv) : Stmt(StmtKind::Acquire), Recv(Recv) {}
+
+  static bool classof(const Stmt *S) {
+    return S->kind() == StmtKind::Acquire;
+  }
+
+  const Receiver Recv;
+};
+
+/// Release of the receiver object's mutual exclusion lock.
+class ReleaseStmt : public Stmt {
+public:
+  explicit ReleaseStmt(Receiver Recv) : Stmt(StmtKind::Release), Recv(Recv) {}
+
+  static bool classof(const Stmt *S) {
+    return S->kind() == StmtKind::Release;
+  }
+
+  const Receiver Recv;
+};
+
+/// Invocation of \p Callee with receiver \p Recv. Object-typed arguments of
+/// the callee are bound to receivers evaluated in the caller's frame;
+/// scalar arguments are not modelled (they only matter inside expressions).
+class CallStmt : public Stmt {
+public:
+  CallStmt(const Method *Callee, Receiver Recv,
+           std::vector<Receiver> ObjArgs)
+      : Stmt(StmtKind::Call), Recv(Recv), ObjArgs(std::move(ObjArgs)),
+        Callee(Callee) {
+    assert(Callee && "call with null callee");
+  }
+
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::Call; }
+
+  const Method *callee() const { return Callee; }
+
+  /// Retargets the call; used by the multi-version generator to point calls
+  /// at lock-stripped method variants.
+  void setCallee(const Method *M) {
+    assert(M && "cannot retarget call to null");
+    Callee = M;
+  }
+
+  const Receiver Recv;
+  const std::vector<Receiver> ObjArgs;
+
+private:
+  const Method *Callee;
+};
+
+/// Counted loop. The trip count is symbolic: the execution-time data binding
+/// supplies it per dynamic instance. LoopId is module-unique and is
+/// preserved by cloning so bindings and ParamIndexed receivers can refer to
+/// a semantic loop across transformed versions.
+class LoopStmt : public Stmt {
+public:
+  LoopStmt(unsigned LoopId, std::vector<Stmt *> Body)
+      : Stmt(StmtKind::Loop), LoopId(LoopId), Body(std::move(Body)) {}
+
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::Loop; }
+
+  const unsigned LoopId;
+  std::vector<Stmt *> Body;
+};
+
+/// Checked downcast helpers for the Stmt hierarchy.
+template <typename T> T *stmtDynCast(Stmt *S) {
+  return S && T::classof(S) ? static_cast<T *>(S) : nullptr;
+}
+template <typename T> const T *stmtDynCast(const Stmt *S) {
+  return S && T::classof(S) ? static_cast<const T *>(S) : nullptr;
+}
+template <typename T> const T &stmtCast(const Stmt *S) {
+  assert(S && T::classof(S) && "invalid stmtCast");
+  return *static_cast<const T *>(S);
+}
+
+} // namespace dynfb::ir
+
+#endif // DYNFB_IR_STMT_H

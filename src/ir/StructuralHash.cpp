@@ -1,0 +1,226 @@
+//===- ir/StructuralHash.cpp ----------------------------------------------==//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/StructuralHash.h"
+
+#include "support/Compiler.h"
+
+using namespace dynfb;
+using namespace dynfb::ir;
+
+static uint64_t combine(uint64_t Seed, uint64_t Value) {
+  // Boost-style hash combine over 64 bits.
+  return Seed ^ (Value + 0x9e3779b97f4a7c15ULL + (Seed << 12) + (Seed >> 4));
+}
+
+static uint64_t hashReceiver(const Receiver &R) {
+  uint64_t H = static_cast<uint64_t>(R.Kind) + 1;
+  H = combine(H, R.Kind == RecvKind::This ? 0 : R.ParamIdx);
+  H = combine(H, R.Kind == RecvKind::ParamIndexed ? R.LoopId : 0);
+  return H;
+}
+
+uint64_t ir::structuralHash(const Expr *E) {
+  uint64_t H = static_cast<uint64_t>(E->kind()) * 0x100000001b3ULL;
+  switch (E->kind()) {
+  case ExprKind::FieldRead: {
+    const auto &FR = exprCast<FieldReadExpr>(E);
+    H = combine(H, hashReceiver(FR.Recv));
+    H = combine(H, FR.Field);
+    break;
+  }
+  case ExprKind::ParamRead:
+    H = combine(H, exprCast<ParamReadExpr>(E).ParamIdx);
+    break;
+  case ExprKind::ConstFloat: {
+    const double V = exprCast<ConstFloatExpr>(E).Value;
+    uint64_t Bits;
+    static_assert(sizeof(Bits) == sizeof(V));
+    __builtin_memcpy(&Bits, &V, sizeof(Bits));
+    H = combine(H, Bits);
+    break;
+  }
+  case ExprKind::Binary: {
+    const auto &B = exprCast<BinaryExpr>(E);
+    H = combine(H, static_cast<uint64_t>(B.Op));
+    H = combine(H, structuralHash(B.LHS));
+    H = combine(H, structuralHash(B.RHS));
+    break;
+  }
+  case ExprKind::ExternCall: {
+    const auto &C = exprCast<ExternCallExpr>(E);
+    for (char Ch : C.Name)
+      H = combine(H, static_cast<uint64_t>(Ch));
+    for (const Expr *Arg : C.Args)
+      H = combine(H, structuralHash(Arg));
+    break;
+  }
+  }
+  return H;
+}
+
+uint64_t ir::structuralHash(const Stmt *S) {
+  uint64_t H = (static_cast<uint64_t>(S->kind()) + 17) * 0xff51afd7ed558ccdULL;
+  switch (S->kind()) {
+  case StmtKind::Compute:
+    H = combine(H, stmtCast<ComputeStmt>(S).CostClass);
+    break;
+  case StmtKind::Update: {
+    const auto &U = stmtCast<UpdateStmt>(S);
+    H = combine(H, hashReceiver(U.Recv));
+    H = combine(H, U.Field);
+    H = combine(H, static_cast<uint64_t>(U.Op));
+    H = combine(H, structuralHash(U.Value));
+    break;
+  }
+  case StmtKind::Acquire:
+    H = combine(H, hashReceiver(stmtCast<AcquireStmt>(S).Recv));
+    break;
+  case StmtKind::Release:
+    H = combine(H, hashReceiver(stmtCast<ReleaseStmt>(S).Recv));
+    break;
+  case StmtKind::Call: {
+    const auto &C = stmtCast<CallStmt>(S);
+    H = combine(H, hashReceiver(C.Recv));
+    for (const Receiver &A : C.ObjArgs)
+      H = combine(H, hashReceiver(A));
+    H = combine(H, structuralHash(*C.callee()));
+    break;
+  }
+  case StmtKind::Loop: {
+    const auto &L = stmtCast<LoopStmt>(S);
+    H = combine(H, L.LoopId);
+    for (const Stmt *Child : L.Body)
+      H = combine(H, structuralHash(Child));
+    break;
+  }
+  }
+  return H;
+}
+
+static uint64_t hashString(const std::string &S) {
+  uint64_t H = 0xcbf29ce484222325ULL;
+  for (char Ch : S)
+    H = (H ^ static_cast<uint64_t>(Ch)) * 0x100000001b3ULL;
+  return H;
+}
+
+uint64_t ir::structuralHash(const Method &M) {
+  // Classes hash by name (consistent with structural equality across
+  // modules).
+  uint64_t H = hashString(M.owner()->name()) * 0xc4ceb9fe1a85ec53ULL + 1;
+  for (const Param &P : M.params()) {
+    H = combine(H, P.isObject() ? hashString(P.ObjClass->name()) : 0);
+    H = combine(H, P.IsArray ? 1 : 0);
+  }
+  for (const Stmt *S : M.body())
+    H = combine(H, structuralHash(S));
+  return H;
+}
+
+bool ir::structurallyEqual(const Expr *A, const Expr *B) {
+  if (A == B)
+    return true;
+  if (A->kind() != B->kind())
+    return false;
+  switch (A->kind()) {
+  case ExprKind::FieldRead: {
+    const auto &FA = exprCast<FieldReadExpr>(A);
+    const auto &FB = exprCast<FieldReadExpr>(B);
+    return FA.Recv == FB.Recv && FA.Field == FB.Field;
+  }
+  case ExprKind::ParamRead:
+    return exprCast<ParamReadExpr>(A).ParamIdx ==
+           exprCast<ParamReadExpr>(B).ParamIdx;
+  case ExprKind::ConstFloat:
+    return exprCast<ConstFloatExpr>(A).Value ==
+           exprCast<ConstFloatExpr>(B).Value;
+  case ExprKind::Binary: {
+    const auto &BA = exprCast<BinaryExpr>(A);
+    const auto &BB = exprCast<BinaryExpr>(B);
+    return BA.Op == BB.Op && structurallyEqual(BA.LHS, BB.LHS) &&
+           structurallyEqual(BA.RHS, BB.RHS);
+  }
+  case ExprKind::ExternCall: {
+    const auto &CA = exprCast<ExternCallExpr>(A);
+    const auto &CB = exprCast<ExternCallExpr>(B);
+    if (CA.Name != CB.Name || CA.Args.size() != CB.Args.size())
+      return false;
+    for (size_t I = 0; I < CA.Args.size(); ++I)
+      if (!structurallyEqual(CA.Args[I], CB.Args[I]))
+        return false;
+    return true;
+  }
+  }
+  DYNFB_UNREACHABLE("invalid expression kind");
+}
+
+bool ir::structurallyEqual(const Stmt *A, const Stmt *B) {
+  if (A == B)
+    return true;
+  if (A->kind() != B->kind())
+    return false;
+  switch (A->kind()) {
+  case StmtKind::Compute:
+    return stmtCast<ComputeStmt>(A).CostClass ==
+           stmtCast<ComputeStmt>(B).CostClass;
+  case StmtKind::Update: {
+    const auto &UA = stmtCast<UpdateStmt>(A);
+    const auto &UB = stmtCast<UpdateStmt>(B);
+    return UA.Recv == UB.Recv && UA.Field == UB.Field && UA.Op == UB.Op &&
+           structurallyEqual(UA.Value, UB.Value);
+  }
+  case StmtKind::Acquire:
+    return stmtCast<AcquireStmt>(A).Recv == stmtCast<AcquireStmt>(B).Recv;
+  case StmtKind::Release:
+    return stmtCast<ReleaseStmt>(A).Recv == stmtCast<ReleaseStmt>(B).Recv;
+  case StmtKind::Call: {
+    const auto &CA = stmtCast<CallStmt>(A);
+    const auto &CB = stmtCast<CallStmt>(B);
+    if (!(CA.Recv == CB.Recv) || CA.ObjArgs.size() != CB.ObjArgs.size())
+      return false;
+    for (size_t I = 0; I < CA.ObjArgs.size(); ++I)
+      if (!(CA.ObjArgs[I] == CB.ObjArgs[I]))
+        return false;
+    return structurallyEqual(*CA.callee(), *CB.callee());
+  }
+  case StmtKind::Loop: {
+    const auto &LA = stmtCast<LoopStmt>(A);
+    const auto &LB = stmtCast<LoopStmt>(B);
+    if (LA.LoopId != LB.LoopId || LA.Body.size() != LB.Body.size())
+      return false;
+    for (size_t I = 0; I < LA.Body.size(); ++I)
+      if (!structurallyEqual(LA.Body[I], LB.Body[I]))
+        return false;
+    return true;
+  }
+  }
+  DYNFB_UNREACHABLE("invalid statement kind");
+}
+
+bool ir::structurallyEqual(const Method &A, const Method &B) {
+  if (&A == &B)
+    return true;
+  // Classes compare by name so methods from different modules (e.g. a
+  // parsed round-trip) can be compared; names are unique within a module.
+  if (A.owner()->name() != B.owner()->name() ||
+      A.params().size() != B.params().size() ||
+      A.body().size() != B.body().size())
+    return false;
+  for (size_t I = 0; I < A.params().size(); ++I) {
+    const Param &PA = A.param(static_cast<unsigned>(I));
+    const Param &PB = B.param(static_cast<unsigned>(I));
+    const bool ClassMatches =
+        (PA.ObjClass == nullptr) == (PB.ObjClass == nullptr) &&
+        (!PA.ObjClass || PA.ObjClass->name() == PB.ObjClass->name());
+    if (!ClassMatches || PA.IsArray != PB.IsArray)
+      return false;
+  }
+  for (size_t I = 0; I < A.body().size(); ++I)
+    if (!structurallyEqual(A.body()[I], B.body()[I]))
+      return false;
+  return true;
+}

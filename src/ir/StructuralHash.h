@@ -1,0 +1,50 @@
+//===- ir/StructuralHash.h - Structural equality of methods ----*- C++ -*-===//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural hashing and equality over method closures. The multi-version
+/// generator uses them to (a) share methods that are identical across
+/// synchronization policies -- the paper's "closed subgraphs of the call
+/// graph that are the same for all optimization policies" (Section 4.2) --
+/// and (b) detect policy-equivalent section versions (e.g. Water INTERF's
+/// Bounded and Aggressive versions).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNFB_IR_STRUCTURALHASH_H
+#define DYNFB_IR_STRUCTURALHASH_H
+
+#include "ir/Module.h"
+
+#include <cstdint>
+
+namespace dynfb::ir {
+
+/// Hash of one expression tree.
+uint64_t structuralHash(const Expr *E);
+
+/// Hash of one statement tree. Call targets contribute their own structural
+/// hash (closures must be acyclic, as everywhere in this repository).
+uint64_t structuralHash(const Stmt *S);
+
+/// Hash of a method: owner class, parameter shapes and body.
+uint64_t structuralHash(const Method &M);
+
+/// Deep structural equality of expression trees.
+bool structurallyEqual(const Expr *A, const Expr *B);
+
+/// Deep structural equality of statement trees (calls compare by callee
+/// structural equality).
+bool structurallyEqual(const Stmt *A, const Stmt *B);
+
+/// Deep structural equality of methods: same owner, same parameter shapes,
+/// structurally equal bodies. Names are ignored (variants differ only in
+/// their suffixes).
+bool structurallyEqual(const Method &A, const Method &B);
+
+} // namespace dynfb::ir
+
+#endif // DYNFB_IR_STRUCTURALHASH_H

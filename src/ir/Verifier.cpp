@@ -1,0 +1,288 @@
+//===- ir/Verifier.cpp ----------------------------------------------------==//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Verifier.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+using namespace dynfb;
+using namespace dynfb::ir;
+
+const ClassDecl *ir::receiverClass(const Receiver &R, const Method &M) {
+  switch (R.Kind) {
+  case RecvKind::This:
+    return M.owner();
+  case RecvKind::Param:
+  case RecvKind::ParamIndexed: {
+    if (R.ParamIdx >= M.params().size())
+      return nullptr;
+    const Param &P = M.param(R.ParamIdx);
+    if (!P.isObject())
+      return nullptr;
+    if ((R.Kind == RecvKind::ParamIndexed) != P.IsArray)
+      return nullptr;
+    return P.ObjClass;
+  }
+  }
+  return nullptr;
+}
+
+namespace {
+
+/// Per-method structural walk. Tracks active loop ids (for ParamIndexed
+/// enclosure checks) and the LIFO stack of open lock regions.
+class MethodVerifier {
+public:
+  MethodVerifier(const Method &M, std::vector<std::string> &Errors)
+      : M(M), Errors(Errors) {}
+
+  void run() {
+    walkList(M.body());
+    if (!Held.empty())
+      error("method ends with " + format("%zu", Held.size()) +
+            " unreleased lock region(s)");
+  }
+
+private:
+  void error(const std::string &Msg) {
+    Errors.push_back("method '" + M.owner()->name() + "::" + M.name() +
+                     "': " + Msg);
+  }
+
+  bool checkReceiver(const Receiver &R, const char *Role) {
+    if (!receiverClass(R, M)) {
+      error(std::string("malformed ") + Role + " receiver");
+      return false;
+    }
+    if (R.Kind == RecvKind::ParamIndexed &&
+        std::find(ActiveLoops.begin(), ActiveLoops.end(), R.LoopId) ==
+            ActiveLoops.end()) {
+      error(std::string(Role) + " receiver indexed by non-enclosing loop i" +
+            format("%u", R.LoopId));
+      return false;
+    }
+    return true;
+  }
+
+  void walkList(const std::vector<Stmt *> &List) {
+    const size_t HeldAtEntry = Held.size();
+    for (const Stmt *S : List)
+      walkStmt(S);
+    if (Held.size() != HeldAtEntry)
+      error("lock regions not balanced within a statement list");
+    while (Held.size() > HeldAtEntry)
+      Held.pop_back();
+  }
+
+  void walkStmt(const Stmt *S) {
+    switch (S->kind()) {
+    case StmtKind::Compute:
+      break;
+    case StmtKind::Update:
+      checkReceiver(stmtCast<UpdateStmt>(S).Recv, "update");
+      break;
+    case StmtKind::Acquire: {
+      const Receiver R = stmtCast<AcquireStmt>(S).Recv;
+      if (!checkReceiver(R, "acquire"))
+        break;
+      if (std::find(Held.begin(), Held.end(), R) != Held.end())
+        error("re-acquire of already-held lock (self-deadlock)");
+      Held.push_back(R);
+      break;
+    }
+    case StmtKind::Release: {
+      const Receiver R = stmtCast<ReleaseStmt>(S).Recv;
+      if (!checkReceiver(R, "release"))
+        break;
+      if (Held.empty()) {
+        error("release with no open lock region");
+        break;
+      }
+      if (!(Held.back() == R)) {
+        error("release does not match innermost open lock region (LIFO "
+              "violation)");
+        break;
+      }
+      Held.pop_back();
+      break;
+    }
+    case StmtKind::Call: {
+      const auto &C = stmtCast<CallStmt>(S);
+      if (!checkReceiver(C.Recv, "call"))
+        break;
+      const Method *Callee = C.callee();
+      if (C.Recv.Kind != RecvKind::This || Callee->owner() != M.owner())
+        if (receiverClass(C.Recv, M) != Callee->owner())
+          error("call receiver class does not match callee owner '" +
+                Callee->owner()->name() + "'");
+      // Check object-argument arity and classes.
+      std::vector<unsigned> ObjParams;
+      for (unsigned I = 0; I < Callee->params().size(); ++I)
+        if (Callee->param(I).isObject())
+          ObjParams.push_back(I);
+      if (ObjParams.size() != C.ObjArgs.size()) {
+        error("call to '" + Callee->name() + "' passes " +
+              format("%zu", C.ObjArgs.size()) + " object args, callee has " +
+              format("%zu", ObjParams.size()) + " object params");
+        break;
+      }
+      for (size_t I = 0; I < C.ObjArgs.size(); ++I) {
+        if (!checkReceiver(C.ObjArgs[I], "call argument"))
+          continue;
+        const Param &P = Callee->param(ObjParams[I]);
+        if (receiverClass(C.ObjArgs[I], M) != P.ObjClass)
+          error("call argument class mismatch for '" + Callee->name() + "'");
+        // Array-ness must match: an array param needs an array receiver
+        // (Param referencing an array param of the caller).
+        const bool ArgIsArray =
+            C.ObjArgs[I].Kind == RecvKind::Param &&
+            M.param(C.ObjArgs[I].ParamIdx).IsArray;
+        if (P.IsArray != ArgIsArray)
+          error("call argument array-ness mismatch for '" + Callee->name() +
+                "'");
+      }
+      break;
+    }
+    case StmtKind::Loop: {
+      const auto &L = stmtCast<LoopStmt>(S);
+      ActiveLoops.push_back(L.LoopId);
+      walkList(L.Body);
+      ActiveLoops.pop_back();
+      break;
+    }
+    }
+  }
+
+  const Method &M;
+  std::vector<std::string> &Errors;
+  std::vector<unsigned> ActiveLoops;
+  std::vector<Receiver> Held;
+};
+
+/// Interprocedural atomicity walk: checks that every UpdateStmt reachable
+/// from a section entry executes with its receiver's lock held, translating
+/// held receivers across call frames.
+class AtomicityChecker {
+public:
+  AtomicityChecker(std::vector<std::string> &Errors) : Errors(Errors) {}
+
+  void check(const Method &Entry) { walkMethod(Entry, {}); }
+
+private:
+  /// One receiver as the callee names it. Receivers the callee cannot name
+  /// are dropped during translation (the callee cannot update through them
+  /// either, except via ParamIndexed aliasing, which the apps do not use
+  /// for held locks).
+  static std::string keyOf(const Method &M, const std::vector<Receiver> &Held) {
+    std::string K = format("%u:", M.id());
+    for (const Receiver &R : Held)
+      K += format("[%d,%u,%u]", static_cast<int>(R.Kind), R.ParamIdx,
+                  R.LoopId);
+    return K;
+  }
+
+  void walkMethod(const Method &M, std::vector<Receiver> Held) {
+    const std::string Key = keyOf(M, Held);
+    if (!Visited.insert(Key).second)
+      return;
+    walkList(M, M.body(), Held);
+  }
+
+  void walkList(const Method &M, const std::vector<Stmt *> &List,
+                std::vector<Receiver> &Held) {
+    for (const Stmt *S : List) {
+      switch (S->kind()) {
+      case StmtKind::Compute:
+        break;
+      case StmtKind::Update: {
+        const Receiver R = stmtCast<UpdateStmt>(S).Recv;
+        if (std::find(Held.begin(), Held.end(), R) == Held.end())
+          Errors.push_back("atomicity violation: update of '" +
+                           printableRecv(R, M) + "' in '" + M.name() +
+                           "' outside its lock region");
+        break;
+      }
+      case StmtKind::Acquire:
+        Held.push_back(stmtCast<AcquireStmt>(S).Recv);
+        break;
+      case StmtKind::Release: {
+        const Receiver R = stmtCast<ReleaseStmt>(S).Recv;
+        auto It = std::find(Held.begin(), Held.end(), R);
+        if (It != Held.end())
+          Held.erase(It);
+        break;
+      }
+      case StmtKind::Call: {
+        const auto &C = stmtCast<CallStmt>(S);
+        // Translate held receivers into the callee's frame.
+        std::vector<Receiver> CalleeHeld;
+        std::vector<unsigned> ObjParams;
+        for (unsigned I = 0; I < C.callee()->params().size(); ++I)
+          if (C.callee()->param(I).isObject())
+            ObjParams.push_back(I);
+        for (const Receiver &H : Held) {
+          if (H == C.Recv)
+            CalleeHeld.push_back(Receiver::thisObj());
+          for (size_t A = 0; A < C.ObjArgs.size(); ++A)
+            if (H == C.ObjArgs[A])
+              CalleeHeld.push_back(Receiver::param(ObjParams[A]));
+        }
+        walkMethod(*C.callee(), std::move(CalleeHeld));
+        break;
+      }
+      case StmtKind::Loop:
+        walkList(M, stmtCast<LoopStmt>(S).Body, Held);
+        break;
+      }
+    }
+  }
+
+  static std::string printableRecv(const Receiver &R, const Method &M) {
+    switch (R.Kind) {
+    case RecvKind::This:
+      return "this";
+    case RecvKind::Param:
+    case RecvKind::ParamIndexed:
+      return R.ParamIdx < M.params().size() ? M.param(R.ParamIdx).Name
+                                            : "<bad param>";
+    }
+    return "<bad receiver>";
+  }
+
+  std::vector<std::string> &Errors;
+  std::set<std::string> Visited;
+};
+
+} // namespace
+
+std::vector<std::string> ir::verifyMethod(const Method &M) {
+  std::vector<std::string> Errors;
+  MethodVerifier(M, Errors).run();
+  return Errors;
+}
+
+std::vector<std::string> ir::verifyAtomicity(const Method &Entry) {
+  std::vector<std::string> Errors;
+  AtomicityChecker(Errors).check(Entry);
+  return Errors;
+}
+
+std::vector<std::string> ir::verifyModule(const Module &M,
+                                          const VerifyOptions &Opts) {
+  std::vector<std::string> Errors;
+  for (const auto &Meth : M.methods())
+    MethodVerifier(*Meth, Errors).run();
+  if (Opts.RequireAtomicUpdates) {
+    AtomicityChecker Checker(Errors);
+    for (const ParallelSection &S : M.sections())
+      Checker.check(*S.IterMethod);
+  }
+  return Errors;
+}

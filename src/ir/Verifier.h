@@ -1,0 +1,55 @@
+//===- ir/Verifier.h - Structural and atomicity checking -------*- C++ -*-===//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The verifier enforces the invariants every synchronization transformation
+/// must preserve: well-formed receivers, balanced LIFO lock regions, no
+/// self-deadlock, call typing, and (optionally, interprocedurally) that
+/// every commuting update executes while its receiver's lock is held -- the
+/// atomicity property the paper's generated code guarantees.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNFB_IR_VERIFIER_H
+#define DYNFB_IR_VERIFIER_H
+
+#include "ir/Module.h"
+
+#include <string>
+#include <vector>
+
+namespace dynfb::ir {
+
+/// Options controlling which invariants to enforce.
+struct VerifyOptions {
+  /// When set, every UpdateStmt reachable from a parallel section must
+  /// execute while the lock of its receiver is held (checked
+  /// interprocedurally with receiver translation across call frames).
+  /// Leave unset for serial (lock-free) modules.
+  bool RequireAtomicUpdates = false;
+};
+
+/// Returns the class of the object \p R designates inside \p M, or nullptr
+/// if \p R is malformed.
+const ClassDecl *receiverClass(const Receiver &R, const Method &M);
+
+/// Verifies the whole module. Returns human-readable error strings; an
+/// empty vector means the module is well-formed.
+std::vector<std::string> verifyModule(const Module &M,
+                                      const VerifyOptions &Opts = {});
+
+/// Verifies a single method's structural invariants (receivers, balance,
+/// typing of direct calls).
+std::vector<std::string> verifyMethod(const Method &M);
+
+/// Checks, interprocedurally from \p Entry, that every reachable UpdateStmt
+/// executes while its receiver's lock is held. Used on each generated
+/// section version (the paper's atomicity guarantee).
+std::vector<std::string> verifyAtomicity(const Method &Entry);
+
+} // namespace dynfb::ir
+
+#endif // DYNFB_IR_VERIFIER_H

@@ -1,0 +1,70 @@
+//===- rt/Backend.h - Whole-program execution backend -----------*- C++ -*-===//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A backend executes a whole application run: an alternating sequence of
+/// serial phases and parallel sections (the execution structure the paper's
+/// compiler generates). The driver walks the application's schedule, asking
+/// the backend for an IntervalRunner per parallel-section occurrence.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNFB_RT_BACKEND_H
+#define DYNFB_RT_BACKEND_H
+
+#include "rt/IntervalRunner.h"
+#include "rt/Time.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dynfb::rt {
+
+/// One phase of an application run.
+struct Phase {
+  enum class Kind { Serial, Parallel };
+  Kind K = Kind::Serial;
+  Nanos SerialNanos = 0;   ///< Serial work (Kind::Serial).
+  std::string SectionName; ///< Parallel section name (Kind::Parallel).
+
+  static Phase serial(Nanos Dur) {
+    Phase P;
+    P.K = Kind::Serial;
+    P.SerialNanos = Dur;
+    return P;
+  }
+  static Phase parallel(std::string Name) {
+    Phase P;
+    P.K = Kind::Parallel;
+    P.SectionName = std::move(Name);
+    return P;
+  }
+};
+
+/// An application's phase schedule.
+using Schedule = std::vector<Phase>;
+
+/// Execution backend abstraction (simulator or real threads).
+class ExecutionBackend {
+public:
+  virtual ~ExecutionBackend() = default;
+
+  /// Executes \p Dur of serial (single-processor) work.
+  virtual void runSerial(Nanos Dur) = 0;
+
+  /// Starts one occurrence of the named parallel section; the returned
+  /// runner is positioned at its first iteration.
+  virtual std::unique_ptr<IntervalRunner>
+  beginSection(const std::string &Name) = 0;
+
+  /// Current backend time.
+  virtual Nanos now() const = 0;
+};
+
+} // namespace dynfb::rt
+
+#endif // DYNFB_RT_BACKEND_H

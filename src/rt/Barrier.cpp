@@ -1,0 +1,28 @@
+//===- rt/Barrier.cpp -----------------------------------------------------==//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "rt/Barrier.h"
+
+using namespace dynfb::rt;
+
+Barrier::Barrier(unsigned Participants)
+    : Participants(Participants), Count(Participants) {}
+
+void Barrier::arriveAndWait() {
+  const uint32_t Gen = Generation.load(std::memory_order_acquire);
+  if (Count.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    // Last arriver: reset and release the generation.
+    Count.store(Participants, std::memory_order_relaxed);
+    Generation.fetch_add(1, std::memory_order_release);
+    Generation.notify_all();
+    return;
+  }
+  uint32_t Cur = Generation.load(std::memory_order_acquire);
+  while (Cur == Gen) {
+    Generation.wait(Cur, std::memory_order_acquire);
+    Cur = Generation.load(std::memory_order_acquire);
+  }
+}

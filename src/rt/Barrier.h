@@ -1,0 +1,39 @@
+//===- rt/Barrier.h - Reusable thread barrier -------------------*- C++ -*-===//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A reusable sense-reversing barrier for the real-threads backend. The
+/// generated code switches policies synchronously: when an interval expires,
+/// each processor waits at a barrier until all processors have detected the
+/// expiration (paper Section 4.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNFB_RT_BARRIER_H
+#define DYNFB_RT_BARRIER_H
+
+#include <atomic>
+#include <cstdint>
+
+namespace dynfb::rt {
+
+/// Reusable barrier over a fixed participant count.
+class Barrier {
+public:
+  explicit Barrier(unsigned Participants);
+
+  /// Blocks until all participants arrive. Safe to reuse immediately.
+  void arriveAndWait();
+
+private:
+  const unsigned Participants;
+  std::atomic<unsigned> Count;
+  std::atomic<uint32_t> Generation{0};
+};
+
+} // namespace dynfb::rt
+
+#endif // DYNFB_RT_BARRIER_H

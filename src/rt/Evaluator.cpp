@@ -1,0 +1,214 @@
+//===- rt/Evaluator.cpp ---------------------------------------------------==//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "rt/Evaluator.h"
+
+#include "ir/Verifier.h"
+#include "support/Compiler.h"
+#include "support/Random.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace dynfb;
+using namespace dynfb::ir;
+using namespace dynfb::rt;
+
+uint64_t ObjectStore::initialValue(unsigned ClsId, ObjectId Obj,
+                                   unsigned Field) {
+  SplitMix64 H((uint64_t(ClsId) << 40) ^ (uint64_t(Obj) << 8) ^ Field);
+  return H.next() | 1; // Nonzero.
+}
+
+uint64_t ObjectStore::read(const ClassDecl *Cls, ObjectId Obj,
+                           unsigned Field) const {
+  auto It = Values.find(std::make_tuple(Cls->id(), Obj, Field));
+  if (It != Values.end())
+    return It->second;
+  return initialValue(Cls->id(), Obj, Field);
+}
+
+void ObjectStore::write(const ClassDecl *Cls, ObjectId Obj, unsigned Field,
+                        uint64_t Value) {
+  Values[std::make_tuple(Cls->id(), Obj, Field)] = Value;
+}
+
+uint64_t ObjectStore::digest() const {
+  // Order-insensitive: sum of per-cell hashes (wrap-around addition
+  // commutes).
+  uint64_t Sum = 0;
+  for (const auto &[Key, Value] : Values) {
+    SplitMix64 H((uint64_t(std::get<0>(Key)) << 44) ^
+                 (uint64_t(std::get<1>(Key)) << 12) ^ std::get<2>(Key));
+    Sum += H.next() ^ (Value * 0x9e3779b97f4a7c15ULL);
+  }
+  return Sum;
+}
+
+uint64_t rt::applyBinOp(BinOp Op, uint64_t Old, uint64_t Value) {
+  switch (Op) {
+  case BinOp::Add:
+    return Old + Value;
+  case BinOp::Sub:
+    return Old - Value;
+  case BinOp::Mul:
+    return Old * Value;
+  case BinOp::Div:
+    return Value == 0 ? Old : Old / Value;
+  case BinOp::Min:
+    return std::min(Old, Value);
+  case BinOp::Max:
+    return std::max(Old, Value);
+  case BinOp::Assign:
+    return Value;
+  }
+  DYNFB_UNREACHABLE("invalid binary operator");
+}
+
+SectionEvaluator::SectionEvaluator(const Method *Entry,
+                                   const DataBinding &Binding)
+    : Entry(Entry), Binding(Binding) {
+  assert(Entry && "evaluator needs an entry method");
+}
+
+ObjRef SectionEvaluator::resolveRef(const Receiver &R, const Frame &F,
+                                    const LoopCtx &Ctx) const {
+  switch (R.Kind) {
+  case RecvKind::This:
+    return ObjRef::single(F.This);
+  case RecvKind::Param:
+    assert(R.ParamIdx < F.Params.size() && "unbound parameter");
+    return F.Params[R.ParamIdx];
+  case RecvKind::ParamIndexed: {
+    const ObjRef &Arr = F.Params[R.ParamIdx];
+    assert(Arr.IsArray && "indexed receiver over non-array binding");
+    return ObjRef::single(
+        Binding.elementOf(Arr.Id, Ctx.indexOf(R.LoopId), Ctx));
+  }
+  }
+  DYNFB_UNREACHABLE("invalid receiver kind");
+}
+
+ObjectId SectionEvaluator::resolveObject(const Receiver &R, const Method *M,
+                                         const Frame &F,
+                                         const LoopCtx &Ctx) const {
+  (void)M;
+  const ObjRef Ref = resolveRef(R, F, Ctx);
+  assert(!Ref.IsArray && "expected a single object");
+  return Ref.Id;
+}
+
+uint64_t SectionEvaluator::evalExpr(const Expr *E, const Method *M,
+                                    const Frame &F, const LoopCtx &Ctx,
+                                    const ObjectStore &Store) const {
+  switch (E->kind()) {
+  case ExprKind::FieldRead: {
+    const auto &FR = exprCast<FieldReadExpr>(E);
+    const ClassDecl *Cls = receiverClass(FR.Recv, *M);
+    assert(Cls && "malformed receiver");
+    return Store.read(Cls, resolveObject(FR.Recv, M, F, Ctx), FR.Field);
+  }
+  case ExprKind::ParamRead: {
+    // Scalar parameters: deterministic value derived from the iteration.
+    SplitMix64 H(Ctx.Iter * 131ULL +
+                 exprCast<ParamReadExpr>(E).ParamIdx);
+    return H.next();
+  }
+  case ExprKind::ConstFloat:
+    return static_cast<uint64_t>(exprCast<ConstFloatExpr>(E).Value);
+  case ExprKind::Binary: {
+    const auto &B = exprCast<BinaryExpr>(E);
+    return applyBinOp(B.Op, evalExpr(B.LHS, M, F, Ctx, Store),
+                      evalExpr(B.RHS, M, F, Ctx, Store));
+  }
+  case ExprKind::ExternCall: {
+    const auto &C = exprCast<ExternCallExpr>(E);
+    uint64_t H = 0xcbf29ce484222325ULL;
+    for (char Ch : C.Name)
+      H = (H ^ static_cast<uint64_t>(Ch)) * 0x100000001b3ULL;
+    for (const Expr *Arg : C.Args)
+      H = (H ^ evalExpr(Arg, M, F, Ctx, Store)) * 0x100000001b3ULL;
+    return H;
+  }
+  }
+  DYNFB_UNREACHABLE("invalid expression kind");
+}
+
+void SectionEvaluator::runList(const Method *M,
+                               const std::vector<Stmt *> &List,
+                               const Frame &F, LoopCtx &Ctx,
+                               ObjectStore &Store) const {
+  for (const Stmt *S : List) {
+    switch (S->kind()) {
+    case StmtKind::Compute:
+    case StmtKind::Acquire:
+    case StmtKind::Release:
+      break; // No value effects.
+    case StmtKind::Update: {
+      const auto &U = stmtCast<UpdateStmt>(S);
+      const ClassDecl *Cls = receiverClass(U.Recv, *M);
+      assert(Cls && "malformed update receiver");
+      const ObjectId Obj = resolveObject(U.Recv, M, F, Ctx);
+      const uint64_t Value = evalExpr(U.Value, M, F, Ctx, Store);
+      Store.write(Cls, Obj, U.Field,
+                  applyBinOp(U.Op, Store.read(Cls, Obj, U.Field), Value));
+      break;
+    }
+    case StmtKind::Call: {
+      const auto &C = stmtCast<CallStmt>(S);
+      const Method *Callee = C.callee();
+      Frame CalleeFrame;
+      CalleeFrame.This = resolveObject(C.Recv, M, F, Ctx);
+      CalleeFrame.ThisClass = Callee->owner();
+      CalleeFrame.Params.resize(Callee->params().size());
+      size_t NextArg = 0;
+      for (unsigned P = 0; P < Callee->params().size(); ++P) {
+        if (!Callee->param(P).isObject())
+          continue;
+        assert(NextArg < C.ObjArgs.size() && "missing object argument");
+        CalleeFrame.Params[P] = resolveRef(C.ObjArgs[NextArg++], F, Ctx);
+      }
+      runList(Callee, Callee->body(), CalleeFrame, Ctx, Store);
+      break;
+    }
+    case StmtKind::Loop: {
+      const auto &L = stmtCast<LoopStmt>(S);
+      const uint64_t Trip = Binding.tripCount(L.LoopId, Ctx);
+      Ctx.Loops.emplace_back(L.LoopId, 0);
+      for (uint64_t I = 0; I < Trip; ++I) {
+        Ctx.Loops.back().second = I;
+        runList(M, L.Body, F, Ctx, Store);
+      }
+      Ctx.Loops.pop_back();
+      break;
+    }
+    }
+  }
+}
+
+void SectionEvaluator::runIteration(uint64_t Iter, ObjectStore &Store) const {
+  Frame Top;
+  Top.This = Binding.thisObject(Iter);
+  Top.ThisClass = Entry->owner();
+  const std::vector<ObjRef> Args = Binding.sectionArgs(Iter);
+  Top.Params.resize(Entry->params().size());
+  size_t NextArg = 0;
+  for (unsigned P = 0; P < Entry->params().size(); ++P) {
+    if (!Entry->param(P).isObject())
+      continue;
+    assert(NextArg < Args.size() && "binding supplies too few section args");
+    Top.Params[P] = Args[NextArg++];
+  }
+  LoopCtx Ctx;
+  Ctx.Iter = Iter;
+  runList(Entry, Entry->body(), Top, Ctx, Store);
+}
+
+void SectionEvaluator::runAll(const std::vector<uint64_t> &Order,
+                              ObjectStore &Store) const {
+  for (uint64_t Iter : Order)
+    runIteration(Iter, Store);
+}

@@ -1,0 +1,99 @@
+//===- rt/Evaluator.h - Semantic evaluation of generated code ---*- C++ -*-===//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes section versions for their *values* rather than their costs:
+/// expressions are evaluated over an object store and commuting updates
+/// mutate it. Arithmetic is exact wrap-around 64-bit integer arithmetic,
+/// so the commuting operators (+, *, min, max) are exactly associative and
+/// commutative -- the final store is provably independent of both the lock
+/// placement and the iteration execution order, and the tests verify
+/// exactly that: every generated version of a section computes the same
+/// final state, under any schedule. (A transformation bug that dropped or
+/// duplicated an update would show up immediately.)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNFB_RT_EVALUATOR_H
+#define DYNFB_RT_EVALUATOR_H
+
+#include "ir/Module.h"
+#include "rt/Binding.h"
+
+#include <cstdint>
+#include <map>
+#include <tuple>
+
+namespace dynfb::rt {
+
+/// Field storage, keyed by (class, object, field). Objects of different
+/// classes are distinct even when a binding reuses numeric ids across
+/// classes (ids only name locks; identity is class-qualified).
+class ObjectStore {
+public:
+  /// Current value; unwritten fields have a deterministic nonzero initial
+  /// value derived from their identity (nonzero so multiplicative
+  /// accumulators stay informative).
+  uint64_t read(const ir::ClassDecl *Cls, ObjectId Obj,
+                unsigned Field) const;
+
+  void write(const ir::ClassDecl *Cls, ObjectId Obj, unsigned Field,
+             uint64_t Value);
+
+  /// Order-insensitive digest of the whole store (for equality checks).
+  uint64_t digest() const;
+
+  friend bool operator==(const ObjectStore &A, const ObjectStore &B) {
+    return A.Values == B.Values;
+  }
+
+private:
+  static uint64_t initialValue(unsigned ClsId, ObjectId Obj, unsigned Field);
+
+  std::map<std::tuple<unsigned, ObjectId, unsigned>, uint64_t> Values;
+};
+
+/// Evaluates iterations of one section version against an ObjectStore.
+/// Pure extern calls are modelled as deterministic hash functions of their
+/// argument values (the same extern name always computes the same
+/// function).
+class SectionEvaluator {
+public:
+  SectionEvaluator(const ir::Method *Entry, const DataBinding &Binding);
+
+  /// Executes iteration \p Iter, mutating \p Store.
+  void runIteration(uint64_t Iter, ObjectStore &Store) const;
+
+  /// Executes all iterations in the order given by \p Order (must be a
+  /// permutation of [0, iterationCount())).
+  void runAll(const std::vector<uint64_t> &Order, ObjectStore &Store) const;
+
+private:
+  struct Frame {
+    ObjectId This = 0;
+    const ir::ClassDecl *ThisClass = nullptr;
+    std::vector<ObjRef> Params;
+  };
+
+  void runList(const ir::Method *M, const std::vector<ir::Stmt *> &List,
+               const Frame &F, LoopCtx &Ctx, ObjectStore &Store) const;
+  uint64_t evalExpr(const ir::Expr *E, const ir::Method *M, const Frame &F,
+                    const LoopCtx &Ctx, const ObjectStore &Store) const;
+  ObjectId resolveObject(const ir::Receiver &R, const ir::Method *M,
+                         const Frame &F, const LoopCtx &Ctx) const;
+  ObjRef resolveRef(const ir::Receiver &R, const Frame &F,
+                    const LoopCtx &Ctx) const;
+
+  const ir::Method *const Entry;
+  const DataBinding &Binding;
+};
+
+/// Applies one commuting update operator over wrap-around 64-bit values.
+uint64_t applyBinOp(ir::BinOp Op, uint64_t Old, uint64_t Value);
+
+} // namespace dynfb::rt
+
+#endif // DYNFB_RT_EVALUATOR_H

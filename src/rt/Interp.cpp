@@ -1,0 +1,157 @@
+//===- rt/Interp.cpp ------------------------------------------------------==//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "rt/Interp.h"
+
+#include "support/Compiler.h"
+
+#include <cassert>
+
+using namespace dynfb;
+using namespace dynfb::ir;
+using namespace dynfb::rt;
+
+IterationEmitter::IterationEmitter(const Method *Entry,
+                                   const DataBinding &Binding,
+                                   const CostModel &Costs)
+    : Entry(Entry), Binding(Binding), Costs(Costs) {
+  assert(Entry && "emitter needs an entry method");
+}
+
+void IterationEmitter::pushCompute(std::vector<MicroOp> &Out, Nanos Dur) {
+  if (Dur <= 0)
+    return;
+  if (!Out.empty() && Out.back().K == MicroOp::Kind::Compute) {
+    Out.back().Dur += Dur;
+    return;
+  }
+  Out.push_back(MicroOp::compute(Dur));
+}
+
+ObjRef IterationEmitter::resolveRef(const Receiver &R, const Method *M,
+                                    const Frame &F, const LoopCtx &Ctx) const {
+  (void)M;
+  switch (R.Kind) {
+  case RecvKind::This:
+    return ObjRef::single(F.This);
+  case RecvKind::Param: {
+    assert(R.ParamIdx < F.Params.size() && "unbound parameter");
+    return F.Params[R.ParamIdx];
+  }
+  case RecvKind::ParamIndexed: {
+    assert(R.ParamIdx < F.Params.size() && "unbound parameter");
+    const ObjRef &Arr = F.Params[R.ParamIdx];
+    assert(Arr.IsArray && "indexed receiver over non-array binding");
+    return ObjRef::single(
+        Binding.elementOf(Arr.Id, Ctx.indexOf(R.LoopId), Ctx));
+  }
+  }
+  DYNFB_UNREACHABLE("invalid receiver kind");
+}
+
+ObjectId IterationEmitter::resolveObject(const Receiver &R, const Method *M,
+                                         const Frame &F,
+                                         const LoopCtx &Ctx) const {
+  const ObjRef Ref = resolveRef(R, M, F, Ctx);
+  assert(!Ref.IsArray && "expected a single object, found an array");
+  return Ref.Id;
+}
+
+void IterationEmitter::runList(const Method *M,
+                               const std::vector<Stmt *> &List,
+                               const Frame &F, LoopCtx &Ctx,
+                               std::vector<MicroOp> &Out) const {
+  for (const Stmt *S : List) {
+    switch (S->kind()) {
+    case StmtKind::Compute:
+      pushCompute(Out,
+                  Binding.computeNanos(stmtCast<ComputeStmt>(S).CostClass,
+                                       Ctx));
+      break;
+    case StmtKind::Update:
+      pushCompute(Out, Costs.UpdateNanos);
+      break;
+    case StmtKind::Acquire:
+      Out.push_back(MicroOp::acquire(
+          resolveObject(stmtCast<AcquireStmt>(S).Recv, M, F, Ctx)));
+      break;
+    case StmtKind::Release:
+      Out.push_back(MicroOp::release(
+          resolveObject(stmtCast<ReleaseStmt>(S).Recv, M, F, Ctx)));
+      break;
+    case StmtKind::Call: {
+      const auto &C = stmtCast<CallStmt>(S);
+      const Method *Callee = C.callee();
+      Frame CalleeFrame;
+      CalleeFrame.This = resolveObject(C.Recv, M, F, Ctx);
+      CalleeFrame.Params.resize(Callee->params().size());
+      size_t NextArg = 0;
+      for (unsigned P = 0; P < Callee->params().size(); ++P) {
+        if (!Callee->param(P).isObject())
+          continue;
+        assert(NextArg < C.ObjArgs.size() && "missing object argument");
+        CalleeFrame.Params[P] = resolveRef(C.ObjArgs[NextArg++], M, F, Ctx);
+      }
+      runMethod(Callee, CalleeFrame, Ctx, Out);
+      break;
+    }
+    case StmtKind::Loop: {
+      const auto &L = stmtCast<LoopStmt>(S);
+      const uint64_t Trip = Binding.tripCount(L.LoopId, Ctx);
+      Ctx.Loops.emplace_back(L.LoopId, 0);
+      for (uint64_t I = 0; I < Trip; ++I) {
+        Ctx.Loops.back().second = I;
+        runList(M, L.Body, F, Ctx, Out);
+      }
+      Ctx.Loops.pop_back();
+      break;
+    }
+    }
+  }
+}
+
+void IterationEmitter::runMethod(const Method *M, const Frame &F, LoopCtx &Ctx,
+                                 std::vector<MicroOp> &Out) const {
+  runList(M, M->body(), F, Ctx, Out);
+}
+
+void IterationEmitter::emit(uint64_t Iter, std::vector<MicroOp> &Out) const {
+  Out.clear();
+  Frame Top;
+  Top.This = Binding.thisObject(Iter);
+  const std::vector<ObjRef> Args = Binding.sectionArgs(Iter);
+  Top.Params.resize(Entry->params().size());
+  size_t NextArg = 0;
+  for (unsigned P = 0; P < Entry->params().size(); ++P) {
+    if (!Entry->param(P).isObject())
+      continue;
+    assert(NextArg < Args.size() && "binding supplies too few section args");
+    Top.Params[P] = Args[NextArg++];
+  }
+  LoopCtx Ctx;
+  Ctx.Iter = Iter;
+  runMethod(Entry, Top, Ctx, Out);
+}
+
+uint64_t IterationEmitter::countPairs(uint64_t Iter) const {
+  std::vector<MicroOp> Ops;
+  emit(Iter, Ops);
+  uint64_t Pairs = 0;
+  for (const MicroOp &Op : Ops)
+    if (Op.K == MicroOp::Kind::Acquire)
+      ++Pairs;
+  return Pairs;
+}
+
+Nanos IterationEmitter::computeTime(uint64_t Iter) const {
+  std::vector<MicroOp> Ops;
+  emit(Iter, Ops);
+  Nanos Total = 0;
+  for (const MicroOp &Op : Ops)
+    if (Op.K == MicroOp::Kind::Compute)
+      Total += Op.Dur;
+  return Total;
+}

@@ -1,0 +1,72 @@
+//===- rt/Interp.h - IR-to-microcode lowering -------------------*- C++ -*-===//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// IterationEmitter interprets one generated section version's IR for a
+/// given parallel iteration, resolving receivers to concrete objects and
+/// loop trip counts / compute costs through the application's DataBinding,
+/// and emits the flat MicroOp sequence the machine executes. Commuting
+/// updates are folded into compute time; adjacent computes are merged.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNFB_RT_INTERP_H
+#define DYNFB_RT_INTERP_H
+
+#include "ir/Module.h"
+#include "rt/Binding.h"
+#include "rt/CostModel.h"
+#include "rt/MicroOp.h"
+
+#include <vector>
+
+namespace dynfb::rt {
+
+/// Lowers iterations of one section version to micro-operations.
+class IterationEmitter {
+public:
+  /// \p Entry is the section version's entry method; \p Binding supplies the
+  /// data-dependent pieces; \p Costs prices field updates.
+  IterationEmitter(const ir::Method *Entry, const DataBinding &Binding,
+                   const CostModel &Costs);
+
+  /// Appends iteration \p Iter's micro-ops to \p Out (Out is cleared first).
+  void emit(uint64_t Iter, std::vector<MicroOp> &Out) const;
+
+  /// Counts the acquire/release pairs iteration \p Iter executes, without
+  /// materializing ops (used by analytical reports).
+  uint64_t countPairs(uint64_t Iter) const;
+
+  /// Sums the pure compute time of iteration \p Iter (updates included,
+  /// lock constructs excluded).
+  Nanos computeTime(uint64_t Iter) const;
+
+private:
+  struct Frame {
+    ObjectId This = 0;
+    std::vector<ObjRef> Params; ///< Indexed by object-parameter position.
+  };
+
+  void runMethod(const ir::Method *M, const Frame &F, LoopCtx &Ctx,
+                 std::vector<MicroOp> &Out) const;
+  void runList(const ir::Method *M, const std::vector<ir::Stmt *> &List,
+               const Frame &F, LoopCtx &Ctx, std::vector<MicroOp> &Out) const;
+
+  ObjectId resolveObject(const ir::Receiver &R, const ir::Method *M,
+                         const Frame &F, const LoopCtx &Ctx) const;
+  ObjRef resolveRef(const ir::Receiver &R, const ir::Method *M,
+                    const Frame &F, const LoopCtx &Ctx) const;
+
+  static void pushCompute(std::vector<MicroOp> &Out, Nanos Dur);
+
+  const ir::Method *const Entry;
+  const DataBinding &Binding;
+  const CostModel Costs;
+};
+
+} // namespace dynfb::rt
+
+#endif // DYNFB_RT_INTERP_H

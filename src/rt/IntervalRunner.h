@@ -1,0 +1,66 @@
+//===- rt/IntervalRunner.h - Backend abstraction for feedback ---*- C++ -*-===//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The contract between the dynamic feedback controller and an execution
+/// backend. A runner owns one parallel section execution: the controller
+/// repeatedly asks it to run a chosen code version until a target interval
+/// expires (or the section's work is exhausted), and receives the overhead
+/// measurements of that interval. Both the DASH-like simulator and the
+/// real-threads backend implement this interface; the controller is
+/// backend-agnostic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNFB_RT_INTERVALRUNNER_H
+#define DYNFB_RT_INTERVALRUNNER_H
+
+#include "rt/Stats.h"
+#include "rt/Time.h"
+
+#include <string>
+
+namespace dynfb::rt {
+
+/// Outcome of one interval: the measurements, the effective duration (from
+/// interval start until the last processor passed the synchronous switch
+/// barrier -- the paper's "effective sampling interval"), and whether the
+/// section finished during the interval.
+struct IntervalReport {
+  OverheadStats Stats;
+  Nanos EffectiveNanos = 0;
+  bool Finished = false;
+};
+
+/// One parallel section execution, multi-versioned.
+class IntervalRunner {
+public:
+  virtual ~IntervalRunner() = default;
+
+  /// Number of generated code versions of this section.
+  virtual unsigned numVersions() const = 0;
+
+  /// Display label of version \p V (e.g. "Original", "Bounded/Aggressive").
+  virtual std::string versionLabel(unsigned V) const = 0;
+
+  /// Runs version \p V from the current position until \p Target time has
+  /// elapsed (honoring potential switch points at iteration boundaries) or
+  /// the section finishes. All processors switch synchronously at a barrier.
+  virtual IntervalReport runInterval(unsigned V, Nanos Target) = 0;
+
+  /// True when every iteration of the section has executed.
+  virtual bool done() const = 0;
+
+  /// Restarts the section from its first iteration.
+  virtual void reset() = 0;
+
+  /// Current time on this backend's clock.
+  virtual Nanos now() const = 0;
+};
+
+} // namespace dynfb::rt
+
+#endif // DYNFB_RT_INTERVALRUNNER_H

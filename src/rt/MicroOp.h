@@ -1,0 +1,45 @@
+//===- rt/MicroOp.h - Flattened iteration micro-operations ------*- C++ -*-===//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One parallel-loop iteration, lowered to a flat sequence of primitive
+/// machine operations: compute for a duration, acquire a lock, release a
+/// lock. The simulator advances processors through these sequences; commuting
+/// updates are folded into compute durations at emission time and adjacent
+/// computes are merged.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNFB_RT_MICROOP_H
+#define DYNFB_RT_MICROOP_H
+
+#include "rt/Binding.h"
+#include "rt/Time.h"
+
+namespace dynfb::rt {
+
+/// One primitive operation of an iteration.
+struct MicroOp {
+  enum class Kind : uint8_t { Compute, Acquire, Release };
+
+  Kind K = Kind::Compute;
+  ObjectId Obj = 0; ///< Lock identity for Acquire/Release.
+  Nanos Dur = 0;    ///< Duration for Compute.
+
+  static MicroOp compute(Nanos Dur) {
+    return MicroOp{Kind::Compute, 0, Dur};
+  }
+  static MicroOp acquire(ObjectId O) {
+    return MicroOp{Kind::Acquire, O, 0};
+  }
+  static MicroOp release(ObjectId O) {
+    return MicroOp{Kind::Release, O, 0};
+  }
+};
+
+} // namespace dynfb::rt
+
+#endif // DYNFB_RT_MICROOP_H

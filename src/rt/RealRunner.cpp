@@ -1,0 +1,93 @@
+//===- rt/RealRunner.cpp --------------------------------------------------==//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "rt/RealRunner.h"
+
+#include <cassert>
+#include <chrono>
+
+using namespace dynfb::rt;
+
+Nanos dynfb::rt::steadyNow() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point Epoch = Clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                              Epoch)
+      .count();
+}
+
+void WorkerCtx::acquire(SpinLock &L) {
+  const Nanos T0 = steadyNow();
+  const uint64_t Failed = L.acquire();
+  const Nanos T1 = steadyNow();
+  ++Stats.AcquireReleasePairs;
+  Stats.FailedAcquires += Failed;
+  if (Failed == 0) {
+    Stats.LockOpNanos += T1 - T0;
+  } else {
+    // Split: a nominal uncontended-acquire slice counts as lock op, the
+    // remainder is waiting.
+    const Nanos Nominal = 50;
+    Stats.LockOpNanos += Nominal;
+    Stats.WaitNanos += (T1 - T0 > Nominal) ? (T1 - T0 - Nominal) : 0;
+  }
+}
+
+void WorkerCtx::release(SpinLock &L) {
+  const Nanos T0 = steadyNow();
+  L.release();
+  Stats.LockOpNanos += steadyNow() - T0;
+}
+
+RealSectionRunner::RealSectionRunner(ThreadTeam &Team,
+                                     std::vector<NativeVersion> Versions,
+                                     uint64_t NumIterations)
+    : Team(Team), Versions(std::move(Versions)),
+      NumIterations(NumIterations) {
+  assert(!this->Versions.empty() && "section needs at least one version");
+}
+
+IntervalReport RealSectionRunner::runInterval(unsigned V, Nanos Target) {
+  assert(V < Versions.size() && "version index out of range");
+  const NativeVersion &Version = Versions[V];
+
+  const Nanos Start = steadyNow();
+  const Nanos Deadline = Start + Target;
+
+  std::vector<OverheadStats> PerWorker(Team.size());
+  std::vector<Nanos> EndTimes(Team.size(), Start);
+
+  Team.run([&](unsigned Worker) {
+    WorkerCtx Ctx;
+    const Nanos WorkerStart = steadyNow();
+    for (;;) {
+      // Potential switch point: poll the timer at iteration granularity.
+      if (steadyNow() >= Deadline)
+        break;
+      const uint64_t Iter = NextIter.fetch_add(1);
+      if (Iter >= NumIterations)
+        break;
+      Version.Body(Iter, Ctx);
+    }
+    const Nanos WorkerEnd = steadyNow();
+    Ctx.Stats.ExecNanos = WorkerEnd - WorkerStart;
+    PerWorker[Worker] = Ctx.Stats;
+    EndTimes[Worker] = WorkerEnd;
+  });
+  // Team.run returning is the synchronous-switch barrier: all workers have
+  // stopped running the old version.
+
+  IntervalReport Report;
+  Nanos LastEnd = Start;
+  for (unsigned W = 0; W < Team.size(); ++W) {
+    Report.Stats.merge(PerWorker[W]);
+    if (EndTimes[W] > LastEnd)
+      LastEnd = EndTimes[W];
+  }
+  Report.EffectiveNanos = LastEnd - Start;
+  Report.Finished = NextIter.load() >= NumIterations;
+  return Report;
+}

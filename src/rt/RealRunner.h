@@ -1,0 +1,86 @@
+//===- rt/RealRunner.h - Real-threads section runner ------------*- C++ -*-===//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The real-threads execution backend: native multi-versioned parallel
+/// sections driven by the dynamic feedback controller through the
+/// IntervalRunner interface. Iterations are scheduled dynamically over a
+/// persistent worker team; each worker polls the clock at iteration
+/// boundaries (the potential switch points) and all workers join a barrier
+/// before the policy switches -- the synchronous switching of Section 4.1.
+///
+/// Application code expresses a version as a closure over (iteration index,
+/// WorkerCtx); critical regions use WorkerCtx::acquire/release on SpinLocks
+/// so the locking and waiting overheads are measured exactly as the paper's
+/// instrumentation measures them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNFB_RT_REALRUNNER_H
+#define DYNFB_RT_REALRUNNER_H
+
+#include "rt/IntervalRunner.h"
+#include "rt/SpinLock.h"
+#include "rt/ThreadTeam.h"
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace dynfb::rt {
+
+/// Returns the host steady clock as Nanos since an arbitrary process epoch.
+Nanos steadyNow();
+
+/// Per-worker instrumentation context. Iteration bodies perform their
+/// critical regions through it so overhead is accounted.
+class WorkerCtx {
+public:
+  /// Acquires \p L, accumulating failed-attempt count, waiting time and
+  /// lock-op time.
+  void acquire(SpinLock &L);
+
+  /// Releases \p L.
+  void release(SpinLock &L);
+
+  OverheadStats Stats;
+};
+
+/// One native code version of a parallel section.
+struct NativeVersion {
+  std::string Label;
+  std::function<void(uint64_t Iter, WorkerCtx &Ctx)> Body;
+};
+
+/// IntervalRunner over real threads.
+class RealSectionRunner : public IntervalRunner {
+public:
+  RealSectionRunner(ThreadTeam &Team, std::vector<NativeVersion> Versions,
+                    uint64_t NumIterations);
+
+  unsigned numVersions() const override {
+    return static_cast<unsigned>(Versions.size());
+  }
+  std::string versionLabel(unsigned V) const override {
+    return Versions[V].Label;
+  }
+  IntervalReport runInterval(unsigned V, Nanos Target) override;
+  bool done() const override { return NextIter.load() >= NumIterations; }
+  void reset() override { NextIter.store(0); }
+  Nanos now() const override { return steadyNow(); }
+
+private:
+  ThreadTeam &Team;
+  const std::vector<NativeVersion> Versions;
+  const uint64_t NumIterations;
+  std::atomic<uint64_t> NextIter{0};
+};
+
+} // namespace dynfb::rt
+
+#endif // DYNFB_RT_REALRUNNER_H

@@ -1,0 +1,23 @@
+//===- rt/SpinLock.cpp ----------------------------------------------------==//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "rt/SpinLock.h"
+
+#include <thread>
+
+using namespace dynfb::rt;
+
+uint64_t SpinLock::acquire() {
+  uint64_t Failed = 0;
+  while (!tryAcquire()) {
+    ++Failed;
+    // Back off briefly so single-core hosts make progress: after a burst of
+    // raw attempts, yield the processor to the lock holder.
+    if ((Failed & 0x3f) == 0)
+      std::this_thread::yield();
+  }
+  return Failed;
+}

@@ -1,0 +1,46 @@
+//===- rt/SpinLock.h - Counting test-and-set spin lock ----------*- C++ -*-===//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A test-and-test-and-set spin lock mirroring the paper's use of the DASH
+/// hardware lock construct: the caller repeatedly attempts to acquire and
+/// counts failed attempts, from which the waiting overhead is computed
+/// (paper Section 4.3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNFB_RT_SPINLOCK_H
+#define DYNFB_RT_SPINLOCK_H
+
+#include <atomic>
+#include <cstdint>
+
+namespace dynfb::rt {
+
+/// Counting spin lock for the real-threads backend.
+class SpinLock {
+public:
+  /// One hardware-style acquire attempt; true if the lock was taken.
+  bool tryAcquire() {
+    if (Flag.load(std::memory_order_relaxed) != 0)
+      return false;
+    return Flag.exchange(1, std::memory_order_acquire) == 0;
+  }
+
+  /// Spins until acquired; returns the number of failed attempts.
+  uint64_t acquire();
+
+  void release() { Flag.store(0, std::memory_order_release); }
+
+  bool isHeld() const { return Flag.load(std::memory_order_relaxed) != 0; }
+
+private:
+  std::atomic<uint32_t> Flag{0};
+};
+
+} // namespace dynfb::rt
+
+#endif // DYNFB_RT_SPINLOCK_H

@@ -1,0 +1,13 @@
+//===- rt/Stats.cpp -------------------------------------------------------==//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+// OverheadStats is header-only; this file anchors the library target.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rt/Stats.h"
+
+namespace dynfb::rt {
+// Anchor.
+} // namespace dynfb::rt

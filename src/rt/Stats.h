@@ -1,0 +1,65 @@
+//===- rt/Stats.h - Overhead measurement (paper Section 4.3) ----*- C++ -*-===//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The three measurements the generated code collects to evaluate a
+/// synchronization policy: locking overhead (acquire/release pair count
+/// times pair cost), waiting overhead (failed acquire count times attempt
+/// cost) and execution time. The total overhead is (locking + waiting) /
+/// execution time, always in [0, 1].
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNFB_RT_STATS_H
+#define DYNFB_RT_STATS_H
+
+#include "rt/Time.h"
+
+#include <cstdint>
+
+namespace dynfb::rt {
+
+/// Aggregated overhead measurements over some span of execution (one
+/// sampling interval, one production interval, or a whole run). ExecNanos
+/// sums the per-processor execution time, and -- as in the paper -- includes
+/// the waiting time and the time spent acquiring and releasing locks.
+struct OverheadStats {
+  uint64_t AcquireReleasePairs = 0; ///< Successful acquire (and release) count.
+  uint64_t FailedAcquires = 0;      ///< Failed acquire attempts while spinning.
+  Nanos LockOpNanos = 0;            ///< Time in successful lock constructs.
+  Nanos WaitNanos = 0;              ///< Time spent waiting (spinning).
+  Nanos ExecNanos = 0;              ///< Total execution time across processors.
+
+  /// Total overhead in [0, 1]: the proportion of the execution time spent
+  /// executing lock constructs or waiting for locks.
+  double totalOverhead() const {
+    if (ExecNanos <= 0)
+      return 0.0;
+    const double Ratio = static_cast<double>(LockOpNanos + WaitNanos) /
+                         static_cast<double>(ExecNanos);
+    return Ratio < 0.0 ? 0.0 : (Ratio > 1.0 ? 1.0 : Ratio);
+  }
+
+  /// Proportion of execution time spent waiting (the paper's Figure 7).
+  double waitingProportion() const {
+    if (ExecNanos <= 0)
+      return 0.0;
+    return static_cast<double>(WaitNanos) / static_cast<double>(ExecNanos);
+  }
+
+  /// Folds \p Other into this accumulator.
+  void merge(const OverheadStats &Other) {
+    AcquireReleasePairs += Other.AcquireReleasePairs;
+    FailedAcquires += Other.FailedAcquires;
+    LockOpNanos += Other.LockOpNanos;
+    WaitNanos += Other.WaitNanos;
+    ExecNanos += Other.ExecNanos;
+  }
+};
+
+} // namespace dynfb::rt
+
+#endif // DYNFB_RT_STATS_H

@@ -1,0 +1,68 @@
+//===- rt/ThreadTeam.cpp --------------------------------------------------==//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "rt/ThreadTeam.h"
+
+#include <cassert>
+
+using namespace dynfb::rt;
+
+ThreadTeam::ThreadTeam(unsigned Size) : Size(Size) {
+  assert(Size >= 1 && "team needs at least one worker");
+  Threads.reserve(Size - 1);
+  for (unsigned I = 1; I < Size; ++I)
+    Threads.emplace_back([this, I] { workerMain(I); });
+}
+
+ThreadTeam::~ThreadTeam() {
+  {
+    std::lock_guard<std::mutex> Lock(Mtx);
+    ShuttingDown = true;
+  }
+  CvStart.notify_all();
+  for (std::thread &T : Threads)
+    T.join();
+}
+
+void ThreadTeam::run(const std::function<void(unsigned)> &Job) {
+  {
+    std::lock_guard<std::mutex> Lock(Mtx);
+    CurrentJob = &Job;
+    Remaining = Size - 1;
+    ++JobGeneration;
+  }
+  CvStart.notify_all();
+
+  // Worker 0 is the caller.
+  Job(0);
+
+  std::unique_lock<std::mutex> Lock(Mtx);
+  CvDone.wait(Lock, [this] { return Remaining == 0; });
+  CurrentJob = nullptr;
+}
+
+void ThreadTeam::workerMain(unsigned Idx) {
+  uint64_t SeenGeneration = 0;
+  for (;;) {
+    const std::function<void(unsigned)> *Job = nullptr;
+    {
+      std::unique_lock<std::mutex> Lock(Mtx);
+      CvStart.wait(Lock, [&] {
+        return ShuttingDown || JobGeneration != SeenGeneration;
+      });
+      if (ShuttingDown)
+        return;
+      SeenGeneration = JobGeneration;
+      Job = CurrentJob;
+    }
+    (*Job)(Idx);
+    {
+      std::lock_guard<std::mutex> Lock(Mtx);
+      if (--Remaining == 0)
+        CvDone.notify_all();
+    }
+  }
+}

@@ -1,0 +1,58 @@
+//===- rt/ThreadTeam.h - Persistent worker team -----------------*- C++ -*-===//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A persistent pool of worker threads for the real-threads backend. Jobs
+/// are closures invoked once per worker with the worker index; run()
+/// blocks until every worker has finished. Keeping the threads alive across
+/// sections mirrors the paper's SPMD execution model.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNFB_RT_THREADTEAM_H
+#define DYNFB_RT_THREADTEAM_H
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dynfb::rt {
+
+/// Fixed-size worker team. Worker 0 is the calling thread, so a team of
+/// size N uses N-1 background threads.
+class ThreadTeam {
+public:
+  explicit ThreadTeam(unsigned Size);
+  ~ThreadTeam();
+
+  ThreadTeam(const ThreadTeam &) = delete;
+  ThreadTeam &operator=(const ThreadTeam &) = delete;
+
+  unsigned size() const { return Size; }
+
+  /// Runs \p Job(WorkerIdx) on every worker (0..size-1) and blocks until all
+  /// have returned. Worker 0 executes on the calling thread.
+  void run(const std::function<void(unsigned)> &Job);
+
+private:
+  void workerMain(unsigned Idx);
+
+  const unsigned Size;
+  std::vector<std::thread> Threads;
+
+  std::mutex Mtx;
+  std::condition_variable CvStart, CvDone;
+  const std::function<void(unsigned)> *CurrentJob = nullptr;
+  uint64_t JobGeneration = 0;
+  unsigned Remaining = 0;
+  bool ShuttingDown = false;
+};
+
+} // namespace dynfb::rt
+
+#endif // DYNFB_RT_THREADTEAM_H

@@ -1,0 +1,43 @@
+//===- rt/Time.h - Time representation --------------------------*- C++ -*-===//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Time is represented as signed 64-bit nanoseconds throughout the runtime,
+/// whether the clock is the simulator's virtual clock or the host's steady
+/// clock. Helpers convert to and from seconds for reporting.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNFB_RT_TIME_H
+#define DYNFB_RT_TIME_H
+
+#include <cstdint>
+
+namespace dynfb::rt {
+
+/// Nanoseconds, virtual or real.
+using Nanos = int64_t;
+
+inline constexpr Nanos NanosPerSecond = 1000000000LL;
+
+/// Converts seconds to nanoseconds (truncating).
+inline constexpr Nanos secondsToNanos(double Seconds) {
+  return static_cast<Nanos>(Seconds * 1e9);
+}
+
+/// Converts nanoseconds to seconds.
+inline constexpr double nanosToSeconds(Nanos N) {
+  return static_cast<double>(N) * 1e-9;
+}
+
+/// Converts milliseconds to nanoseconds.
+inline constexpr Nanos millisToNanos(double Millis) {
+  return static_cast<Nanos>(Millis * 1e6);
+}
+
+} // namespace dynfb::rt
+
+#endif // DYNFB_RT_TIME_H

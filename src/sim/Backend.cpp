@@ -1,0 +1,36 @@
+//===- sim/Backend.cpp ----------------------------------------------------==//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Backend.h"
+
+#include "support/Compiler.h"
+
+#include <cassert>
+
+using namespace dynfb;
+using namespace dynfb::sim;
+
+void SimBackend::addSection(const std::string &Name,
+                            const rt::DataBinding *Binding,
+                            std::vector<SimVersion> Versions) {
+  assert(Binding && "section registered without a binding");
+  assert(!Versions.empty() && "section registered without versions");
+  Sections[Name] = SectionInfo{Binding, std::move(Versions)};
+}
+
+std::unique_ptr<SimSectionRunner>
+SimBackend::beginSectionSim(const std::string &Name) {
+  auto It = Sections.find(Name);
+  if (It == Sections.end())
+    reportFatalError("beginSection: unknown parallel section name");
+  return std::make_unique<SimSectionRunner>(
+      Machine, *It->second.Binding, It->second.Versions, Instrumented);
+}
+
+std::unique_ptr<rt::IntervalRunner>
+SimBackend::beginSection(const std::string &Name) {
+  return beginSectionSim(Name);
+}

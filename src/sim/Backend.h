@@ -1,0 +1,66 @@
+//===- sim/Backend.h - Simulator execution backend ---------------*- C++ -*-===//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// ExecutionBackend over the SimMachine. Applications register each parallel
+/// section's data binding and generated code versions; each beginSection
+/// call produces a fresh SimSectionRunner positioned at iteration zero.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNFB_SIM_BACKEND_H
+#define DYNFB_SIM_BACKEND_H
+
+#include "rt/Backend.h"
+#include "rt/Binding.h"
+#include "sim/Machine.h"
+#include "sim/SectionSim.h"
+
+#include <map>
+#include <string>
+
+namespace dynfb::sim {
+
+/// Simulated-machine backend. \p Instrumented reflects the executable
+/// flavour: the Dynamic executable compiles in the overhead instrumentation,
+/// the static (single-policy) executables do not.
+class SimBackend : public rt::ExecutionBackend {
+public:
+  SimBackend(unsigned NumProcs, rt::CostModel Costs, bool Instrumented)
+      : Machine(NumProcs, Costs), Instrumented(Instrumented) {}
+
+  /// Registers a section. \p Binding must outlive the backend.
+  void addSection(const std::string &Name, const rt::DataBinding *Binding,
+                  std::vector<SimVersion> Versions);
+
+  void runSerial(rt::Nanos Dur) override { Machine.advance(Dur); }
+
+  std::unique_ptr<rt::IntervalRunner>
+  beginSection(const std::string &Name) override;
+
+  /// Like beginSection but with the concrete simulator type, so callers can
+  /// attach an IntervalTrace.
+  std::unique_ptr<SimSectionRunner>
+  beginSectionSim(const std::string &Name);
+
+  rt::Nanos now() const override { return Machine.now(); }
+
+  SimMachine &machine() { return Machine; }
+
+private:
+  struct SectionInfo {
+    const rt::DataBinding *Binding = nullptr;
+    std::vector<SimVersion> Versions;
+  };
+
+  SimMachine Machine;
+  const bool Instrumented;
+  std::map<std::string, SectionInfo> Sections;
+};
+
+} // namespace dynfb::sim
+
+#endif // DYNFB_SIM_BACKEND_H

@@ -1,0 +1,13 @@
+//===- sim/Machine.cpp ----------------------------------------------------==//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+// SimMachine is header-only; this file anchors the library target.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Machine.h"
+
+namespace dynfb::sim {
+// Anchor.
+} // namespace dynfb::sim

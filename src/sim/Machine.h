@@ -1,0 +1,55 @@
+//===- sim/Machine.h - Simulated multiprocessor state -----------*- C++ -*-===//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The simulated DASH-like shared-memory multiprocessor: a processor count,
+/// a cost model and a global virtual clock. Serial phases advance the clock
+/// directly; parallel sections are simulated event-driven by
+/// SimSectionRunner, which advances the clock by each interval's effective
+/// duration. All of the paper's machine experiments run on this substrate,
+/// which makes every measurement deterministic and host-independent.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNFB_SIM_MACHINE_H
+#define DYNFB_SIM_MACHINE_H
+
+#include "rt/CostModel.h"
+#include "rt/Time.h"
+
+#include <cassert>
+
+namespace dynfb::sim {
+
+/// Virtual machine state shared by all simulated sections of one run.
+class SimMachine {
+public:
+  SimMachine(unsigned NumProcs, rt::CostModel Costs)
+      : NumProcs(NumProcs), Costs(Costs) {
+    assert(NumProcs >= 1 && "machine needs at least one processor");
+  }
+
+  unsigned numProcs() const { return NumProcs; }
+  const rt::CostModel &costs() const { return Costs; }
+
+  /// Current global virtual time.
+  rt::Nanos now() const { return Clock; }
+
+  /// Advances the clock (serial phases, barrier episodes).
+  void advance(rt::Nanos Dur) {
+    assert(Dur >= 0 && "cannot advance time backwards");
+    Clock += Dur;
+  }
+
+private:
+  const unsigned NumProcs;
+  const rt::CostModel Costs;
+  rt::Nanos Clock = 0;
+};
+
+} // namespace dynfb::sim
+
+#endif // DYNFB_SIM_MACHINE_H

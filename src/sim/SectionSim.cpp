@@ -1,0 +1,234 @@
+//===- sim/SectionSim.cpp -------------------------------------------------==//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Event-driven simulation. Runnable processors live in a min-heap keyed by
+// their local virtual clock; the processor with the smallest clock executes
+// its next micro-op. Processing in global time order makes lock request
+// ordering exact: an acquire processed later was issued later. Blocked
+// processors leave the heap and are re-inserted when the lock holder's
+// release grants them the lock (FIFO), with their waiting time converted
+// into counted failed acquire attempts, exactly how the paper's
+// instrumentation accounts waiting overhead.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/SectionSim.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <queue>
+
+using namespace dynfb;
+using namespace dynfb::rt;
+using namespace dynfb::sim;
+
+SimSectionRunner::SimSectionRunner(SimMachine &Machine,
+                                   const DataBinding &Binding,
+                                   std::vector<SimVersion> Versions,
+                                   bool Instrumented)
+    : Machine(Machine), Binding(Binding), Versions(std::move(Versions)),
+      Instrumented(Instrumented), NumIterations(Binding.iterationCount()) {
+  assert(!this->Versions.empty() && "section needs at least one version");
+  Emitters.reserve(this->Versions.size());
+  for (const SimVersion &V : this->Versions)
+    Emitters.emplace_back(V.Entry, Binding, Machine.costs());
+}
+
+SimSectionRunner::~SimSectionRunner() = default;
+
+namespace {
+
+struct Proc {
+  Nanos Clock = 0;
+  std::vector<MicroOp> Ops;
+  size_t Pc = 0;
+  bool HasIteration = false;
+  bool Stopped = false;
+  Nanos EndTime = 0;
+  OverheadStats Stats;
+};
+
+struct SimLock {
+  bool Held = false;
+  std::deque<uint32_t> Waiters;
+};
+
+struct HeapEntry {
+  Nanos T;
+  uint32_t P;
+  friend bool operator>(const HeapEntry &A, const HeapEntry &B) {
+    if (A.T != B.T)
+      return A.T > B.T;
+    return A.P > B.P;
+  }
+};
+
+} // namespace
+
+IntervalReport SimSectionRunner::runInterval(unsigned V, Nanos Target) {
+  assert(V < Versions.size() && "version index out of range");
+  const CostModel &CM = Machine.costs();
+  const Nanos Start = Machine.now();
+  const Nanos Deadline = Start + Target;
+  const Nanos AcqCost =
+      CM.AcquireNanos + (Instrumented ? CM.InstrumentNanos : 0);
+  const Nanos RelCost =
+      CM.ReleaseNanos + (Instrumented ? CM.InstrumentNanos : 0);
+
+  const unsigned P = Machine.numProcs();
+  std::vector<Proc> Procs(P);
+  std::vector<SimLock> Locks(Binding.objectCount());
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                      std::greater<HeapEntry>>
+      Ready;
+
+  for (unsigned I = 0; I < P; ++I) {
+    Procs[I].Clock = Start;
+    Ready.push(HeapEntry{Start, I});
+  }
+
+  if (Trace) {
+    Trace->clear();
+    Trace->Procs.resize(P);
+  }
+
+  auto Stop = [&](Proc &Pr) {
+    Pr.Stopped = true;
+    Pr.EndTime = Pr.Clock;
+  };
+
+  const IterationEmitter &Emitter = Emitters[V];
+
+  while (!Ready.empty()) {
+    const HeapEntry Top = Ready.top();
+    Ready.pop();
+    Proc &Pr = Procs[Top.P];
+    assert(!Pr.Stopped && "stopped processor in ready heap");
+
+    if (!Pr.HasIteration) {
+      // Dynamic self-scheduling: fetch the next iteration.
+      Pr.Clock += CM.SchedFetchNanos;
+      if (Trace)
+        Trace->Procs[Top.P].OverheadNanos += CM.SchedFetchNanos;
+      if (NextIter >= NumIterations) {
+        Stop(Pr);
+        continue;
+      }
+      Emitter.emit(NextIter++, Pr.Ops);
+      Pr.Pc = 0;
+      Pr.HasIteration = true;
+      if (Trace)
+        ++Trace->Procs[Top.P].Iterations;
+      Ready.push(HeapEntry{Pr.Clock, Top.P});
+      continue;
+    }
+
+    if (Pr.Pc == Pr.Ops.size()) {
+      // Potential switch point: poll the timer at the iteration boundary.
+      Pr.Clock += CM.TimerReadNanos;
+      if (Trace)
+        Trace->Procs[Top.P].OverheadNanos += CM.TimerReadNanos;
+      Pr.HasIteration = false;
+      if (Pr.Clock >= Deadline)
+        Stop(Pr);
+      else
+        Ready.push(HeapEntry{Pr.Clock, Top.P});
+      continue;
+    }
+
+    const MicroOp &Op = Pr.Ops[Pr.Pc];
+    switch (Op.K) {
+    case MicroOp::Kind::Compute:
+      Pr.Clock += Op.Dur;
+      ++Pr.Pc;
+      if (Trace)
+        Trace->Procs[Top.P].ComputeNanos += Op.Dur;
+      Ready.push(HeapEntry{Pr.Clock, Top.P});
+      break;
+
+    case MicroOp::Kind::Acquire: {
+      SimLock &L = Locks[Op.Obj];
+      if (!L.Held) {
+        L.Held = true;
+        ++Pr.Stats.AcquireReleasePairs;
+        Pr.Stats.LockOpNanos += AcqCost;
+        Pr.Clock += AcqCost;
+        ++Pr.Pc;
+        if (Trace) {
+          Trace->Procs[Top.P].LockOpNanos += AcqCost;
+          ++Trace->Locks[Op.Obj].Acquires;
+        }
+        Ready.push(HeapEntry{Pr.Clock, Top.P});
+      } else {
+        // Block: the processor spins until the holder's release grants it
+        // the lock. Its clock stays at the request time.
+        L.Waiters.push_back(Top.P);
+      }
+      break;
+    }
+
+    case MicroOp::Kind::Release: {
+      SimLock &L = Locks[Op.Obj];
+      assert(L.Held && "release of a free lock");
+      Pr.Stats.LockOpNanos += RelCost;
+      Pr.Clock += RelCost;
+      ++Pr.Pc;
+      if (Trace)
+        Trace->Procs[Top.P].LockOpNanos += RelCost;
+      if (!L.Waiters.empty()) {
+        const uint32_t W = L.Waiters.front();
+        L.Waiters.pop_front();
+        Proc &Waiter = Procs[W];
+        const Nanos Wait = Pr.Clock - Waiter.Clock;
+        assert(Wait >= 0 && "negative waiting time");
+        Waiter.Stats.WaitNanos += Wait;
+        Waiter.Stats.FailedAcquires +=
+            Wait > 0 ? static_cast<uint64_t>((Wait + CM.FailedAcquireNanos -
+                                              1) /
+                                             CM.FailedAcquireNanos)
+                     : 1;
+        Waiter.Clock = Pr.Clock;
+        // The granted waiter completes its acquire.
+        ++Waiter.Stats.AcquireReleasePairs;
+        Waiter.Stats.LockOpNanos += AcqCost;
+        Waiter.Clock += AcqCost;
+        ++Waiter.Pc;
+        if (Trace) {
+          IntervalTrace::ProcSummary &WS = Trace->Procs[W];
+          WS.WaitNanos += Wait;
+          WS.LockOpNanos += AcqCost;
+          IntervalTrace::LockSummary &LS = Trace->Locks[Op.Obj];
+          ++LS.Acquires;
+          ++LS.Contended;
+          LS.WaitNanos += Wait;
+        }
+        Ready.push(HeapEntry{Waiter.Clock, W});
+      } else {
+        L.Held = false;
+      }
+      Ready.push(HeapEntry{Pr.Clock, Top.P});
+      break;
+    }
+    }
+  }
+
+  IntervalReport Report;
+  Nanos LastEnd = Start;
+  for (Proc &Pr : Procs) {
+    assert(Pr.Stopped && "processor never reached the switch barrier");
+    Pr.Stats.ExecNanos = Pr.EndTime - Start;
+    Report.Stats.merge(Pr.Stats);
+    LastEnd = std::max(LastEnd, Pr.EndTime);
+  }
+  Report.EffectiveNanos = LastEnd - Start;
+  Report.Finished = NextIter >= NumIterations;
+
+  // Synchronous switch: all processors wait at a barrier for the slowest,
+  // then the machine proceeds.
+  Machine.advance(Report.EffectiveNanos + CM.BarrierNanos);
+  return Report;
+}

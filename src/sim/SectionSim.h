@@ -1,0 +1,79 @@
+//===- sim/SectionSim.h - Event-driven parallel section simulation -*- C++ -*//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Simulates one multi-versioned parallel section on the SimMachine,
+/// implementing the IntervalRunner contract the dynamic feedback controller
+/// drives. Processors execute iterations (lowered to micro-ops by the IR
+/// interpreter) under dynamic self-scheduling; spin locks are FIFO with
+/// waiting time converted into counted failed acquires; every iteration
+/// boundary polls the (virtual) timer -- the potential switch points of
+/// paper Section 4.1 -- and interval expiration ends with a synchronous
+/// barrier.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNFB_SIM_SECTIONSIM_H
+#define DYNFB_SIM_SECTIONSIM_H
+
+#include "ir/Module.h"
+#include "rt/Binding.h"
+#include "rt/Interp.h"
+#include "rt/IntervalRunner.h"
+#include "sim/Machine.h"
+#include "sim/Trace.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dynfb::sim {
+
+/// One code version to simulate: a display label and the generated entry
+/// method.
+struct SimVersion {
+  std::string Label;
+  const ir::Method *Entry = nullptr;
+};
+
+/// IntervalRunner over the simulated machine.
+class SimSectionRunner : public rt::IntervalRunner {
+public:
+  /// \p Instrumented adds the overhead-measurement cost to every lock
+  /// operation (the Dynamic executable always runs instrumented code).
+  SimSectionRunner(SimMachine &Machine, const rt::DataBinding &Binding,
+                   std::vector<SimVersion> Versions, bool Instrumented);
+  ~SimSectionRunner() override;
+
+  unsigned numVersions() const override {
+    return static_cast<unsigned>(Versions.size());
+  }
+  std::string versionLabel(unsigned V) const override {
+    return Versions[V].Label;
+  }
+  rt::IntervalReport runInterval(unsigned V, rt::Nanos Target) override;
+  bool done() const override { return NextIter >= NumIterations; }
+  void reset() override { NextIter = 0; }
+  rt::Nanos now() const override { return Machine.now(); }
+
+  /// Attaches a trace; each subsequent runInterval fills it (clearing any
+  /// previous contents). Pass nullptr to detach.
+  void attachTrace(IntervalTrace *T) { Trace = T; }
+
+private:
+  IntervalTrace *Trace = nullptr;
+  SimMachine &Machine;
+  const rt::DataBinding &Binding;
+  const std::vector<SimVersion> Versions;
+  std::vector<rt::IterationEmitter> Emitters; ///< One per version.
+  const bool Instrumented;
+  const uint64_t NumIterations;
+  uint64_t NextIter = 0;
+};
+
+} // namespace dynfb::sim
+
+#endif // DYNFB_SIM_SECTIONSIM_H

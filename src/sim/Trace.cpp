@@ -1,0 +1,52 @@
+//===- sim/Trace.cpp ------------------------------------------------------==//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Trace.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+
+using namespace dynfb;
+using namespace dynfb::sim;
+
+std::vector<std::pair<rt::ObjectId, IntervalTrace::LockSummary>>
+IntervalTrace::hottestLocks() const {
+  std::vector<std::pair<rt::ObjectId, LockSummary>> Out(Locks.begin(),
+                                                        Locks.end());
+  std::sort(Out.begin(), Out.end(), [](const auto &A, const auto &B) {
+    if (A.second.WaitNanos != B.second.WaitNanos)
+      return A.second.WaitNanos > B.second.WaitNanos;
+    return A.first < B.first;
+  });
+  return Out;
+}
+
+std::string IntervalTrace::renderText() const {
+  std::string Out = "interval trace:\n";
+  for (size_t P = 0; P < Procs.size(); ++P) {
+    const ProcSummary &S = Procs[P];
+    const double Total = static_cast<double>(S.total());
+    auto Pct = [&](rt::Nanos N) {
+      return Total > 0 ? 100.0 * static_cast<double>(N) / Total : 0.0;
+    };
+    Out += format("  proc %2zu: %6llu iters  compute %5.1f%%  locks %5.1f%%"
+                  "  waiting %5.1f%%  dispatch %5.1f%%\n",
+                  P, static_cast<unsigned long long>(S.Iterations),
+                  Pct(S.ComputeNanos), Pct(S.LockOpNanos), Pct(S.WaitNanos),
+                  Pct(S.OverheadNanos));
+  }
+  const auto Hot = hottestLocks();
+  const size_t Shown = std::min<size_t>(Hot.size(), 5);
+  for (size_t I = 0; I < Shown; ++I) {
+    const auto &[Obj, S] = Hot[I];
+    Out += format("  lock %u: %llu acquires, %llu contended, total wait %s\n",
+                  Obj, static_cast<unsigned long long>(S.Acquires),
+                  static_cast<unsigned long long>(S.Contended),
+                  formatSeconds(rt::nanosToSeconds(S.WaitNanos)).c_str());
+  }
+  return Out;
+}

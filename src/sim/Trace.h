@@ -1,0 +1,68 @@
+//===- sim/Trace.h - Interval tracing and contention reports ----*- C++ -*-===//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Optional per-interval tracing for the simulator: per-processor time
+/// decomposition (compute / lock ops / waiting / dispatch+polling) and
+/// per-lock contention summaries. Used by the contention-analysis tests
+/// and available to library users diagnosing false exclusion.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNFB_SIM_TRACE_H
+#define DYNFB_SIM_TRACE_H
+
+#include "rt/Binding.h"
+#include "rt/Time.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dynfb::sim {
+
+/// Filled by SimSectionRunner::runInterval when a trace is attached.
+struct IntervalTrace {
+  /// One processor's time decomposition over the interval.
+  struct ProcSummary {
+    rt::Nanos ComputeNanos = 0; ///< Useful computation (incl. updates).
+    rt::Nanos LockOpNanos = 0;  ///< Successful acquire/release constructs.
+    rt::Nanos WaitNanos = 0;    ///< Spinning on held locks.
+    rt::Nanos OverheadNanos = 0; ///< Scheduler fetches + timer polls.
+    uint64_t Iterations = 0;    ///< Iterations fetched and executed.
+
+    rt::Nanos total() const {
+      return ComputeNanos + LockOpNanos + WaitNanos + OverheadNanos;
+    }
+  };
+
+  /// One lock's contention summary over the interval.
+  struct LockSummary {
+    uint64_t Acquires = 0;  ///< Successful acquires.
+    uint64_t Contended = 0; ///< Acquires that had to wait.
+    rt::Nanos WaitNanos = 0;
+  };
+
+  std::vector<ProcSummary> Procs;
+  std::map<rt::ObjectId, LockSummary> Locks;
+
+  void clear() {
+    Procs.clear();
+    Locks.clear();
+  }
+
+  /// Locks ordered by total waiting time, worst first (the false-exclusion
+  /// suspects).
+  std::vector<std::pair<rt::ObjectId, LockSummary>> hottestLocks() const;
+
+  /// Human-readable report.
+  std::string renderText() const;
+};
+
+} // namespace dynfb::sim
+
+#endif // DYNFB_SIM_TRACE_H

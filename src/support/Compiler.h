@@ -1,0 +1,44 @@
+//===- support/Compiler.h - Portability and diagnostics macros -*- C++ -*-===//
+//
+// Part of the dynfb project: a reproduction of Diniz & Rinard,
+// "Dynamic Feedback: An Effective Technique for Adaptive Computing",
+// PLDI 1997.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small portability macros used throughout the library: an unreachable
+/// marker and a fatal-error helper for invariant violations that must be
+/// diagnosed even in release builds.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNFB_SUPPORT_COMPILER_H
+#define DYNFB_SUPPORT_COMPILER_H
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dynfb {
+
+/// Prints \p Msg with source location to stderr and aborts. Used to document
+/// control flow that must never be reached if the program invariants hold.
+[[noreturn]] inline void reportUnreachable(const char *Msg, const char *File,
+                                           unsigned Line) {
+  std::fprintf(stderr, "%s:%u: unreachable executed: %s\n", File, Line, Msg);
+  std::abort();
+}
+
+/// Reports a fatal internal error (invariant violation detectable even in
+/// builds with assertions disabled) and aborts.
+[[noreturn]] inline void reportFatalError(const char *Msg) {
+  std::fprintf(stderr, "dynfb fatal error: %s\n", Msg);
+  std::abort();
+}
+
+} // namespace dynfb
+
+#define DYNFB_UNREACHABLE(MSG)                                                 \
+  ::dynfb::reportUnreachable(MSG, __FILE__, __LINE__)
+
+#endif // DYNFB_SUPPORT_COMPILER_H

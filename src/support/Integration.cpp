@@ -1,0 +1,54 @@
+//===- support/Integration.cpp --------------------------------------------==//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Integration.h"
+
+#include <cmath>
+
+using namespace dynfb;
+
+namespace {
+
+double simpson(double FA, double FM, double FB, double A, double B) {
+  return (B - A) / 6.0 * (FA + 4.0 * FM + FB);
+}
+
+double adaptive(const std::function<double(double)> &F, double A, double B,
+                double FA, double FM, double FB, double Whole, double Tol,
+                unsigned Depth) {
+  const double M = 0.5 * (A + B);
+  const double LM = 0.5 * (A + M);
+  const double RM = 0.5 * (M + B);
+  const double FLM = F(LM);
+  const double FRM = F(RM);
+  const double Left = simpson(FA, FLM, FM, A, M);
+  const double Right = simpson(FM, FRM, FB, M, B);
+  const double Delta = Left + Right - Whole;
+  if (Depth == 0 || std::fabs(Delta) <= 15.0 * Tol)
+    return Left + Right + Delta / 15.0;
+  return adaptive(F, A, M, FA, FLM, FM, Left, 0.5 * Tol, Depth - 1) +
+         adaptive(F, M, B, FM, FRM, FB, Right, 0.5 * Tol, Depth - 1);
+}
+
+} // namespace
+
+double dynfb::integrate(const std::function<double(double)> &F, double A,
+                        double B, double Tol) {
+  if (A == B)
+    return 0.0;
+  const double Sign = A < B ? 1.0 : -1.0;
+  if (A > B) {
+    const double T = A;
+    A = B;
+    B = T;
+  }
+  const double M = 0.5 * (A + B);
+  const double FA = F(A);
+  const double FM = F(M);
+  const double FB = F(B);
+  const double Whole = simpson(FA, FM, FB, A, B);
+  return Sign * adaptive(F, A, B, FA, FM, FB, Whole, Tol, 40);
+}

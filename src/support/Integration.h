@@ -1,0 +1,28 @@
+//===- support/Integration.h - Numerical quadrature ------------*- C++ -*-===//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Adaptive Simpson quadrature. The theory module uses it as an independent
+/// cross-check of the closed-form work integrals (Equations 2-6 of the
+/// paper); the tests compare both paths.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNFB_SUPPORT_INTEGRATION_H
+#define DYNFB_SUPPORT_INTEGRATION_H
+
+#include <functional>
+
+namespace dynfb {
+
+/// Integrates \p F over [\p A, \p B] with adaptive Simpson quadrature to the
+/// requested absolute tolerance.
+double integrate(const std::function<double(double)> &F, double A, double B,
+                 double Tol = 1e-10);
+
+} // namespace dynfb
+
+#endif // DYNFB_SUPPORT_INTEGRATION_H

@@ -1,0 +1,55 @@
+//===- support/Random.cpp -------------------------------------------------==//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Random.h"
+
+#include <cmath>
+
+using namespace dynfb;
+
+static uint64_t rotl(uint64_t X, int K) {
+  return (X << K) | (X >> (64 - K));
+}
+
+uint64_t Rng::next64() {
+  const uint64_t Result = rotl(State[1] * 5, 7) * 9;
+  const uint64_t T = State[1] << 17;
+  State[2] ^= State[0];
+  State[3] ^= State[1];
+  State[1] ^= State[2];
+  State[0] ^= State[3];
+  State[2] ^= T;
+  State[3] = rotl(State[3], 45);
+  return Result;
+}
+
+uint64_t Rng::nextBelow(uint64_t Bound) {
+  assert(Bound != 0 && "nextBelow(0) is meaningless");
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t Threshold = -Bound % Bound;
+  for (;;) {
+    uint64_t R = next64();
+    if (R >= Threshold)
+      return R % Bound;
+  }
+}
+
+double Rng::gaussian(double Mean, double Sigma) {
+  if (HasSpare) {
+    HasSpare = false;
+    return Mean + Sigma * Spare;
+  }
+  double U, V, S;
+  do {
+    U = uniform(-1.0, 1.0);
+    V = uniform(-1.0, 1.0);
+    S = U * U + V * V;
+  } while (S >= 1.0 || S == 0.0);
+  const double Mul = std::sqrt(-2.0 * std::log(S) / S);
+  Spare = V * Mul;
+  HasSpare = true;
+  return Mean + Sigma * U * Mul;
+}

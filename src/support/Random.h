@@ -1,0 +1,93 @@
+//===- support/Random.h - Deterministic pseudo-random generators -*- C++ -*-=//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic, seedable pseudo-random number generators. Every workload
+/// generator in the repository draws from these so that all experiments are
+/// bit-reproducible across hosts, independent of the C++ standard library's
+/// unspecified distributions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNFB_SUPPORT_RANDOM_H
+#define DYNFB_SUPPORT_RANDOM_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace dynfb {
+
+/// SplitMix64: a tiny, high-quality 64-bit generator. Used directly for
+/// cheap streams and to seed Xoshiro256StarStar.
+class SplitMix64 {
+public:
+  explicit SplitMix64(uint64_t Seed) : State(Seed) {}
+
+  /// Returns the next 64-bit value in the stream.
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ULL;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+private:
+  uint64_t State;
+};
+
+/// Deterministic multiplicative jitter in [1 - Amplitude, 1 + Amplitude),
+/// derived from a hash of \p Key. Workload bindings use it to break the
+/// perfect lockstep a deterministic simulator would otherwise fall into:
+/// identical iteration timings self-synchronize into contention-free
+/// pipelines that a real machine's timing noise prevents.
+inline double jitterFactor(uint64_t Key, double Amplitude) {
+  SplitMix64 SM(Key);
+  const double U = static_cast<double>(SM.next() >> 11) * 0x1.0p-53;
+  return 1.0 + Amplitude * (2.0 * U - 1.0);
+}
+
+/// Xoshiro256**: the main workhorse generator for workload construction.
+class Rng {
+public:
+  /// Constructs a generator whose stream is fully determined by \p Seed.
+  explicit Rng(uint64_t Seed) {
+    SplitMix64 SM(Seed);
+    for (uint64_t &Word : State)
+      Word = SM.next();
+  }
+
+  /// Returns the next raw 64-bit value.
+  uint64_t next64();
+
+  /// Returns a uniformly distributed double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Returns a uniformly distributed double in [\p Lo, \p Hi).
+  double uniform(double Lo, double Hi) {
+    assert(Lo <= Hi && "empty uniform range");
+    return Lo + (Hi - Lo) * nextDouble();
+  }
+
+  /// Returns a uniformly distributed integer in [0, \p Bound) without modulo
+  /// bias. \p Bound must be nonzero.
+  uint64_t nextBelow(uint64_t Bound);
+
+  /// Returns a normally distributed value (Box-Muller) with the given mean
+  /// and standard deviation.
+  double gaussian(double Mean, double Sigma);
+
+private:
+  uint64_t State[4];
+  bool HasSpare = false;
+  double Spare = 0.0;
+};
+
+} // namespace dynfb
+
+#endif // DYNFB_SUPPORT_RANDOM_H

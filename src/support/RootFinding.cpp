@@ -1,0 +1,71 @@
+//===- support/RootFinding.cpp --------------------------------------------==//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/RootFinding.h"
+
+#include <cmath>
+
+using namespace dynfb;
+
+std::optional<RootResult> dynfb::bisect(
+    const std::function<double(double)> &F, double Lo, double Hi, double Tol,
+    unsigned MaxIter) {
+  double FLo = F(Lo);
+  double FHi = F(Hi);
+  if (FLo == 0.0)
+    return RootResult{Lo, 0.0};
+  if (FHi == 0.0)
+    return RootResult{Hi, 0.0};
+  if ((FLo > 0.0) == (FHi > 0.0))
+    return std::nullopt;
+  for (unsigned I = 0; I < MaxIter; ++I) {
+    const double Mid = 0.5 * (Lo + Hi);
+    const double FMid = F(Mid);
+    if (FMid == 0.0 || Hi - Lo < Tol)
+      return RootResult{Mid, std::fabs(FMid)};
+    if ((FMid > 0.0) == (FLo > 0.0)) {
+      Lo = Mid;
+      FLo = FMid;
+    } else {
+      Hi = Mid;
+    }
+  }
+  const double Mid = 0.5 * (Lo + Hi);
+  return RootResult{Mid, std::fabs(F(Mid))};
+}
+
+std::optional<RootResult> dynfb::newtonSafeguarded(
+    const std::function<double(double)> &F,
+    const std::function<double(double)> &DF, double X0, double Lo, double Hi,
+    double Tol, unsigned MaxIter) {
+  double FLo = F(Lo);
+  double FHi = F(Hi);
+  if ((FLo > 0.0) == (FHi > 0.0) && FLo != 0.0 && FHi != 0.0)
+    return std::nullopt;
+  double X = X0;
+  if (X < Lo || X > Hi)
+    X = 0.5 * (Lo + Hi);
+  for (unsigned I = 0; I < MaxIter; ++I) {
+    const double FX = F(X);
+    if (std::fabs(FX) < Tol)
+      return RootResult{X, std::fabs(FX)};
+    // Maintain the bracket.
+    if ((FX > 0.0) == (FLo > 0.0)) {
+      Lo = X;
+      FLo = FX;
+    } else {
+      Hi = X;
+    }
+    const double D = DF(X);
+    double Next = (D != 0.0) ? X - FX / D : 0.5 * (Lo + Hi);
+    if (Next <= Lo || Next >= Hi)
+      Next = 0.5 * (Lo + Hi);
+    if (std::fabs(Next - X) < Tol)
+      return RootResult{Next, std::fabs(F(Next))};
+    X = Next;
+  }
+  return RootResult{X, std::fabs(F(X))};
+}

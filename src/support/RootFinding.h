@@ -1,0 +1,45 @@
+//===- support/RootFinding.h - 1-D root finders ----------------*- C++ -*-===//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One-dimensional root finders used by the theoretical analysis (Section 5
+/// of the paper): bisection over a bracketing interval and safeguarded
+/// Newton iteration. Both are deterministic and allocation-free.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNFB_SUPPORT_ROOTFINDING_H
+#define DYNFB_SUPPORT_ROOTFINDING_H
+
+#include <functional>
+#include <optional>
+
+namespace dynfb {
+
+/// Result of a root search: the abscissa and the residual |f(x)|.
+struct RootResult {
+  double X;
+  double Residual;
+};
+
+/// Finds a root of \p F in [\p Lo, \p Hi] by bisection. Requires
+/// F(Lo) and F(Hi) to have opposite signs (or one of them to be zero);
+/// returns std::nullopt otherwise.
+std::optional<RootResult> bisect(const std::function<double(double)> &F,
+                                 double Lo, double Hi, double Tol = 1e-12,
+                                 unsigned MaxIter = 200);
+
+/// Safeguarded Newton iteration: starts from \p X0 with derivative \p DF and
+/// falls back to bisection on [\p Lo, \p Hi] whenever a step leaves the
+/// bracket. Requires a sign change on the bracket.
+std::optional<RootResult> newtonSafeguarded(
+    const std::function<double(double)> &F,
+    const std::function<double(double)> &DF, double X0, double Lo, double Hi,
+    double Tol = 1e-12, unsigned MaxIter = 100);
+
+} // namespace dynfb
+
+#endif // DYNFB_SUPPORT_ROOTFINDING_H

@@ -1,0 +1,49 @@
+//===- support/Statistics.cpp ---------------------------------------------==//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Statistics.h"
+
+#include <cmath>
+
+using namespace dynfb;
+
+void RunningStat::merge(const RunningStat &Other) {
+  if (Other.N == 0)
+    return;
+  if (N == 0) {
+    *this = Other;
+    return;
+  }
+  const double Delta = Other.Mean - Mean;
+  const uint64_t Combined = N + Other.N;
+  M2 += Other.M2 + Delta * Delta * static_cast<double>(N) *
+                       static_cast<double>(Other.N) /
+                       static_cast<double>(Combined);
+  Mean += Delta * static_cast<double>(Other.N) / static_cast<double>(Combined);
+  N = Combined;
+  Total += Other.Total;
+  if (Other.MinV < MinV)
+    MinV = Other.MinV;
+  if (Other.MaxV > MaxV)
+    MaxV = Other.MaxV;
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+Series &SeriesSet::getOrCreate(const std::string &Label) {
+  for (Series &S : All)
+    if (S.Label == Label)
+      return S;
+  All.push_back(Series{Label, {}, {}});
+  return All.back();
+}
+
+const Series *SeriesSet::find(const std::string &Label) const {
+  for (const Series &S : All)
+    if (S.Label == Label)
+      return &S;
+  return nullptr;
+}

@@ -1,0 +1,108 @@
+//===- support/Statistics.h - Running statistics accumulators ---*- C++ -*-===//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Streaming statistics accumulators (Welford mean/variance, min/max) and a
+/// small time-series recorder used to regenerate the paper's sampled-overhead
+/// figures (Figures 5, 8 and 9).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNFB_SUPPORT_STATISTICS_H
+#define DYNFB_SUPPORT_STATISTICS_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace dynfb {
+
+/// Streaming accumulator for count / mean / variance / min / max, using
+/// Welford's numerically stable update.
+class RunningStat {
+public:
+  /// Folds one observation into the accumulator.
+  void add(double X) {
+    ++N;
+    const double Delta = X - Mean;
+    Mean += Delta / static_cast<double>(N);
+    M2 += Delta * (X - Mean);
+    if (X < MinV)
+      MinV = X;
+    if (X > MaxV)
+      MaxV = X;
+    Total += X;
+  }
+
+  /// Merges another accumulator into this one (parallel Welford merge).
+  void merge(const RunningStat &Other);
+
+  uint64_t count() const { return N; }
+  double sum() const { return Total; }
+  double mean() const { return N == 0 ? 0.0 : Mean; }
+
+  /// Population variance; zero for fewer than two observations.
+  double variance() const {
+    return N < 2 ? 0.0 : M2 / static_cast<double>(N);
+  }
+
+  double stddev() const;
+
+  double min() const {
+    assert(N > 0 && "min() of empty accumulator");
+    return MinV;
+  }
+  double max() const {
+    assert(N > 0 && "max() of empty accumulator");
+    return MaxV;
+  }
+
+private:
+  uint64_t N = 0;
+  double Mean = 0.0;
+  double M2 = 0.0;
+  double Total = 0.0;
+  double MinV = std::numeric_limits<double>::infinity();
+  double MaxV = -std::numeric_limits<double>::infinity();
+};
+
+/// One labelled (time, value) series, e.g. the sampled overhead of one
+/// synchronization policy over the execution of a parallel section.
+struct Series {
+  std::string Label;
+  std::vector<double> Times;
+  std::vector<double> Values;
+
+  void addPoint(double T, double V) {
+    Times.push_back(T);
+    Values.push_back(V);
+  }
+  size_t size() const { return Times.size(); }
+};
+
+/// A collection of labelled series sharing one x-axis meaning. Provides the
+/// data behind every time-series figure in the paper.
+class SeriesSet {
+public:
+  /// Returns the series with \p Label, creating it on first use.
+  Series &getOrCreate(const std::string &Label);
+
+  /// Returns the series with \p Label or nullptr if absent.
+  const Series *find(const std::string &Label) const;
+
+  const std::vector<Series> &all() const { return All; }
+  bool empty() const { return All.empty(); }
+
+private:
+  std::vector<Series> All;
+};
+
+} // namespace dynfb
+
+#endif // DYNFB_SUPPORT_STATISTICS_H

@@ -1,0 +1,54 @@
+//===- support/StringUtils.cpp --------------------------------------------==//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/StringUtils.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <vector>
+
+using namespace dynfb;
+
+std::string dynfb::format(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  va_list ArgsCopy;
+  va_copy(ArgsCopy, Args);
+  const int Needed = std::vsnprintf(nullptr, 0, Fmt, Args);
+  va_end(Args);
+  if (Needed <= 0) {
+    va_end(ArgsCopy);
+    return std::string();
+  }
+  std::string Out(static_cast<size_t>(Needed), '\0');
+  std::vsnprintf(Out.data(), Out.size() + 1, Fmt, ArgsCopy);
+  va_end(ArgsCopy);
+  return Out;
+}
+
+std::string dynfb::formatDouble(double Value, int Decimals) {
+  return format("%.*f", Decimals, Value);
+}
+
+std::string dynfb::withThousandsSep(uint64_t Value) {
+  std::string Digits = format("%llu", static_cast<unsigned long long>(Value));
+  std::string Out;
+  const size_t Len = Digits.size();
+  for (size_t I = 0; I < Len; ++I) {
+    if (I != 0 && (Len - I) % 3 == 0)
+      Out.push_back(',');
+    Out.push_back(Digits[I]);
+  }
+  return Out;
+}
+
+std::string dynfb::formatSeconds(double Seconds) {
+  if (Seconds < 1e-3)
+    return format("%.1f us", Seconds * 1e6);
+  if (Seconds < 1.0)
+    return format("%.2f ms", Seconds * 1e3);
+  return format("%.2f s", Seconds);
+}

@@ -1,0 +1,37 @@
+//===- support/StringUtils.h - Formatting helpers --------------*- C++ -*-===//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// printf-style std::string formatting and small numeric renderers shared by
+/// the table printers and the bench harnesses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNFB_SUPPORT_STRINGUTILS_H
+#define DYNFB_SUPPORT_STRINGUTILS_H
+
+#include <cstdint>
+#include <string>
+
+namespace dynfb {
+
+/// printf-style formatting into a std::string.
+std::string format(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Renders \p Value with \p Decimals fractional digits, e.g. 12.345 -> "12.3".
+std::string formatDouble(double Value, int Decimals = 2);
+
+/// Renders an integer with thousands separators, e.g. 15471616 ->
+/// "15,471,616" (matching the typography of the paper's tables).
+std::string withThousandsSep(uint64_t Value);
+
+/// Renders \p Seconds as a compact human-readable duration for logs.
+std::string formatSeconds(double Seconds);
+
+} // namespace dynfb
+
+#endif // DYNFB_SUPPORT_STRINGUTILS_H

@@ -1,0 +1,121 @@
+//===- support/TablePrinter.cpp -------------------------------------------==//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/TablePrinter.h"
+
+#include "support/Compiler.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace dynfb;
+
+void Table::setHeader(std::vector<std::string> Cells) {
+  assert(Rows.empty() && "header must be set before rows");
+  Header = std::move(Cells);
+}
+
+void Table::addRow(std::vector<std::string> Cells) {
+  assert(Cells.size() == Header.size() && "row arity mismatch");
+  Rows.push_back(std::move(Cells));
+}
+
+std::string Table::renderText() const {
+  std::vector<size_t> Widths(Header.size(), 0);
+  for (size_t C = 0; C < Header.size(); ++C)
+    Widths[C] = Header[C].size();
+  for (const auto &Row : Rows)
+    for (size_t C = 0; C < Row.size(); ++C)
+      Widths[C] = std::max(Widths[C], Row[C].size());
+
+  auto RenderRow = [&](const std::vector<std::string> &Cells) {
+    std::string Line;
+    for (size_t C = 0; C < Cells.size(); ++C) {
+      if (C != 0)
+        Line += "  ";
+      // Left-align the first column (labels), right-align numbers.
+      const std::string &Cell = Cells[C];
+      const size_t Pad = Widths[C] - Cell.size();
+      if (C == 0) {
+        Line += Cell;
+        Line.append(Pad, ' ');
+      } else {
+        Line.append(Pad, ' ');
+        Line += Cell;
+      }
+    }
+    Line += '\n';
+    return Line;
+  };
+
+  size_t Total = Header.size() > 1 ? 2 * (Header.size() - 1) : 0;
+  for (size_t W : Widths)
+    Total += W;
+
+  std::string Out;
+  Out += Title;
+  Out += '\n';
+  Out.append(Total, '=');
+  Out += '\n';
+  Out += RenderRow(Header);
+  Out.append(Total, '-');
+  Out += '\n';
+  for (const auto &Row : Rows)
+    Out += RenderRow(Row);
+  return Out;
+}
+
+static std::string csvEscape(const std::string &Cell) {
+  if (Cell.find_first_of(",\"\n") == std::string::npos)
+    return Cell;
+  std::string Out = "\"";
+  for (char Ch : Cell) {
+    if (Ch == '"')
+      Out += '"';
+    Out += Ch;
+  }
+  Out += '"';
+  return Out;
+}
+
+std::string Table::renderCsv() const {
+  std::string Out;
+  auto EmitRow = [&](const std::vector<std::string> &Cells) {
+    for (size_t C = 0; C < Cells.size(); ++C) {
+      if (C != 0)
+        Out += ',';
+      Out += csvEscape(Cells[C]);
+    }
+    Out += '\n';
+  };
+  EmitRow(Header);
+  for (const auto &Row : Rows)
+    EmitRow(Row);
+  return Out;
+}
+
+std::string dynfb::renderSeriesCsv(const SeriesSet &Set,
+                                   const std::string &XName,
+                                   const std::string &YName) {
+  std::string Out = "series," + XName + "," + YName + "\n";
+  for (const Series &S : Set.all())
+    for (size_t I = 0; I < S.size(); ++I)
+      Out += csvEscape(S.Label) + "," + format("%.9g", S.Times[I]) + "," +
+             format("%.9g", S.Values[I]) + "\n";
+  return Out;
+}
+
+std::string dynfb::renderSeriesText(const SeriesSet &Set) {
+  std::string Out;
+  for (const Series &S : Set.all()) {
+    Out += S.Label;
+    Out += ":\n";
+    for (size_t I = 0; I < S.size(); ++I)
+      Out += format("  %12.6f  %12.6f\n", S.Times[I], S.Values[I]);
+  }
+  return Out;
+}

@@ -1,0 +1,64 @@
+//===- support/TablePrinter.h - Paper-style table rendering ----*- C++ -*-===//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders the rows/series the paper reports: fixed-width ASCII tables
+/// (mirroring the paper's table layout) and CSV for plotting the figures.
+/// The bench binaries print exactly these renderings.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNFB_SUPPORT_TABLEPRINTER_H
+#define DYNFB_SUPPORT_TABLEPRINTER_H
+
+#include "support/Statistics.h"
+
+#include <string>
+#include <vector>
+
+namespace dynfb {
+
+/// A simple column-aligned table with a title, a header row and data rows.
+class Table {
+public:
+  explicit Table(std::string Title) : Title(std::move(Title)) {}
+
+  /// Sets the header cells. Must be called before adding rows.
+  void setHeader(std::vector<std::string> Cells);
+
+  /// Appends one data row; its arity must match the header's.
+  void addRow(std::vector<std::string> Cells);
+
+  size_t numRows() const { return Rows.size(); }
+  size_t numCols() const { return Header.size(); }
+  const std::string &title() const { return Title; }
+  const std::vector<std::string> &header() const { return Header; }
+  const std::vector<std::vector<std::string>> &rows() const { return Rows; }
+
+  /// Renders the table as column-aligned ASCII text.
+  std::string renderText() const;
+
+  /// Renders the table as CSV (header + rows, RFC-4180 quoting).
+  std::string renderCsv() const;
+
+private:
+  std::string Title;
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+/// Renders a SeriesSet as CSV with a shared x column per row:
+/// label,x,y triples -- the format used for the paper's time-series figures.
+std::string renderSeriesCsv(const SeriesSet &Set, const std::string &XName,
+                            const std::string &YName);
+
+/// Renders a SeriesSet as a coarse ASCII chart (one line per point) for
+/// quick visual inspection in bench output.
+std::string renderSeriesText(const SeriesSet &Set);
+
+} // namespace dynfb
+
+#endif // DYNFB_SUPPORT_TABLEPRINTER_H

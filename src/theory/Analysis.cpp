@@ -1,0 +1,112 @@
+//===- theory/Analysis.cpp ------------------------------------------------==//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "theory/Analysis.h"
+
+#include "support/RootFinding.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace dynfb;
+using namespace dynfb::theory;
+
+double theory::worstCaseOverheadSelected(double T, double V, double Alpha) {
+  return 1.0 + (V - 1.0) * std::exp(-Alpha * T);
+}
+
+double theory::bestCaseOverheadOptimal(double T, double V, double Alpha) {
+  return V * std::exp(-Alpha * T);
+}
+
+double theory::workDynamic(double P, double V, double Alpha) {
+  assert(Alpha > 0.0 && "decay rate must be positive");
+  return (1.0 - V) / Alpha * (1.0 - std::exp(-Alpha * P));
+}
+
+double theory::workOptimal(double P, double V, double Alpha) {
+  assert(Alpha > 0.0 && "decay rate must be positive");
+  return P - V / Alpha * (1.0 - std::exp(-Alpha * P));
+}
+
+double theory::workDifference(double P, double S, unsigned N, double Alpha) {
+  assert(Alpha > 0.0 && "decay rate must be positive");
+  return S * static_cast<double>(N) + P + std::exp(-Alpha * P) / Alpha -
+         1.0 / Alpha;
+}
+
+double theory::differencePerUnitTime(double P, double S, unsigned N,
+                                     double Alpha) {
+  const double Span = P + S * static_cast<double>(N);
+  assert(Span > 0.0 && "degenerate time span");
+  return workDifference(P, S, N, Alpha) / Span;
+}
+
+bool theory::isFeasible(double P, const AnalysisParams &Params) {
+  // Eq. 7: (1-eps) P + e^{-alpha P}/alpha <= (eps-1) S N + 1/alpha.
+  const double Lhs = (1.0 - Params.Epsilon) * P +
+                     std::exp(-Params.Alpha * P) / Params.Alpha;
+  const double Rhs = (Params.Epsilon - 1.0) * Params.S *
+                         static_cast<double>(Params.N) +
+                     1.0 / Params.Alpha;
+  return Lhs <= Rhs;
+}
+
+std::optional<std::pair<double, double>>
+theory::feasibleRegion(const AnalysisParams &Params) {
+  assert(Params.Alpha > 0.0 && "decay rate must be positive");
+  if (Params.Epsilon <= 0.0 || Params.Epsilon >= 1.0)
+    return std::nullopt; // The interesting regime; eps>=1 is trivially
+                         // satisfied for large P but meaningless.
+
+  const double Alpha = Params.Alpha;
+  const double Eps = Params.Epsilon;
+  const double Rhs =
+      (Eps - 1.0) * Params.S * static_cast<double>(Params.N) + 1.0 / Alpha;
+  auto G = [&](double P) {
+    return (1.0 - Eps) * P + std::exp(-Alpha * P) / Alpha - Rhs;
+  };
+
+  // G is strictly convex with minimum at Pmin = -ln(1-eps)/alpha.
+  const double Pmin = -std::log(1.0 - Eps) / Alpha;
+  if (G(Pmin) > 0.0)
+    return std::nullopt;
+
+  // Lower edge in [0, Pmin] (G(0) >= 0 always: equality iff S*N == 0).
+  double Lo = 0.0;
+  if (G(0.0) > 0.0) {
+    const auto Root = bisect(G, 0.0, Pmin, 1e-10);
+    assert(Root && "sign change must exist on [0, Pmin]");
+    Lo = Root->X;
+  }
+
+  // Upper edge: expand beyond Pmin until G > 0, then bisect.
+  double Hi = Pmin > 0.0 ? Pmin * 2.0 : 1.0;
+  while (G(Hi) <= 0.0)
+    Hi *= 2.0;
+  const auto Root = bisect(G, Pmin, Hi, 1e-10);
+  assert(Root && "sign change must exist beyond the minimum");
+  return std::make_pair(Lo, Root->X);
+}
+
+double theory::optimalProductionInterval(double S, unsigned N, double Alpha) {
+  assert(Alpha > 0.0 && "decay rate must be positive");
+  const double C = 1.0 / Alpha;
+  const double SN = S * static_cast<double>(N);
+  auto G = [&](double P) { return std::exp(-Alpha * P) * (P + SN + C) - C; };
+  // G(0) = SN >= 0, G is strictly decreasing for P > 0, G -> -C < 0.
+  if (SN == 0.0)
+    return 0.0;
+  double Hi = 1.0;
+  while (G(Hi) > 0.0)
+    Hi *= 2.0;
+  auto DG = [&](double P) {
+    return std::exp(-Alpha * P) * (1.0 - Alpha * (P + SN + C));
+  };
+  const auto Root = newtonSafeguarded(G, DG, Hi * 0.5, 0.0, Hi, 1e-12);
+  assert(Root && "Eq. 9 must have a root");
+  return Root->X;
+}

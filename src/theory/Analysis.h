@@ -1,0 +1,88 @@
+//===- theory/Analysis.h - Worst-case optimality analysis -------*- C++ -*-===//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's Section 5: a guaranteed optimality bound for dynamic feedback
+/// relative to a hypothetical optimal algorithm that always uses the best
+/// policy, under the assumption that policy overheads change no faster than
+/// an exponential decay with rate alpha.
+///
+/// Worst case: several policies tie at sampled overhead v; dynamic feedback
+/// picks p0, whose overhead rises as fast as allowed,
+///   o0(t) = 1 + (v - 1) e^{-alpha t}                        (Eq. 1)
+/// while the optimal algorithm runs p1, whose overhead falls as fast as
+/// allowed, o1(t) = v e^{-alpha t}                           (Eq. 4).
+/// With Work_T = integral of (1 - o(t)) over [0, T]          (Eq. 2):
+///   Work0(P) = (1 - v)/alpha (1 - e^{-alpha P})             (Eq. 3)
+///   Work1(P) = P - v/alpha (1 - e^{-alpha P})               (Eq. 5)
+/// Over P + SN time units (sampling assumed to do no useful work for
+/// dynamic feedback, and to be overhead-free for the optimal algorithm),
+///   Work1 - Work0 = SN + P + e^{-alpha P}/alpha - 1/alpha   (Eq. 6)
+/// -- note the measured overhead v cancels. Policy pi is "at most epsilon
+/// worse" than pj over T if Work_j - Work_i <= epsilon T (Definition 1),
+/// which yields the feasibility condition on the production interval P:
+///   (1 - eps) P + e^{-alpha P}/alpha <= (eps - 1) S N + 1/alpha   (Eq. 7)
+/// The P minimizing the per-unit-time work difference (Eq. 8) satisfies
+///   e^{-alpha P} (P + SN + 1/alpha) = 1/alpha               (Eq. 9).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNFB_THEORY_ANALYSIS_H
+#define DYNFB_THEORY_ANALYSIS_H
+
+#include <optional>
+#include <utility>
+
+namespace dynfb::theory {
+
+/// Parameters of the analysis.
+struct AnalysisParams {
+  double Alpha = 0.065; ///< Exponential decay rate bound.
+  double S = 1.0;       ///< Effective sampling interval (seconds).
+  unsigned N = 2;       ///< Number of policies sampled.
+  double Epsilon = 0.5; ///< Desired performance bound (Definition 1).
+
+  /// The paper's Figure 3 example values.
+  static AnalysisParams figure3Example() { return AnalysisParams{}; }
+};
+
+/// Eq. 1: worst-case overhead of the selected policy at time \p T after the
+/// production phase starts, given sampled overhead \p V.
+double worstCaseOverheadSelected(double T, double V, double Alpha);
+
+/// Eq. 4: best-case overhead of the policy the optimal algorithm runs.
+double bestCaseOverheadOptimal(double T, double V, double Alpha);
+
+/// Eq. 3: useful work of the dynamic feedback algorithm over a production
+/// interval of length \p P.
+double workDynamic(double P, double V, double Alpha);
+
+/// Eq. 5: useful work of the optimal algorithm over \p P.
+double workOptimal(double P, double V, double Alpha);
+
+/// Eq. 6: worst-case work difference (optimal minus dynamic feedback) over
+/// P + S*N time units. Independent of the sampled overhead v.
+double workDifference(double P, double S, unsigned N, double Alpha);
+
+/// Eq. 8: work difference per unit time over P + S*N.
+double differencePerUnitTime(double P, double S, unsigned N, double Alpha);
+
+/// Eq. 7: true if production interval \p P guarantees dynamic feedback is at
+/// most epsilon worse than the optimal algorithm.
+bool isFeasible(double P, const AnalysisParams &Params);
+
+/// The interval [Plo, Phi] of feasible production intervals, or nullopt if
+/// no P satisfies Eq. 7 for these parameters.
+std::optional<std::pair<double, double>>
+feasibleRegion(const AnalysisParams &Params);
+
+/// Eq. 9: the production interval minimizing the worst-case per-unit-time
+/// work difference. Always exists for Alpha > 0.
+double optimalProductionInterval(double S, unsigned N, double Alpha);
+
+} // namespace dynfb::theory
+
+#endif // DYNFB_THEORY_ANALYSIS_H

@@ -1,0 +1,102 @@
+//===- xform/CodeSize.cpp -------------------------------------------------==//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "xform/CodeSize.h"
+
+#include "analysis/CallGraph.h"
+#include "ir/StructuralHash.h"
+
+using namespace dynfb;
+using namespace dynfb::ir;
+using namespace dynfb::xform;
+
+static uint64_t listBytes(const std::vector<Stmt *> &List,
+                          const CodeSizeModel &Model, bool Instrumented) {
+  uint64_t Bytes = 0;
+  for (const Stmt *S : List) {
+    switch (S->kind()) {
+    case StmtKind::Compute:
+      Bytes += Model.ComputeBytes;
+      break;
+    case StmtKind::Update:
+      Bytes += Model.UpdateBytes;
+      break;
+    case StmtKind::Acquire:
+    case StmtKind::Release:
+      Bytes += Instrumented ? Model.LockOpInstrumentedBytes
+                            : Model.LockOpBytes;
+      break;
+    case StmtKind::Call:
+      Bytes += Model.CallBytes;
+      break;
+    case StmtKind::Loop:
+      Bytes += Model.LoopBytes +
+               listBytes(stmtCast<LoopStmt>(S).Body, Model, Instrumented);
+      break;
+    }
+  }
+  return Bytes;
+}
+
+uint64_t CodeSizeModel::methodBytes(const Method &M, bool Instrumented) const {
+  return MethodOverheadBytes + listBytes(M.body(), *this, Instrumented);
+}
+
+uint64_t
+CodeSizeModel::closureBytes(const std::vector<const Method *> &Entries,
+                            bool Instrumented) const {
+  // Union of closures, deduplicated by structural equality (one emitted copy
+  // per distinct method body).
+  std::vector<const Method *> Unique;
+  for (const Method *Entry : Entries) {
+    analysis::CallGraph CG(*Entry);
+    for (const Method *M : CG.nodes()) {
+      bool Known = false;
+      for (const Method *U : Unique)
+        if (structuralHash(*U) == structuralHash(*M) &&
+            structurallyEqual(*U, *M)) {
+          Known = true;
+          break;
+        }
+      if (!Known)
+        Unique.push_back(M);
+    }
+  }
+  uint64_t Bytes = 0;
+  for (const Method *M : Unique)
+    Bytes += methodBytes(*M, Instrumented);
+  return Bytes;
+}
+
+ExecutableSizes xform::computeExecutableSizes(const VersionedProgram &Program,
+                                              const CodeSizeModel &Model,
+                                              uint64_t SerialBaseBytes) {
+  ExecutableSizes Sizes;
+
+  std::vector<const Method *> SerialEntries, AggressiveEntries, AllEntries;
+  uint64_t DispatchBytes = 0, DriverBytes = 0;
+  for (const VersionedSection &VS : Program.Sections) {
+    SerialEntries.push_back(VS.SerialEntry);
+    AggressiveEntries.push_back(
+        VS.versionFor(PolicyKind::Aggressive).Entry);
+    for (const SectionVersion &V : VS.Versions)
+      AllEntries.push_back(V.Entry);
+    DispatchBytes += Model.PollBytesPerSection +
+                     Model.DispatchBytesPerVersion * VS.Versions.size();
+    DriverBytes += Model.ParallelDriverBytes;
+  }
+
+  Sizes.Serial =
+      SerialBaseBytes + Model.closureBytes(SerialEntries, false);
+  Sizes.Aggressive = SerialBaseBytes + DriverBytes +
+                     Model.closureBytes(AggressiveEntries, false);
+  // The Dynamic executable carries every version, instrumented (the paper
+  // runs instrumented code in both sampling and production phases to avoid
+  // further code growth), plus dispatch and polling code.
+  Sizes.Dynamic = SerialBaseBytes + DriverBytes +
+                  Model.closureBytes(AllEntries, true) + DispatchBytes;
+  return Sizes;
+}

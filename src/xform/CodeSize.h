@@ -1,0 +1,70 @@
+//===- xform/CodeSize.h - Generated code size model -------------*- C++ -*-===//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Models the text-segment size of generated code (paper Table 1). Each IR
+/// construct is priced with a constant machine-code byte cost; methods
+/// identical across policies are counted once (the compiler "locates closed
+/// subgraphs of the call graph that are the same for all optimization
+/// policies" and emits a single copy -- Section 4.2); the Dynamic version
+/// adds instrumented lock constructs and the per-section version dispatch.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNFB_XFORM_CODESIZE_H
+#define DYNFB_XFORM_CODESIZE_H
+
+#include "ir/Module.h"
+#include "xform/MultiVersion.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace dynfb::xform {
+
+/// Byte costs of generated constructs (defaults loosely calibrated to the
+/// MIPS code sizes of the paper's Table 1 era).
+struct CodeSizeModel {
+  uint64_t MethodOverheadBytes = 160; ///< prologue/epilogue
+  uint64_t ComputeBytes = 480; ///< one inlined compute kernel (interact etc.)
+  uint64_t UpdateBytes = 96;   ///< load-op-store of a field (+addressing)
+  uint64_t LockOpBytes = 48;   ///< acquire or release construct
+  uint64_t LockOpInstrumentedBytes = 88; ///< with overhead counters
+  uint64_t CallBytes = 32;     ///< call site
+  uint64_t LoopBytes = 96;     ///< loop control
+  uint64_t DispatchBytesPerVersion = 40; ///< switch dispatch, per version
+  uint64_t PollBytesPerSection = 320; ///< interval polling code (Dynamic)
+  /// SPMD parallel driver per section (scheduler, barrier, spawn code) --
+  /// present in every parallel executable, absent from the serial one.
+  uint64_t ParallelDriverBytes = 4800;
+
+  /// Size of one method. \p Instrumented prices lock constructs with the
+  /// overhead-measurement counters compiled in.
+  uint64_t methodBytes(const ir::Method &M, bool Instrumented) const;
+
+  /// Total size of a set of entry points: the union of their method
+  /// closures, with structurally identical methods counted once.
+  uint64_t closureBytes(const std::vector<const ir::Method *> &Entries,
+                        bool Instrumented) const;
+};
+
+/// Sizes of the three executable flavours of one program, mirroring
+/// Table 1's rows (Serial / Aggressive / Dynamic). \p SerialBaseBytes models
+/// the application code outside the parallel sections (I/O, setup, the
+/// serial phases), which is identical in every flavour.
+struct ExecutableSizes {
+  uint64_t Serial = 0;
+  uint64_t Aggressive = 0;
+  uint64_t Dynamic = 0;
+};
+
+ExecutableSizes computeExecutableSizes(const VersionedProgram &Program,
+                                       const CodeSizeModel &Model,
+                                       uint64_t SerialBaseBytes);
+
+} // namespace dynfb::xform
+
+#endif // DYNFB_XFORM_CODESIZE_H

@@ -1,0 +1,230 @@
+//===- xform/LockElimination.cpp ------------------------------------------==//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "xform/LockElimination.h"
+
+#include "analysis/Regions.h"
+#include "ir/Clone.h"
+#include "xform/Synchronizer.h"
+
+#include <cassert>
+#include <optional>
+#include <set>
+
+using namespace dynfb;
+using namespace dynfb::analysis;
+using namespace dynfb::ir;
+using namespace dynfb::xform;
+
+namespace {
+
+/// Driver for one version's transformation. Processes the closure bottom-up
+/// (callees first) so interprocedural lifts see final callee shapes.
+class Optimizer {
+public:
+  Optimizer(Module &M, PolicyKind Policy) : M(M), Policy(Policy) {}
+
+  void run(Method *Entry) { transformMethod(Entry); }
+
+  OptStats Stats;
+
+private:
+  void transformMethod(Method *Meth) {
+    if (!Done.insert(Meth).second)
+      return;
+    // Callees first.
+    std::vector<std::vector<Stmt *> *> Lists{&Meth->body()};
+    while (!Lists.empty()) {
+      std::vector<Stmt *> *List = Lists.back();
+      Lists.pop_back();
+      for (Stmt *S : *List) {
+        if (auto *C = stmtDynCast<CallStmt>(S))
+          transformMethod(const_cast<Method *>(C->callee()));
+        else if (auto *L = stmtDynCast<LoopStmt>(S))
+          Lists.push_back(&L->Body);
+      }
+    }
+    if (Policy != PolicyKind::Original)
+      transformList(Meth->body());
+  }
+
+  /// Transforms one statement list: inner loops first, then coalescing,
+  /// then (Aggressive only) loop lifting to a fixpoint.
+  void transformList(std::vector<Stmt *> &List) {
+    for (Stmt *S : List)
+      if (auto *L = stmtDynCast<LoopStmt>(S))
+        transformList(L->Body);
+
+    bool Changed = true;
+    while (Changed) {
+      Changed = coalesce(List);
+      if (Policy == PolicyKind::Aggressive)
+        for (size_t I = 0; I < List.size(); ++I)
+          if (auto *L = stmtDynCast<LoopStmt>(List[I]))
+            if (tryLift(List, I, L)) {
+              Changed = true;
+              break;
+            }
+    }
+  }
+
+  /// Eliminates Release(R) ... Acquire(R) pairs separated only by pure
+  /// computation, merging the surrounding critical regions (legal under
+  /// Bounded because the merged region stays loop- and cycle-free).
+  bool coalesce(std::vector<Stmt *> &List) {
+    bool Any = false;
+    for (size_t I = 0; I < List.size(); ++I) {
+      const auto *Rel = stmtDynCast<ReleaseStmt>(List[I]);
+      if (!Rel)
+        continue;
+      // Scan forward over absorbable statements for a matching acquire.
+      size_t J = I + 1;
+      while (J < List.size() && List[J]->kind() == StmtKind::Compute)
+        ++J;
+      if (J >= List.size())
+        continue;
+      const auto *Acq = stmtDynCast<AcquireStmt>(List[J]);
+      if (!Acq || !(Acq->Recv == Rel->Recv))
+        continue;
+      List.erase(List.begin() + static_cast<long>(J));
+      List.erase(List.begin() + static_cast<long>(I));
+      ++Stats.RegionsCoalesced;
+      Any = true;
+      --I; // Rescan from the statement now at position I.
+    }
+    return Any;
+  }
+
+  /// Classification of a loop body for lifting: exactly one region element
+  /// (an explicit Acquire..Release group, or one call to a SingleRegion
+  /// callee), everything else lock-free. Returns the region receiver as the
+  /// enclosing method names it, or nullopt when the loop is not liftable.
+  struct LiftPlan {
+    Receiver Recv;
+    // Explicit region: indices of the Acquire and Release in the loop body.
+    std::optional<size_t> AcqIdx, RelIdx;
+    // Interprocedural: the call to retarget to a stripped variant.
+    CallStmt *Call = nullptr;
+  };
+
+  std::optional<LiftPlan> planLift(LoopStmt *L) {
+    LiftPlan Plan;
+    bool SawRegion = false;
+    std::optional<Receiver> Open;
+    for (size_t I = 0; I < L->Body.size(); ++I) {
+      Stmt *S = L->Body[I];
+      if (Open) {
+        if (auto *R = stmtDynCast<ReleaseStmt>(S)) {
+          if (!(R->Recv == *Open))
+            return std::nullopt;
+          Plan.RelIdx = I;
+          Open.reset();
+          continue;
+        }
+        std::vector<Stmt *> One{S};
+        if (!Shapes.listIsLockFree(One))
+          return std::nullopt;
+        continue;
+      }
+      switch (S->kind()) {
+      case StmtKind::Acquire: {
+        if (SawRegion)
+          return std::nullopt;
+        const Receiver A = stmtCast<AcquireStmt>(S).Recv;
+        SawRegion = true;
+        Plan.Recv = A;
+        Plan.AcqIdx = I;
+        Open = A;
+        break;
+      }
+      case StmtKind::Release:
+        return std::nullopt;
+      case StmtKind::Call: {
+        auto *C = static_cast<CallStmt *>(S);
+        const ShapeSummary &CS = Shapes.summary(C->callee());
+        if (CS.Shape == BodyShape::LockFree)
+          break;
+        if (CS.Shape != BodyShape::SingleRegion || SawRegion)
+          return std::nullopt;
+        std::optional<Receiver> Translated =
+            ShapeAnalysis::translateToCaller(CS.RegionRecv, *C);
+        if (!Translated)
+          return std::nullopt;
+        SawRegion = true;
+        Plan.Recv = *Translated;
+        Plan.Call = C;
+        break;
+      }
+      case StmtKind::Loop:
+        if (!Shapes.listIsLockFree(stmtCast<LoopStmt>(S).Body))
+          return std::nullopt;
+        break;
+      case StmtKind::Update:
+        // A naked update at this level would be unprotected; the default
+        // placement never produces this.
+        return std::nullopt;
+      case StmtKind::Compute:
+        break;
+      }
+    }
+    if (Open || !SawRegion)
+      return std::nullopt;
+    if (!Plan.Recv.isInvariantIn(L->LoopId))
+      return std::nullopt;
+    return Plan;
+  }
+
+  /// Lifts the single region of \p L out of the loop: the acquire moves
+  /// before the loop and the release after it, so the lock is acquired and
+  /// released once instead of once per iteration.
+  bool tryLift(std::vector<Stmt *> &List, size_t LoopIdx, LoopStmt *L) {
+    std::optional<LiftPlan> Plan = planLift(L);
+    if (!Plan)
+      return false;
+    if (Plan->AcqIdx) {
+      assert(Plan->RelIdx && "explicit region without release");
+      // Erase release first (higher index).
+      L->Body.erase(L->Body.begin() + static_cast<long>(*Plan->RelIdx));
+      L->Body.erase(L->Body.begin() + static_cast<long>(*Plan->AcqIdx));
+    } else {
+      assert(Plan->Call && "lift plan without region");
+      Plan->Call->setCallee(strippedVariant(Plan->Call->callee()));
+    }
+    List.insert(List.begin() + static_cast<long>(LoopIdx),
+                M.createAcquire(Plan->Recv));
+    List.insert(List.begin() + static_cast<long>(LoopIdx) + 2,
+                M.createRelease(Plan->Recv));
+    ++Stats.LoopsLifted;
+    return true;
+  }
+
+  /// Returns (creating and memoizing on first use) the lock-free variant of
+  /// \p Orig: a clone of its closure with every acquire/release removed.
+  const Method *strippedVariant(const Method *Orig) {
+    auto It = Stripped.find(Orig);
+    if (It != Stripped.end())
+      return It->second;
+    CloneResult CR = cloneMethodClosure(M, Orig, "_nolock");
+    stripAllLocks(CR.Root);
+    ++Stats.CalleesStripped;
+    return Stripped[Orig] = CR.Root;
+  }
+
+  Module &M;
+  const PolicyKind Policy;
+  ShapeAnalysis Shapes;
+  std::set<const Method *> Done;
+  std::map<const Method *, const Method *> Stripped;
+};
+
+} // namespace
+
+OptStats xform::optimizeSynchronization(Module &M, Method *Entry,
+                                        PolicyKind Policy) {
+  Optimizer Opt(M, Policy);
+  Opt.run(Entry);
+  return Opt.Stats;
+}

@@ -1,0 +1,43 @@
+//===- xform/LockElimination.h - The lock elimination transform -*- C++ -*-===//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The synchronization optimization algorithms of paper Section 3. A
+/// computation that releases a lock and then reacquires the same lock has
+/// the intermediate release/acquire eliminated, coalescing critical regions;
+/// an invariant-receiver region that is the only locking inside a loop body
+/// is lifted out of the loop (interprocedurally through single-region
+/// callees, exactly the paper's Figure 1 -> Figure 2 transformation). The
+/// policy decides which applications are legal.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNFB_XFORM_LOCKELIMINATION_H
+#define DYNFB_XFORM_LOCKELIMINATION_H
+
+#include "ir/Module.h"
+#include "xform/Policy.h"
+
+#include <map>
+
+namespace dynfb::xform {
+
+/// Statistics of one optimization run, for tests and reports.
+struct OptStats {
+  unsigned RegionsCoalesced = 0; ///< release/acquire pairs eliminated
+  unsigned LoopsLifted = 0;      ///< regions lifted out of loops
+  unsigned CalleesStripped = 0;  ///< lock-free method variants created
+};
+
+/// Applies the lock elimination transformation under \p Policy to the
+/// closure of \p Entry, in place. \p Entry and all reachable methods must be
+/// synthetic clones carrying the default placement. Returns statistics.
+OptStats optimizeSynchronization(ir::Module &M, ir::Method *Entry,
+                                 PolicyKind Policy);
+
+} // namespace dynfb::xform
+
+#endif // DYNFB_XFORM_LOCKELIMINATION_H

@@ -1,0 +1,115 @@
+//===- xform/MultiVersion.cpp ---------------------------------------------==//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "xform/MultiVersion.h"
+
+#include "analysis/Commutativity.h"
+#include "ir/Clone.h"
+#include "ir/StructuralHash.h"
+#include "ir/Verifier.h"
+#include "support/Compiler.h"
+#include "xform/LockElimination.h"
+#include "xform/Synchronizer.h"
+
+#include <cassert>
+#include <cstdio>
+
+using namespace dynfb;
+using namespace dynfb::ir;
+using namespace dynfb::xform;
+
+std::string SectionVersion::label() const {
+  std::string Out;
+  for (size_t I = 0; I < Policies.size(); ++I) {
+    if (I != 0)
+      Out += "/";
+    Out += policyName(Policies[I]);
+  }
+  return Out;
+}
+
+unsigned VersionedSection::indexFor(PolicyKind P) const {
+  for (unsigned I = 0; I < Versions.size(); ++I)
+    if (Versions[I].hasPolicy(P))
+      return I;
+  DYNFB_UNREACHABLE("policy has no version in this section");
+}
+
+const VersionedSection *
+VersionedProgram::find(const std::string &Name) const {
+  for (const VersionedSection &S : Sections)
+    if (S.Name == Name)
+      return &S;
+  return nullptr;
+}
+
+/// Reports verifier errors and aborts: a transformation that breaks the
+/// invariants is a compiler bug, not a recoverable condition.
+static void checkVerified(const Module &M, const char *Where) {
+  VerifyOptions Opts;
+  Opts.RequireAtomicUpdates = false; // Checked per entry below.
+  const std::vector<std::string> Errors = verifyModule(M, Opts);
+  if (Errors.empty())
+    return;
+  for (const std::string &E : Errors)
+    std::fprintf(stderr, "verifier (%s): %s\n", Where, E.c_str());
+  reportFatalError("IR verification failed after version generation");
+}
+
+VersionedProgram xform::generateVersions(Module &M) {
+  VersionedProgram Program;
+  for (const ParallelSection &Section : M.sections()) {
+    // The compiler only parallelizes sections whose operations commute.
+    const analysis::CommutativityResult CR = analysis::analyzeSection(Section);
+    if (!CR.Commutes) {
+      for (const std::string &D : CR.Diagnostics)
+        std::fprintf(stderr, "commutativity (%s): %s\n",
+                     Section.Name.c_str(), D.c_str());
+      reportFatalError("section operations do not commute; cannot "
+                       "parallelize");
+    }
+
+    VersionedSection VS;
+    VS.Name = Section.Name;
+
+    // Serial entry: a plain clone (applications author lock-free bodies;
+    // the clone isolates it from any later mutation).
+    VS.SerialEntry =
+        cloneMethodClosure(M, Section.IterMethod, "$serial").Root;
+
+    for (PolicyKind P : AllPolicies) {
+      CloneResult Clone =
+          cloneMethodClosure(M, Section.IterMethod, policySuffix(P));
+      insertDefaultPlacement(M, Clone.Root);
+      optimizeSynchronization(M, Clone.Root, P);
+
+      // Every generated version must preserve atomicity of updates.
+      const std::vector<std::string> AtomErrors = verifyAtomicity(*Clone.Root);
+      if (!AtomErrors.empty()) {
+        for (const std::string &E : AtomErrors)
+          std::fprintf(stderr, "atomicity (%s, %s): %s\n",
+                       Section.Name.c_str(), policyName(P), E.c_str());
+        reportFatalError("generated version violates update atomicity");
+      }
+
+      // Deduplicate policy-equivalent versions.
+      bool Merged = false;
+      for (SectionVersion &Existing : VS.Versions) {
+        if (structurallyEqual(*Existing.Entry, *Clone.Root)) {
+          Existing.Policies.push_back(P);
+          Merged = true;
+          break;
+        }
+      }
+      if (!Merged)
+        VS.Versions.push_back(SectionVersion{{P}, Clone.Root});
+    }
+    Program.Sections.push_back(std::move(VS));
+  }
+
+  checkVerified(M, "generateVersions");
+  return Program;
+}

@@ -1,0 +1,74 @@
+//===- xform/MultiVersion.h - Per-policy version generation ----*- C++ -*-===//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generates, for every parallel section, one code version per
+/// synchronization optimization policy (paper Section 4.2) and deduplicates
+/// policy-equivalent versions: when two policies generate the same code the
+/// compiler emits a single version (e.g. Water's INTERF section, where
+/// Bounded and Aggressive coincide, and POTENG, where Original and Bounded
+/// coincide). A serial (lock-free) entry per section is also produced for
+/// serial-time measurement and the code-size accounting of Table 1.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNFB_XFORM_MULTIVERSION_H
+#define DYNFB_XFORM_MULTIVERSION_H
+
+#include "ir/Module.h"
+#include "xform/Policy.h"
+
+#include <string>
+#include <vector>
+
+namespace dynfb::xform {
+
+/// One generated code version of a parallel section.
+struct SectionVersion {
+  /// The policies whose generated code is this version (>= 1 entry;
+  /// deduplicated policy-equivalent versions list several).
+  std::vector<PolicyKind> Policies;
+  ir::Method *Entry = nullptr;
+
+  bool hasPolicy(PolicyKind P) const {
+    for (PolicyKind Q : Policies)
+      if (Q == P)
+        return true;
+    return false;
+  }
+  /// Display label, e.g. "Original" or "Bounded/Aggressive".
+  std::string label() const;
+};
+
+/// All versions of one parallel section.
+struct VersionedSection {
+  std::string Name;
+  std::vector<SectionVersion> Versions; ///< In policy order, deduplicated.
+  ir::Method *SerialEntry = nullptr;    ///< Lock-free clone.
+
+  /// Index of the version implementing \p P. Asserts if absent.
+  unsigned indexFor(PolicyKind P) const;
+  const SectionVersion &versionFor(PolicyKind P) const {
+    return Versions[indexFor(P)];
+  }
+};
+
+/// The multi-versioned program: one VersionedSection per parallel section.
+struct VersionedProgram {
+  std::vector<VersionedSection> Sections;
+
+  const VersionedSection *find(const std::string &Name) const;
+};
+
+/// Generates all versions for every section of \p M. Asserts that
+/// commutativity analysis accepts each section (the compiler only
+/// parallelizes sections whose operations commute) and that every generated
+/// version passes the module verifier including interprocedural atomicity.
+VersionedProgram generateVersions(ir::Module &M);
+
+} // namespace dynfb::xform
+
+#endif // DYNFB_XFORM_MULTIVERSION_H

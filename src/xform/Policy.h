@@ -1,0 +1,61 @@
+//===- xform/Policy.h - Synchronization optimization policies --*- C++ -*-===//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The three synchronization optimization policies of paper Section 3.
+/// They differ in when the lock elimination transformation may be applied:
+///  - Original: never -- every commuting update keeps its own
+///    acquire/release pair (the default placement).
+///  - Bounded: only if the new critical region is statically bounded --
+///    it contains no loops and no call-graph cycles. In practice this
+///    admits region coalescing across straight-line code.
+///  - Aggressive: always -- coalescing plus (interprocedural) lifting of
+///    invariant-receiver regions out of loops (the paper's Figures 1-2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNFB_XFORM_POLICY_H
+#define DYNFB_XFORM_POLICY_H
+
+namespace dynfb::xform {
+
+/// Synchronization optimization policy.
+enum class PolicyKind { Original, Bounded, Aggressive };
+
+/// All policies, in sampling order (the order the paper's generated code
+/// samples them unless early cut-off reorders).
+inline constexpr PolicyKind AllPolicies[] = {
+    PolicyKind::Original, PolicyKind::Bounded, PolicyKind::Aggressive};
+
+/// Human-readable policy name as used in the paper's tables.
+inline const char *policyName(PolicyKind P) {
+  switch (P) {
+  case PolicyKind::Original:
+    return "Original";
+  case PolicyKind::Bounded:
+    return "Bounded";
+  case PolicyKind::Aggressive:
+    return "Aggressive";
+  }
+  return "?";
+}
+
+/// Short suffix for synthetic method names.
+inline const char *policySuffix(PolicyKind P) {
+  switch (P) {
+  case PolicyKind::Original:
+    return "$orig";
+  case PolicyKind::Bounded:
+    return "$bnd";
+  case PolicyKind::Aggressive:
+    return "$agg";
+  }
+  return "$?";
+}
+
+} // namespace dynfb::xform
+
+#endif // DYNFB_XFORM_POLICY_H

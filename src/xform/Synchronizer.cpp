@@ -1,0 +1,71 @@
+//===- xform/Synchronizer.cpp ---------------------------------------------==//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "xform/Synchronizer.h"
+
+#include <cassert>
+#include <set>
+
+using namespace dynfb;
+using namespace dynfb::ir;
+using namespace dynfb::xform;
+
+namespace {
+
+/// Applies \p Fn to every statement list in the closure of \p Entry
+/// (method bodies and loop bodies), each exactly once.
+template <typename FnT> void forEachList(Method *Entry, FnT Fn) {
+  std::set<Method *> Visited;
+  std::vector<Method *> Work{Entry};
+  while (!Work.empty()) {
+    Method *M = Work.back();
+    Work.pop_back();
+    if (!Visited.insert(M).second)
+      continue;
+    std::vector<std::vector<Stmt *> *> Lists{&M->body()};
+    while (!Lists.empty()) {
+      std::vector<Stmt *> *List = Lists.back();
+      Lists.pop_back();
+      Fn(*List);
+      for (Stmt *S : *List) {
+        if (auto *L = stmtDynCast<LoopStmt>(S))
+          Lists.push_back(&L->Body);
+        else if (auto *C = stmtDynCast<CallStmt>(S))
+          Work.push_back(const_cast<Method *>(C->callee()));
+      }
+    }
+  }
+}
+
+} // namespace
+
+void xform::insertDefaultPlacement(Module &M, Method *Entry) {
+  forEachList(Entry, [&M](std::vector<Stmt *> &List) {
+    std::vector<Stmt *> Out;
+    Out.reserve(List.size());
+    for (Stmt *S : List) {
+      if (auto *U = stmtDynCast<UpdateStmt>(S)) {
+        Out.push_back(M.createAcquire(U->Recv));
+        Out.push_back(S);
+        Out.push_back(M.createRelease(U->Recv));
+      } else {
+        Out.push_back(S);
+      }
+    }
+    List = std::move(Out);
+  });
+}
+
+void xform::stripAllLocks(Method *Entry) {
+  forEachList(Entry, [](std::vector<Stmt *> &List) {
+    std::vector<Stmt *> Out;
+    Out.reserve(List.size());
+    for (Stmt *S : List)
+      if (S->kind() != StmtKind::Acquire && S->kind() != StmtKind::Release)
+        Out.push_back(S);
+    List = std::move(Out);
+  });
+}

@@ -1,0 +1,32 @@
+//===- xform/Synchronizer.h - Default lock placement ------------*- C++ -*-===//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Inserts the default synchronization placement (paper Section 2): every
+/// operation that updates an object first acquires the object's lock,
+/// performs the update, then releases the lock. Also provides the inverse
+/// (stripping all locks) for serial versions and lock-free method variants.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNFB_XFORM_SYNCHRONIZER_H
+#define DYNFB_XFORM_SYNCHRONIZER_H
+
+#include "ir/Module.h"
+
+namespace dynfb::xform {
+
+/// Wraps every UpdateStmt in the closure of \p Entry in its own
+/// acquire/release pair on the update's receiver. Mutates the closure in
+/// place; \p Entry and everything it reaches must be synthetic clones.
+void insertDefaultPlacement(ir::Module &M, ir::Method *Entry);
+
+/// Removes every Acquire/Release statement in the closure of \p Entry.
+void stripAllLocks(ir::Method *Entry);
+
+} // namespace dynfb::xform
+
+#endif // DYNFB_XFORM_SYNCHRONIZER_H

@@ -1,0 +1,286 @@
+//===- tests/AnalysisTest.cpp - Unit tests for the analysis layer ---------==//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CallGraph.h"
+#include "analysis/Commutativity.h"
+#include "analysis/FieldAccess.h"
+#include "analysis/Regions.h"
+#include "ir/Builder.h"
+
+#include <algorithm>
+#include <gtest/gtest.h>
+
+using namespace dynfb::analysis;
+using namespace dynfb::ir;
+
+namespace {
+
+// ---------------------------- CallGraph -----------------------------------
+
+TEST(CallGraphTest, ClosureAndBottomUpOrder) {
+  Module M("m");
+  ClassDecl *C = M.createClass("c");
+  Method *Leaf = M.createMethod("leaf", C);
+  Method *Mid = M.createMethod("mid", C);
+  Mid->body().push_back(M.createCall(Leaf, Receiver::thisObj(), {}));
+  Method *Root = M.createMethod("root", C);
+  Root->body().push_back(M.createCall(Mid, Receiver::thisObj(), {}));
+  Root->body().push_back(M.createCall(Leaf, Receiver::thisObj(), {}));
+
+  CallGraph CG(*Root);
+  EXPECT_EQ(CG.nodes().size(), 3u);
+  EXPECT_EQ(CG.callees(Root).size(), 2u);
+
+  const auto Order = CG.bottomUpOrder();
+  const auto Pos = [&](const Method *X) {
+    return std::find(Order.begin(), Order.end(), X) - Order.begin();
+  };
+  EXPECT_LT(Pos(Leaf), Pos(Mid));
+  EXPECT_LT(Pos(Mid), Pos(Root));
+}
+
+TEST(CallGraphTest, DetectsDirectRecursion) {
+  Module M("m");
+  ClassDecl *C = M.createClass("c");
+  Method *Rec = M.createMethod("rec", C);
+  Rec->body().push_back(M.createCall(Rec, Receiver::thisObj(), {}));
+  CallGraph CG(*Rec);
+  EXPECT_TRUE(CG.isInCycle(Rec));
+  EXPECT_TRUE(CG.closureContainsCycle(Rec));
+}
+
+TEST(CallGraphTest, DetectsMutualRecursion) {
+  Module M("m");
+  ClassDecl *C = M.createClass("c");
+  Method *A = M.createMethod("a", C);
+  Method *B = M.createMethod("b", C);
+  A->body().push_back(M.createCall(B, Receiver::thisObj(), {}));
+  B->body().push_back(M.createCall(A, Receiver::thisObj(), {}));
+  Method *Root = M.createMethod("root", C);
+  Root->body().push_back(M.createCall(A, Receiver::thisObj(), {}));
+  CallGraph CG(*Root);
+  EXPECT_TRUE(CG.isInCycle(A));
+  EXPECT_TRUE(CG.isInCycle(B));
+  EXPECT_FALSE(CG.isInCycle(Root));
+  EXPECT_TRUE(CG.closureContainsCycle(Root));
+}
+
+TEST(CallGraphTest, AcyclicClosureHasNoCycles) {
+  Module M("m");
+  ClassDecl *C = M.createClass("c");
+  Method *Leaf = M.createMethod("leaf", C);
+  Method *Root = M.createMethod("root", C);
+  Root->body().push_back(M.createCall(Leaf, Receiver::thisObj(), {}));
+  CallGraph CG(*Root);
+  EXPECT_FALSE(CG.closureContainsCycle(Root));
+}
+
+// ---------------------------- FieldAccess ---------------------------------
+
+TEST(FieldAccessTest, CollectsReadsAndWritesInterprocedurally) {
+  Module M("m");
+  ClassDecl *C = M.createClass("c");
+  const unsigned Ro = C->addField("ro");
+  const unsigned Acc = C->addField("acc");
+  Method *Callee = M.createMethod("callee", C);
+  Callee->body().push_back(
+      M.createUpdate(Receiver::thisObj(), Acc, BinOp::Add,
+                     M.exprFieldRead(Receiver::thisObj(), Ro)));
+  Method *Root = M.createMethod("root", C);
+  Root->body().push_back(M.createCall(Callee, Receiver::thisObj(), {}));
+
+  const AccessSummary S = computeAccessSummary(*Root);
+  EXPECT_TRUE(S.reads(FieldKey{C, Ro}));
+  EXPECT_FALSE(S.reads(FieldKey{C, Acc}));
+  ASSERT_TRUE(S.writes(FieldKey{C, Acc}));
+  EXPECT_EQ(S.Writes.at(FieldKey{C, Acc}).front().Op, BinOp::Add);
+}
+
+// ---------------------------- Commutativity -------------------------------
+
+/// Builds a single-update method `this->f <op> e` where e reads `g`.
+struct UpdateProgram {
+  Module M{"m"};
+  ClassDecl *C;
+  unsigned F, G;
+  Method *Entry;
+
+  explicit UpdateProgram(BinOp Op, bool ReadOwnField = false) {
+    C = M.createClass("c");
+    F = C->addField("f");
+    G = C->addField("g");
+    Entry = M.createMethod("entry", C);
+    const Expr *Val = M.exprFieldRead(Receiver::thisObj(),
+                                      ReadOwnField ? F : G);
+    Entry->body().push_back(M.createUpdate(Receiver::thisObj(), F, Op, Val));
+  }
+};
+
+TEST(CommutativityTest, AddUpdateCommutes) {
+  UpdateProgram P(BinOp::Add);
+  EXPECT_TRUE(analyzeEntry(*P.Entry).Commutes);
+}
+
+TEST(CommutativityTest, MinMaxMulCommute) {
+  for (BinOp Op : {BinOp::Min, BinOp::Max, BinOp::Mul}) {
+    UpdateProgram P(Op);
+    EXPECT_TRUE(analyzeEntry(*P.Entry).Commutes);
+  }
+}
+
+TEST(CommutativityTest, AssignDoesNotCommute) {
+  UpdateProgram P(BinOp::Assign);
+  const auto R = analyzeEntry(*P.Entry);
+  EXPECT_FALSE(R.Commutes);
+  ASSERT_FALSE(R.Diagnostics.empty());
+  EXPECT_NE(R.Diagnostics[0].find("non-commuting"), std::string::npos);
+}
+
+TEST(CommutativityTest, SubDivDoNotCommute) {
+  for (BinOp Op : {BinOp::Sub, BinOp::Div}) {
+    UpdateProgram P(Op);
+    EXPECT_FALSE(analyzeEntry(*P.Entry).Commutes);
+  }
+}
+
+TEST(CommutativityTest, ReadingWrittenFieldRejected) {
+  // f = f + f: the value expression reads the written field.
+  UpdateProgram P(BinOp::Add, /*ReadOwnField=*/true);
+  const auto R = analyzeEntry(*P.Entry);
+  EXPECT_FALSE(R.Commutes);
+}
+
+TEST(CommutativityTest, MixedOperatorsOnOneFieldRejected) {
+  Module M("m");
+  ClassDecl *C = M.createClass("c");
+  const unsigned F = C->addField("f");
+  Method *Entry = M.createMethod("entry", C);
+  Entry->body().push_back(
+      M.createUpdate(Receiver::thisObj(), F, BinOp::Add, M.exprConst(1.0)));
+  Entry->body().push_back(
+      M.createUpdate(Receiver::thisObj(), F, BinOp::Mul, M.exprConst(2.0)));
+  const auto R = analyzeEntry(*Entry);
+  EXPECT_FALSE(R.Commutes);
+}
+
+TEST(CommutativityTest, DisjointFieldsWithDifferentOpsCommute) {
+  Module M("m");
+  ClassDecl *C = M.createClass("c");
+  const unsigned F = C->addField("f");
+  const unsigned G = C->addField("g");
+  Method *Entry = M.createMethod("entry", C);
+  Entry->body().push_back(
+      M.createUpdate(Receiver::thisObj(), F, BinOp::Add, M.exprConst(1.0)));
+  Entry->body().push_back(
+      M.createUpdate(Receiver::thisObj(), G, BinOp::Mul, M.exprConst(2.0)));
+  EXPECT_TRUE(analyzeEntry(*Entry).Commutes);
+}
+
+// ---------------------------- Regions -------------------------------------
+
+TEST(RegionsTest, ScanFindsTopLevelRegions) {
+  Module M("m");
+  ClassDecl *C = M.createClass("c");
+  C->addField("f");
+  Method *Meth = M.createMethod("m", C);
+  auto &Body = Meth->body();
+  Body.push_back(M.createAcquire(Receiver::thisObj()));
+  Body.push_back(
+      M.createUpdate(Receiver::thisObj(), 0, BinOp::Add, M.exprConst(1.0)));
+  Body.push_back(M.createRelease(Receiver::thisObj()));
+  Body.push_back(M.createCompute(0));
+  Body.push_back(M.createAcquire(Receiver::param(0)));
+  Body.push_back(M.createRelease(Receiver::param(0)));
+  Meth->addParam(Param{"p", C, false});
+
+  const auto Regions = scanRegions(Body);
+  ASSERT_EQ(Regions.size(), 2u);
+  EXPECT_EQ(Regions[0].AcqIdx, 0u);
+  EXPECT_EQ(Regions[0].RelIdx, 2u);
+  EXPECT_EQ(Regions[1].AcqIdx, 4u);
+  EXPECT_EQ(Regions[1].Recv, Receiver::param(0));
+}
+
+TEST(RegionsTest, ShapeLockFree) {
+  Module M("m");
+  ClassDecl *C = M.createClass("c");
+  Method *Meth = M.createMethod("m", C);
+  Meth->body().push_back(M.createCompute(0));
+  ShapeAnalysis SA;
+  EXPECT_EQ(SA.summary(Meth).Shape, BodyShape::LockFree);
+}
+
+TEST(RegionsTest, ShapeSingleRegionWithPurePrefix) {
+  Module M("m");
+  ClassDecl *C = M.createClass("c");
+  C->addField("f");
+  Method *Meth = M.createMethod("m", C);
+  Meth->body().push_back(M.createCompute(0));
+  Meth->body().push_back(M.createAcquire(Receiver::thisObj()));
+  Meth->body().push_back(
+      M.createUpdate(Receiver::thisObj(), 0, BinOp::Add, M.exprConst(1.0)));
+  Meth->body().push_back(M.createRelease(Receiver::thisObj()));
+  ShapeAnalysis SA;
+  const ShapeSummary &S = SA.summary(Meth);
+  EXPECT_EQ(S.Shape, BodyShape::SingleRegion);
+  EXPECT_EQ(S.RegionRecv, Receiver::thisObj());
+}
+
+TEST(RegionsTest, ShapeMixedForTwoRegions) {
+  Module M("m");
+  ClassDecl *C = M.createClass("c");
+  Method *Meth = M.createMethod("m", C);
+  Meth->addParam(Param{"p", C, false});
+  Meth->body().push_back(M.createAcquire(Receiver::thisObj()));
+  Meth->body().push_back(M.createRelease(Receiver::thisObj()));
+  Meth->body().push_back(M.createAcquire(Receiver::param(0)));
+  Meth->body().push_back(M.createRelease(Receiver::param(0)));
+  ShapeAnalysis SA;
+  EXPECT_EQ(SA.summary(Meth).Shape, BodyShape::Mixed);
+}
+
+TEST(RegionsTest, SingleRegionThroughCall) {
+  // Caller's body is just a call to a SingleRegion callee: the caller is
+  // itself SingleRegion with the translated receiver.
+  Module M("m");
+  ClassDecl *C = M.createClass("c");
+  C->addField("f");
+  Method *Callee = M.createMethod("callee", C);
+  Callee->body().push_back(M.createAcquire(Receiver::thisObj()));
+  Callee->body().push_back(
+      M.createUpdate(Receiver::thisObj(), 0, BinOp::Add, M.exprConst(1.0)));
+  Callee->body().push_back(M.createRelease(Receiver::thisObj()));
+  Method *Caller = M.createMethod("caller", C);
+  Caller->addParam(Param{"p", C, false});
+  Caller->body().push_back(M.createCall(Callee, Receiver::param(0), {}));
+  ShapeAnalysis SA;
+  const ShapeSummary &S = SA.summary(Caller);
+  EXPECT_EQ(S.Shape, BodyShape::SingleRegion);
+  EXPECT_EQ(S.RegionRecv, Receiver::param(0));
+}
+
+TEST(RegionsTest, TranslateToCallerMapsThisAndParams) {
+  Module M("m");
+  ClassDecl *C = M.createClass("c");
+  Method *Callee = M.createMethod("callee", C);
+  Callee->addParam(Param{"x", C, false});
+  CallStmt *Call =
+      M.createCall(Callee, Receiver::param(2), {Receiver::thisObj()});
+  // Callee's `this` is the caller's param(2).
+  auto T1 = ShapeAnalysis::translateToCaller(Receiver::thisObj(), *Call);
+  ASSERT_TRUE(T1.has_value());
+  EXPECT_EQ(*T1, Receiver::param(2));
+  // Callee's param(0) is the caller's `this`.
+  auto T2 = ShapeAnalysis::translateToCaller(Receiver::param(0), *Call);
+  ASSERT_TRUE(T2.has_value());
+  EXPECT_EQ(*T2, Receiver::thisObj());
+  // ParamIndexed receivers cannot be translated.
+  auto T3 =
+      ShapeAnalysis::translateToCaller(Receiver::paramIndexed(0, 1), *Call);
+  EXPECT_FALSE(T3.has_value());
+}
+
+} // namespace

@@ -1,0 +1,311 @@
+//===- tests/AppsTest.cpp - Unit tests for the benchmark applications -----==//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/barnes_hut/BarnesHutApp.h"
+#include "apps/barnes_hut/Octree.h"
+#include "apps/string_tomo/StringApp.h"
+#include "apps/water/WaterApp.h"
+#include "support/Random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <gtest/gtest.h>
+
+using namespace dynfb;
+using namespace dynfb::apps;
+
+namespace {
+
+// ---------------------------- Octree --------------------------------------
+
+TEST(OctreeTest, RootMassEqualsTotalMass) {
+  auto Bodies = bh::makePlummerBodies(256, 1);
+  bh::Octree Tree(Bodies);
+  double Total = 0;
+  for (const bh::Body &B : Bodies)
+    Total += B.Mass;
+  EXPECT_NEAR(Tree.rootMass(), Total, 1e-9);
+}
+
+TEST(OctreeTest, ThetaZeroMatchesBruteForce) {
+  // With theta = 0 every cell is opened, so the traversal degenerates to
+  // the exact pairwise sum.
+  auto Bodies = bh::makePlummerBodies(64, 2);
+  bh::Octree Tree(Bodies);
+  const double Eps = 0.05;
+  for (uint32_t I = 0; I < 8; ++I) {
+    const bh::ForceResult F = Tree.computeForce(I, 0.0, Eps);
+    EXPECT_EQ(F.Interactions, Bodies.size() - 1);
+    bh::Vec3 Acc;
+    double Phi = 0;
+    for (uint32_t J = 0; J < Bodies.size(); ++J) {
+      if (J == I)
+        continue;
+      const bh::Vec3 D = Bodies[J].Pos - Bodies[I].Pos;
+      const double R2 = D.norm2() + Eps * Eps;
+      const double R = std::sqrt(R2);
+      Acc += D * (Bodies[J].Mass / (R2 * R));
+      Phi -= Bodies[J].Mass / R;
+    }
+    EXPECT_NEAR(F.Acc.X, Acc.X, 1e-9);
+    EXPECT_NEAR(F.Acc.Y, Acc.Y, 1e-9);
+    EXPECT_NEAR(F.Acc.Z, Acc.Z, 1e-9);
+    EXPECT_NEAR(F.Phi, Phi, 1e-9);
+  }
+}
+
+TEST(OctreeTest, LargerThetaFewerInteractions) {
+  auto Bodies = bh::makePlummerBodies(512, 3);
+  bh::Octree Tree(Bodies);
+  uint64_t Small = 0, Large = 0;
+  for (uint32_t I = 0; I < Bodies.size(); ++I) {
+    Small += Tree.computeForce(I, 0.3, 0.05).Interactions;
+    Large += Tree.computeForce(I, 1.5, 0.05).Interactions;
+  }
+  EXPECT_LT(Large, Small);
+  // Approximation: far fewer than all pairs.
+  EXPECT_LT(Large, static_cast<uint64_t>(Bodies.size()) *
+                       (Bodies.size() - 1) / 4);
+}
+
+TEST(OctreeTest, ApproximationErrorIsSmall) {
+  auto Bodies = bh::makePlummerBodies(256, 4);
+  bh::Octree Tree(Bodies);
+  const double Eps = 0.05;
+  for (uint32_t I = 0; I < 16; ++I) {
+    const bh::ForceResult Exact = Tree.computeForce(I, 0.0, Eps);
+    const bh::ForceResult Approx = Tree.computeForce(I, 0.8, Eps);
+    const double Scale = std::sqrt(Exact.Acc.norm2()) + 1e-12;
+    const bh::Vec3 D = Exact.Acc - Approx.Acc;
+    EXPECT_LT(std::sqrt(D.norm2()) / Scale, 0.05)
+        << "body " << I << " relative force error too large";
+  }
+}
+
+TEST(OctreeTest, PlummerBodiesDeterministic) {
+  auto A = bh::makePlummerBodies(64, 9);
+  auto B = bh::makePlummerBodies(64, 9);
+  for (size_t I = 0; I < A.size(); ++I) {
+    EXPECT_EQ(A[I].Pos.X, B[I].Pos.X);
+    EXPECT_EQ(A[I].Pos.Y, B[I].Pos.Y);
+  }
+}
+
+// ---------------------------- Barnes-Hut app -------------------------------
+
+TEST(BarnesHutAppTest, WorkloadAndScheduleShape) {
+  bh::BarnesHutConfig Config;
+  Config.NumBodies = 256;
+  bh::BarnesHutApp App(Config);
+  EXPECT_EQ(App.interactionCounts().size(), 256u);
+  EXPECT_GT(App.totalInteractions(), 0u);
+  const rt::Schedule Sched = App.schedule();
+  ASSERT_EQ(Sched.size(), 4u); // (serial, FORCES) x 2
+  EXPECT_EQ(Sched[0].K, rt::Phase::Kind::Serial);
+  EXPECT_EQ(Sched[1].K, rt::Phase::Kind::Parallel);
+  EXPECT_EQ(Sched[1].SectionName, "FORCES");
+}
+
+TEST(BarnesHutAppTest, BindingIsConsistent) {
+  bh::BarnesHutConfig Config;
+  Config.NumBodies = 128;
+  bh::BarnesHutApp App(Config);
+  const rt::DataBinding &B = App.binding("FORCES");
+  EXPECT_EQ(B.iterationCount(), 128u);
+  EXPECT_EQ(B.objectCount(), 128u);
+  EXPECT_EQ(B.thisObject(17), 17u);
+  rt::LoopCtx Ctx;
+  Ctx.Iter = 5;
+  EXPECT_EQ(B.tripCount(0 /* the only loop */, Ctx),
+            App.interactionCounts()[5]);
+}
+
+TEST(BarnesHutAppTest, SectionStatsMatchInteractionTotals) {
+  bh::BarnesHutConfig Config;
+  Config.NumBodies = 128;
+  bh::BarnesHutApp App(Config);
+  const rt::CostModel CM = rt::CostModel::dashLike();
+  const SectionStats Stats = App.sectionStats("FORCES", CM);
+  EXPECT_EQ(Stats.Iterations, 128u);
+  // Serial compute: interactions * (kernel + 2 updates).
+  const double Expected =
+      rt::nanosToSeconds(static_cast<rt::Nanos>(App.totalInteractions()) *
+                         (Config.InteractNanos + 2 * CM.UpdateNanos));
+  EXPECT_NEAR(Stats.MeanSectionSeconds, Expected, 1e-9);
+}
+
+TEST(BarnesHutAppTest, ScaleShrinksWorkload) {
+  bh::BarnesHutConfig Config;
+  Config.scale(0.25);
+  EXPECT_EQ(Config.NumBodies, 4096u);
+  Config.NumBodies = 10;
+  Config.scale(0.001);
+  EXPECT_GE(Config.NumBodies, 16u); // Floor.
+}
+
+// ---------------------------- Water app ------------------------------------
+
+TEST(WaterAppTest, PartnersAndSchedule) {
+  water::WaterConfig Config;
+  Config.NumMolecules = 16;
+  water::WaterApp App(Config);
+  const rt::Schedule Sched = App.schedule();
+  // Per timestep: serial, INTERF, serial, POTENG.
+  ASSERT_EQ(Sched.size(), Config.Timesteps * 4);
+  EXPECT_EQ(Sched[1].SectionName, "INTERF");
+  EXPECT_EQ(Sched[3].SectionName, "POTENG");
+  // The serial halves sum to the configured serial phase.
+  EXPECT_EQ(Sched[0].SerialNanos + Sched[2].SerialNanos,
+            Config.SerialPhaseNanos);
+}
+
+TEST(WaterAppTest, PotengBindingHasGlobalAccumulator) {
+  water::WaterConfig Config;
+  Config.NumMolecules = 16;
+  water::WaterApp App(Config);
+  const rt::DataBinding &B = App.binding("POTENG");
+  EXPECT_EQ(B.objectCount(), 17u); // Molecules + the accumulator object.
+  const auto Args = B.sectionArgs(0);
+  ASSERT_EQ(Args.size(), 2u);
+  EXPECT_TRUE(Args[0].IsArray);
+  EXPECT_FALSE(Args[1].IsArray);
+  EXPECT_EQ(Args[1].Id, 16u);
+}
+
+TEST(WaterAppTest, NeighborListsAreRealAndConsistent) {
+  water::WaterConfig Config;
+  Config.NumMolecules = 64;
+  water::WaterApp App(Config);
+  const water::MolecularSystem &Sys = App.system();
+  ASSERT_EQ(Sys.Neighbors.size(), 64u);
+  EXPECT_GT(Sys.CutoffRadius, 0.0);
+
+  // Every listed pair is within the cutoff and appears exactly once.
+  const double Rc2 = Sys.CutoffRadius * Sys.CutoffRadius * (1.0 + 1e-9);
+  std::set<std::pair<uint32_t, uint32_t>> Seen;
+  for (uint32_t I = 0; I < Sys.Neighbors.size(); ++I)
+    for (uint32_t J : Sys.Neighbors[I]) {
+      const auto &A = Sys.Positions[I];
+      const auto &B = Sys.Positions[J];
+      const double DX = A.X - B.X, DY = A.Y - B.Y, DZ = A.Z - B.Z;
+      EXPECT_LE(DX * DX + DY * DY + DZ * DZ, Rc2);
+      const auto Key = std::minmax(I, J);
+      EXPECT_TRUE(Seen.insert({Key.first, Key.second}).second)
+          << "pair listed twice";
+    }
+
+  // The binding serves the same lists.
+  const rt::DataBinding &B = App.binding("INTERF");
+  rt::LoopCtx Ctx;
+  Ctx.Iter = 5;
+  ASSERT_EQ(B.tripCount(0 /*unused*/, Ctx), Sys.Neighbors[5].size());
+}
+
+TEST(WaterAppTest, CutoffCalibrationHitsTarget) {
+  water::WaterConfig Config;
+  Config.NumMolecules = 256;
+  Config.TargetMeanNeighbors = 40.0;
+  water::WaterApp App(Config);
+  const double Mean =
+      static_cast<double>(App.system().totalPairs()) / 256.0;
+  EXPECT_NEAR(Mean, 40.0, 4.0);
+}
+
+TEST(WaterAppTest, HalfListsAreBalanced) {
+  water::WaterConfig Config;
+  Config.NumMolecules = 256;
+  water::WaterApp App(Config);
+  const water::MolecularSystem &Sys = App.system();
+  const double Mean =
+      static_cast<double>(Sys.totalPairs()) /
+      static_cast<double>(Sys.Neighbors.size());
+  size_t MaxLen = 0;
+  for (const auto &L : Sys.Neighbors)
+    MaxLen = std::max(MaxLen, L.size());
+  // No molecule carries more than a few times the average (the balanced
+  // pair assignment prevents the triangular skew of naive half-lists).
+  EXPECT_LT(static_cast<double>(MaxLen), 3.0 * Mean + 8.0);
+}
+
+// ---------------------------- String app -----------------------------------
+
+TEST(StringAppTest, DdaCellCounts) {
+  // Horizontal ray: crosses exactly W cells.
+  EXPECT_EQ(string_tomo::ddaCellCount(64, 64, 10.2, 10.2), 64u);
+  // One row crossing adds one cell.
+  EXPECT_EQ(string_tomo::ddaCellCount(64, 64, 10.2, 11.4), 65u);
+  // Deep diagonal.
+  EXPECT_EQ(string_tomo::ddaCellCount(64, 64, 0.5, 63.5), 64u + 63u);
+  // Out-of-grid depths clamp.
+  EXPECT_EQ(string_tomo::ddaCellCount(64, 64, -5.0, 1000.0), 64u + 63u);
+  // Minimal grid.
+  EXPECT_EQ(string_tomo::ddaCellCount(1, 1, 0.0, 0.0), 1u);
+}
+
+TEST(StringAppTest, DdaCellCountMatchesBruteForceMarch) {
+  // Cross-check the closed-form crossing count against an actual march
+  // along the ray in tiny steps, counting distinct cells visited.
+  const uint32_t W = 32, H = 32;
+  Rng R(77);
+  for (int Trial = 0; Trial < 50; ++Trial) {
+    const double Z0 = R.uniform(0.0, H - 1e-6);
+    const double Z1 = R.uniform(0.0, H - 1e-6);
+    // March from (0, Z0) to (W, Z1) in cell units.
+    std::set<std::pair<int, int>> Cells;
+    const int Steps = 200000;
+    for (int S = 0; S <= Steps; ++S) {
+      const double T = static_cast<double>(S) / Steps;
+      const double X = T * (W - 1e-9);
+      const double Z = Z0 + T * (Z1 - Z0);
+      Cells.insert({static_cast<int>(X), static_cast<int>(Z)});
+    }
+    EXPECT_EQ(string_tomo::ddaCellCount(W, H, Z0, Z1), Cells.size())
+        << "Z0=" << Z0 << " Z1=" << Z1;
+  }
+}
+
+TEST(StringAppTest, RaysAreRealistic) {
+  string_tomo::StringConfig Config;
+  Config.NumRays = 64;
+  string_tomo::StringApp App(Config);
+  ASSERT_EQ(App.rays().size(), 64u);
+  for (const string_tomo::Ray &R : App.rays()) {
+    EXPECT_GE(R.Segments, Config.GridW);
+    EXPECT_LE(R.Segments, Config.GridW + Config.GridH);
+  }
+  EXPECT_EQ(App.totalSegments(),
+            [&] {
+              uint64_t S = 0;
+              for (const auto &R : App.rays())
+                S += R.Segments;
+              return S;
+            }());
+}
+
+TEST(StringAppTest, SingleSharedModelObject) {
+  string_tomo::StringConfig Config;
+  Config.NumRays = 16;
+  string_tomo::StringApp App(Config);
+  const rt::DataBinding &B = App.binding("TRACE");
+  EXPECT_EQ(B.objectCount(), 1u);
+  EXPECT_EQ(B.iterationCount(), 16u);
+}
+
+TEST(StringAppTest, TraceCostDominatedByRayTracing) {
+  string_tomo::StringConfig Config;
+  Config.NumRays = 4;
+  string_tomo::StringApp App(Config);
+  const rt::DataBinding &B = App.binding("TRACE");
+  rt::LoopCtx Ctx;
+  Ctx.Iter = 0;
+  // The whole-ray trace kernel costs Segments * TraceCellNanos.
+  const rt::Nanos TraceCost = B.computeNanos(0, Ctx);
+  EXPECT_EQ(TraceCost, static_cast<rt::Nanos>(App.rays()[0].Segments) *
+                           Config.TraceCellNanos);
+}
+
+} // namespace

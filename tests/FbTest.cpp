@@ -1,0 +1,368 @@
+//===- tests/FbTest.cpp - Unit tests for the dynamic feedback core --------==//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fb/Controller.h"
+#include "fb/Driver.h"
+
+#include <functional>
+#include <gtest/gtest.h>
+
+using namespace dynfb;
+using namespace dynfb::fb;
+using namespace dynfb::rt;
+
+namespace {
+
+/// Synthetic runner: version V has overhead OverheadFn(V, now). Work is a
+/// fixed amount of virtual time; each interval consumes min(target,
+/// remaining) and reports stats with exactly the requested overhead.
+class MockRunner : public IntervalRunner {
+public:
+  MockRunner(unsigned NumVersions, Nanos TotalWork,
+             std::function<double(unsigned, Nanos)> OverheadFn)
+      : NumVersionsV(NumVersions), TotalWork(TotalWork),
+        OverheadFn(std::move(OverheadFn)) {}
+
+  unsigned numVersions() const override { return NumVersionsV; }
+  std::string versionLabel(unsigned V) const override {
+    return "v" + std::to_string(V);
+  }
+  IntervalReport runInterval(unsigned V, Nanos Target) override {
+    const double Overhead = OverheadFn(V, Clock);
+    // Overhead inflates the time needed per unit of useful work.
+    const Nanos Dur = std::min(Target, Nanos(static_cast<double>(Remaining) /
+                                             (1.0 - Overhead)));
+    Clock += Dur;
+    Remaining -= static_cast<Nanos>(static_cast<double>(Dur) *
+                                    (1.0 - Overhead));
+    if (Remaining < 1000) // Round-off guard.
+      Remaining = 0;
+    IntervalReport R;
+    R.EffectiveNanos = Dur;
+    R.Stats.ExecNanos = Dur;
+    R.Stats.LockOpNanos = static_cast<Nanos>(Overhead * Dur);
+    R.Stats.AcquireReleasePairs = static_cast<uint64_t>(V) + 1;
+    R.Finished = Remaining == 0;
+    ++IntervalsRun[V];
+    return R;
+  }
+  bool done() const override { return Remaining == 0; }
+  void reset() override { Remaining = TotalWork; }
+  Nanos now() const override { return Clock; }
+
+  const unsigned NumVersionsV;
+  const Nanos TotalWork;
+  Nanos Remaining = TotalWork;
+  Nanos Clock = 0;
+  std::function<double(unsigned, Nanos)> OverheadFn;
+  std::map<unsigned, unsigned> IntervalsRun;
+};
+
+FeedbackConfig smallConfig() {
+  FeedbackConfig C;
+  C.TargetSamplingNanos = millisToNanos(10);
+  C.TargetProductionNanos = secondsToNanos(1);
+  return C;
+}
+
+TEST(ControllerTest, PicksLowestOverheadVersion) {
+  MockRunner R(3, secondsToNanos(3), [](unsigned V, Nanos) {
+    return V == 1 ? 0.05 : 0.5; // Version 1 is clearly best.
+  });
+  FeedbackController C(smallConfig());
+  const SectionExecutionTrace T = C.executeSection(R, "S");
+  ASSERT_FALSE(T.ChosenVersions.empty());
+  for (unsigned V : T.ChosenVersions)
+    EXPECT_EQ(V, 1u);
+  EXPECT_EQ(T.dominantVersion(), 1u);
+}
+
+TEST(ControllerTest, SamplesEveryVersionEachSamplingPhase) {
+  MockRunner R(3, secondsToNanos(2),
+               [](unsigned, Nanos) { return 0.1; });
+  FeedbackController C(smallConfig());
+  const SectionExecutionTrace T = C.executeSection(R, "S");
+  EXPECT_EQ(T.SampledIntervals, T.SamplingPhases * 3);
+  EXPECT_EQ(T.SampledOverheads.all().size(), 3u);
+}
+
+TEST(ControllerTest, AdaptsWhenEnvironmentChanges) {
+  // Version 0 starts best; after 2 virtual seconds version 1 becomes best.
+  MockRunner R(2, secondsToNanos(6), [](unsigned V, Nanos Now) {
+    const bool Early = Now < secondsToNanos(2);
+    if (V == 0)
+      return Early ? 0.05 : 0.6;
+    return Early ? 0.4 : 0.05;
+  });
+  FeedbackConfig Config = smallConfig();
+  Config.TargetProductionNanos = secondsToNanos(1);
+  FeedbackController C(Config);
+  const SectionExecutionTrace T = C.executeSection(R, "S");
+  ASSERT_GE(T.ChosenVersions.size(), 3u);
+  EXPECT_EQ(T.ChosenVersions.front(), 0u);
+  EXPECT_EQ(T.ChosenVersions.back(), 1u);
+}
+
+TEST(ControllerTest, TiesResolveToEarliestPolicy) {
+  MockRunner R(3, secondsToNanos(1),
+               [](unsigned, Nanos) { return 0.2; });
+  FeedbackController C(smallConfig());
+  const SectionExecutionTrace T = C.executeSection(R, "S");
+  ASSERT_FALSE(T.ChosenVersions.empty());
+  EXPECT_EQ(T.ChosenVersions.front(), 0u);
+}
+
+TEST(ControllerTest, EarlyCutoffSkipsRemainingVersions) {
+  // Extreme-first order puts the last version first; give it negligible
+  // overhead so sampling cuts off after one interval.
+  MockRunner R(3, secondsToNanos(2), [](unsigned V, Nanos) {
+    return V == 2 ? 0.01 : 0.5;
+  });
+  FeedbackConfig Config = smallConfig();
+  Config.EarlyCutoff = true;
+  FeedbackController C(Config);
+  const SectionExecutionTrace T = C.executeSection(R, "S");
+  EXPECT_GT(T.SkippedByCutoff, 0u);
+  EXPECT_EQ(T.ChosenVersions.front(), 2u);
+  // Versions 0 and 1 were never run at all in the first phase.
+  EXPECT_EQ(R.IntervalsRun.count(1), 0u);
+}
+
+TEST(ControllerTest, SamplingOrderDefaultIsPolicyOrder) {
+  FeedbackController C(smallConfig());
+  const auto Order = C.samplingOrder(3, "S");
+  EXPECT_EQ(Order, (std::vector<unsigned>{0, 1, 2}));
+}
+
+TEST(ControllerTest, SamplingOrderExtremesFirstUnderCutoff) {
+  FeedbackConfig Config = smallConfig();
+  Config.EarlyCutoff = true;
+  FeedbackController C(Config);
+  const auto Order = C.samplingOrder(3, "S");
+  EXPECT_EQ(Order, (std::vector<unsigned>{2, 0, 1}));
+}
+
+TEST(ControllerTest, PolicyOrderingUsesHistory) {
+  PolicyHistory History;
+  History.recordBest("S", 1);
+  FeedbackConfig Config = smallConfig();
+  Config.UsePolicyOrdering = true;
+  FeedbackController C(Config, &History);
+  const auto Order = C.samplingOrder(3, "S");
+  EXPECT_EQ(Order.front(), 1u);
+  // Unknown sections fall back to policy order.
+  EXPECT_EQ(C.samplingOrder(3, "T").front(), 0u);
+}
+
+TEST(ControllerTest, HistoryIsRecorded) {
+  PolicyHistory History;
+  MockRunner R(2, secondsToNanos(1), [](unsigned V, Nanos) {
+    return V == 1 ? 0.1 : 0.5;
+  });
+  FeedbackController C(smallConfig(), &History);
+  C.executeSection(R, "S");
+  EXPECT_EQ(History.lastBest("S"), 1u);
+}
+
+TEST(ControllerTest, RecordsEffectiveSamplingIntervals) {
+  MockRunner R(2, secondsToNanos(1),
+               [](unsigned, Nanos) { return 0.1; });
+  FeedbackController C(smallConfig());
+  const SectionExecutionTrace T = C.executeSection(R, "S");
+  ASSERT_EQ(T.EffectiveSamplingByVersion.size(), 2u);
+  for (const auto &[Label, Stat] : T.EffectiveSamplingByVersion) {
+    (void)Label;
+    EXPECT_GT(Stat.count(), 0u);
+    EXPECT_GT(Stat.mean(), 0.0);
+  }
+}
+
+TEST(ControllerTest, SectionShorterThanSamplingStillCompletes) {
+  MockRunner R(3, millisToNanos(5), [](unsigned, Nanos) { return 0.1; });
+  FeedbackController C(smallConfig());
+  const SectionExecutionTrace T = C.executeSection(R, "S");
+  EXPECT_TRUE(R.done());
+  EXPECT_LE(T.SampledIntervals, 3u);
+}
+
+TEST(ControllerTest, OverheadAlwaysInUnitInterval) {
+  OverheadStats S;
+  S.ExecNanos = 1000;
+  S.LockOpNanos = 600;
+  S.WaitNanos = 600;
+  EXPECT_DOUBLE_EQ(S.totalOverhead(), 1.0); // Clamped.
+  S.LockOpNanos = 0;
+  S.WaitNanos = 0;
+  EXPECT_DOUBLE_EQ(S.totalOverhead(), 0.0);
+  OverheadStats Empty;
+  EXPECT_DOUBLE_EQ(Empty.totalOverhead(), 0.0);
+}
+
+// ------------------- Spanning intervals (Section 4.4 extension) -----------
+
+TEST(SpanningTest, SamplesOncePerProductionBudgetAcrossOccurrences) {
+  // Many tiny occurrences: per-occurrence mode samples in each; spanning
+  // mode samples once and then stays in production until the budget runs
+  // out.
+  FeedbackConfig Config = smallConfig();
+  Config.TargetProductionNanos = secondsToNanos(10);
+  Config.SpanSectionExecutions = true;
+  FeedbackController C(Config);
+
+  unsigned TotalSampled = 0;
+  for (int Occ = 0; Occ < 20; ++Occ) {
+    MockRunner R(3, millisToNanos(50), [](unsigned V, Nanos) {
+      return V == 1 ? 0.05 : 0.5;
+    });
+    const SectionExecutionTrace T = C.executeSection(R, "S");
+    TotalSampled += T.SampledIntervals;
+  }
+  // Three sampling intervals (one per version) for the whole run, instead
+  // of up to three per occurrence.
+  EXPECT_EQ(TotalSampled, 3u);
+}
+
+TEST(SpanningTest, ProductionUsesBestVersionAcrossOccurrences) {
+  FeedbackConfig Config = smallConfig();
+  Config.TargetProductionNanos = secondsToNanos(10);
+  Config.SpanSectionExecutions = true;
+  FeedbackController C(Config);
+
+  std::vector<unsigned> Chosen;
+  for (int Occ = 0; Occ < 10; ++Occ) {
+    MockRunner R(2, millisToNanos(100), [](unsigned V, Nanos) {
+      return V == 1 ? 0.02 : 0.6;
+    });
+    const SectionExecutionTrace T = C.executeSection(R, "S");
+    for (unsigned V : T.ChosenVersions)
+      Chosen.push_back(V);
+  }
+  ASSERT_FALSE(Chosen.empty());
+  for (unsigned V : Chosen)
+    EXPECT_EQ(V, 1u);
+}
+
+TEST(SpanningTest, ResamplesAfterProductionBudget) {
+  // Production budget of 200 ms over 100 ms occurrences: after two
+  // occurrences the controller resamples and can pick a new best version.
+  FeedbackConfig Config = smallConfig();
+  Config.TargetProductionNanos = millisToNanos(200);
+  Config.SpanSectionExecutions = true;
+  FeedbackController C(Config);
+
+  Nanos GlobalClock = 0;
+  unsigned SamplingPhases = 0;
+  std::vector<unsigned> Chosen;
+  for (int Occ = 0; Occ < 12; ++Occ) {
+    // Version 0 best before 600 ms of virtual time, version 1 after.
+    MockRunner R(2, millisToNanos(100), [](unsigned V, Nanos Now) {
+      const bool Early = Now < millisToNanos(600);
+      if (V == 0)
+        return Early ? 0.05 : 0.6;
+      return Early ? 0.6 : 0.05;
+    });
+    R.Clock = GlobalClock;
+    const SectionExecutionTrace T = C.executeSection(R, "S");
+    GlobalClock = R.Clock;
+    SamplingPhases += T.SamplingPhases;
+    for (unsigned V : T.ChosenVersions)
+      Chosen.push_back(V);
+  }
+  EXPECT_GT(SamplingPhases, 1u);
+  ASSERT_GE(Chosen.size(), 2u);
+  EXPECT_EQ(Chosen.front(), 0u);
+  EXPECT_EQ(Chosen.back(), 1u);
+}
+
+TEST(SpanningTest, StatePerSectionIsIndependent) {
+  FeedbackConfig Config = smallConfig();
+  Config.TargetProductionNanos = secondsToNanos(10);
+  Config.SpanSectionExecutions = true;
+  FeedbackController C(Config);
+
+  MockRunner RA(2, millisToNanos(50),
+                [](unsigned V, Nanos) { return V == 0 ? 0.05 : 0.5; });
+  MockRunner RB(2, millisToNanos(50),
+                [](unsigned V, Nanos) { return V == 1 ? 0.05 : 0.5; });
+  const SectionExecutionTrace TA = C.executeSection(RA, "A");
+  const SectionExecutionTrace TB = C.executeSection(RB, "B");
+  // Both sections sample their own candidates independently.
+  EXPECT_GT(TA.SampledIntervals + TB.SampledIntervals, 0u);
+  unsigned BestA = 99, BestB = 99;
+  if (!TA.ChosenVersions.empty())
+    BestA = TA.ChosenVersions.front();
+  if (!TB.ChosenVersions.empty())
+    BestB = TB.ChosenVersions.front();
+  for (int I = 0; I < 10; ++I) {
+    MockRunner R2A(2, millisToNanos(50),
+                   [](unsigned V, Nanos) { return V == 0 ? 0.05 : 0.5; });
+    MockRunner R2B(2, millisToNanos(50),
+                   [](unsigned V, Nanos) { return V == 1 ? 0.05 : 0.5; });
+    const auto T2A = C.executeSection(R2A, "A");
+    const auto T2B = C.executeSection(R2B, "B");
+    if (!T2A.ChosenVersions.empty())
+      BestA = T2A.ChosenVersions.front();
+    if (!T2B.ChosenVersions.empty())
+      BestB = T2B.ChosenVersions.front();
+  }
+  EXPECT_EQ(BestA, 0u);
+  EXPECT_EQ(BestB, 1u);
+}
+
+// ---------------------------- Driver ---------------------------------------
+
+/// Backend over MockRunners: each beginSection creates a fresh runner.
+class MockBackend : public ExecutionBackend {
+public:
+  explicit MockBackend(std::function<double(unsigned, Nanos)> OverheadFn)
+      : OverheadFn(std::move(OverheadFn)) {}
+
+  void runSerial(Nanos Dur) override { Clock += Dur; }
+  std::unique_ptr<IntervalRunner>
+  beginSection(const std::string &) override {
+    auto R = std::make_unique<MockRunner>(2, secondsToNanos(1), OverheadFn);
+    R->Clock = Clock;
+    // Track time through a shared clock: the driver reads backend.now().
+    LastRunner = R.get();
+    return R;
+  }
+  Nanos now() const override {
+    return LastRunner ? LastRunner->Clock : Clock;
+  }
+
+  Nanos Clock = 0;
+  MockRunner *LastRunner = nullptr;
+  std::function<double(unsigned, Nanos)> OverheadFn;
+};
+
+TEST(DriverTest, RunsScheduleAndAggregates) {
+  MockBackend Backend([](unsigned V, Nanos) { return V == 0 ? 0.1 : 0.4; });
+  Schedule Sched{Phase::serial(secondsToNanos(1)), Phase::parallel("A"),
+                 Phase::parallel("A")};
+  RunOptions Options;
+  Options.Mode = ExecMode::Dynamic;
+  Options.Config = smallConfig();
+  const RunResult Result = runSchedule(Backend, Sched, Options);
+  EXPECT_EQ(Result.Occurrences.size(), 2u);
+  EXPECT_GT(Result.ParallelStats.ExecNanos, 0);
+  const SeriesSet Merged = Result.mergedOverheadSeries("A");
+  EXPECT_EQ(Merged.all().size(), 2u); // Two version labels.
+}
+
+TEST(DriverTest, FixedModeRunsVersionZeroOnly) {
+  MockBackend Backend([](unsigned, Nanos) { return 0.2; });
+  Schedule Sched{Phase::parallel("A")};
+  RunOptions Options;
+  Options.Mode = ExecMode::Fixed;
+  const RunResult Result = runSchedule(Backend, Sched, Options);
+  ASSERT_EQ(Result.Occurrences.size(), 1u);
+  EXPECT_TRUE(Result.Occurrences[0].ChosenVersions.empty());
+  ASSERT_NE(Backend.LastRunner, nullptr);
+  EXPECT_EQ(Backend.LastRunner->IntervalsRun.size(), 1u);
+  EXPECT_GT(Backend.LastRunner->IntervalsRun[0], 0u);
+}
+
+} // namespace

@@ -1,0 +1,152 @@
+//===- tests/GoldenVersionsTest.cpp - Generated-version structure goldens --==//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+// Locks down the exact structure of the code the synchronization optimizer
+// generates for the three applications, via the textual printer. Any
+// change to placement, coalescing or lifting behaviour shows up here.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/barnes_hut/BarnesHutApp.h"
+#include "apps/string_tomo/StringApp.h"
+#include "apps/water/WaterApp.h"
+#include "ir/Printer.h"
+
+#include <gtest/gtest.h>
+
+using namespace dynfb;
+using namespace dynfb::apps;
+using namespace dynfb::ir;
+using namespace dynfb::xform;
+
+namespace {
+
+/// Counts occurrences of \p Needle in \p Text.
+size_t countOccurrences(const std::string &Text, const std::string &Needle) {
+  size_t Count = 0;
+  for (size_t Pos = Text.find(Needle); Pos != std::string::npos;
+       Pos = Text.find(Needle, Pos + 1))
+    ++Count;
+  return Count;
+}
+
+std::string printedVersion(const App &App, const char *Section,
+                           PolicyKind P) {
+  const VersionedSection *VS = App.program().find(Section);
+  std::string Out = printMethod(*VS->versionFor(P).Entry);
+  // Include single direct callee bodies for interprocedural structure.
+  for (const Stmt *S : VS->versionFor(P).Entry->body()) {
+    const CallStmt *C = stmtDynCast<CallStmt>(S);
+    if (const auto *L = stmtDynCast<LoopStmt>(S))
+      for (const Stmt *Inner : L->Body)
+        if (const auto *IC = stmtDynCast<CallStmt>(Inner))
+          C = IC;
+    if (C)
+      Out += printMethod(*C->callee());
+  }
+  return Out;
+}
+
+TEST(GoldenVersionsTest, BarnesHutAggressiveIsFigure2) {
+  bh::BarnesHutConfig Config;
+  Config.NumBodies = 64;
+  bh::BarnesHutApp App(Config);
+  const std::string Text =
+      printedVersion(App, "FORCES", PolicyKind::Aggressive);
+  // The paper's Figure 2: acquire before the loop, release after it, and a
+  // lock-free interaction body.
+  const size_t AcqPos = Text.find("this->mutex.acquire();");
+  const size_t LoopPos = Text.find("for i");
+  const size_t RelPos = Text.find("this->mutex.release();");
+  ASSERT_NE(AcqPos, std::string::npos);
+  ASSERT_NE(LoopPos, std::string::npos);
+  ASSERT_NE(RelPos, std::string::npos);
+  EXPECT_LT(AcqPos, LoopPos);
+  EXPECT_LT(LoopPos, RelPos);
+  EXPECT_EQ(countOccurrences(Text, "acquire"), 1u);
+  EXPECT_EQ(countOccurrences(Text, "release"), 1u);
+  EXPECT_NE(Text.find("_nolock"), std::string::npos);
+}
+
+TEST(GoldenVersionsTest, BarnesHutOriginalHasPerUpdateRegions) {
+  bh::BarnesHutConfig Config;
+  Config.NumBodies = 64;
+  bh::BarnesHutApp App(Config);
+  const std::string Text =
+      printedVersion(App, "FORCES", PolicyKind::Original);
+  // Two updates, each in its own region, inside the callee.
+  EXPECT_EQ(countOccurrences(Text, "acquire"), 2u);
+  EXPECT_EQ(countOccurrences(Text, "release"), 2u);
+}
+
+TEST(GoldenVersionsTest, BarnesHutBoundedCoalescesWithinOperation) {
+  bh::BarnesHutConfig Config;
+  Config.NumBodies = 64;
+  bh::BarnesHutApp App(Config);
+  const std::string Text =
+      printedVersion(App, "FORCES", PolicyKind::Bounded);
+  EXPECT_EQ(countOccurrences(Text, "acquire"), 1u);
+  EXPECT_EQ(countOccurrences(Text, "release"), 1u);
+  // The single region still sits inside the per-interaction callee (not
+  // lifted out of the loop).
+  const size_t LoopPos = Text.find("for i");
+  const size_t AcqPos = Text.find("acquire");
+  EXPECT_LT(LoopPos, AcqPos);
+}
+
+TEST(GoldenVersionsTest, WaterInterfBoundedHasTwoRegionsPerPartner) {
+  water::WaterConfig Config;
+  Config.NumMolecules = 16;
+  water::WaterApp App(Config);
+  const std::string Text =
+      printedVersion(App, "INTERF", PolicyKind::Bounded);
+  // One region on `this`, one on the partner, per partner-loop body.
+  EXPECT_EQ(countOccurrences(Text, "this->mutex.acquire()"), 1u);
+  EXPECT_EQ(countOccurrences(Text, "]->mutex.acquire()"), 1u);
+  EXPECT_EQ(countOccurrences(Text, "acquire"), 2u);
+}
+
+TEST(GoldenVersionsTest, WaterPotengAggressiveWrapsWholeIteration) {
+  water::WaterConfig Config;
+  Config.NumMolecules = 16;
+  water::WaterApp App(Config);
+  const std::string Text =
+      printedVersion(App, "POTENG", PolicyKind::Aggressive);
+  const size_t AcqPos = Text.find("global->mutex.acquire();");
+  const size_t LoopPos = Text.find("for i");
+  const size_t RelPos = Text.find("global->mutex.release();");
+  ASSERT_NE(AcqPos, std::string::npos);
+  EXPECT_LT(AcqPos, LoopPos);
+  EXPECT_LT(LoopPos, RelPos);
+  EXPECT_EQ(countOccurrences(Text, "acquire"), 1u);
+}
+
+TEST(GoldenVersionsTest, StringAggressiveLiftsOutOfSegmentLoopOnly) {
+  string_tomo::StringConfig Config;
+  Config.NumRays = 16;
+  string_tomo::StringApp App(Config);
+  const std::string Text =
+      printedVersion(App, "TRACE", PolicyKind::Aggressive);
+  // The trace compute stays outside the region; the segment loop sits
+  // inside it.
+  const size_t ComputePos = Text.find("compute");
+  const size_t AcqPos = Text.find("mdl->mutex.acquire();");
+  const size_t LoopPos = Text.find("for i");
+  ASSERT_NE(AcqPos, std::string::npos);
+  EXPECT_LT(ComputePos, AcqPos);
+  EXPECT_LT(AcqPos, LoopPos);
+  EXPECT_EQ(countOccurrences(Text, "acquire"), 1u);
+}
+
+TEST(GoldenVersionsTest, StringOriginalTwoRegionsPerSegment) {
+  string_tomo::StringConfig Config;
+  Config.NumRays = 16;
+  string_tomo::StringApp App(Config);
+  const std::string Text =
+      printedVersion(App, "TRACE", PolicyKind::Original);
+  EXPECT_EQ(countOccurrences(Text, "acquire"), 2u);
+  EXPECT_EQ(countOccurrences(Text, "release"), 2u);
+}
+
+} // namespace

@@ -1,0 +1,200 @@
+//===- tests/InterpTest.cpp - Unit tests for IR lowering -------------------==//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Builder.h"
+#include "rt/Interp.h"
+
+#include <gtest/gtest.h>
+
+using namespace dynfb;
+using namespace dynfb::ir;
+using namespace dynfb::rt;
+
+namespace {
+
+/// Minimal binding over a fixed object universe.
+class TestBinding final : public DataBinding {
+public:
+  uint64_t Iterations = 4;
+  uint32_t Objects = 8;
+  uint64_t Trip = 3;
+  Nanos ComputeCost = 1000;
+
+  uint64_t iterationCount() const override { return Iterations; }
+  uint32_t objectCount() const override { return Objects; }
+  ObjectId thisObject(uint64_t Iter) const override {
+    return static_cast<ObjectId>(Iter % Objects);
+  }
+  std::vector<ObjRef> sectionArgs(uint64_t) const override { return Args; }
+  ObjectId elementOf(ArrayId, uint64_t Index,
+                     const LoopCtx &Ctx) const override {
+    return static_cast<ObjectId>((Ctx.Iter + 1 + Index) % Objects);
+  }
+  uint64_t tripCount(unsigned, const LoopCtx &) const override {
+    return Trip;
+  }
+  Nanos computeNanos(unsigned, const LoopCtx &) const override {
+    return ComputeCost;
+  }
+
+  std::vector<ObjRef> Args;
+};
+
+TEST(InterpTest, EmitsExplicitRegionOps) {
+  Module M("m");
+  ClassDecl *C = M.createClass("c");
+  const unsigned F = C->addField("f");
+  Method *Entry = M.createMethod("e", C);
+  {
+    MethodBuilder B(M, Entry);
+    B.compute();
+    B.acquire(Receiver::thisObj());
+    B.update(Receiver::thisObj(), F, BinOp::Add, M.exprConst(1.0));
+    B.release(Receiver::thisObj());
+  }
+
+  TestBinding Binding;
+  CostModel CM;
+  IterationEmitter E(Entry, Binding, CM);
+  std::vector<MicroOp> Ops;
+  E.emit(2, Ops);
+  ASSERT_EQ(Ops.size(), 4u);
+  EXPECT_EQ(Ops[0].K, MicroOp::Kind::Compute);
+  EXPECT_EQ(Ops[0].Dur, Binding.ComputeCost);
+  EXPECT_EQ(Ops[1].K, MicroOp::Kind::Acquire);
+  EXPECT_EQ(Ops[1].Obj, 2u); // thisObject(2)
+  EXPECT_EQ(Ops[2].K, MicroOp::Kind::Compute);
+  EXPECT_EQ(Ops[2].Dur, CM.UpdateNanos);
+  EXPECT_EQ(Ops[3].K, MicroOp::Kind::Release);
+}
+
+TEST(InterpTest, MergesAdjacentComputes) {
+  Module M("m");
+  ClassDecl *C = M.createClass("c");
+  const unsigned F = C->addField("f");
+  Method *Entry = M.createMethod("e", C);
+  {
+    MethodBuilder B(M, Entry);
+    B.compute();
+    B.compute();
+    B.update(Receiver::thisObj(), F, BinOp::Add, M.exprConst(1.0));
+  }
+  TestBinding Binding;
+  CostModel CM;
+  IterationEmitter E(Entry, Binding, CM);
+  std::vector<MicroOp> Ops;
+  E.emit(0, Ops);
+  // Two computes + the naked update all merge into one compute op.
+  ASSERT_EQ(Ops.size(), 1u);
+  EXPECT_EQ(Ops[0].Dur, 2 * Binding.ComputeCost + CM.UpdateNanos);
+}
+
+TEST(InterpTest, LoopsUnrollWithTripCount) {
+  Module M("m");
+  ClassDecl *C = M.createClass("c");
+  Method *Entry = M.createMethod("e", C);
+  {
+    MethodBuilder B(M, Entry);
+    B.beginLoop();
+    B.acquire(Receiver::thisObj());
+    B.release(Receiver::thisObj());
+    B.endLoop();
+  }
+  TestBinding Binding;
+  Binding.Trip = 5;
+  IterationEmitter E(Entry, Binding, CostModel{});
+  EXPECT_EQ(E.countPairs(0), 5u);
+}
+
+TEST(InterpTest, ParamIndexedResolvesThroughBinding) {
+  // Lock object varies with loop index: acquire(m[i]).
+  Module M("m");
+  ClassDecl *C = M.createClass("c");
+  const unsigned F = C->addField("f");
+  Method *Entry = M.createMethod("e", C);
+  Entry->addParam(Param{"m", C, true});
+  unsigned LoopId;
+  {
+    MethodBuilder B(M, Entry);
+    LoopId = B.beginLoop();
+    B.acquire(Receiver::paramIndexed(0, LoopId));
+    B.update(Receiver::paramIndexed(0, LoopId), F, BinOp::Add,
+             M.exprConst(1.0));
+    B.release(Receiver::paramIndexed(0, LoopId));
+    B.endLoop();
+  }
+  TestBinding Binding;
+  Binding.Trip = 3;
+  Binding.Args = {ObjRef::array(0)};
+  IterationEmitter E(Entry, Binding, CostModel{});
+  std::vector<MicroOp> Ops;
+  E.emit(1, Ops); // Iter = 1: partners (1+1+idx)%8 = 2, 3, 4.
+  std::vector<ObjectId> Acquired;
+  for (const MicroOp &Op : Ops)
+    if (Op.K == MicroOp::Kind::Acquire)
+      Acquired.push_back(Op.Obj);
+  ASSERT_EQ(Acquired.size(), 3u);
+  EXPECT_EQ(Acquired[0], 2u);
+  EXPECT_EQ(Acquired[1], 3u);
+  EXPECT_EQ(Acquired[2], 4u);
+}
+
+TEST(InterpTest, CallFramesBindObjectArguments) {
+  // caller: loop { call this->callee(m[i]) }; callee acquires its param.
+  Module M("m");
+  ClassDecl *C = M.createClass("c");
+  const unsigned F = C->addField("f");
+  Method *Callee = M.createMethod("callee", C);
+  Callee->addParam(Param{"x", C, false});
+  {
+    MethodBuilder B(M, Callee);
+    B.acquire(Receiver::param(0));
+    B.update(Receiver::param(0), F, BinOp::Add, M.exprConst(1.0));
+    B.release(Receiver::param(0));
+  }
+  Method *Caller = M.createMethod("caller", C);
+  Caller->addParam(Param{"m", C, true});
+  {
+    MethodBuilder B(M, Caller);
+    const unsigned L = B.beginLoop();
+    B.call(Callee, Receiver::thisObj(), {Receiver::paramIndexed(0, L)});
+    B.endLoop();
+  }
+  TestBinding Binding;
+  Binding.Trip = 2;
+  Binding.Args = {ObjRef::array(0)};
+  IterationEmitter E(Caller, Binding, CostModel{});
+  std::vector<MicroOp> Ops;
+  E.emit(0, Ops); // partners 1, 2.
+  std::vector<ObjectId> Acquired;
+  for (const MicroOp &Op : Ops)
+    if (Op.K == MicroOp::Kind::Acquire)
+      Acquired.push_back(Op.Obj);
+  ASSERT_EQ(Acquired.size(), 2u);
+  EXPECT_EQ(Acquired[0], 1u);
+  EXPECT_EQ(Acquired[1], 2u);
+}
+
+TEST(InterpTest, ComputeTimeExcludesLockOps) {
+  Module M("m");
+  ClassDecl *C = M.createClass("c");
+  const unsigned F = C->addField("f");
+  Method *Entry = M.createMethod("e", C);
+  {
+    MethodBuilder B(M, Entry);
+    B.compute();
+    B.acquire(Receiver::thisObj());
+    B.update(Receiver::thisObj(), F, BinOp::Add, M.exprConst(1.0));
+    B.release(Receiver::thisObj());
+  }
+  TestBinding Binding;
+  CostModel CM;
+  IterationEmitter E(Entry, Binding, CM);
+  EXPECT_EQ(E.computeTime(0), Binding.ComputeCost + CM.UpdateNanos);
+  EXPECT_EQ(E.countPairs(0), 1u);
+}
+
+} // namespace

@@ -1,0 +1,317 @@
+//===- tests/IrTest.cpp - Unit tests for the IR layer ----------------------==//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Builder.h"
+#include "ir/Clone.h"
+#include "ir/Module.h"
+#include "ir/Printer.h"
+#include "ir/StructuralHash.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace dynfb::ir;
+
+namespace {
+
+/// Builds the paper's Figure 1 program (unsynchronized author form).
+struct Figure1 {
+  Module M{"fig1"};
+  ClassDecl *Body = nullptr;
+  unsigned Pos = 0, Sum = 0;
+  Method *OneInteraction = nullptr;
+  Method *Interactions = nullptr;
+  unsigned LoopId = 0;
+
+  Figure1() {
+    Body = M.createClass("body");
+    Pos = Body->addField("pos");
+    Sum = Body->addField("sum");
+
+    OneInteraction = M.createMethod("one_interaction", Body);
+    OneInteraction->addParam(Param{"b", Body, false});
+    {
+      MethodBuilder B(M, OneInteraction);
+      const Expr *ThisPos = M.exprFieldRead(Receiver::thisObj(), Pos);
+      const Expr *OtherPos = M.exprFieldRead(Receiver::param(0), Pos);
+      B.compute({ThisPos, OtherPos});
+      B.update(Receiver::thisObj(), Sum, BinOp::Add,
+               M.exprExternCall("interact", {ThisPos, OtherPos}));
+    }
+
+    Interactions = M.createMethod("interactions", Body);
+    Interactions->addParam(Param{"b", Body, true});
+    {
+      MethodBuilder B(M, Interactions);
+      LoopId = B.beginLoop();
+      B.call(OneInteraction, Receiver::thisObj(),
+             {Receiver::paramIndexed(0, LoopId)});
+      B.endLoop();
+    }
+    M.addSection("FORCES", Interactions);
+  }
+};
+
+// ---------------------------- Receiver ------------------------------------
+
+TEST(ReceiverTest, EqualityBySemantics) {
+  EXPECT_EQ(Receiver::thisObj(), Receiver::thisObj());
+  EXPECT_EQ(Receiver::param(1), Receiver::param(1));
+  EXPECT_NE(Receiver::param(1), Receiver::param(2));
+  EXPECT_NE(Receiver::thisObj(), Receiver::param(0));
+  EXPECT_EQ(Receiver::paramIndexed(0, 3), Receiver::paramIndexed(0, 3));
+  EXPECT_NE(Receiver::paramIndexed(0, 3), Receiver::paramIndexed(0, 4));
+}
+
+TEST(ReceiverTest, InvarianceInLoops) {
+  EXPECT_TRUE(Receiver::thisObj().isInvariantIn(5));
+  EXPECT_TRUE(Receiver::param(0).isInvariantIn(5));
+  EXPECT_FALSE(Receiver::paramIndexed(0, 5).isInvariantIn(5));
+  EXPECT_TRUE(Receiver::paramIndexed(0, 4).isInvariantIn(5));
+}
+
+// ---------------------------- Module / Builder ----------------------------
+
+TEST(ModuleTest, FindMethodAndSection) {
+  Figure1 F;
+  EXPECT_EQ(F.M.findMethod("one_interaction"), F.OneInteraction);
+  EXPECT_EQ(F.M.findMethod("nope"), nullptr);
+  ASSERT_NE(F.M.findSection("FORCES"), nullptr);
+  EXPECT_EQ(F.M.findSection("FORCES")->IterMethod, F.Interactions);
+  EXPECT_EQ(F.M.findSection("nope"), nullptr);
+}
+
+TEST(ModuleTest, LoopIdsAreUnique) {
+  Module M("m");
+  EXPECT_EQ(M.nextLoopId(), 0u);
+  EXPECT_EQ(M.nextLoopId(), 1u);
+  EXPECT_EQ(M.nextCostClass(), 0u);
+  EXPECT_EQ(M.nextCostClass(), 1u);
+}
+
+TEST(BuilderTest, NestedLoopsBuildCorrectStructure) {
+  Module M("m");
+  ClassDecl *C = M.createClass("c");
+  C->addField("f");
+  Method *Meth = M.createMethod("m", C);
+  MethodBuilder B(M, Meth);
+  const unsigned Outer = B.beginLoop();
+  const unsigned Inner = B.beginLoop();
+  B.compute();
+  B.endLoop();
+  B.update(Receiver::thisObj(), 0, BinOp::Add, M.exprConst(1.0));
+  B.endLoop();
+  EXPECT_NE(Outer, Inner);
+  ASSERT_EQ(Meth->body().size(), 1u);
+  const auto *OuterLoop = stmtDynCast<LoopStmt>(Meth->body()[0]);
+  ASSERT_NE(OuterLoop, nullptr);
+  ASSERT_EQ(OuterLoop->Body.size(), 2u);
+  EXPECT_EQ(OuterLoop->Body[0]->kind(), StmtKind::Loop);
+  EXPECT_EQ(OuterLoop->Body[1]->kind(), StmtKind::Update);
+}
+
+// ---------------------------- Printer -------------------------------------
+
+TEST(PrinterTest, Figure1RendersLikeThePaper) {
+  Figure1 F;
+  const std::string Text = printMethod(*F.OneInteraction);
+  EXPECT_NE(Text.find("void body::one_interaction(body *b)"),
+            std::string::npos);
+  EXPECT_NE(Text.find("this->sum = this->sum + interact(this->pos, b->pos)"),
+            std::string::npos);
+  const std::string Loop = printMethod(*F.Interactions);
+  EXPECT_NE(Loop.find("one_interaction"), std::string::npos);
+  EXPECT_NE(Loop.find("for i"), std::string::npos);
+}
+
+TEST(PrinterTest, ModulePrintsClassesAndSections) {
+  Figure1 F;
+  const std::string Text = printModule(F.M);
+  EXPECT_NE(Text.find("class body { lock mutex;"), std::string::npos);
+  EXPECT_NE(Text.find("parallel section FORCES"), std::string::npos);
+}
+
+// ---------------------------- Verifier ------------------------------------
+
+TEST(VerifierTest, WellFormedModulePasses) {
+  Figure1 F;
+  EXPECT_TRUE(verifyModule(F.M).empty());
+}
+
+TEST(VerifierTest, UnbalancedRegionRejected) {
+  Module M("m");
+  ClassDecl *C = M.createClass("c");
+  C->addField("f");
+  Method *Meth = M.createMethod("m", C);
+  Meth->body().push_back(M.createAcquire(Receiver::thisObj()));
+  const auto Errors = verifyMethod(*Meth);
+  ASSERT_FALSE(Errors.empty());
+  EXPECT_NE(Errors[0].find("not balanced"), std::string::npos);
+}
+
+TEST(VerifierTest, ReleaseWithoutAcquireRejected) {
+  Module M("m");
+  ClassDecl *C = M.createClass("c");
+  Method *Meth = M.createMethod("m", C);
+  Meth->body().push_back(M.createRelease(Receiver::thisObj()));
+  EXPECT_FALSE(verifyMethod(*Meth).empty());
+}
+
+TEST(VerifierTest, SelfDeadlockRejected) {
+  Module M("m");
+  ClassDecl *C = M.createClass("c");
+  Method *Meth = M.createMethod("m", C);
+  Meth->body().push_back(M.createAcquire(Receiver::thisObj()));
+  Meth->body().push_back(M.createAcquire(Receiver::thisObj()));
+  Meth->body().push_back(M.createRelease(Receiver::thisObj()));
+  Meth->body().push_back(M.createRelease(Receiver::thisObj()));
+  const auto Errors = verifyMethod(*Meth);
+  ASSERT_FALSE(Errors.empty());
+  EXPECT_NE(Errors[0].find("self-deadlock"), std::string::npos);
+}
+
+TEST(VerifierTest, RegionMayNotStraddleLoopBoundary) {
+  Module M("m");
+  ClassDecl *C = M.createClass("c");
+  Method *Meth = M.createMethod("m", C);
+  // acquire inside the loop, release outside: ill-formed.
+  LoopStmt *L =
+      M.createLoop(M.nextLoopId(), {M.createAcquire(Receiver::thisObj())});
+  Meth->body().push_back(L);
+  Meth->body().push_back(M.createRelease(Receiver::thisObj()));
+  EXPECT_FALSE(verifyMethod(*Meth).empty());
+}
+
+TEST(VerifierTest, ParamIndexedOutsideLoopRejected) {
+  Module M("m");
+  ClassDecl *C = M.createClass("c");
+  C->addField("f");
+  Method *Meth = M.createMethod("m", C);
+  Meth->addParam(Param{"a", C, true});
+  Meth->body().push_back(M.createUpdate(Receiver::paramIndexed(0, 7), 0,
+                                        BinOp::Add, M.exprConst(1.0)));
+  const auto Errors = verifyMethod(*Meth);
+  ASSERT_FALSE(Errors.empty());
+  EXPECT_NE(Errors[0].find("non-enclosing loop"), std::string::npos);
+}
+
+TEST(VerifierTest, CallArityMismatchRejected) {
+  Module M("m");
+  ClassDecl *C = M.createClass("c");
+  Method *Callee = M.createMethod("callee", C);
+  Callee->addParam(Param{"x", C, false});
+  Method *Caller = M.createMethod("caller", C);
+  Caller->body().push_back(
+      M.createCall(Callee, Receiver::thisObj(), {})); // missing object arg
+  EXPECT_FALSE(verifyMethod(*Caller).empty());
+}
+
+TEST(VerifierTest, AtomicityViolationDetected) {
+  Figure1 F;
+  // The author form has no locks at all, so the update is unprotected.
+  const auto Errors = verifyAtomicity(*F.Interactions);
+  ASSERT_FALSE(Errors.empty());
+  EXPECT_NE(Errors[0].find("atomicity violation"), std::string::npos);
+}
+
+TEST(VerifierTest, AtomicityHoldsWithDirectRegion) {
+  Module M("m");
+  ClassDecl *C = M.createClass("c");
+  C->addField("f");
+  Method *Meth = M.createMethod("m", C);
+  Meth->body().push_back(M.createAcquire(Receiver::thisObj()));
+  Meth->body().push_back(
+      M.createUpdate(Receiver::thisObj(), 0, BinOp::Add, M.exprConst(1.0)));
+  Meth->body().push_back(M.createRelease(Receiver::thisObj()));
+  EXPECT_TRUE(verifyAtomicity(*Meth).empty());
+}
+
+TEST(VerifierTest, AtomicityTranslatesAcrossCalls) {
+  // Caller holds this's lock and calls a stripped callee updating `this`
+  // (the paper's Figure 2 shape).
+  Module M("m");
+  ClassDecl *C = M.createClass("c");
+  C->addField("f");
+  Method *Callee = M.createMethod("upd", C);
+  Callee->body().push_back(
+      M.createUpdate(Receiver::thisObj(), 0, BinOp::Add, M.exprConst(1.0)));
+  Method *Caller = M.createMethod("caller", C);
+  Caller->body().push_back(M.createAcquire(Receiver::thisObj()));
+  Caller->body().push_back(M.createCall(Callee, Receiver::thisObj(), {}));
+  Caller->body().push_back(M.createRelease(Receiver::thisObj()));
+  EXPECT_TRUE(verifyAtomicity(*Caller).empty());
+  // Without the region the same call chain is a violation.
+  Method *Bare = M.createMethod("bare", C);
+  Bare->body().push_back(M.createCall(Callee, Receiver::thisObj(), {}));
+  EXPECT_FALSE(verifyAtomicity(*Bare).empty());
+}
+
+// ---------------------------- Clone ---------------------------------------
+
+TEST(CloneTest, ClonesClosureAndRetargetsCalls) {
+  Figure1 F;
+  const CloneResult CR = cloneMethodClosure(F.M, F.Interactions, "$x");
+  ASSERT_NE(CR.Root, nullptr);
+  EXPECT_NE(CR.Root, F.Interactions);
+  EXPECT_TRUE(CR.Root->isSynthetic());
+  EXPECT_EQ(CR.Map.size(), 2u); // interactions + one_interaction
+  // The cloned loop's call targets the cloned callee.
+  const auto *L = stmtDynCast<LoopStmt>(CR.Root->body()[0]);
+  ASSERT_NE(L, nullptr);
+  const auto *Call = stmtDynCast<CallStmt>(L->Body[0]);
+  ASSERT_NE(Call, nullptr);
+  EXPECT_EQ(Call->callee(), CR.Map.at(F.OneInteraction));
+  // Loop ids are preserved.
+  EXPECT_EQ(L->LoopId, F.LoopId);
+}
+
+TEST(CloneTest, CloneIsStructurallyEqualToOriginal) {
+  Figure1 F;
+  const CloneResult CR = cloneMethodClosure(F.M, F.Interactions, "$y");
+  EXPECT_TRUE(structurallyEqual(*F.Interactions, *CR.Root));
+  EXPECT_EQ(structuralHash(*F.Interactions), structuralHash(*CR.Root));
+}
+
+// ---------------------------- StructuralHash ------------------------------
+
+TEST(StructuralHashTest, DifferentBodiesDiffer) {
+  Module M("m");
+  ClassDecl *C = M.createClass("c");
+  C->addField("f");
+  Method *A = M.createMethod("a", C);
+  A->body().push_back(
+      M.createUpdate(Receiver::thisObj(), 0, BinOp::Add, M.exprConst(1.0)));
+  Method *B = M.createMethod("b", C);
+  B->body().push_back(
+      M.createUpdate(Receiver::thisObj(), 0, BinOp::Mul, M.exprConst(1.0)));
+  EXPECT_FALSE(structurallyEqual(*A, *B));
+  EXPECT_NE(structuralHash(*A), structuralHash(*B));
+}
+
+TEST(StructuralHashTest, NamesDoNotMatter) {
+  Module M("m");
+  ClassDecl *C = M.createClass("c");
+  C->addField("f");
+  Method *A = M.createMethod("first", C);
+  A->body().push_back(
+      M.createUpdate(Receiver::thisObj(), 0, BinOp::Add, M.exprConst(1.0)));
+  Method *B = M.createMethod("second", C);
+  B->body().push_back(
+      M.createUpdate(Receiver::thisObj(), 0, BinOp::Add, M.exprConst(1.0)));
+  EXPECT_TRUE(structurallyEqual(*A, *B));
+}
+
+TEST(StructuralHashTest, ExpressionEquality) {
+  Module M("m");
+  const Expr *A = M.exprBinary(BinOp::Add, M.exprConst(1.0), M.exprConst(2.0));
+  const Expr *B = M.exprBinary(BinOp::Add, M.exprConst(1.0), M.exprConst(2.0));
+  const Expr *C = M.exprBinary(BinOp::Sub, M.exprConst(1.0), M.exprConst(2.0));
+  EXPECT_TRUE(structurallyEqual(A, B));
+  EXPECT_FALSE(structurallyEqual(A, C));
+  EXPECT_EQ(structuralHash(A), structuralHash(B));
+}
+
+} // namespace

@@ -1,0 +1,150 @@
+//===- tests/MutationTest.cpp - The verifier catches broken transforms -----==//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+// Negative testing of the safety net: take correctly generated versions,
+// apply mutations a buggy synchronization transformation could plausibly
+// produce (dropped releases, dropped acquires, swapped lock order, updates
+// hoisted out of their regions), and check the verifier rejects each one.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Builder.h"
+#include "ir/Clone.h"
+#include "ir/Verifier.h"
+#include "xform/LockElimination.h"
+#include "xform/Synchronizer.h"
+
+#include <gtest/gtest.h>
+
+using namespace dynfb;
+using namespace dynfb::ir;
+using namespace dynfb::xform;
+
+namespace {
+
+/// A two-update program with a loop, generated under the Bounded policy:
+/// body: loop { compute; acquire; U; U; release }.
+struct GeneratedFixture {
+  Module M{"m"};
+  Method *Entry = nullptr;
+  LoopStmt *Loop = nullptr;
+
+  GeneratedFixture() {
+    ClassDecl *C = M.createClass("c");
+    const unsigned F = C->addField("f");
+    const unsigned G = C->addField("g");
+    Method *Author = M.createMethod("work", C);
+    {
+      MethodBuilder B(M, Author);
+      B.beginLoop();
+      B.compute();
+      B.update(Receiver::thisObj(), F, BinOp::Add, M.exprConst(1.0));
+      B.update(Receiver::thisObj(), G, BinOp::Add, M.exprConst(2.0));
+      B.endLoop();
+    }
+    CloneResult CR = cloneMethodClosure(M, Author, "$v");
+    insertDefaultPlacement(M, CR.Root);
+    optimizeSynchronization(M, CR.Root, PolicyKind::Bounded);
+    Entry = CR.Root;
+    Loop = stmtDynCast<LoopStmt>(Entry->body()[0]);
+    EXPECT_NE(Loop, nullptr);
+  }
+
+  /// Index of the first statement of the given kind in the loop body.
+  size_t indexOf(StmtKind K) const {
+    for (size_t I = 0; I < Loop->Body.size(); ++I)
+      if (Loop->Body[I]->kind() == K)
+        return I;
+    ADD_FAILURE() << "statement kind not found";
+    return 0;
+  }
+};
+
+TEST(MutationTest, GeneratedCodeIsCleanBeforeMutation) {
+  GeneratedFixture Fx;
+  EXPECT_TRUE(verifyMethod(*Fx.Entry).empty());
+  EXPECT_TRUE(verifyAtomicity(*Fx.Entry).empty());
+}
+
+TEST(MutationTest, DroppedReleaseIsCaught) {
+  GeneratedFixture Fx;
+  const size_t Rel = Fx.indexOf(StmtKind::Release);
+  Fx.Loop->Body.erase(Fx.Loop->Body.begin() + static_cast<long>(Rel));
+  EXPECT_FALSE(verifyMethod(*Fx.Entry).empty());
+}
+
+TEST(MutationTest, DroppedAcquireIsCaught) {
+  GeneratedFixture Fx;
+  const size_t Acq = Fx.indexOf(StmtKind::Acquire);
+  Fx.Loop->Body.erase(Fx.Loop->Body.begin() + static_cast<long>(Acq));
+  // Structurally ill-formed (release without acquire)...
+  EXPECT_FALSE(verifyMethod(*Fx.Entry).empty());
+}
+
+TEST(MutationTest, UpdateHoistedOutOfRegionIsCaught) {
+  GeneratedFixture Fx;
+  const size_t Acq = Fx.indexOf(StmtKind::Acquire);
+  const size_t Upd = Fx.indexOf(StmtKind::Update);
+  // Move the first update before the acquire.
+  Stmt *U = Fx.Loop->Body[Upd];
+  Fx.Loop->Body.erase(Fx.Loop->Body.begin() + static_cast<long>(Upd));
+  Fx.Loop->Body.insert(Fx.Loop->Body.begin() + static_cast<long>(Acq), U);
+  // Structure (balance) is still fine...
+  EXPECT_TRUE(verifyMethod(*Fx.Entry).empty());
+  // ...but atomicity is violated.
+  const auto Errors = verifyAtomicity(*Fx.Entry);
+  ASSERT_FALSE(Errors.empty());
+  EXPECT_NE(Errors[0].find("atomicity violation"), std::string::npos);
+}
+
+TEST(MutationTest, RegionOnWrongReceiverIsCaught) {
+  // Guard the update of `this` with some other object's lock.
+  Module M("m");
+  ClassDecl *C = M.createClass("c");
+  const unsigned F = C->addField("f");
+  Method *Meth = M.createMethod("m", C);
+  Meth->addParam(Param{"p", C, false});
+  Meth->body().push_back(M.createAcquire(Receiver::param(0)));
+  Meth->body().push_back(
+      M.createUpdate(Receiver::thisObj(), F, BinOp::Add, M.exprConst(1.0)));
+  Meth->body().push_back(M.createRelease(Receiver::param(0)));
+  EXPECT_TRUE(verifyMethod(*Meth).empty());
+  EXPECT_FALSE(verifyAtomicity(*Meth).empty());
+}
+
+TEST(MutationTest, SwappedReleaseOrderIsCaught) {
+  // Interleaved (non-LIFO) regions: acquire a; acquire b; release a;
+  // release b.
+  Module M("m");
+  ClassDecl *C = M.createClass("c");
+  Method *Meth = M.createMethod("m", C);
+  Meth->addParam(Param{"p", C, false});
+  Meth->body().push_back(M.createAcquire(Receiver::thisObj()));
+  Meth->body().push_back(M.createAcquire(Receiver::param(0)));
+  Meth->body().push_back(M.createRelease(Receiver::thisObj()));
+  Meth->body().push_back(M.createRelease(Receiver::param(0)));
+  const auto Errors = verifyMethod(*Meth);
+  ASSERT_FALSE(Errors.empty());
+  EXPECT_NE(Errors[0].find("LIFO"), std::string::npos);
+}
+
+TEST(MutationTest, CalleeReacquiringHeldLockIsCaught) {
+  // The caller holds this's lock and calls a method that acquires it
+  // again through the translated receiver: self-deadlock at run time.
+  // The atomicity checker does not model deadlock, but the structural
+  // verifier rejects the callee when inlined... here we check the direct
+  // self-deadlock form.
+  Module M("m");
+  ClassDecl *C = M.createClass("c");
+  Method *Meth = M.createMethod("m", C);
+  Meth->body().push_back(M.createAcquire(Receiver::thisObj()));
+  Meth->body().push_back(M.createAcquire(Receiver::thisObj()));
+  Meth->body().push_back(M.createRelease(Receiver::thisObj()));
+  Meth->body().push_back(M.createRelease(Receiver::thisObj()));
+  const auto Errors = verifyMethod(*Meth);
+  ASSERT_FALSE(Errors.empty());
+  EXPECT_NE(Errors[0].find("self-deadlock"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,176 @@
+//===- tests/TheoryTest.cpp - Unit tests for the Section 5 analysis -------==//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Integration.h"
+#include "support/Random.h"
+#include "theory/Analysis.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+using namespace dynfb;
+using namespace dynfb::theory;
+
+namespace {
+
+TEST(TheoryTest, OverheadFunctionsAtBoundaries) {
+  const double V = 0.3, Alpha = 0.065;
+  // At t = 0 both bounds equal the sampled overhead v.
+  EXPECT_NEAR(worstCaseOverheadSelected(0, V, Alpha), V, 1e-12);
+  EXPECT_NEAR(bestCaseOverheadOptimal(0, V, Alpha), V, 1e-12);
+  // As t grows the selected policy's bound rises toward 1, the optimal
+  // policy's bound falls toward 0.
+  EXPECT_GT(worstCaseOverheadSelected(100, V, Alpha), 0.99);
+  EXPECT_LT(bestCaseOverheadOptimal(100, V, Alpha), 0.01);
+}
+
+TEST(TheoryTest, WorkDynamicMatchesNumericIntegration) {
+  Rng R(17);
+  for (int I = 0; I < 20; ++I) {
+    const double V = R.uniform(0.0, 1.0);
+    const double Alpha = R.uniform(0.01, 0.5);
+    const double P = R.uniform(0.1, 50.0);
+    auto Integrand = [&](double T) {
+      return 1.0 - worstCaseOverheadSelected(T, V, Alpha);
+    };
+    EXPECT_NEAR(workDynamic(P, V, Alpha), integrate(Integrand, 0.0, P),
+                1e-6);
+  }
+}
+
+TEST(TheoryTest, WorkOptimalMatchesNumericIntegration) {
+  Rng R(18);
+  for (int I = 0; I < 20; ++I) {
+    const double V = R.uniform(0.0, 1.0);
+    const double Alpha = R.uniform(0.01, 0.5);
+    const double P = R.uniform(0.1, 50.0);
+    auto Integrand = [&](double T) {
+      return 1.0 - bestCaseOverheadOptimal(T, V, Alpha);
+    };
+    EXPECT_NEAR(workOptimal(P, V, Alpha), integrate(Integrand, 0.0, P),
+                1e-6);
+  }
+}
+
+TEST(TheoryTest, Equation6IndependentOfV) {
+  // Work1(P) + SN - Work0(P) must equal Eq. 6 for every sampled overhead v.
+  const double Alpha = 0.065, S = 1.0;
+  const unsigned N = 2;
+  const double P = 7.0;
+  for (double V : {0.0, 0.2, 0.5, 0.9}) {
+    const double Diff = (workOptimal(P, V, Alpha) +
+                         S * static_cast<double>(N)) -
+                        workDynamic(P, V, Alpha);
+    EXPECT_NEAR(Diff, workDifference(P, S, N, Alpha), 1e-9);
+  }
+}
+
+TEST(TheoryTest, FeasibilityMatchesDefinitionOne) {
+  // Eq. 7 must be equivalent to workDifference <= eps * (P + SN).
+  const AnalysisParams Params = AnalysisParams::figure3Example();
+  for (double P : {0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 30.0, 60.0}) {
+    const bool ByDefinition =
+        workDifference(P, Params.S, Params.N, Params.Alpha) <=
+        Params.Epsilon * (P + Params.S * Params.N);
+    EXPECT_EQ(isFeasible(P, Params), ByDefinition) << "P=" << P;
+  }
+}
+
+TEST(TheoryTest, Figure3FeasibleRegion) {
+  // The paper's example values: S = 1, N = 2, alpha = 0.065, eps = 0.5.
+  const AnalysisParams Params = AnalysisParams::figure3Example();
+  const auto Region = feasibleRegion(Params);
+  ASSERT_TRUE(Region.has_value());
+  const auto [Lo, Hi] = *Region;
+  EXPECT_GT(Lo, 1.0);
+  EXPECT_LT(Lo, 4.0);
+  EXPECT_GT(Hi, 18.0);
+  EXPECT_LT(Hi, 23.0);
+  // Edges are roots, interior feasible, exterior not.
+  EXPECT_TRUE(isFeasible(0.5 * (Lo + Hi), Params));
+  EXPECT_FALSE(isFeasible(Lo * 0.5, Params));
+  EXPECT_FALSE(isFeasible(Hi * 1.2, Params));
+}
+
+TEST(TheoryTest, InfeasibleWhenSamplingTooLong) {
+  AnalysisParams Params = AnalysisParams::figure3Example();
+  Params.S = 100.0; // Sampling cost can never be amortized.
+  EXPECT_FALSE(feasibleRegion(Params).has_value());
+}
+
+TEST(TheoryTest, RegionGrowsWithEpsilon) {
+  AnalysisParams Tight = AnalysisParams::figure3Example();
+  Tight.Epsilon = 0.4;
+  AnalysisParams Loose = AnalysisParams::figure3Example();
+  Loose.Epsilon = 0.6;
+  const auto RT = feasibleRegion(Tight);
+  const auto RL = feasibleRegion(Loose);
+  ASSERT_TRUE(RT.has_value());
+  ASSERT_TRUE(RL.has_value());
+  // "As eps increases, the range of feasible values for P also increases."
+  EXPECT_LT(RL->first, RT->first);
+  EXPECT_GT(RL->second, RT->second);
+}
+
+TEST(TheoryTest, RegionShrinksWithSamplingInterval) {
+  AnalysisParams Small = AnalysisParams::figure3Example();
+  Small.S = 0.5;
+  AnalysisParams Large = AnalysisParams::figure3Example();
+  Large.S = 2.0;
+  const auto RS = feasibleRegion(Small);
+  const auto RL = feasibleRegion(Large);
+  ASSERT_TRUE(RS.has_value());
+  ASSERT_TRUE(RL.has_value());
+  // "As S increases, the range of feasible values for P decreases."
+  EXPECT_LT(RS->first, RL->first);
+  EXPECT_GT(RS->second, RL->second);
+}
+
+TEST(TheoryTest, OptimalPMatchesPaperExample) {
+  // "For the example values used in Figure 3, the optimal value of P is
+  // P_opt ~= 7.25."
+  const double POpt = optimalProductionInterval(1.0, 2, 0.065);
+  EXPECT_NEAR(POpt, 7.25, 0.05);
+}
+
+TEST(TheoryTest, OptimalPSatisfiesEquation9) {
+  Rng R(23);
+  for (int I = 0; I < 10; ++I) {
+    const double S = R.uniform(0.1, 5.0);
+    const unsigned N = 2 + static_cast<unsigned>(R.nextBelow(4));
+    const double Alpha = R.uniform(0.01, 0.3);
+    const double P = optimalProductionInterval(S, N, Alpha);
+    const double Residual =
+        std::exp(-Alpha * P) * (P + S * N + 1.0 / Alpha) - 1.0 / Alpha;
+    EXPECT_NEAR(Residual, 0.0, 1e-6);
+  }
+}
+
+TEST(TheoryTest, OptimalPMinimizesPerUnitDifference) {
+  const double S = 1.0, Alpha = 0.065;
+  const unsigned N = 2;
+  const double POpt = optimalProductionInterval(S, N, Alpha);
+  const double AtOpt = differencePerUnitTime(POpt, S, N, Alpha);
+  for (double Delta : {-2.0, -0.5, 0.5, 2.0, 10.0}) {
+    if (POpt + Delta > 0) {
+      EXPECT_LE(AtOpt, differencePerUnitTime(POpt + Delta, S, N, Alpha));
+    }
+  }
+}
+
+TEST(TheoryTest, WorkDifferenceNonNegativeAndGrowsWithSampling) {
+  // The optimal algorithm never does less work than worst-case dynamic
+  // feedback, and more sampling cost widens the gap.
+  for (double P : {1.0, 5.0, 20.0}) {
+    EXPECT_GE(workDifference(P, 1.0, 2, 0.065), 0.0);
+    EXPECT_LT(workDifference(P, 1.0, 2, 0.065),
+              workDifference(P, 2.0, 2, 0.065));
+    EXPECT_LT(workDifference(P, 1.0, 2, 0.065),
+              workDifference(P, 1.0, 3, 0.065));
+  }
+}
+
+} // namespace

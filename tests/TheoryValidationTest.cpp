@@ -1,0 +1,131 @@
+//===- tests/TheoryValidationTest.cpp - Executable check of Section 5 ------==//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+// Connects the theoretical analysis to an executable model: a synthetic
+// two-policy environment follows the worst-case trajectories of the
+// analysis (the selected policy's overhead rises as 1 + (v-1)e^{-at}, the
+// other's falls as v e^{-at}), dynamic feedback runs one sampling phase
+// (per the analysis: no useful work, S seconds per policy) and one
+// production phase of length P, while the hypothetical optimal algorithm
+// runs the good policy throughout and samples for free. Definition 1's
+// epsilon bound must hold exactly for P inside the feasible region of
+// Eq. 7 and fail outside it, and the measured work difference must equal
+// the closed form of Eq. 6.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Integration.h"
+#include "theory/Analysis.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+using namespace dynfb;
+using namespace dynfb::theory;
+
+namespace {
+
+/// Work performed by an algorithm running policy overhead function O over
+/// [0, P], computed by numerical integration (independent of the closed
+/// forms being validated).
+double measuredWork(const std::function<double(double)> &Overhead,
+                    double P) {
+  return integrate([&](double T) { return 1.0 - Overhead(T); }, 0.0, P);
+}
+
+struct Scenario {
+  double V;     ///< Tied sampled overhead.
+  double Alpha; ///< Decay-rate bound (trajectories hit the bound).
+  double S;     ///< Effective sampling interval.
+  unsigned N;   ///< Number of policies.
+
+  /// Work of worst-case dynamic feedback over S*N + P: nothing during
+  /// sampling, then the deteriorating policy p0.
+  double dynamicWork(double P) const {
+    return measuredWork(
+        [&](double T) { return worstCaseOverheadSelected(T, V, Alpha); }, P);
+  }
+
+  /// Work of the best-case optimal algorithm over S*N + P: the improving
+  /// policy p1 for P, plus overhead-free execution for the S*N units.
+  double optimalWork(double P) const {
+    return S * static_cast<double>(N) +
+           measuredWork(
+               [&](double T) { return bestCaseOverheadOptimal(T, V, Alpha); },
+               P);
+  }
+};
+
+TEST(TheoryValidationTest, MeasuredDifferenceMatchesEquation6) {
+  const Scenario Sc{0.4, 0.065, 1.0, 2};
+  for (double P : {1.0, 5.0, 7.25, 15.0, 40.0}) {
+    const double Measured = Sc.optimalWork(P) - Sc.dynamicWork(P);
+    EXPECT_NEAR(Measured, workDifference(P, Sc.S, Sc.N, Sc.Alpha), 1e-6)
+        << "P=" << P;
+  }
+}
+
+TEST(TheoryValidationTest, MeasuredDifferenceIndependentOfTiedOverhead) {
+  // Equation 6's striking property: v cancels.
+  const double P = 9.0;
+  const Scenario A{0.1, 0.065, 1.0, 2};
+  const Scenario B{0.8, 0.065, 1.0, 2};
+  EXPECT_NEAR(A.optimalWork(P) - A.dynamicWork(P),
+              B.optimalWork(P) - B.dynamicWork(P), 1e-6);
+}
+
+TEST(TheoryValidationTest, EpsilonBoundHoldsExactlyOnFeasibleRegion) {
+  const AnalysisParams Params = AnalysisParams::figure3Example();
+  const Scenario Sc{0.5, Params.Alpha, Params.S, Params.N};
+  const auto Region = feasibleRegion(Params);
+  ASSERT_TRUE(Region.has_value());
+
+  auto BoundHolds = [&](double P) {
+    const double Span = P + Sc.S * static_cast<double>(Sc.N);
+    const double Measured = Sc.optimalWork(P) - Sc.dynamicWork(P);
+    return Measured <= Params.Epsilon * Span + 1e-9;
+  };
+
+  // Inside (several points, including both edges nudged inward).
+  for (double P : {Region->first + 0.01, 0.5 * (Region->first +
+                                                Region->second),
+                   Region->second - 0.01})
+    EXPECT_TRUE(BoundHolds(P)) << "P=" << P << " should satisfy the bound";
+  // Outside on both sides.
+  EXPECT_FALSE(BoundHolds(Region->first * 0.5));
+  EXPECT_FALSE(BoundHolds(Region->second * 1.3));
+}
+
+TEST(TheoryValidationTest, EmpiricalOptimumMatchesEquation9) {
+  // Scan P for the minimum measured per-unit-time difference and compare
+  // with the analytic P_opt.
+  const Scenario Sc{0.5, 0.065, 1.0, 2};
+  const double POpt = optimalProductionInterval(Sc.S, Sc.N, Sc.Alpha);
+
+  double BestP = 0, BestValue = std::numeric_limits<double>::infinity();
+  for (double P = 0.5; P <= 40.0; P += 0.05) {
+    const double Span = P + Sc.S * static_cast<double>(Sc.N);
+    const double Value = (Sc.optimalWork(P) - Sc.dynamicWork(P)) / Span;
+    if (Value < BestValue) {
+      BestValue = Value;
+      BestP = P;
+    }
+  }
+  EXPECT_NEAR(BestP, POpt, 0.1);
+  EXPECT_NEAR(BestP, 7.25, 0.2); // The paper's example value.
+}
+
+TEST(TheoryValidationTest, SlowerDecayTightensTheScrews) {
+  // With a faster decay (larger alpha) the environment can change faster,
+  // and the worst-case per-unit difference at the optimum grows.
+  const double AtSlow =
+      differencePerUnitTime(optimalProductionInterval(1.0, 2, 0.03), 1.0, 2,
+                            0.03);
+  const double AtFast =
+      differencePerUnitTime(optimalProductionInterval(1.0, 2, 0.2), 1.0, 2,
+                            0.2);
+  EXPECT_LT(AtSlow, AtFast);
+}
+
+} // namespace

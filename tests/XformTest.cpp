@@ -1,0 +1,429 @@
+//===- tests/XformTest.cpp - Unit tests for the synchronization optimizer -==//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/barnes_hut/BarnesHutApp.h"
+#include "apps/string_tomo/StringApp.h"
+#include "apps/water/WaterApp.h"
+#include "ir/Builder.h"
+#include "ir/Clone.h"
+#include "ir/Printer.h"
+#include "ir/StructuralHash.h"
+#include "ir/Verifier.h"
+#include "rt/Interp.h"
+#include "xform/CodeSize.h"
+#include "xform/LockElimination.h"
+#include "xform/MultiVersion.h"
+#include "xform/Synchronizer.h"
+
+#include <gtest/gtest.h>
+
+using namespace dynfb;
+using namespace dynfb::ir;
+using namespace dynfb::xform;
+
+namespace {
+
+/// Counts acquire statements in a method closure.
+unsigned countAcquires(const Method &M) {
+  unsigned Count = 0;
+  std::vector<const std::vector<Stmt *> *> Lists{&M.body()};
+  std::vector<const Method *> Methods;
+  while (!Lists.empty()) {
+    const auto *List = Lists.back();
+    Lists.pop_back();
+    for (const Stmt *S : *List) {
+      if (S->kind() == StmtKind::Acquire)
+        ++Count;
+      else if (const auto *L = stmtDynCast<LoopStmt>(S))
+        Lists.push_back(&L->Body);
+      else if (const auto *C = stmtDynCast<CallStmt>(S))
+        Count += countAcquires(*C->callee());
+    }
+  }
+  return Count;
+}
+
+/// Builds the paper's Figure 1 program and returns the module + entry.
+struct Fig1Program {
+  Module M{"fig1"};
+  Method *Interactions = nullptr;
+  Method *OneInteraction = nullptr;
+
+  Fig1Program() {
+    ClassDecl *Body = M.createClass("body");
+    const unsigned Pos = Body->addField("pos");
+    const unsigned Sum = Body->addField("sum");
+    OneInteraction = M.createMethod("one_interaction", Body);
+    OneInteraction->addParam(Param{"b", Body, false});
+    {
+      MethodBuilder B(M, OneInteraction);
+      const Expr *ThisPos = M.exprFieldRead(Receiver::thisObj(), Pos);
+      const Expr *OtherPos = M.exprFieldRead(Receiver::param(0), Pos);
+      B.compute({ThisPos, OtherPos});
+      B.update(Receiver::thisObj(), Sum, BinOp::Add,
+               M.exprExternCall("interact", {ThisPos, OtherPos}));
+    }
+    Interactions = M.createMethod("interactions", Body);
+    Interactions->addParam(Param{"b", Body, true});
+    {
+      MethodBuilder B(M, Interactions);
+      const unsigned L = B.beginLoop();
+      B.call(OneInteraction, Receiver::thisObj(),
+             {Receiver::paramIndexed(0, L)});
+      B.endLoop();
+    }
+    M.addSection("FORCES", Interactions);
+  }
+
+  /// Clones the entry, applies default placement, then the policy.
+  Method *generate(PolicyKind P) {
+    CloneResult CR = cloneMethodClosure(M, Interactions, policySuffix(P));
+    insertDefaultPlacement(M, CR.Root);
+    optimizeSynchronization(M, CR.Root, P);
+    return CR.Root;
+  }
+};
+
+// ------------------------ Default placement -------------------------------
+
+TEST(SynchronizerTest, DefaultPlacementWrapsEveryUpdate) {
+  Fig1Program P;
+  CloneResult CR = cloneMethodClosure(P.M, P.Interactions, "$t");
+  insertDefaultPlacement(P.M, CR.Root);
+  // one_interaction clone: compute, acquire, update, release.
+  Method *Callee = CR.Map.at(P.OneInteraction);
+  ASSERT_EQ(Callee->body().size(), 4u);
+  EXPECT_EQ(Callee->body()[1]->kind(), StmtKind::Acquire);
+  EXPECT_EQ(Callee->body()[2]->kind(), StmtKind::Update);
+  EXPECT_EQ(Callee->body()[3]->kind(), StmtKind::Release);
+  EXPECT_TRUE(verifyAtomicity(*CR.Root).empty());
+}
+
+TEST(SynchronizerTest, StripRemovesAllLocks) {
+  Fig1Program P;
+  CloneResult CR = cloneMethodClosure(P.M, P.Interactions, "$t");
+  insertDefaultPlacement(P.M, CR.Root);
+  stripAllLocks(CR.Root);
+  EXPECT_EQ(countAcquires(*CR.Root), 0u);
+}
+
+// ------------------------ The Figure 1 -> 2 lift ---------------------------
+
+TEST(LockEliminationTest, OriginalKeepsDefaultPlacement) {
+  Fig1Program P;
+  Method *V = P.generate(PolicyKind::Original);
+  // The acquire stays inside the callee, executed once per loop iteration.
+  const auto *L = stmtDynCast<LoopStmt>(V->body()[0]);
+  ASSERT_NE(L, nullptr);
+  const auto *Call = stmtDynCast<CallStmt>(L->Body[0]);
+  ASSERT_NE(Call, nullptr);
+  EXPECT_EQ(countAcquires(*Call->callee()), 1u);
+  EXPECT_TRUE(verifyAtomicity(*V).empty());
+}
+
+TEST(LockEliminationTest, AggressiveLiftsLockOutOfLoopInterprocedurally) {
+  Fig1Program P;
+  Method *V = P.generate(PolicyKind::Aggressive);
+  // Expected Figure 2 shape: acquire(this); loop { call nolock }; release.
+  ASSERT_EQ(V->body().size(), 3u);
+  const auto *Acq = stmtDynCast<AcquireStmt>(V->body()[0]);
+  ASSERT_NE(Acq, nullptr);
+  EXPECT_EQ(Acq->Recv, Receiver::thisObj());
+  const auto *L = stmtDynCast<LoopStmt>(V->body()[1]);
+  ASSERT_NE(L, nullptr);
+  EXPECT_EQ(V->body()[2]->kind(), StmtKind::Release);
+  // The loop calls a lock-free variant.
+  const auto *Call = stmtDynCast<CallStmt>(L->Body[0]);
+  ASSERT_NE(Call, nullptr);
+  EXPECT_EQ(countAcquires(*Call->callee()), 0u);
+  EXPECT_TRUE(verifyAtomicity(*V).empty());
+}
+
+TEST(LockEliminationTest, BoundedRefusesLoopLift) {
+  Fig1Program P;
+  Method *V = P.generate(PolicyKind::Bounded);
+  // With a single update per interaction there is nothing to coalesce, so
+  // Bounded equals Original here.
+  Method *O = P.generate(PolicyKind::Original);
+  EXPECT_TRUE(structurallyEqual(*V, *O));
+}
+
+TEST(LockEliminationTest, CoalescingMergesAdjacentRegions) {
+  // Two updates on `this`: default placement makes two regions; coalescing
+  // merges them into one.
+  Module M("m");
+  ClassDecl *C = M.createClass("c");
+  const unsigned F = C->addField("f");
+  const unsigned G = C->addField("g");
+  Method *Entry = M.createMethod("entry", C);
+  {
+    MethodBuilder B(M, Entry);
+    B.update(Receiver::thisObj(), F, BinOp::Add, M.exprConst(1.0));
+    B.update(Receiver::thisObj(), G, BinOp::Add, M.exprConst(2.0));
+  }
+  M.addSection("S", Entry);
+  CloneResult CR = cloneMethodClosure(M, Entry, "$b");
+  insertDefaultPlacement(M, CR.Root);
+  const OptStats Stats =
+      optimizeSynchronization(M, CR.Root, PolicyKind::Bounded);
+  EXPECT_EQ(Stats.RegionsCoalesced, 1u);
+  EXPECT_EQ(countAcquires(*CR.Root), 1u);
+  EXPECT_TRUE(verifyAtomicity(*CR.Root).empty());
+}
+
+TEST(LockEliminationTest, CoalescingAbsorbsInterveningCompute) {
+  Module M("m");
+  ClassDecl *C = M.createClass("c");
+  const unsigned F = C->addField("f");
+  Method *Entry = M.createMethod("entry", C);
+  {
+    MethodBuilder B(M, Entry);
+    B.update(Receiver::thisObj(), F, BinOp::Add, M.exprConst(1.0));
+    B.compute();
+    B.update(Receiver::thisObj(), F, BinOp::Add, M.exprConst(2.0));
+  }
+  CloneResult CR = cloneMethodClosure(M, Entry, "$b");
+  insertDefaultPlacement(M, CR.Root);
+  optimizeSynchronization(M, CR.Root, PolicyKind::Bounded);
+  EXPECT_EQ(countAcquires(*CR.Root), 1u);
+}
+
+TEST(LockEliminationTest, NoCoalesceAcrossDifferentReceivers) {
+  Module M("m");
+  ClassDecl *C = M.createClass("c");
+  const unsigned F = C->addField("f");
+  Method *Entry = M.createMethod("entry", C);
+  Entry->addParam(Param{"p", C, false});
+  {
+    MethodBuilder B(M, Entry);
+    B.update(Receiver::thisObj(), F, BinOp::Add, M.exprConst(1.0));
+    B.update(Receiver::param(0), F, BinOp::Add, M.exprConst(2.0));
+  }
+  CloneResult CR = cloneMethodClosure(M, Entry, "$b");
+  insertDefaultPlacement(M, CR.Root);
+  const OptStats Stats =
+      optimizeSynchronization(M, CR.Root, PolicyKind::Bounded);
+  EXPECT_EQ(Stats.RegionsCoalesced, 0u);
+  EXPECT_EQ(countAcquires(*CR.Root), 2u);
+}
+
+TEST(LockEliminationTest, NoLiftWhenReceiverVariesWithLoop) {
+  // Updates of m[i] inside the loop: the region receiver is loop-variant,
+  // so even Aggressive cannot lift.
+  Module M("m");
+  ClassDecl *C = M.createClass("c");
+  const unsigned F = C->addField("f");
+  Method *Entry = M.createMethod("entry", C);
+  Entry->addParam(Param{"m", C, true});
+  {
+    MethodBuilder B(M, Entry);
+    const unsigned L = B.beginLoop();
+    B.update(Receiver::paramIndexed(0, L), F, BinOp::Add, M.exprConst(1.0));
+    B.endLoop();
+  }
+  CloneResult CR = cloneMethodClosure(M, Entry, "$a");
+  insertDefaultPlacement(M, CR.Root);
+  const OptStats Stats =
+      optimizeSynchronization(M, CR.Root, PolicyKind::Aggressive);
+  EXPECT_EQ(Stats.LoopsLifted, 0u);
+}
+
+TEST(LockEliminationTest, NestedLoopsLiftToFixpoint) {
+  // POTENG shape: for { for { compute }; g->e += ... } lifts twice under
+  // Aggressive, serializing on the global accumulator.
+  Module M("m");
+  ClassDecl *C = M.createClass("c");
+  ClassDecl *A = M.createClass("accum");
+  const unsigned E = A->addField("e");
+  (void)C->addField("pos");
+  Method *Entry = M.createMethod("entry", C);
+  Entry->addParam(Param{"g", A, false});
+  {
+    MethodBuilder B(M, Entry);
+    B.beginLoop();
+    B.beginLoop();
+    B.compute();
+    B.endLoop();
+    B.update(Receiver::param(0), E, BinOp::Add, M.exprConst(1.0));
+    B.endLoop();
+  }
+  CloneResult CR = cloneMethodClosure(M, Entry, "$a");
+  insertDefaultPlacement(M, CR.Root);
+  const OptStats Stats =
+      optimizeSynchronization(M, CR.Root, PolicyKind::Aggressive);
+  EXPECT_EQ(Stats.LoopsLifted, 1u);
+  // Final shape: acquire(g); loop { loop { compute }; update }; release(g).
+  ASSERT_EQ(CR.Root->body().size(), 3u);
+  EXPECT_EQ(CR.Root->body()[0]->kind(), StmtKind::Acquire);
+  EXPECT_EQ(CR.Root->body()[1]->kind(), StmtKind::Loop);
+  EXPECT_EQ(CR.Root->body()[2]->kind(), StmtKind::Release);
+  EXPECT_TRUE(verifyAtomicity(*CR.Root).empty());
+}
+
+// ------------------------ Multi-version generation ------------------------
+
+TEST(MultiVersionTest, BarnesHutHasThreeDistinctVersions) {
+  apps::bh::BarnesHutConfig Config;
+  Config.NumBodies = 64;
+  apps::bh::BarnesHutApp App(Config);
+  const VersionedSection *VS = App.program().find("FORCES");
+  ASSERT_NE(VS, nullptr);
+  EXPECT_EQ(VS->Versions.size(), 3u);
+  EXPECT_EQ(VS->versionFor(PolicyKind::Original).label(), "Original");
+  EXPECT_EQ(VS->versionFor(PolicyKind::Bounded).label(), "Bounded");
+  EXPECT_EQ(VS->versionFor(PolicyKind::Aggressive).label(), "Aggressive");
+}
+
+TEST(MultiVersionTest, WaterInterfMergesBoundedAndAggressive) {
+  apps::water::WaterConfig Config;
+  Config.NumMolecules = 16;
+  apps::water::WaterApp App(Config);
+  const VersionedSection *VS = App.program().find("INTERF");
+  ASSERT_NE(VS, nullptr);
+  // The paper: "For the INTERF section, the generated code would be the
+  // same for the Bounded and Aggressive policies."
+  ASSERT_EQ(VS->Versions.size(), 2u);
+  EXPECT_EQ(VS->versionFor(PolicyKind::Bounded).Entry,
+            VS->versionFor(PolicyKind::Aggressive).Entry);
+  EXPECT_NE(VS->versionFor(PolicyKind::Original).Entry,
+            VS->versionFor(PolicyKind::Bounded).Entry);
+  EXPECT_EQ(VS->versionFor(PolicyKind::Bounded).label(),
+            "Bounded/Aggressive");
+}
+
+TEST(MultiVersionTest, WaterPotengMergesOriginalAndBounded) {
+  apps::water::WaterConfig Config;
+  Config.NumMolecules = 16;
+  apps::water::WaterApp App(Config);
+  const VersionedSection *VS = App.program().find("POTENG");
+  ASSERT_NE(VS, nullptr);
+  // The paper: for POTENG the code is the same for Original and Bounded.
+  ASSERT_EQ(VS->Versions.size(), 2u);
+  EXPECT_EQ(VS->versionFor(PolicyKind::Original).Entry,
+            VS->versionFor(PolicyKind::Bounded).Entry);
+  EXPECT_NE(VS->versionFor(PolicyKind::Aggressive).Entry,
+            VS->versionFor(PolicyKind::Original).Entry);
+}
+
+TEST(MultiVersionTest, StringHasThreeDistinctVersions) {
+  apps::string_tomo::StringConfig Config;
+  Config.NumRays = 16;
+  apps::string_tomo::StringApp App(Config);
+  const VersionedSection *VS = App.program().find("TRACE");
+  ASSERT_NE(VS, nullptr);
+  EXPECT_EQ(VS->Versions.size(), 3u);
+}
+
+TEST(MultiVersionTest, SerialEntriesAreLockFree) {
+  apps::bh::BarnesHutConfig Config;
+  Config.NumBodies = 64;
+  apps::bh::BarnesHutApp App(Config);
+  const VersionedSection *VS = App.program().find("FORCES");
+  ASSERT_NE(VS, nullptr);
+  EXPECT_EQ(countAcquires(*VS->SerialEntry), 0u);
+}
+
+// ------------------------ Lock pair counting ------------------------------
+
+/// Counts acquire/release pairs one iteration executes, per policy, via the
+/// interpreter -- the quantities behind the paper's Tables 3 and 8.
+TEST(MultiVersionTest, BarnesHutPairCountsPerPolicy) {
+  apps::bh::BarnesHutConfig Config;
+  Config.NumBodies = 64;
+  apps::bh::BarnesHutApp App(Config);
+  const VersionedSection *VS = App.program().find("FORCES");
+  const rt::DataBinding &B = App.binding("FORCES");
+  const rt::CostModel CM = rt::CostModel::dashLike();
+
+  rt::IterationEmitter Orig(VS->versionFor(PolicyKind::Original).Entry, B,
+                            CM);
+  rt::IterationEmitter Bnd(VS->versionFor(PolicyKind::Bounded).Entry, B, CM);
+  rt::IterationEmitter Agg(VS->versionFor(PolicyKind::Aggressive).Entry, B,
+                           CM);
+
+  const uint64_t Interactions = App.interactionCounts()[0];
+  ASSERT_GT(Interactions, 0u);
+  // Original: one pair per update (two updates per interaction).
+  EXPECT_EQ(Orig.countPairs(0), 2 * Interactions);
+  // Bounded: the two updates coalesce into one region per interaction.
+  EXPECT_EQ(Bnd.countPairs(0), Interactions);
+  // Aggressive: one pair for the whole iteration.
+  EXPECT_EQ(Agg.countPairs(0), 1u);
+  // All versions perform the same useful compute.
+  EXPECT_EQ(Orig.computeTime(0), Bnd.computeTime(0));
+  EXPECT_EQ(Orig.computeTime(0), Agg.computeTime(0));
+}
+
+TEST(MultiVersionTest, WaterPairCountsPerPolicy) {
+  apps::water::WaterConfig Config;
+  Config.NumMolecules = 16;
+  apps::water::WaterApp App(Config);
+  const rt::CostModel CM = rt::CostModel::dashLike();
+  // Iteration 0's pair count comes from the real neighbor list.
+  const uint64_t Partners = App.system().Neighbors[0].size();
+  ASSERT_GT(Partners, 0u);
+
+  {
+    const VersionedSection *VS = App.program().find("INTERF");
+    const rt::DataBinding &B = App.binding("INTERF");
+    rt::IterationEmitter Orig(VS->versionFor(PolicyKind::Original).Entry, B,
+                              CM);
+    rt::IterationEmitter Bnd(VS->versionFor(PolicyKind::Bounded).Entry, B,
+                             CM);
+    // Nine atom-pair updates per molecule of the pair; Bounded coalesces
+    // each side's run into one region.
+    EXPECT_EQ(Orig.countPairs(0), 18 * Partners);
+    EXPECT_EQ(Bnd.countPairs(0), 2 * Partners);
+  }
+  {
+    const VersionedSection *VS = App.program().find("POTENG");
+    const rt::DataBinding &B = App.binding("POTENG");
+    rt::IterationEmitter Orig(VS->versionFor(PolicyKind::Original).Entry, B,
+                              CM);
+    rt::IterationEmitter Agg(VS->versionFor(PolicyKind::Aggressive).Entry, B,
+                             CM);
+    EXPECT_EQ(Orig.countPairs(0), Partners);
+    EXPECT_EQ(Agg.countPairs(0), 1u);
+  }
+}
+
+TEST(MultiVersionTest, StringPairCountsPerPolicy) {
+  apps::string_tomo::StringConfig Config;
+  Config.NumRays = 16;
+  apps::string_tomo::StringApp App(Config);
+  const VersionedSection *VS = App.program().find("TRACE");
+  const rt::DataBinding &B = App.binding("TRACE");
+  const rt::CostModel CM = rt::CostModel::dashLike();
+  const uint64_t Segments = App.rays()[0].Segments;
+
+  rt::IterationEmitter Orig(VS->versionFor(PolicyKind::Original).Entry, B,
+                            CM);
+  rt::IterationEmitter Bnd(VS->versionFor(PolicyKind::Bounded).Entry, B, CM);
+  rt::IterationEmitter Agg(VS->versionFor(PolicyKind::Aggressive).Entry, B,
+                           CM);
+  EXPECT_EQ(Orig.countPairs(0), 2 * Segments);
+  EXPECT_EQ(Bnd.countPairs(0), Segments);
+  EXPECT_EQ(Agg.countPairs(0), 1u);
+}
+
+// ------------------------ Code size ----------------------------------------
+
+TEST(CodeSizeTest, DynamicIsLargestAndSharesSubgraphs) {
+  apps::bh::BarnesHutConfig Config;
+  Config.NumBodies = 64;
+  apps::bh::BarnesHutApp App(Config);
+  const CodeSizeModel Model;
+  const ExecutableSizes Sizes =
+      computeExecutableSizes(App.program(), Model, 24000);
+  EXPECT_LT(Sizes.Serial, Sizes.Aggressive);
+  EXPECT_LT(Sizes.Aggressive, Sizes.Dynamic);
+  // The increase from multi-versioning stays modest (the paper's Table 1
+  // shows ~5-10%), thanks to shared subgraphs.
+  EXPECT_LT(static_cast<double>(Sizes.Dynamic),
+            1.35 * static_cast<double>(Sizes.Aggressive));
+}
+
+} // namespace

@@ -1,0 +1,93 @@
+//===- tools/dynfb-explore.cpp - Inspect an application's compilation ------==//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+// Compiler-explorer-style inspection of a benchmark application:
+//
+//   dynfb-explore --app water                 # overview
+//   dynfb-explore --app water --versions      # all generated versions
+//   dynfb-explore --app barnes_hut --source   # the author-form program
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/Factory.h"
+#include "analysis/Commutativity.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "ir/StructuralHash.h"
+#include "support/CommandLine.h"
+#include "support/StringUtils.h"
+#include "xform/CodeSize.h"
+
+#include <cstdio>
+
+using namespace dynfb;
+using namespace dynfb::apps;
+
+int main(int Argc, char **Argv) {
+  CommandLine CL(Argc, Argv);
+  const std::string AppName = CL.getString("app", "");
+  // Tiny workloads: the compiled structure is workload-independent.
+  std::unique_ptr<App> TheApp = createApp(AppName, 1.0 / 64.0);
+  if (!TheApp) {
+    std::fprintf(stderr, "usage: dynfb-explore --app <name> [--source] "
+                         "[--versions]\n  apps:");
+    for (const std::string &Name : appNames())
+      std::fprintf(stderr, " %s", Name.c_str());
+    std::fprintf(stderr, "\n");
+    return 1;
+  }
+
+  if (CL.getBool("source", false)) {
+    std::fputs(
+        ir::printModule(TheApp->module(), /*IncludeSynthetic=*/false)
+            .c_str(),
+        stdout);
+    return 0;
+  }
+
+  if (CL.getBool("selftest", false)) {
+    // Round-trip the author form through the textual parser.
+    const std::string Printed =
+        ir::printModule(TheApp->module(), /*IncludeSynthetic=*/false);
+    const ir::ParseResult Parsed = ir::parseModule(Printed);
+    if (!Parsed.ok()) {
+      std::fprintf(stderr, "round-trip parse failed: %s\n",
+                   Parsed.Error.c_str());
+      return 1;
+    }
+    if (ir::printModule(*Parsed.M) != Printed) {
+      std::fprintf(stderr, "round-trip print differs\n");
+      return 1;
+    }
+    std::printf("%s: textual round-trip OK (%zu methods)\n",
+                AppName.c_str(), Parsed.M->methods().size());
+    return 0;
+  }
+
+  const bool PrintVersions = CL.getBool("versions", false);
+  std::printf("application: %s\n\n", AppName.c_str());
+  for (const xform::VersionedSection &VS : TheApp->program().Sections) {
+    const auto CR = analysis::analyzeSection(
+        *TheApp->module().findSection(VS.Name));
+    std::printf("parallel section %s: operations %s; %zu generated "
+                "version(s)\n",
+                VS.Name.c_str(), CR.Commutes ? "commute" : "DO NOT commute",
+                VS.Versions.size());
+    for (const xform::SectionVersion &V : VS.Versions) {
+      std::printf("  - %s\n", V.label().c_str());
+      if (PrintVersions)
+        std::printf("%s\n", ir::printMethod(*V.Entry).c_str());
+    }
+  }
+
+  const xform::CodeSizeModel Model;
+  const xform::ExecutableSizes Sizes =
+      xform::computeExecutableSizes(TheApp->program(), Model, 25000);
+  std::printf("\ncode size (modelled, bytes): serial %s, aggressive %s, "
+              "dynamic %s\n",
+              withThousandsSep(Sizes.Serial).c_str(),
+              withThousandsSep(Sizes.Aggressive).c_str(),
+              withThousandsSep(Sizes.Dynamic).c_str());
+  return 0;
+}

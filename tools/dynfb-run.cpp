@@ -1,0 +1,179 @@
+//===- tools/dynfb-run.cpp - Run an application on the simulator -----------==//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+// Command-line driver:
+//
+//   dynfb-run --app water --procs 8 --policy dynamic
+//   dynfb-run --app barnes_hut --procs 16 --policy aggressive --scale 0.25
+//   dynfb-run --app water --sweep             # all policies x 1..16 procs
+//
+// Policies: serial, original, bounded, aggressive, dynamic. Dynamic-mode
+// options: --sampling <seconds>, --production <seconds>, --cutoff,
+// --ordering, --spanning.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/Factory.h"
+#include "apps/Harness.h"
+#include "rt/NativeSection.h"
+#include "support/CommandLine.h"
+#include "support/StringUtils.h"
+#include "support/TablePrinter.h"
+
+#include <cstdio>
+#include <limits>
+
+using namespace dynfb;
+using namespace dynfb::apps;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: dynfb-run --app <barnes_hut|water|string> "
+               "[--procs N] [--policy serial|original|bounded|aggressive|"
+               "dynamic] [--scale F] [--sampling S] [--production S] "
+               "[--cutoff] [--ordering] [--spanning] [--sweep]\n");
+  return 1;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  CommandLine CL(Argc, Argv);
+  const std::string AppName = CL.getString("app", "");
+  std::unique_ptr<App> TheApp =
+      createApp(AppName, CL.getDouble("scale", 1.0));
+  if (!TheApp)
+    return usage();
+
+  fb::FeedbackConfig Config;
+  Config.TargetSamplingNanos =
+      rt::secondsToNanos(CL.getDouble("sampling", 0.01));
+  Config.TargetProductionNanos =
+      rt::secondsToNanos(CL.getDouble("production", 100.0));
+  Config.EarlyCutoff = CL.getBool("cutoff", false);
+  Config.UsePolicyOrdering = CL.getBool("ordering", false);
+  Config.SpanSectionExecutions = CL.getBool("spanning", false);
+
+  if (CL.getBool("sweep", false)) {
+    Table T(AppName + ": execution times (seconds)");
+    std::vector<std::string> Header{"Version"};
+    for (unsigned N : PaperProcCounts)
+      Header.push_back(format("%u", N));
+    T.setHeader(Header);
+    for (xform::PolicyKind P : xform::AllPolicies) {
+      std::vector<std::string> Row{xform::policyName(P)};
+      for (unsigned N : PaperProcCounts)
+        Row.push_back(formatDouble(
+            runAppSeconds(*TheApp, N, Flavour::Fixed, P, Config), 2));
+      T.addRow(Row);
+    }
+    std::vector<std::string> Dyn{"Dynamic"};
+    for (unsigned N : PaperProcCounts)
+      Dyn.push_back(formatDouble(
+          runAppSeconds(*TheApp, N, Flavour::Dynamic,
+                        xform::PolicyKind::Original, Config),
+          2));
+    T.addRow(Dyn);
+    std::fputs(T.renderText().c_str(), stdout);
+    return 0;
+  }
+
+  const unsigned Procs = static_cast<unsigned>(CL.getInt("procs", 8));
+  const std::string PolicyName = CL.getString("policy", "dynamic");
+
+  if (CL.getString("backend", "sim") == "native") {
+    // Execute the generated IR on real host threads (compute costs scaled
+    // down by --timescale; serial phases skipped). Dynamic feedback only.
+    const double TimeScale = CL.getDouble("timescale", 0.0005);
+    rt::ThreadTeam Team(std::max(1u, Procs));
+    fb::FeedbackConfig NativeConfig = Config;
+    NativeConfig.TargetSamplingNanos = rt::millisToNanos(5);
+    NativeConfig.TargetProductionNanos = rt::millisToNanos(200);
+    fb::FeedbackController Controller(NativeConfig);
+    const rt::Nanos Start = rt::steadyNow();
+    for (const xform::VersionedSection &VS : TheApp->program().Sections) {
+      std::vector<rt::NativeIrVersion> Versions;
+      for (const xform::SectionVersion &V : VS.Versions)
+        Versions.push_back({V.label(), V.Entry});
+      auto Runner = rt::makeNativeIrRunner(
+          Team, TheApp->binding(VS.Name), std::move(Versions),
+          rt::CostModel::dashLike(), TimeScale);
+      const fb::SectionExecutionTrace T =
+          Controller.executeSection(*Runner, VS.Name);
+      std::printf("  [native] %s -> %s in %.3f s real time (%llu pairs)\n",
+                  VS.Name.c_str(),
+                  T.dominantVersion()
+                      ? Runner->versionLabel(*T.dominantVersion()).c_str()
+                      : "(finished during sampling)",
+                  rt::nanosToSeconds(T.durationNanos()),
+                  static_cast<unsigned long long>(
+                      T.Total.AcquireReleasePairs));
+    }
+    std::printf("native run total %.3f s (timescale %g, serial phases "
+                "skipped)\n",
+                rt::nanosToSeconds(rt::steadyNow() - Start), TimeScale);
+    return 0;
+  }
+
+  Flavour F = Flavour::Dynamic;
+  xform::PolicyKind Policy = xform::PolicyKind::Original;
+  if (PolicyName == "serial")
+    F = Flavour::Serial;
+  else if (PolicyName == "original")
+    F = Flavour::Fixed;
+  else if (PolicyName == "bounded") {
+    F = Flavour::Fixed;
+    Policy = xform::PolicyKind::Bounded;
+  } else if (PolicyName == "aggressive") {
+    F = Flavour::Fixed;
+    Policy = xform::PolicyKind::Aggressive;
+  } else if (PolicyName != "dynamic")
+    return usage();
+
+  fb::PolicyHistory History;
+  const fb::RunResult R =
+      runApp(*TheApp, Procs, F, Policy, Config,
+             Config.UsePolicyOrdering ? &History : nullptr);
+
+  std::printf("%s, %u procs, policy %s: %.3f s\n", AppName.c_str(), Procs,
+              PolicyName.c_str(), rt::nanosToSeconds(R.TotalNanos));
+  std::printf("  acquire/release pairs: %s\n",
+              withThousandsSep(R.ParallelStats.AcquireReleasePairs).c_str());
+  std::printf("  locking overhead: %s, waiting: %s (proportion %.3f)\n",
+              formatSeconds(rt::nanosToSeconds(R.ParallelStats.LockOpNanos))
+                  .c_str(),
+              formatSeconds(rt::nanosToSeconds(R.ParallelStats.WaitNanos))
+                  .c_str(),
+              R.ParallelStats.waitingProportion());
+  if (F == Flavour::Dynamic) {
+    for (const fb::SectionExecutionTrace &T : R.Occurrences) {
+      if (T.ChosenVersions.empty())
+        continue;
+      const xform::VersionedSection *VS =
+          TheApp->program().find(T.SectionName);
+      std::printf("  %s -> %s (sampling phases %u, sampled intervals %u)\n",
+                  T.SectionName.c_str(),
+                  VS->Versions[*T.dominantVersion()].label().c_str(),
+                  T.SamplingPhases, T.SampledIntervals);
+    }
+  }
+
+  if (CL.getBool("trace", false) && F == Flavour::Fixed) {
+    // Contention report: re-run each section with an interval trace.
+    auto Backend = TheApp->makeSimBackend(Procs, rt::CostModel::dashLike(),
+                                          F, Policy);
+    for (const xform::VersionedSection &VS : TheApp->program().Sections) {
+      auto Runner = Backend->beginSectionSim(VS.Name);
+      sim::IntervalTrace Trace;
+      Runner->attachTrace(&Trace);
+      while (!Runner->done())
+        Runner->runInterval(0, std::numeric_limits<rt::Nanos>::max() / 4);
+      std::printf("\nsection %s ", VS.Name.c_str());
+      std::fputs(Trace.renderText().c_str(), stdout);
+    }
+  }
+  return 0;
+}
