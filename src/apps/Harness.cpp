@@ -13,8 +13,10 @@ fb::RunResult apps::runApp(const App &App, unsigned Procs, Flavour F,
                            xform::PolicyKind Policy,
                            const fb::FeedbackConfig &Config,
                            fb::PolicyHistory *History,
-                           const rt::CostModel &Costs) {
+                           const rt::CostModel &Costs,
+                           const perturb::PerturbationEngine *Perturb) {
   auto Backend = App.makeSimBackend(Procs, Costs, F, Policy);
+  Backend->machine().setPerturbation(Perturb);
   fb::RunOptions Options;
   Options.Mode =
       F == Flavour::Dynamic ? fb::ExecMode::Dynamic : fb::ExecMode::Fixed;

@@ -19,17 +19,24 @@
 
 #include <vector>
 
+namespace dynfb::perturb {
+class PerturbationEngine;
+} // namespace dynfb::perturb
+
 namespace dynfb::apps {
 
 /// Processor counts of the paper's execution-time tables.
 inline const std::vector<unsigned> PaperProcCounts = {1, 2, 4, 8, 12, 16};
 
 /// Runs one executable flavour of \p App on a fresh simulated machine.
+/// \p Perturb, when non-null, injects the engine's fault schedule into the
+/// simulated machine for the duration of the run (null: pristine machine).
 fb::RunResult runApp(const App &App, unsigned Procs, Flavour F,
                      xform::PolicyKind Policy = xform::PolicyKind::Original,
                      const fb::FeedbackConfig &Config = {},
                      fb::PolicyHistory *History = nullptr,
-                     const rt::CostModel &Costs = rt::CostModel::dashLike());
+                     const rt::CostModel &Costs = rt::CostModel::dashLike(),
+                     const perturb::PerturbationEngine *Perturb = nullptr);
 
 /// Convenience: end-to-end execution time in seconds.
 double runAppSeconds(const App &App, unsigned Procs, Flavour F,

@@ -15,6 +15,7 @@
 #ifndef DYNFB_FB_CONFIG_H
 #define DYNFB_FB_CONFIG_H
 
+#include "rt/Stats.h"
 #include "rt/Time.h"
 
 namespace dynfb::fb {
@@ -47,6 +48,42 @@ struct FeedbackConfig {
   /// short for one production interval still amortizes its sampling cost
   /// over many executions.
   bool SpanSectionExecutions = false;
+
+  // --------- Robustness knobs (defaults reproduce the paper exactly) -------
+
+  /// Number of sampling intervals measured per version per sampling phase
+  /// (per-occurrence mode). Values above 1 enable outlier-robust
+  /// aggregation of the repeats; 1 reproduces the paper's single
+  /// measurement.
+  unsigned SamplingRepeats = 1;
+
+  /// Estimator folding repeated measurements into the comparable overhead.
+  /// Only meaningful with SamplingRepeats > 1.
+  rt::OverheadAggregation SamplingAggregation = rt::OverheadAggregation::Mean;
+
+  /// Per-tail trim proportion for OverheadAggregation::TrimmedMean.
+  double TrimFraction = 0.2;
+
+  /// Switch hysteresis: when positive, a newly sampled best version only
+  /// replaces the incumbent production version if its overhead improves on
+  /// the incumbent's freshly sampled overhead by more than this margin
+  /// (absolute overhead units). Prevents version thrashing when two
+  /// versions are within measurement noise. 0 disables (paper behaviour).
+  double SwitchHysteresis = 0.0;
+
+  /// Perturbation-triggered early resampling: when positive, a production
+  /// interval whose measured overhead exceeds the sampled overhead of the
+  /// chosen version by more than this margin is cut short and the section
+  /// resamples immediately, instead of riding a stale decision to the end
+  /// of the production budget. 0 disables (paper behaviour).
+  double DriftResampleThreshold = 0.0;
+
+  /// Granularity at which production overhead is re-measured for drift
+  /// detection in per-occurrence mode: the production budget is consumed in
+  /// slices of this length. 0 runs the whole production interval in one
+  /// piece (paper behaviour; drift detection then only applies in spanning
+  /// mode, whose production is naturally sliced by occurrences).
+  rt::Nanos ProductionSliceNanos = 0;
 };
 
 } // namespace dynfb::fb

@@ -3,18 +3,43 @@
 // Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
 //
 //===----------------------------------------------------------------------===//
+//
+// With the robustness knobs at their defaults this file implements exactly
+// the paper's algorithm; the hardening (repeat sampling with robust
+// aggregation, switch hysteresis, drift-triggered early resampling,
+// degenerate-measurement fallbacks) only engages through FeedbackConfig and
+// when measurements degenerate -- situations the perturbation engine can
+// now inject deliberately.
+//
+//===----------------------------------------------------------------------===//
 
 #include "fb/Controller.h"
 
+#include "support/Compiler.h"
+
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <map>
 
 using namespace dynfb;
 using namespace dynfb::fb;
 using namespace dynfb::rt;
 
+namespace {
+
+/// True when an interval produced a usable overhead measurement. Intervals
+/// failing this would previously let a zero-duration measurement enter the
+/// decision as a perfect 0.0 overhead (or poison downstream statistics with
+/// NaN); the controller now discards and counts them instead.
+bool isUsable(const OverheadStats &Stats) {
+  return Stats.isMeasurable() && std::isfinite(Stats.totalOverhead());
+}
+
+} // namespace
+
 std::optional<unsigned> SectionExecutionTrace::dominantVersion() const {
+  assertInvariants();
   if (ChosenVersions.empty())
     return std::nullopt;
   std::map<unsigned, unsigned> Counts;
@@ -28,6 +53,27 @@ std::optional<unsigned> SectionExecutionTrace::dominantVersion() const {
       BestCount = C;
     }
   return Best;
+}
+
+void SectionExecutionTrace::assertInvariants() const {
+  DYNFB_CHECK(EndNanos >= StartNanos,
+              "section trace: end precedes start");
+  DYNFB_CHECK(Total.ExecNanos >= 0 && Total.LockOpNanos >= 0 &&
+                  Total.WaitNanos >= 0,
+              "section trace: negative aggregate measurement");
+  for (const Series &S : SampledOverheads.all())
+    for (size_t I = 0; I < S.size(); ++I) {
+      DYNFB_CHECK(std::isfinite(S.Values[I]) && S.Values[I] >= 0.0 &&
+                      S.Values[I] <= 1.0,
+                  "section trace: sampled overhead outside [0, 1]");
+      DYNFB_CHECK(std::isfinite(S.Times[I]),
+                  "section trace: non-finite sample time");
+    }
+  for (const auto &[Label, Stat] : EffectiveSamplingByVersion) {
+    (void)Label;
+    DYNFB_CHECK(std::isfinite(Stat.mean()) && Stat.mean() >= 0.0,
+                "section trace: non-finite effective sampling statistic");
+  }
 }
 
 std::vector<unsigned>
@@ -59,12 +105,42 @@ FeedbackController::samplingOrder(unsigned NumVersions,
   return Order;
 }
 
+std::optional<unsigned>
+FeedbackController::pickBest(const std::vector<std::optional<double>> &Overheads,
+                             std::optional<unsigned> Incumbent,
+                             SectionExecutionTrace &Trace) const {
+  // Least sampled overhead; ties resolve to the lowest version index, i.e.
+  // the earliest policy. Non-finite entries never win (belt and braces: the
+  // sampling loops already discard them).
+  std::optional<unsigned> Best;
+  for (unsigned V = 0; V < Overheads.size(); ++V)
+    if (Overheads[V] && std::isfinite(*Overheads[V]) &&
+        (!Best || *Overheads[V] < *Overheads[*Best]))
+      Best = V;
+  if (!Best)
+    return std::nullopt;
+
+  // Switch hysteresis: keep a measured incumbent unless the challenger
+  // improves by more than the configured margin.
+  if (Config.SwitchHysteresis > 0.0 && Incumbent && *Incumbent != *Best &&
+      *Incumbent < Overheads.size() && Overheads[*Incumbent] &&
+      std::isfinite(*Overheads[*Incumbent]) &&
+      *Overheads[*Best] >=
+          *Overheads[*Incumbent] - Config.SwitchHysteresis) {
+    ++Trace.HysteresisHolds;
+    return Incumbent;
+  }
+  return Best;
+}
+
 SectionExecutionTrace
 FeedbackController::executeSection(IntervalRunner &Runner,
                                    const std::string &SectionName) {
-  return Config.SpanSectionExecutions
-             ? executeSpanning(Runner, SectionName)
-             : executePerOccurrence(Runner, SectionName);
+  SectionExecutionTrace Trace = Config.SpanSectionExecutions
+                                    ? executeSpanning(Runner, SectionName)
+                                    : executePerOccurrence(Runner, SectionName);
+  Trace.assertInvariants();
+  return Trace;
 }
 
 SectionExecutionTrace
@@ -85,6 +161,7 @@ FeedbackController::executeSpanning(IntervalRunner &Runner,
     State.Overheads.assign(NumVersions, std::nullopt);
     State.CurrentIntervalStats = OverheadStats{};
     State.Remaining = Config.TargetSamplingNanos;
+    State.ProductionOverhead.reset();
   };
   if (State.Order.empty())
     StartSamplingPhase(); // First ever occurrence of this section.
@@ -95,39 +172,51 @@ FeedbackController::executeSpanning(IntervalRunner &Runner,
       const IntervalReport Report = Runner.runInterval(V, State.Remaining);
       Trace.Total.merge(Report.Stats);
       State.CurrentIntervalStats.merge(Report.Stats);
-      State.Remaining -= Report.EffectiveNanos;
+      if (Report.EffectiveNanos > 0)
+        State.Remaining -= Report.EffectiveNanos;
+      else
+        State.Remaining = 0; // A stuck interval must not stall the phase.
 
       const bool IntervalDone = State.Remaining <= 0;
       if (!IntervalDone)
         continue; // Section ended mid-interval; resume next occurrence.
 
-      // This version's sampling interval is complete: record it.
-      const double Overhead = State.CurrentIntervalStats.totalOverhead();
-      State.Overheads[V] = Overhead;
+      // This version's sampling interval is complete: record it, unless the
+      // accumulated measurement is degenerate (zero duration, non-finite).
       ++Trace.SampledIntervals;
-      Trace.SampledOverheads.getOrCreate(Runner.versionLabel(V))
-          .addPoint(nanosToSeconds(Runner.now()), Overhead);
+      if (isUsable(State.CurrentIntervalStats)) {
+        const double Overhead = State.CurrentIntervalStats.totalOverhead();
+        State.Overheads[V] = Overhead;
+        Trace.SampledOverheads.getOrCreate(Runner.versionLabel(V))
+            .addPoint(nanosToSeconds(Runner.now()), Overhead);
+      } else {
+        ++Trace.DegenerateIntervals;
+      }
       State.CurrentIntervalStats = OverheadStats{};
       State.Remaining = Config.TargetSamplingNanos;
       ++State.OrderIdx;
 
-      const bool CutOff = Config.EarlyCutoff &&
-                          Overhead <= Config.EarlyCutoffThreshold;
+      const bool CutOff = Config.EarlyCutoff && State.Overheads[V] &&
+                          *State.Overheads[V] <= Config.EarlyCutoffThreshold;
       if (CutOff)
         Trace.SkippedByCutoff += static_cast<unsigned>(
             State.Order.size() - State.OrderIdx);
       if (State.OrderIdx >= State.Order.size() || CutOff) {
-        // Sampling phase complete: pick the best and enter production.
-        std::optional<unsigned> Best;
-        for (unsigned I = 0; I < NumVersions; ++I)
-          if (State.Overheads[I] &&
-              (!Best || *State.Overheads[I] < *State.Overheads[*Best]))
-            Best = I;
-        assert(Best && "sampling phase completed without measurements");
+        // Sampling phase complete: pick the best and enter production. An
+        // entirely degenerate phase falls back to the last known-good
+        // version (or the first in sampling order on the very first phase)
+        // instead of aborting.
+        std::optional<unsigned> Best =
+            pickBest(State.Overheads, State.LastGood, Trace);
+        if (!Best)
+          Best = State.LastGood ? *State.LastGood : State.Order.front();
         if (History)
           History->recordBest(SectionName, *Best);
         State.Phase = SpanState::PhaseKind::Production;
         State.ProductionVersion = *Best;
+        State.ProductionOverhead =
+            *Best < NumVersions ? State.Overheads[*Best] : std::nullopt;
+        State.LastGood = *Best;
         State.Remaining = Config.TargetProductionNanos;
         ++Trace.SamplingPhases;
         Trace.ChosenVersions.push_back(*Best);
@@ -136,13 +225,26 @@ FeedbackController::executeSpanning(IntervalRunner &Runner,
     }
 
     // Production: run the chosen version until its budget is exhausted,
-    // across as many section executions as it takes.
+    // across as many section executions as it takes -- or until its
+    // measured overhead drifts past the decision's sampled overhead, which
+    // triggers an early resample (the adaptivity of Section 4.4 made
+    // defensive against environmental faults).
     const IntervalReport Report =
         Runner.runInterval(State.ProductionVersion, State.Remaining);
     Trace.Total.merge(Report.Stats);
-    State.Remaining -= Report.EffectiveNanos;
+    if (Report.EffectiveNanos > 0)
+      State.Remaining -= Report.EffectiveNanos;
+    else
+      State.Remaining = 0; // A stuck interval forces a resample.
+    if (Config.DriftResampleThreshold > 0.0 && State.ProductionOverhead &&
+        State.Remaining > 0 && isUsable(Report.Stats) &&
+        Report.Stats.totalOverhead() >
+            *State.ProductionOverhead + Config.DriftResampleThreshold) {
+      ++Trace.EarlyResamples;
+      State.Remaining = 0;
+    }
     if (State.Remaining <= 0)
-      StartSamplingPhase(); // Periodic resampling.
+      StartSamplingPhase(); // Periodic (or drift-triggered) resampling.
   }
 
   Trace.EndNanos = Runner.now();
@@ -159,6 +261,10 @@ FeedbackController::executePerOccurrence(IntervalRunner &Runner,
   const unsigned NumVersions = Runner.numVersions();
   assert(NumVersions >= 1 && "section with no versions");
 
+  // The incumbent: last version a production phase actually ran. Seeds the
+  // hysteresis comparison and the degenerate-sampling fallback.
+  std::optional<unsigned> LastGood;
+
   while (!Runner.done()) {
     // ---- Sampling phase: measure each candidate version's overhead. ----
     ++Trace.SamplingPhases;
@@ -170,16 +276,30 @@ FeedbackController::executePerOccurrence(IntervalRunner &Runner,
       const unsigned V = Order[OIdx];
       if (Runner.done())
         break;
-      const IntervalReport Report =
-          Runner.runInterval(V, Config.TargetSamplingNanos);
-      ++Trace.SampledIntervals;
-      Trace.Total.merge(Report.Stats);
-      const double Overhead = Report.Stats.totalOverhead();
+      // One measurement reproduces the paper; SamplingRepeats > 1 buys
+      // outlier resistance through the configured robust aggregator.
+      const unsigned Repeats = std::max(1u, Config.SamplingRepeats);
+      std::vector<double> Samples;
+      for (unsigned Rep = 0; Rep < Repeats && !Runner.done(); ++Rep) {
+        const IntervalReport Report =
+            Runner.runInterval(V, Config.TargetSamplingNanos);
+        ++Trace.SampledIntervals;
+        Trace.Total.merge(Report.Stats);
+        if (Report.EffectiveNanos <= 0 || !isUsable(Report.Stats)) {
+          ++Trace.DegenerateIntervals;
+          continue; // Discarded: a 0/0 must not pose as zero overhead.
+        }
+        Samples.push_back(Report.Stats.totalOverhead());
+        Trace.EffectiveSamplingByVersion[Runner.versionLabel(V)].add(
+            nanosToSeconds(Report.EffectiveNanos));
+      }
+      if (Samples.empty())
+        continue; // Version unmeasurable this phase.
+      const double Overhead = aggregateOverheads(
+          std::move(Samples), Config.SamplingAggregation, Config.TrimFraction);
       Overheads[V] = Overhead;
       Trace.SampledOverheads.getOrCreate(Runner.versionLabel(V))
           .addPoint(nanosToSeconds(Runner.now()), Overhead);
-      Trace.EffectiveSamplingByVersion[Runner.versionLabel(V)].add(
-          nanosToSeconds(Report.EffectiveNanos));
       if (Config.EarlyCutoff && Overhead <= Config.EarlyCutoffThreshold) {
         // No other policy could do significantly better: cut sampling off.
         Trace.SkippedByCutoff +=
@@ -188,14 +308,12 @@ FeedbackController::executePerOccurrence(IntervalRunner &Runner,
       }
     }
 
-    // Pick the sampled version with the least total overhead (ties resolve
-    // to the lowest version index, i.e. the earliest policy).
-    std::optional<unsigned> Best;
-    for (unsigned V = 0; V < NumVersions; ++V)
-      if (Overheads[V] && (!Best || *Overheads[V] < *Overheads[*Best]))
-        Best = V;
-    if (!Best)
-      break; // The section finished before anything could be sampled.
+    std::optional<unsigned> Best = pickBest(Overheads, LastGood, Trace);
+    if (!Best) {
+      if (!LastGood)
+        break; // Nothing was ever measured and there is no fallback.
+      Best = LastGood; // Degenerate sampling phase: ride the known-good.
+    }
     if (History)
       History->recordBest(SectionName, *Best);
     if (Runner.done())
@@ -203,9 +321,29 @@ FeedbackController::executePerOccurrence(IntervalRunner &Runner,
 
     // ---- Production phase: run the best version. ----
     Trace.ChosenVersions.push_back(*Best);
-    const IntervalReport Report =
-        Runner.runInterval(*Best, Config.TargetProductionNanos);
-    Trace.Total.merge(Report.Stats);
+    LastGood = *Best;
+    rt::Nanos Budget = Config.TargetProductionNanos;
+    const bool Sliced = Config.ProductionSliceNanos > 0;
+    while (Budget > 0 && !Runner.done()) {
+      const rt::Nanos Target =
+          Sliced ? std::min(Config.ProductionSliceNanos, Budget) : Budget;
+      const IntervalReport Report = Runner.runInterval(*Best, Target);
+      Trace.Total.merge(Report.Stats);
+      if (Report.EffectiveNanos <= 0) {
+        ++Trace.DegenerateIntervals;
+        break; // A stuck production interval must not spin forever.
+      }
+      Budget -= Report.EffectiveNanos;
+      if (Config.DriftResampleThreshold > 0.0 && Overheads[*Best] &&
+          Budget > 0 && isUsable(Report.Stats) &&
+          Report.Stats.totalOverhead() >
+              *Overheads[*Best] + Config.DriftResampleThreshold) {
+        ++Trace.EarlyResamples;
+        break; // Overhead drifted: resample now instead of riding it out.
+      }
+      if (!Sliced)
+        break; // Whole budget was requested in one interval.
+    }
   }
 
   Trace.EndNanos = Runner.now();

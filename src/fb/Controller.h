@@ -76,10 +76,27 @@ struct SectionExecutionTrace {
   unsigned SampledIntervals = 0;
   unsigned SkippedByCutoff = 0; ///< Versions not sampled due to early cut-off.
 
+  // Robustness accounting (all zero in an unperturbed run with the
+  // robustness knobs at their defaults).
+  unsigned DegenerateIntervals = 0; ///< Zero-duration / unmeasurable
+                                    ///< intervals discarded instead of
+                                    ///< entering the statistics.
+  unsigned EarlyResamples = 0;      ///< Production intervals cut short by
+                                    ///< overhead drift.
+  unsigned HysteresisHolds = 0;     ///< Switches suppressed by hysteresis.
+
   rt::Nanos durationNanos() const { return EndNanos - StartNanos; }
 
   /// The version used for the most production time (the de-facto decision).
+  /// Checks the trace invariants (see assertInvariants).
   std::optional<unsigned> dominantVersion() const;
+
+  /// Checked (release-mode) invariants every published trace satisfies: no
+  /// NaN/inf anywhere, every sampled overhead within [0, 1], non-negative
+  /// aggregate measurements and duration. The controller verifies these
+  /// before returning a trace, so garbage measurements can never escape
+  /// into the paper's tables and figures.
+  void assertInvariants() const;
 };
 
 /// Drives one or more section occurrences with the dynamic feedback
@@ -116,12 +133,29 @@ private:
     rt::Nanos Remaining = 0;
     /// Production: the version being run.
     unsigned ProductionVersion = 0;
+    /// The sampled overhead the production version was chosen on (drift
+    /// detection baseline); unset when production was entered by fallback.
+    std::optional<double> ProductionOverhead;
+    /// Last version that completed a production decision: the fallback when
+    /// a sampling phase yields no usable measurement, and the incumbent for
+    /// switch hysteresis.
+    std::optional<unsigned> LastGood;
   };
 
   SectionExecutionTrace executeSpanning(rt::IntervalRunner &Runner,
                                         const std::string &SectionName);
   SectionExecutionTrace executePerOccurrence(rt::IntervalRunner &Runner,
                                              const std::string &SectionName);
+
+  /// Picks the sampled version with the least overhead (ties to the lowest
+  /// index). With SwitchHysteresis enabled and a measured incumbent, the
+  /// incumbent is kept unless the challenger improves by more than the
+  /// margin; suppressed switches are counted in \p Trace. Returns nullopt
+  /// when nothing was measurably sampled.
+  std::optional<unsigned>
+  pickBest(const std::vector<std::optional<double>> &Overheads,
+           std::optional<unsigned> Incumbent,
+           SectionExecutionTrace &Trace) const;
 
   const FeedbackConfig Config;
   PolicyHistory *const History;

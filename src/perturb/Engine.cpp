@@ -1,0 +1,76 @@
+//===- perturb/Engine.cpp -------------------------------------------------==//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "perturb/Engine.h"
+
+#include "support/Random.h"
+
+#include <cmath>
+
+using namespace dynfb;
+using namespace dynfb::perturb;
+
+PerturbationEngine::PerturbationEngine(PerturbationSchedule Sched)
+    : Sched(std::move(Sched)) {}
+
+bool PerturbationEngine::mayAffect(const std::string &Section) const {
+  for (const FaultEvent &E : Sched.Events)
+    if (E.appliesToSection(Section))
+      return true;
+  return false;
+}
+
+double PerturbationEngine::computeScale(const std::string &Section,
+                                        unsigned Proc, rt::Nanos T) const {
+  double Scale = 1.0;
+  for (const FaultEvent &E : Sched.Events) {
+    if (!E.activeAt(T) || !E.appliesToSection(Section))
+      continue;
+    if (E.Kind == FaultKind::ProcSlowdown && E.appliesToProc(Proc))
+      Scale *= E.Factor;
+    else if (E.Kind == FaultKind::PhaseShift)
+      Scale *= E.Factor;
+  }
+  return Scale;
+}
+
+rt::Nanos PerturbationEngine::lockHoldExtra(const std::string &Section,
+                                            rt::Nanos T) const {
+  rt::Nanos Extra = 0;
+  for (const FaultEvent &E : Sched.Events)
+    if (E.Kind == FaultKind::LockHoldSpike && E.activeAt(T) &&
+        E.appliesToSection(Section))
+      Extra += E.ExtraNanos;
+  return Extra;
+}
+
+rt::Nanos PerturbationEngine::contentionExtra(const std::string &Section,
+                                              uint64_t Obj,
+                                              rt::Nanos T) const {
+  rt::Nanos Extra = 0;
+  for (const FaultEvent &E : Sched.Events)
+    if (E.Kind == FaultKind::ContentionBurst && E.activeAt(T) &&
+        E.appliesToSection(Section) && E.appliesToObject(Obj))
+      Extra += E.ExtraNanos;
+  return Extra;
+}
+
+rt::Nanos PerturbationEngine::timerNoise(const std::string &Section,
+                                         unsigned Proc, rt::Nanos T) const {
+  rt::Nanos Noise = 0;
+  for (const FaultEvent &E : Sched.Events) {
+    if (E.Kind != FaultKind::TimerNoise || !E.activeAt(T) ||
+        !E.appliesToSection(Section) || E.AmplitudeNanos <= 0)
+      continue;
+    // Hash (seed, proc, time) into a uniform value in [-1, 1).
+    SplitMix64 SM(Sched.Seed ^ (static_cast<uint64_t>(Proc) * 0x9e3779b9ULL) ^
+                  static_cast<uint64_t>(T));
+    const double U = static_cast<double>(SM.next() >> 11) * 0x1.0p-53;
+    Noise += static_cast<rt::Nanos>(
+        std::llround((2.0 * U - 1.0) * static_cast<double>(E.AmplitudeNanos)));
+  }
+  return Noise;
+}

@@ -1,0 +1,63 @@
+//===- perturb/Engine.h - Perturbation query engine -------------*- C++ -*-===//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// PerturbationEngine answers the simulator's point queries against a
+/// PerturbationSchedule: how much to scale a compute duration, how much
+/// extra a lock construct costs, how much injected waiting an acquire
+/// suffers, and the deterministic timer-read jitter -- all as pure functions
+/// of (section, processor/object, virtual time), so a perturbed run is
+/// exactly reproducible and a run with an empty schedule is bit-identical
+/// to an unperturbed one.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNFB_PERTURB_ENGINE_H
+#define DYNFB_PERTURB_ENGINE_H
+
+#include "perturb/Schedule.h"
+
+#include <string>
+
+namespace dynfb::perturb {
+
+/// Stateless query interface over one schedule. Engines are immutable and
+/// shared: one engine can drive every section of a run.
+class PerturbationEngine {
+public:
+  explicit PerturbationEngine(PerturbationSchedule Sched);
+
+  const PerturbationSchedule &schedule() const { return Sched; }
+
+  /// True if any event could ever affect \p Section (cheap pre-check so the
+  /// unperturbed simulation fast path stays unchanged).
+  bool mayAffect(const std::string &Section) const;
+
+  /// Multiplier for a compute duration on processor \p Proc at virtual time
+  /// \p T (ProcSlowdown and PhaseShift compose multiplicatively).
+  double computeScale(const std::string &Section, unsigned Proc,
+                      rt::Nanos T) const;
+
+  /// Extra cost added to each lock acquire/release construct at \p T.
+  rt::Nanos lockHoldExtra(const std::string &Section, rt::Nanos T) const;
+
+  /// Injected waiting suffered by a successful acquire of \p Obj at \p T.
+  rt::Nanos contentionExtra(const std::string &Section, uint64_t Obj,
+                            rt::Nanos T) const;
+
+  /// Deterministic timer-read jitter at \p T on processor \p Proc, in
+  /// [-Amplitude, +Amplitude]. Derived from the schedule seed by hashing
+  /// (Proc, T): the same schedule always produces the same noise.
+  rt::Nanos timerNoise(const std::string &Section, unsigned Proc,
+                       rt::Nanos T) const;
+
+private:
+  const PerturbationSchedule Sched;
+};
+
+} // namespace dynfb::perturb
+
+#endif // DYNFB_PERTURB_ENGINE_H

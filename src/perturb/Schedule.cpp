@@ -1,0 +1,260 @@
+//===- perturb/Schedule.cpp -----------------------------------------------==//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "perturb/Schedule.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+
+using namespace dynfb;
+using namespace dynfb::perturb;
+
+const char *perturb::faultKindName(FaultKind K) {
+  switch (K) {
+  case FaultKind::ProcSlowdown:
+    return "slowdown";
+  case FaultKind::LockHoldSpike:
+    return "lockhold";
+  case FaultKind::ContentionBurst:
+    return "contend";
+  case FaultKind::TimerNoise:
+    return "timernoise";
+  case FaultKind::PhaseShift:
+    return "phaseshift";
+  }
+  return "?";
+}
+
+std::vector<std::string> PerturbationSchedule::referencedSections() const {
+  std::vector<std::string> Names;
+  for (const FaultEvent &E : Events)
+    if (!E.Section.empty() &&
+        std::find(Names.begin(), Names.end(), E.Section) == Names.end())
+      Names.push_back(E.Section);
+  return Names;
+}
+
+namespace {
+
+std::optional<FaultKind> kindFromName(const std::string &Name) {
+  for (FaultKind K :
+       {FaultKind::ProcSlowdown, FaultKind::LockHoldSpike,
+        FaultKind::ContentionBurst, FaultKind::TimerNoise,
+        FaultKind::PhaseShift})
+    if (Name == faultKindName(K))
+      return K;
+  return std::nullopt;
+}
+
+/// Parses "<number>[s|ms|us|ns]" or "inf" into nanoseconds.
+std::optional<rt::Nanos> parseTime(const std::string &Text) {
+  if (Text == "inf")
+    return std::numeric_limits<rt::Nanos>::max() / 2;
+  const char *Begin = Text.c_str();
+  char *End = nullptr;
+  const double Value = std::strtod(Begin, &End);
+  if (End == Begin || Value < 0)
+    return std::nullopt;
+  const std::string Unit(End);
+  double Scale = 1e9; // Default: seconds.
+  if (Unit == "s" || Unit.empty())
+    Scale = 1e9;
+  else if (Unit == "ms")
+    Scale = 1e6;
+  else if (Unit == "us")
+    Scale = 1e3;
+  else if (Unit == "ns")
+    Scale = 1;
+  else
+    return std::nullopt;
+  return static_cast<rt::Nanos>(Value * Scale);
+}
+
+/// Splits "<a>-<b>" at the first '-' that is not part of an exponent
+/// ("1e-3s-2s" splits after "1e-3s").
+std::optional<std::pair<std::string, std::string>>
+splitRange(const std::string &S) {
+  for (size_t I = 1; I < S.size(); ++I)
+    if (S[I] == '-' && S[I - 1] != 'e' && S[I - 1] != 'E')
+      return std::make_pair(S.substr(0, I), S.substr(I + 1));
+  return std::nullopt;
+}
+
+std::optional<double> parseNumber(const std::string &Text) {
+  const char *Begin = Text.c_str();
+  char *End = nullptr;
+  const double Value = std::strtod(Begin, &End);
+  if (End == Begin || *End != '\0')
+    return std::nullopt;
+  return Value;
+}
+
+} // namespace
+
+std::optional<PerturbationSchedule>
+perturb::parseSchedule(const std::string &Spec, std::string &Error) {
+  PerturbationSchedule Sched;
+  if (trim(Spec).empty()) {
+    Error = "empty perturbation spec";
+    return std::nullopt;
+  }
+
+  for (const std::string &EventText : splitString(Spec, ',')) {
+    const std::string Text = trim(EventText);
+    if (Text.empty()) {
+      Error = "empty event in perturbation spec";
+      return std::nullopt;
+    }
+    const std::vector<std::string> Parts = splitString(Text, ':');
+
+    // "<kind>@<start>-<end>" head.
+    const std::vector<std::string> Head = splitString(Parts[0], '@');
+    if (Head.size() != 2) {
+      Error = "event '" + Text + "': expected <kind>@<start>-<end>";
+      return std::nullopt;
+    }
+    FaultEvent E;
+    if (std::optional<FaultKind> K = kindFromName(Head[0]))
+      E.Kind = *K;
+    else {
+      Error = "unknown fault kind '" + Head[0] +
+              "' (want slowdown|lockhold|contend|timernoise|phaseshift)";
+      return std::nullopt;
+    }
+    std::optional<rt::Nanos> Start, End;
+    if (const auto Window = splitRange(Head[1])) {
+      Start = parseTime(Window->first);
+      End = parseTime(Window->second);
+    }
+    if (!Start || !End || *End <= *Start) {
+      Error = "event '" + Text +
+              "': bad window '" + Head[1] + "' (want <start>-<end>, e.g. "
+              "0.5s-2s or 1s-inf)";
+      return std::nullopt;
+    }
+    E.StartNanos = *Start;
+    E.EndNanos = *End;
+
+    // Defaults per kind so a bare window is already meaningful.
+    switch (E.Kind) {
+    case FaultKind::ProcSlowdown:
+      E.Factor = 4.0;
+      break;
+    case FaultKind::PhaseShift:
+      E.Factor = 0.25;
+      break;
+    case FaultKind::LockHoldSpike:
+      E.ExtraNanos = 10000; // 10 us per lock construct.
+      break;
+    case FaultKind::ContentionBurst:
+      E.ExtraNanos = 100000; // 100 us per acquire.
+      break;
+    case FaultKind::TimerNoise:
+      E.AmplitudeNanos = 5000; // +-5 us per timer read.
+      break;
+    }
+
+    for (size_t I = 1; I < Parts.size(); ++I) {
+      const std::vector<std::string> KV = splitString(Parts[I], '=');
+      if (KV.size() != 2 || KV[0].empty() || KV[1].empty()) {
+        Error = "event '" + Text + "': bad option '" + Parts[I] +
+                "' (want key=value)";
+        return std::nullopt;
+      }
+      const std::string &Key = KV[0], &Value = KV[1];
+      bool Ok = true;
+      if (Key == "factor") {
+        const std::optional<double> F = parseNumber(Value);
+        Ok = F && *F > 0 && *F <= 1e6;
+        if (Ok)
+          E.Factor = *F;
+      } else if (Key == "extra") {
+        const std::optional<rt::Nanos> N = parseTime(Value);
+        Ok = N.has_value();
+        if (Ok)
+          E.ExtraNanos = *N;
+      } else if (Key == "amp") {
+        const std::optional<rt::Nanos> N = parseTime(Value);
+        Ok = N.has_value();
+        if (Ok)
+          E.AmplitudeNanos = *N;
+      } else if (Key == "proc") {
+        const std::optional<double> P = parseNumber(Value);
+        Ok = P && *P >= 0 && *P == static_cast<double>(static_cast<int>(*P));
+        if (Ok)
+          E.Proc = static_cast<int>(*P);
+      } else if (Key == "obj") {
+        std::optional<double> Lo, Hi;
+        if (const auto Range = splitRange(Value)) {
+          Lo = parseNumber(Range->first);
+          Hi = parseNumber(Range->second);
+        } else {
+          Lo = Hi = parseNumber(Value);
+        }
+        Ok = Lo && Hi && *Lo >= 0 && *Hi >= *Lo;
+        if (Ok) {
+          E.ObjLo = static_cast<int64_t>(*Lo);
+          E.ObjHi = static_cast<int64_t>(*Hi);
+        }
+      } else if (Key == "section") {
+        E.Section = Value;
+      } else if (Key == "seed") {
+        const std::optional<double> S = parseNumber(Value);
+        Ok = S && *S >= 0;
+        if (Ok)
+          Sched.Seed = static_cast<uint64_t>(*S);
+      } else {
+        Error = "event '" + Text + "': unknown option '" + Key + "'";
+        return std::nullopt;
+      }
+      if (!Ok) {
+        Error = "event '" + Text + "': bad value for '" + Key + "': '" +
+                Value + "'";
+        return std::nullopt;
+      }
+    }
+    Sched.Events.push_back(std::move(E));
+  }
+  return Sched;
+}
+
+std::string perturb::renderSchedule(const PerturbationSchedule &Sched) {
+  std::string Out;
+  for (const FaultEvent &E : Sched.Events) {
+    if (!Out.empty())
+      Out += ",";
+    Out += faultKindName(E.Kind);
+    Out += format("@%gs-", rt::nanosToSeconds(E.StartNanos));
+    if (E.EndNanos >= std::numeric_limits<rt::Nanos>::max() / 2)
+      Out += "inf";
+    else
+      Out += format("%gs", rt::nanosToSeconds(E.EndNanos));
+    switch (E.Kind) {
+    case FaultKind::ProcSlowdown:
+    case FaultKind::PhaseShift:
+      Out += format(":factor=%g", E.Factor);
+      break;
+    case FaultKind::LockHoldSpike:
+    case FaultKind::ContentionBurst:
+      Out += format(":extra=%gus", static_cast<double>(E.ExtraNanos) / 1e3);
+      break;
+    case FaultKind::TimerNoise:
+      Out += format(":amp=%gus", static_cast<double>(E.AmplitudeNanos) / 1e3);
+      break;
+    }
+    if (E.Proc >= 0)
+      Out += format(":proc=%d", E.Proc);
+    if (E.ObjLo >= 0)
+      Out += format(":obj=%lld-%lld", static_cast<long long>(E.ObjLo),
+                    static_cast<long long>(E.ObjHi));
+    if (!E.Section.empty())
+      Out += ":section=" + E.Section;
+  }
+  return Out;
+}

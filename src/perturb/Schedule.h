@@ -1,0 +1,124 @@
+//===- perturb/Schedule.h - Fault-injection schedules -----------*- C++ -*-===//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic, schedule-driven environmental perturbations for the
+/// simulated machine. A schedule is a list of fault events, each active over
+/// a half-open virtual-time window and optionally restricted to one section,
+/// one processor, or one lock-object range. Everything is specified in
+/// virtual time and derived from a fixed seed, so perturbed runs are exactly
+/// reproducible across hosts -- the fault-injection discipline of SiL-style
+/// robustness experiments, applied to the paper's simulator.
+///
+/// Schedules can be authored programmatically or parsed from a compact
+/// command-line spec (see parseSchedule for the grammar).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNFB_PERTURB_SCHEDULE_H
+#define DYNFB_PERTURB_SCHEDULE_H
+
+#include "rt/Time.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dynfb::perturb {
+
+/// The injectable fault classes.
+enum class FaultKind {
+  /// Compute durations of the matching processors scale by Factor
+  /// (a processor slowed by OS interference, thermal throttling, ...).
+  ProcSlowdown,
+  /// Every lock acquire/release construct costs ExtraNanos more (lock
+  /// cache line bouncing, slow remote directory).
+  LockHoldSpike,
+  /// Every successful acquire of a matching lock object additionally waits
+  /// ExtraNanos, accounted as failed-acquire spinning (an external agent
+  /// periodically holding the lock).
+  ContentionBurst,
+  /// Every timer read is perturbed by a deterministic pseudo-random jitter
+  /// in [-AmplitudeNanos, +AmplitudeNanos] derived from the schedule seed.
+  TimerNoise,
+  /// Compute durations of all processors scale by Factor (a mid-run
+  /// workload phase shift: iterations suddenly get cheaper or dearer).
+  PhaseShift,
+};
+
+/// Display / spec name of a fault kind ("slowdown", "lockhold", ...).
+const char *faultKindName(FaultKind K);
+
+/// One scheduled fault: a kind, a half-open active window [Start, End) in
+/// virtual nanoseconds, magnitude parameters, and optional scope filters.
+struct FaultEvent {
+  FaultKind Kind = FaultKind::PhaseShift;
+  rt::Nanos StartNanos = 0;
+  rt::Nanos EndNanos = 0;
+
+  /// Magnitudes (which one applies depends on Kind).
+  double Factor = 1.0;           ///< ProcSlowdown / PhaseShift multiplier.
+  rt::Nanos ExtraNanos = 0;      ///< LockHoldSpike / ContentionBurst cost.
+  rt::Nanos AmplitudeNanos = 0;  ///< TimerNoise amplitude.
+
+  /// Scope filters; the defaults match everything.
+  int Proc = -1;          ///< ProcSlowdown: processor index, -1 = all.
+  int64_t ObjLo = -1;     ///< ContentionBurst: lock-object range [Lo, Hi],
+  int64_t ObjHi = -1;     ///< -1/-1 = all objects.
+  std::string Section;    ///< Empty = all sections.
+
+  bool activeAt(rt::Nanos T) const { return T >= StartNanos && T < EndNanos; }
+  bool appliesToSection(const std::string &S) const {
+    return Section.empty() || Section == S;
+  }
+  bool appliesToProc(unsigned P) const {
+    return Proc < 0 || static_cast<unsigned>(Proc) == P;
+  }
+  bool appliesToObject(uint64_t Obj) const {
+    if (ObjLo < 0)
+      return true;
+    return static_cast<int64_t>(Obj) >= ObjLo &&
+           static_cast<int64_t>(Obj) <= ObjHi;
+  }
+};
+
+/// A full perturbation schedule: the event list plus the seed that drives
+/// any pseudo-random component (timer noise).
+struct PerturbationSchedule {
+  std::vector<FaultEvent> Events;
+  uint64_t Seed = 0x5eed5eed5eed5eedULL;
+
+  bool empty() const { return Events.empty(); }
+
+  /// Section names referenced by scope filters (for validation against the
+  /// application's registered sections).
+  std::vector<std::string> referencedSections() const;
+};
+
+/// Parses a schedule spec of comma-separated events:
+///
+///   <kind>@<start>-<end>[:key=value]...
+///
+/// where <kind> is one of slowdown | lockhold | contend | timernoise |
+/// phaseshift, <start>/<end> are virtual times with an optional unit suffix
+/// (s, ms, us, ns; default seconds; "inf" = unbounded end), and the keys are
+/// factor=<F>, extra=<time>, amp=<time>, proc=<N>, obj=<Lo>-<Hi>,
+/// section=<name>, seed=<N> (seed applies to the whole schedule). Examples:
+///
+///   phaseshift@2s-inf:factor=0.1
+///   contend@0.5s-1.5s:extra=300us:obj=1-64,timernoise@0-inf:amp=5us:seed=7
+///
+/// Returns std::nullopt and fills \p Error with a one-line diagnostic on
+/// malformed input.
+std::optional<PerturbationSchedule> parseSchedule(const std::string &Spec,
+                                                  std::string &Error);
+
+/// Renders a schedule back to the spec grammar (for diagnostics and tests).
+std::string renderSchedule(const PerturbationSchedule &Sched);
+
+} // namespace dynfb::perturb
+
+#endif // DYNFB_PERTURB_SCHEDULE_H

@@ -33,6 +33,10 @@ struct IntervalReport {
   OverheadStats Stats;
   Nanos EffectiveNanos = 0;
   bool Finished = false;
+  /// Net virtual time attributable to injected environmental faults during
+  /// the interval (0 on backends without fault injection and whenever no
+  /// perturbation schedule is active). Signed: timer noise can run fast.
+  Nanos InjectedNanos = 0;
 };
 
 /// One parallel section execution, multi-versioned.

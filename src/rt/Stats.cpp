@@ -2,12 +2,52 @@
 //
 // Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
 //
-// OverheadStats is header-only; this file anchors the library target.
-//
 //===----------------------------------------------------------------------===//
 
 #include "rt/Stats.h"
 
+#include <algorithm>
+#include <cmath>
+
 namespace dynfb::rt {
-// Anchor.
+
+double aggregateOverheads(std::vector<double> Samples,
+                          OverheadAggregation How, double TrimFraction) {
+  Samples.erase(std::remove_if(Samples.begin(), Samples.end(),
+                               [](double X) { return !std::isfinite(X); }),
+                Samples.end());
+  if (Samples.empty())
+    return 0.0;
+  if (Samples.size() == 1)
+    return Samples.front();
+
+  switch (How) {
+  case OverheadAggregation::Mean: {
+    double Sum = 0.0;
+    for (double X : Samples)
+      Sum += X;
+    return Sum / static_cast<double>(Samples.size());
+  }
+  case OverheadAggregation::Median: {
+    std::sort(Samples.begin(), Samples.end());
+    const size_t N = Samples.size();
+    return N % 2 == 1 ? Samples[N / 2]
+                      : 0.5 * (Samples[N / 2 - 1] + Samples[N / 2]);
+  }
+  case OverheadAggregation::TrimmedMean: {
+    std::sort(Samples.begin(), Samples.end());
+    const size_t N = Samples.size();
+    const double Frac = std::clamp(TrimFraction, 0.0, 0.49);
+    size_t Cut = static_cast<size_t>(static_cast<double>(N) * Frac);
+    if (2 * Cut >= N) // Never trim everything.
+      Cut = (N - 1) / 2;
+    double Sum = 0.0;
+    for (size_t I = Cut; I < N - Cut; ++I)
+      Sum += Samples[I];
+    return Sum / static_cast<double>(N - 2 * Cut);
+  }
+  }
+  return 0.0;
+}
+
 } // namespace dynfb::rt

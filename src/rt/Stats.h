@@ -19,6 +19,7 @@
 #include "rt/Time.h"
 
 #include <cstdint>
+#include <vector>
 
 namespace dynfb::rt {
 
@@ -58,7 +59,35 @@ struct OverheadStats {
     WaitNanos += Other.WaitNanos;
     ExecNanos += Other.ExecNanos;
   }
+
+  /// True when the measurement can yield a meaningful overhead: some
+  /// execution time was observed and no component is negative. Intervals
+  /// failing this are "degenerate" -- the feedback controller counts and
+  /// discards them instead of letting a 0/0 masquerade as a perfect (zero
+  /// overhead) measurement.
+  bool isMeasurable() const {
+    return ExecNanos > 0 && LockOpNanos >= 0 && WaitNanos >= 0;
+  }
 };
+
+/// How a sampling phase folds repeated overhead measurements of one version
+/// into the value versions are compared by. Mean reproduces the paper's
+/// single-measurement behaviour; Median and TrimmedMean resist outliers
+/// injected by environmental perturbations (cf. Pac-Sim's robust live
+/// sampling).
+enum class OverheadAggregation {
+  Mean,
+  Median,
+  TrimmedMean, ///< Mean of the middle (1 - 2*TrimFraction) of the samples.
+};
+
+/// Aggregates \p Samples (each already a valid overhead in [0, 1]) with the
+/// chosen estimator. Non-finite samples are discarded first; returns 0 for
+/// an empty (or fully discarded) sample set. \p TrimFraction in [0, 0.5)
+/// is the per-tail trim proportion for TrimmedMean.
+double aggregateOverheads(std::vector<double> Samples,
+                          OverheadAggregation How,
+                          double TrimFraction = 0.2);
 
 } // namespace dynfb::rt
 

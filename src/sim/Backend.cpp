@@ -26,8 +26,10 @@ SimBackend::beginSectionSim(const std::string &Name) {
   auto It = Sections.find(Name);
   if (It == Sections.end())
     reportFatalError("beginSection: unknown parallel section name");
-  return std::make_unique<SimSectionRunner>(
+  auto Runner = std::make_unique<SimSectionRunner>(
       Machine, *It->second.Binding, It->second.Versions, Instrumented);
+  Runner->setPerturbation(Machine.perturbation(), Name);
+  return Runner;
 }
 
 std::unique_ptr<rt::IntervalRunner>

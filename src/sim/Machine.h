@@ -12,6 +12,11 @@
 /// duration. All of the paper's machine experiments run on this substrate,
 /// which makes every measurement deterministic and host-independent.
 ///
+/// A machine may carry a PerturbationEngine: section runners consult it to
+/// inject schedule-driven environmental faults (processor slowdowns,
+/// contention bursts, timer noise, ...). Without one attached, simulation
+/// is bit-identical to the unperturbed seed behaviour.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DYNFB_SIM_MACHINE_H
@@ -19,8 +24,14 @@
 
 #include "rt/CostModel.h"
 #include "rt/Time.h"
+#include "support/Compiler.h"
 
 #include <cassert>
+#include <limits>
+
+namespace dynfb::perturb {
+class PerturbationEngine;
+} // namespace dynfb::perturb
 
 namespace dynfb::sim {
 
@@ -38,16 +49,30 @@ public:
   /// Current global virtual time.
   rt::Nanos now() const { return Clock; }
 
-  /// Advances the clock (serial phases, barrier episodes).
+  /// Advances the clock (serial phases, barrier episodes). Negative
+  /// durations and virtual-time overflow are checked error paths, diagnosed
+  /// in every build configuration: both would silently corrupt every
+  /// downstream measurement.
   void advance(rt::Nanos Dur) {
-    assert(Dur >= 0 && "cannot advance time backwards");
+    DYNFB_CHECK(Dur >= 0, "SimMachine::advance: negative duration");
+    DYNFB_CHECK(Dur <= std::numeric_limits<rt::Nanos>::max() - Clock,
+                "SimMachine::advance: virtual-time overflow");
     Clock += Dur;
   }
+
+  /// Attaches a perturbation engine (nullptr detaches). The engine must
+  /// outlive the machine's use of it; SimBackend hands it to every runner
+  /// it creates from then on.
+  void setPerturbation(const perturb::PerturbationEngine *Engine) {
+    Perturb = Engine;
+  }
+  const perturb::PerturbationEngine *perturbation() const { return Perturb; }
 
 private:
   const unsigned NumProcs;
   const rt::CostModel Costs;
   rt::Nanos Clock = 0;
+  const perturb::PerturbationEngine *Perturb = nullptr;
 };
 
 } // namespace dynfb::sim

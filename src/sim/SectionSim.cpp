@@ -17,8 +17,11 @@
 
 #include "sim/SectionSim.h"
 
+#include "perturb/Engine.h"
+
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <deque>
 #include <queue>
 
@@ -39,6 +42,14 @@ SimSectionRunner::SimSectionRunner(SimMachine &Machine,
 }
 
 SimSectionRunner::~SimSectionRunner() = default;
+
+void SimSectionRunner::setPerturbation(
+    const perturb::PerturbationEngine *Engine, std::string Section) {
+  SectionName = std::move(Section);
+  // Keep the unperturbed fast path free of per-op queries when the schedule
+  // cannot touch this section.
+  Perturb = Engine && Engine->mayAffect(SectionName) ? Engine : nullptr;
+}
 
 namespace {
 
@@ -101,6 +112,36 @@ IntervalReport SimSectionRunner::runInterval(unsigned V, Nanos Target) {
     Pr.EndTime = Pr.Clock;
   };
 
+  // Injected-fault accounting (zero and untouched without an engine).
+  const perturb::PerturbationEngine *PE = Perturb;
+  Nanos Injected = 0;
+
+  // An acquire succeeding during a contention burst additionally waits for
+  // the injected interloper, accounted exactly like organic spinning.
+  auto InjectContention = [&](Proc &Pr, uint32_t ProcIdx, uint32_t Obj) {
+    if (!PE)
+      return;
+    const Nanos Extra = PE->contentionExtra(SectionName, Obj, Pr.Clock);
+    if (Extra <= 0)
+      return;
+    Pr.Stats.WaitNanos += Extra;
+    Pr.Stats.FailedAcquires += static_cast<uint64_t>(
+        (Extra + CM.FailedAcquireNanos - 1) / CM.FailedAcquireNanos);
+    Pr.Clock += Extra;
+    Injected += Extra;
+    if (Trace)
+      Trace->Procs[ProcIdx].WaitNanos += Extra;
+  };
+
+  // Lock-hold spikes surcharge every lock construct.
+  auto LockExtra = [&](Nanos T) -> Nanos {
+    if (!PE)
+      return 0;
+    const Nanos Extra = PE->lockHoldExtra(SectionName, T);
+    Injected += Extra;
+    return Extra;
+  };
+
   const IterationEmitter &Emitter = Emitters[V];
 
   while (!Ready.empty()) {
@@ -129,9 +170,17 @@ IntervalReport SimSectionRunner::runInterval(unsigned V, Nanos Target) {
 
     if (Pr.Pc == Pr.Ops.size()) {
       // Potential switch point: poll the timer at the iteration boundary.
-      Pr.Clock += CM.TimerReadNanos;
+      Nanos TimerCost = CM.TimerReadNanos;
+      if (PE) {
+        Nanos Noise = PE->timerNoise(SectionName, Top.P, Pr.Clock);
+        if (TimerCost + Noise < 0)
+          Noise = -TimerCost; // A read can be fast, never negative.
+        TimerCost += Noise;
+        Injected += Noise;
+      }
+      Pr.Clock += TimerCost;
       if (Trace)
-        Trace->Procs[Top.P].OverheadNanos += CM.TimerReadNanos;
+        Trace->Procs[Top.P].OverheadNanos += TimerCost;
       Pr.HasIteration = false;
       if (Pr.Clock >= Deadline)
         Stop(Pr);
@@ -142,24 +191,38 @@ IntervalReport SimSectionRunner::runInterval(unsigned V, Nanos Target) {
 
     const MicroOp &Op = Pr.Ops[Pr.Pc];
     switch (Op.K) {
-    case MicroOp::Kind::Compute:
-      Pr.Clock += Op.Dur;
+    case MicroOp::Kind::Compute: {
+      Nanos Dur = Op.Dur;
+      if (PE) {
+        const double Scale = PE->computeScale(SectionName, Top.P, Pr.Clock);
+        if (Scale != 1.0) {
+          const Nanos Scaled = std::max<Nanos>(
+              0, static_cast<Nanos>(
+                     std::llround(static_cast<double>(Dur) * Scale)));
+          Injected += Scaled - Dur;
+          Dur = Scaled;
+        }
+      }
+      Pr.Clock += Dur;
       ++Pr.Pc;
       if (Trace)
-        Trace->Procs[Top.P].ComputeNanos += Op.Dur;
+        Trace->Procs[Top.P].ComputeNanos += Dur;
       Ready.push(HeapEntry{Pr.Clock, Top.P});
       break;
+    }
 
     case MicroOp::Kind::Acquire: {
       SimLock &L = Locks[Op.Obj];
       if (!L.Held) {
+        InjectContention(Pr, Top.P, Op.Obj);
+        const Nanos Cost = AcqCost + LockExtra(Pr.Clock);
         L.Held = true;
         ++Pr.Stats.AcquireReleasePairs;
-        Pr.Stats.LockOpNanos += AcqCost;
-        Pr.Clock += AcqCost;
+        Pr.Stats.LockOpNanos += Cost;
+        Pr.Clock += Cost;
         ++Pr.Pc;
         if (Trace) {
-          Trace->Procs[Top.P].LockOpNanos += AcqCost;
+          Trace->Procs[Top.P].LockOpNanos += Cost;
           ++Trace->Locks[Op.Obj].Acquires;
         }
         Ready.push(HeapEntry{Pr.Clock, Top.P});
@@ -174,11 +237,12 @@ IntervalReport SimSectionRunner::runInterval(unsigned V, Nanos Target) {
     case MicroOp::Kind::Release: {
       SimLock &L = Locks[Op.Obj];
       assert(L.Held && "release of a free lock");
-      Pr.Stats.LockOpNanos += RelCost;
-      Pr.Clock += RelCost;
+      const Nanos RelTotal = RelCost + LockExtra(Pr.Clock);
+      Pr.Stats.LockOpNanos += RelTotal;
+      Pr.Clock += RelTotal;
       ++Pr.Pc;
       if (Trace)
-        Trace->Procs[Top.P].LockOpNanos += RelCost;
+        Trace->Procs[Top.P].LockOpNanos += RelTotal;
       if (!L.Waiters.empty()) {
         const uint32_t W = L.Waiters.front();
         L.Waiters.pop_front();
@@ -192,20 +256,24 @@ IntervalReport SimSectionRunner::runInterval(unsigned V, Nanos Target) {
                                              CM.FailedAcquireNanos)
                      : 1;
         Waiter.Clock = Pr.Clock;
-        // The granted waiter completes its acquire.
-        ++Waiter.Stats.AcquireReleasePairs;
-        Waiter.Stats.LockOpNanos += AcqCost;
-        Waiter.Clock += AcqCost;
-        ++Waiter.Pc;
         if (Trace) {
           IntervalTrace::ProcSummary &WS = Trace->Procs[W];
           WS.WaitNanos += Wait;
-          WS.LockOpNanos += AcqCost;
           IntervalTrace::LockSummary &LS = Trace->Locks[Op.Obj];
           ++LS.Acquires;
           ++LS.Contended;
           LS.WaitNanos += Wait;
         }
+        // The granted waiter completes its acquire (paying any injected
+        // contention and lock-construct surcharge active at grant time).
+        InjectContention(Waiter, W, Op.Obj);
+        const Nanos WAcqCost = AcqCost + LockExtra(Waiter.Clock);
+        ++Waiter.Stats.AcquireReleasePairs;
+        Waiter.Stats.LockOpNanos += WAcqCost;
+        Waiter.Clock += WAcqCost;
+        ++Waiter.Pc;
+        if (Trace)
+          Trace->Procs[W].LockOpNanos += WAcqCost;
         Ready.push(HeapEntry{Waiter.Clock, W});
       } else {
         L.Held = false;
@@ -226,6 +294,7 @@ IntervalReport SimSectionRunner::runInterval(unsigned V, Nanos Target) {
   }
   Report.EffectiveNanos = LastEnd - Start;
   Report.Finished = NextIter >= NumIterations;
+  Report.InjectedNanos = Injected;
 
   // Synchronous switch: all processors wait at a barrier for the slowest,
   // then the machine proceeds.

@@ -63,8 +63,17 @@ public:
   /// previous contents). Pass nullptr to detach.
   void attachTrace(IntervalTrace *T) { Trace = T; }
 
+  /// Attaches a perturbation engine and the section name its scope filters
+  /// match against (SimBackend wires this from the machine's engine). With
+  /// no engine -- or an engine whose schedule never touches this section --
+  /// simulation is bit-identical to the unperturbed behaviour.
+  void setPerturbation(const perturb::PerturbationEngine *Engine,
+                       std::string Section);
+
 private:
   IntervalTrace *Trace = nullptr;
+  const perturb::PerturbationEngine *Perturb = nullptr;
+  std::string SectionName;
   SimMachine &Machine;
   const rt::DataBinding &Binding;
   const std::vector<SimVersion> Versions;

@@ -36,9 +36,27 @@ namespace dynfb {
   std::abort();
 }
 
+/// Backs DYNFB_CHECK: prints the failed condition with source location and
+/// aborts. Unlike assert, this fires in every build configuration.
+[[noreturn]] inline void reportCheckFailure(const char *Cond, const char *Msg,
+                                            const char *File, unsigned Line) {
+  std::fprintf(stderr, "%s:%u: check `%s` failed: %s\n", File, Line, Cond,
+               Msg);
+  std::abort();
+}
+
 } // namespace dynfb
 
 #define DYNFB_UNREACHABLE(MSG)                                                 \
   ::dynfb::reportUnreachable(MSG, __FILE__, __LINE__)
+
+/// Always-on invariant check for error paths that must be diagnosed even
+/// with assertions compiled out (e.g. callers handing the simulator garbage
+/// durations). Use assert() for internal hot-path invariants instead.
+#define DYNFB_CHECK(COND, MSG)                                                 \
+  do {                                                                         \
+    if (!(COND))                                                               \
+      ::dynfb::reportCheckFailure(#COND, MSG, __FILE__, __LINE__);             \
+  } while (false)
 
 #endif // DYNFB_SUPPORT_COMPILER_H

@@ -6,6 +6,7 @@
 
 #include "support/StringUtils.h"
 
+#include <cctype>
 #include <cstdarg>
 #include <cstdio>
 #include <vector>
@@ -27,6 +28,29 @@ std::string dynfb::format(const char *Fmt, ...) {
   std::vsnprintf(Out.data(), Out.size() + 1, Fmt, ArgsCopy);
   va_end(ArgsCopy);
   return Out;
+}
+
+std::string dynfb::trim(const std::string &S) {
+  size_t Begin = 0, End = S.size();
+  while (Begin < End && std::isspace(static_cast<unsigned char>(S[Begin])))
+    ++Begin;
+  while (End > Begin && std::isspace(static_cast<unsigned char>(S[End - 1])))
+    --End;
+  return S.substr(Begin, End - Begin);
+}
+
+std::vector<std::string> dynfb::splitString(const std::string &S, char Sep) {
+  std::vector<std::string> Parts;
+  if (S.empty())
+    return Parts;
+  size_t Begin = 0;
+  for (size_t I = 0; I <= S.size(); ++I) {
+    if (I == S.size() || S[I] == Sep) {
+      Parts.push_back(S.substr(Begin, I - Begin));
+      Begin = I + 1;
+    }
+  }
+  return Parts;
 }
 
 std::string dynfb::formatDouble(double Value, int Decimals) {

@@ -15,12 +15,20 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace dynfb {
 
 /// printf-style formatting into a std::string.
 std::string format(const char *Fmt, ...)
     __attribute__((format(printf, 1, 2)));
+
+/// Strips leading and trailing ASCII whitespace.
+std::string trim(const std::string &S);
+
+/// Splits \p S at every occurrence of \p Sep; adjacent separators yield
+/// empty parts, and an empty input yields no parts.
+std::vector<std::string> splitString(const std::string &S, char Sep);
 
 /// Renders \p Value with \p Decimals fractional digits, e.g. 12.345 -> "12.3".
 std::string formatDouble(double Value, int Decimals = 2);

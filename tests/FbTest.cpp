@@ -25,6 +25,10 @@ public:
              std::function<double(unsigned, Nanos)> OverheadFn)
       : NumVersionsV(NumVersions), TotalWork(TotalWork),
         OverheadFn(std::move(OverheadFn)) {}
+  ~MockRunner() override {
+    if (OnDestroy)
+      OnDestroy(*this);
+  }
 
   unsigned numVersions() const override { return NumVersionsV; }
   std::string versionLabel(unsigned V) const override {
@@ -59,6 +63,9 @@ public:
   Nanos Clock = 0;
   std::function<double(unsigned, Nanos)> OverheadFn;
   std::map<unsigned, unsigned> IntervalsRun;
+  /// The driver owns and destroys runners; a backend that needs a runner's
+  /// final state can collect it here instead of keeping a dangling pointer.
+  std::function<void(const MockRunner &)> OnDestroy;
 };
 
 FeedbackConfig smallConfig() {
@@ -201,7 +208,105 @@ TEST(ControllerTest, OverheadAlwaysInUnitInterval) {
   EXPECT_DOUBLE_EQ(Empty.totalOverhead(), 0.0);
 }
 
+// ----------------------------- Edge cases ---------------------------------
+
+TEST(ControllerEdgeTest, SingleVersionSectionRunsToCompletion) {
+  MockRunner R(1, secondsToNanos(1), [](unsigned, Nanos) { return 0.2; });
+  FeedbackController C(smallConfig());
+  const SectionExecutionTrace T = C.executeSection(R, "S");
+  EXPECT_TRUE(R.done());
+  ASSERT_FALSE(T.ChosenVersions.empty());
+  for (unsigned V : T.ChosenVersions)
+    EXPECT_EQ(V, 0u);
+  EXPECT_EQ(T.dominantVersion(), 0u);
+  EXPECT_EQ(T.SampledOverheads.all().size(), 1u);
+}
+
+TEST(ControllerEdgeTest, ZeroWorkSectionProducesEmptyTrace) {
+  MockRunner R(3, 0, [](unsigned, Nanos) { return 0.2; });
+  FeedbackController C(smallConfig());
+  ASSERT_TRUE(R.done());
+  const SectionExecutionTrace T = C.executeSection(R, "S");
+  EXPECT_EQ(T.SampledIntervals, 0u);
+  EXPECT_TRUE(T.ChosenVersions.empty());
+  EXPECT_EQ(T.dominantVersion(), std::nullopt);
+  EXPECT_EQ(T.durationNanos(), 0);
+}
+
+TEST(ControllerEdgeTest, SamplingIntervalLongerThanSection) {
+  // The whole section fits inside the first sampling interval: the run
+  // completes during sampling, never reaches production, and the trace
+  // stays consistent.
+  FeedbackConfig Config;
+  Config.TargetSamplingNanos = secondsToNanos(10);
+  Config.TargetProductionNanos = secondsToNanos(100);
+  MockRunner R(3, millisToNanos(50), [](unsigned, Nanos) { return 0.1; });
+  FeedbackController C(Config);
+  const SectionExecutionTrace T = C.executeSection(R, "S");
+  EXPECT_TRUE(R.done());
+  EXPECT_EQ(T.SampledIntervals, 1u);
+  EXPECT_TRUE(T.ChosenVersions.empty());
+  EXPECT_EQ(T.dominantVersion(), std::nullopt);
+}
+
+TEST(ControllerEdgeTest, DegenerateZeroDurationIntervalsAreCounted) {
+  // A runner that reports zero-duration intervals for version 1: before the
+  // robustness fix a 0/0 measurement entered selection as a perfect zero
+  // overhead and version 1 always "won".
+  class ZeroForOne : public MockRunner {
+  public:
+    using MockRunner::MockRunner;
+    IntervalReport runInterval(unsigned V, Nanos Target) override {
+      if (V == 1)
+        return IntervalReport{}; // Zero duration, nothing measured.
+      return MockRunner::runInterval(V, Target);
+    }
+  };
+  ZeroForOne R(2, secondsToNanos(1), [](unsigned, Nanos) { return 0.3; });
+  FeedbackController C(smallConfig());
+  const SectionExecutionTrace T = C.executeSection(R, "S");
+  EXPECT_GT(T.DegenerateIntervals, 0u);
+  ASSERT_FALSE(T.ChosenVersions.empty());
+  for (unsigned V : T.ChosenVersions)
+    EXPECT_EQ(V, 0u) << "a 0/0 measurement must never win selection";
+  // Version 1 contributed no overhead samples and no effective intervals.
+  EXPECT_EQ(T.SampledOverheads.find("v1"), nullptr);
+  EXPECT_EQ(T.EffectiveSamplingByVersion.count("v1"), 0u);
+}
+
 // ------------------- Spanning intervals (Section 4.4 extension) -----------
+
+TEST(SpanningTest, InterruptedMidSamplingPhaseResumesNextOccurrence) {
+  // Occurrences of 4 ms against a 10 ms sampling interval: every occurrence
+  // ends mid-interval, and the phase state must carry across occurrences
+  // until each version has accumulated its full interval.
+  FeedbackConfig Config = smallConfig();
+  Config.TargetProductionNanos = secondsToNanos(10);
+  Config.SpanSectionExecutions = true;
+  FeedbackController C(Config);
+
+  unsigned TotalSampled = 0;
+  std::vector<unsigned> Chosen;
+  Nanos GlobalClock = 0;
+  for (int Occ = 0; Occ < 30; ++Occ) {
+    MockRunner R(2, millisToNanos(4), [](unsigned V, Nanos) {
+      return V == 1 ? 0.05 : 0.5;
+    });
+    R.Clock = GlobalClock;
+    const SectionExecutionTrace T = C.executeSection(R, "S");
+    GlobalClock = R.Clock;
+    EXPECT_TRUE(R.done());
+    TotalSampled += T.SampledIntervals;
+    for (unsigned V : T.ChosenVersions)
+      Chosen.push_back(V);
+  }
+  // Exactly one completed sampling interval per version for the whole run,
+  // each assembled from multiple interrupted occurrences.
+  EXPECT_EQ(TotalSampled, 2u);
+  ASSERT_FALSE(Chosen.empty());
+  for (unsigned V : Chosen)
+    EXPECT_EQ(V, 1u);
+}
 
 TEST(SpanningTest, SamplesOncePerProductionBudgetAcrossOccurrences) {
   // Many tiny occurrences: per-occurrence mode samples in each; spanning
@@ -325,16 +430,18 @@ public:
   beginSection(const std::string &) override {
     auto R = std::make_unique<MockRunner>(2, secondsToNanos(1), OverheadFn);
     R->Clock = Clock;
-    // Track time through a shared clock: the driver reads backend.now().
-    LastRunner = R.get();
+    // The driver destroys the runner before reading backend.now(); the
+    // runner publishes its final state back here on destruction.
+    R->OnDestroy = [this](const MockRunner &Done) {
+      Clock = Done.Clock;
+      LastIntervals = Done.IntervalsRun;
+    };
     return R;
   }
-  Nanos now() const override {
-    return LastRunner ? LastRunner->Clock : Clock;
-  }
+  Nanos now() const override { return Clock; }
 
   Nanos Clock = 0;
-  MockRunner *LastRunner = nullptr;
+  std::map<unsigned, unsigned> LastIntervals;
   std::function<double(unsigned, Nanos)> OverheadFn;
 };
 
@@ -360,9 +467,8 @@ TEST(DriverTest, FixedModeRunsVersionZeroOnly) {
   const RunResult Result = runSchedule(Backend, Sched, Options);
   ASSERT_EQ(Result.Occurrences.size(), 1u);
   EXPECT_TRUE(Result.Occurrences[0].ChosenVersions.empty());
-  ASSERT_NE(Backend.LastRunner, nullptr);
-  EXPECT_EQ(Backend.LastRunner->IntervalsRun.size(), 1u);
-  EXPECT_GT(Backend.LastRunner->IntervalsRun[0], 0u);
+  ASSERT_EQ(Backend.LastIntervals.size(), 1u);
+  EXPECT_GT(Backend.LastIntervals[0], 0u);
 }
 
 } // namespace

@@ -7,15 +7,25 @@
 //   dynfb-run --app water --procs 8 --policy dynamic
 //   dynfb-run --app barnes_hut --procs 16 --policy aggressive --scale 0.25
 //   dynfb-run --app water --sweep             # all policies x 1..16 procs
+//   dynfb-run --app water --policy dynamic \
+//       --perturb "contend@2s-4s:extra=200us" --drift 0.1
 //
 // Policies: serial, original, bounded, aggressive, dynamic. Dynamic-mode
 // options: --sampling <seconds>, --production <seconds>, --cutoff,
-// --ordering, --spanning.
+// --ordering, --spanning. Robustness options: --repeats N,
+// --aggregate mean|median|trimmed, --hysteresis X, --drift X, --slice S.
+// Fault injection: --perturb "<schedule>" (see docs/ROBUSTNESS.md for the
+// schedule grammar).
+//
+// Invalid input (unknown application, unknown section in a perturbation
+// schedule, malformed schedule or configuration) produces a one-line
+// diagnostic on stderr and a nonzero exit status -- never an abort.
 //
 //===----------------------------------------------------------------------===//
 
 #include "apps/Factory.h"
 #include "apps/Harness.h"
+#include "perturb/Engine.h"
 #include "rt/NativeSection.h"
 #include "support/CommandLine.h"
 #include "support/StringUtils.h"
@@ -34,7 +44,17 @@ int usage() {
                "usage: dynfb-run --app <barnes_hut|water|string> "
                "[--procs N] [--policy serial|original|bounded|aggressive|"
                "dynamic] [--scale F] [--sampling S] [--production S] "
-               "[--cutoff] [--ordering] [--spanning] [--sweep]\n");
+               "[--cutoff] [--ordering] [--spanning] [--sweep] "
+               "[--repeats N] [--aggregate mean|median|trimmed] "
+               "[--hysteresis X] [--drift X] [--slice S] "
+               "[--perturb SCHEDULE]\n");
+  return 1;
+}
+
+/// One-line diagnostic + failure exit code, the graceful path for every
+/// input error.
+int fail(const std::string &Msg) {
+  std::fprintf(stderr, "dynfb-run: error: %s\n", Msg.c_str());
   return 1;
 }
 
@@ -43,10 +63,13 @@ int usage() {
 int main(int Argc, char **Argv) {
   CommandLine CL(Argc, Argv);
   const std::string AppName = CL.getString("app", "");
+  if (AppName.empty())
+    return usage();
   std::unique_ptr<App> TheApp =
       createApp(AppName, CL.getDouble("scale", 1.0));
   if (!TheApp)
-    return usage();
+    return fail("unknown application '" + AppName +
+                "' (expected barnes_hut, water or string)");
 
   fb::FeedbackConfig Config;
   Config.TargetSamplingNanos =
@@ -56,6 +79,56 @@ int main(int Argc, char **Argv) {
   Config.EarlyCutoff = CL.getBool("cutoff", false);
   Config.UsePolicyOrdering = CL.getBool("ordering", false);
   Config.SpanSectionExecutions = CL.getBool("spanning", false);
+  if (Config.TargetSamplingNanos <= 0)
+    return fail("--sampling must be a positive number of seconds");
+  if (Config.TargetProductionNanos <= 0)
+    return fail("--production must be a positive number of seconds");
+
+  // Robustness knobs (defaults leave the paper's algorithm untouched).
+  const int64_t Repeats = CL.getInt("repeats", 1);
+  if (Repeats < 1)
+    return fail("--repeats must be at least 1");
+  Config.SamplingRepeats = static_cast<unsigned>(Repeats);
+  const std::string Aggregate = CL.getString("aggregate", "mean");
+  if (Aggregate == "mean")
+    Config.SamplingAggregation = rt::OverheadAggregation::Mean;
+  else if (Aggregate == "median")
+    Config.SamplingAggregation = rt::OverheadAggregation::Median;
+  else if (Aggregate == "trimmed")
+    Config.SamplingAggregation = rt::OverheadAggregation::TrimmedMean;
+  else
+    return fail("--aggregate must be mean, median or trimmed (got '" +
+                Aggregate + "')");
+  Config.SwitchHysteresis = CL.getDouble("hysteresis", 0.0);
+  if (Config.SwitchHysteresis < 0.0 || Config.SwitchHysteresis >= 1.0)
+    return fail("--hysteresis must be an overhead margin in [0, 1)");
+  Config.DriftResampleThreshold = CL.getDouble("drift", 0.0);
+  if (Config.DriftResampleThreshold < 0.0 ||
+      Config.DriftResampleThreshold >= 1.0)
+    return fail("--drift must be an overhead margin in [0, 1)");
+  const double SliceSeconds = CL.getDouble("slice", 0.0);
+  if (SliceSeconds < 0.0)
+    return fail("--slice must be a non-negative number of seconds");
+  Config.ProductionSliceNanos = rt::secondsToNanos(SliceSeconds);
+
+  // Fault-injection schedule (see docs/ROBUSTNESS.md for the grammar).
+  std::unique_ptr<perturb::PerturbationEngine> Perturb;
+  const std::string PerturbSpec = CL.getString("perturb", "");
+  if (!PerturbSpec.empty()) {
+    std::string Error;
+    std::optional<perturb::PerturbationSchedule> Schedule =
+        perturb::parseSchedule(PerturbSpec, Error);
+    if (!Schedule)
+      return fail("malformed --perturb schedule: " + Error);
+    for (const std::string &Section : Schedule->referencedSections())
+      if (!TheApp->program().find(Section))
+        return fail("--perturb references unknown section '" + Section +
+                    "' of application '" + AppName + "'");
+    Perturb =
+        std::make_unique<perturb::PerturbationEngine>(std::move(*Schedule));
+    std::printf("perturbation: %s\n",
+                perturb::renderSchedule(Perturb->schedule()).c_str());
+  }
 
   if (CL.getBool("sweep", false)) {
     Table T(AppName + ": execution times (seconds)");
@@ -63,25 +136,31 @@ int main(int Argc, char **Argv) {
     for (unsigned N : PaperProcCounts)
       Header.push_back(format("%u", N));
     T.setHeader(Header);
+    auto Seconds = [&](unsigned N, Flavour F, xform::PolicyKind P) {
+      return rt::nanosToSeconds(
+          runApp(*TheApp, N, F, P, Config, nullptr,
+                 rt::CostModel::dashLike(), Perturb.get())
+              .TotalNanos);
+    };
     for (xform::PolicyKind P : xform::AllPolicies) {
       std::vector<std::string> Row{xform::policyName(P)};
       for (unsigned N : PaperProcCounts)
-        Row.push_back(formatDouble(
-            runAppSeconds(*TheApp, N, Flavour::Fixed, P, Config), 2));
+        Row.push_back(formatDouble(Seconds(N, Flavour::Fixed, P), 2));
       T.addRow(Row);
     }
     std::vector<std::string> Dyn{"Dynamic"};
     for (unsigned N : PaperProcCounts)
       Dyn.push_back(formatDouble(
-          runAppSeconds(*TheApp, N, Flavour::Dynamic,
-                        xform::PolicyKind::Original, Config),
-          2));
+          Seconds(N, Flavour::Dynamic, xform::PolicyKind::Original), 2));
     T.addRow(Dyn);
     std::fputs(T.renderText().c_str(), stdout);
     return 0;
   }
 
-  const unsigned Procs = static_cast<unsigned>(CL.getInt("procs", 8));
+  const int64_t ProcsArg = CL.getInt("procs", 8);
+  if (ProcsArg < 1 || ProcsArg > 1024)
+    return fail("--procs must be between 1 and 1024");
+  const unsigned Procs = static_cast<unsigned>(ProcsArg);
   const std::string PolicyName = CL.getString("policy", "dynamic");
 
   if (CL.getString("backend", "sim") == "native") {
@@ -131,12 +210,15 @@ int main(int Argc, char **Argv) {
     F = Flavour::Fixed;
     Policy = xform::PolicyKind::Aggressive;
   } else if (PolicyName != "dynamic")
-    return usage();
+    return fail("unknown policy '" + PolicyName +
+                "' (expected serial, original, bounded, aggressive or "
+                "dynamic)");
 
   fb::PolicyHistory History;
   const fb::RunResult R =
       runApp(*TheApp, Procs, F, Policy, Config,
-             Config.UsePolicyOrdering ? &History : nullptr);
+             Config.UsePolicyOrdering ? &History : nullptr,
+             rt::CostModel::dashLike(), Perturb.get());
 
   std::printf("%s, %u procs, policy %s: %.3f s\n", AppName.c_str(), Procs,
               PolicyName.c_str(), rt::nanosToSeconds(R.TotalNanos));
@@ -158,6 +240,11 @@ int main(int Argc, char **Argv) {
                   T.SectionName.c_str(),
                   VS->Versions[*T.dominantVersion()].label().c_str(),
                   T.SamplingPhases, T.SampledIntervals);
+      if (T.DegenerateIntervals || T.EarlyResamples || T.HysteresisHolds)
+        std::printf("    robustness: %u degenerate intervals discarded, "
+                    "%u early resamples, %u hysteresis holds\n",
+                    T.DegenerateIntervals, T.EarlyResamples,
+                    T.HysteresisHolds);
     }
   }
 
