@@ -14,26 +14,28 @@ using namespace dynfb::apps;
 using namespace dynfb::xform;
 
 std::unique_ptr<sim::SimBackend>
-App::makeSimBackend(unsigned Procs, const rt::CostModel &Costs, Flavour F,
-                    PolicyKind FixedPolicy) const {
+App::makeSimBackend(unsigned Procs, const rt::CostModel &Costs,
+                    const VersionSpec &Spec) const {
   // The Dynamic executable compiles in the overhead instrumentation; the
   // static flavours do not (paper Section 6).
-  const bool Instrumented = F == Flavour::Dynamic;
+  const bool Instrumented = Spec.F == Flavour::Dynamic;
   auto Backend = std::make_unique<sim::SimBackend>(Procs, Costs, Instrumented);
 
   for (const VersionedSection &VS : Program.Sections) {
     std::vector<sim::SimVersion> Versions;
-    switch (F) {
+    switch (Spec.F) {
     case Flavour::Serial:
-      Versions.push_back(sim::SimVersion{"Serial", VS.SerialEntry});
+      Versions.push_back(sim::SimVersion{"Serial", VS.SerialEntry, {}});
       break;
-    case Flavour::Fixed:
-      Versions.push_back(sim::SimVersion{
-          policyName(FixedPolicy), VS.versionFor(FixedPolicy).Entry});
+    case Flavour::Fixed: {
+      const SectionVersion &V = VS.versionFor(Spec.Fixed);
+      Versions.push_back(
+          sim::SimVersion{Spec.Fixed.name(), V.Entry, Spec.Fixed.Sched});
       break;
+    }
     case Flavour::Dynamic:
       for (const SectionVersion &V : VS.Versions)
-        Versions.push_back(sim::SimVersion{V.label(), V.Entry});
+        Versions.push_back(sim::SimVersion{V.label(), V.Entry, V.Sched});
       break;
     }
     Backend->addSection(VS.Name, &binding(VS.Name), std::move(Versions));

@@ -41,8 +41,27 @@ struct SectionStats {
 /// Executable flavour.
 enum class Flavour {
   Serial,  ///< Lock-free serial code (run on one processor).
-  Fixed,   ///< One statically chosen synchronization policy.
+  Fixed,   ///< One statically chosen code version.
   Dynamic  ///< All versions + dynamic feedback, instrumented.
+};
+
+/// Which executable to build and -- for the Fixed flavour -- which point of
+/// the version space to pin. This is the single description of "what runs"
+/// shared by App backend construction and the Harness entry points.
+struct VersionSpec {
+  Flavour F = Flavour::Dynamic;
+  /// The pinned version for Flavour::Fixed (ignored otherwise).
+  xform::VersionDescriptor Fixed;
+
+  static VersionSpec serial() { return {Flavour::Serial, {}}; }
+  static VersionSpec fixed(xform::VersionDescriptor D) {
+    return {Flavour::Fixed, D};
+  }
+  static VersionSpec fixed(xform::PolicyKind Policy,
+                           rt::SchedSpec Sched = rt::SchedSpec::dynamic()) {
+    return {Flavour::Fixed, xform::VersionDescriptor{Policy, Sched}};
+  }
+  static VersionSpec dynamicFeedback() { return {Flavour::Dynamic, {}}; }
 };
 
 /// Base class of the benchmark applications.
@@ -56,19 +75,30 @@ public:
   /// The generated versions (valid after finalize()).
   const xform::VersionedProgram &program() const { return Program; }
 
+  /// The version space the application was finalized with.
+  const xform::VersionSpace &versionSpace() const { return Program.Space; }
+
   /// The application's phase schedule.
   virtual rt::Schedule schedule() const = 0;
 
   /// The data binding of the named section.
   virtual const rt::DataBinding &binding(const std::string &Section) const = 0;
 
-  /// Builds a simulator backend for one executable flavour.
-  /// \p FixedPolicy selects the policy for Flavour::Fixed (ignored
-  /// otherwise).
+  /// Builds a simulator backend for one executable described by \p Spec.
+  std::unique_ptr<sim::SimBackend>
+  makeSimBackend(unsigned Procs, const rt::CostModel &Costs,
+                 const VersionSpec &Spec) const;
+
+  /// Compatibility shim over the VersionSpec path.
   std::unique_ptr<sim::SimBackend>
   makeSimBackend(unsigned Procs, const rt::CostModel &Costs, Flavour F,
                  xform::PolicyKind FixedPolicy =
-                     xform::PolicyKind::Original) const;
+                     xform::PolicyKind::Original) const {
+    return makeSimBackend(Procs, Costs,
+                          F == Flavour::Fixed
+                              ? VersionSpec::fixed(FixedPolicy)
+                              : VersionSpec{F, {}});
+  }
 
   /// Serial-version statistics of one section (Tables 4, 9, 10).
   SectionStats sectionStats(const std::string &Section,
@@ -77,8 +107,11 @@ public:
 protected:
   explicit App(std::string Name) : M(std::move(Name)) {}
 
-  /// Runs version generation; call once after the module is authored.
-  void finalize() { Program = xform::generateVersions(M); }
+  /// Runs version generation over \p Space; call once after the module is
+  /// authored.
+  void finalize(const xform::VersionSpace &Space = {}) {
+    Program = xform::generateVersions(M, Space);
+  }
 
   ir::Module M;
   xform::VersionedProgram Program;

@@ -17,21 +17,22 @@ std::vector<std::string> apps::appNames() {
   return {"barnes_hut", "water", "string"};
 }
 
-std::unique_ptr<App> apps::createApp(const std::string &Name, double Scale) {
+std::unique_ptr<App> apps::createApp(const std::string &Name, double Scale,
+                                     const xform::VersionSpace &Space) {
   if (Name == "barnes_hut") {
     bh::BarnesHutConfig Config;
     Config.scale(Scale);
-    return std::make_unique<bh::BarnesHutApp>(Config);
+    return std::make_unique<bh::BarnesHutApp>(Config, Space);
   }
   if (Name == "water") {
     water::WaterConfig Config;
     Config.scale(Scale);
-    return std::make_unique<water::WaterApp>(Config);
+    return std::make_unique<water::WaterApp>(Config, Space);
   }
   if (Name == "string") {
     string_tomo::StringConfig Config;
     Config.scale(Scale);
-    return std::make_unique<string_tomo::StringApp>(Config);
+    return std::make_unique<string_tomo::StringApp>(Config, Space);
   }
   return nullptr;
 }

@@ -23,9 +23,12 @@ namespace dynfb::apps {
 /// Names accepted by createApp.
 std::vector<std::string> appNames();
 
-/// Creates the named application with its workload scaled by \p Scale.
-/// Returns nullptr for unknown names.
-std::unique_ptr<App> createApp(const std::string &Name, double Scale = 1.0);
+/// Creates the named application with its workload scaled by \p Scale and
+/// its versions generated over \p Space (default: the three synchronization
+/// policies under dynamic self-scheduling). Returns nullptr for unknown
+/// names.
+std::unique_ptr<App> createApp(const std::string &Name, double Scale = 1.0,
+                               const xform::VersionSpace &Space = {});
 
 } // namespace dynfb::apps
 

@@ -9,24 +9,24 @@
 using namespace dynfb;
 using namespace dynfb::apps;
 
-fb::RunResult apps::runApp(const App &App, unsigned Procs, Flavour F,
-                           xform::PolicyKind Policy,
+fb::RunResult apps::runApp(const App &App, unsigned Procs,
+                           const VersionSpec &Spec,
                            const fb::FeedbackConfig &Config,
                            fb::PolicyHistory *History,
                            const rt::CostModel &Costs,
                            const perturb::PerturbationEngine *Perturb) {
-  auto Backend = App.makeSimBackend(Procs, Costs, F, Policy);
+  auto Backend = App.makeSimBackend(Procs, Costs, Spec);
   Backend->machine().setPerturbation(Perturb);
   fb::RunOptions Options;
   Options.Mode =
-      F == Flavour::Dynamic ? fb::ExecMode::Dynamic : fb::ExecMode::Fixed;
+      Spec.F == Flavour::Dynamic ? fb::ExecMode::Dynamic : fb::ExecMode::Fixed;
   Options.Config = Config;
   Options.History = History;
   return fb::runSchedule(*Backend, App.schedule(), Options);
 }
 
-double apps::runAppSeconds(const App &App, unsigned Procs, Flavour F,
-                           xform::PolicyKind Policy,
+double apps::runAppSeconds(const App &App, unsigned Procs,
+                           const VersionSpec &Spec,
                            const fb::FeedbackConfig &Config) {
-  return rt::nanosToSeconds(runApp(App, Procs, F, Policy, Config).TotalNanos);
+  return rt::nanosToSeconds(runApp(App, Procs, Spec, Config).TotalNanos);
 }

@@ -5,9 +5,11 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Helpers shared by the bench binaries: run one executable flavour of an
+/// Helpers shared by the bench binaries: run one executable of an
 /// application on the simulated machine and return the result, and the
-/// processor counts the paper's tables use.
+/// processor counts the paper's tables use. The executable is described by
+/// a VersionSpec (flavour plus, for Fixed, the pinned version-space point);
+/// the Flavour+PolicyKind overloads forward into that single path.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -28,20 +30,43 @@ namespace dynfb::apps {
 /// Processor counts of the paper's execution-time tables.
 inline const std::vector<unsigned> PaperProcCounts = {1, 2, 4, 8, 12, 16};
 
-/// Runs one executable flavour of \p App on a fresh simulated machine.
-/// \p Perturb, when non-null, injects the engine's fault schedule into the
-/// simulated machine for the duration of the run (null: pristine machine).
-fb::RunResult runApp(const App &App, unsigned Procs, Flavour F,
-                     xform::PolicyKind Policy = xform::PolicyKind::Original,
+/// Runs the executable described by \p Spec of \p App on a fresh simulated
+/// machine. \p Perturb, when non-null, injects the engine's fault schedule
+/// into the simulated machine for the duration of the run (null: pristine
+/// machine).
+fb::RunResult runApp(const App &App, unsigned Procs, const VersionSpec &Spec,
                      const fb::FeedbackConfig &Config = {},
                      fb::PolicyHistory *History = nullptr,
                      const rt::CostModel &Costs = rt::CostModel::dashLike(),
                      const perturb::PerturbationEngine *Perturb = nullptr);
 
 /// Convenience: end-to-end execution time in seconds.
-double runAppSeconds(const App &App, unsigned Procs, Flavour F,
-                     xform::PolicyKind Policy = xform::PolicyKind::Original,
+double runAppSeconds(const App &App, unsigned Procs, const VersionSpec &Spec,
                      const fb::FeedbackConfig &Config = {});
+
+/// Compatibility shims over the VersionSpec path.
+inline fb::RunResult
+runApp(const App &App, unsigned Procs, Flavour F,
+       xform::PolicyKind Policy = xform::PolicyKind::Original,
+       const fb::FeedbackConfig &Config = {},
+       fb::PolicyHistory *History = nullptr,
+       const rt::CostModel &Costs = rt::CostModel::dashLike(),
+       const perturb::PerturbationEngine *Perturb = nullptr) {
+  return runApp(App, Procs,
+                F == Flavour::Fixed ? VersionSpec::fixed(Policy)
+                                    : VersionSpec{F, {}},
+                Config, History, Costs, Perturb);
+}
+
+inline double runAppSeconds(const App &App, unsigned Procs, Flavour F,
+                            xform::PolicyKind Policy =
+                                xform::PolicyKind::Original,
+                            const fb::FeedbackConfig &Config = {}) {
+  return runAppSeconds(App, Procs,
+                       F == Flavour::Fixed ? VersionSpec::fixed(Policy)
+                                           : VersionSpec{F, {}},
+                       Config);
+}
 
 } // namespace dynfb::apps
 

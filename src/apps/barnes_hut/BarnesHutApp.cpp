@@ -72,7 +72,8 @@ private:
 
 } // namespace
 
-BarnesHutApp::BarnesHutApp(const BarnesHutConfig &Config)
+BarnesHutApp::BarnesHutApp(const BarnesHutConfig &Config,
+                           const xform::VersionSpace &Space)
     : App("barnes_hut"), Config(Config) {
   // Real workload: bodies + octree + per-body interaction counts.
   Bodies = makePlummerBodies(Config.NumBodies, Config.Seed);
@@ -86,7 +87,7 @@ BarnesHutApp::BarnesHutApp(const BarnesHutConfig &Config)
   }
 
   buildProgram();
-  finalize();
+  finalize(Space);
 
   ForcesBinding = std::make_unique<ForcesDataBinding>(
       InteractionCounts, InteractLoopId, InteractCostClass,

@@ -46,7 +46,8 @@ struct BarnesHutConfig {
 /// The Barnes-Hut application.
 class BarnesHutApp : public App {
 public:
-  explicit BarnesHutApp(const BarnesHutConfig &Config);
+  explicit BarnesHutApp(const BarnesHutConfig &Config,
+                        const xform::VersionSpace &Space = {});
   ~BarnesHutApp() override;
 
   rt::Schedule schedule() const override;

@@ -89,7 +89,8 @@ private:
 
 } // namespace
 
-StringApp::StringApp(const StringConfig &Config)
+StringApp::StringApp(const StringConfig &Config,
+                     const xform::VersionSpace &Space)
     : App("string"), Config(Config) {
   // Real ray geometry: sources in the left well, receivers in the right
   // well, cells counted by the DDA traversal.
@@ -106,7 +107,7 @@ StringApp::StringApp(const StringConfig &Config)
   }
 
   buildProgram();
-  finalize();
+  finalize(Space);
   TraceBinding = std::make_unique<TraceBindingImpl>(
       Rays, this->Config, SegmentLoopId, TraceCostClass,
       BackprojectCostClass);

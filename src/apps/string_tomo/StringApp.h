@@ -59,7 +59,8 @@ uint32_t ddaCellCount(uint32_t W, uint32_t H, double Z0, double Z1);
 /// The String application.
 class StringApp : public App {
 public:
-  explicit StringApp(const StringConfig &Config);
+  explicit StringApp(const StringConfig &Config,
+                     const xform::VersionSpace &Space = {});
   ~StringApp() override;
 
   rt::Schedule schedule() const override;

@@ -124,12 +124,12 @@ private:
 
 } // namespace
 
-WaterApp::WaterApp(const WaterConfig &Config)
+WaterApp::WaterApp(const WaterConfig &Config, const xform::VersionSpace &Space)
     : App("water"), Config(Config),
       Sys(buildMolecularSystem(Config.NumMolecules, Config.Seed,
                                Config.TargetMeanNeighbors)) {
   buildProgram();
-  finalize();
+  finalize(Space);
   InterfBinding = std::make_unique<InterfBindingImpl>(
       this->Config, Sys, InterfLoopId, InterfPairCostClass);
   PotengBinding = std::make_unique<PotengBindingImpl>(

@@ -51,7 +51,8 @@ struct WaterConfig {
 /// The Water application.
 class WaterApp : public App {
 public:
-  explicit WaterApp(const WaterConfig &Config);
+  explicit WaterApp(const WaterConfig &Config,
+                    const xform::VersionSpace &Space = {});
   ~WaterApp() override;
 
   rt::Schedule schedule() const override;

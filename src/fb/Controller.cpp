@@ -16,6 +16,7 @@
 #include "fb/Controller.h"
 
 #include "support/Compiler.h"
+#include "support/StringUtils.h"
 
 #include <algorithm>
 #include <cassert>
@@ -34,6 +35,39 @@ namespace {
 /// NaN); the controller now discards and counts them instead.
 bool isUsable(const OverheadStats &Stats) {
   return Stats.isMeasurable() && std::isfinite(Stats.totalOverhead());
+}
+
+/// The display labels of every version of \p Runner, in version order --
+/// the index space sampling orders and history names resolve against.
+std::vector<std::string> versionLabels(const rt::IntervalRunner &Runner) {
+  std::vector<std::string> Labels;
+  const unsigned N = Runner.numVersions();
+  Labels.reserve(N);
+  for (unsigned V = 0; V < N; ++V)
+    Labels.push_back(Runner.versionLabel(V));
+  return Labels;
+}
+
+/// Resolves a recorded best-version name against the current space's
+/// labels. Exact label match first; labels of deduplicated versions are
+/// "/"-joined descriptor names, so when the space changed since the name
+/// was recorded, a version sharing any descriptor name component with the
+/// recorded label still resolves. Returns nullopt when the name no longer
+/// names any version (e.g. a chunked variant after the sched dimension was
+/// dropped) -- stale knowledge is ignored, never misapplied.
+std::optional<unsigned>
+resolveVersionName(const std::string &Name,
+                   const std::vector<std::string> &Labels) {
+  for (unsigned V = 0; V < Labels.size(); ++V)
+    if (Labels[V] == Name)
+      return V;
+  const std::vector<std::string> Wanted = splitString(Name, '/');
+  for (unsigned V = 0; V < Labels.size(); ++V)
+    for (const std::string &Part : splitString(Labels[V], '/'))
+      for (const std::string &W : Wanted)
+        if (Part == W)
+          return V;
+  return std::nullopt;
 }
 
 } // namespace
@@ -77,17 +111,19 @@ void SectionExecutionTrace::assertInvariants() const {
 }
 
 std::vector<unsigned>
-FeedbackController::samplingOrder(unsigned NumVersions,
+FeedbackController::samplingOrder(const std::vector<std::string> &Labels,
                                   const std::string &SectionName) const {
+  const unsigned NumVersions = static_cast<unsigned>(Labels.size());
   std::vector<unsigned> Order;
   Order.reserve(NumVersions);
 
   // Policy ordering: the previously best version is sampled first, so a
-  // still-acceptable measurement can cut sampling short.
+  // still-acceptable measurement can cut sampling short. History names
+  // descriptors, not indices, so it survives space changes.
   if (Config.UsePolicyOrdering && History) {
-    if (std::optional<unsigned> Last = History->lastBest(SectionName))
-      if (*Last < NumVersions)
-        Order.push_back(*Last);
+    if (std::optional<std::string> Last = History->lastBest(SectionName))
+      if (std::optional<unsigned> V = resolveVersionName(*Last, Labels))
+        Order.push_back(*V);
   }
 
   if (Config.EarlyCutoff) {
@@ -152,11 +188,12 @@ FeedbackController::executeSpanning(IntervalRunner &Runner,
 
   const unsigned NumVersions = Runner.numVersions();
   assert(NumVersions >= 1 && "section with no versions");
+  const std::vector<std::string> Labels = versionLabels(Runner);
 
   SpanState &State = SpanStates[SectionName];
   auto StartSamplingPhase = [&] {
     State.Phase = SpanState::PhaseKind::Sampling;
-    State.Order = samplingOrder(NumVersions, SectionName);
+    State.Order = samplingOrder(Labels, SectionName);
     State.OrderIdx = 0;
     State.Overheads.assign(NumVersions, std::nullopt);
     State.CurrentIntervalStats = OverheadStats{};
@@ -211,7 +248,7 @@ FeedbackController::executeSpanning(IntervalRunner &Runner,
         if (!Best)
           Best = State.LastGood ? *State.LastGood : State.Order.front();
         if (History)
-          History->recordBest(SectionName, *Best);
+          History->recordBest(SectionName, Labels[*Best]);
         State.Phase = SpanState::PhaseKind::Production;
         State.ProductionVersion = *Best;
         State.ProductionOverhead =
@@ -260,6 +297,7 @@ FeedbackController::executePerOccurrence(IntervalRunner &Runner,
 
   const unsigned NumVersions = Runner.numVersions();
   assert(NumVersions >= 1 && "section with no versions");
+  const std::vector<std::string> Labels = versionLabels(Runner);
 
   // The incumbent: last version a production phase actually ran. Seeds the
   // hysteresis comparison and the degenerate-sampling fallback.
@@ -269,8 +307,7 @@ FeedbackController::executePerOccurrence(IntervalRunner &Runner,
     // ---- Sampling phase: measure each candidate version's overhead. ----
     ++Trace.SamplingPhases;
     std::vector<std::optional<double>> Overheads(NumVersions);
-    const std::vector<unsigned> Order =
-        samplingOrder(NumVersions, SectionName);
+    const std::vector<unsigned> Order = samplingOrder(Labels, SectionName);
 
     for (size_t OIdx = 0; OIdx < Order.size(); ++OIdx) {
       const unsigned V = Order[OIdx];
@@ -315,7 +352,7 @@ FeedbackController::executePerOccurrence(IntervalRunner &Runner,
       Best = LastGood; // Degenerate sampling phase: ride the known-good.
     }
     if (History)
-      History->recordBest(SectionName, *Best);
+      History->recordBest(SectionName, Labels[*Best]);
     if (Runner.done())
       break;
 

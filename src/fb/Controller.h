@@ -33,21 +33,25 @@
 namespace dynfb::fb {
 
 /// Cross-execution memory: the best version observed per section, used by
-/// the policy-ordering refinement.
+/// the policy-ordering refinement. Keyed by descriptor name (the version
+/// label, e.g. "Bounded/Aggressive" or "Original+chunk8") rather than raw
+/// index, so recorded knowledge survives a reordered or extended version
+/// space: the controller re-resolves the name against the current space
+/// before every sampling phase.
 class PolicyHistory {
 public:
-  std::optional<unsigned> lastBest(const std::string &Section) const {
+  std::optional<std::string> lastBest(const std::string &Section) const {
     auto It = Best.find(Section);
     if (It == Best.end())
       return std::nullopt;
     return It->second;
   }
-  void recordBest(const std::string &Section, unsigned Version) {
-    Best[Section] = Version;
+  void recordBest(const std::string &Section, std::string VersionName) {
+    Best[Section] = std::move(VersionName);
   }
 
 private:
-  std::map<std::string, unsigned> Best;
+  std::map<std::string, std::string> Best;
 };
 
 /// Everything observed while executing one occurrence of a parallel section
@@ -114,8 +118,10 @@ public:
                                        const std::string &SectionName);
 
   /// The order in which versions are sampled, given the configuration and
-  /// any history for this section (exposed for tests).
-  std::vector<unsigned> samplingOrder(unsigned NumVersions,
+  /// any history for this section (exposed for tests). \p Labels holds the
+  /// display label of every version, in version order; history entries are
+  /// resolved against it by name.
+  std::vector<unsigned> samplingOrder(const std::vector<std::string> &Labels,
                                       const std::string &SectionName) const;
 
 private:

@@ -49,7 +49,8 @@ rt::makeNativeIrRunner(ThreadTeam &Team, const DataBinding &Binding,
   Native.reserve(Versions.size());
   for (size_t VI = 0; VI < Versions.size(); ++VI) {
     Native.push_back(NativeVersion{
-        Versions[VI].Label, [State, VI](uint64_t Iter, WorkerCtx &Ctx) {
+        Versions[VI].Label,
+        [State, VI](uint64_t Iter, WorkerCtx &Ctx) {
           thread_local std::vector<MicroOp> Ops;
           State->Emitters[VI].emit(Iter, Ops);
           for (const MicroOp &Op : Ops) {
@@ -67,7 +68,8 @@ rt::makeNativeIrRunner(ThreadTeam &Team, const DataBinding &Binding,
               break;
             }
           }
-        }});
+        },
+        Versions[VI].Sched});
   }
   return std::make_unique<RealSectionRunner>(Team, std::move(Native),
                                              Binding.iterationCount());

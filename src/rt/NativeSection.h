@@ -35,6 +35,7 @@ namespace dynfb::rt {
 struct NativeIrVersion {
   std::string Label;
   const ir::Method *Entry = nullptr;
+  SchedSpec Sched;
 };
 
 /// Builds a RealSectionRunner whose iteration bodies interpret the given IR

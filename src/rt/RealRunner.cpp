@@ -6,6 +6,7 @@
 
 #include "rt/RealRunner.h"
 
+#include <algorithm>
 #include <cassert>
 #include <chrono>
 
@@ -46,6 +47,11 @@ RealSectionRunner::RealSectionRunner(ThreadTeam &Team,
                                      std::vector<NativeVersion> Versions,
                                      uint64_t NumIterations)
     : Team(Team), Versions(std::move(Versions)),
+      SchedInstrumented(std::any_of(
+          this->Versions.begin(), this->Versions.end(),
+          [](const NativeVersion &V) {
+            return V.Sched.Kind != SchedKind::Dynamic;
+          })),
       NumIterations(NumIterations) {
   assert(!this->Versions.empty() && "section needs at least one version");
 }
@@ -60,17 +66,21 @@ IntervalReport RealSectionRunner::runInterval(unsigned V, Nanos Target) {
   std::vector<OverheadStats> PerWorker(Team.size());
   std::vector<Nanos> EndTimes(Team.size(), Start);
 
+  const uint64_t Chunk = Version.Sched.chunkIters();
   Team.run([&](unsigned Worker) {
     WorkerCtx Ctx;
     const Nanos WorkerStart = steadyNow();
     for (;;) {
-      // Potential switch point: poll the timer at iteration granularity.
+      // Potential switch point: poll the timer at chunk granularity (every
+      // iteration under dynamic self-scheduling).
       if (steadyNow() >= Deadline)
         break;
-      const uint64_t Iter = NextIter.fetch_add(1);
-      if (Iter >= NumIterations)
+      const uint64_t Begin = NextIter.fetch_add(Chunk);
+      if (Begin >= NumIterations)
         break;
-      Version.Body(Iter, Ctx);
+      const uint64_t End = std::min(Begin + Chunk, NumIterations);
+      for (uint64_t Iter = Begin; Iter < End; ++Iter)
+        Version.Body(Iter, Ctx);
     }
     const Nanos WorkerEnd = steadyNow();
     Ctx.Stats.ExecNanos = WorkerEnd - WorkerStart;
@@ -82,10 +92,18 @@ IntervalReport RealSectionRunner::runInterval(unsigned V, Nanos Target) {
 
   IntervalReport Report;
   Nanos LastEnd = Start;
-  for (unsigned W = 0; W < Team.size(); ++W) {
-    Report.Stats.merge(PerWorker[W]);
+  for (unsigned W = 0; W < Team.size(); ++W)
     if (EndTimes[W] > LastEnd)
       LastEnd = EndTimes[W];
+  for (unsigned W = 0; W < Team.size(); ++W) {
+    if (SchedInstrumented) {
+      // A worker out of work spins at the switch barrier until the slowest
+      // finishes; count that as waiting so scheduling-induced imbalance
+      // enters the overhead the controller compares.
+      PerWorker[W].WaitNanos += LastEnd - EndTimes[W];
+      PerWorker[W].ExecNanos += LastEnd - EndTimes[W];
+    }
+    Report.Stats.merge(PerWorker[W]);
   }
   Report.EffectiveNanos = LastEnd - Start;
   Report.Finished = NextIter.load() >= NumIterations;

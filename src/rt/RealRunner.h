@@ -23,6 +23,7 @@
 #define DYNFB_RT_REALRUNNER_H
 
 #include "rt/IntervalRunner.h"
+#include "rt/Sched.h"
 #include "rt/SpinLock.h"
 #include "rt/ThreadTeam.h"
 
@@ -51,10 +52,14 @@ public:
   OverheadStats Stats;
 };
 
-/// One native code version of a parallel section.
+/// One native code version of a parallel section. \p Sched selects the
+/// iteration-assignment strategy: dynamic self-scheduling fetches one
+/// iteration per shared-counter increment, chunked scheduling claims a
+/// contiguous block per fetch and polls the deadline only between blocks.
 struct NativeVersion {
   std::string Label;
   std::function<void(uint64_t Iter, WorkerCtx &Ctx)> Body;
+  SchedSpec Sched;
 };
 
 /// IntervalRunner over real threads.
@@ -77,6 +82,10 @@ public:
 private:
   ThreadTeam &Team;
   const std::vector<NativeVersion> Versions;
+  /// See SimSectionRunner: with a scheduling dimension the instrumentation
+  /// additionally counts switch-barrier waiting, so scheduling-induced load
+  /// imbalance is visible to the controller.
+  const bool SchedInstrumented;
   const uint64_t NumIterations;
   std::atomic<uint64_t> NextIter{0};
 };

@@ -1,0 +1,85 @@
+//===- rt/Sched.h - Parallel loop scheduling strategies ---------*- C++ -*-===//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The loop scheduling adaptation dimension. Every code version of a
+/// parallel section binds one scheduling strategy for its parallel loop:
+///  - Dynamic: dynamic self-scheduling -- each processor fetches one
+///    iteration at a time from the shared counter (the paper's execution
+///    model, and the repository's historical behaviour).
+///  - Chunked: blocked self-scheduling -- each fetch claims a contiguous
+///    chunk of iterations, amortizing the scheduler fetch over the chunk at
+///    the price of coarser potential switch points (the timer is only
+///    polled at chunk boundaries) and load imbalance at the tail.
+/// The strategy is a runtime property of the dispatch loop, not of the
+/// generated method body: versions that differ only in scheduling share
+/// their section code.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNFB_RT_SCHED_H
+#define DYNFB_RT_SCHED_H
+
+#include "support/Compiler.h"
+
+#include <cstdint>
+#include <string>
+
+namespace dynfb::rt {
+
+/// Iteration-assignment strategy of a parallel loop.
+enum class SchedKind { Dynamic, Chunked };
+
+/// One point of the loop scheduling dimension.
+struct SchedSpec {
+  SchedKind Kind = SchedKind::Dynamic;
+  /// Iterations claimed per scheduler fetch (Chunked only; >= 2).
+  uint64_t ChunkIters = 1;
+
+  static SchedSpec dynamic() { return SchedSpec{}; }
+  static SchedSpec chunked(uint64_t Iters) {
+    DYNFB_CHECK(Iters >= 2, "chunked scheduling needs a chunk size >= 2");
+    return SchedSpec{SchedKind::Chunked, Iters};
+  }
+
+  /// Iterations one fetch claims under this strategy.
+  uint64_t chunkIters() const {
+    return Kind == SchedKind::Chunked ? ChunkIters : 1;
+  }
+
+  /// Display name as used in version-space listings ("dyn", "chunk8").
+  std::string name() const {
+    switch (Kind) {
+    case SchedKind::Dynamic:
+      return "dyn";
+    case SchedKind::Chunked:
+      return "chunk" + std::to_string(ChunkIters);
+    }
+    DYNFB_UNREACHABLE("invalid scheduling kind");
+  }
+
+  /// Suffix for synthetic names ("" for the default dynamic strategy).
+  std::string suffix() const {
+    switch (Kind) {
+    case SchedKind::Dynamic:
+      return "";
+    case SchedKind::Chunked:
+      return "$c" + std::to_string(ChunkIters);
+    }
+    DYNFB_UNREACHABLE("invalid scheduling kind");
+  }
+
+  friend bool operator==(const SchedSpec &A, const SchedSpec &B) {
+    return A.Kind == B.Kind && A.chunkIters() == B.chunkIters();
+  }
+  friend bool operator!=(const SchedSpec &A, const SchedSpec &B) {
+    return !(A == B);
+  }
+};
+
+} // namespace dynfb::rt
+
+#endif // DYNFB_RT_SCHED_H

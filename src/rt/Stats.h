@@ -32,15 +32,22 @@ struct OverheadStats {
   uint64_t FailedAcquires = 0;      ///< Failed acquire attempts while spinning.
   Nanos LockOpNanos = 0;            ///< Time in successful lock constructs.
   Nanos WaitNanos = 0;              ///< Time spent waiting (spinning).
+  /// Scheduling overhead (iteration fetches). Only measured when the
+  /// version space has a scheduling dimension -- the pure-synchronization
+  /// space compiles the paper's original instrumentation, which does not
+  /// observe the scheduler.
+  Nanos SchedNanos = 0;
   Nanos ExecNanos = 0;              ///< Total execution time across processors.
 
   /// Total overhead in [0, 1]: the proportion of the execution time spent
-  /// executing lock constructs or waiting for locks.
+  /// executing lock constructs, waiting for locks (or, with a scheduling
+  /// dimension, for the switch barrier) or fetching iterations.
   double totalOverhead() const {
     if (ExecNanos <= 0)
       return 0.0;
-    const double Ratio = static_cast<double>(LockOpNanos + WaitNanos) /
-                         static_cast<double>(ExecNanos);
+    const double Ratio =
+        static_cast<double>(LockOpNanos + WaitNanos + SchedNanos) /
+        static_cast<double>(ExecNanos);
     return Ratio < 0.0 ? 0.0 : (Ratio > 1.0 ? 1.0 : Ratio);
   }
 
@@ -57,6 +64,7 @@ struct OverheadStats {
     FailedAcquires += Other.FailedAcquires;
     LockOpNanos += Other.LockOpNanos;
     WaitNanos += Other.WaitNanos;
+    SchedNanos += Other.SchedNanos;
     ExecNanos += Other.ExecNanos;
   }
 

@@ -25,6 +25,17 @@
 #include <deque>
 #include <queue>
 
+namespace {
+
+bool anyNonDynamicSched(const std::vector<dynfb::sim::SimVersion> &Versions) {
+  return std::any_of(Versions.begin(), Versions.end(),
+                     [](const dynfb::sim::SimVersion &V) {
+                       return V.Sched.Kind != dynfb::rt::SchedKind::Dynamic;
+                     });
+}
+
+} // namespace
+
 using namespace dynfb;
 using namespace dynfb::rt;
 using namespace dynfb::sim;
@@ -34,7 +45,9 @@ SimSectionRunner::SimSectionRunner(SimMachine &Machine,
                                    std::vector<SimVersion> Versions,
                                    bool Instrumented)
     : Machine(Machine), Binding(Binding), Versions(std::move(Versions)),
-      Instrumented(Instrumented), NumIterations(Binding.iterationCount()) {
+      Instrumented(Instrumented),
+      SchedInstrumented(anyNonDynamicSched(this->Versions)),
+      NumIterations(Binding.iterationCount()) {
   assert(!this->Versions.empty() && "section needs at least one version");
   Emitters.reserve(this->Versions.size());
   for (const SimVersion &V : this->Versions)
@@ -61,6 +74,11 @@ struct Proc {
   bool Stopped = false;
   Nanos EndTime = 0;
   OverheadStats Stats;
+  /// Claimed-but-unexecuted iteration range of the current scheduling
+  /// chunk ([ClaimNext, ClaimEnd)). Empty under dynamic self-scheduling,
+  /// where every fetch claims exactly one iteration.
+  uint64_t ClaimNext = 0;
+  uint64_t ClaimEnd = 0;
 };
 
 struct SimLock {
@@ -143,6 +161,9 @@ IntervalReport SimSectionRunner::runInterval(unsigned V, Nanos Target) {
   };
 
   const IterationEmitter &Emitter = Emitters[V];
+  // Iterations one scheduler fetch claims: 1 under dynamic
+  // self-scheduling, the chunk size under blocked scheduling.
+  const uint64_t Chunk = Versions[V].Sched.chunkIters();
 
   while (!Ready.empty()) {
     const HeapEntry Top = Ready.top();
@@ -151,15 +172,23 @@ IntervalReport SimSectionRunner::runInterval(unsigned V, Nanos Target) {
     assert(!Pr.Stopped && "stopped processor in ready heap");
 
     if (!Pr.HasIteration) {
-      // Dynamic self-scheduling: fetch the next iteration.
-      Pr.Clock += CM.SchedFetchNanos;
-      if (Trace)
-        Trace->Procs[Top.P].OverheadNanos += CM.SchedFetchNanos;
-      if (NextIter >= NumIterations) {
-        Stop(Pr);
-        continue;
+      if (Pr.ClaimNext >= Pr.ClaimEnd) {
+        // Self-scheduling: fetch the next chunk of iterations (exactly one
+        // under dynamic scheduling).
+        Pr.Clock += CM.SchedFetchNanos;
+        if (SchedInstrumented)
+          Pr.Stats.SchedNanos += CM.SchedFetchNanos;
+        if (Trace)
+          Trace->Procs[Top.P].OverheadNanos += CM.SchedFetchNanos;
+        if (NextIter >= NumIterations) {
+          Stop(Pr);
+          continue;
+        }
+        Pr.ClaimNext = NextIter;
+        Pr.ClaimEnd = std::min(NextIter + Chunk, NumIterations);
+        NextIter = Pr.ClaimEnd;
       }
-      Emitter.emit(NextIter++, Pr.Ops);
+      Emitter.emit(Pr.ClaimNext++, Pr.Ops);
       Pr.Pc = 0;
       Pr.HasIteration = true;
       if (Trace)
@@ -169,7 +198,14 @@ IntervalReport SimSectionRunner::runInterval(unsigned V, Nanos Target) {
     }
 
     if (Pr.Pc == Pr.Ops.size()) {
-      // Potential switch point: poll the timer at the iteration boundary.
+      Pr.HasIteration = false;
+      if (Pr.ClaimNext < Pr.ClaimEnd) {
+        // Mid-chunk iteration boundary: the claimed chunk continues
+        // back-to-back -- no timer poll, not a potential switch point.
+        Ready.push(HeapEntry{Pr.Clock, Top.P});
+        continue;
+      }
+      // Chunk boundary, a potential switch point: poll the timer.
       Nanos TimerCost = CM.TimerReadNanos;
       if (PE) {
         Nanos Noise = PE->timerNoise(SectionName, Top.P, Pr.Clock);
@@ -181,7 +217,6 @@ IntervalReport SimSectionRunner::runInterval(unsigned V, Nanos Target) {
       Pr.Clock += TimerCost;
       if (Trace)
         Trace->Procs[Top.P].OverheadNanos += TimerCost;
-      Pr.HasIteration = false;
       if (Pr.Clock >= Deadline)
         Stop(Pr);
       else
@@ -286,11 +321,23 @@ IntervalReport SimSectionRunner::runInterval(unsigned V, Nanos Target) {
 
   IntervalReport Report;
   Nanos LastEnd = Start;
-  for (Proc &Pr : Procs) {
+  for (const Proc &Pr : Procs) {
     assert(Pr.Stopped && "processor never reached the switch barrier");
-    Pr.Stats.ExecNanos = Pr.EndTime - Start;
-    Report.Stats.merge(Pr.Stats);
     LastEnd = std::max(LastEnd, Pr.EndTime);
+  }
+  for (Proc &Pr : Procs) {
+    if (SchedInstrumented) {
+      // With a scheduling dimension the instrumentation also observes the
+      // synchronous switch barrier: a processor out of work (or stopped at
+      // a coarse chunk boundary) spins there until the slowest finishes,
+      // which is how chunk-induced load imbalance reaches the overhead
+      // metric the controller compares versions by.
+      Pr.Stats.WaitNanos += LastEnd - Pr.EndTime;
+      Pr.Stats.ExecNanos = LastEnd - Start;
+    } else {
+      Pr.Stats.ExecNanos = Pr.EndTime - Start;
+    }
+    Report.Stats.merge(Pr.Stats);
   }
   Report.EffectiveNanos = LastEnd - Start;
   Report.Finished = NextIter >= NumIterations;

@@ -23,6 +23,7 @@
 #include "rt/Binding.h"
 #include "rt/Interp.h"
 #include "rt/IntervalRunner.h"
+#include "rt/Sched.h"
 #include "sim/Machine.h"
 #include "sim/Trace.h"
 
@@ -32,11 +33,16 @@
 
 namespace dynfb::sim {
 
-/// One code version to simulate: a display label and the generated entry
-/// method.
+/// One code version to simulate: a display label, the generated entry
+/// method, and the loop scheduling strategy its dispatch loop uses.
+/// Under chunked scheduling each scheduler fetch claims a contiguous chunk
+/// of iterations; the timer is polled (and the interval deadline checked)
+/// only at chunk boundaries, so larger chunks amortize scheduling overhead
+/// at the price of coarser switch points.
 struct SimVersion {
   std::string Label;
   const ir::Method *Entry = nullptr;
+  rt::SchedSpec Sched;
 };
 
 /// IntervalRunner over the simulated machine.
@@ -79,6 +85,12 @@ private:
   const std::vector<SimVersion> Versions;
   std::vector<rt::IterationEmitter> Emitters; ///< One per version.
   const bool Instrumented;
+  /// True when any version uses non-dynamic scheduling: the generated code
+  /// then also instruments scheduling fetches and switch-barrier waiting,
+  /// which the feedback controller needs to compare scheduling variants.
+  /// The pure-synchronization space keeps the paper's original
+  /// instrumentation (and cost behaviour) exactly.
+  const bool SchedInstrumented;
   const uint64_t NumIterations;
   uint64_t NextIter = 0;
 };

@@ -110,3 +110,18 @@ double theory::optimalProductionInterval(double S, unsigned N, double Alpha) {
   assert(Root && "Eq. 9 must have a root");
   return Root->X;
 }
+
+double theory::bestAchievableEpsilon(double S, unsigned N, double Alpha) {
+  const double P = optimalProductionInterval(S, N, Alpha);
+  if (P <= 0.0)
+    return 0.0; // No sampling cost: dynamic feedback matches the optimum.
+  return differencePerUnitTime(P, S, N, Alpha);
+}
+
+std::optional<double>
+theory::requiredProductionInterval(const AnalysisParams &Params) {
+  const auto Region = feasibleRegion(Params);
+  if (!Region)
+    return std::nullopt;
+  return Region->first;
+}

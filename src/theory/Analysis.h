@@ -83,6 +83,20 @@ feasibleRegion(const AnalysisParams &Params);
 /// work difference. Always exists for Alpha > 0.
 double optimalProductionInterval(double S, unsigned N, double Alpha);
 
+/// The tightest epsilon guarantee achievable with \p N sampled versions:
+/// Eq. 8 evaluated at the Eq. 9 production interval. The sampling term S*N
+/// scales with the version-space size, so the bound degrades monotonically
+/// as adaptation dimensions multiply the space (e.g. N = 3 policies -> N =
+/// 9 policy x scheduling combinations) unless the production interval grows
+/// to amortize it.
+double bestAchievableEpsilon(double S, unsigned N, double Alpha);
+
+/// The smallest production interval that keeps the Eq. 7 guarantee at
+/// Params.Epsilon with an N-point version space (the lower edge of the
+/// feasible region), or nullopt when no interval achieves it.
+std::optional<double>
+requiredProductionInterval(const AnalysisParams &Params);
+
 } // namespace dynfb::theory
 
 #endif // DYNFB_THEORY_ANALYSIS_H

@@ -100,3 +100,25 @@ ExecutableSizes xform::computeExecutableSizes(const VersionedProgram &Program,
                   Model.closureBytes(AllEntries, true) + DispatchBytes;
   return Sizes;
 }
+
+uint64_t xform::fixedExecutableBytes(const VersionedProgram &Program,
+                                     const CodeSizeModel &Model,
+                                     uint64_t SerialBaseBytes,
+                                     const VersionDescriptor &D) {
+  std::vector<const Method *> Entries;
+  uint64_t DriverBytes = 0;
+  for (const VersionedSection &VS : Program.Sections) {
+    Entries.push_back(VS.versionFor(D).Entry);
+    DriverBytes += Model.ParallelDriverBytes;
+  }
+  return SerialBaseBytes + DriverBytes + Model.closureBytes(Entries, false);
+}
+
+uint64_t xform::serialExecutableBytes(const VersionedProgram &Program,
+                                      const CodeSizeModel &Model,
+                                      uint64_t SerialBaseBytes) {
+  std::vector<const Method *> Entries;
+  for (const VersionedSection &VS : Program.Sections)
+    Entries.push_back(VS.SerialEntry);
+  return SerialBaseBytes + Model.closureBytes(Entries, false);
+}

@@ -65,6 +65,22 @@ ExecutableSizes computeExecutableSizes(const VersionedProgram &Program,
                                        const CodeSizeModel &Model,
                                        uint64_t SerialBaseBytes);
 
+/// Size of the fixed executable built from one version-space point: the
+/// serial base, the parallel driver, and the closure of that point's entry
+/// in every section (uninstrumented, like the static flavours). Scheduling
+/// variants of one policy share their generated code, so they report the
+/// same size -- the scheduling dimension only grows the Dynamic
+/// executable's dispatch tables.
+uint64_t fixedExecutableBytes(const VersionedProgram &Program,
+                              const CodeSizeModel &Model,
+                              uint64_t SerialBaseBytes,
+                              const VersionDescriptor &D);
+
+/// Size of the serial executable (shared helper for relative-size reports).
+uint64_t serialExecutableBytes(const VersionedProgram &Program,
+                               const CodeSizeModel &Model,
+                               uint64_t SerialBaseBytes);
+
 } // namespace dynfb::xform
 
 #endif // DYNFB_XFORM_CODESIZE_H

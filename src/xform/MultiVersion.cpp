@@ -16,6 +16,7 @@
 
 #include <cassert>
 #include <cstdio>
+#include <map>
 
 using namespace dynfb;
 using namespace dynfb::ir;
@@ -23,10 +24,10 @@ using namespace dynfb::xform;
 
 std::string SectionVersion::label() const {
   std::string Out;
-  for (size_t I = 0; I < Policies.size(); ++I) {
+  for (size_t I = 0; I < Descriptors.size(); ++I) {
     if (I != 0)
       Out += "/";
-    Out += policyName(Policies[I]);
+    Out += Descriptors[I].name();
   }
   return Out;
 }
@@ -36,6 +37,13 @@ unsigned VersionedSection::indexFor(PolicyKind P) const {
     if (Versions[I].hasPolicy(P))
       return I;
   DYNFB_UNREACHABLE("policy has no version in this section");
+}
+
+unsigned VersionedSection::indexFor(const VersionDescriptor &D) const {
+  for (unsigned I = 0; I < Versions.size(); ++I)
+    if (Versions[I].hasDescriptor(D))
+      return I;
+  DYNFB_UNREACHABLE("descriptor has no version in this section");
 }
 
 const VersionedSection *
@@ -59,8 +67,10 @@ static void checkVerified(const Module &M, const char *Where) {
   reportFatalError("IR verification failed after version generation");
 }
 
-VersionedProgram xform::generateVersions(Module &M) {
+VersionedProgram xform::generateVersions(Module &M,
+                                         const VersionSpace &Space) {
   VersionedProgram Program;
+  Program.Space = Space;
   for (const ParallelSection &Section : M.sections()) {
     // The compiler only parallelizes sections whose operations commute.
     const analysis::CommutativityResult CR = analysis::analyzeSection(Section);
@@ -80,32 +90,45 @@ VersionedProgram xform::generateVersions(Module &M) {
     VS.SerialEntry =
         cloneMethodClosure(M, Section.IterMethod, "$serial").Root;
 
-    for (PolicyKind P : AllPolicies) {
-      CloneResult Clone =
-          cloneMethodClosure(M, Section.IterMethod, policySuffix(P));
-      insertDefaultPlacement(M, Clone.Root);
-      optimizeSynchronization(M, Clone.Root, P);
+    // The synchronization dimension is the only one that materializes code:
+    // clone and optimize once per distinct policy, on first encounter in
+    // space order.
+    std::map<PolicyKind, Method *> PolicyEntries;
+    for (const VersionDescriptor &D : Space.descriptors()) {
+      auto It = PolicyEntries.find(D.Policy);
+      if (It == PolicyEntries.end()) {
+        CloneResult Clone = cloneMethodClosure(M, Section.IterMethod,
+                                               policySuffix(D.Policy));
+        insertDefaultPlacement(M, Clone.Root);
+        optimizeSynchronization(M, Clone.Root, D.Policy);
 
-      // Every generated version must preserve atomicity of updates.
-      const std::vector<std::string> AtomErrors = verifyAtomicity(*Clone.Root);
-      if (!AtomErrors.empty()) {
-        for (const std::string &E : AtomErrors)
-          std::fprintf(stderr, "atomicity (%s, %s): %s\n",
-                       Section.Name.c_str(), policyName(P), E.c_str());
-        reportFatalError("generated version violates update atomicity");
+        // Every generated version must preserve atomicity of updates.
+        const std::vector<std::string> AtomErrors =
+            verifyAtomicity(*Clone.Root);
+        if (!AtomErrors.empty()) {
+          for (const std::string &E : AtomErrors)
+            std::fprintf(stderr, "atomicity (%s, %s): %s\n",
+                         Section.Name.c_str(), policyName(D.Policy),
+                         E.c_str());
+          reportFatalError("generated version violates update atomicity");
+        }
+        It = PolicyEntries.emplace(D.Policy, Clone.Root).first;
       }
+      Method *Entry = It->second;
 
-      // Deduplicate policy-equivalent versions.
+      // Deduplicate equivalent versions: same scheduling strategy and
+      // structurally identical generated code.
       bool Merged = false;
       for (SectionVersion &Existing : VS.Versions) {
-        if (structurallyEqual(*Existing.Entry, *Clone.Root)) {
-          Existing.Policies.push_back(P);
+        if (Existing.Sched == D.Sched &&
+            structurallyEqual(*Existing.Entry, *Entry)) {
+          Existing.Descriptors.push_back(D);
           Merged = true;
           break;
         }
       }
       if (!Merged)
-        VS.Versions.push_back(SectionVersion{{P}, Clone.Root});
+        VS.Versions.push_back(SectionVersion{{D}, Entry, D.Sched});
     }
     Program.Sections.push_back(std::move(VS));
   }

@@ -1,17 +1,21 @@
-//===- xform/MultiVersion.h - Per-policy version generation ----*- C++ -*-===//
+//===- xform/MultiVersion.h - Version-space code generation ----*- C++ -*-===//
 //
 // Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Generates, for every parallel section, one code version per
-/// synchronization optimization policy (paper Section 4.2) and deduplicates
-/// policy-equivalent versions: when two policies generate the same code the
-/// compiler emits a single version (e.g. Water's INTERF section, where
-/// Bounded and Aggressive coincide, and POTENG, where Original and Bounded
-/// coincide). A serial (lock-free) entry per section is also produced for
-/// serial-time measurement and the code-size accounting of Table 1.
+/// Generates, for every parallel section, one code version per point of the
+/// version space (paper Section 4.2, generalized to N-dimensional spaces)
+/// and deduplicates equivalent versions: two space points share a version
+/// when their scheduling strategies coincide and their policies generate
+/// structurally identical code (e.g. Water's INTERF section, where Bounded
+/// and Aggressive coincide, and POTENG, where Original and Bounded
+/// coincide). Only the synchronization dimension materializes method
+/// bodies; the scheduling dimension binds at the dispatch loop, so sched
+/// variants of one policy share their entry. A serial (lock-free) entry per
+/// section is also produced for serial-time measurement and the code-size
+/// accounting of Table 1.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -19,55 +23,77 @@
 #define DYNFB_XFORM_MULTIVERSION_H
 
 #include "ir/Module.h"
-#include "xform/Policy.h"
+#include "xform/VersionSpace.h"
 
 #include <string>
 #include <vector>
 
 namespace dynfb::xform {
 
-/// One generated code version of a parallel section.
+/// One generated code version of a parallel section: an entry method plus
+/// the scheduling strategy its dispatch loop uses.
 struct SectionVersion {
-  /// The policies whose generated code is this version (>= 1 entry;
-  /// deduplicated policy-equivalent versions list several).
-  std::vector<PolicyKind> Policies;
+  /// The space points whose generated code is this version (>= 1 entry;
+  /// deduplicated equivalent versions list several).
+  std::vector<VersionDescriptor> Descriptors;
   ir::Method *Entry = nullptr;
+  rt::SchedSpec Sched;
 
   bool hasPolicy(PolicyKind P) const {
-    for (PolicyKind Q : Policies)
-      if (Q == P)
+    for (const VersionDescriptor &D : Descriptors)
+      if (D.Policy == P)
         return true;
     return false;
   }
-  /// Display label, e.g. "Original" or "Bounded/Aggressive".
+  bool hasDescriptor(const VersionDescriptor &D) const {
+    for (const VersionDescriptor &Q : Descriptors)
+      if (Q == D)
+        return true;
+    return false;
+  }
+  /// Display label, e.g. "Original" or "Bounded/Aggressive"; chunked
+  /// variants read "Original+chunk8".
   std::string label() const;
 };
 
 /// All versions of one parallel section.
 struct VersionedSection {
   std::string Name;
-  std::vector<SectionVersion> Versions; ///< In policy order, deduplicated.
+  std::vector<SectionVersion> Versions; ///< In space order, deduplicated.
   ir::Method *SerialEntry = nullptr;    ///< Lock-free clone.
 
-  /// Index of the version implementing \p P. Asserts if absent.
+  /// Index of the first version implementing \p P (under any scheduling;
+  /// space order puts the dynamically scheduled one first). Asserts if
+  /// absent.
   unsigned indexFor(PolicyKind P) const;
   const SectionVersion &versionFor(PolicyKind P) const {
     return Versions[indexFor(P)];
+  }
+
+  /// Index of the version implementing the exact space point \p D. Asserts
+  /// if the descriptor is not in the generated space.
+  unsigned indexFor(const VersionDescriptor &D) const;
+  const SectionVersion &versionFor(const VersionDescriptor &D) const {
+    return Versions[indexFor(D)];
   }
 };
 
 /// The multi-versioned program: one VersionedSection per parallel section.
 struct VersionedProgram {
   std::vector<VersionedSection> Sections;
+  VersionSpace Space; ///< The space the sections were generated from.
 
   const VersionedSection *find(const std::string &Name) const;
 };
 
-/// Generates all versions for every section of \p M. Asserts that
-/// commutativity analysis accepts each section (the compiler only
-/// parallelizes sections whose operations commute) and that every generated
-/// version passes the module verifier including interprocedural atomicity.
-VersionedProgram generateVersions(ir::Module &M);
+/// Generates all versions of every section of \p M for each point of
+/// \p Space (default: the paper's three policies under dynamic
+/// scheduling). Asserts that commutativity analysis accepts each section
+/// (the compiler only parallelizes sections whose operations commute) and
+/// that every generated version passes the module verifier including
+/// interprocedural atomicity.
+VersionedProgram generateVersions(ir::Module &M,
+                                  const VersionSpace &Space = {});
 
 } // namespace dynfb::xform
 

@@ -20,6 +20,8 @@
 #ifndef DYNFB_XFORM_POLICY_H
 #define DYNFB_XFORM_POLICY_H
 
+#include "support/Compiler.h"
+
 namespace dynfb::xform {
 
 /// Synchronization optimization policy.
@@ -40,7 +42,7 @@ inline const char *policyName(PolicyKind P) {
   case PolicyKind::Aggressive:
     return "Aggressive";
   }
-  return "?";
+  DYNFB_UNREACHABLE("invalid policy kind");
 }
 
 /// Short suffix for synthetic method names.
@@ -53,7 +55,7 @@ inline const char *policySuffix(PolicyKind P) {
   case PolicyKind::Aggressive:
     return "$agg";
   }
-  return "$?";
+  DYNFB_UNREACHABLE("invalid policy kind");
 }
 
 } // namespace dynfb::xform

@@ -1,0 +1,137 @@
+//===- xform/VersionSpace.cpp ---------------------------------------------==//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "xform/VersionSpace.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+using namespace dynfb;
+using namespace dynfb::xform;
+
+std::string VersionDescriptor::name() const {
+  std::string Out = policyName(Policy);
+  if (Sched.Kind != rt::SchedKind::Dynamic)
+    Out += "+" + Sched.name();
+  return Out;
+}
+
+std::string VersionDescriptor::suffix() const {
+  return policySuffix(Policy) + Sched.suffix();
+}
+
+VersionSpace VersionSpace::product(std::vector<PolicyKind> Policies,
+                                   std::vector<rt::SchedSpec> Scheds) {
+  DYNFB_CHECK(!Policies.empty(),
+              "version space needs at least one synchronization policy");
+  DYNFB_CHECK(!Scheds.empty(),
+              "version space needs at least one scheduling strategy");
+  std::vector<VersionDescriptor> Ds;
+  Ds.reserve(Policies.size() * Scheds.size());
+  for (PolicyKind P : Policies)
+    for (const rt::SchedSpec &S : Scheds) {
+      const VersionDescriptor D{P, S};
+      DYNFB_CHECK(std::find(Ds.begin(), Ds.end(), D) == Ds.end(),
+                  "duplicate descriptor in version space");
+      Ds.push_back(D);
+    }
+  return VersionSpace(std::move(Ds));
+}
+
+std::optional<VersionSpace> VersionSpace::parse(const std::string &Dimensions,
+                                                const std::string &Chunks,
+                                                std::string &Error) {
+  bool WantSync = false, WantSched = false;
+  for (const std::string &Dim : splitString(Dimensions, ',')) {
+    if (Dim == "sync") {
+      if (WantSync) {
+        Error = "dimension 'sync' listed twice";
+        return std::nullopt;
+      }
+      WantSync = true;
+    } else if (Dim == "sched") {
+      if (WantSched) {
+        Error = "dimension 'sched' listed twice";
+        return std::nullopt;
+      }
+      WantSched = true;
+    } else {
+      Error = "unknown dimension '" + Dim + "' (expected sync or sched)";
+      return std::nullopt;
+    }
+  }
+  if (!WantSync) {
+    Error = Dimensions.empty()
+                ? "empty dimension list (expected at least sync)"
+                : "dimension 'sync' is mandatory (the generated code "
+                  "versions differ only along it)";
+    return std::nullopt;
+  }
+
+  std::vector<rt::SchedSpec> Scheds{rt::SchedSpec::dynamic()};
+  if (!WantSched) {
+    if (!Chunks.empty()) {
+      Error = "--chunks requires the sched dimension";
+      return std::nullopt;
+    }
+  } else {
+    if (Chunks.empty()) {
+      Error = "the sched dimension needs chunk sizes (--chunks=K1,K2,...)";
+      return std::nullopt;
+    }
+    for (const std::string &C : splitString(Chunks, ',')) {
+      unsigned long long K = 0;
+      try {
+        size_t Pos = 0;
+        K = std::stoull(C, &Pos);
+        if (Pos != C.size())
+          throw std::invalid_argument(C);
+      } catch (const std::exception &) {
+        Error = "malformed chunk size '" + C + "'";
+        return std::nullopt;
+      }
+      if (K < 2) {
+        Error = "chunk size must be >= 2 (got '" + C +
+                "'; chunk 1 is dynamic self-scheduling)";
+        return std::nullopt;
+      }
+      const rt::SchedSpec S = rt::SchedSpec::chunked(K);
+      if (std::find(Scheds.begin(), Scheds.end(), S) != Scheds.end()) {
+        Error = "duplicate chunk size '" + C + "'";
+        return std::nullopt;
+      }
+      Scheds.push_back(S);
+    }
+  }
+
+  return product({AllPolicies[0], AllPolicies[1], AllPolicies[2]},
+                 std::move(Scheds));
+}
+
+std::vector<PolicyKind> VersionSpace::policies() const {
+  std::vector<PolicyKind> Out;
+  for (const VersionDescriptor &D : Descriptors)
+    if (std::find(Out.begin(), Out.end(), D.Policy) == Out.end())
+      Out.push_back(D.Policy);
+  return Out;
+}
+
+std::vector<rt::SchedSpec> VersionSpace::scheds() const {
+  std::vector<rt::SchedSpec> Out;
+  for (const VersionDescriptor &D : Descriptors)
+    if (std::find(Out.begin(), Out.end(), D.Sched) == Out.end())
+      Out.push_back(D.Sched);
+  return Out;
+}
+
+bool VersionSpace::isDefault() const {
+  return Descriptors.size() == 3 &&
+         Descriptors[0] == VersionDescriptor{PolicyKind::Original, {}} &&
+         Descriptors[1] == VersionDescriptor{PolicyKind::Bounded, {}} &&
+         Descriptors[2] == VersionDescriptor{PolicyKind::Aggressive, {}};
+}

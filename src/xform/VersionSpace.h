@@ -1,0 +1,110 @@
+//===- xform/VersionSpace.h - N-dimensional version spaces ------*- C++ -*-===//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper presents Original/Bounded/Aggressive as one instance of
+/// dynamic feedback: the technique itself samples any finite set of
+/// generated code versions, and the Section 5 worst-case bound is stated
+/// for N versions. A VersionSpace is that finite set, produced by composing
+/// independent adaptation dimensions:
+///  - dimension 1, synchronization policy (xform::PolicyKind), which
+///    changes the generated section code;
+///  - dimension 2, loop scheduling (rt::SchedSpec), which changes how the
+///    dispatch loop assigns iterations to processors.
+/// Each point of the product is a VersionDescriptor. The default space is
+/// exactly the paper's: the three synchronization policies under dynamic
+/// self-scheduling, in sampling order.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNFB_XFORM_VERSIONSPACE_H
+#define DYNFB_XFORM_VERSIONSPACE_H
+
+#include "rt/Sched.h"
+#include "xform/Policy.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dynfb::xform {
+
+/// One point of a version space: a coordinate per adaptation dimension.
+struct VersionDescriptor {
+  PolicyKind Policy = PolicyKind::Original;
+  rt::SchedSpec Sched;
+
+  /// Display name: the policy name, plus the scheduling coordinate when it
+  /// is not the default ("Original", "Original+chunk8"). For the default
+  /// space this matches the paper's table labels exactly.
+  std::string name() const;
+
+  /// Suffix for synthetic names ("$orig", "$orig$c8"). Only the policy part
+  /// materializes distinct method bodies; the scheduling part binds at
+  /// dispatch.
+  std::string suffix() const;
+
+  friend bool operator==(const VersionDescriptor &A,
+                         const VersionDescriptor &B) {
+    return A.Policy == B.Policy && A.Sched == B.Sched;
+  }
+  friend bool operator!=(const VersionDescriptor &A,
+                         const VersionDescriptor &B) {
+    return !(A == B);
+  }
+};
+
+/// An ordered, duplicate-free set of version descriptors. Order is sampling
+/// order: the synchronization dimension varies slowest (policy-major), so
+/// the first and last descriptors are the extreme policies the early
+/// cut-off refinement wants sampled first.
+class VersionSpace {
+public:
+  /// The default space: {Original, Bounded, Aggressive} x {dynamic}.
+  VersionSpace() : VersionSpace(product({AllPolicies[0], AllPolicies[1],
+                                         AllPolicies[2]},
+                                        {rt::SchedSpec::dynamic()})) {}
+
+  /// The cross product of the two dimensions, policy-major. Both dimension
+  /// value lists must be non-empty and duplicate-free (checked).
+  static VersionSpace product(std::vector<PolicyKind> Policies,
+                              std::vector<rt::SchedSpec> Scheds);
+
+  /// Parses a dimension specification, the grammar behind
+  /// `dynfb-run --dimensions=sync,sched --chunks=8,64`:
+  ///  - \p Dimensions: comma-separated dimension names; "sync" alone yields
+  ///    the default space, adding "sched" crosses in the scheduling
+  ///    dimension (dynamic plus one chunked strategy per chunk size).
+  ///  - \p Chunks: comma-separated chunk sizes (>= 2), only meaningful --
+  ///    and required to be empty otherwise -- with the "sched" dimension.
+  /// Returns the space, or nullopt with a one-line diagnostic in \p Error.
+  static std::optional<VersionSpace> parse(const std::string &Dimensions,
+                                           const std::string &Chunks,
+                                           std::string &Error);
+
+  const std::vector<VersionDescriptor> &descriptors() const {
+    return Descriptors;
+  }
+  size_t size() const { return Descriptors.size(); }
+
+  /// The distinct values of each dimension, in first-appearance order.
+  std::vector<PolicyKind> policies() const;
+  std::vector<rt::SchedSpec> scheds() const;
+
+  /// True for the paper's exact configuration (the default constructor),
+  /// for which all seed tables and figures must be byte-identical.
+  bool isDefault() const;
+
+private:
+  explicit VersionSpace(std::vector<VersionDescriptor> Ds)
+      : Descriptors(std::move(Ds)) {}
+
+  std::vector<VersionDescriptor> Descriptors;
+};
+
+} // namespace dynfb::xform
+
+#endif // DYNFB_XFORM_VERSIONSPACE_H

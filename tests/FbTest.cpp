@@ -138,9 +138,16 @@ TEST(ControllerTest, EarlyCutoffSkipsRemainingVersions) {
   EXPECT_EQ(R.IntervalsRun.count(1), 0u);
 }
 
-TEST(ControllerTest, SamplingOrderDefaultIsPolicyOrder) {
+std::vector<std::string> mockLabels(unsigned N) {
+  std::vector<std::string> Labels;
+  for (unsigned V = 0; V < N; ++V)
+    Labels.push_back("v" + std::to_string(V));
+  return Labels;
+}
+
+TEST(ControllerTest, SamplingOrderDefaultIsSpaceOrder) {
   FeedbackController C(smallConfig());
-  const auto Order = C.samplingOrder(3, "S");
+  const auto Order = C.samplingOrder(mockLabels(3), "S");
   EXPECT_EQ(Order, (std::vector<unsigned>{0, 1, 2}));
 }
 
@@ -148,20 +155,20 @@ TEST(ControllerTest, SamplingOrderExtremesFirstUnderCutoff) {
   FeedbackConfig Config = smallConfig();
   Config.EarlyCutoff = true;
   FeedbackController C(Config);
-  const auto Order = C.samplingOrder(3, "S");
+  const auto Order = C.samplingOrder(mockLabels(3), "S");
   EXPECT_EQ(Order, (std::vector<unsigned>{2, 0, 1}));
 }
 
 TEST(ControllerTest, PolicyOrderingUsesHistory) {
   PolicyHistory History;
-  History.recordBest("S", 1);
+  History.recordBest("S", "v1");
   FeedbackConfig Config = smallConfig();
   Config.UsePolicyOrdering = true;
   FeedbackController C(Config, &History);
-  const auto Order = C.samplingOrder(3, "S");
+  const auto Order = C.samplingOrder(mockLabels(3), "S");
   EXPECT_EQ(Order.front(), 1u);
-  // Unknown sections fall back to policy order.
-  EXPECT_EQ(C.samplingOrder(3, "T").front(), 0u);
+  // Unknown sections fall back to space order.
+  EXPECT_EQ(C.samplingOrder(mockLabels(3), "T").front(), 0u);
 }
 
 TEST(ControllerTest, HistoryIsRecorded) {
@@ -171,7 +178,98 @@ TEST(ControllerTest, HistoryIsRecorded) {
   });
   FeedbackController C(smallConfig(), &History);
   C.executeSection(R, "S");
-  EXPECT_EQ(History.lastBest("S"), 1u);
+  EXPECT_EQ(History.lastBest("S"), "v1");
+}
+
+TEST(ControllerTest, SamplesWholeSpaceAtEverySize) {
+  // The sampling phase visits every point of the version space regardless
+  // of its size: |space| = 1 (degenerate), 4, 9 (the 3x3 product).
+  for (const unsigned N : {1u, 4u, 9u}) {
+    const unsigned BestV = N - 1;
+    MockRunner R(N, secondsToNanos(4), [BestV](unsigned V, Nanos) {
+      return V == BestV ? 0.05 : 0.4;
+    });
+    FeedbackController C(smallConfig());
+    const SectionExecutionTrace T = C.executeSection(R, "S");
+    EXPECT_EQ(T.SampledIntervals, T.SamplingPhases * N) << "N=" << N;
+    EXPECT_EQ(T.SampledOverheads.all().size(), N);
+    ASSERT_FALSE(T.ChosenVersions.empty());
+    EXPECT_EQ(T.dominantVersion(), BestV);
+  }
+}
+
+TEST(ControllerTest, EarlyCutoffScalesWithSpaceSize) {
+  // Early cut-off matters more the larger the space: with the extreme
+  // (last) version acceptable, the middle of the space is never sampled.
+  for (const unsigned N : {4u, 9u}) {
+    MockRunner R(N, secondsToNanos(2), [N](unsigned V, Nanos) {
+      return V == N - 1 ? 0.01 : 0.5;
+    });
+    FeedbackConfig Config = smallConfig();
+    Config.EarlyCutoff = true;
+    FeedbackController C(Config);
+    const SectionExecutionTrace T = C.executeSection(R, "S");
+    EXPECT_GT(T.SkippedByCutoff, 0u) << "N=" << N;
+    EXPECT_EQ(T.ChosenVersions.front(), N - 1);
+    EXPECT_EQ(R.IntervalsRun.count(1), 0u);
+  }
+}
+
+TEST(ControllerTest, SamplingOrderAcrossSpaceSizes) {
+  FeedbackController Plain(smallConfig());
+  EXPECT_EQ(Plain.samplingOrder(mockLabels(1), "S"),
+            (std::vector<unsigned>{0}));
+  EXPECT_EQ(Plain.samplingOrder(mockLabels(4), "S"),
+            (std::vector<unsigned>{0, 1, 2, 3}));
+
+  FeedbackConfig Cut = smallConfig();
+  Cut.EarlyCutoff = true;
+  FeedbackController C(Cut);
+  // Extremes first; a one-version space has a single extreme.
+  EXPECT_EQ(C.samplingOrder(mockLabels(1), "S"),
+            (std::vector<unsigned>{0}));
+  EXPECT_EQ(C.samplingOrder(mockLabels(4), "S"),
+            (std::vector<unsigned>{3, 0, 1, 2}));
+  EXPECT_EQ(C.samplingOrder(mockLabels(9), "S"),
+            (std::vector<unsigned>{8, 0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(ControllerTest, HistorySurvivesReorderedAndExtendedSpace) {
+  // History records descriptor names, not indices, so recorded knowledge
+  // stays valid when the space is reordered or extended between runs.
+  PolicyHistory History;
+  History.recordBest("S", "Bounded");
+  FeedbackConfig Config = smallConfig();
+  Config.UsePolicyOrdering = true;
+  FeedbackController C(Config, &History);
+
+  const std::vector<std::string> Space3{"Original", "Bounded", "Aggressive"};
+  EXPECT_EQ(C.samplingOrder(Space3, "S").front(), 1u);
+  const std::vector<std::string> Reordered{"Aggressive", "Original",
+                                           "Bounded"};
+  EXPECT_EQ(C.samplingOrder(Reordered, "S").front(), 2u);
+  const std::vector<std::string> Product{
+      "Original",   "Original+chunk8",   "Original+chunk32",
+      "Bounded",    "Bounded+chunk8",    "Bounded+chunk32",
+      "Aggressive", "Aggressive+chunk8", "Aggressive+chunk32"};
+  EXPECT_EQ(C.samplingOrder(Product, "S").front(), 3u);
+}
+
+TEST(ControllerTest, HistoryResolvesMergedVersionLabels) {
+  // Water INTERF merges Bounded and Aggressive into one version labelled
+  // "Bounded/Aggressive": a best recorded under a component name resolves
+  // to the merged version, and a merged name resolves in a split space.
+  PolicyHistory History;
+  History.recordBest("S", "Aggressive");
+  FeedbackConfig Config = smallConfig();
+  Config.UsePolicyOrdering = true;
+  FeedbackController C(Config, &History);
+  const std::vector<std::string> Merged{"Original", "Bounded/Aggressive"};
+  EXPECT_EQ(C.samplingOrder(Merged, "S").front(), 1u);
+
+  History.recordBest("S", "Bounded/Aggressive");
+  const std::vector<std::string> Split{"Original", "Bounded", "Aggressive"};
+  EXPECT_EQ(C.samplingOrder(Split, "S").front(), 1u);
 }
 
 TEST(ControllerTest, RecordsEffectiveSamplingIntervals) {

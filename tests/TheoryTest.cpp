@@ -129,6 +129,45 @@ TEST(TheoryTest, RegionShrinksWithSamplingInterval) {
   EXPECT_GT(RS->second, RL->second);
 }
 
+TEST(TheoryTest, BestEpsilonDegradesWithSpaceSize) {
+  // The N-version bound: sampling cost scales with |space|, so the best
+  // achievable eps at the optimal production interval worsens as
+  // adaptation dimensions multiply N (3 policies -> 9 combinations).
+  const double Alpha = 0.065, S = 1.0;
+  const double E3 = bestAchievableEpsilon(S, 3, Alpha);
+  const double E9 = bestAchievableEpsilon(S, 9, Alpha);
+  EXPECT_GT(E3, 0.0);
+  EXPECT_GT(E9, E3);
+  // Still achievable: a long enough production interval amortizes any
+  // finite space at these drift rates.
+  EXPECT_LT(E9, 1.0);
+}
+
+TEST(TheoryTest, RequiredProductionIntervalGrowsWithSpaceSize) {
+  // Figure 3's S = 1 s cannot amortize nine versions at eps = 0.5 (the
+  // region is already empty at S.N ~= 8); compare at a sampling interval
+  // both spaces can afford.
+  AnalysisParams Three = AnalysisParams::figure3Example();
+  Three.S = 0.2;
+  Three.N = 3;
+  AnalysisParams Nine = Three;
+  Nine.N = 9;
+  const auto P3 = requiredProductionInterval(Three);
+  const auto P9 = requiredProductionInterval(Nine);
+  ASSERT_TRUE(P3.has_value());
+  ASSERT_TRUE(P9.has_value());
+  EXPECT_GT(*P9, *P3);
+  // Consistency with the feasible region: the required interval is its
+  // lower edge.
+  const auto R9 = feasibleRegion(Nine);
+  ASSERT_TRUE(R9.has_value());
+  EXPECT_NEAR(*P9, R9->first, 1e-9);
+  // A tight bound with a large space becomes infeasible outright.
+  AnalysisParams Impossible = Nine;
+  Impossible.Epsilon = 0.05;
+  EXPECT_FALSE(requiredProductionInterval(Impossible).has_value());
+}
+
 TEST(TheoryTest, OptimalPMatchesPaperExample) {
   // "For the example values used in Figure 3, the optimal value of P is
   // P_opt ~= 7.25."

@@ -1,0 +1,224 @@
+//===- tests/VersionSpaceTest.cpp - Version-space composition tests -------==//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/water/WaterApp.h"
+#include "ir/StructuralHash.h"
+#include "xform/MultiVersion.h"
+#include "xform/VersionSpace.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace dynfb;
+using namespace dynfb::xform;
+
+namespace {
+
+rt::SchedSpec dyn() { return rt::SchedSpec::dynamic(); }
+
+VersionSpace nineSpace() {
+  return VersionSpace::product(
+      {PolicyKind::Original, PolicyKind::Bounded, PolicyKind::Aggressive},
+      {dyn(), rt::SchedSpec::chunked(8), rt::SchedSpec::chunked(32)});
+}
+
+// ------------------------- Space composition ------------------------------
+
+TEST(VersionSpaceTest, DefaultIsThePapersThreePolicies) {
+  const VersionSpace Space;
+  ASSERT_EQ(Space.size(), 3u);
+  EXPECT_TRUE(Space.isDefault());
+  EXPECT_EQ(Space.descriptors()[0].name(), "Original");
+  EXPECT_EQ(Space.descriptors()[1].name(), "Bounded");
+  EXPECT_EQ(Space.descriptors()[2].name(), "Aggressive");
+  for (const VersionDescriptor &D : Space.descriptors())
+    EXPECT_EQ(D.Sched, dyn());
+}
+
+TEST(VersionSpaceTest, ProductIsPolicyMajor) {
+  const VersionSpace Space = nineSpace();
+  ASSERT_EQ(Space.size(), 9u);
+  EXPECT_FALSE(Space.isDefault());
+  // The synchronization dimension varies slowest, so the first and last
+  // descriptors are the extreme policies early cut-off wants first.
+  EXPECT_EQ(Space.descriptors().front().Policy, PolicyKind::Original);
+  EXPECT_EQ(Space.descriptors().back().Policy, PolicyKind::Aggressive);
+  EXPECT_EQ(Space.descriptors()[1].name(), "Original+chunk8");
+  EXPECT_EQ(Space.descriptors()[5].name(), "Bounded+chunk32");
+  // All nine points distinct.
+  std::set<std::string> Names;
+  for (const VersionDescriptor &D : Space.descriptors())
+    Names.insert(D.name());
+  EXPECT_EQ(Names.size(), 9u);
+}
+
+TEST(VersionSpaceTest, DescriptorNamesAndSuffixes) {
+  const VersionDescriptor Plain{PolicyKind::Bounded, dyn()};
+  EXPECT_EQ(Plain.name(), "Bounded");
+  EXPECT_EQ(Plain.suffix(), "$bnd");
+  const VersionDescriptor Chunked{PolicyKind::Aggressive,
+                                  rt::SchedSpec::chunked(32)};
+  EXPECT_EQ(Chunked.name(), "Aggressive+chunk32");
+  EXPECT_EQ(Chunked.suffix(), "$agg$c32");
+}
+
+TEST(VersionSpaceTest, DimensionValueQueries) {
+  const VersionSpace Space = nineSpace();
+  EXPECT_EQ(Space.policies().size(), 3u);
+  ASSERT_EQ(Space.scheds().size(), 3u);
+  EXPECT_EQ(Space.scheds()[0], dyn());
+  EXPECT_EQ(Space.scheds()[2], rt::SchedSpec::chunked(32));
+}
+
+// ------------------------------ Parsing -----------------------------------
+
+TEST(VersionSpaceTest, ParseSyncAloneYieldsTheDefaultSpace) {
+  std::string Error;
+  const auto Space = VersionSpace::parse("sync", "", Error);
+  ASSERT_TRUE(Space.has_value()) << Error;
+  EXPECT_TRUE(Space->isDefault());
+}
+
+TEST(VersionSpaceTest, ParseProductSpec) {
+  std::string Error;
+  const auto Space = VersionSpace::parse("sync,sched", "8,64", Error);
+  ASSERT_TRUE(Space.has_value()) << Error;
+  EXPECT_EQ(Space->size(), 9u);
+  EXPECT_EQ(Space->scheds().size(), 3u); // dynamic + two chunked strategies
+  EXPECT_EQ(Space->descriptors()[2].name(), "Original+chunk64");
+}
+
+TEST(VersionSpaceTest, ParseRejectsMalformedSpecs) {
+  const struct {
+    const char *Dimensions;
+    const char *Chunks;
+  } Bad[] = {
+      {"", ""},            // empty dimension list
+      {"bogus", ""},       // unknown dimension
+      {"sched", "8"},      // sync is mandatory
+      {"sync,sync", ""},   // duplicate dimension
+      {"sync", "8"},       // chunks without the sched dimension
+      {"sync,sched", ""},  // sched dimension without chunk sizes
+      {"sync,sched", "1"}, // chunk 1 is dynamic self-scheduling
+      {"sync,sched", "8,8"},   // duplicate chunk size
+      {"sync,sched", "8,abc"}, // malformed chunk size
+  };
+  for (const auto &Spec : Bad) {
+    std::string Error;
+    EXPECT_FALSE(
+        VersionSpace::parse(Spec.Dimensions, Spec.Chunks, Error).has_value())
+        << Spec.Dimensions << " / " << Spec.Chunks;
+    EXPECT_FALSE(Error.empty());
+    EXPECT_EQ(Error.find('\n'), std::string::npos)
+        << "diagnostics must be one line";
+  }
+}
+
+// --------------------- Nine-version code generation -----------------------
+
+/// Water is the interesting generation target: INTERF merges Bounded with
+/// Aggressive and POTENG merges Original with Bounded, so the 9-point space
+/// must deduplicate to 6 versions per section while keeping every
+/// descriptor addressable.
+class WaterNineVersions : public ::testing::Test {
+protected:
+  static void SetUpTestSuite() {
+    apps::water::WaterConfig Config;
+    Config.scale(0.125);
+    Water = new apps::water::WaterApp(Config, nineSpace());
+  }
+  static void TearDownTestSuite() {
+    delete Water;
+    Water = nullptr;
+  }
+  static apps::water::WaterApp *Water;
+};
+
+apps::water::WaterApp *WaterNineVersions::Water = nullptr;
+
+TEST_F(WaterNineVersions, DeduplicatesMergedPolicies) {
+  const VersionedSection *Interf =
+      Water->program().find(apps::water::WaterApp::InterfSection);
+  const VersionedSection *Poteng =
+      Water->program().find(apps::water::WaterApp::PotengSection);
+  ASSERT_NE(Interf, nullptr);
+  ASSERT_NE(Poteng, nullptr);
+  // Two distinct policies x three schedulings each.
+  EXPECT_EQ(Interf->Versions.size(), 6u);
+  EXPECT_EQ(Poteng->Versions.size(), 6u);
+  EXPECT_EQ(Interf->versionFor({PolicyKind::Bounded, dyn()}).Entry,
+            Interf->versionFor({PolicyKind::Aggressive, dyn()}).Entry);
+  EXPECT_EQ(Poteng->versionFor({PolicyKind::Original, dyn()}).Entry,
+            Poteng->versionFor({PolicyKind::Bounded, dyn()}).Entry);
+  EXPECT_NE(Poteng->versionFor({PolicyKind::Bounded, dyn()}).Entry,
+            Poteng->versionFor({PolicyKind::Aggressive, dyn()}).Entry);
+}
+
+TEST_F(WaterNineVersions, EveryDescriptorAddressesExactlyOneVersion) {
+  for (const VersionedSection &VS : Water->program().Sections) {
+    unsigned Listed = 0;
+    for (const SectionVersion &V : VS.Versions) {
+      EXPECT_FALSE(V.Descriptors.empty());
+      Listed += static_cast<unsigned>(V.Descriptors.size());
+    }
+    EXPECT_EQ(Listed, 9u) << VS.Name;
+    for (const VersionDescriptor &D : Water->versionSpace().descriptors()) {
+      const SectionVersion &V = VS.versionFor(D);
+      EXPECT_TRUE(V.hasDescriptor(D));
+      EXPECT_EQ(V.Sched, D.Sched);
+    }
+  }
+}
+
+TEST_F(WaterNineVersions, SchedVariantsOfAPolicyShareTheirEntry) {
+  for (const VersionedSection &VS : Water->program().Sections)
+    for (PolicyKind P : AllPolicies) {
+      const ir::Method *DynEntry = VS.versionFor({P, dyn()}).Entry;
+      EXPECT_EQ(VS.versionFor({P, rt::SchedSpec::chunked(8)}).Entry,
+                DynEntry);
+      EXPECT_EQ(VS.versionFor({P, rt::SchedSpec::chunked(32)}).Entry,
+                DynEntry);
+    }
+}
+
+TEST_F(WaterNineVersions, NoTwoVersionsAreEquivalent) {
+  // Deduplication must be complete: after it, no pair of versions of one
+  // section may share both the scheduling strategy and structurally equal
+  // code. The structural hash separates the distinct entries.
+  for (const VersionedSection &VS : Water->program().Sections) {
+    std::set<std::pair<std::string, uint64_t>> Keys;
+    for (const SectionVersion &V : VS.Versions) {
+      ASSERT_NE(V.Entry, nullptr);
+      Keys.insert({V.Sched.name(), ir::structuralHash(*V.Entry)});
+    }
+    EXPECT_EQ(Keys.size(), VS.Versions.size()) << VS.Name;
+    for (size_t I = 0; I < VS.Versions.size(); ++I)
+      for (size_t J = I + 1; J < VS.Versions.size(); ++J) {
+        const SectionVersion &A = VS.Versions[I];
+        const SectionVersion &B = VS.Versions[J];
+        EXPECT_FALSE(A.Sched == B.Sched &&
+                     ir::structurallyEqual(*A.Entry, *B.Entry))
+            << VS.Name << ": versions " << A.label() << " and " << B.label();
+      }
+  }
+}
+
+TEST_F(WaterNineVersions, ClonesCarryCompositeSuffixes) {
+  // The policy part of the descriptor suffix materializes cloned method
+  // bodies; distinct-policy entries are distinct clones of the section
+  // entry, not the authored method itself.
+  for (const VersionedSection &VS : Water->program().Sections) {
+    std::set<const ir::Method *> Entries;
+    for (const SectionVersion &V : VS.Versions)
+      Entries.insert(V.Entry);
+    EXPECT_GE(Entries.size(), 2u) << VS.Name;
+    for (const SectionVersion &V : VS.Versions)
+      EXPECT_NE(V.Entry, VS.SerialEntry);
+  }
+}
+
+} // namespace

@@ -6,16 +6,21 @@
 //
 //   dynfb-run --app water --procs 8 --policy dynamic
 //   dynfb-run --app barnes_hut --procs 16 --policy aggressive --scale 0.25
-//   dynfb-run --app water --sweep             # all policies x 1..16 procs
+//   dynfb-run --app water --sweep             # all versions x 1..16 procs
 //   dynfb-run --app water --policy dynamic \
 //       --perturb "contend@2s-4s:extra=200us" --drift 0.1
+//   dynfb-run --app water --dimensions sync,sched --chunks 8,32 \
+//       --policy dynamic                      # 3x3 version space
+//   dynfb-run --app water --dimensions sync,sched --chunks 8 --list-versions
 //
-// Policies: serial, original, bounded, aggressive, dynamic. Dynamic-mode
-// options: --sampling <seconds>, --production <seconds>, --cutoff,
-// --ordering, --spanning. Robustness options: --repeats N,
-// --aggregate mean|median|trimmed, --hysteresis X, --drift X, --slice S.
-// Fault injection: --perturb "<schedule>" (see docs/ROBUSTNESS.md for the
-// schedule grammar).
+// Policies: serial, original, bounded, aggressive, dynamic. Version space:
+// --dimensions sync[,sched] with --chunks K1,K2,... composing chunked
+// scheduling variants into the space; --list-versions prints the resolved
+// space and exits. Dynamic-mode options: --sampling <seconds>,
+// --production <seconds>, --cutoff, --ordering, --spanning. Robustness
+// options: --repeats N, --aggregate mean|median|trimmed, --hysteresis X,
+// --drift X, --slice S. Fault injection: --perturb "<schedule>" (see
+// docs/ROBUSTNESS.md for the schedule grammar).
 //
 // Invalid input (unknown application, unknown section in a perturbation
 // schedule, malformed schedule or configuration) produces a one-line
@@ -30,6 +35,7 @@
 #include "support/CommandLine.h"
 #include "support/StringUtils.h"
 #include "support/TablePrinter.h"
+#include "xform/CodeSize.h"
 
 #include <cstdio>
 #include <limits>
@@ -43,9 +49,10 @@ int usage() {
   std::fprintf(stderr,
                "usage: dynfb-run --app <barnes_hut|water|string> "
                "[--procs N] [--policy serial|original|bounded|aggressive|"
-               "dynamic] [--scale F] [--sampling S] [--production S] "
-               "[--cutoff] [--ordering] [--spanning] [--sweep] "
-               "[--repeats N] [--aggregate mean|median|trimmed] "
+               "dynamic] [--scale F] [--dimensions sync[,sched]] "
+               "[--chunks K1,K2,...] [--list-versions] [--sampling S] "
+               "[--production S] [--cutoff] [--ordering] [--spanning] "
+               "[--sweep] [--repeats N] [--aggregate mean|median|trimmed] "
                "[--hysteresis X] [--drift X] [--slice S] "
                "[--perturb SCHEDULE]\n");
   return 1;
@@ -65,11 +72,46 @@ int main(int Argc, char **Argv) {
   const std::string AppName = CL.getString("app", "");
   if (AppName.empty())
     return usage();
+
+  // Version space: the cross product of the requested adaptation
+  // dimensions (default: the three synchronization policies under dynamic
+  // self-scheduling).
+  xform::VersionSpace Space;
+  const std::string Dimensions = CL.getString("dimensions", "");
+  const std::string Chunks = CL.getString("chunks", "");
+  if (!Dimensions.empty() || !Chunks.empty()) {
+    std::string Error;
+    std::optional<xform::VersionSpace> Parsed = xform::VersionSpace::parse(
+        Dimensions.empty() ? "sync" : Dimensions, Chunks, Error);
+    if (!Parsed)
+      return fail(Error);
+    Space = std::move(*Parsed);
+  }
+
   std::unique_ptr<App> TheApp =
-      createApp(AppName, CL.getDouble("scale", 1.0));
+      createApp(AppName, CL.getDouble("scale", 1.0), Space);
   if (!TheApp)
     return fail("unknown application '" + AppName +
                 "' (expected barnes_hut, water or string)");
+
+  if (CL.getBool("list-versions", false)) {
+    const xform::CodeSizeModel SizeModel;
+    const uint64_t SerialBase = 64 * 1024;
+    const double SerialBytes = static_cast<double>(xform::serialExecutableBytes(
+        TheApp->program(), SizeModel, SerialBase));
+    std::printf("%s: version space with %u versions\n", AppName.c_str(),
+                static_cast<unsigned>(Space.size()));
+    std::printf("  %-24s %-12s %-10s %s\n", "name", "sync", "sched",
+                "code size (vs serial)");
+    for (const xform::VersionDescriptor &D : Space.descriptors()) {
+      const uint64_t Bytes = xform::fixedExecutableBytes(
+          TheApp->program(), SizeModel, SerialBase, D);
+      std::printf("  %-24s %-12s %-10s %.2f\n", D.name().c_str(),
+                  xform::policyName(D.Policy), D.Sched.name().c_str(),
+                  static_cast<double>(Bytes) / SerialBytes);
+    }
+    return 0;
+  }
 
   fb::FeedbackConfig Config;
   Config.TargetSamplingNanos =
@@ -136,22 +178,22 @@ int main(int Argc, char **Argv) {
     for (unsigned N : PaperProcCounts)
       Header.push_back(format("%u", N));
     T.setHeader(Header);
-    auto Seconds = [&](unsigned N, Flavour F, xform::PolicyKind P) {
+    auto Seconds = [&](unsigned N, const VersionSpec &Spec) {
       return rt::nanosToSeconds(
-          runApp(*TheApp, N, F, P, Config, nullptr,
-                 rt::CostModel::dashLike(), Perturb.get())
+          runApp(*TheApp, N, Spec, Config, nullptr, rt::CostModel::dashLike(),
+                 Perturb.get())
               .TotalNanos);
     };
-    for (xform::PolicyKind P : xform::AllPolicies) {
-      std::vector<std::string> Row{xform::policyName(P)};
+    for (const xform::VersionDescriptor &D : Space.descriptors()) {
+      std::vector<std::string> Row{D.name()};
       for (unsigned N : PaperProcCounts)
-        Row.push_back(formatDouble(Seconds(N, Flavour::Fixed, P), 2));
+        Row.push_back(formatDouble(Seconds(N, VersionSpec::fixed(D)), 2));
       T.addRow(Row);
     }
     std::vector<std::string> Dyn{"Dynamic"};
     for (unsigned N : PaperProcCounts)
-      Dyn.push_back(formatDouble(
-          Seconds(N, Flavour::Dynamic, xform::PolicyKind::Original), 2));
+      Dyn.push_back(
+          formatDouble(Seconds(N, VersionSpec::dynamicFeedback()), 2));
     T.addRow(Dyn);
     std::fputs(T.renderText().c_str(), stdout);
     return 0;
@@ -176,7 +218,7 @@ int main(int Argc, char **Argv) {
     for (const xform::VersionedSection &VS : TheApp->program().Sections) {
       std::vector<rt::NativeIrVersion> Versions;
       for (const xform::SectionVersion &V : VS.Versions)
-        Versions.push_back({V.label(), V.Entry});
+        Versions.push_back({V.label(), V.Entry, V.Sched});
       auto Runner = rt::makeNativeIrRunner(
           Team, TheApp->binding(VS.Name), std::move(Versions),
           rt::CostModel::dashLike(), TimeScale);
