@@ -18,7 +18,10 @@
 
 #include "apps/App.h"
 #include "fb/Driver.h"
+#include "obs/Export.h"
+#include "sim/Trace.h"
 
+#include <map>
 #include <vector>
 
 namespace dynfb::perturb {
@@ -30,15 +33,41 @@ namespace dynfb::apps {
 /// Processor counts of the paper's execution-time tables.
 inline const std::vector<unsigned> PaperProcCounts = {1, 2, 4, 8, 12, 16};
 
+/// Observability hooks for one runApp call, all default-off. Attaching one
+/// never alters the run: the decision log and traces are strictly
+/// observation.
+struct RunObservation {
+  /// Filled by the feedback controller: one event per sampled interval,
+  /// production decision and drift resample (empty for Fixed flavours,
+  /// which make no decisions).
+  obs::DecisionLog Log;
+  /// When set before the run, the simulator accumulates one cumulative
+  /// IntervalTrace per section into SectionTraces (lock contention and
+  /// per-processor time decomposition over the whole run).
+  bool CollectSectionTraces = false;
+  std::map<std::string, sim::IntervalTrace> SectionTraces;
+};
+
 /// Runs the executable described by \p Spec of \p App on a fresh simulated
 /// machine. \p Perturb, when non-null, injects the engine's fault schedule
 /// into the simulated machine for the duration of the run (null: pristine
-/// machine).
+/// machine). \p Obs, when non-null, collects the run's decision log and
+/// (optionally) per-section simulator traces.
 fb::RunResult runApp(const App &App, unsigned Procs, const VersionSpec &Spec,
                      const fb::FeedbackConfig &Config = {},
                      fb::PolicyHistory *History = nullptr,
                      const rt::CostModel &Costs = rt::CostModel::dashLike(),
-                     const perturb::PerturbationEngine *Perturb = nullptr);
+                     const perturb::PerturbationEngine *Perturb = nullptr,
+                     RunObservation *Obs = nullptr);
+
+/// Assembles the exportable obs::RunTrace of one finished run: \p Result's
+/// per-occurrence section records, plus -- when \p Obs is non-null -- the
+/// decision log and the per-section lock contention records (sections in
+/// name order, locks by object id: deterministic output).
+obs::RunTrace buildRunTrace(const std::string &AppName, unsigned Procs,
+                            const std::string &Policy,
+                            const fb::RunResult &Result,
+                            const RunObservation *Obs = nullptr);
 
 /// Convenience: end-to-end execution time in seconds.
 double runAppSeconds(const App &App, unsigned Procs, const VersionSpec &Spec,
@@ -51,11 +80,12 @@ runApp(const App &App, unsigned Procs, Flavour F,
        const fb::FeedbackConfig &Config = {},
        fb::PolicyHistory *History = nullptr,
        const rt::CostModel &Costs = rt::CostModel::dashLike(),
-       const perturb::PerturbationEngine *Perturb = nullptr) {
+       const perturb::PerturbationEngine *Perturb = nullptr,
+       RunObservation *Obs = nullptr) {
   return runApp(App, Procs,
                 F == Flavour::Fixed ? VersionSpec::fixed(Policy)
                                     : VersionSpec{F, {}},
-                Config, History, Costs, Perturb);
+                Config, History, Costs, Perturb, Obs);
 }
 
 inline double runAppSeconds(const App &App, unsigned Procs, Flavour F,

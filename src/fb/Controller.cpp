@@ -15,12 +15,14 @@
 
 #include "fb/Controller.h"
 
+#include "obs/Metrics.h"
 #include "support/Compiler.h"
 #include "support/StringUtils.h"
 
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <limits>
 #include <map>
 
 using namespace dynfb;
@@ -28,6 +30,29 @@ using namespace dynfb::fb;
 using namespace dynfb::rt;
 
 namespace {
+
+constexpr double NaN = std::numeric_limits<double>::quiet_NaN();
+
+/// Run-wide controller counters in the global metrics registry: the
+/// aggregate view of the per-occurrence counts SectionExecutionTrace
+/// carries. Registered once, incremented with relaxed atomics.
+struct FbCounters {
+  obs::Counter &SampledIntervals =
+      obs::globalMetrics().counter("fb.sampled_intervals");
+  obs::Counter &DegenerateIntervals =
+      obs::globalMetrics().counter("fb.degenerate_intervals");
+  obs::Counter &Switches = obs::globalMetrics().counter("fb.switches");
+  obs::Counter &HysteresisHolds =
+      obs::globalMetrics().counter("fb.hysteresis_holds");
+  obs::Counter &Fallbacks = obs::globalMetrics().counter("fb.fallbacks");
+  obs::Counter &DriftResamples =
+      obs::globalMetrics().counter("fb.drift_resamples");
+};
+
+FbCounters &fbCounters() {
+  static FbCounters C;
+  return C;
+}
 
 /// True when an interval produced a usable overhead measurement. Intervals
 /// failing this would previously let a zero-duration measurement enter the
@@ -141,7 +166,7 @@ FeedbackController::samplingOrder(const std::vector<std::string> &Labels,
   return Order;
 }
 
-std::optional<unsigned>
+FeedbackController::BestPick
 FeedbackController::pickBest(const std::vector<std::optional<double>> &Overheads,
                              std::optional<unsigned> Incumbent,
                              SectionExecutionTrace &Trace) const {
@@ -154,7 +179,7 @@ FeedbackController::pickBest(const std::vector<std::optional<double>> &Overheads
         (!Best || *Overheads[V] < *Overheads[*Best]))
       Best = V;
   if (!Best)
-    return std::nullopt;
+    return {};
 
   // Switch hysteresis: keep a measured incumbent unless the challenger
   // improves by more than the configured margin.
@@ -164,9 +189,66 @@ FeedbackController::pickBest(const std::vector<std::optional<double>> &Overheads
       *Overheads[*Best] >=
           *Overheads[*Incumbent] - Config.SwitchHysteresis) {
     ++Trace.HysteresisHolds;
-    return Incumbent;
+    fbCounters().HysteresisHolds.add();
+    return {Incumbent, /*HysteresisHeld=*/true};
   }
-  return Best;
+  return {Best, /*HysteresisHeld=*/false};
+}
+
+void FeedbackController::logSample(const std::string &Section, rt::Nanos T,
+                                   unsigned V, const std::string &Label,
+                                   double Overhead, unsigned Repeats,
+                                   unsigned Degenerate) const {
+  if (!Log)
+    return;
+  obs::DecisionEvent E;
+  E.Kind = obs::DecisionKind::Sample;
+  E.TimeNanos = T;
+  E.Section = Section;
+  E.Version = V;
+  E.Label = Label;
+  E.Overhead = Overhead;
+  E.Repeats = Repeats;
+  E.Degenerate = Degenerate;
+  Log->append(std::move(E));
+}
+
+void FeedbackController::logSwitch(const std::string &Section, rt::Nanos T,
+                                   unsigned V, const std::string &Label,
+                                   double Overhead,
+                                   obs::SwitchReason Reason) const {
+  fbCounters().Switches.add();
+  if (Reason == obs::SwitchReason::Fallback)
+    fbCounters().Fallbacks.add();
+  if (!Log)
+    return;
+  obs::DecisionEvent E;
+  E.Kind = obs::DecisionKind::Switch;
+  E.TimeNanos = T;
+  E.Section = Section;
+  E.Version = V;
+  E.Label = Label;
+  E.Overhead = Overhead;
+  E.Reason = Reason;
+  Log->append(std::move(E));
+}
+
+void FeedbackController::logDriftResample(const std::string &Section,
+                                          rt::Nanos T, unsigned V,
+                                          const std::string &Label,
+                                          double Overhead) const {
+  fbCounters().DriftResamples.add();
+  if (!Log)
+    return;
+  obs::DecisionEvent E;
+  E.Kind = obs::DecisionKind::DriftResample;
+  E.TimeNanos = T;
+  E.Section = Section;
+  E.Version = V;
+  E.Label = Label;
+  E.Overhead = Overhead;
+  E.Reason = obs::SwitchReason::None;
+  Log->append(std::move(E));
 }
 
 SectionExecutionTrace
@@ -221,13 +303,19 @@ FeedbackController::executeSpanning(IntervalRunner &Runner,
       // This version's sampling interval is complete: record it, unless the
       // accumulated measurement is degenerate (zero duration, non-finite).
       ++Trace.SampledIntervals;
+      fbCounters().SampledIntervals.add();
       if (isUsable(State.CurrentIntervalStats)) {
         const double Overhead = State.CurrentIntervalStats.totalOverhead();
         State.Overheads[V] = Overhead;
         Trace.SampledOverheads.getOrCreate(Runner.versionLabel(V))
             .addPoint(nanosToSeconds(Runner.now()), Overhead);
+        logSample(SectionName, Runner.now(), V, Labels[V], Overhead,
+                  /*Repeats=*/1, /*Degenerate=*/0);
       } else {
         ++Trace.DegenerateIntervals;
+        fbCounters().DegenerateIntervals.add();
+        logSample(SectionName, Runner.now(), V, Labels[V], NaN,
+                  /*Repeats=*/0, /*Degenerate=*/1);
       }
       State.CurrentIntervalStats = OverheadStats{};
       State.Remaining = Config.TargetSamplingNanos;
@@ -243,10 +331,15 @@ FeedbackController::executeSpanning(IntervalRunner &Runner,
         // entirely degenerate phase falls back to the last known-good
         // version (or the first in sampling order on the very first phase)
         // instead of aborting.
-        std::optional<unsigned> Best =
-            pickBest(State.Overheads, State.LastGood, Trace);
-        if (!Best)
+        const BestPick Pick = pickBest(State.Overheads, State.LastGood, Trace);
+        std::optional<unsigned> Best = Pick.V;
+        obs::SwitchReason Reason = Pick.HysteresisHeld
+                                       ? obs::SwitchReason::HysteresisHeld
+                                       : obs::SwitchReason::BeatBest;
+        if (!Best) {
           Best = State.LastGood ? *State.LastGood : State.Order.front();
+          Reason = obs::SwitchReason::Fallback;
+        }
         if (History)
           History->recordBest(SectionName, Labels[*Best]);
         State.Phase = SpanState::PhaseKind::Production;
@@ -257,6 +350,9 @@ FeedbackController::executeSpanning(IntervalRunner &Runner,
         State.Remaining = Config.TargetProductionNanos;
         ++Trace.SamplingPhases;
         Trace.ChosenVersions.push_back(*Best);
+        logSwitch(SectionName, Runner.now(), *Best, Labels[*Best],
+                  State.ProductionOverhead ? *State.ProductionOverhead : NaN,
+                  Reason);
       }
       continue;
     }
@@ -278,6 +374,9 @@ FeedbackController::executeSpanning(IntervalRunner &Runner,
         Report.Stats.totalOverhead() >
             *State.ProductionOverhead + Config.DriftResampleThreshold) {
       ++Trace.EarlyResamples;
+      logDriftResample(SectionName, Runner.now(), State.ProductionVersion,
+                       Labels[State.ProductionVersion],
+                       Report.Stats.totalOverhead());
       State.Remaining = 0;
     }
     if (State.Remaining <= 0)
@@ -317,26 +416,46 @@ FeedbackController::executePerOccurrence(IntervalRunner &Runner,
       // outlier resistance through the configured robust aggregator.
       const unsigned Repeats = std::max(1u, Config.SamplingRepeats);
       std::vector<double> Samples;
+      unsigned DegenerateRepeats = 0;
       for (unsigned Rep = 0; Rep < Repeats && !Runner.done(); ++Rep) {
         const IntervalReport Report =
             Runner.runInterval(V, Config.TargetSamplingNanos);
         ++Trace.SampledIntervals;
+        fbCounters().SampledIntervals.add();
         Trace.Total.merge(Report.Stats);
         if (Report.EffectiveNanos <= 0 || !isUsable(Report.Stats)) {
           ++Trace.DegenerateIntervals;
+          fbCounters().DegenerateIntervals.add();
+          ++DegenerateRepeats;
           continue; // Discarded: a 0/0 must not pose as zero overhead.
         }
         Samples.push_back(Report.Stats.totalOverhead());
         Trace.EffectiveSamplingByVersion[Runner.versionLabel(V)].add(
             nanosToSeconds(Report.EffectiveNanos));
       }
-      if (Samples.empty())
+      if (Samples.empty()) {
+        logSample(SectionName, Runner.now(), V, Labels[V], NaN,
+                  /*Repeats=*/0, DegenerateRepeats);
         continue; // Version unmeasurable this phase.
+      }
+      const unsigned UsableRepeats = static_cast<unsigned>(Samples.size());
       const double Overhead = aggregateOverheads(
           std::move(Samples), Config.SamplingAggregation, Config.TrimFraction);
+      if (!std::isfinite(Overhead)) {
+        // Belt and braces: aggregateOverheads returns its NaN sentinel when
+        // every sample was discarded. A non-finite aggregate must never
+        // enter the decision as a measured overhead.
+        ++Trace.DegenerateIntervals;
+        fbCounters().DegenerateIntervals.add();
+        logSample(SectionName, Runner.now(), V, Labels[V], NaN,
+                  /*Repeats=*/0, DegenerateRepeats + UsableRepeats);
+        continue;
+      }
       Overheads[V] = Overhead;
       Trace.SampledOverheads.getOrCreate(Runner.versionLabel(V))
           .addPoint(nanosToSeconds(Runner.now()), Overhead);
+      logSample(SectionName, Runner.now(), V, Labels[V], Overhead,
+                UsableRepeats, DegenerateRepeats);
       if (Config.EarlyCutoff && Overhead <= Config.EarlyCutoffThreshold) {
         // No other policy could do significantly better: cut sampling off.
         Trace.SkippedByCutoff +=
@@ -345,11 +464,16 @@ FeedbackController::executePerOccurrence(IntervalRunner &Runner,
       }
     }
 
-    std::optional<unsigned> Best = pickBest(Overheads, LastGood, Trace);
+    const BestPick Pick = pickBest(Overheads, LastGood, Trace);
+    std::optional<unsigned> Best = Pick.V;
+    obs::SwitchReason Reason = Pick.HysteresisHeld
+                                   ? obs::SwitchReason::HysteresisHeld
+                                   : obs::SwitchReason::BeatBest;
     if (!Best) {
       if (!LastGood)
         break; // Nothing was ever measured and there is no fallback.
       Best = LastGood; // Degenerate sampling phase: ride the known-good.
+      Reason = obs::SwitchReason::Fallback;
     }
     if (History)
       History->recordBest(SectionName, Labels[*Best]);
@@ -358,6 +482,8 @@ FeedbackController::executePerOccurrence(IntervalRunner &Runner,
 
     // ---- Production phase: run the best version. ----
     Trace.ChosenVersions.push_back(*Best);
+    logSwitch(SectionName, Runner.now(), *Best, Labels[*Best],
+              Overheads[*Best] ? *Overheads[*Best] : NaN, Reason);
     LastGood = *Best;
     rt::Nanos Budget = Config.TargetProductionNanos;
     const bool Sliced = Config.ProductionSliceNanos > 0;
@@ -376,6 +502,8 @@ FeedbackController::executePerOccurrence(IntervalRunner &Runner,
           Report.Stats.totalOverhead() >
               *Overheads[*Best] + Config.DriftResampleThreshold) {
         ++Trace.EarlyResamples;
+        logDriftResample(SectionName, Runner.now(), *Best, Labels[*Best],
+                         Report.Stats.totalOverhead());
         break; // Overhead drifted: resample now instead of riding it out.
       }
       if (!Sliced)

@@ -22,6 +22,7 @@
 #define DYNFB_FB_CONTROLLER_H
 
 #include "fb/Config.h"
+#include "obs/DecisionLog.h"
 #include "rt/IntervalRunner.h"
 #include "support/Statistics.h"
 
@@ -107,9 +108,13 @@ struct SectionExecutionTrace {
 /// algorithm.
 class FeedbackController {
 public:
+  /// \p Log, when non-null, receives one event per sampled interval and per
+  /// production decision (see obs::DecisionLog); it must outlive the
+  /// controller. Logging never alters the algorithm.
   explicit FeedbackController(FeedbackConfig Config,
-                              PolicyHistory *History = nullptr)
-      : Config(Config), History(History) {}
+                              PolicyHistory *History = nullptr,
+                              obs::DecisionLog *Log = nullptr)
+      : Config(Config), History(History), Log(Log) {}
 
   /// Executes the section behind \p Runner to completion. With
   /// SpanSectionExecutions set, phase state persists inside the controller
@@ -153,18 +158,37 @@ private:
   SectionExecutionTrace executePerOccurrence(rt::IntervalRunner &Runner,
                                              const std::string &SectionName);
 
+  /// Outcome of pickBest: the chosen version (nullopt when nothing was
+  /// measurably sampled) and whether switch hysteresis held the incumbent
+  /// against a challenger that won on raw overhead -- the distinction the
+  /// decision log records as the switch reason.
+  struct BestPick {
+    std::optional<unsigned> V;
+    bool HysteresisHeld = false;
+  };
+
   /// Picks the sampled version with the least overhead (ties to the lowest
   /// index). With SwitchHysteresis enabled and a measured incumbent, the
   /// incumbent is kept unless the challenger improves by more than the
-  /// margin; suppressed switches are counted in \p Trace. Returns nullopt
-  /// when nothing was measurably sampled.
-  std::optional<unsigned>
-  pickBest(const std::vector<std::optional<double>> &Overheads,
-           std::optional<unsigned> Incumbent,
-           SectionExecutionTrace &Trace) const;
+  /// margin; suppressed switches are counted in \p Trace.
+  BestPick pickBest(const std::vector<std::optional<double>> &Overheads,
+                    std::optional<unsigned> Incumbent,
+                    SectionExecutionTrace &Trace) const;
+
+  /// Decision-log emission helpers; no-ops without an attached log. Every
+  /// event is mirrored into the global metrics registry ("fb.*" counters).
+  void logSample(const std::string &Section, rt::Nanos T, unsigned V,
+                 const std::string &Label, double Overhead, unsigned Repeats,
+                 unsigned Degenerate) const;
+  void logSwitch(const std::string &Section, rt::Nanos T, unsigned V,
+                 const std::string &Label, double Overhead,
+                 obs::SwitchReason Reason) const;
+  void logDriftResample(const std::string &Section, rt::Nanos T, unsigned V,
+                        const std::string &Label, double Overhead) const;
 
   const FeedbackConfig Config;
   PolicyHistory *const History;
+  obs::DecisionLog *const Log;
   std::map<std::string, SpanState> SpanStates;
 };
 

@@ -51,7 +51,7 @@ RunResult fb::runSchedule(ExecutionBackend &Backend, const Schedule &Sched,
                           const RunOptions &Options) {
   RunResult Result;
   const Nanos Start = Backend.now();
-  FeedbackController Controller(Options.Config, Options.History);
+  FeedbackController Controller(Options.Config, Options.History, Options.Log);
 
   for (const Phase &P : Sched) {
     switch (P.K) {

@@ -36,6 +36,10 @@ struct RunOptions {
   ExecMode Mode = ExecMode::Dynamic;
   FeedbackConfig Config;
   PolicyHistory *History = nullptr; ///< Optional, for policy ordering.
+  /// Optional decision log the feedback controller appends to (one event
+  /// per sampled interval, production decision and drift resample). Must
+  /// outlive the run; never alters the algorithm.
+  obs::DecisionLog *Log = nullptr;
 };
 
 /// Result of one run.

@@ -1,0 +1,93 @@
+//===- obs/DecisionLog.cpp ------------------------------------------------==//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/DecisionLog.h"
+
+#include "support/Compiler.h"
+#include "support/StringUtils.h"
+
+#include <cmath>
+
+using namespace dynfb;
+using namespace dynfb::obs;
+
+const char *obs::decisionKindName(DecisionKind K) {
+  switch (K) {
+  case DecisionKind::Sample:
+    return "sample";
+  case DecisionKind::Switch:
+    return "switch";
+  case DecisionKind::DriftResample:
+    return "drift_resample";
+  }
+  DYNFB_UNREACHABLE("unknown decision kind");
+}
+
+const char *obs::switchReasonName(SwitchReason R) {
+  switch (R) {
+  case SwitchReason::None:
+    return "none";
+  case SwitchReason::BeatBest:
+    return "beat-best";
+  case SwitchReason::HysteresisHeld:
+    return "hysteresis-held";
+  case SwitchReason::Fallback:
+    return "fallback";
+  }
+  DYNFB_UNREACHABLE("unknown switch reason");
+}
+
+std::optional<DecisionKind> obs::parseDecisionKind(const std::string &Name) {
+  for (DecisionKind K : {DecisionKind::Sample, DecisionKind::Switch,
+                         DecisionKind::DriftResample})
+    if (Name == decisionKindName(K))
+      return K;
+  return std::nullopt;
+}
+
+std::optional<SwitchReason> obs::parseSwitchReason(const std::string &Name) {
+  for (SwitchReason R : {SwitchReason::None, SwitchReason::BeatBest,
+                         SwitchReason::HysteresisHeld, SwitchReason::Fallback})
+    if (Name == switchReasonName(R))
+      return R;
+  return std::nullopt;
+}
+
+size_t DecisionLog::count(DecisionKind K) const {
+  size_t N = 0;
+  for (const DecisionEvent &E : Events)
+    N += E.Kind == K;
+  return N;
+}
+
+std::string DecisionLog::renderTimeline() const {
+  std::string Out;
+  for (const DecisionEvent &E : Events) {
+    const std::string Overhead =
+        std::isfinite(E.Overhead) ? format("%.4f", E.Overhead) : "n/a";
+    switch (E.Kind) {
+    case DecisionKind::Sample:
+      Out += format("%10.4fs  %-10s sample  %-24s overhead %s"
+                    " (%u repeats, %u degenerate)\n",
+                    rt::nanosToSeconds(E.TimeNanos), E.Section.c_str(),
+                    E.Label.c_str(), Overhead.c_str(), E.Repeats,
+                    E.Degenerate);
+      break;
+    case DecisionKind::Switch:
+      Out += format("%10.4fs  %-10s switch  %-24s overhead %s [%s]\n",
+                    rt::nanosToSeconds(E.TimeNanos), E.Section.c_str(),
+                    E.Label.c_str(), Overhead.c_str(),
+                    switchReasonName(E.Reason));
+      break;
+    case DecisionKind::DriftResample:
+      Out += format("%10.4fs  %-10s drift   %-24s overhead %s\n",
+                    rt::nanosToSeconds(E.TimeNanos), E.Section.c_str(),
+                    E.Label.c_str(), Overhead.c_str());
+      break;
+    }
+  }
+  return Out;
+}

@@ -1,0 +1,100 @@
+//===- obs/DecisionLog.h - Adaptation decision audit log --------*- C++ -*-===//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The audit trail of the dynamic feedback controller: one event per
+/// sampled interval (which version, what aggregated overhead, how many
+/// repeats and degenerate measurements) and one per decision (which version
+/// entered production and why -- it beat the best, hysteresis held the
+/// incumbent, or a degenerate sampling phase fell back to the last known
+/// good), plus drift-triggered early resamples. A run's decision log is the
+/// ground truth the JSONL/Chrome trace exporters and dynfb-report render;
+/// with no log attached the controller records nothing and behaves
+/// identically.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNFB_OBS_DECISIONLOG_H
+#define DYNFB_OBS_DECISIONLOG_H
+
+#include "rt/Time.h"
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dynfb::obs {
+
+/// What one decision-log event records.
+enum class DecisionKind {
+  Sample,        ///< One version's sampling interval completed.
+  Switch,        ///< A production phase began with a chosen version.
+  DriftResample, ///< Production cut short: measured overhead drifted.
+};
+
+/// Why a Switch event chose its version.
+enum class SwitchReason {
+  None,           ///< Not a Switch event.
+  BeatBest,       ///< Lowest sampled overhead of the phase.
+  HysteresisHeld, ///< Challenger won but not by the hysteresis margin;
+                  ///< the incumbent stays.
+  Fallback,       ///< Sampling degenerate: riding the last known good
+                  ///< (or the first version on the very first phase).
+};
+
+const char *decisionKindName(DecisionKind K);
+const char *switchReasonName(SwitchReason R);
+std::optional<DecisionKind> parseDecisionKind(const std::string &Name);
+std::optional<SwitchReason> parseSwitchReason(const std::string &Name);
+
+/// One decision-log entry. Field meaning by Kind:
+///  - Sample: Version/Label name the sampled version, Overhead is the
+///    aggregated measurement (NaN when every repeat was degenerate),
+///    Repeats counts the usable measurements aggregated and Degenerate the
+///    discarded ones.
+///  - Switch: Version/Label name the version entering production, Reason
+///    says why, Overhead is the sampled overhead the decision was based on
+///    (NaN for a fallback with no measurement).
+///  - DriftResample: Version/Label name the running production version and
+///    Overhead the drifted measurement that triggered the resample.
+struct DecisionEvent {
+  DecisionKind Kind = DecisionKind::Sample;
+  rt::Nanos TimeNanos = 0; ///< Backend clock at the event.
+  std::string Section;
+  unsigned Version = 0;
+  std::string Label;
+  double Overhead = 0.0;
+  unsigned Repeats = 0;
+  unsigned Degenerate = 0;
+  SwitchReason Reason = SwitchReason::None;
+};
+
+/// Append-only event log for one run. Not thread-safe: one controller
+/// appends (controllers are single-threaded even over the real-threads
+/// backend, which parallelizes inside runInterval).
+class DecisionLog {
+public:
+  void append(DecisionEvent E) { Events.push_back(std::move(E)); }
+
+  const std::vector<DecisionEvent> &events() const { return Events; }
+  bool empty() const { return Events.empty(); }
+  size_t size() const { return Events.size(); }
+  void clear() { Events.clear(); }
+
+  /// Number of events of \p K.
+  size_t count(DecisionKind K) const;
+
+  /// Human-readable policy timeline (one line per event).
+  std::string renderTimeline() const;
+
+private:
+  std::vector<DecisionEvent> Events;
+};
+
+} // namespace dynfb::obs
+
+#endif // DYNFB_OBS_DECISIONLOG_H

@@ -1,0 +1,304 @@
+//===- obs/Export.cpp -----------------------------------------------------==//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Export.h"
+
+#include "obs/Json.h"
+#include "support/StringUtils.h"
+
+#include <cmath>
+#include <map>
+
+using namespace dynfb;
+using namespace dynfb::obs;
+
+namespace {
+
+std::string quoted(const std::string &S) {
+  std::string Out = "\"";
+  Out += jsonEscape(S);
+  Out += '"';
+  return Out;
+}
+
+std::string intField(const char *Key, int64_t V) {
+  return format("\"%s\":%lld", Key, static_cast<long long>(V));
+}
+
+std::string uintField(const char *Key, uint64_t V) {
+  return format("\"%s\":%llu", Key, static_cast<unsigned long long>(V));
+}
+
+/// Overheads serialize as null when non-finite (JSON has no NaN); the
+/// parser maps null back to NaN.
+std::string overheadField(double V) {
+  return std::isfinite(V) ? format("\"overhead\":%.17g", V)
+                          : std::string("\"overhead\":null");
+}
+
+/// Appends "," followed by \p Field. Separate statements, not operator+ on
+/// a string literal: GCC's -Wrestrict mis-fires on that pattern.
+void addField(std::string &Out, const std::string &Field) {
+  Out += ',';
+  Out += Field;
+}
+
+std::string decisionLine(const DecisionEvent &E) {
+  std::string Out = "{\"type\":\"decision\",\"kind\":";
+  Out += quoted(decisionKindName(E.Kind));
+  addField(Out, intField("t_ns", E.TimeNanos));
+  Out += ",\"section\":";
+  Out += quoted(E.Section);
+  addField(Out, uintField("version", E.Version));
+  Out += ",\"label\":";
+  Out += quoted(E.Label);
+  addField(Out, overheadField(E.Overhead));
+  addField(Out, uintField("repeats", E.Repeats));
+  addField(Out, uintField("degenerate", E.Degenerate));
+  if (E.Kind == DecisionKind::Switch) {
+    Out += ",\"reason\":";
+    Out += quoted(switchReasonName(E.Reason));
+  }
+  Out += "}";
+  return Out;
+}
+
+std::string sectionLine(const SectionRecord &S) {
+  std::string Out = "{\"type\":\"section\",\"section\":";
+  Out += quoted(S.Section);
+  addField(Out, intField("start_ns", S.StartNanos));
+  addField(Out, intField("end_ns", S.EndNanos));
+  addField(Out, uintField("pairs", S.AcquireReleasePairs));
+  addField(Out, intField("lockop_ns", S.LockOpNanos));
+  addField(Out, intField("wait_ns", S.WaitNanos));
+  addField(Out, intField("sched_ns", S.SchedNanos));
+  addField(Out, intField("exec_ns", S.ExecNanos));
+  addField(Out, uintField("sampling_phases", S.SamplingPhases));
+  addField(Out, uintField("sampled_intervals", S.SampledIntervals));
+  addField(Out, uintField("degenerate", S.DegenerateIntervals));
+  addField(Out, uintField("early_resamples", S.EarlyResamples));
+  addField(Out, uintField("hysteresis_holds", S.HysteresisHolds));
+  Out += "}";
+  return Out;
+}
+
+std::string lockLine(const LockRecord &L) {
+  std::string Out = "{\"type\":\"lock\",\"section\":";
+  Out += quoted(L.Section);
+  addField(Out, uintField("object", L.Object));
+  addField(Out, uintField("acquires", L.Acquires));
+  addField(Out, uintField("contended", L.Contended));
+  addField(Out, intField("wait_ns", L.WaitNanos));
+  Out += "}";
+  return Out;
+}
+
+} // namespace
+
+std::string obs::toJsonl(const RunTrace &Trace) {
+  std::string Out = "{\"type\":\"meta\"";
+  addField(Out, intField("schema", TraceSchemaVersion));
+  Out += ",\"app\":";
+  Out += quoted(Trace.Meta.App);
+  Out += ",\"policy\":";
+  Out += quoted(Trace.Meta.Policy);
+  addField(Out, uintField("procs", Trace.Meta.Procs));
+  addField(Out, intField("total_ns", Trace.Meta.TotalNanos));
+  Out += "}\n";
+  for (const DecisionEvent &E : Trace.Decisions) {
+    Out += decisionLine(E);
+    Out += '\n';
+  }
+  for (const SectionRecord &S : Trace.Sections) {
+    Out += sectionLine(S);
+    Out += '\n';
+  }
+  for (const LockRecord &L : Trace.Locks) {
+    Out += lockLine(L);
+    Out += '\n';
+  }
+  return Out;
+}
+
+std::optional<RunTrace> obs::parseJsonl(const std::string &Text,
+                                        std::string &Error) {
+  RunTrace Trace;
+  bool SawMeta = false;
+  size_t LineNo = 0;
+  size_t Pos = 0;
+  while (Pos < Text.size()) {
+    size_t End = Text.find('\n', Pos);
+    if (End == std::string::npos)
+      End = Text.size();
+    const std::string Line = trim(Text.substr(Pos, End - Pos));
+    Pos = End + 1;
+    ++LineNo;
+    if (Line.empty())
+      continue;
+
+    std::string JsonError;
+    std::optional<JsonValue> V = parseJson(Line, JsonError);
+    if (!V) {
+      Error = format("line %zu: %s", LineNo, JsonError.c_str());
+      return std::nullopt;
+    }
+    if (V->kind() != JsonValue::Kind::Object) {
+      Error = format("line %zu: expected a JSON object", LineNo);
+      return std::nullopt;
+    }
+    const std::string Type = V->getString("type");
+
+    if (Type == "meta") {
+      const int64_t Schema = V->getInt("schema", -1);
+      if (Schema != TraceSchemaVersion) {
+        Error = format("line %zu: unsupported trace schema %lld", LineNo,
+                       static_cast<long long>(Schema));
+        return std::nullopt;
+      }
+      Trace.Meta.App = V->getString("app");
+      Trace.Meta.Policy = V->getString("policy");
+      Trace.Meta.Procs = static_cast<unsigned>(V->getInt("procs"));
+      Trace.Meta.TotalNanos = V->getInt("total_ns");
+      SawMeta = true;
+    } else if (Type == "decision") {
+      DecisionEvent E;
+      const std::optional<DecisionKind> Kind =
+          parseDecisionKind(V->getString("kind"));
+      if (!Kind) {
+        Error = format("line %zu: unknown decision kind '%s'", LineNo,
+                       V->getString("kind").c_str());
+        return std::nullopt;
+      }
+      E.Kind = *Kind;
+      E.TimeNanos = V->getInt("t_ns");
+      E.Section = V->getString("section");
+      E.Version = static_cast<unsigned>(V->getInt("version"));
+      E.Label = V->getString("label");
+      const JsonValue *Overhead = V->find("overhead");
+      E.Overhead = Overhead && Overhead->kind() == JsonValue::Kind::Number
+                       ? Overhead->asNumber()
+                       : std::nan("");
+      E.Repeats = static_cast<unsigned>(V->getInt("repeats"));
+      E.Degenerate = static_cast<unsigned>(V->getInt("degenerate"));
+      if (E.Kind == DecisionKind::Switch) {
+        const std::optional<SwitchReason> Reason =
+            parseSwitchReason(V->getString("reason"));
+        if (!Reason || *Reason == SwitchReason::None) {
+          Error = format("line %zu: switch decision without a valid reason",
+                         LineNo);
+          return std::nullopt;
+        }
+        E.Reason = *Reason;
+      }
+      Trace.Decisions.push_back(std::move(E));
+    } else if (Type == "section") {
+      SectionRecord S;
+      S.Section = V->getString("section");
+      S.StartNanos = V->getInt("start_ns");
+      S.EndNanos = V->getInt("end_ns");
+      S.AcquireReleasePairs = static_cast<uint64_t>(V->getInt("pairs"));
+      S.LockOpNanos = V->getInt("lockop_ns");
+      S.WaitNanos = V->getInt("wait_ns");
+      S.SchedNanos = V->getInt("sched_ns");
+      S.ExecNanos = V->getInt("exec_ns");
+      S.SamplingPhases = static_cast<unsigned>(V->getInt("sampling_phases"));
+      S.SampledIntervals =
+          static_cast<unsigned>(V->getInt("sampled_intervals"));
+      S.DegenerateIntervals = static_cast<unsigned>(V->getInt("degenerate"));
+      S.EarlyResamples = static_cast<unsigned>(V->getInt("early_resamples"));
+      S.HysteresisHolds =
+          static_cast<unsigned>(V->getInt("hysteresis_holds"));
+      Trace.Sections.push_back(std::move(S));
+    } else if (Type == "lock") {
+      LockRecord L;
+      L.Section = V->getString("section");
+      L.Object = static_cast<uint64_t>(V->getInt("object"));
+      L.Acquires = static_cast<uint64_t>(V->getInt("acquires"));
+      L.Contended = static_cast<uint64_t>(V->getInt("contended"));
+      L.WaitNanos = V->getInt("wait_ns");
+      Trace.Locks.push_back(std::move(L));
+    }
+    // Unknown types are skipped: forward compatibility.
+  }
+  if (!SawMeta) {
+    Error = "trace has no meta line";
+    return std::nullopt;
+  }
+  return Trace;
+}
+
+std::string obs::toChromeTrace(const RunTrace &Trace) {
+  // Stable thread id per section, in first-appearance order.
+  std::map<std::string, unsigned> Tids;
+  auto TidOf = [&](const std::string &Section) {
+    auto It = Tids.find(Section);
+    if (It != Tids.end())
+      return It->second;
+    const unsigned Tid = static_cast<unsigned>(Tids.size()) + 1;
+    Tids.emplace(Section, Tid);
+    return Tid;
+  };
+  auto Micros = [](rt::Nanos N) {
+    return format("%.3f", static_cast<double>(N) / 1000.0);
+  };
+
+  std::vector<std::string> Events;
+  Events.push_back(
+      format("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+             "\"args\":{\"name\":\"dynfb %s (%s, %u procs)\"}}",
+             jsonEscape(Trace.Meta.App).c_str(),
+             jsonEscape(Trace.Meta.Policy).c_str(), Trace.Meta.Procs));
+
+  for (const SectionRecord &S : Trace.Sections)
+    Events.push_back(format(
+        "{\"name\":\"%s\",\"cat\":\"section\",\"ph\":\"X\",\"ts\":%s,"
+        "\"dur\":%s,\"pid\":1,\"tid\":%u,\"args\":{\"pairs\":%llu,"
+        "\"lockop_ns\":%lld,\"wait_ns\":%lld,\"exec_ns\":%lld}}",
+        jsonEscape(S.Section).c_str(), Micros(S.StartNanos).c_str(),
+        Micros(S.EndNanos - S.StartNanos).c_str(), TidOf(S.Section),
+        static_cast<unsigned long long>(S.AcquireReleasePairs),
+        static_cast<long long>(S.LockOpNanos),
+        static_cast<long long>(S.WaitNanos),
+        static_cast<long long>(S.ExecNanos)));
+
+  for (const DecisionEvent &E : Trace.Decisions) {
+    const unsigned Tid = TidOf(E.Section);
+    if (E.Kind == DecisionKind::Sample) {
+      // Sampled overheads as a per-section counter track, one series per
+      // version label. Skip unmeasurable samples: a counter needs a number.
+      if (std::isfinite(E.Overhead))
+        Events.push_back(format(
+            "{\"name\":\"overhead %s\",\"ph\":\"C\",\"ts\":%s,\"pid\":1,"
+            "\"args\":{\"%s\":%.6f}}",
+            jsonEscape(E.Section).c_str(), Micros(E.TimeNanos).c_str(),
+            jsonEscape(E.Label).c_str(), E.Overhead));
+      continue;
+    }
+    const std::string Name =
+        E.Kind == DecisionKind::Switch
+            ? format("switch %s [%s]", E.Label.c_str(),
+                     switchReasonName(E.Reason))
+            : format("drift resample (%s)", E.Label.c_str());
+    Events.push_back(
+        format("{\"name\":\"%s\",\"cat\":\"decision\",\"ph\":\"i\","
+               "\"ts\":%s,\"pid\":1,\"tid\":%u,\"s\":\"t\"}",
+               jsonEscape(Name).c_str(), Micros(E.TimeNanos).c_str(), Tid));
+  }
+
+  for (const auto &[Section, Tid] : Tids)
+    Events.push_back(
+        format("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+               "\"tid\":%u,\"args\":{\"name\":\"section %s\"}}",
+               Tid, jsonEscape(Section).c_str()));
+
+  std::string Out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  for (size_t I = 0; I < Events.size(); ++I) {
+    Out += Events[I];
+    Out += I + 1 < Events.size() ? ",\n" : "\n";
+  }
+  Out += "]}\n";
+  return Out;
+}

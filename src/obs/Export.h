@@ -1,0 +1,101 @@
+//===- obs/Export.h - Run trace exchange formats ----------------*- C++ -*-===//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The serializable record of one run's adaptation behaviour: run metadata,
+/// the controller's decision log, per-occurrence section overhead summaries
+/// and accumulated per-lock contention. Two export formats (documented in
+/// docs/OBSERVABILITY.md):
+///
+///  - JSONL: one JSON object per line, types "meta" / "decision" /
+///    "section" / "lock". Lossless -- parseJsonl() round-trips, and
+///    dynfb-report rebuilds a run's locking-overhead and hottest-locks
+///    tables from the file alone.
+///  - Chrome trace_event JSON, loadable in chrome://tracing / Perfetto:
+///    section occurrences as duration events, decisions as instant events,
+///    sampled overheads as counter tracks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNFB_OBS_EXPORT_H
+#define DYNFB_OBS_EXPORT_H
+
+#include "obs/DecisionLog.h"
+#include "rt/Time.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dynfb::obs {
+
+/// Schema version stamped into the "meta" line; bump when a field changes
+/// meaning so downstream consumers can reject files they do not understand.
+inline constexpr int64_t TraceSchemaVersion = 1;
+
+/// Identity of the traced run.
+struct TraceMeta {
+  std::string App;    ///< Application/workload name.
+  std::string Policy; ///< Executable policy ("dynamic", "bounded", ...).
+  unsigned Procs = 0;
+  rt::Nanos TotalNanos = 0; ///< End-to-end (virtual) run time.
+};
+
+/// One parallel-section occurrence's aggregate measurements (the fields of
+/// fb::SectionExecutionTrace the locking-overhead tables are built from).
+struct SectionRecord {
+  std::string Section;
+  rt::Nanos StartNanos = 0;
+  rt::Nanos EndNanos = 0;
+  uint64_t AcquireReleasePairs = 0;
+  rt::Nanos LockOpNanos = 0;
+  rt::Nanos WaitNanos = 0;
+  rt::Nanos SchedNanos = 0;
+  rt::Nanos ExecNanos = 0;
+  unsigned SamplingPhases = 0;
+  unsigned SampledIntervals = 0;
+  unsigned DegenerateIntervals = 0;
+  unsigned EarlyResamples = 0;
+  unsigned HysteresisHolds = 0;
+};
+
+/// One lock's contention accumulated over every interval of a run, per
+/// section (from the simulator's cumulative IntervalTrace).
+struct LockRecord {
+  std::string Section;
+  uint64_t Object = 0;
+  uint64_t Acquires = 0;
+  uint64_t Contended = 0;
+  rt::Nanos WaitNanos = 0;
+};
+
+/// Everything the exporters serialize about one run.
+struct RunTrace {
+  TraceMeta Meta;
+  std::vector<DecisionEvent> Decisions;
+  std::vector<SectionRecord> Sections;
+  std::vector<LockRecord> Locks;
+};
+
+/// Serializes \p Trace as JSONL (first line "meta", then "decision",
+/// "section" and "lock" lines in that order; within a type, input order is
+/// preserved).
+std::string toJsonl(const RunTrace &Trace);
+
+/// Parses a JSONL trace produced by toJsonl (unknown line types and object
+/// keys are ignored, so newer writers stay readable). On failure returns
+/// nullopt and sets \p Error.
+std::optional<RunTrace> parseJsonl(const std::string &Text,
+                                   std::string &Error);
+
+/// Serializes \p Trace in Chrome trace_event JSON object format
+/// ({"traceEvents": [...], ...}).
+std::string toChromeTrace(const RunTrace &Trace);
+
+} // namespace dynfb::obs
+
+#endif // DYNFB_OBS_EXPORT_H

@@ -1,0 +1,356 @@
+//===- obs/Json.cpp -------------------------------------------------------==//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Json.h"
+
+#include "support/StringUtils.h"
+
+#include <cctype>
+#include <cstdlib>
+
+using namespace dynfb;
+using namespace dynfb::obs;
+
+const JsonValue *JsonValue::find(const std::string &Key) const {
+  if (K != Kind::Object)
+    return nullptr;
+  for (const auto &[Name, V] : Obj)
+    if (Name == Key)
+      return &V;
+  return nullptr;
+}
+
+double JsonValue::getNumber(const std::string &Key, double Default) const {
+  const JsonValue *V = find(Key);
+  return V && V->kind() == Kind::Number ? V->asNumber() : Default;
+}
+
+int64_t JsonValue::getInt(const std::string &Key, int64_t Default) const {
+  const JsonValue *V = find(Key);
+  return V && V->kind() == Kind::Number ? V->asInt() : Default;
+}
+
+std::string JsonValue::getString(const std::string &Key,
+                                 const std::string &Default) const {
+  const JsonValue *V = find(Key);
+  return V && V->kind() == Kind::String ? V->asString() : Default;
+}
+
+JsonValue JsonValue::boolean(bool V) {
+  JsonValue J;
+  J.K = Kind::Bool;
+  J.B = V;
+  return J;
+}
+
+JsonValue JsonValue::number(double V) {
+  JsonValue J;
+  J.K = Kind::Number;
+  J.Num = V;
+  return J;
+}
+
+JsonValue JsonValue::string(std::string V) {
+  JsonValue J;
+  J.K = Kind::String;
+  J.Str = std::move(V);
+  return J;
+}
+
+JsonValue JsonValue::array(std::vector<JsonValue> V) {
+  JsonValue J;
+  J.K = Kind::Array;
+  J.Arr = std::move(V);
+  return J;
+}
+
+JsonValue
+JsonValue::object(std::vector<std::pair<std::string, JsonValue>> V) {
+  JsonValue J;
+  J.K = Kind::Object;
+  J.Obj = std::move(V);
+  return J;
+}
+
+namespace {
+
+/// Recursive-descent JSON parser over a byte buffer.
+class Parser {
+public:
+  Parser(const std::string &Text, std::string &Error)
+      : Text(Text), Error(Error) {}
+
+  std::optional<JsonValue> run() {
+    JsonValue V;
+    if (!parseValue(V))
+      return std::nullopt;
+    skipSpace();
+    if (Pos != Text.size()) {
+      fail("trailing characters after JSON value");
+      return std::nullopt;
+    }
+    return V;
+  }
+
+private:
+  bool fail(const std::string &Msg) {
+    Error = format("json: %s at offset %zu", Msg.c_str(), Pos);
+    return false;
+  }
+
+  void skipSpace() {
+    while (Pos < Text.size() && std::isspace(
+                                    static_cast<unsigned char>(Text[Pos])))
+      ++Pos;
+  }
+
+  bool consume(char C, const char *What) {
+    skipSpace();
+    if (Pos >= Text.size() || Text[Pos] != C)
+      return fail(std::string("expected ") + What);
+    ++Pos;
+    return true;
+  }
+
+  bool literal(const char *Word) {
+    const size_t Len = std::char_traits<char>::length(Word);
+    if (Text.compare(Pos, Len, Word) != 0)
+      return fail(std::string("invalid literal (expected ") + Word + ")");
+    Pos += Len;
+    return true;
+  }
+
+  bool parseString(std::string &Out) {
+    if (!consume('"', "'\"'"))
+      return false;
+    Out.clear();
+    while (true) {
+      if (Pos >= Text.size())
+        return fail("unterminated string");
+      const char C = Text[Pos++];
+      if (C == '"')
+        return true;
+      if (static_cast<unsigned char>(C) < 0x20)
+        return fail("unescaped control character in string");
+      if (C != '\\') {
+        Out += C;
+        continue;
+      }
+      if (Pos >= Text.size())
+        return fail("unterminated escape");
+      const char E = Text[Pos++];
+      switch (E) {
+      case '"':
+      case '\\':
+      case '/':
+        Out += E;
+        break;
+      case 'b':
+        Out += '\b';
+        break;
+      case 'f':
+        Out += '\f';
+        break;
+      case 'n':
+        Out += '\n';
+        break;
+      case 'r':
+        Out += '\r';
+        break;
+      case 't':
+        Out += '\t';
+        break;
+      case 'u': {
+        if (Pos + 4 > Text.size())
+          return fail("truncated \\u escape");
+        unsigned Code = 0;
+        for (int I = 0; I < 4; ++I) {
+          const char H = Text[Pos++];
+          Code <<= 4;
+          if (H >= '0' && H <= '9')
+            Code |= static_cast<unsigned>(H - '0');
+          else if (H >= 'a' && H <= 'f')
+            Code |= static_cast<unsigned>(H - 'a' + 10);
+          else if (H >= 'A' && H <= 'F')
+            Code |= static_cast<unsigned>(H - 'A' + 10);
+          else
+            return fail("invalid \\u escape digit");
+        }
+        // BMP code point to UTF-8 (surrogate pairs are not recombined; the
+        // exporters never emit them).
+        if (Code < 0x80) {
+          Out += static_cast<char>(Code);
+        } else if (Code < 0x800) {
+          Out += static_cast<char>(0xC0 | (Code >> 6));
+          Out += static_cast<char>(0x80 | (Code & 0x3F));
+        } else {
+          Out += static_cast<char>(0xE0 | (Code >> 12));
+          Out += static_cast<char>(0x80 | ((Code >> 6) & 0x3F));
+          Out += static_cast<char>(0x80 | (Code & 0x3F));
+        }
+        break;
+      }
+      default:
+        return fail("unknown escape character");
+      }
+    }
+  }
+
+  bool parseValue(JsonValue &Out) {
+    skipSpace();
+    if (Pos >= Text.size())
+      return fail("unexpected end of input");
+    const char C = Text[Pos];
+    switch (C) {
+    case '{': {
+      ++Pos;
+      std::vector<std::pair<std::string, JsonValue>> Members;
+      skipSpace();
+      if (Pos < Text.size() && Text[Pos] == '}') {
+        ++Pos;
+        Out = JsonValue::object({});
+        return true;
+      }
+      while (true) {
+        std::string Key;
+        skipSpace();
+        if (!parseString(Key))
+          return false;
+        if (!consume(':', "':'"))
+          return false;
+        JsonValue V;
+        if (!parseValue(V))
+          return false;
+        Members.emplace_back(std::move(Key), std::move(V));
+        skipSpace();
+        if (Pos >= Text.size())
+          return fail("unterminated object");
+        if (Text[Pos] == ',') {
+          ++Pos;
+          continue;
+        }
+        if (Text[Pos] == '}') {
+          ++Pos;
+          Out = JsonValue::object(std::move(Members));
+          return true;
+        }
+        return fail("expected ',' or '}' in object");
+      }
+    }
+    case '[': {
+      ++Pos;
+      std::vector<JsonValue> Items;
+      skipSpace();
+      if (Pos < Text.size() && Text[Pos] == ']') {
+        ++Pos;
+        Out = JsonValue::array({});
+        return true;
+      }
+      while (true) {
+        JsonValue V;
+        if (!parseValue(V))
+          return false;
+        Items.push_back(std::move(V));
+        skipSpace();
+        if (Pos >= Text.size())
+          return fail("unterminated array");
+        if (Text[Pos] == ',') {
+          ++Pos;
+          continue;
+        }
+        if (Text[Pos] == ']') {
+          ++Pos;
+          Out = JsonValue::array(std::move(Items));
+          return true;
+        }
+        return fail("expected ',' or ']' in array");
+      }
+    }
+    case '"': {
+      std::string S;
+      if (!parseString(S))
+        return false;
+      Out = JsonValue::string(std::move(S));
+      return true;
+    }
+    case 't':
+      if (!literal("true"))
+        return false;
+      Out = JsonValue::boolean(true);
+      return true;
+    case 'f':
+      if (!literal("false"))
+        return false;
+      Out = JsonValue::boolean(false);
+      return true;
+    case 'n':
+      if (!literal("null"))
+        return false;
+      Out = JsonValue::null();
+      return true;
+    default: {
+      if (C != '-' && !std::isdigit(static_cast<unsigned char>(C)))
+        return fail("unexpected character");
+      const char *Begin = Text.c_str() + Pos;
+      char *End = nullptr;
+      const double Num = std::strtod(Begin, &End);
+      if (End == Begin)
+        return fail("malformed number");
+      Pos += static_cast<size_t>(End - Begin);
+      Out = JsonValue::number(Num);
+      return true;
+    }
+    }
+  }
+
+  const std::string &Text;
+  std::string &Error;
+  size_t Pos = 0;
+};
+
+} // namespace
+
+std::optional<JsonValue> obs::parseJson(const std::string &Text,
+                                        std::string &Error) {
+  return Parser(Text, Error).run();
+}
+
+std::string obs::jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (const char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\b':
+      Out += "\\b";
+      break;
+    case '\f':
+      Out += "\\f";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20)
+        Out += format("\\u%04x", static_cast<unsigned>(
+                                     static_cast<unsigned char>(C)));
+      else
+        Out += C;
+    }
+  }
+  return Out;
+}

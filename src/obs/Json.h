@@ -1,0 +1,83 @@
+//===- obs/Json.h - Minimal JSON reader/writer helpers ----------*- C++ -*-===//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A dependency-free JSON value, recursive-descent parser and string
+/// escaper, sized for the observability exchange formats (JSONL decision
+/// traces, Chrome trace_event files, metrics dumps). Not a general-purpose
+/// JSON library: numbers are doubles, object key order is preserved, and
+/// duplicate keys keep the first occurrence.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNFB_OBS_JSON_H
+#define DYNFB_OBS_JSON_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dynfb::obs {
+
+/// One parsed JSON value.
+class JsonValue {
+public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Kind kind() const { return K; }
+  bool isNull() const { return K == Kind::Null; }
+
+  /// Typed accessors; the caller is responsible for checking kind() (an
+  /// off-kind access returns the type's zero value, never traps).
+  bool asBool() const { return K == Kind::Bool && B; }
+  double asNumber() const { return K == Kind::Number ? Num : 0.0; }
+  int64_t asInt() const { return static_cast<int64_t>(asNumber()); }
+  const std::string &asString() const { return Str; }
+  const std::vector<JsonValue> &items() const { return Arr; }
+  const std::vector<std::pair<std::string, JsonValue>> &members() const {
+    return Obj;
+  }
+
+  /// Object lookup; nullptr when absent or not an object.
+  const JsonValue *find(const std::string &Key) const;
+
+  /// Convenience object accessors with defaults.
+  double getNumber(const std::string &Key, double Default = 0.0) const;
+  int64_t getInt(const std::string &Key, int64_t Default = 0) const;
+  std::string getString(const std::string &Key,
+                        const std::string &Default = "") const;
+
+  static JsonValue null() { return JsonValue(); }
+  static JsonValue boolean(bool V);
+  static JsonValue number(double V);
+  static JsonValue string(std::string V);
+  static JsonValue array(std::vector<JsonValue> V);
+  static JsonValue object(std::vector<std::pair<std::string, JsonValue>> V);
+
+private:
+  Kind K = Kind::Null;
+  bool B = false;
+  double Num = 0.0;
+  std::string Str;
+  std::vector<JsonValue> Arr;
+  std::vector<std::pair<std::string, JsonValue>> Obj;
+};
+
+/// Parses one JSON document (trailing whitespace allowed, trailing garbage
+/// rejected). On failure returns nullopt and sets \p Error to a one-line
+/// diagnostic with a byte offset.
+std::optional<JsonValue> parseJson(const std::string &Text,
+                                   std::string &Error);
+
+/// Escapes \p S for inclusion inside a JSON string literal (quotes not
+/// included).
+std::string jsonEscape(const std::string &S);
+
+} // namespace dynfb::obs
+
+#endif // DYNFB_OBS_JSON_H

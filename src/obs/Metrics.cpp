@@ -1,0 +1,94 @@
+//===- obs/Metrics.cpp ----------------------------------------------------==//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Metrics.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+
+using namespace dynfb;
+using namespace dynfb::obs;
+
+Counter &MetricsRegistry::counter(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::unique_ptr<Counter> &Slot = Counters[Name];
+  if (!Slot)
+    Slot = std::make_unique<Counter>();
+  return *Slot;
+}
+
+Gauge &MetricsRegistry::gauge(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::unique_ptr<Gauge> &Slot = Gauges[Name];
+  if (!Slot)
+    Slot = std::make_unique<Gauge>();
+  return *Slot;
+}
+
+uint64_t MetricsRegistry::counterValue(const std::string &Name) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Counters.find(Name);
+  return It == Counters.end() ? 0 : It->second->value();
+}
+
+std::vector<MetricSample> MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::vector<MetricSample> Out;
+  Out.reserve(Counters.size() + Gauges.size());
+  for (const auto &[Name, C] : Counters)
+    Out.push_back({Name, MetricSample::Kind::Counter, C->value(), 0.0});
+  for (const auto &[Name, G] : Gauges)
+    Out.push_back({Name, MetricSample::Kind::Gauge, 0, G->value()});
+  std::sort(Out.begin(), Out.end(),
+            [](const MetricSample &A, const MetricSample &B) {
+              return A.Name < B.Name;
+            });
+  return Out;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  for (auto &[Name, C] : Counters) {
+    (void)Name;
+    C->reset();
+  }
+  for (auto &[Name, G] : Gauges) {
+    (void)Name;
+    G->reset();
+  }
+}
+
+std::string MetricsRegistry::renderText() const {
+  std::string Out;
+  for (const MetricSample &S : snapshot())
+    Out += S.K == MetricSample::Kind::Counter
+               ? format("%s %llu\n", S.Name.c_str(),
+                        static_cast<unsigned long long>(S.Count))
+               : format("%s %g\n", S.Name.c_str(), S.Value);
+  return Out;
+}
+
+std::string MetricsRegistry::toJson() const {
+  std::string Out = "{";
+  bool First = true;
+  for (const MetricSample &S : snapshot()) {
+    if (!First)
+      Out += ",";
+    First = false;
+    Out += S.K == MetricSample::Kind::Counter
+               ? format("\n  \"%s\": %llu", S.Name.c_str(),
+                        static_cast<unsigned long long>(S.Count))
+               : format("\n  \"%s\": %.17g", S.Name.c_str(), S.Value);
+  }
+  Out += First ? "}\n" : "\n}\n";
+  return Out;
+}
+
+MetricsRegistry &obs::globalMetrics() {
+  static MetricsRegistry Registry;
+  return Registry;
+}

@@ -1,0 +1,106 @@
+//===- obs/Metrics.h - Named counter/gauge registry -------------*- C++ -*-===//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A lightweight registry of named counters and gauges the runtime layers
+/// (fb, sim, rt, perturb) publish into: lock contention, scheduler fetches,
+/// barrier imbalance, perturbation activations, measurement-guard trips.
+/// Counting is always on -- it never alters simulated behaviour or any
+/// printed table -- and is only rendered when a caller explicitly asks
+/// (dynfb-run --metrics-out, tests). Counter references are stable for the
+/// registry's lifetime, so hot paths can look a counter up once and then
+/// increment a relaxed atomic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNFB_OBS_METRICS_H
+#define DYNFB_OBS_METRICS_H
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace dynfb::obs {
+
+/// Monotonic event counter. Relaxed atomics: totals are exact because every
+/// increment lands, but cross-counter ordering is unspecified (readers only
+/// ever look at quiesced snapshots).
+class Counter {
+public:
+  void add(uint64_t N = 1) { V.fetch_add(N, std::memory_order_relaxed); }
+  uint64_t value() const { return V.load(std::memory_order_relaxed); }
+  void reset() { V.store(0, std::memory_order_relaxed); }
+
+private:
+  std::atomic<uint64_t> V{0};
+};
+
+/// Last-value gauge (e.g. a configuration echo or a high-water mark the
+/// publisher maintains itself).
+class Gauge {
+public:
+  void set(double X) { V.store(X, std::memory_order_relaxed); }
+  double value() const { return V.load(std::memory_order_relaxed); }
+  void reset() { V.store(0.0, std::memory_order_relaxed); }
+
+private:
+  std::atomic<double> V{0.0};
+};
+
+/// One registry entry at snapshot time.
+struct MetricSample {
+  enum class Kind { Counter, Gauge };
+  std::string Name;
+  Kind K = Kind::Counter;
+  uint64_t Count = 0; ///< Counter value (Kind::Counter).
+  double Value = 0.0; ///< Gauge value (Kind::Gauge).
+};
+
+/// Registry of named metrics. Registration (the first counter()/gauge()
+/// call per name) takes a lock; the returned reference is stable, so
+/// publishers cache it and pay only a relaxed atomic per event afterwards.
+class MetricsRegistry {
+public:
+  /// Returns the counter named \p Name, creating it on first use.
+  Counter &counter(const std::string &Name);
+
+  /// Returns the gauge named \p Name, creating it on first use.
+  Gauge &gauge(const std::string &Name);
+
+  /// Returns the counter's current value, or 0 if \p Name was never
+  /// registered (convenience for tests and reporting).
+  uint64_t counterValue(const std::string &Name) const;
+
+  /// All metrics, sorted by name (deterministic output).
+  std::vector<MetricSample> snapshot() const;
+
+  /// Zeroes every registered metric (registrations survive, so cached
+  /// references stay valid). Lets tools scope "metrics of this run".
+  void reset();
+
+  /// Renders "name value" lines, sorted by name.
+  std::string renderText() const;
+
+  /// Renders a flat JSON object {"name": value, ...}, sorted by name.
+  /// Counters render as integers, gauges as doubles.
+  std::string toJson() const;
+
+private:
+  mutable std::mutex Mu;
+  std::map<std::string, std::unique_ptr<Counter>> Counters;
+  std::map<std::string, std::unique_ptr<Gauge>> Gauges;
+};
+
+/// The process-wide registry every layer publishes into by default.
+MetricsRegistry &globalMetrics();
+
+} // namespace dynfb::obs
+
+#endif // DYNFB_OBS_METRICS_H

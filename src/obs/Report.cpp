@@ -1,0 +1,134 @@
+//===- obs/Report.cpp -----------------------------------------------------==//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Report.h"
+
+#include "support/StringUtils.h"
+#include "support/TablePrinter.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace dynfb;
+using namespace dynfb::obs;
+
+namespace {
+
+/// Per-section aggregate over every occurrence, in first-appearance order.
+struct SectionAggregate {
+  std::string Section;
+  uint64_t Pairs = 0;
+  rt::Nanos LockOpNanos = 0;
+  rt::Nanos WaitNanos = 0;
+  rt::Nanos ExecNanos = 0;
+};
+
+std::vector<SectionAggregate> aggregateSections(const RunTrace &Trace) {
+  std::vector<SectionAggregate> Out;
+  std::map<std::string, size_t> Index;
+  for (const SectionRecord &S : Trace.Sections) {
+    auto [It, Inserted] = Index.emplace(S.Section, Out.size());
+    if (Inserted)
+      Out.push_back(SectionAggregate{S.Section, 0, 0, 0, 0});
+    SectionAggregate &A = Out[It->second];
+    A.Pairs += S.AcquireReleasePairs;
+    A.LockOpNanos += S.LockOpNanos;
+    A.WaitNanos += S.WaitNanos;
+    A.ExecNanos += S.ExecNanos;
+  }
+  return Out;
+}
+
+std::string proportion(rt::Nanos Part, rt::Nanos Whole) {
+  return Whole > 0 ? format("%.3f", static_cast<double>(Part) /
+                                        static_cast<double>(Whole))
+                   : "0.000";
+}
+
+} // namespace
+
+std::string obs::renderLockingOverheadTable(const RunTrace &Trace) {
+  Table T("Locking overhead (rebuilt from trace)");
+  T.setHeader({"Section", "Acquire/Release Pairs", "Locking (s)",
+               "Waiting (s)", "Waiting Proportion"});
+  SectionAggregate Total;
+  for (const SectionAggregate &A : aggregateSections(Trace)) {
+    T.addRow({A.Section, withThousandsSep(A.Pairs),
+              formatDouble(rt::nanosToSeconds(A.LockOpNanos), 3),
+              formatDouble(rt::nanosToSeconds(A.WaitNanos), 3),
+              proportion(A.WaitNanos, A.ExecNanos)});
+    Total.Pairs += A.Pairs;
+    Total.LockOpNanos += A.LockOpNanos;
+    Total.WaitNanos += A.WaitNanos;
+    Total.ExecNanos += A.ExecNanos;
+  }
+  T.addRow({"(all sections)", withThousandsSep(Total.Pairs),
+            formatDouble(rt::nanosToSeconds(Total.LockOpNanos), 3),
+            formatDouble(rt::nanosToSeconds(Total.WaitNanos), 3),
+            proportion(Total.WaitNanos, Total.ExecNanos)});
+  return T.renderText();
+}
+
+std::string obs::renderHottestLocksTable(const RunTrace &Trace,
+                                         size_t MaxLocks) {
+  std::vector<LockRecord> Locks = Trace.Locks;
+  std::sort(Locks.begin(), Locks.end(),
+            [](const LockRecord &A, const LockRecord &B) {
+              if (A.WaitNanos != B.WaitNanos)
+                return A.WaitNanos > B.WaitNanos;
+              if (A.Section != B.Section)
+                return A.Section < B.Section;
+              return A.Object < B.Object;
+            });
+  Table T("Hottest locks (by accumulated waiting time)");
+  T.setHeader({"Section", "Object", "Acquires", "Contended", "Waiting (s)"});
+  const size_t Shown = std::min(Locks.size(), MaxLocks);
+  for (size_t I = 0; I < Shown; ++I) {
+    const LockRecord &L = Locks[I];
+    T.addRow({L.Section, format("%llu",
+                                static_cast<unsigned long long>(L.Object)),
+              withThousandsSep(L.Acquires), withThousandsSep(L.Contended),
+              formatDouble(rt::nanosToSeconds(L.WaitNanos), 4)});
+  }
+  std::string Out = T.renderText();
+  if (Locks.size() > Shown)
+    Out += format("  (%zu more locks not shown)\n", Locks.size() - Shown);
+  return Out;
+}
+
+std::string obs::renderReport(const RunTrace &Trace,
+                              const ReportOptions &Options) {
+  std::string Out =
+      format("run: app %s, policy %s, %u procs, total %s\n",
+             Trace.Meta.App.c_str(), Trace.Meta.Policy.c_str(),
+             Trace.Meta.Procs,
+             formatSeconds(rt::nanosToSeconds(Trace.Meta.TotalNanos))
+                 .c_str());
+  Out += format("decisions: %zu events (%zu switches, %zu samples)\n",
+                Trace.Decisions.size(),
+                std::count_if(Trace.Decisions.begin(), Trace.Decisions.end(),
+                              [](const DecisionEvent &E) {
+                                return E.Kind == DecisionKind::Switch;
+                              }),
+                std::count_if(Trace.Decisions.begin(), Trace.Decisions.end(),
+                              [](const DecisionEvent &E) {
+                                return E.Kind == DecisionKind::Sample;
+                              }));
+
+  DecisionLog Timeline;
+  for (const DecisionEvent &E : Trace.Decisions)
+    if (Options.ShowSamples || E.Kind != DecisionKind::Sample)
+      Timeline.append(E);
+  if (!Timeline.empty()) {
+    Out += "\npolicy timeline:\n";
+    Out += Timeline.renderTimeline();
+  }
+
+  Out += "\n" + renderLockingOverheadTable(Trace);
+  if (!Trace.Locks.empty())
+    Out += "\n" + renderHottestLocksTable(Trace, Options.MaxLocks);
+  return Out;
+}

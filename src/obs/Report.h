@@ -1,0 +1,47 @@
+//===- obs/Report.h - Render a run report from a trace ----------*- C++ -*-===//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Turns a RunTrace (parsed from a JSONL trace file or built in-process)
+/// into the human-readable run report dynfb-report prints: the adaptation
+/// policy timeline, the locking-overhead table (the numbers dynfb-run
+/// prints live, rebuilt from the trace alone) and the hottest-locks table.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNFB_OBS_REPORT_H
+#define DYNFB_OBS_REPORT_H
+
+#include "obs/Export.h"
+
+#include <cstddef>
+#include <string>
+
+namespace dynfb::obs {
+
+struct ReportOptions {
+  size_t MaxLocks = 10;      ///< Rows of the hottest-locks table.
+  bool ShowSamples = false;  ///< Include per-sample lines in the timeline.
+};
+
+/// The locking-overhead table alone (per section plus a total row):
+/// acquire/release pairs, locking seconds, waiting seconds and the waiting
+/// proportion of execution time.
+std::string renderLockingOverheadTable(const RunTrace &Trace);
+
+/// The hottest-locks table alone: the \p MaxLocks locks with the most
+/// accumulated waiting time, worst first (ties broken by section name then
+/// object id, so the rendering is host-independent).
+std::string renderHottestLocksTable(const RunTrace &Trace, size_t MaxLocks);
+
+/// The full report: run header, policy timeline, locking-overhead table,
+/// hottest-locks table.
+std::string renderReport(const RunTrace &Trace,
+                         const ReportOptions &Options = {});
+
+} // namespace dynfb::obs
+
+#endif // DYNFB_OBS_REPORT_H

@@ -6,12 +6,50 @@
 
 #include "perturb/Engine.h"
 
+#include "obs/Metrics.h"
 #include "support/Random.h"
 
 #include <cmath>
 
 using namespace dynfb;
 using namespace dynfb::perturb;
+
+namespace {
+
+/// Counts one activation (a query answered with a non-neutral effect) of
+/// the given fault family. Cached registration, relaxed increment: the
+/// queries sit on the simulator's per-op path.
+void noteActivation(FaultKind Kind) {
+  static obs::Counter &Slowdowns =
+      obs::globalMetrics().counter("perturb.slowdown_activations");
+  static obs::Counter &LockHolds =
+      obs::globalMetrics().counter("perturb.lock_hold_activations");
+  static obs::Counter &Contention =
+      obs::globalMetrics().counter("perturb.contention_activations");
+  static obs::Counter &Timer =
+      obs::globalMetrics().counter("perturb.timer_noise_activations");
+  static obs::Counter &PhaseShifts =
+      obs::globalMetrics().counter("perturb.phase_shift_activations");
+  switch (Kind) {
+  case FaultKind::ProcSlowdown:
+    Slowdowns.add();
+    return;
+  case FaultKind::LockHoldSpike:
+    LockHolds.add();
+    return;
+  case FaultKind::ContentionBurst:
+    Contention.add();
+    return;
+  case FaultKind::TimerNoise:
+    Timer.add();
+    return;
+  case FaultKind::PhaseShift:
+    PhaseShifts.add();
+    return;
+  }
+}
+
+} // namespace
 
 PerturbationEngine::PerturbationEngine(PerturbationSchedule Sched)
     : Sched(std::move(Sched)) {}
@@ -29,10 +67,13 @@ double PerturbationEngine::computeScale(const std::string &Section,
   for (const FaultEvent &E : Sched.Events) {
     if (!E.activeAt(T) || !E.appliesToSection(Section))
       continue;
-    if (E.Kind == FaultKind::ProcSlowdown && E.appliesToProc(Proc))
+    if (E.Kind == FaultKind::ProcSlowdown && E.appliesToProc(Proc)) {
       Scale *= E.Factor;
-    else if (E.Kind == FaultKind::PhaseShift)
+      noteActivation(FaultKind::ProcSlowdown);
+    } else if (E.Kind == FaultKind::PhaseShift) {
       Scale *= E.Factor;
+      noteActivation(FaultKind::PhaseShift);
+    }
   }
   return Scale;
 }
@@ -42,8 +83,10 @@ rt::Nanos PerturbationEngine::lockHoldExtra(const std::string &Section,
   rt::Nanos Extra = 0;
   for (const FaultEvent &E : Sched.Events)
     if (E.Kind == FaultKind::LockHoldSpike && E.activeAt(T) &&
-        E.appliesToSection(Section))
+        E.appliesToSection(Section)) {
       Extra += E.ExtraNanos;
+      noteActivation(FaultKind::LockHoldSpike);
+    }
   return Extra;
 }
 
@@ -53,8 +96,10 @@ rt::Nanos PerturbationEngine::contentionExtra(const std::string &Section,
   rt::Nanos Extra = 0;
   for (const FaultEvent &E : Sched.Events)
     if (E.Kind == FaultKind::ContentionBurst && E.activeAt(T) &&
-        E.appliesToSection(Section) && E.appliesToObject(Obj))
+        E.appliesToSection(Section) && E.appliesToObject(Obj)) {
       Extra += E.ExtraNanos;
+      noteActivation(FaultKind::ContentionBurst);
+    }
   return Extra;
 }
 
@@ -71,6 +116,7 @@ rt::Nanos PerturbationEngine::timerNoise(const std::string &Section,
     const double U = static_cast<double>(SM.next() >> 11) * 0x1.0p-53;
     Noise += static_cast<rt::Nanos>(
         std::llround((2.0 * U - 1.0) * static_cast<double>(E.AmplitudeNanos)));
+    noteActivation(FaultKind::TimerNoise);
   }
   return Noise;
 }

@@ -6,6 +6,8 @@
 
 #include "rt/RealRunner.h"
 
+#include "obs/Metrics.h"
+
 #include <algorithm>
 #include <cassert>
 #include <chrono>
@@ -58,6 +60,9 @@ RealSectionRunner::RealSectionRunner(ThreadTeam &Team,
 
 IntervalReport RealSectionRunner::runInterval(unsigned V, Nanos Target) {
   assert(V < Versions.size() && "version index out of range");
+  static obs::Counter &Intervals =
+      obs::globalMetrics().counter("rt.native.intervals");
+  Intervals.add();
   const NativeVersion &Version = Versions[V];
 
   const Nanos Start = steadyNow();

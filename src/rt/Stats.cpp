@@ -6,10 +6,25 @@
 
 #include "rt/Stats.h"
 
+#include "obs/Metrics.h"
+#include "support/Compiler.h"
+
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 namespace dynfb::rt {
+
+void noteClampedOverheadRatio() {
+  // One registration, then a relaxed atomic per clamp: cheap enough for the
+  // (never-taken-in-correct-accounting) hot path.
+  static obs::Counter &Clamps =
+      obs::globalMetrics().counter("rt.overhead.ratio_clamped");
+  Clamps.add();
+#ifdef DYNFB_STRICT_ACCOUNTING
+  DYNFB_CHECK(false, "overhead components exceed execution time");
+#endif
+}
 
 double aggregateOverheads(std::vector<double> Samples,
                           OverheadAggregation How, double TrimFraction) {
@@ -17,7 +32,7 @@ double aggregateOverheads(std::vector<double> Samples,
                                [](double X) { return !std::isfinite(X); }),
                 Samples.end());
   if (Samples.empty())
-    return 0.0;
+    return std::numeric_limits<double>::quiet_NaN();
   if (Samples.size() == 1)
     return Samples.front();
 

@@ -23,6 +23,12 @@
 
 namespace dynfb::rt {
 
+/// Counts a totalOverhead() ratio clamp (component nanos exceeded
+/// ExecNanos) in the metrics registry; fatal under strict-accounting
+/// builds (-DDYNFB_STRICT_ACCOUNTING). Defined in Stats.cpp so this header
+/// stays free of the obs dependency.
+void noteClampedOverheadRatio();
+
 /// Aggregated overhead measurements over some span of execution (one
 /// sampling interval, one production interval, or a whole run). ExecNanos
 /// sums the per-processor execution time, and -- as in the paper -- includes
@@ -41,14 +47,23 @@ struct OverheadStats {
 
   /// Total overhead in [0, 1]: the proportion of the execution time spent
   /// executing lock constructs, waiting for locks (or, with a scheduling
-  /// dimension, for the switch barrier) or fetching iterations.
+  /// dimension, for the switch barrier) or fetching iterations. A ratio
+  /// above 1.0 means the component nanos exceed ExecNanos -- an accounting
+  /// error, not a measurement: it is still clamped (the controller needs a
+  /// comparable value) but every such clamp is counted in the metrics
+  /// registry ("rt.overhead.ratio_clamped") instead of being silently
+  /// hidden, and aborts under DYNFB_STRICT_ACCOUNTING builds.
   double totalOverhead() const {
     if (ExecNanos <= 0)
       return 0.0;
     const double Ratio =
         static_cast<double>(LockOpNanos + WaitNanos + SchedNanos) /
         static_cast<double>(ExecNanos);
-    return Ratio < 0.0 ? 0.0 : (Ratio > 1.0 ? 1.0 : Ratio);
+    if (Ratio > 1.0) {
+      noteClampedOverheadRatio();
+      return 1.0;
+    }
+    return Ratio < 0.0 ? 0.0 : Ratio;
   }
 
   /// Proportion of execution time spent waiting (the paper's Figure 7).
@@ -72,9 +87,12 @@ struct OverheadStats {
   /// execution time was observed and no component is negative. Intervals
   /// failing this are "degenerate" -- the feedback controller counts and
   /// discards them instead of letting a 0/0 masquerade as a perfect (zero
-  /// overhead) measurement.
+  /// overhead) measurement. SchedNanos is a component of the total overhead
+  /// like the other two, so a negative scheduling measurement (e.g. a
+  /// mis-merged chunked-dispatch sample) is just as unmeasurable.
   bool isMeasurable() const {
-    return ExecNanos > 0 && LockOpNanos >= 0 && WaitNanos >= 0;
+    return ExecNanos > 0 && LockOpNanos >= 0 && WaitNanos >= 0 &&
+           SchedNanos >= 0;
   }
 };
 
@@ -90,9 +108,12 @@ enum class OverheadAggregation {
 };
 
 /// Aggregates \p Samples (each already a valid overhead in [0, 1]) with the
-/// chosen estimator. Non-finite samples are discarded first; returns 0 for
-/// an empty (or fully discarded) sample set. \p TrimFraction in [0, 0.5)
-/// is the per-tail trim proportion for TrimmedMean.
+/// chosen estimator. Non-finite samples are discarded first; an empty (or
+/// fully discarded) sample set yields NaN -- the degenerate-interval
+/// sentinel the feedback controller discards -- never 0, which would
+/// masquerade as a perfect zero-overhead measurement and steer the version
+/// decision. \p TrimFraction in [0, 0.5) is the per-tail trim proportion
+/// for TrimmedMean.
 double aggregateOverheads(std::vector<double> Samples,
                           OverheadAggregation How,
                           double TrimFraction = 0.2);

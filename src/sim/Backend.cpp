@@ -29,6 +29,11 @@ SimBackend::beginSectionSim(const std::string &Name) {
   auto Runner = std::make_unique<SimSectionRunner>(
       Machine, *It->second.Binding, It->second.Versions, Instrumented);
   Runner->setPerturbation(Machine.perturbation(), Name);
+  if (CollectSectionTraces) {
+    IntervalTrace &Trace = SectionTraces[Name];
+    Trace.Cumulative = true;
+    Runner->attachTrace(&Trace);
+  }
   return Runner;
 }
 

@@ -18,6 +18,7 @@
 #include "rt/Binding.h"
 #include "sim/Machine.h"
 #include "sim/SectionSim.h"
+#include "sim/Trace.h"
 
 #include <map>
 #include <string>
@@ -50,6 +51,20 @@ public:
 
   SimMachine &machine() { return Machine; }
 
+  /// When enabled, every runner handed out by beginSection carries a
+  /// cumulative IntervalTrace owned by the backend (one per section name),
+  /// accumulating lock contention and per-processor time decomposition over
+  /// the whole run -- the data behind the trace exporter's lock records.
+  /// Off by default: tracing is observation only, never part of a plain
+  /// run's cost.
+  void setCollectSectionTraces(bool Enable) { CollectSectionTraces = Enable; }
+
+  /// The accumulated per-section traces (empty unless collection was
+  /// enabled before the run).
+  const std::map<std::string, IntervalTrace> &sectionTraces() const {
+    return SectionTraces;
+  }
+
 private:
   struct SectionInfo {
     const rt::DataBinding *Binding = nullptr;
@@ -59,6 +74,10 @@ private:
   SimMachine Machine;
   const bool Instrumented;
   std::map<std::string, SectionInfo> Sections;
+  bool CollectSectionTraces = false;
+  /// std::map: entry addresses are stable, so live runners can hold a
+  /// pointer into it across later insertions.
+  std::map<std::string, IntervalTrace> SectionTraces;
 };
 
 } // namespace dynfb::sim

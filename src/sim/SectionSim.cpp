@@ -17,6 +17,7 @@
 
 #include "sim/SectionSim.h"
 
+#include "obs/Metrics.h"
 #include "perturb/Engine.h"
 
 #include <algorithm>
@@ -32,6 +33,31 @@ bool anyNonDynamicSched(const std::vector<dynfb::sim::SimVersion> &Versions) {
                      [](const dynfb::sim::SimVersion &V) {
                        return V.Sched.Kind != dynfb::rt::SchedKind::Dynamic;
                      });
+}
+
+/// Run-wide simulator counters in the global metrics registry. The hot loop
+/// accumulates plain local tallies; they are flushed here once per interval
+/// so the event loop pays no atomic per micro-op.
+struct SimCounters {
+  dynfb::obs::Counter &Intervals =
+      dynfb::obs::globalMetrics().counter("sim.intervals");
+  dynfb::obs::Counter &Iterations =
+      dynfb::obs::globalMetrics().counter("sim.iterations");
+  dynfb::obs::Counter &SchedFetches =
+      dynfb::obs::globalMetrics().counter("sim.sched_fetches");
+  dynfb::obs::Counter &LockAcquires =
+      dynfb::obs::globalMetrics().counter("sim.lock_acquires");
+  dynfb::obs::Counter &LockContended =
+      dynfb::obs::globalMetrics().counter("sim.lock_contended");
+  dynfb::obs::Counter &LockWaitNanos =
+      dynfb::obs::globalMetrics().counter("sim.lock_wait_ns");
+  dynfb::obs::Counter &BarrierImbalanceNanos =
+      dynfb::obs::globalMetrics().counter("sim.barrier_imbalance_ns");
+};
+
+SimCounters &simCounters() {
+  static SimCounters C;
+  return C;
 }
 
 } // namespace
@@ -121,9 +147,19 @@ IntervalReport SimSectionRunner::runInterval(unsigned V, Nanos Target) {
   }
 
   if (Trace) {
-    Trace->clear();
-    Trace->Procs.resize(P);
+    if (!Trace->Cumulative)
+      Trace->clear();
+    if (Trace->Procs.size() < P)
+      Trace->Procs.resize(P);
   }
+
+  // Interval-local tallies flushed into the metrics registry at the end;
+  // plain integers so the event loop stays free of atomics.
+  uint64_t TallyIterations = 0;
+  uint64_t TallySchedFetches = 0;
+  uint64_t TallyAcquires = 0;
+  uint64_t TallyContended = 0;
+  Nanos TallyLockWaitNanos = 0;
 
   auto Stop = [&](Proc &Pr) {
     Pr.Stopped = true;
@@ -142,6 +178,7 @@ IntervalReport SimSectionRunner::runInterval(unsigned V, Nanos Target) {
     const Nanos Extra = PE->contentionExtra(SectionName, Obj, Pr.Clock);
     if (Extra <= 0)
       return;
+    TallyLockWaitNanos += Extra;
     Pr.Stats.WaitNanos += Extra;
     Pr.Stats.FailedAcquires += static_cast<uint64_t>(
         (Extra + CM.FailedAcquireNanos - 1) / CM.FailedAcquireNanos);
@@ -175,6 +212,7 @@ IntervalReport SimSectionRunner::runInterval(unsigned V, Nanos Target) {
       if (Pr.ClaimNext >= Pr.ClaimEnd) {
         // Self-scheduling: fetch the next chunk of iterations (exactly one
         // under dynamic scheduling).
+        ++TallySchedFetches;
         Pr.Clock += CM.SchedFetchNanos;
         if (SchedInstrumented)
           Pr.Stats.SchedNanos += CM.SchedFetchNanos;
@@ -191,6 +229,7 @@ IntervalReport SimSectionRunner::runInterval(unsigned V, Nanos Target) {
       Emitter.emit(Pr.ClaimNext++, Pr.Ops);
       Pr.Pc = 0;
       Pr.HasIteration = true;
+      ++TallyIterations;
       if (Trace)
         ++Trace->Procs[Top.P].Iterations;
       Ready.push(HeapEntry{Pr.Clock, Top.P});
@@ -252,6 +291,7 @@ IntervalReport SimSectionRunner::runInterval(unsigned V, Nanos Target) {
         InjectContention(Pr, Top.P, Op.Obj);
         const Nanos Cost = AcqCost + LockExtra(Pr.Clock);
         L.Held = true;
+        ++TallyAcquires;
         ++Pr.Stats.AcquireReleasePairs;
         Pr.Stats.LockOpNanos += Cost;
         Pr.Clock += Cost;
@@ -284,6 +324,9 @@ IntervalReport SimSectionRunner::runInterval(unsigned V, Nanos Target) {
         Proc &Waiter = Procs[W];
         const Nanos Wait = Pr.Clock - Waiter.Clock;
         assert(Wait >= 0 && "negative waiting time");
+        ++TallyAcquires;
+        ++TallyContended;
+        TallyLockWaitNanos += Wait;
         Waiter.Stats.WaitNanos += Wait;
         Waiter.Stats.FailedAcquires +=
             Wait > 0 ? static_cast<uint64_t>((Wait + CM.FailedAcquireNanos -
@@ -342,6 +385,21 @@ IntervalReport SimSectionRunner::runInterval(unsigned V, Nanos Target) {
   Report.EffectiveNanos = LastEnd - Start;
   Report.Finished = NextIter >= NumIterations;
   Report.InjectedNanos = Injected;
+
+  // Flush the interval's tallies into the run-wide metrics registry.
+  {
+    SimCounters &C = simCounters();
+    C.Intervals.add();
+    C.Iterations.add(TallyIterations);
+    C.SchedFetches.add(TallySchedFetches);
+    C.LockAcquires.add(TallyAcquires);
+    C.LockContended.add(TallyContended);
+    C.LockWaitNanos.add(static_cast<uint64_t>(TallyLockWaitNanos));
+    Nanos Imbalance = 0;
+    for (const Proc &Pr : Procs)
+      Imbalance += LastEnd - Pr.EndTime;
+    C.BarrierImbalanceNanos.add(static_cast<uint64_t>(Imbalance));
+  }
 
   // Synchronous switch: all processors wait at a barrier for the slowest,
   // then the machine proceeds.

@@ -66,7 +66,8 @@ public:
   rt::Nanos now() const override { return Machine.now(); }
 
   /// Attaches a trace; each subsequent runInterval fills it (clearing any
-  /// previous contents). Pass nullptr to detach.
+  /// previous contents unless the trace is marked Cumulative, in which case
+  /// intervals accumulate). Pass nullptr to detach.
   void attachTrace(IntervalTrace *T) { Trace = T; }
 
   /// Attaches a perturbation engine and the section name its scope filters

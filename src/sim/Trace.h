@@ -50,6 +50,12 @@ struct IntervalTrace {
   std::vector<ProcSummary> Procs;
   std::map<rt::ObjectId, LockSummary> Locks;
 
+  /// When set, runInterval accumulates into the trace instead of resetting
+  /// it, so one trace can summarize a whole run of a section (the trace
+  /// exporter's per-section lock table). Defaults to the original
+  /// per-interval semantics.
+  bool Cumulative = false;
+
   void clear() {
     Procs.clear();
     Locks.clear();

@@ -789,7 +789,15 @@ TEST(PerturbAggregationTest, MedianOfRepeatsShrugsOffOutliers) {
       aggregateOverheads({0.2, std::numeric_limits<double>::infinity()},
                          OverheadAggregation::Mean),
       0.2);
-  EXPECT_DOUBLE_EQ(aggregateOverheads({}, OverheadAggregation::Median), 0.0);
+  // An empty (or fully discarded) sample set yields the NaN sentinel, never
+  // 0.0: a nothing-was-measured aggregate must not pose as a perfect
+  // zero-overhead measurement.
+  EXPECT_TRUE(
+      std::isnan(aggregateOverheads({}, OverheadAggregation::Median)));
+  EXPECT_TRUE(std::isnan(
+      aggregateOverheads({std::numeric_limits<double>::quiet_NaN(),
+                          std::numeric_limits<double>::infinity()},
+                         OverheadAggregation::Mean)));
 }
 
 TEST(PerturbAggregationTest, RepeatedSamplingWithMedianResistsSpikes) {

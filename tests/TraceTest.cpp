@@ -122,6 +122,23 @@ TEST(TraceTest, LockSummaryIdentifiesContendedLock) {
   EXPECT_GT(Hot[0].second.WaitNanos, 0);
 }
 
+TEST(TraceTest, HottestLocksBreaksWaitTiesByObjectId) {
+  // Equal waiting times must order by ascending object id, so the table
+  // (and the trace exporter built on it) renders deterministically.
+  IntervalTrace Trace;
+  for (ObjectId Obj : {ObjectId(9), ObjectId(2), ObjectId(5)})
+    Trace.Locks[Obj].Acquires = 1;
+  Trace.Locks[9].WaitNanos = 500;
+  Trace.Locks[2].WaitNanos = 500;
+  Trace.Locks[5].WaitNanos = 900;
+
+  const auto Hot = Trace.hottestLocks();
+  ASSERT_EQ(Hot.size(), 3u);
+  EXPECT_EQ(Hot[0].first, 5u); // Most waiting first.
+  EXPECT_EQ(Hot[1].first, 2u); // Tie on waiting: lower id wins.
+  EXPECT_EQ(Hot[2].first, 9u);
+}
+
 TEST(TraceTest, NoContentionWithPrivateLocks) {
   TraceWorkload W;
   TraceBinding B;

@@ -22,6 +22,12 @@
 // --drift X, --slice S. Fault injection: --perturb "<schedule>" (see
 // docs/ROBUSTNESS.md for the schedule grammar).
 //
+// Observability (default-off; see docs/OBSERVABILITY.md): --trace-out FILE
+// writes the run's JSONL adaptation trace (decision log + section + lock
+// records, readable by dynfb-report), --chrome-out FILE the same run in
+// Chrome trace_event format (chrome://tracing, Perfetto), --metrics-out
+// FILE the global metrics registry as JSON, scoped to this run.
+//
 // Invalid input (unknown application, unknown section in a perturbation
 // schedule, malformed schedule or configuration) produces a one-line
 // diagnostic on stderr and a nonzero exit status -- never an abort.
@@ -30,6 +36,7 @@
 
 #include "apps/Factory.h"
 #include "apps/Harness.h"
+#include "obs/Metrics.h"
 #include "perturb/Engine.h"
 #include "rt/NativeSection.h"
 #include "support/CommandLine.h"
@@ -54,7 +61,8 @@ int usage() {
                "[--production S] [--cutoff] [--ordering] [--spanning] "
                "[--sweep] [--repeats N] [--aggregate mean|median|trimmed] "
                "[--hysteresis X] [--drift X] [--slice S] "
-               "[--perturb SCHEDULE]\n");
+               "[--perturb SCHEDULE] [--trace-out FILE] [--chrome-out FILE] "
+               "[--metrics-out FILE]\n");
   return 1;
 }
 
@@ -63,6 +71,24 @@ int usage() {
 int fail(const std::string &Msg) {
   std::fprintf(stderr, "dynfb-run: error: %s\n", Msg.c_str());
   return 1;
+}
+
+/// Writes \p Contents to \p Path; false (with \p Error set) on any I/O
+/// failure.
+bool writeFile(const std::string &Path, const std::string &Contents,
+               std::string &Error) {
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  if (!F) {
+    Error = "cannot open '" + Path + "' for writing";
+    return false;
+  }
+  const size_t Written = std::fwrite(Contents.data(), 1, Contents.size(), F);
+  const int CloseRc = std::fclose(F);
+  if (Written != Contents.size() || CloseRc != 0) {
+    Error = "failed writing '" + Path + "'";
+    return false;
+  }
+  return true;
 }
 
 } // namespace
@@ -172,7 +198,27 @@ int main(int Argc, char **Argv) {
                 perturb::renderSchedule(Perturb->schedule()).c_str());
   }
 
+  // Observability exports, all default-off so a plain run's output stays
+  // byte-identical to the seed.
+  const std::string TraceOut = CL.getString("trace-out", "");
+  const std::string ChromeOut = CL.getString("chrome-out", "");
+  const std::string MetricsOut = CL.getString("metrics-out", "");
+  const bool WantRunTrace = !TraceOut.empty() || !ChromeOut.empty();
+  if (!MetricsOut.empty())
+    obs::globalMetrics().reset(); // Scope the export to this invocation.
+  auto WriteMetrics = [&]() -> std::optional<std::string> {
+    if (MetricsOut.empty())
+      return std::nullopt;
+    std::string Error;
+    if (!writeFile(MetricsOut, obs::globalMetrics().toJson(), Error))
+      return Error;
+    return std::nullopt;
+  };
+
   if (CL.getBool("sweep", false)) {
+    if (WantRunTrace)
+      return fail("--trace-out/--chrome-out apply to a single run, not "
+                  "--sweep");
     Table T(AppName + ": execution times (seconds)");
     std::vector<std::string> Header{"Version"};
     for (unsigned N : PaperProcCounts)
@@ -196,6 +242,8 @@ int main(int Argc, char **Argv) {
           formatDouble(Seconds(N, VersionSpec::dynamicFeedback()), 2));
     T.addRow(Dyn);
     std::fputs(T.renderText().c_str(), stdout);
+    if (std::optional<std::string> Error = WriteMetrics())
+      return fail(*Error);
     return 0;
   }
 
@@ -206,6 +254,8 @@ int main(int Argc, char **Argv) {
   const std::string PolicyName = CL.getString("policy", "dynamic");
 
   if (CL.getString("backend", "sim") == "native") {
+    if (WantRunTrace)
+      return fail("--trace-out/--chrome-out require the simulator backend");
     // Execute the generated IR on real host threads (compute costs scaled
     // down by --timescale; serial phases skipped). Dynamic feedback only.
     const double TimeScale = CL.getDouble("timescale", 0.0005);
@@ -236,6 +286,8 @@ int main(int Argc, char **Argv) {
     std::printf("native run total %.3f s (timescale %g, serial phases "
                 "skipped)\n",
                 rt::nanosToSeconds(rt::steadyNow() - Start), TimeScale);
+    if (std::optional<std::string> Error = WriteMetrics())
+      return fail(*Error);
     return 0;
   }
 
@@ -257,10 +309,13 @@ int main(int Argc, char **Argv) {
                 "dynamic)");
 
   fb::PolicyHistory History;
+  RunObservation Obs;
+  Obs.CollectSectionTraces = WantRunTrace;
   const fb::RunResult R =
       runApp(*TheApp, Procs, F, Policy, Config,
              Config.UsePolicyOrdering ? &History : nullptr,
-             rt::CostModel::dashLike(), Perturb.get());
+             rt::CostModel::dashLike(), Perturb.get(),
+             WantRunTrace ? &Obs : nullptr);
 
   std::printf("%s, %u procs, policy %s: %.3f s\n", AppName.c_str(), Procs,
               PolicyName.c_str(), rt::nanosToSeconds(R.TotalNanos));
@@ -290,6 +345,17 @@ int main(int Argc, char **Argv) {
     }
   }
 
+  if (WantRunTrace) {
+    const obs::RunTrace Trace =
+        buildRunTrace(AppName, Procs, PolicyName, R, &Obs);
+    std::string Error;
+    if (!TraceOut.empty() && !writeFile(TraceOut, obs::toJsonl(Trace), Error))
+      return fail(Error);
+    if (!ChromeOut.empty() &&
+        !writeFile(ChromeOut, obs::toChromeTrace(Trace), Error))
+      return fail(Error);
+  }
+
   if (CL.getBool("trace", false) && F == Flavour::Fixed) {
     // Contention report: re-run each section with an interval trace.
     auto Backend = TheApp->makeSimBackend(Procs, rt::CostModel::dashLike(),
@@ -304,5 +370,7 @@ int main(int Argc, char **Argv) {
       std::fputs(Trace.renderText().c_str(), stdout);
     }
   }
+  if (std::optional<std::string> Error = WriteMetrics())
+    return fail(*Error);
   return 0;
 }
