@@ -6,16 +6,17 @@
 ///
 /// \file
 /// Helpers shared by the table/figure bench binaries: option parsing
-/// (--scale shrinks workloads for quick runs), table printing, and the
-/// standard execution-time + speedup experiment over the paper's processor
-/// counts.
+/// (--scale shrinks workloads for quick runs) and table printing. The
+/// execution-time grid experiment lives in exp/PaperGrids -- shared with
+/// the dynfb-bench experiment registry and dynfb-run --sweep -- and is
+/// re-exported here under the historical dynfb::bench names.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef DYNFB_BENCH_BENCHUTIL_H
 #define DYNFB_BENCH_BENCHUTIL_H
 
-#include "apps/Harness.h"
+#include "exp/PaperGrids.h"
 #include "support/CommandLine.h"
 #include "support/StringUtils.h"
 #include "support/TablePrinter.h"
@@ -38,31 +39,11 @@ inline void printCsv(const std::string &Name, const std::string &Csv) {
   std::printf("CSV [%s]:\n%s\n", Name.c_str(), Csv.c_str());
 }
 
-/// Execution times of every flavour at every processor count -- the shape
-/// of the paper's Tables 2 and 7 -- plus the serial time.
-struct TimingGrid {
-  double SerialSeconds = 0;
-  /// Row label -> (procs -> seconds).
-  std::vector<std::pair<std::string, std::map<unsigned, double>>> Rows;
-};
-
-/// Runs the standard execution-time experiment: Serial on one processor,
-/// each static policy and Dynamic on the paper's processor counts.
-TimingGrid runTimingGrid(const apps::App &App,
-                         const std::vector<unsigned> &Procs,
-                         const fb::FeedbackConfig &Config = {});
-
-/// Renders a TimingGrid as the paper's execution-time table.
-Table timesTable(const std::string &Title, const TimingGrid &Grid,
-                 const std::vector<unsigned> &Procs);
-
-/// Renders the corresponding speedup series (the paper's speedup figures).
-Table speedupTable(const std::string &Title, const TimingGrid &Grid,
-                   const std::vector<unsigned> &Procs);
-
-/// Speedup series as CSV for plotting.
-std::string speedupCsv(const TimingGrid &Grid,
-                       const std::vector<unsigned> &Procs);
+using exp::runTimingGrid;
+using exp::speedupCsv;
+using exp::speedupTable;
+using exp::timesTable;
+using exp::TimingGrid;
 
 } // namespace dynfb::bench
 

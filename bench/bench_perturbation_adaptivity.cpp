@@ -6,116 +6,13 @@
 // absorb environmental perturbations that the static policies must ride
 // out? Each fault class from src/perturb is injected into a small Water
 // run (deterministic virtual-time schedules, so every cell reproduces
-// exactly), comparing the best static policy against the paper's dynamic
-// configuration and a hardened one (drift-triggered early resampling plus
-// switch hysteresis).
+// exactly). The experiment definition lives in the src/exp registry; this
+// binary runs it in-process and renders the table.
 //
 //===----------------------------------------------------------------------===//
 
-#include "../bench/BenchUtil.h"
-#include "apps/water/WaterApp.h"
-#include "perturb/Engine.h"
-
-using namespace dynfb;
-using namespace dynfb::apps;
-using namespace dynfb::bench;
-using namespace dynfb::xform;
-
-namespace {
-
-struct FaultCase {
-  const char *Name;
-  const char *Spec; ///< Empty = pristine machine.
-};
-
-const FaultCase Cases[] = {
-    {"pristine", ""},
-    {"processor slowdown", "slowdown@1s-2.5s:factor=4:proc=0"},
-    {"lock-hold spike", "lockhold@1s-2.5s:extra=20us"},
-    {"contention burst", "contend@1s-2.5s:extra=200us"},
-    {"timer noise", "timernoise@0s-inf:amp=5us"},
-    {"workload phase shift", "phaseshift@1.5s-inf:factor=0.3"},
-};
-
-} // namespace
+#include "exp/BenchMain.h"
 
 int main(int Argc, char **Argv) {
-  CommandLine CL(Argc, Argv);
-  water::WaterConfig Config;
-  Config.Timesteps = 8;
-  Config.scale(CL.getDouble("scale", 0.125));
-  water::WaterApp App(Config);
-  const unsigned Procs =
-      static_cast<unsigned>(CL.getInt("procs", 8));
-
-  std::printf("Water at %u molecules x %u timesteps, %u processors; each "
-              "fault class injected as a deterministic virtual-time "
-              "schedule.\n\n",
-              Config.NumMolecules, Config.Timesteps, Procs);
-
-  // The paper's dynamic configuration, adapted to this short run: spanning
-  // intervals (the sections are much shorter than a production interval)
-  // and a 1 s production budget so the controller resamples a few times.
-  fb::FeedbackConfig Paper;
-  Paper.SpanSectionExecutions = true;
-  Paper.TargetProductionNanos = rt::secondsToNanos(1);
-
-  // The hardened configuration: identical, plus drift-triggered early
-  // resampling and a little switch hysteresis.
-  fb::FeedbackConfig Robust = Paper;
-  Robust.DriftResampleThreshold = 0.10;
-  Robust.SwitchHysteresis = 0.02;
-
-  Table T("Execution times under injected faults (seconds)");
-  T.setHeader({"Fault class", "Best static", "Dynamic (paper)",
-               "Dynamic (robust)", "Early resamples"});
-
-  for (const FaultCase &FC : Cases) {
-    std::unique_ptr<perturb::PerturbationEngine> Engine;
-    if (FC.Spec[0] != '\0') {
-      std::string Error;
-      auto Sched = perturb::parseSchedule(FC.Spec, Error);
-      if (!Sched) {
-        std::fprintf(stderr, "internal spec error for '%s': %s\n", FC.Name,
-                     Error.c_str());
-        return 1;
-      }
-      Engine = std::make_unique<perturb::PerturbationEngine>(
-          std::move(*Sched));
-    }
-
-    // Best static policy for this fault case: the minimum over the fixed
-    // policies, each suffering the same schedule.
-    double BestStatic = 1e100;
-    for (PolicyKind P : AllPolicies)
-      BestStatic = std::min(
-          BestStatic,
-          rt::nanosToSeconds(runApp(App, Procs, Flavour::Fixed, P, {},
-                                    nullptr, rt::CostModel::dashLike(),
-                                    Engine.get())
-                                 .TotalNanos));
-
-    const fb::RunResult PaperRun =
-        runApp(App, Procs, Flavour::Dynamic, PolicyKind::Original, Paper,
-               nullptr, rt::CostModel::dashLike(), Engine.get());
-    const fb::RunResult RobustRun =
-        runApp(App, Procs, Flavour::Dynamic, PolicyKind::Original, Robust,
-               nullptr, rt::CostModel::dashLike(), Engine.get());
-    unsigned EarlyResamples = 0;
-    for (const fb::SectionExecutionTrace &Trace : RobustRun.Occurrences)
-      EarlyResamples += Trace.EarlyResamples;
-
-    T.addRow({FC.Name, formatDouble(BestStatic, 3),
-              formatDouble(rt::nanosToSeconds(PaperRun.TotalNanos), 3),
-              formatDouble(rt::nanosToSeconds(RobustRun.TotalNanos), 3),
-              format("%u", EarlyResamples)});
-  }
-  printTable(T);
-  std::printf("Every schedule is virtual-time and seeded: rerunning this "
-              "binary reproduces each cell bit for bit. Expectation: the "
-              "dynamic versions stay within a few percent of the best "
-              "static policy under every fault class, and drift-triggered "
-              "resampling reacts to mid-run shifts without waiting out the "
-              "production budget.\n");
-  return 0;
+  return dynfb::exp::runBenchMain("perturbation_adaptivity", Argc, Argv);
 }

@@ -3,34 +3,14 @@
 // Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
 //
 // Regenerates paper Table 2 (execution times for Barnes-Hut) and Figure 4
-// (the corresponding speedup curves): the Serial, Original, Bounded,
-// Aggressive and Dynamic versions on 1-16 simulated processors with the
-// paper's input of 16,384 bodies.
+// (the corresponding speedup curves). The experiment definition lives in
+// the src/exp registry; this binary runs it in-process and renders the
+// tables (dynfb-bench runs the same grid in parallel with caching).
 //
 //===----------------------------------------------------------------------===//
 
-#include "../bench/BenchUtil.h"
-#include "apps/barnes_hut/BarnesHutApp.h"
-
-using namespace dynfb;
-using namespace dynfb::apps;
-using namespace dynfb::bench;
+#include "exp/BenchMain.h"
 
 int main(int Argc, char **Argv) {
-  CommandLine CL(Argc, Argv);
-  bh::BarnesHutConfig Config;
-  Config.scale(CL.getDouble("scale", 1.0));
-
-  std::printf("== Barnes-Hut: %u bodies ==\n", Config.NumBodies);
-  bh::BarnesHutApp App(Config);
-  std::printf("(workload: %llu interactions per FORCES execution)\n\n",
-              static_cast<unsigned long long>(App.totalInteractions()));
-
-  const TimingGrid Grid = runTimingGrid(App, PaperProcCounts);
-  printTable(timesTable("Table 2: Execution Times for Barnes-Hut (seconds)",
-                        Grid, PaperProcCounts));
-  printTable(speedupTable("Figure 4: Speedups for Barnes-Hut", Grid,
-                          PaperProcCounts));
-  printCsv("fig4_speedups", speedupCsv(Grid, PaperProcCounts));
-  return 0;
+  return dynfb::exp::runBenchMain("table2_fig4_barnes_hut", Argc, Argv);
 }

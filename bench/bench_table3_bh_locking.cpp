@@ -2,48 +2,14 @@
 //
 // Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
 //
-// Regenerates paper Table 3: locking overhead for Barnes-Hut -- the number
-// of executed acquire/release pairs and the absolute locking overhead per
-// version. As in the paper, the static versions' counts do not vary with
-// the processor count; the Dynamic version's numbers come from an
-// eight-processor run.
+// Regenerates paper Table 3: locking overhead for Barnes-Hut. The
+// experiment definition lives in the src/exp registry; this binary runs it
+// in-process and renders the table.
 //
 //===----------------------------------------------------------------------===//
 
-#include "../bench/BenchUtil.h"
-#include "apps/barnes_hut/BarnesHutApp.h"
-
-using namespace dynfb;
-using namespace dynfb::apps;
-using namespace dynfb::bench;
-using namespace dynfb::xform;
+#include "exp/BenchMain.h"
 
 int main(int Argc, char **Argv) {
-  CommandLine CL(Argc, Argv);
-  bh::BarnesHutConfig Config;
-  Config.scale(CL.getDouble("scale", 1.0));
-  bh::BarnesHutApp App(Config);
-
-  Table T("Table 3: Locking Overhead for Barnes-Hut");
-  T.setHeader({"Version", "Executed Acquire/Release Pairs",
-               "Absolute Locking Overhead (seconds)"});
-
-  for (PolicyKind P : AllPolicies) {
-    const fb::RunResult R = runApp(App, 8, Flavour::Fixed, P);
-    T.addRow({policyName(P),
-              withThousandsSep(R.ParallelStats.AcquireReleasePairs),
-              formatDouble(rt::nanosToSeconds(R.ParallelStats.LockOpNanos),
-                           3)});
-  }
-  {
-    const fb::RunResult R = runApp(App, 8, Flavour::Dynamic);
-    T.addRow({"Dynamic",
-              withThousandsSep(R.ParallelStats.AcquireReleasePairs),
-              formatDouble(rt::nanosToSeconds(R.ParallelStats.LockOpNanos),
-                           3)});
-  }
-  printTable(T);
-  std::printf("Paper reference: Original 15,471,xxx pairs; Bounded "
-              "7,744,033; Aggressive 49,152; Dynamic 72,5xx (8 procs).\n");
-  return 0;
+  return dynfb::exp::runBenchMain("table3_bh_locking", Argc, Argv);
 }

@@ -3,36 +3,14 @@
 // Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
 //
 // Regenerates paper Table 7 (execution times for Water) and Figure 6 (the
-// corresponding speedups): 512 molecules, two timesteps. The expected
-// shape: Aggressive best at one processor but failing to scale (POTENG's
-// false exclusion serializes it); Bounded best at >= 2 processors; Dynamic
-// close to the per-configuration best.
+// corresponding speedups). The experiment definition lives in the src/exp
+// registry; this binary runs it in-process and renders the tables
+// (dynfb-bench runs the same grid in parallel with caching).
 //
 //===----------------------------------------------------------------------===//
 
-#include "../bench/BenchUtil.h"
-#include "apps/water/WaterApp.h"
-
-using namespace dynfb;
-using namespace dynfb::apps;
-using namespace dynfb::bench;
+#include "exp/BenchMain.h"
 
 int main(int Argc, char **Argv) {
-  CommandLine CL(Argc, Argv);
-  water::WaterConfig Config;
-  Config.scale(CL.getDouble("scale", 1.0));
-  std::printf("== Water: %u molecules, %u timesteps ==\n\n",
-              Config.NumMolecules, Config.Timesteps);
-  water::WaterApp App(Config);
-
-  const TimingGrid Grid = runTimingGrid(App, PaperProcCounts);
-  printTable(timesTable("Table 7: Execution Times for Water (seconds)",
-                        Grid, PaperProcCounts));
-  printTable(
-      speedupTable("Figure 6: Speedups for Water", Grid, PaperProcCounts));
-  printCsv("fig6_speedups", speedupCsv(Grid, PaperProcCounts));
-  std::printf("Paper reference (seconds): Serial 165.8; Original 184.4 -> "
-              "19.87; Bounded 175.8 -> 19.5; Aggressive 165.3 -> 73.54 "
-              "(fails to scale); Dynamic 165.4 -> 20.54.\n");
-  return 0;
+  return dynfb::exp::runBenchMain("table7_fig6_water", Argc, Argv);
 }

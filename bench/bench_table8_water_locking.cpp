@@ -2,47 +2,15 @@
 //
 // Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
 //
-// Regenerates paper Table 8: locking overhead for Water -- executed
-// acquire/release pairs and the absolute locking overhead per version.
-// Also reports the Dynamic version at one processor, where it should
-// track the Aggressive version's counts (the paper's observation).
+// Regenerates paper Table 8: locking overhead for Water, including the
+// Dynamic version at one processor (which should track Aggressive, the
+// paper's observation). The experiment definition lives in the src/exp
+// registry; this binary runs it in-process and renders the table.
 //
 //===----------------------------------------------------------------------===//
 
-#include "../bench/BenchUtil.h"
-#include "apps/water/WaterApp.h"
-
-using namespace dynfb;
-using namespace dynfb::apps;
-using namespace dynfb::bench;
-using namespace dynfb::xform;
+#include "exp/BenchMain.h"
 
 int main(int Argc, char **Argv) {
-  CommandLine CL(Argc, Argv);
-  water::WaterConfig Config;
-  Config.scale(CL.getDouble("scale", 1.0));
-  water::WaterApp App(Config);
-
-  Table T("Table 8: Locking Overhead for Water");
-  T.setHeader({"Version", "Executed Acquire/Release Pairs",
-               "Absolute Locking Overhead (seconds)"});
-  for (PolicyKind P : AllPolicies) {
-    const fb::RunResult R = runApp(App, 8, Flavour::Fixed, P);
-    T.addRow({policyName(P),
-              withThousandsSep(R.ParallelStats.AcquireReleasePairs),
-              formatDouble(rt::nanosToSeconds(R.ParallelStats.LockOpNanos),
-                           3)});
-  }
-  for (unsigned Procs : {8u, 1u}) {
-    const fb::RunResult R = runApp(App, Procs, Flavour::Dynamic);
-    T.addRow({format("Dynamic (%u procs)", Procs),
-              withThousandsSep(R.ParallelStats.AcquireReleasePairs),
-              formatDouble(rt::nanosToSeconds(R.ParallelStats.LockOpNanos),
-                           3)});
-  }
-  printTable(T);
-  std::printf("Paper reference: Original 4,200,xxx pairs; Bounded "
-              "2,099,200; Aggressive 1,577,98x; Dynamic (8p) close to "
-              "Bounded, Dynamic (1p) close to Aggressive.\n");
-  return 0;
+  return dynfb::exp::runBenchMain("table8_water_locking", Argc, Argv);
 }

@@ -3,162 +3,17 @@
 // Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
 //
 // Extension experiment (not in the paper): dynamic feedback over a product
-// version space. The space composes the paper's synchronization-policy
-// dimension with a loop-scheduling dimension (dynamic self-scheduling vs.
-// chunked iteration assignment), giving a 3x3 space per application. The
-// experiment runs every fixed space point and the Dynamic executable over
-// the full space, reports whether feedback selects the best fixed
-// combination, and measures how the sampling cost grows with the space:
-// every extra version is one more interval whose length is bounded below
-// by the coarsest switch-point granularity it admits.
+// version space composing the paper's synchronization-policy dimension
+// with a loop-scheduling dimension (3x3 per application). The experiment
+// definition lives in the src/exp registry; this binary runs it in-process
+// and renders the tables.
 //
 //   bench_version_space [--scale F] [--procs N] [--chunks K1,K2]
 //
 //===----------------------------------------------------------------------===//
 
-#include "../bench/BenchUtil.h"
-#include "apps/barnes_hut/BarnesHutApp.h"
-#include "apps/water/WaterApp.h"
-
-#include <algorithm>
-#include <cmath>
-
-using namespace dynfb;
-using namespace dynfb::apps;
-using namespace dynfb::bench;
-
-namespace {
-
-fb::FeedbackConfig spanningConfig() {
-  // Sampling spans section executions and the chosen version persists
-  // across them: with a 9-version space, re-sampling every occurrence
-  // would dwarf the production phases the paper's guarantee relies on.
-  fb::FeedbackConfig Config;
-  Config.TargetSamplingNanos = rt::millisToNanos(10);
-  Config.TargetProductionNanos = rt::secondsToNanos(100.0);
-  Config.SpanSectionExecutions = true;
-  return Config;
-}
-
-struct SpaceResult {
-  std::string BestName;
-  double BestSeconds = 0;
-  double DynamicSeconds = 0;
-  double SamplingShare = 0; ///< Sampled intervals / total intervals run.
-};
-
-SpaceResult runSpace(const App &TheApp, unsigned Procs,
-                     const xform::VersionSpace &Space,
-                     const std::string &Title) {
-  Table T(Title);
-  T.setHeader({"Version", "sync", "sched", "Seconds", "vs best"});
-
-  SpaceResult Result;
-  std::vector<std::pair<std::string, double>> Fixed;
-  for (const xform::VersionDescriptor &D : Space.descriptors()) {
-    const double Seconds =
-        runAppSeconds(TheApp, Procs, VersionSpec::fixed(D));
-    Fixed.emplace_back(D.name(), Seconds);
-    if (Result.BestName.empty() || Seconds < Result.BestSeconds) {
-      Result.BestName = D.name();
-      Result.BestSeconds = Seconds;
-    }
-  }
-  for (size_t I = 0; I < Fixed.size(); ++I) {
-    const xform::VersionDescriptor &D = Space.descriptors()[I];
-    T.addRow({Fixed[I].first, xform::policyName(D.Policy), D.Sched.name(),
-              formatDouble(Fixed[I].second, 2),
-              formatDouble(Fixed[I].second / Result.BestSeconds, 2)});
-  }
-
-  const fb::RunResult Dyn = runApp(TheApp, Procs,
-                                   VersionSpec::dynamicFeedback(),
-                                   spanningConfig());
-  Result.DynamicSeconds = rt::nanosToSeconds(Dyn.TotalNanos);
-  unsigned Sampled = 0, Phases = 0;
-  for (const fb::SectionExecutionTrace &Trace : Dyn.Occurrences) {
-    Sampled += Trace.SampledIntervals;
-    Phases += Trace.SamplingPhases;
-  }
-  Result.SamplingShare =
-      Result.DynamicSeconds > 0
-          ? (Result.DynamicSeconds - Result.BestSeconds) /
-                Result.DynamicSeconds
-          : 0;
-  T.addRow({"Dynamic (feedback)", "-", "-",
-            formatDouble(Result.DynamicSeconds, 2),
-            formatDouble(Result.DynamicSeconds / Result.BestSeconds, 2)});
-  printTable(T);
-
-  std::printf("  best fixed version: %s (%.2f s); dynamic feedback %.2f s "
-              "(%.1f%% over best), %u sampled intervals in %u phases\n\n",
-              Result.BestName.c_str(), Result.BestSeconds,
-              Result.DynamicSeconds,
-              100.0 * (Result.DynamicSeconds / Result.BestSeconds - 1.0),
-              Sampled, Phases);
-  return Result;
-}
-
-} // namespace
+#include "exp/BenchMain.h"
 
 int main(int Argc, char **Argv) {
-  CommandLine CL(Argc, Argv);
-  const double Scale = CL.getDouble("scale", 1.0);
-  const unsigned Procs =
-      static_cast<unsigned>(CL.getInt("procs", 8));
-  std::string Error;
-  const std::optional<xform::VersionSpace> Space = xform::VersionSpace::parse(
-      "sync,sched", CL.getString("chunks", "8,32"), Error);
-  if (!Space) {
-    std::fprintf(stderr, "bench_version_space: %s\n", Error.c_str());
-    return 1;
-  }
-
-  std::printf("== Version spaces: %u versions (%zu policies x %zu "
-              "schedulings), %u processors ==\n\n",
-              static_cast<unsigned>(Space->size()),
-              Space->policies().size(), Space->scheds().size(), Procs);
-
-  // Enough timesteps for the production phases to amortize the one-time
-  // sampling of the full space (the paper's Section 5 tradeoff): sampling a
-  // chunked version costs at least one full chunk wave per processor, so
-  // the 9-version space pays seconds of sampling that a 2-timestep run
-  // could never recover.
-  water::WaterConfig WaterCfg;
-  WaterCfg.scale(0.25 * Scale);
-  WaterCfg.Timesteps = 48;
-  water::WaterApp Water(WaterCfg, *Space);
-  const SpaceResult WaterResult =
-      runSpace(Water, Procs, *Space,
-               format("Water over the %u-version space (seconds)",
-                      static_cast<unsigned>(Space->size())));
-
-  bh::BarnesHutConfig BhCfg;
-  BhCfg.scale(0.125 * Scale);
-  BhCfg.ForcesExecutions = 16;
-  bh::BarnesHutApp Bh(BhCfg, *Space);
-  const SpaceResult BhResult =
-      runSpace(Bh, Procs, *Space,
-               format("Barnes-Hut over the %u-version space (seconds)",
-                      static_cast<unsigned>(Space->size())));
-
-  // Sampling cost growth: the default 3-version space vs. the product
-  // space, same workload.
-  water::WaterApp WaterDefault(WaterCfg);
-  const fb::RunResult Small = runApp(WaterDefault, Procs,
-                                     VersionSpec::dynamicFeedback(),
-                                     spanningConfig());
-  std::printf("sampling cost vs space size (Water): |space|=3 dynamic "
-              "%.2f s, |space|=%u dynamic %.2f s\n",
-              rt::nanosToSeconds(Small.TotalNanos),
-              static_cast<unsigned>(Space->size()),
-              WaterResult.DynamicSeconds);
-
-  const bool WaterOk =
-      WaterResult.DynamicSeconds <= 1.10 * WaterResult.BestSeconds;
-  const bool BhOk = BhResult.DynamicSeconds <= 1.10 * BhResult.BestSeconds;
-  std::printf("dynamic feedback within 10%% of best fixed version: water "
-              "%s, barnes_hut %s\n",
-              WaterOk ? "yes" : "NO", BhOk ? "yes" : "NO");
-  return WaterOk && BhOk ? 0 : 1;
+  return dynfb::exp::runBenchMain("version_space", Argc, Argv);
 }

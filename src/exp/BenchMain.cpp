@@ -1,0 +1,52 @@
+//===- exp/BenchMain.cpp --------------------------------------------------==//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "exp/BenchMain.h"
+
+#include "exp/Experiment.h"
+#include "support/CommandLine.h"
+
+#include <cstdio>
+
+using namespace dynfb;
+using namespace dynfb::exp;
+
+int exp::runBenchMain(const std::string &ExperimentName, int Argc,
+                      char **Argv) {
+  registerBuiltinExperiments();
+  const Experiment *E = registry().find(ExperimentName);
+  if (!E) {
+    std::fprintf(stderr, "bench: experiment '%s' is not registered\n",
+                 ExperimentName.c_str());
+    return 2;
+  }
+
+  CommandLine CL(Argc, Argv);
+  RunOptions Opts;
+  Opts.Scale = CL.getDouble("scale", E->DefaultScale);
+  Opts.Procs = static_cast<unsigned>(CL.getInt("procs", 0));
+  Opts.Seed = static_cast<uint64_t>(CL.getInt("seed", 0));
+  Opts.Chunks = CL.getString("chunks", "");
+  if (!rejectUnknownFlags(CL, ExperimentName,
+                          {"scale", "procs", "seed", "chunks"},
+                          "--scale F [--procs N] [--seed S] [--chunks K1,K2]"))
+    return 2;
+
+  const std::vector<JobConfig> Jobs = E->MakeJobs(Opts);
+  std::vector<JobResult> Results;
+  Results.reserve(Jobs.size());
+  for (const JobConfig &Job : Jobs) {
+    JobResult R = E->RunJob(Job);
+    if (!R.Ok) {
+      std::fprintf(stderr, "%s: job [%s] failed: %s\n",
+                   ExperimentName.c_str(), Job.label().c_str(),
+                   R.Error.c_str());
+      return 1;
+    }
+    Results.push_back(std::move(R));
+  }
+  return E->Render(Opts, Results);
+}

@@ -1,0 +1,32 @@
+//===- exp/BenchMain.h - Shared main() of the bench binaries ----*- C++ -*-===//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one main() behind every standalone bench binary: look up the named
+/// experiment, expand its grid under the command-line options, run the jobs
+/// sequentially in-process, and render the paper's tables. Keeping the
+/// binaries this thin means dynfb-bench and the binaries can never drift --
+/// both run the registered experiment definitions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNFB_EXP_BENCHMAIN_H
+#define DYNFB_EXP_BENCHMAIN_H
+
+#include <string>
+
+namespace dynfb::exp {
+
+/// Runs the named registered experiment as a standalone bench binary:
+/// parses --scale/--procs/--chunks/--seed (rejecting unknown flags), runs
+/// the grid in-process and returns the experiment renderer's exit code.
+/// --scale is the absolute workload scale (default: the experiment's
+/// DefaultScale), preserving each old binary's flag semantics.
+int runBenchMain(const std::string &ExperimentName, int Argc, char **Argv);
+
+} // namespace dynfb::exp
+
+#endif // DYNFB_EXP_BENCHMAIN_H

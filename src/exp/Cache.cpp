@@ -1,0 +1,131 @@
+//===- exp/Cache.cpp ------------------------------------------------------==//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "exp/Cache.h"
+
+#include "exp/Scheduler.h"
+#include "obs/Json.h"
+#include "support/StringUtils.h"
+
+#include <cstdio>
+#include <filesystem>
+
+using namespace dynfb;
+using namespace dynfb::exp;
+
+std::string CacheKey::hex() const { return format("%016llx",
+    static_cast<unsigned long long>(Hash)); }
+
+CacheKey exp::makeCacheKey(const Experiment &E, const JobConfig &Config,
+                           const std::string &BuildHash) {
+  uint64_t H = fnv1a(format("schema:%lld",
+                            static_cast<long long>(ResultSchemaVersion)));
+  H = fnv1a(format("exp:%016llx",
+                   static_cast<unsigned long long>(E.schemaHash())),
+            H);
+  H = fnv1a("cfg:" + Config.canonical(), H);
+  H = fnv1a("build:" + BuildHash, H);
+  return CacheKey{H};
+}
+
+std::string ResultCache::path(const CacheKey &Key) const {
+  return Dir + "/" + Key.hex() + ".json";
+}
+
+std::optional<JobResult> ResultCache::load(const CacheKey &Key) const {
+  std::FILE *F = std::fopen(path(Key).c_str(), "rb");
+  if (!F)
+    return std::nullopt;
+  std::string Text;
+  char Buf[16 * 1024];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Text.append(Buf, N);
+  const bool ReadError = std::ferror(F) != 0;
+  std::fclose(F);
+  if (ReadError)
+    return std::nullopt;
+
+  std::string Error;
+  const std::optional<obs::JsonValue> V = obs::parseJson(Text, Error);
+  if (!V || V->getInt("schema", -1) != ResultSchemaVersion)
+    return std::nullopt;
+  const obs::JsonValue *Result = V->find("result");
+  if (!Result)
+    return std::nullopt;
+  // Re-serialize the embedded result object and reuse the wire parser.
+  JobResult R;
+  std::string Wire = "{\"ok\":";
+  const obs::JsonValue *Ok = Result->find("ok");
+  Wire += Ok && Ok->asBool() ? "true" : "false";
+  Wire += ",\"error\":\"";
+  Wire += obs::jsonEscape(Result->getString("error"));
+  Wire += "\",\"metrics\":{";
+  if (const obs::JsonValue *Metrics = Result->find("metrics")) {
+    bool First = true;
+    for (const auto &[Name, Value] : Metrics->members()) {
+      if (!First)
+        Wire += ',';
+      First = false;
+      Wire += '"';
+      Wire += obs::jsonEscape(Name);
+      Wire += "\":";
+      Wire += Value.kind() == obs::JsonValue::Kind::Number
+                  ? format("%.17g", Value.asNumber())
+                  : std::string("null");
+    }
+  }
+  Wire += "}}";
+  if (!jobResultFromJson(Wire, R, Error))
+    return std::nullopt;
+  return R;
+}
+
+bool ResultCache::store(const CacheKey &Key, const Experiment &E,
+                        const JobConfig &Config,
+                        const std::string &BuildHash,
+                        const JobResult &Result, std::string &Error) const {
+  std::error_code Ec;
+  std::filesystem::create_directories(Dir, Ec);
+  if (Ec) {
+    Error = "cannot create cache directory '" + Dir + "': " + Ec.message();
+    return false;
+  }
+  std::string Out = format("{\"schema\":%lld",
+                           static_cast<long long>(ResultSchemaVersion));
+  Out += ",\"build\":\"";
+  Out += obs::jsonEscape(BuildHash);
+  Out += "\",\"experiment\":\"";
+  Out += obs::jsonEscape(E.Name);
+  Out += "\",\"config\":";
+  Out += Config.canonical();
+  Out += ",\"result\":";
+  Out += jobResultToJson(Result);
+  Out += "}\n";
+
+  // Write to a temp file and rename so concurrent readers never observe a
+  // torn entry.
+  const std::string Final = path(Key);
+  const std::string Tmp = Final + ".tmp";
+  std::FILE *F = std::fopen(Tmp.c_str(), "wb");
+  if (!F) {
+    Error = "cannot open '" + Tmp + "' for writing";
+    return false;
+  }
+  const size_t Written = std::fwrite(Out.data(), 1, Out.size(), F);
+  const int CloseRc = std::fclose(F);
+  if (Written != Out.size() || CloseRc != 0) {
+    Error = "failed writing '" + Tmp + "'";
+    std::remove(Tmp.c_str());
+    return false;
+  }
+  if (std::rename(Tmp.c_str(), Final.c_str()) != 0) {
+    Error = "failed renaming '" + Tmp + "' into place";
+    std::remove(Tmp.c_str());
+    return false;
+  }
+  return true;
+}

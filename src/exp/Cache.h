@@ -1,0 +1,65 @@
+//===- exp/Cache.h - Content-addressed result cache -------------*- C++ -*-===//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The content-addressed result cache of src/exp. A job's cache key is the
+/// hash of everything that determines its result: the result schema
+/// version, the experiment's schema hash (name, suite and metric names),
+/// the job config's canonical JSON and the build hash. Entries are single
+/// JSON files named by the key under a cache directory, so re-running a
+/// sweep after an unrelated edit (same build hash) is incremental: every
+/// unchanged job is served from the cache without forking a worker.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNFB_EXP_CACHE_H
+#define DYNFB_EXP_CACHE_H
+
+#include "exp/Experiment.h"
+
+#include <optional>
+#include <string>
+
+namespace dynfb::exp {
+
+/// A computed cache key.
+struct CacheKey {
+  uint64_t Hash = 0;
+  std::string hex() const; ///< 16 lowercase hex digits, the file stem.
+};
+
+/// Derives the key of (\p E, \p Config) under \p BuildHash. Any change to
+/// the experiment's metric schema, any config field (app, policy, procs,
+/// scale, seed, ...), the result schema version or the build moves the key.
+CacheKey makeCacheKey(const Experiment &E, const JobConfig &Config,
+                      const std::string &BuildHash);
+
+/// A directory of cached job results, one JSON file per key.
+class ResultCache {
+public:
+  /// \p Dir is created lazily on the first store.
+  explicit ResultCache(std::string Dir) : Dir(std::move(Dir)) {}
+
+  const std::string &dir() const { return Dir; }
+
+  /// Loads the entry of \p Key; nullopt on miss, unreadable entry or
+  /// schema mismatch (both treated as a miss, never an error).
+  std::optional<JobResult> load(const CacheKey &Key) const;
+
+  /// Stores \p Result under \p Key (with provenance: experiment, config,
+  /// build). Returns false with \p Error set on I/O failure.
+  bool store(const CacheKey &Key, const Experiment &E,
+             const JobConfig &Config, const std::string &BuildHash,
+             const JobResult &Result, std::string &Error) const;
+
+private:
+  std::string path(const CacheKey &Key) const;
+  std::string Dir;
+};
+
+} // namespace dynfb::exp
+
+#endif // DYNFB_EXP_CACHE_H

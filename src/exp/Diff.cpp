@@ -1,0 +1,135 @@
+//===- exp/Diff.cpp -------------------------------------------------------==//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "exp/Diff.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+using namespace dynfb;
+using namespace dynfb::exp;
+
+namespace {
+
+bool endsWith(const std::string &S, const std::string &Suffix) {
+  return S.size() >= Suffix.size() &&
+         S.compare(S.size() - Suffix.size(), Suffix.size(), Suffix) == 0;
+}
+
+/// `*.ok` metrics are 0/1 acceptance flags: higher is better.
+bool higherIsBetter(const std::string &Name) {
+  return endsWith(Name, ".ok") || Name == "ok";
+}
+
+} // namespace
+
+double DiffOptions::relTolFor(const std::string &MetricName) const {
+  double Tol = RelTol;
+  size_t BestLen = 0;
+  for (const auto &[Suffix, T] : SuffixRelTol)
+    if (endsWith(MetricName, Suffix) && Suffix.size() >= BestLen) {
+      BestLen = Suffix.size();
+      Tol = T;
+    }
+  return Tol;
+}
+
+DiffReport exp::diffResults(const ResultFile &Base, const ResultFile &Cand,
+                            const DiffOptions &Opts) {
+  DiffReport Report;
+
+  std::map<std::string, const JobRecord *> CandJobs;
+  for (const JobRecord &J : Cand.Jobs) {
+    CandJobs[J.key()] = &J;
+    if (J.Status != JobStatus::Ok)
+      Report.FailedJobs.push_back(J.key() + ": " + J.Result.Error);
+  }
+
+  for (const JobRecord &BaseJob : Base.Jobs) {
+    if (BaseJob.Status != JobStatus::Ok)
+      continue; // A broken baseline job gates nothing.
+    const auto It = CandJobs.find(BaseJob.key());
+    if (It == CandJobs.end()) {
+      Report.MissingJobs.push_back(BaseJob.key());
+      continue;
+    }
+    const JobRecord &CandJob = *It->second;
+    if (CandJob.Status != JobStatus::Ok)
+      continue; // Already reported via FailedJobs.
+
+    for (const Metric &M : BaseJob.Result.Metrics) {
+      if (!std::isfinite(M.Value))
+        continue; // NaN sentinel (unmeasurable): nothing to gate on.
+      if (!CandJob.Result.hasMetric(M.Name)) {
+        Report.MissingMetrics.push_back(BaseJob.key() + " " + M.Name);
+        continue;
+      }
+      const double CandValue = CandJob.Result.metric(M.Name);
+      MetricDelta D;
+      D.Key = BaseJob.Experiment + " " + BaseJob.Config.label() + " " +
+              M.Name;
+      D.Base = M.Value;
+      D.Cand = CandValue;
+      D.RelChange = M.Value != 0.0
+                        ? (CandValue - M.Value) / std::fabs(M.Value)
+                        : (CandValue == 0.0 ? 0.0 : INFINITY);
+      const double Rel = Opts.relTolFor(M.Name);
+      if (!std::isfinite(CandValue)) {
+        D.Regressed = true; // A measurable metric became unmeasurable.
+      } else if (higherIsBetter(M.Name)) {
+        D.Regressed = CandValue < M.Value * (1.0 - Rel) - Opts.AbsTol;
+        D.Improved = CandValue > M.Value * (1.0 + Rel) + Opts.AbsTol;
+      } else {
+        D.Regressed = CandValue > M.Value * (1.0 + Rel) + Opts.AbsTol;
+        D.Improved = CandValue < M.Value * (1.0 - Rel) - Opts.AbsTol;
+      }
+      Report.Compared += 1;
+      Report.Regressions += D.Regressed ? 1 : 0;
+      Report.Improvements += D.Improved ? 1 : 0;
+      Report.Deltas.push_back(std::move(D));
+    }
+  }
+
+  std::stable_sort(Report.Deltas.begin(), Report.Deltas.end(),
+                   [](const MetricDelta &A, const MetricDelta &B) {
+                     if (A.Regressed != B.Regressed)
+                       return A.Regressed;
+                     return std::fabs(A.RelChange) > std::fabs(B.RelChange);
+                   });
+  return Report;
+}
+
+std::string DiffReport::renderText(const DiffOptions &Opts) const {
+  std::string Out;
+  Out += format("compared %zu metrics: %zu regressions, %zu improvements\n",
+                Compared, Regressions, Improvements);
+  size_t Shown = 0;
+  for (const MetricDelta &D : Deltas) {
+    if (!D.Regressed && !D.Improved)
+      continue;
+    if (++Shown > 40) {
+      Out += format("  (%zu more changed metrics not shown)\n",
+                    Regressions + Improvements - (Shown - 1));
+      break;
+    }
+    Out += format("  %s %s: %.6g -> %.6g (%+.1f%%, tol %.1f%%)\n",
+                  D.Regressed ? "REGRESSION" : "improvement",
+                  D.Key.c_str(), D.Base, D.Cand, 100.0 * D.RelChange,
+                  100.0 * Opts.relTolFor(D.Key.substr(
+                              D.Key.find_last_of(' ') + 1)));
+  }
+  for (const std::string &J : FailedJobs)
+    Out += "  FAILED JOB " + J + "\n";
+  for (const std::string &J : MissingJobs)
+    Out += "  MISSING JOB " + J + "\n";
+  for (const std::string &M : MissingMetrics)
+    Out += "  MISSING METRIC " + M + "\n";
+  Out += ok(Opts) ? "gate: PASS\n" : "gate: FAIL\n";
+  return Out;
+}

@@ -1,0 +1,77 @@
+//===- exp/Diff.h - Noise-aware regression gate -----------------*- C++ -*-===//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The regression gate behind `dynfb-bench diff`: compares two result files
+/// metric by metric. Jobs are matched by (experiment, canonical config);
+/// metrics are cost-like (seconds, overheads, pair counts) and gate on
+/// increase, except metrics named `*.ok` (0/1 acceptance flags) which gate
+/// on decrease. Thresholds are noise-aware: a candidate only regresses when
+/// it exceeds baseline * (1 + rel) + abs, with per-metric-suffix overrides
+/// for known-noisier series, so simulator-deterministic metrics can gate
+/// tightly while genuinely noisy ones get slack.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNFB_EXP_DIFF_H
+#define DYNFB_EXP_DIFF_H
+
+#include "exp/Result.h"
+
+#include <string>
+#include <vector>
+
+namespace dynfb::exp {
+
+struct DiffOptions {
+  /// Default relative tolerance (0.05 = a 5% cost increase passes).
+  double RelTol = 0.05;
+  /// Absolute slack added on top, absorbing noise near zero.
+  double AbsTol = 1e-9;
+  /// Per-metric overrides, matched by metric-name suffix ("seconds=0.10");
+  /// the longest matching suffix wins.
+  std::vector<std::pair<std::string, double>> SuffixRelTol;
+  /// Metrics/jobs present in the baseline but missing from the candidate
+  /// fail the gate (new candidate metrics never do).
+  bool FailOnMissing = true;
+
+  double relTolFor(const std::string &MetricName) const;
+};
+
+/// One compared metric.
+struct MetricDelta {
+  std::string Key;    ///< "<experiment> <config> <metric>".
+  double Base = 0;
+  double Cand = 0;
+  double RelChange = 0; ///< (cand - base) / |base|; 0 when base == 0.
+  bool Regressed = false;
+  bool Improved = false;
+};
+
+struct DiffReport {
+  std::vector<MetricDelta> Deltas;     ///< Regressions first, worst first.
+  std::vector<std::string> MissingJobs;
+  std::vector<std::string> MissingMetrics;
+  std::vector<std::string> FailedJobs; ///< Candidate jobs not status ok.
+  size_t Compared = 0;
+  size_t Regressions = 0;
+  size_t Improvements = 0;
+
+  bool ok(const DiffOptions &Opts) const {
+    return Regressions == 0 && FailedJobs.empty() &&
+           (!Opts.FailOnMissing ||
+            (MissingJobs.empty() && MissingMetrics.empty()));
+  }
+  std::string renderText(const DiffOptions &Opts) const;
+};
+
+/// Compares \p Cand against \p Base under \p Opts.
+DiffReport diffResults(const ResultFile &Base, const ResultFile &Cand,
+                       const DiffOptions &Opts = {});
+
+} // namespace dynfb::exp
+
+#endif // DYNFB_EXP_DIFF_H

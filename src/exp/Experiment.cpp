@@ -1,0 +1,149 @@
+//===- exp/Experiment.cpp -------------------------------------------------==//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "exp/Experiment.h"
+
+#include "obs/Json.h"
+#include "support/Compiler.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+using namespace dynfb;
+using namespace dynfb::exp;
+
+void JobConfig::set(const std::string &Key, const std::string &Value) {
+  for (auto &[K, V] : KVs)
+    if (K == Key) {
+      V = Value;
+      return;
+    }
+  KVs.emplace_back(Key, Value);
+}
+
+void JobConfig::setInt(const std::string &Key, int64_t Value) {
+  set(Key, format("%lld", static_cast<long long>(Value)));
+}
+
+void JobConfig::setDouble(const std::string &Key, double Value) {
+  // Shortest representation that round-trips, so 0.125 canonicalizes as
+  // "0.125" rather than a 17-digit expansion.
+  std::string S = format("%g", Value);
+  if (std::strtod(S.c_str(), nullptr) != Value)
+    S = format("%.17g", Value);
+  set(Key, S);
+}
+
+const std::string *JobConfig::find(const std::string &Key) const {
+  for (const auto &[K, V] : KVs)
+    if (K == Key)
+      return &V;
+  return nullptr;
+}
+
+std::string JobConfig::getString(const std::string &Key,
+                                 const std::string &Default) const {
+  const std::string *V = find(Key);
+  return V ? *V : Default;
+}
+
+int64_t JobConfig::getInt(const std::string &Key, int64_t Default) const {
+  const std::string *V = find(Key);
+  return V ? std::strtoll(V->c_str(), nullptr, 10) : Default;
+}
+
+double JobConfig::getDouble(const std::string &Key, double Default) const {
+  const std::string *V = find(Key);
+  return V ? std::strtod(V->c_str(), nullptr) : Default;
+}
+
+std::string JobConfig::canonical() const {
+  std::vector<std::pair<std::string, std::string>> Sorted = KVs;
+  std::sort(Sorted.begin(), Sorted.end());
+  std::string Out = "{";
+  for (const auto &[K, V] : Sorted) {
+    if (Out.size() > 1)
+      Out += ',';
+    Out += '"';
+    Out += obs::jsonEscape(K);
+    Out += "\":\"";
+    Out += obs::jsonEscape(V);
+    Out += '"';
+  }
+  Out += '}';
+  return Out;
+}
+
+std::string JobConfig::label() const {
+  std::string Out;
+  for (const auto &[K, V] : KVs) {
+    if (!Out.empty())
+      Out += ',';
+    Out += K;
+    Out += '=';
+    Out += V;
+  }
+  return Out;
+}
+
+double JobResult::metric(const std::string &Name, double Default) const {
+  for (const Metric &M : Metrics)
+    if (M.Name == Name)
+      return M.Value;
+  return Default;
+}
+
+bool JobResult::hasMetric(const std::string &Name) const {
+  for (const Metric &M : Metrics)
+    if (M.Name == Name)
+      return true;
+  return false;
+}
+
+uint64_t exp::fnv1a(const std::string &S, uint64_t Seed) {
+  uint64_t H = Seed;
+  for (unsigned char C : S) {
+    H ^= C;
+    H *= 0x100000001b3ull;
+  }
+  return H;
+}
+
+uint64_t Experiment::schemaHash() const {
+  uint64_t H = fnv1a(Name);
+  H = fnv1a(Suite, H);
+  for (const std::string &M : MetricNames)
+    H = fnv1a("|" + M, H);
+  return H;
+}
+
+void ExperimentRegistry::add(Experiment E) {
+  DYNFB_CHECK(!E.Name.empty(), "experiment must be named");
+  DYNFB_CHECK(find(E.Name) == nullptr, "duplicate experiment registration");
+  Experiments.push_back(std::move(E));
+}
+
+const Experiment *ExperimentRegistry::find(const std::string &Name) const {
+  for (const Experiment &E : Experiments)
+    if (E.Name == Name)
+      return &E;
+  return nullptr;
+}
+
+std::vector<const Experiment *>
+ExperimentRegistry::suite(const std::string &Suite) const {
+  std::vector<const Experiment *> Out;
+  for (const Experiment &E : Experiments)
+    if (Suite == "all" || E.Suite == Suite)
+      Out.push_back(&E);
+  return Out;
+}
+
+ExperimentRegistry &exp::registry() {
+  static ExperimentRegistry R;
+  return R;
+}

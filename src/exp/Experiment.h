@@ -1,0 +1,171 @@
+//===- exp/Experiment.h - Declarative experiment registry -------*- C++ -*-===//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The declarative experiment layer of src/exp: every paper table/figure,
+/// ablation and version-space sweep registers as a named Experiment whose
+/// parameter grid (app x policy/version space x processors x scale x seed)
+/// expands into independent jobs. A job is the unit of scheduling, caching
+/// and regression gating: it runs one simulator configuration and returns a
+/// flat list of named metrics. The standalone bench binaries and the
+/// dynfb-bench driver share these definitions -- the binaries render the
+/// paper's tables from in-process job results, the driver fans the grid out
+/// across worker processes and exports machine-readable summaries.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNFB_EXP_EXPERIMENT_H
+#define DYNFB_EXP_EXPERIMENT_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace dynfb::exp {
+
+/// Schema version of every machine-readable artifact src/exp emits (result
+/// files, cache entries); bump when a field changes meaning.
+inline constexpr int64_t ResultSchemaVersion = 1;
+
+/// One job's parameter assignment: ordered string key/value pairs. Values
+/// are strings so a config round-trips losslessly through JSON and the
+/// cache key; typed accessors parse on read.
+class JobConfig {
+public:
+  /// Sets (or overwrites) one parameter. Insertion order is display order.
+  void set(const std::string &Key, const std::string &Value);
+  void setInt(const std::string &Key, int64_t Value);
+  void setDouble(const std::string &Key, double Value);
+
+  /// Returns the value of \p Key, or nullptr when absent.
+  const std::string *find(const std::string &Key) const;
+
+  std::string getString(const std::string &Key,
+                        const std::string &Default = "") const;
+  int64_t getInt(const std::string &Key, int64_t Default = 0) const;
+  double getDouble(const std::string &Key, double Default = 0.0) const;
+
+  const std::vector<std::pair<std::string, std::string>> &entries() const {
+    return KVs;
+  }
+
+  /// Canonical rendering: a JSON object with keys in sorted order --
+  /// insertion-order independent, the input of the cache key.
+  std::string canonical() const;
+
+  /// Compact "k=v,k=v" label (insertion order) for progress lines.
+  std::string label() const;
+
+  friend bool operator==(const JobConfig &A, const JobConfig &B) {
+    return A.canonical() == B.canonical();
+  }
+
+private:
+  std::vector<std::pair<std::string, std::string>> KVs;
+};
+
+/// One named measurement a job produced.
+struct Metric {
+  std::string Name;
+  double Value = 0.0;
+};
+
+/// What one job run returns. Ok=false carries a job-level diagnostic (the
+/// scheduler also fails jobs that crash or time out, see Scheduler.h).
+struct JobResult {
+  bool Ok = true;
+  std::string Error;
+  std::vector<Metric> Metrics;
+
+  void add(const std::string &Name, double Value) {
+    Metrics.push_back({Name, Value});
+  }
+  /// Returns the named metric's value, or \p Default when absent.
+  double metric(const std::string &Name, double Default = 0.0) const;
+  bool hasMetric(const std::string &Name) const;
+};
+
+/// Invocation-wide options an experiment expands its grid under.
+struct RunOptions {
+  /// Workload scale factor, multiplied into each experiment's DefaultScale
+  /// by the driver; the standalone binaries pass it through verbatim.
+  double Scale = 1.0;
+  /// Processor-count override for experiments that accept one (0 = each
+  /// experiment's default).
+  unsigned Procs = 0;
+  /// Workload seed, stamped into every job config so reseeded runs never
+  /// collide in the result cache.
+  uint64_t Seed = 0;
+  /// Chunk sizes for version-space experiments ("" = each experiment's
+  /// default).
+  std::string Chunks;
+};
+
+/// A registered experiment: a named parameter grid plus the job runner and
+/// the paper-table renderer over the grid's results.
+class Experiment {
+public:
+  std::string Name;        ///< Registry key, e.g. "table2_fig4_barnes_hut".
+  std::string Suite;       ///< Suite tag: "paper", "extension", ...
+  std::string Description; ///< One line, shown by dynfb-bench list.
+  /// Multiplied into RunOptions::Scale by the driver so experiments with a
+  /// reduced natural scale (e.g. the perturbation sweep) keep it.
+  double DefaultScale = 1.0;
+  /// The metric names jobs may emit -- part of the schema hash, so renaming
+  /// a metric invalidates cached results.
+  std::vector<std::string> MetricNames;
+
+  /// Expands the parameter grid into jobs, deterministically ordered.
+  /// Everything that affects a job's result is baked into its config --
+  /// RunJob sees only the config, which is what the cache key hashes.
+  std::function<std::vector<JobConfig>(const RunOptions &)> MakeJobs;
+  /// Runs one job (pure: same config, same metrics -- the property the
+  /// result cache relies on).
+  std::function<JobResult(const JobConfig &)> RunJob;
+  /// Renders the paper's human-readable output from the full grid's results
+  /// (in MakeJobs order) and returns the process exit code. Only the
+  /// standalone bench binaries call this.
+  std::function<int(const RunOptions &, const std::vector<JobResult> &)>
+      Render;
+
+  /// Hash of the experiment's identity and metric schema: any rename or
+  /// metric change moves every cache key of the experiment.
+  uint64_t schemaHash() const;
+};
+
+/// The process-wide experiment registry.
+class ExperimentRegistry {
+public:
+  /// Registers \p E; the name must be unique (checked).
+  void add(Experiment E);
+
+  /// Returns the named experiment, or nullptr.
+  const Experiment *find(const std::string &Name) const;
+
+  /// All experiments in registration order.
+  const std::vector<Experiment> &all() const { return Experiments; }
+
+  /// The experiments of \p Suite ("all" selects every suite).
+  std::vector<const Experiment *> suite(const std::string &Suite) const;
+
+private:
+  std::vector<Experiment> Experiments;
+};
+
+ExperimentRegistry &registry();
+
+/// Registers the built-in experiments (paper tables, version-space and
+/// perturbation sweeps). Idempotent; call before using registry().
+void registerBuiltinExperiments();
+
+/// FNV-1a, the hash behind schema and cache keys (stable across hosts,
+/// unlike std::hash).
+uint64_t fnv1a(const std::string &S, uint64_t Seed = 0xcbf29ce484222325ull);
+
+} // namespace dynfb::exp
+
+#endif // DYNFB_EXP_EXPERIMENT_H

@@ -1,0 +1,703 @@
+//===- exp/Experiments.cpp - Built-in experiment registrations ------------==//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+// The registered experiments: the paper's Barnes-Hut and Water
+// execution-time and locking tables (Tables 2/3/7/8 with Figures 4/6), the
+// version-space product sweep and the perturbation-adaptivity sweep. Each
+// registration splits the old bench binary in two: MakeJobs/RunJob expand
+// the parameter grid into independent, cacheable simulator runs, and
+// Render reproduces the binary's human-readable output -- byte for byte --
+// from the grid's results. The thin bench mains (bench/bench_table2_... et
+// al.) and the dynfb-bench driver both work off these definitions.
+//
+//===----------------------------------------------------------------------===//
+
+#include "exp/Experiment.h"
+#include "exp/PaperGrids.h"
+
+#include "apps/barnes_hut/BarnesHutApp.h"
+#include "apps/water/WaterApp.h"
+#include "perturb/Engine.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace dynfb;
+using namespace dynfb::apps;
+using namespace dynfb::exp;
+using namespace dynfb::xform;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Shared helpers
+//===----------------------------------------------------------------------===//
+
+std::optional<PolicyKind> parsePolicyName(const std::string &Name) {
+  for (PolicyKind P : AllPolicies)
+    if (Name == policyName(P))
+      return P;
+  return std::nullopt;
+}
+
+JobResult jobError(const std::string &Msg) {
+  JobResult R;
+  R.Ok = false;
+  R.Error = Msg;
+  return R;
+}
+
+void printTable(const Table &T) {
+  std::fputs(T.renderText().c_str(), stdout);
+  std::fputs("\n", stdout);
+}
+
+/// Base config every job carries: the identity axes of the grid.
+JobConfig baseConfig(const std::string &App, double Scale, uint64_t Seed) {
+  JobConfig C;
+  C.set("app", App);
+  C.setDouble("scale", Scale);
+  C.setInt("seed", static_cast<int64_t>(Seed));
+  return C;
+}
+
+//===----------------------------------------------------------------------===//
+// Tables 2/7 with Figures 4/6: the execution-time grids
+//===----------------------------------------------------------------------===//
+
+/// Grid: serial at one processor, each static policy and Dynamic at the
+/// paper's processor counts. One job per cell.
+std::vector<JobConfig> makeTimingGridJobs(const std::string &App,
+                                          const RunOptions &Opts) {
+  std::vector<JobConfig> Jobs;
+  {
+    JobConfig C = baseConfig(App, Opts.Scale, Opts.Seed);
+    C.set("flavour", "serial");
+    C.setInt("procs", 1);
+    Jobs.push_back(std::move(C));
+  }
+  for (PolicyKind P : AllPolicies)
+    for (unsigned N : PaperProcCounts) {
+      JobConfig C = baseConfig(App, Opts.Scale, Opts.Seed);
+      C.set("flavour", "fixed");
+      C.set("policy", policyName(P));
+      C.setInt("procs", N);
+      Jobs.push_back(std::move(C));
+    }
+  for (unsigned N : PaperProcCounts) {
+    JobConfig C = baseConfig(App, Opts.Scale, Opts.Seed);
+    C.set("flavour", "dynamic");
+    C.setInt("procs", N);
+    Jobs.push_back(std::move(C));
+  }
+  return Jobs;
+}
+
+std::unique_ptr<App> makeGridApp(const JobConfig &Config) {
+  const double Scale = Config.getDouble("scale", 1.0);
+  if (Config.getString("app") == "barnes_hut") {
+    bh::BarnesHutConfig C;
+    C.scale(Scale);
+    return std::make_unique<bh::BarnesHutApp>(C);
+  }
+  if (Config.getString("app") == "water") {
+    water::WaterConfig C;
+    C.scale(Scale);
+    return std::make_unique<water::WaterApp>(C);
+  }
+  return nullptr;
+}
+
+JobResult runTimingGridJob(const JobConfig &Config) {
+  const std::unique_ptr<App> TheApp = makeGridApp(Config);
+  if (!TheApp)
+    return jobError("unknown app '" + Config.getString("app") + "'");
+  const unsigned Procs = static_cast<unsigned>(Config.getInt("procs", 1));
+  const std::string Flavour = Config.getString("flavour");
+  VersionSpec Spec;
+  if (Flavour == "serial")
+    Spec = VersionSpec::serial();
+  else if (Flavour == "dynamic")
+    Spec = VersionSpec::dynamicFeedback();
+  else if (Flavour == "fixed") {
+    const std::optional<PolicyKind> P =
+        parsePolicyName(Config.getString("policy"));
+    if (!P)
+      return jobError("unknown policy '" + Config.getString("policy") + "'");
+    Spec = VersionSpec::fixed(*P);
+  } else
+    return jobError("unknown flavour '" + Flavour + "'");
+
+  JobResult R;
+  R.add("seconds", runAppSeconds(*TheApp, Procs, Spec));
+  return R;
+}
+
+/// Reassembles the TimingGrid from the grid's results (same order as
+/// makeTimingGridJobs).
+TimingGrid gridFromResults(const std::vector<JobResult> &Results) {
+  TimingGrid Grid;
+  size_t I = 0;
+  Grid.SerialSeconds = Results[I++].metric("seconds");
+  for (PolicyKind P : AllPolicies) {
+    std::map<unsigned, double> Row;
+    for (unsigned N : PaperProcCounts)
+      Row[N] = Results[I++].metric("seconds");
+    Grid.Rows.emplace_back(policyName(P), std::move(Row));
+  }
+  std::map<unsigned, double> Dyn;
+  for (unsigned N : PaperProcCounts)
+    Dyn[N] = Results[I++].metric("seconds");
+  Grid.Rows.emplace_back("Dynamic", std::move(Dyn));
+  return Grid;
+}
+
+Experiment makeTable2BarnesHut() {
+  Experiment E;
+  E.Name = "table2_fig4_barnes_hut";
+  E.Suite = "paper";
+  E.Description =
+      "Table 2 execution times + Figure 4 speedups for Barnes-Hut";
+  E.MetricNames = {"seconds"};
+  E.MakeJobs = [](const RunOptions &Opts) {
+    return makeTimingGridJobs("barnes_hut", Opts);
+  };
+  E.RunJob = runTimingGridJob;
+  E.Render = [](const RunOptions &Opts,
+                const std::vector<JobResult> &Results) {
+    bh::BarnesHutConfig Config;
+    Config.scale(Opts.Scale);
+    std::printf("== Barnes-Hut: %u bodies ==\n", Config.NumBodies);
+    bh::BarnesHutApp App(Config);
+    std::printf("(workload: %llu interactions per FORCES execution)\n\n",
+                static_cast<unsigned long long>(App.totalInteractions()));
+
+    const TimingGrid Grid = gridFromResults(Results);
+    printTable(timesTable("Table 2: Execution Times for Barnes-Hut (seconds)",
+                          Grid, PaperProcCounts));
+    printTable(speedupTable("Figure 4: Speedups for Barnes-Hut", Grid,
+                            PaperProcCounts));
+    std::printf("CSV [fig4_speedups]:\n%s\n",
+                speedupCsv(Grid, PaperProcCounts).c_str());
+    return 0;
+  };
+  return E;
+}
+
+Experiment makeTable7Water() {
+  Experiment E;
+  E.Name = "table7_fig6_water";
+  E.Suite = "paper";
+  E.Description = "Table 7 execution times + Figure 6 speedups for Water";
+  E.MetricNames = {"seconds"};
+  E.MakeJobs = [](const RunOptions &Opts) {
+    return makeTimingGridJobs("water", Opts);
+  };
+  E.RunJob = runTimingGridJob;
+  E.Render = [](const RunOptions &Opts,
+                const std::vector<JobResult> &Results) {
+    water::WaterConfig Config;
+    Config.scale(Opts.Scale);
+    std::printf("== Water: %u molecules, %u timesteps ==\n\n",
+                Config.NumMolecules, Config.Timesteps);
+
+    const TimingGrid Grid = gridFromResults(Results);
+    printTable(timesTable("Table 7: Execution Times for Water (seconds)",
+                          Grid, PaperProcCounts));
+    printTable(
+        speedupTable("Figure 6: Speedups for Water", Grid, PaperProcCounts));
+    std::printf("CSV [fig6_speedups]:\n%s\n",
+                speedupCsv(Grid, PaperProcCounts).c_str());
+    std::printf("Paper reference (seconds): Serial 165.8; Original 184.4 -> "
+                "19.87; Bounded 175.8 -> 19.5; Aggressive 165.3 -> 73.54 "
+                "(fails to scale); Dynamic 165.4 -> 20.54.\n");
+    return 0;
+  };
+  return E;
+}
+
+//===----------------------------------------------------------------------===//
+// Tables 3/8: the locking-overhead tables
+//===----------------------------------------------------------------------===//
+
+/// One job per table row: (flavour/policy, procs), metrics pairs +
+/// lock_seconds.
+JobConfig lockingJob(const std::string &App, const RunOptions &Opts,
+                     const std::string &Flavour, const std::string &Policy,
+                     unsigned Procs) {
+  JobConfig C = baseConfig(App, Opts.Scale, Opts.Seed);
+  C.set("flavour", Flavour);
+  if (!Policy.empty())
+    C.set("policy", Policy);
+  C.setInt("procs", Procs);
+  return C;
+}
+
+JobResult runLockingJob(const JobConfig &Config) {
+  const std::unique_ptr<App> TheApp = makeGridApp(Config);
+  if (!TheApp)
+    return jobError("unknown app '" + Config.getString("app") + "'");
+  const unsigned Procs = static_cast<unsigned>(Config.getInt("procs", 8));
+  fb::RunResult R;
+  if (Config.getString("flavour") == "dynamic") {
+    R = runApp(*TheApp, Procs, Flavour::Dynamic);
+  } else {
+    const std::optional<PolicyKind> P =
+        parsePolicyName(Config.getString("policy"));
+    if (!P)
+      return jobError("unknown policy '" + Config.getString("policy") + "'");
+    R = runApp(*TheApp, Procs, Flavour::Fixed, *P);
+  }
+  JobResult Out;
+  Out.add("pairs", static_cast<double>(R.ParallelStats.AcquireReleasePairs));
+  Out.add("lock_seconds", rt::nanosToSeconds(R.ParallelStats.LockOpNanos));
+  return Out;
+}
+
+/// A locking-table row from one job's metrics.
+std::vector<std::string> lockingRow(const std::string &Label,
+                                    const JobResult &R) {
+  return {Label,
+          withThousandsSep(static_cast<uint64_t>(R.metric("pairs"))),
+          formatDouble(R.metric("lock_seconds"), 3)};
+}
+
+Experiment makeTable3BhLocking() {
+  Experiment E;
+  E.Name = "table3_bh_locking";
+  E.Suite = "paper";
+  E.Description = "Table 3 locking overhead for Barnes-Hut";
+  E.MetricNames = {"pairs", "lock_seconds"};
+  E.MakeJobs = [](const RunOptions &Opts) {
+    std::vector<JobConfig> Jobs;
+    for (PolicyKind P : AllPolicies)
+      Jobs.push_back(lockingJob("barnes_hut", Opts, "fixed", policyName(P),
+                                8));
+    Jobs.push_back(lockingJob("barnes_hut", Opts, "dynamic", "", 8));
+    return Jobs;
+  };
+  E.RunJob = runLockingJob;
+  E.Render = [](const RunOptions &,
+                const std::vector<JobResult> &Results) {
+    Table T("Table 3: Locking Overhead for Barnes-Hut");
+    T.setHeader({"Version", "Executed Acquire/Release Pairs",
+                 "Absolute Locking Overhead (seconds)"});
+    size_t I = 0;
+    for (PolicyKind P : AllPolicies)
+      T.addRow(lockingRow(policyName(P), Results[I++]));
+    T.addRow(lockingRow("Dynamic", Results[I++]));
+    printTable(T);
+    std::printf("Paper reference: Original 15,471,xxx pairs; Bounded "
+                "7,744,033; Aggressive 49,152; Dynamic 72,5xx (8 procs).\n");
+    return 0;
+  };
+  return E;
+}
+
+Experiment makeTable8WaterLocking() {
+  Experiment E;
+  E.Name = "table8_water_locking";
+  E.Suite = "paper";
+  E.Description = "Table 8 locking overhead for Water";
+  E.MetricNames = {"pairs", "lock_seconds"};
+  E.MakeJobs = [](const RunOptions &Opts) {
+    std::vector<JobConfig> Jobs;
+    for (PolicyKind P : AllPolicies)
+      Jobs.push_back(lockingJob("water", Opts, "fixed", policyName(P), 8));
+    for (unsigned Procs : {8u, 1u})
+      Jobs.push_back(lockingJob("water", Opts, "dynamic", "", Procs));
+    return Jobs;
+  };
+  E.RunJob = runLockingJob;
+  E.Render = [](const RunOptions &,
+                const std::vector<JobResult> &Results) {
+    Table T("Table 8: Locking Overhead for Water");
+    T.setHeader({"Version", "Executed Acquire/Release Pairs",
+                 "Absolute Locking Overhead (seconds)"});
+    size_t I = 0;
+    for (PolicyKind P : AllPolicies)
+      T.addRow(lockingRow(policyName(P), Results[I++]));
+    for (unsigned Procs : {8u, 1u})
+      T.addRow(lockingRow(format("Dynamic (%u procs)", Procs),
+                          Results[I++]));
+    printTable(T);
+    std::printf("Paper reference: Original 4,200,xxx pairs; Bounded "
+                "2,099,200; Aggressive 1,577,98x; Dynamic (8p) close to "
+                "Bounded, Dynamic (1p) close to Aggressive.\n");
+    return 0;
+  };
+  return E;
+}
+
+//===----------------------------------------------------------------------===//
+// Version-space product sweep (extension experiment)
+//===----------------------------------------------------------------------===//
+
+fb::FeedbackConfig spanningConfig() {
+  // Sampling spans section executions and the chosen version persists
+  // across them: with a 9-version space, re-sampling every occurrence
+  // would dwarf the production phases the paper's guarantee relies on.
+  fb::FeedbackConfig Config;
+  Config.TargetSamplingNanos = rt::millisToNanos(10);
+  Config.TargetProductionNanos = rt::secondsToNanos(100.0);
+  Config.SpanSectionExecutions = true;
+  return Config;
+}
+
+/// Builds the version-space app of one job. Water runs at 0.25x and 48
+/// timesteps, Barnes-Hut at 0.125x and 16 FORCES executions -- enough
+/// production phases to amortize sampling the 9-version space (the paper's
+/// Section 5 tradeoff).
+std::unique_ptr<App> makeSpaceApp(const JobConfig &Config,
+                                  const VersionSpace &Space) {
+  const double Scale = Config.getDouble("scale", 1.0);
+  if (Config.getString("app") == "water") {
+    water::WaterConfig C;
+    C.scale(0.25 * Scale);
+    C.Timesteps = 48;
+    return std::make_unique<water::WaterApp>(C, Space);
+  }
+  if (Config.getString("app") == "barnes_hut") {
+    bh::BarnesHutConfig C;
+    C.scale(0.125 * Scale);
+    C.ForcesExecutions = 16;
+    return std::make_unique<bh::BarnesHutApp>(C, Space);
+  }
+  return nullptr;
+}
+
+JobResult runSpaceJob(const JobConfig &Config) {
+  std::string Error;
+  const std::string Chunks = Config.getString("chunks", "8,32");
+  const bool Product = Config.getString("space") == "product";
+  std::optional<VersionSpace> Space =
+      Product ? VersionSpace::parse("sync,sched", Chunks, Error)
+              : std::optional<VersionSpace>(VersionSpace());
+  if (!Space)
+    return jobError(Error);
+  const std::unique_ptr<App> TheApp =
+      Config.getString("space") == "default"
+          ? makeSpaceApp(Config, VersionSpace())
+          : makeSpaceApp(Config, *Space);
+  if (!TheApp)
+    return jobError("unknown app '" + Config.getString("app") + "'");
+  const unsigned Procs = static_cast<unsigned>(Config.getInt("procs", 8));
+
+  JobResult Out;
+  if (Config.getString("flavour") == "fixed") {
+    const std::string Version = Config.getString("version");
+    for (const VersionDescriptor &D : Space->descriptors())
+      if (D.name() == Version) {
+        Out.add("seconds",
+                runAppSeconds(*TheApp, Procs, VersionSpec::fixed(D)));
+        return Out;
+      }
+    return jobError("version '" + Version + "' not in the space");
+  }
+  const fb::RunResult Dyn = runApp(*TheApp, Procs,
+                                   VersionSpec::dynamicFeedback(),
+                                   spanningConfig());
+  unsigned Sampled = 0, Phases = 0;
+  for (const fb::SectionExecutionTrace &Trace : Dyn.Occurrences) {
+    Sampled += Trace.SampledIntervals;
+    Phases += Trace.SamplingPhases;
+  }
+  Out.add("seconds", rt::nanosToSeconds(Dyn.TotalNanos));
+  Out.add("sampled_intervals", Sampled);
+  Out.add("sampling_phases", Phases);
+  return Out;
+}
+
+Experiment makeVersionSpace() {
+  Experiment E;
+  E.Name = "version_space";
+  E.Suite = "extension";
+  E.Description =
+      "dynamic feedback over the 3x3 sync-by-scheduling version space";
+  E.MetricNames = {"seconds", "sampled_intervals", "sampling_phases"};
+  E.MakeJobs = [](const RunOptions &Opts) {
+    const std::string Chunks = Opts.Chunks.empty() ? "8,32" : Opts.Chunks;
+    std::string Error;
+    const std::optional<VersionSpace> Space =
+        VersionSpace::parse("sync,sched", Chunks, Error);
+    std::vector<JobConfig> Jobs;
+    if (!Space) // Parse errors surface when the job runs.
+      return Jobs;
+    const unsigned Procs = Opts.Procs ? Opts.Procs : 8;
+    for (const char *App : {"water", "barnes_hut"}) {
+      for (const VersionDescriptor &D : Space->descriptors()) {
+        JobConfig C = baseConfig(App, Opts.Scale, Opts.Seed);
+        C.set("space", "product");
+        C.set("chunks", Chunks);
+        C.set("flavour", "fixed");
+        C.set("version", D.name());
+        C.setInt("procs", Procs);
+        Jobs.push_back(std::move(C));
+      }
+      JobConfig C = baseConfig(App, Opts.Scale, Opts.Seed);
+      C.set("space", "product");
+      C.set("chunks", Chunks);
+      C.set("flavour", "dynamic");
+      C.setInt("procs", Procs);
+      Jobs.push_back(std::move(C));
+    }
+    // Sampling-cost reference: the default 3-version space, same workload.
+    JobConfig C = baseConfig("water", Opts.Scale, Opts.Seed);
+    C.set("space", "default");
+    C.set("flavour", "dynamic");
+    C.setInt("procs", Procs);
+    Jobs.push_back(std::move(C));
+    return Jobs;
+  };
+  E.RunJob = runSpaceJob;
+  E.Render = [](const RunOptions &Opts,
+                const std::vector<JobResult> &Results) {
+    const std::string Chunks = Opts.Chunks.empty() ? "8,32" : Opts.Chunks;
+    std::string Error;
+    const std::optional<VersionSpace> Space =
+        VersionSpace::parse("sync,sched", Chunks, Error);
+    if (!Space) {
+      std::fprintf(stderr, "bench_version_space: %s\n", Error.c_str());
+      return 1;
+    }
+    const unsigned Procs = Opts.Procs ? Opts.Procs : 8;
+    std::printf("== Version spaces: %u versions (%zu policies x %zu "
+                "schedulings), %u processors ==\n\n",
+                static_cast<unsigned>(Space->size()),
+                Space->policies().size(), Space->scheds().size(), Procs);
+
+    struct SpaceSummary {
+      std::string BestName;
+      double BestSeconds = 0;
+      double DynamicSeconds = 0;
+    };
+    size_t I = 0;
+    std::map<std::string, SpaceSummary> Summaries;
+    for (const char *AppName : {"water", "barnes_hut"}) {
+      Table T(format("%s over the %u-version space (seconds)",
+                     AppName == std::string("water") ? "Water" : "Barnes-Hut",
+                     static_cast<unsigned>(Space->size())));
+      T.setHeader({"Version", "sync", "sched", "Seconds", "vs best"});
+
+      SpaceSummary &Sum = Summaries[AppName];
+      const size_t FixedBase = I;
+      for (const VersionDescriptor &D : Space->descriptors()) {
+        const double Seconds = Results[I++].metric("seconds");
+        if (Sum.BestName.empty() || Seconds < Sum.BestSeconds) {
+          Sum.BestName = D.name();
+          Sum.BestSeconds = Seconds;
+        }
+      }
+      for (size_t K = 0; K < Space->size(); ++K) {
+        const VersionDescriptor &D = Space->descriptors()[K];
+        const double Seconds = Results[FixedBase + K].metric("seconds");
+        T.addRow({D.name(), policyName(D.Policy), D.Sched.name(),
+                  formatDouble(Seconds, 2),
+                  formatDouble(Seconds / Sum.BestSeconds, 2)});
+      }
+
+      const JobResult &Dyn = Results[I++];
+      Sum.DynamicSeconds = Dyn.metric("seconds");
+      T.addRow({"Dynamic (feedback)", "-", "-",
+                formatDouble(Sum.DynamicSeconds, 2),
+                formatDouble(Sum.DynamicSeconds / Sum.BestSeconds, 2)});
+      printTable(T);
+
+      std::printf("  best fixed version: %s (%.2f s); dynamic feedback "
+                  "%.2f s (%.1f%% over best), %u sampled intervals in %u "
+                  "phases\n\n",
+                  Sum.BestName.c_str(), Sum.BestSeconds, Sum.DynamicSeconds,
+                  100.0 * (Sum.DynamicSeconds / Sum.BestSeconds - 1.0),
+                  static_cast<unsigned>(Dyn.metric("sampled_intervals")),
+                  static_cast<unsigned>(Dyn.metric("sampling_phases")));
+    }
+
+    const double SmallSeconds = Results[I++].metric("seconds");
+    std::printf("sampling cost vs space size (Water): |space|=3 dynamic "
+                "%.2f s, |space|=%u dynamic %.2f s\n",
+                SmallSeconds, static_cast<unsigned>(Space->size()),
+                Summaries["water"].DynamicSeconds);
+
+    const bool WaterOk = Summaries["water"].DynamicSeconds <=
+                         1.10 * Summaries["water"].BestSeconds;
+    const bool BhOk = Summaries["barnes_hut"].DynamicSeconds <=
+                      1.10 * Summaries["barnes_hut"].BestSeconds;
+    std::printf("dynamic feedback within 10%% of best fixed version: water "
+                "%s, barnes_hut %s\n",
+                WaterOk ? "yes" : "NO", BhOk ? "yes" : "NO");
+    return WaterOk && BhOk ? 0 : 1;
+  };
+  return E;
+}
+
+//===----------------------------------------------------------------------===//
+// Perturbation adaptivity sweep (robustness experiment)
+//===----------------------------------------------------------------------===//
+
+struct FaultCase {
+  const char *Name;
+  const char *Spec; ///< Empty = pristine machine.
+};
+
+const FaultCase FaultCases[] = {
+    {"pristine", ""},
+    {"processor slowdown", "slowdown@1s-2.5s:factor=4:proc=0"},
+    {"lock-hold spike", "lockhold@1s-2.5s:extra=20us"},
+    {"contention burst", "contend@1s-2.5s:extra=200us"},
+    {"timer noise", "timernoise@0s-inf:amp=5us"},
+    {"workload phase shift", "phaseshift@1.5s-inf:factor=0.3"},
+};
+
+/// The paper's dynamic configuration, adapted to this short run: spanning
+/// intervals (the sections are much shorter than a production interval)
+/// and a 1 s production budget so the controller resamples a few times.
+fb::FeedbackConfig perturbPaperConfig() {
+  fb::FeedbackConfig Config;
+  Config.SpanSectionExecutions = true;
+  Config.TargetProductionNanos = rt::secondsToNanos(1);
+  return Config;
+}
+
+/// The hardened configuration: identical, plus drift-triggered early
+/// resampling and a little switch hysteresis.
+fb::FeedbackConfig perturbRobustConfig() {
+  fb::FeedbackConfig Config = perturbPaperConfig();
+  Config.DriftResampleThreshold = 0.10;
+  Config.SwitchHysteresis = 0.02;
+  return Config;
+}
+
+JobResult runPerturbJob(const JobConfig &Config) {
+  water::WaterConfig AppConfig;
+  AppConfig.Timesteps = 8;
+  AppConfig.scale(Config.getDouble("scale", 0.125));
+  water::WaterApp App(AppConfig);
+  const unsigned Procs = static_cast<unsigned>(Config.getInt("procs", 8));
+
+  std::unique_ptr<perturb::PerturbationEngine> Engine;
+  const std::string Spec = Config.getString("perturb");
+  if (!Spec.empty()) {
+    std::string Error;
+    std::optional<perturb::PerturbationSchedule> Sched =
+        perturb::parseSchedule(Spec, Error);
+    if (!Sched)
+      return jobError("internal spec error: " + Error);
+    Engine =
+        std::make_unique<perturb::PerturbationEngine>(std::move(*Sched));
+  }
+
+  const std::string Variant = Config.getString("variant");
+  JobResult Out;
+  if (Variant == "static") {
+    const std::optional<PolicyKind> P =
+        parsePolicyName(Config.getString("policy"));
+    if (!P)
+      return jobError("unknown policy '" + Config.getString("policy") + "'");
+    Out.add("seconds",
+            rt::nanosToSeconds(runApp(App, Procs, Flavour::Fixed, *P, {},
+                                      nullptr, rt::CostModel::dashLike(),
+                                      Engine.get())
+                                   .TotalNanos));
+    return Out;
+  }
+  const fb::FeedbackConfig FbConfig =
+      Variant == "robust" ? perturbRobustConfig() : perturbPaperConfig();
+  const fb::RunResult R =
+      runApp(App, Procs, Flavour::Dynamic, PolicyKind::Original, FbConfig,
+             nullptr, rt::CostModel::dashLike(), Engine.get());
+  unsigned EarlyResamples = 0;
+  for (const fb::SectionExecutionTrace &Trace : R.Occurrences)
+    EarlyResamples += Trace.EarlyResamples;
+  Out.add("seconds", rt::nanosToSeconds(R.TotalNanos));
+  Out.add("early_resamples", EarlyResamples);
+  return Out;
+}
+
+Experiment makePerturbationAdaptivity() {
+  Experiment E;
+  E.Name = "perturbation_adaptivity";
+  E.Suite = "extension";
+  E.Description =
+      "dynamic feedback vs best static policy under injected faults";
+  E.DefaultScale = 0.125;
+  E.MetricNames = {"seconds", "early_resamples"};
+  E.MakeJobs = [](const RunOptions &Opts) {
+    const unsigned Procs = Opts.Procs ? Opts.Procs : 8;
+    std::vector<JobConfig> Jobs;
+    for (const FaultCase &FC : FaultCases) {
+      for (PolicyKind P : AllPolicies) {
+        JobConfig C = baseConfig("water", Opts.Scale, Opts.Seed);
+        C.set("fault", FC.Name);
+        C.set("perturb", FC.Spec);
+        C.set("variant", "static");
+        C.set("policy", policyName(P));
+        C.setInt("procs", Procs);
+        Jobs.push_back(std::move(C));
+      }
+      for (const char *Variant : {"paper", "robust"}) {
+        JobConfig C = baseConfig("water", Opts.Scale, Opts.Seed);
+        C.set("fault", FC.Name);
+        C.set("perturb", FC.Spec);
+        C.set("variant", Variant);
+        C.setInt("procs", Procs);
+        Jobs.push_back(std::move(C));
+      }
+    }
+    return Jobs;
+  };
+  E.RunJob = runPerturbJob;
+  E.Render = [](const RunOptions &Opts,
+                const std::vector<JobResult> &Results) {
+    water::WaterConfig Config;
+    Config.Timesteps = 8;
+    Config.scale(Opts.Scale);
+    const unsigned Procs = Opts.Procs ? Opts.Procs : 8;
+    std::printf("Water at %u molecules x %u timesteps, %u processors; each "
+                "fault class injected as a deterministic virtual-time "
+                "schedule.\n\n",
+                Config.NumMolecules, Config.Timesteps, Procs);
+
+    Table T("Execution times under injected faults (seconds)");
+    T.setHeader({"Fault class", "Best static", "Dynamic (paper)",
+                 "Dynamic (robust)", "Early resamples"});
+    size_t I = 0;
+    for (const FaultCase &FC : FaultCases) {
+      double BestStatic = 1e100;
+      for (size_t P = 0; P < std::size(AllPolicies); ++P)
+        BestStatic = std::min(BestStatic, Results[I++].metric("seconds"));
+      const JobResult &Paper = Results[I++];
+      const JobResult &Robust = Results[I++];
+      T.addRow({FC.Name, formatDouble(BestStatic, 3),
+                formatDouble(Paper.metric("seconds"), 3),
+                formatDouble(Robust.metric("seconds"), 3),
+                format("%u", static_cast<unsigned>(
+                                 Robust.metric("early_resamples")))});
+    }
+    printTable(T);
+    std::printf("Every schedule is virtual-time and seeded: rerunning this "
+                "binary reproduces each cell bit for bit. Expectation: the "
+                "dynamic versions stay within a few percent of the best "
+                "static policy under every fault class, and drift-triggered "
+                "resampling reacts to mid-run shifts without waiting out the "
+                "production budget.\n");
+    return 0;
+  };
+  return E;
+}
+
+} // namespace
+
+void exp::registerBuiltinExperiments() {
+  static bool Registered = false;
+  if (Registered)
+    return;
+  Registered = true;
+  registry().add(makeTable2BarnesHut());
+  registry().add(makeTable3BhLocking());
+  registry().add(makeTable7Water());
+  registry().add(makeTable8WaterLocking());
+  registry().add(makeVersionSpace());
+  registry().add(makePerturbationAdaptivity());
+}

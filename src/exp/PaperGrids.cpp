@@ -1,19 +1,21 @@
-//===- bench/BenchUtil.cpp ------------------------------------------------==//
+//===- exp/PaperGrids.cpp -------------------------------------------------==//
 //
 // Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
 //
 //===----------------------------------------------------------------------===//
 
-#include "BenchUtil.h"
+#include "exp/PaperGrids.h"
+
+#include "support/StringUtils.h"
 
 using namespace dynfb;
 using namespace dynfb::apps;
-using namespace dynfb::bench;
+using namespace dynfb::exp;
 using namespace dynfb::xform;
 
-TimingGrid bench::runTimingGrid(const App &App,
-                                const std::vector<unsigned> &Procs,
-                                const fb::FeedbackConfig &Config) {
+TimingGrid exp::runTimingGrid(const App &App,
+                              const std::vector<unsigned> &Procs,
+                              const fb::FeedbackConfig &Config) {
   TimingGrid Grid;
   Grid.SerialSeconds =
       runAppSeconds(App, 1, Flavour::Serial, PolicyKind::Original, Config);
@@ -32,13 +34,18 @@ TimingGrid bench::runTimingGrid(const App &App,
   return Grid;
 }
 
-Table bench::timesTable(const std::string &Title, const TimingGrid &Grid,
-                        const std::vector<unsigned> &Procs) {
-  Table T(Title);
+std::vector<std::string>
+exp::versionByProcsHeader(const std::vector<unsigned> &Procs) {
   std::vector<std::string> Header{"Version"};
   for (unsigned N : Procs)
     Header.push_back(format("%u", N));
-  T.setHeader(Header);
+  return Header;
+}
+
+Table exp::timesTable(const std::string &Title, const TimingGrid &Grid,
+                      const std::vector<unsigned> &Procs) {
+  Table T(Title);
+  T.setHeader(versionByProcsHeader(Procs));
 
   std::vector<std::string> SerialRow{"Serial", formatDouble(
       Grid.SerialSeconds, 2)};
@@ -55,13 +62,10 @@ Table bench::timesTable(const std::string &Title, const TimingGrid &Grid,
   return T;
 }
 
-Table bench::speedupTable(const std::string &Title, const TimingGrid &Grid,
-                          const std::vector<unsigned> &Procs) {
+Table exp::speedupTable(const std::string &Title, const TimingGrid &Grid,
+                        const std::vector<unsigned> &Procs) {
   Table T(Title);
-  std::vector<std::string> Header{"Version"};
-  for (unsigned N : Procs)
-    Header.push_back(format("%u", N));
-  T.setHeader(Header);
+  T.setHeader(versionByProcsHeader(Procs));
   for (const auto &[Label, Row] : Grid.Rows) {
     std::vector<std::string> Cells{Label};
     for (unsigned N : Procs)
@@ -71,8 +75,8 @@ Table bench::speedupTable(const std::string &Title, const TimingGrid &Grid,
   return T;
 }
 
-std::string bench::speedupCsv(const TimingGrid &Grid,
-                              const std::vector<unsigned> &Procs) {
+std::string exp::speedupCsv(const TimingGrid &Grid,
+                            const std::vector<unsigned> &Procs) {
   SeriesSet Set;
   for (const auto &[Label, Row] : Grid.Rows) {
     Series &S = Set.getOrCreate(Label);

@@ -1,0 +1,62 @@
+//===- exp/PaperGrids.h - Execution-time grid experiment --------*- C++ -*-===//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's standard execution-time experiment (the shape of Tables 2
+/// and 7 and the speedup figures) and its table renderings. Lives in
+/// src/exp -- not bench/ -- because it is shared by three surfaces that
+/// must print identically: the standalone bench binaries, the registered
+/// experiments behind dynfb-bench, and dynfb-run --sweep. All rendering
+/// goes through support/TablePrinter.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNFB_EXP_PAPERGRIDS_H
+#define DYNFB_EXP_PAPERGRIDS_H
+
+#include "apps/Harness.h"
+#include "support/TablePrinter.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dynfb::exp {
+
+/// Execution times of every flavour at every processor count -- the shape
+/// of the paper's Tables 2 and 7 -- plus the serial time.
+struct TimingGrid {
+  double SerialSeconds = 0;
+  /// Row label -> (procs -> seconds).
+  std::vector<std::pair<std::string, std::map<unsigned, double>>> Rows;
+};
+
+/// Runs the standard execution-time experiment: Serial on one processor,
+/// each static policy and Dynamic on the paper's processor counts.
+TimingGrid runTimingGrid(const apps::App &App,
+                         const std::vector<unsigned> &Procs,
+                         const fb::FeedbackConfig &Config = {});
+
+/// The "Version | 1 | 2 | ..." header row shared by every
+/// version-by-processor-count table (times, speedups, dynfb-run --sweep).
+std::vector<std::string>
+versionByProcsHeader(const std::vector<unsigned> &Procs);
+
+/// Renders a TimingGrid as the paper's execution-time table.
+Table timesTable(const std::string &Title, const TimingGrid &Grid,
+                 const std::vector<unsigned> &Procs);
+
+/// Renders the corresponding speedup series (the paper's speedup figures).
+Table speedupTable(const std::string &Title, const TimingGrid &Grid,
+                   const std::vector<unsigned> &Procs);
+
+/// Speedup series as CSV for plotting.
+std::string speedupCsv(const TimingGrid &Grid,
+                       const std::vector<unsigned> &Procs);
+
+} // namespace dynfb::exp
+
+#endif // DYNFB_EXP_PAPERGRIDS_H

@@ -1,0 +1,137 @@
+//===- exp/Result.cpp -----------------------------------------------------==//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "exp/Result.h"
+
+#include "obs/Json.h"
+#include "support/StringUtils.h"
+
+#include <cmath>
+
+using namespace dynfb;
+using namespace dynfb::exp;
+
+size_t ResultFile::cachedJobs() const {
+  size_t N = 0;
+  for (const JobRecord &J : Jobs)
+    N += J.FromCache ? 1 : 0;
+  return N;
+}
+
+size_t ResultFile::failedJobs() const {
+  size_t N = 0;
+  for (const JobRecord &J : Jobs)
+    N += J.Status == JobStatus::Ok ? 0 : 1;
+  return N;
+}
+
+std::string exp::toJson(const ResultFile &File) {
+  std::string Out = format("{\"schema\":%lld",
+                           static_cast<long long>(File.Schema));
+  Out += ",\"build\":\"";
+  Out += obs::jsonEscape(File.Build);
+  Out += "\",\"suite\":\"";
+  Out += obs::jsonEscape(File.Suite);
+  Out += format("\",\"scale\":%g", File.ScaleFactor);
+  Out += format(",\"seed\":%llu",
+                static_cast<unsigned long long>(File.Seed));
+  Out += ",\"jobs\":[";
+  for (size_t I = 0; I < File.Jobs.size(); ++I) {
+    const JobRecord &J = File.Jobs[I];
+    if (I)
+      Out += ',';
+    Out += "\n {\"experiment\":\"";
+    Out += obs::jsonEscape(J.Experiment);
+    Out += "\",\"status\":\"";
+    Out += jobStatusName(J.Status);
+    Out += format("\",\"attempts\":%u", J.Attempts);
+    Out += J.FromCache ? ",\"from_cache\":true" : ",\"from_cache\":false";
+    Out += format(",\"wall_s\":%.6f", J.WallSeconds);
+    Out += ",\"config\":";
+    Out += J.Config.canonical();
+    if (!J.Result.Error.empty()) {
+      Out += ",\"error\":\"";
+      Out += obs::jsonEscape(J.Result.Error);
+      Out += '"';
+    }
+    Out += ",\"metrics\":{";
+    for (size_t M = 0; M < J.Result.Metrics.size(); ++M) {
+      if (M)
+        Out += ',';
+      Out += '"';
+      Out += obs::jsonEscape(J.Result.Metrics[M].Name);
+      Out += "\":";
+      Out += std::isfinite(J.Result.Metrics[M].Value)
+                 ? format("%.17g", J.Result.Metrics[M].Value)
+                 : std::string("null");
+    }
+    Out += "}}";
+  }
+  Out += "\n]}\n";
+  return Out;
+}
+
+std::optional<ResultFile> exp::parseResultFile(const std::string &Text,
+                                               std::string &Error) {
+  const std::optional<obs::JsonValue> V = obs::parseJson(Text, Error);
+  if (!V)
+    return std::nullopt;
+  if (V->kind() != obs::JsonValue::Kind::Object) {
+    Error = "result file is not a JSON object";
+    return std::nullopt;
+  }
+  ResultFile File;
+  File.Schema = V->getInt("schema", -1);
+  if (File.Schema != ResultSchemaVersion) {
+    Error = format("unsupported result schema %lld (expected %lld)",
+                   static_cast<long long>(File.Schema),
+                   static_cast<long long>(ResultSchemaVersion));
+    return std::nullopt;
+  }
+  File.Build = V->getString("build");
+  File.Suite = V->getString("suite");
+  File.ScaleFactor = V->getNumber("scale", 1.0);
+  File.Seed = static_cast<uint64_t>(V->getInt("seed"));
+
+  const obs::JsonValue *Jobs = V->find("jobs");
+  if (!Jobs || Jobs->kind() != obs::JsonValue::Kind::Array) {
+    Error = "result file has no jobs array";
+    return std::nullopt;
+  }
+  for (const obs::JsonValue &J : Jobs->items()) {
+    JobRecord R;
+    R.Experiment = J.getString("experiment");
+    const std::string Status = J.getString("status");
+    if (Status == "ok")
+      R.Status = JobStatus::Ok;
+    else if (Status == "failed")
+      R.Status = JobStatus::Failed;
+    else if (Status == "crashed")
+      R.Status = JobStatus::Crashed;
+    else if (Status == "timeout")
+      R.Status = JobStatus::TimedOut;
+    else {
+      Error = "job with unknown status '" + Status + "'";
+      return std::nullopt;
+    }
+    R.Attempts = static_cast<unsigned>(J.getInt("attempts", 1));
+    const obs::JsonValue *FromCache = J.find("from_cache");
+    R.FromCache = FromCache && FromCache->asBool();
+    R.WallSeconds = J.getNumber("wall_s");
+    if (const obs::JsonValue *Config = J.find("config"))
+      for (const auto &[K, Val] : Config->members())
+        R.Config.set(K, Val.asString());
+    R.Result.Ok = R.Status == JobStatus::Ok;
+    R.Result.Error = J.getString("error");
+    if (const obs::JsonValue *Metrics = J.find("metrics"))
+      for (const auto &[Name, Val] : Metrics->members())
+        R.Result.add(Name, Val.kind() == obs::JsonValue::Kind::Number
+                               ? Val.asNumber()
+                               : std::nan(""));
+    File.Jobs.push_back(std::move(R));
+  }
+  return File;
+}

@@ -1,0 +1,66 @@
+//===- exp/Result.h - Machine-readable result store -------------*- C++ -*-===//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The schema-versioned machine-readable summary `dynfb-bench run --out`
+/// emits (BENCH_results.json): a header (schema, build hash, suite, scale,
+/// seed) plus one record per job with its experiment, full config, settle
+/// status, cache provenance and metrics. `dynfb-bench diff` consumes two of
+/// these files (see Diff.h). The format is a single JSON document, parsed
+/// with src/obs JSON; unknown keys are ignored so newer writers stay
+/// readable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNFB_EXP_RESULT_H
+#define DYNFB_EXP_RESULT_H
+
+#include "exp/Scheduler.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dynfb::exp {
+
+/// One job's record in a result file.
+struct JobRecord {
+  std::string Experiment;
+  JobConfig Config;
+  JobStatus Status = JobStatus::Ok;
+  unsigned Attempts = 1;
+  bool FromCache = false;
+  double WallSeconds = 0;
+  JobResult Result;
+
+  /// experiment + canonical config: the identity diff matches jobs by.
+  std::string key() const { return Experiment + " " + Config.canonical(); }
+};
+
+/// A whole `dynfb-bench run` summary.
+struct ResultFile {
+  int64_t Schema = ResultSchemaVersion;
+  std::string Build;
+  std::string Suite;
+  double ScaleFactor = 1.0;
+  uint64_t Seed = 0;
+  std::vector<JobRecord> Jobs;
+
+  size_t cachedJobs() const;
+  size_t failedJobs() const; ///< Jobs whose status is not Ok.
+};
+
+/// Serializes \p File as a JSON document (trailing newline included).
+std::string toJson(const ResultFile &File);
+
+/// Parses a result file; nullopt with \p Error set on malformed input or
+/// an unsupported schema.
+std::optional<ResultFile> parseResultFile(const std::string &Text,
+                                          std::string &Error);
+
+} // namespace dynfb::exp
+
+#endif // DYNFB_EXP_RESULT_H

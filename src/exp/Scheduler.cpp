@@ -1,0 +1,256 @@
+//===- exp/Scheduler.cpp --------------------------------------------------==//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "exp/Scheduler.h"
+
+#include "obs/Json.h"
+#include "support/Compiler.h"
+#include "support/StringUtils.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <csignal>
+#include <cstdio>
+#include <deque>
+#include <thread>
+
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace dynfb;
+using namespace dynfb::exp;
+
+const char *exp::jobStatusName(JobStatus S) {
+  switch (S) {
+  case JobStatus::Ok:
+    return "ok";
+  case JobStatus::Failed:
+    return "failed";
+  case JobStatus::Crashed:
+    return "crashed";
+  case JobStatus::TimedOut:
+    return "timeout";
+  }
+  DYNFB_UNREACHABLE("covered switch");
+}
+
+std::string exp::jobResultToJson(const JobResult &R) {
+  std::string Out = R.Ok ? "{\"ok\":true" : "{\"ok\":false";
+  Out += ",\"error\":\"";
+  Out += obs::jsonEscape(R.Error);
+  Out += "\",\"metrics\":{";
+  bool First = true;
+  for (const Metric &M : R.Metrics) {
+    if (!First)
+      Out += ',';
+    First = false;
+    Out += '"';
+    Out += obs::jsonEscape(M.Name);
+    Out += "\":";
+    Out += std::isfinite(M.Value) ? format("%.17g", M.Value)
+                                  : std::string("null");
+  }
+  Out += "}}";
+  return Out;
+}
+
+bool exp::jobResultFromJson(const std::string &Text, JobResult &Out,
+                            std::string &Error) {
+  const std::optional<obs::JsonValue> V = obs::parseJson(Text, Error);
+  if (!V)
+    return false;
+  if (V->kind() != obs::JsonValue::Kind::Object) {
+    Error = "job result is not a JSON object";
+    return false;
+  }
+  const obs::JsonValue *Ok = V->find("ok");
+  Out = JobResult{};
+  Out.Ok = Ok && Ok->asBool();
+  Out.Error = V->getString("error");
+  if (const obs::JsonValue *Metrics = V->find("metrics")) {
+    for (const auto &[Name, Value] : Metrics->members())
+      Out.add(Name, Value.kind() == obs::JsonValue::Kind::Number
+                        ? Value.asNumber()
+                        : std::nan(""));
+  }
+  return true;
+}
+
+namespace {
+
+/// One in-flight child process.
+struct Worker {
+  size_t Job = 0;
+  unsigned Attempt = 0;
+  pid_t Pid = -1;
+  int ReadFd = -1;
+  std::chrono::steady_clock::time_point Started;
+  std::string Buffer; ///< Drained incrementally so a child never blocks on
+                      ///< a full pipe.
+  bool KilledOnTimeout = false;
+};
+
+/// Drains whatever is currently readable from \p W without blocking.
+void drain(Worker &W) {
+  char Buf[4096];
+  for (;;) {
+    const ssize_t N = read(W.ReadFd, Buf, sizeof(Buf));
+    if (N > 0) {
+      W.Buffer.append(Buf, static_cast<size_t>(N));
+      continue;
+    }
+    return; // 0 = EOF (collected after waitpid); <0 = EAGAIN/EINTR.
+  }
+}
+
+} // namespace
+
+std::vector<JobOutcome> exp::runJobs(
+    size_t NumJobs,
+    const std::function<JobResult(size_t Job, unsigned Attempt)> &Run,
+    const SchedulerOptions &Opts) {
+  std::vector<JobOutcome> Outcomes(NumJobs);
+  if (NumJobs == 0)
+    return Outcomes;
+
+  unsigned Workers = Opts.Workers;
+  if (Workers == 0) {
+    Workers = std::thread::hardware_concurrency();
+    if (Workers == 0)
+      Workers = 4;
+  }
+
+  // Launch queue in index order; retries re-enter at the front so a flaky
+  // job settles before new work starts (keeps attempt accounting simple and
+  // bounds the window in which results are out of order).
+  std::deque<std::pair<size_t, unsigned>> Queue; // (job, attempt)
+  for (size_t I = 0; I < NumJobs; ++I)
+    Queue.emplace_back(I, 0u);
+
+  std::vector<Worker> Active;
+  Active.reserve(Workers);
+
+  auto Launch = [&](size_t Job, unsigned Attempt) {
+    int Fds[2];
+    DYNFB_CHECK(pipe(Fds) == 0, "pipe() failed");
+    // Parent end is non-blocking: the poll loop drains opportunistically.
+    const int FlagsRc = fcntl(Fds[0], F_SETFL, O_NONBLOCK);
+    DYNFB_CHECK(FlagsRc == 0, "fcntl(O_NONBLOCK) failed");
+    std::fflush(stdout);
+    std::fflush(stderr);
+    const pid_t Pid = fork();
+    DYNFB_CHECK(Pid >= 0, "fork() failed");
+    if (Pid == 0) {
+      // Child: run the job, report the result over the pipe, _exit without
+      // running atexit handlers (the parent owns shared state).
+      close(Fds[0]);
+      JobResult R;
+      R = Run(Job, Attempt);
+      const std::string Wire = jobResultToJson(R);
+      size_t Off = 0;
+      while (Off < Wire.size()) {
+        const ssize_t N =
+            write(Fds[1], Wire.data() + Off, Wire.size() - Off);
+        if (N <= 0) {
+          if (errno == EINTR)
+            continue;
+          _exit(3); // Parent vanished; nothing sensible left to do.
+        }
+        Off += static_cast<size_t>(N);
+      }
+      close(Fds[1]);
+      _exit(0);
+    }
+    close(Fds[1]);
+    Worker W;
+    W.Job = Job;
+    W.Attempt = Attempt;
+    W.Pid = Pid;
+    W.ReadFd = Fds[0];
+    W.Started = std::chrono::steady_clock::now();
+    Active.push_back(std::move(W));
+  };
+
+  auto Settle = [&](size_t Job, JobOutcome Outcome, unsigned Attempt) {
+    const bool Retryable = Outcome.Status == JobStatus::Crashed ||
+                           Outcome.Status == JobStatus::TimedOut;
+    if (Retryable && Attempt < Opts.Retries) {
+      Queue.emplace_front(Job, Attempt + 1);
+      return;
+    }
+    Outcome.Attempts = Attempt + 1;
+    Outcomes[Job] = Outcome;
+    if (Opts.OnSettled)
+      Opts.OnSettled(Job, Outcomes[Job]);
+  };
+
+  while (!Queue.empty() || !Active.empty()) {
+    while (!Queue.empty() && Active.size() < Workers) {
+      const auto [Job, Attempt] = Queue.front();
+      Queue.pop_front();
+      Launch(Job, Attempt);
+    }
+
+    // Reap any finished children and enforce timeouts.
+    bool Progress = false;
+    const auto Now = std::chrono::steady_clock::now();
+    for (size_t I = 0; I < Active.size();) {
+      Worker &W = Active[I];
+      drain(W);
+      if (Opts.TimeoutSeconds > 0 && !W.KilledOnTimeout &&
+          std::chrono::duration<double>(Now - W.Started).count() >
+              Opts.TimeoutSeconds) {
+        kill(W.Pid, SIGKILL);
+        W.KilledOnTimeout = true;
+      }
+      int Status = 0;
+      const pid_t Rc = waitpid(W.Pid, &Status, WNOHANG);
+      if (Rc == 0) {
+        ++I;
+        continue;
+      }
+      Progress = true;
+      drain(W);
+      close(W.ReadFd);
+      JobOutcome Outcome;
+      Outcome.WallSeconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        W.Started)
+              .count();
+      if (W.KilledOnTimeout) {
+        Outcome.Status = JobStatus::TimedOut;
+        Outcome.Result.Ok = false;
+        Outcome.Result.Error =
+            format("timed out after %.1f s", Opts.TimeoutSeconds);
+      } else if (WIFEXITED(Status) && WEXITSTATUS(Status) == 0) {
+        std::string Error;
+        if (jobResultFromJson(W.Buffer, Outcome.Result, Error)) {
+          Outcome.Status =
+              Outcome.Result.Ok ? JobStatus::Ok : JobStatus::Failed;
+        } else {
+          Outcome.Status = JobStatus::Crashed;
+          Outcome.Result.Ok = false;
+          Outcome.Result.Error = "unreadable worker result: " + Error;
+        }
+      } else {
+        Outcome.Status = JobStatus::Crashed;
+        Outcome.Result.Ok = false;
+        Outcome.Result.Error =
+            WIFSIGNALED(Status)
+                ? format("worker killed by signal %d", WTERMSIG(Status))
+                : format("worker exited with status %d",
+                         WIFEXITED(Status) ? WEXITSTATUS(Status) : -1);
+      }
+      Settle(W.Job, std::move(Outcome), W.Attempt);
+      Active.erase(Active.begin() + static_cast<ptrdiff_t>(I));
+    }
+    if (!Progress && !Active.empty())
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return Outcomes;
+}

@@ -1,0 +1,78 @@
+//===- exp/Scheduler.h - Fork-isolated parallel job scheduler ---*- C++ -*-===//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The parallel job scheduler of src/exp: fans a list of jobs out across a
+/// pool of forked worker processes. Each job runs in its own child process
+/// (a crashing or aborting job never takes down the sweep), is subject to a
+/// per-job wall-clock timeout (the parent SIGKILLs overrunning children)
+/// and bounded retry, and reports its JobResult back over a pipe. Jobs are
+/// launched in index order and results are returned in index order
+/// regardless of completion order, so a sweep's output is deterministic
+/// given deterministic jobs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNFB_EXP_SCHEDULER_H
+#define DYNFB_EXP_SCHEDULER_H
+
+#include "exp/Experiment.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace dynfb::exp {
+
+struct SchedulerOptions {
+  /// Concurrent worker processes; 0 = the host's hardware concurrency.
+  unsigned Workers = 0;
+  /// Per-attempt wall-clock timeout in seconds; 0 = none.
+  double TimeoutSeconds = 0;
+  /// Additional attempts after a crash, timeout or nonzero child exit.
+  unsigned Retries = 0;
+  /// Called (from the parent, in completion order) after each job settles;
+  /// for progress streaming.
+  std::function<void(size_t Job, const struct JobOutcome &)> OnSettled;
+};
+
+enum class JobStatus {
+  Ok,       ///< Child ran the job and returned a result with Ok=true.
+  Failed,   ///< Job returned Ok=false (a job-level diagnostic, not a crash).
+  Crashed,  ///< Child died on a signal or exited without reporting.
+  TimedOut, ///< Child exceeded the per-job timeout and was killed.
+};
+
+const char *jobStatusName(JobStatus S);
+
+/// How one job settled after up to 1+Retries attempts.
+struct JobOutcome {
+  JobStatus Status = JobStatus::Ok;
+  unsigned Attempts = 0;     ///< Attempts actually made (>= 1).
+  bool FromCache = false;    ///< Set by the caching layer, not the scheduler.
+  double WallSeconds = 0;    ///< Wall clock of the final attempt.
+  JobResult Result;          ///< Valid when Status is Ok or Failed.
+
+  bool ok() const { return Status == JobStatus::Ok; }
+};
+
+/// Runs \p Run(job, attempt) for each job in [0, NumJobs) in forked child
+/// processes, at most Opts.Workers at a time, and returns the outcomes in
+/// job order. \p Run executes in the child; everything it observes of the
+/// parent is a copy, and its JobResult is serialized back over a pipe.
+std::vector<JobOutcome>
+runJobs(size_t NumJobs,
+        const std::function<JobResult(size_t Job, unsigned Attempt)> &Run,
+        const SchedulerOptions &Opts = {});
+
+/// JobResult <-> JSON, the pipe and cache wire format.
+std::string jobResultToJson(const JobResult &R);
+bool jobResultFromJson(const std::string &Text, JobResult &Out,
+                       std::string &Error);
+
+} // namespace dynfb::exp
+
+#endif // DYNFB_EXP_SCHEDULER_H

@@ -7,6 +7,7 @@
 #include "obs/Export.h"
 
 #include "obs/Json.h"
+#include "support/BuildInfo.h"
 #include "support/StringUtils.h"
 
 #include <cmath>
@@ -101,6 +102,9 @@ std::string lockLine(const LockRecord &L) {
 std::string obs::toJsonl(const RunTrace &Trace) {
   std::string Out = "{\"type\":\"meta\"";
   addField(Out, intField("schema", TraceSchemaVersion));
+  // Build provenance; readers ignore unknown keys, so old parsers accept it.
+  Out += ",\"build\":";
+  Out += quoted(buildHash());
   Out += ",\"app\":";
   Out += quoted(Trace.Meta.App);
   Out += ",\"policy\":";

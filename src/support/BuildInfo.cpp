@@ -1,0 +1,13 @@
+//===- support/BuildInfo.cpp ----------------------------------------------==//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/BuildInfo.h"
+
+#ifndef DYNFB_BUILD_HASH
+#define DYNFB_BUILD_HASH "unknown"
+#endif
+
+const char *dynfb::buildHash() { return DYNFB_BUILD_HASH; }

@@ -1,0 +1,28 @@
+//===- support/BuildInfo.h - Build identity ---------------------*- C++ -*-===//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The build hash stamped into exported artifacts (JSONL trace headers,
+/// BENCH_results.json, cache entries) and printed by every tool's
+/// --version. Captured from `git describe --always --dirty` at CMake
+/// configure time; "unknown" when the source tree is not a git checkout.
+/// Because it is a configure-time snapshot it can go stale between a commit
+/// and the next reconfigure -- good enough to invalidate result caches
+/// across builds, not a provenance attestation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNFB_SUPPORT_BUILDINFO_H
+#define DYNFB_SUPPORT_BUILDINFO_H
+
+namespace dynfb {
+
+/// The build identity, e.g. "b17017e" or "v1.2-4-gdeadbee-dirty".
+const char *buildHash();
+
+} // namespace dynfb
+
+#endif // DYNFB_SUPPORT_BUILDINFO_H

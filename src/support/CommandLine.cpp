@@ -6,6 +6,10 @@
 
 #include "support/CommandLine.h"
 
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 
 using namespace dynfb;
@@ -87,4 +91,29 @@ std::vector<std::string> CommandLine::unqueriedFlags() const {
     if (!F.Queried)
       Out.push_back(F.Name);
   return Out;
+}
+
+bool dynfb::rejectUnknownFlags(const CommandLine &CL,
+                               const std::string &Tool,
+                               const std::vector<std::string> &KnownFlags,
+                               const std::string &UsageHint) {
+  std::vector<std::string> Unknown;
+  for (const std::string &Name : CL.unqueriedFlags())
+    if (std::find(KnownFlags.begin(), KnownFlags.end(), Name) ==
+        KnownFlags.end())
+      Unknown.push_back(Name);
+  if (Unknown.empty())
+    return true;
+  for (const std::string &Name : Unknown) {
+    const std::string Suggestion = closestMatch(Name, KnownFlags);
+    if (Suggestion.empty())
+      std::fprintf(stderr, "%s: unknown flag '--%s'\n", Tool.c_str(),
+                   Name.c_str());
+    else
+      std::fprintf(stderr, "%s: unknown flag '--%s' (did you mean '--%s'?)\n",
+                   Tool.c_str(), Name.c_str(), Suggestion.c_str());
+  }
+  std::fprintf(stderr, "%s: run with %s for usage\n", Tool.c_str(),
+               UsageHint.c_str());
+  return false;
 }

@@ -57,6 +57,17 @@ private:
   std::vector<std::string> Positional;
 };
 
+/// Strict-mode check for tools: fails on any present flag that is neither
+/// in \p KnownFlags nor already queried through the typed accessors (the
+/// latter lets branching tools list only their common flags). Prints one
+/// diagnostic per unknown flag to stderr -- with a "did you mean" hint
+/// against \p KnownFlags when an accepted flag is a plausible typo target --
+/// plus a pointer at \p UsageHint. Returns true when the command line is
+/// clean.
+bool rejectUnknownFlags(const CommandLine &CL, const std::string &Tool,
+                        const std::vector<std::string> &KnownFlags,
+                        const std::string &UsageHint = "--help");
+
 } // namespace dynfb
 
 #endif // DYNFB_SUPPORT_COMMANDLINE_H

@@ -6,6 +6,7 @@
 
 #include "support/StringUtils.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cstdarg>
 #include <cstdio>
@@ -67,6 +68,38 @@ std::string dynfb::withThousandsSep(uint64_t Value) {
     Out.push_back(Digits[I]);
   }
   return Out;
+}
+
+size_t dynfb::editDistance(const std::string &A, const std::string &B) {
+  std::vector<size_t> Row(B.size() + 1);
+  for (size_t J = 0; J <= B.size(); ++J)
+    Row[J] = J;
+  for (size_t I = 1; I <= A.size(); ++I) {
+    size_t Diag = Row[0];
+    Row[0] = I;
+    for (size_t J = 1; J <= B.size(); ++J) {
+      const size_t Sub = Diag + (A[I - 1] != B[J - 1]);
+      Diag = Row[J];
+      Row[J] = std::min({Row[J] + 1, Row[J - 1] + 1, Sub});
+    }
+  }
+  return Row[B.size()];
+}
+
+std::string
+dynfb::closestMatch(const std::string &Word,
+                    const std::vector<std::string> &Candidates) {
+  const size_t MaxDistance = std::max<size_t>(2, Word.size() / 3);
+  std::string Best;
+  size_t BestDistance = MaxDistance + 1;
+  for (const std::string &C : Candidates) {
+    const size_t D = editDistance(Word, C);
+    if (D < BestDistance) {
+      BestDistance = D;
+      Best = C;
+    }
+  }
+  return Best;
 }
 
 std::string dynfb::formatSeconds(double Seconds) {

@@ -40,6 +40,15 @@ std::string withThousandsSep(uint64_t Value);
 /// Renders \p Seconds as a compact human-readable duration for logs.
 std::string formatSeconds(double Seconds);
 
+/// Levenshtein edit distance between \p A and \p B.
+size_t editDistance(const std::string &A, const std::string &B);
+
+/// Returns the candidate closest to \p Word by edit distance, or "" when
+/// none is plausibly a typo for it (distance above max(2, |Word|/3)).
+/// Powers the "did you mean --x?" hints of strict flag checking.
+std::string closestMatch(const std::string &Word,
+                         const std::vector<std::string> &Candidates);
+
 } // namespace dynfb
 
 #endif // DYNFB_SUPPORT_STRINGUTILS_H

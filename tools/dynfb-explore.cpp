@@ -12,9 +12,12 @@
 
 #include "apps/Factory.h"
 #include "analysis/Commutativity.h"
+#include "exp/Experiment.h"
 #include "ir/Parser.h"
 #include "ir/Printer.h"
 #include "ir/StructuralHash.h"
+#include "obs/Export.h"
+#include "support/BuildInfo.h"
 #include "support/CommandLine.h"
 #include "support/StringUtils.h"
 #include "xform/CodeSize.h"
@@ -26,6 +29,18 @@ using namespace dynfb::apps;
 
 int main(int Argc, char **Argv) {
   CommandLine CL(Argc, Argv);
+  if (CL.has("version")) {
+    std::printf("dynfb-explore %s (result schema %lld, trace schema %lld)\n",
+                buildHash(),
+                static_cast<long long>(exp::ResultSchemaVersion),
+                static_cast<long long>(obs::TraceSchemaVersion));
+    return 0;
+  }
+  if (!rejectUnknownFlags(CL, "dynfb-explore",
+                          {"app", "source", "selftest", "versions",
+                           "version"},
+                          "no arguments"))
+    return 2;
   const std::string AppName = CL.getString("app", "");
   // Tiny workloads: the compiled structure is workload-independent.
   std::unique_ptr<App> TheApp = createApp(AppName, 1.0 / 64.0);

@@ -17,8 +17,10 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "exp/Experiment.h"
 #include "obs/Export.h"
 #include "obs/Report.h"
+#include "support/BuildInfo.h"
 #include "support/CommandLine.h"
 
 #include <cstdio>
@@ -65,6 +67,17 @@ std::optional<std::string> readFile(const std::string &Path,
 
 int main(int Argc, char **Argv) {
   CommandLine CL(Argc, Argv);
+  if (CL.has("version")) {
+    std::printf("dynfb-report %s (result schema %lld, trace schema %lld)\n",
+                buildHash(),
+                static_cast<long long>(exp::ResultSchemaVersion),
+                static_cast<long long>(obs::TraceSchemaVersion));
+    return 0;
+  }
+  if (!rejectUnknownFlags(CL, "dynfb-report",
+                          {"trace", "locks", "samples", "version"},
+                          "no arguments"))
+    return 2;
   const std::string TracePath = CL.getString("trace", "");
   if (TracePath.empty())
     return usage();

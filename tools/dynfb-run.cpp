@@ -36,9 +36,12 @@
 
 #include "apps/Factory.h"
 #include "apps/Harness.h"
+#include "exp/Experiment.h"
+#include "exp/PaperGrids.h"
 #include "obs/Metrics.h"
 #include "perturb/Engine.h"
 #include "rt/NativeSection.h"
+#include "support/BuildInfo.h"
 #include "support/CommandLine.h"
 #include "support/StringUtils.h"
 #include "support/TablePrinter.h"
@@ -95,6 +98,24 @@ bool writeFile(const std::string &Path, const std::string &Contents,
 
 int main(int Argc, char **Argv) {
   CommandLine CL(Argc, Argv);
+  if (CL.has("version")) {
+    std::printf("dynfb-run %s (result schema %lld, trace schema %lld)\n",
+                buildHash(),
+                static_cast<long long>(exp::ResultSchemaVersion),
+                static_cast<long long>(obs::TraceSchemaVersion));
+    return 0;
+  }
+  // Strict flag validation up front: the accepted flags span every branch
+  // below, so a typo ('--chunk') dies here instead of being ignored.
+  if (!rejectUnknownFlags(
+          CL, "dynfb-run",
+          {"app", "procs", "policy", "scale", "dimensions", "chunks",
+           "list-versions", "sampling", "production", "cutoff", "ordering",
+           "spanning", "sweep", "repeats", "aggregate", "hysteresis",
+           "drift", "slice", "perturb", "trace-out", "chrome-out",
+           "metrics-out", "backend", "timescale", "trace", "version"},
+          "no arguments"))
+    return 2;
   const std::string AppName = CL.getString("app", "");
   if (AppName.empty())
     return usage();
@@ -125,17 +146,16 @@ int main(int Argc, char **Argv) {
     const uint64_t SerialBase = 64 * 1024;
     const double SerialBytes = static_cast<double>(xform::serialExecutableBytes(
         TheApp->program(), SizeModel, SerialBase));
-    std::printf("%s: version space with %u versions\n", AppName.c_str(),
-                static_cast<unsigned>(Space.size()));
-    std::printf("  %-24s %-12s %-10s %s\n", "name", "sync", "sched",
-                "code size (vs serial)");
+    Table T(format("%s: version space with %u versions", AppName.c_str(),
+                   static_cast<unsigned>(Space.size())));
+    T.setHeader({"name", "sync", "sched", "code size (vs serial)"});
     for (const xform::VersionDescriptor &D : Space.descriptors()) {
       const uint64_t Bytes = xform::fixedExecutableBytes(
           TheApp->program(), SizeModel, SerialBase, D);
-      std::printf("  %-24s %-12s %-10s %.2f\n", D.name().c_str(),
-                  xform::policyName(D.Policy), D.Sched.name().c_str(),
-                  static_cast<double>(Bytes) / SerialBytes);
+      T.addRow({D.name(), xform::policyName(D.Policy), D.Sched.name(),
+                format("%.2f", static_cast<double>(Bytes) / SerialBytes)});
     }
+    std::fputs(T.renderText().c_str(), stdout);
     return 0;
   }
 
@@ -220,10 +240,7 @@ int main(int Argc, char **Argv) {
       return fail("--trace-out/--chrome-out apply to a single run, not "
                   "--sweep");
     Table T(AppName + ": execution times (seconds)");
-    std::vector<std::string> Header{"Version"};
-    for (unsigned N : PaperProcCounts)
-      Header.push_back(format("%u", N));
-    T.setHeader(Header);
+    T.setHeader(exp::versionByProcsHeader(PaperProcCounts));
     auto Seconds = [&](unsigned N, const VersionSpec &Spec) {
       return rt::nanosToSeconds(
           runApp(*TheApp, N, Spec, Config, nullptr, rt::CostModel::dashLike(),
