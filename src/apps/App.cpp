@@ -14,12 +14,12 @@ using namespace dynfb::apps;
 using namespace dynfb::xform;
 
 std::unique_ptr<sim::SimBackend>
-App::makeSimBackend(unsigned Procs, const rt::CostModel &Costs,
+App::makeSimBackend(unsigned Procs, const rt::MachineModel &Model,
                     const VersionSpec &Spec) const {
   // The Dynamic executable compiles in the overhead instrumentation; the
   // static flavours do not (paper Section 6).
   const bool Instrumented = Spec.F == Flavour::Dynamic;
-  auto Backend = std::make_unique<sim::SimBackend>(Procs, Costs, Instrumented);
+  auto Backend = std::make_unique<sim::SimBackend>(Procs, Model, Instrumented);
 
   for (const VersionedSection &VS : Program.Sections) {
     std::vector<sim::SimVersion> Versions;

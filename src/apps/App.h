@@ -22,6 +22,7 @@
 #include "rt/Backend.h"
 #include "rt/Binding.h"
 #include "rt/CostModel.h"
+#include "rt/MachineModel.h"
 #include "sim/Backend.h"
 #include "xform/MultiVersion.h"
 
@@ -84,10 +85,19 @@ public:
   /// The data binding of the named section.
   virtual const rt::DataBinding &binding(const std::string &Section) const = 0;
 
-  /// Builds a simulator backend for one executable described by \p Spec.
+  /// Builds a simulator backend for one executable described by \p Spec,
+  /// on the machine \p Model describes (cloned into the backend).
+  std::unique_ptr<sim::SimBackend>
+  makeSimBackend(unsigned Procs, const rt::MachineModel &Model,
+                 const VersionSpec &Spec) const;
+
+  /// Flat-machine compatibility path: wraps \p Costs in the constant-cost
+  /// model.
   std::unique_ptr<sim::SimBackend>
   makeSimBackend(unsigned Procs, const rt::CostModel &Costs,
-                 const VersionSpec &Spec) const;
+                 const VersionSpec &Spec) const {
+    return makeSimBackend(Procs, rt::FlatMachineModel(Costs), Spec);
+  }
 
   /// Compatibility shim over the VersionSpec path.
   std::unique_ptr<sim::SimBackend>

@@ -11,12 +11,12 @@ using namespace dynfb::apps;
 
 fb::RunResult apps::runApp(const App &App, unsigned Procs,
                            const VersionSpec &Spec,
+                           const rt::MachineModel &Model,
                            const fb::FeedbackConfig &Config,
                            fb::PolicyHistory *History,
-                           const rt::CostModel &Costs,
                            const perturb::PerturbationEngine *Perturb,
                            RunObservation *Obs) {
-  auto Backend = App.makeSimBackend(Procs, Costs, Spec);
+  auto Backend = App.makeSimBackend(Procs, Model, Spec);
   Backend->machine().setPerturbation(Perturb);
   if (Obs && Obs->CollectSectionTraces)
     Backend->setCollectSectionTraces(true);
@@ -32,10 +32,29 @@ fb::RunResult apps::runApp(const App &App, unsigned Procs,
   return Result;
 }
 
+fb::RunResult apps::runApp(const App &App, unsigned Procs,
+                           const VersionSpec &Spec,
+                           const fb::FeedbackConfig &Config,
+                           fb::PolicyHistory *History,
+                           const rt::CostModel &Costs,
+                           const perturb::PerturbationEngine *Perturb,
+                           RunObservation *Obs) {
+  return runApp(App, Procs, Spec, rt::FlatMachineModel(Costs), Config, History,
+                Perturb, Obs);
+}
+
 double apps::runAppSeconds(const App &App, unsigned Procs,
                            const VersionSpec &Spec,
                            const fb::FeedbackConfig &Config) {
   return rt::nanosToSeconds(runApp(App, Procs, Spec, Config).TotalNanos);
+}
+
+double apps::runAppSeconds(const App &App, unsigned Procs,
+                           const VersionSpec &Spec,
+                           const rt::MachineModel &Model,
+                           const fb::FeedbackConfig &Config) {
+  return rt::nanosToSeconds(
+      runApp(App, Procs, Spec, Model, Config).TotalNanos);
 }
 
 obs::RunTrace apps::buildRunTrace(const std::string &AppName, unsigned Procs,

@@ -49,10 +49,19 @@ struct RunObservation {
 };
 
 /// Runs the executable described by \p Spec of \p App on a fresh simulated
-/// machine. \p Perturb, when non-null, injects the engine's fault schedule
-/// into the simulated machine for the duration of the run (null: pristine
-/// machine). \p Obs, when non-null, collects the run's decision log and
-/// (optionally) per-section simulator traces.
+/// machine built from \p Model. \p Perturb, when non-null, injects the
+/// engine's fault schedule into the simulated machine for the duration of
+/// the run (null: pristine machine). \p Obs, when non-null, collects the
+/// run's decision log and (optionally) per-section simulator traces.
+fb::RunResult runApp(const App &App, unsigned Procs, const VersionSpec &Spec,
+                     const rt::MachineModel &Model,
+                     const fb::FeedbackConfig &Config = {},
+                     fb::PolicyHistory *History = nullptr,
+                     const perturb::PerturbationEngine *Perturb = nullptr,
+                     RunObservation *Obs = nullptr);
+
+/// Flat-machine path: wraps \p Costs in the constant-cost model (the seed
+/// behaviour, bit for bit).
 fb::RunResult runApp(const App &App, unsigned Procs, const VersionSpec &Spec,
                      const fb::FeedbackConfig &Config = {},
                      fb::PolicyHistory *History = nullptr,
@@ -71,6 +80,11 @@ obs::RunTrace buildRunTrace(const std::string &AppName, unsigned Procs,
 
 /// Convenience: end-to-end execution time in seconds.
 double runAppSeconds(const App &App, unsigned Procs, const VersionSpec &Spec,
+                     const fb::FeedbackConfig &Config = {});
+
+/// Convenience: end-to-end execution time in seconds on \p Model.
+double runAppSeconds(const App &App, unsigned Procs, const VersionSpec &Spec,
+                     const rt::MachineModel &Model,
                      const fb::FeedbackConfig &Config = {});
 
 /// Compatibility shims over the VersionSpec path.

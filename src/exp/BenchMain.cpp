@@ -7,7 +7,9 @@
 #include "exp/BenchMain.h"
 
 #include "exp/Experiment.h"
+#include "rt/MachineModel.h"
 #include "support/CommandLine.h"
+#include "support/StringUtils.h"
 
 #include <cstdio>
 
@@ -30,10 +32,25 @@ int exp::runBenchMain(const std::string &ExperimentName, int Argc,
   Opts.Procs = static_cast<unsigned>(CL.getInt("procs", 0));
   Opts.Seed = static_cast<uint64_t>(CL.getInt("seed", 0));
   Opts.Chunks = CL.getString("chunks", "");
+  Opts.Machine = CL.getString("machine", "");
   if (!rejectUnknownFlags(CL, ExperimentName,
-                          {"scale", "procs", "seed", "chunks"},
-                          "--scale F [--procs N] [--seed S] [--chunks K1,K2]"))
+                          {"scale", "procs", "seed", "chunks", "machine"},
+                          "--scale F [--procs N] [--seed S] [--chunks K1,K2] "
+                          "[--machine NAME]"))
     return 2;
+  if (!Opts.Machine.empty() && !rt::createMachineModel(Opts.Machine)) {
+    const std::string Near =
+        closestMatch(Opts.Machine, rt::machineModelNames());
+    const std::string Hint =
+        Near.empty() ? "" : " (did you mean '" + Near + "'?)";
+    std::string Known;
+    for (const std::string &Name : rt::machineModelNames())
+      Known += (Known.empty() ? "" : ", ") + Name;
+    std::fprintf(stderr, "%s: unknown machine model '%s'%s; known: %s\n",
+                 ExperimentName.c_str(), Opts.Machine.c_str(), Hint.c_str(),
+                 Known.c_str());
+    return 2;
+  }
 
   const std::vector<JobConfig> Jobs = E->MakeJobs(Opts);
   std::vector<JobResult> Results;

@@ -33,7 +33,10 @@ struct CacheKey {
 
 /// Derives the key of (\p E, \p Config) under \p BuildHash. Any change to
 /// the experiment's metric schema, any config field (app, policy, procs,
-/// scale, seed, ...), the result schema version or the build moves the key.
+/// scale, seed, machine and its full "machine_params" parameter set, ...),
+/// the result schema version or the build moves the key -- so the same grid
+/// on a different machine model, or the same model with one tweaked cost
+/// parameter, never aliases a cached result.
 CacheKey makeCacheKey(const Experiment &E, const JobConfig &Config,
                       const std::string &BuildHash);
 

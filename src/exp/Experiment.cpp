@@ -79,13 +79,20 @@ std::string JobConfig::canonical() const {
 }
 
 std::string JobConfig::label() const {
+  // Long values (the machine parameter dump, fault specs) would drown the
+  // progress line; elide their middle, keeping the start that identifies
+  // them. Identity stays with canonical(), which never truncates.
+  constexpr size_t MaxValueChars = 48;
   std::string Out;
   for (const auto &[K, V] : KVs) {
     if (!Out.empty())
       Out += ',';
     Out += K;
     Out += '=';
-    Out += V;
+    if (V.size() > MaxValueChars)
+      Out += V.substr(0, MaxValueChars - 3) + "...";
+    else
+      Out += V;
   }
   return Out;
 }

@@ -29,7 +29,10 @@ namespace dynfb::exp {
 
 /// Schema version of every machine-readable artifact src/exp emits (result
 /// files, cache entries); bump when a field changes meaning.
-inline constexpr int64_t ResultSchemaVersion = 1;
+/// v2: job configs carry the machine model ("machine") and its full
+/// parameter set ("machine_params"); result files carry the invocation's
+/// machine in the header.
+inline constexpr int64_t ResultSchemaVersion = 2;
 
 /// One job's parameter assignment: ordered string key/value pairs. Values
 /// are strings so a config round-trips losslessly through JSON and the
@@ -103,6 +106,12 @@ struct RunOptions {
   /// Chunk sizes for version-space experiments ("" = each experiment's
   /// default).
   std::string Chunks;
+  /// Machine model every job runs on ("" = "dash-flat", the paper's
+  /// machine). Stamped -- with the model's full parameter set -- into every
+  /// job config, so results on different machines never collide in the
+  /// cache. Experiments that sweep machines themselves (machine_sensitivity)
+  /// ignore it.
+  std::string Machine;
 };
 
 /// A registered experiment: a named parameter grid plus the job runner and

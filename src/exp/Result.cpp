@@ -38,7 +38,9 @@ std::string exp::toJson(const ResultFile &File) {
   Out += format("\",\"scale\":%g", File.ScaleFactor);
   Out += format(",\"seed\":%llu",
                 static_cast<unsigned long long>(File.Seed));
-  Out += ",\"jobs\":[";
+  Out += ",\"machine\":\"";
+  Out += obs::jsonEscape(File.Machine);
+  Out += "\",\"jobs\":[";
   for (size_t I = 0; I < File.Jobs.size(); ++I) {
     const JobRecord &J = File.Jobs[I];
     if (I)
@@ -95,6 +97,7 @@ std::optional<ResultFile> exp::parseResultFile(const std::string &Text,
   File.Suite = V->getString("suite");
   File.ScaleFactor = V->getNumber("scale", 1.0);
   File.Seed = static_cast<uint64_t>(V->getInt("seed"));
+  File.Machine = V->getString("machine", "dash-flat");
 
   const obs::JsonValue *Jobs = V->find("jobs");
   if (!Jobs || Jobs->kind() != obs::JsonValue::Kind::Array) {

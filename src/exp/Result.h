@@ -47,6 +47,9 @@ struct ResultFile {
   std::string Suite;
   double ScaleFactor = 1.0;
   uint64_t Seed = 0;
+  /// The invocation's machine model name (the per-job configs additionally
+  /// carry the model's full parameter set as "machine_params").
+  std::string Machine = "dash-flat";
   std::vector<JobRecord> Jobs;
 
   size_t cachedJobs() const;

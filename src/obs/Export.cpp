@@ -111,6 +111,12 @@ std::string obs::toJsonl(const RunTrace &Trace) {
   Out += quoted(Trace.Meta.Policy);
   addField(Out, uintField("procs", Trace.Meta.Procs));
   addField(Out, intField("total_ns", Trace.Meta.TotalNanos));
+  if (!Trace.Meta.Machine.empty()) {
+    Out += ",\"machine\":";
+    Out += quoted(Trace.Meta.Machine);
+    Out += ",\"machine_params\":";
+    Out += quoted(Trace.Meta.MachineParams);
+  }
   Out += "}\n";
   for (const DecisionEvent &E : Trace.Decisions) {
     Out += decisionLine(E);
@@ -166,6 +172,8 @@ std::optional<RunTrace> obs::parseJsonl(const std::string &Text,
       Trace.Meta.Policy = V->getString("policy");
       Trace.Meta.Procs = static_cast<unsigned>(V->getInt("procs"));
       Trace.Meta.TotalNanos = V->getInt("total_ns");
+      Trace.Meta.Machine = V->getString("machine");
+      Trace.Meta.MachineParams = V->getString("machine_params");
       SawMeta = true;
     } else if (Type == "decision") {
       DecisionEvent E;

@@ -43,6 +43,12 @@ struct TraceMeta {
   std::string Policy; ///< Executable policy ("dynamic", "bounded", ...).
   unsigned Procs = 0;
   rt::Nanos TotalNanos = 0; ///< End-to-end (virtual) run time.
+  /// Machine model the run was simulated on and its full parameter set
+  /// (rt::MachineModel::paramsString()); empty in traces written before the
+  /// machine layer existed. Additive within schema 1: parsers ignore
+  /// unknown meta keys.
+  std::string Machine;
+  std::string MachineParams;
 };
 
 /// One parallel-section occurrence's aggregate measurements (the fields of

@@ -33,6 +33,12 @@ public:
   SimBackend(unsigned NumProcs, rt::CostModel Costs, bool Instrumented)
       : Machine(NumProcs, Costs), Instrumented(Instrumented) {}
 
+  /// Backend over a machine model (cloned; \p Model need not outlive the
+  /// backend).
+  SimBackend(unsigned NumProcs, const rt::MachineModel &Model,
+             bool Instrumented)
+      : Machine(NumProcs, Model.clone()), Instrumented(Instrumented) {}
+
   /// Registers a section. \p Binding must outlive the backend.
   void addSection(const std::string &Name, const rt::DataBinding *Binding,
                   std::vector<SimVersion> Versions);

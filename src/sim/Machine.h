@@ -5,12 +5,16 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The simulated DASH-like shared-memory multiprocessor: a processor count,
-/// a cost model and a global virtual clock. Serial phases advance the clock
-/// directly; parallel sections are simulated event-driven by
-/// SimSectionRunner, which advances the clock by each interval's effective
-/// duration. All of the paper's machine experiments run on this substrate,
-/// which makes every measurement deterministic and host-independent.
+/// The simulated shared-memory multiprocessor: a processor count, a machine
+/// model (rt::MachineModel -- the flat DASH-like cost model by default) and
+/// a global virtual clock. Serial phases advance the clock directly;
+/// parallel sections are simulated event-driven by SimSectionRunner, which
+/// advances the clock by each interval's effective duration. For
+/// topology-aware models the machine additionally tracks each lock's home
+/// node (the cluster that last held its cache line), the state migratory
+/// lock pricing depends on. All of the paper's machine experiments run on
+/// this substrate, which makes every measurement deterministic and
+/// host-independent.
 ///
 /// A machine may carry a PerturbationEngine: section runners consult it to
 /// inject schedule-driven environmental faults (processor slowdowns,
@@ -23,11 +27,16 @@
 #define DYNFB_SIM_MACHINE_H
 
 #include "rt/CostModel.h"
+#include "rt/MachineModel.h"
 #include "rt/Time.h"
 #include "support/Compiler.h"
 
 #include <cassert>
 #include <limits>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
 
 namespace dynfb::perturb {
 class PerturbationEngine;
@@ -38,13 +47,35 @@ namespace dynfb::sim {
 /// Virtual machine state shared by all simulated sections of one run.
 class SimMachine {
 public:
+  /// Flat-machine compatibility constructor: wraps \p Costs in the
+  /// constant-cost model, preserving the seed behaviour bit for bit.
   SimMachine(unsigned NumProcs, rt::CostModel Costs)
-      : NumProcs(NumProcs), Costs(Costs) {
+      : SimMachine(NumProcs,
+                   std::make_unique<rt::FlatMachineModel>(Costs)) {}
+
+  SimMachine(unsigned NumProcs,
+             std::unique_ptr<const rt::MachineModel> Model)
+      : NumProcs(NumProcs), Model(std::move(Model)) {
     assert(NumProcs >= 1 && "machine needs at least one processor");
+    assert(this->Model && "machine needs a model");
   }
 
   unsigned numProcs() const { return NumProcs; }
-  const rt::CostModel &costs() const { return Costs; }
+  const rt::MachineModel &model() const { return *Model; }
+  const rt::CostModel &costs() const { return Model->costs(); }
+
+  /// The lock home-node tracker of \p Section: entry i is the node that
+  /// last held lock object i's cache line, -1 while the line is cold.
+  /// Persists across intervals and section occurrences of one run -- the
+  /// line stays wherever the last acquirer pulled it -- which is what
+  /// topology-aware models price migratory locking from. Grown to at least
+  /// \p Count entries.
+  std::vector<int> &lockHomes(const std::string &Section, size_t Count) {
+    std::vector<int> &Homes = LockHomes[Section];
+    if (Homes.size() < Count)
+      Homes.resize(Count, -1);
+    return Homes;
+  }
 
   /// Current global virtual time.
   rt::Nanos now() const { return Clock; }
@@ -70,7 +101,8 @@ public:
 
 private:
   const unsigned NumProcs;
-  const rt::CostModel Costs;
+  const std::unique_ptr<const rt::MachineModel> Model;
+  std::map<std::string, std::vector<int>> LockHomes;
   rt::Nanos Clock = 0;
   const perturb::PerturbationEngine *Perturb = nullptr;
 };

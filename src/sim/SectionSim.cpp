@@ -19,6 +19,7 @@
 
 #include "obs/Metrics.h"
 #include "perturb/Engine.h"
+#include "support/StringUtils.h"
 
 #include <algorithm>
 #include <cassert>
@@ -129,12 +130,57 @@ IntervalReport SimSectionRunner::runInterval(unsigned V, Nanos Target) {
   const CostModel &CM = Machine.costs();
   const Nanos Start = Machine.now();
   const Nanos Deadline = Start + Target;
-  const Nanos AcqCost =
-      CM.AcquireNanos + (Instrumented ? CM.InstrumentNanos : 0);
-  const Nanos RelCost =
-      CM.ReleaseNanos + (Instrumented ? CM.InstrumentNanos : 0);
+  const Nanos InstrCost = Instrumented ? CM.InstrumentNanos : 0;
+  const Nanos AcqCost = CM.AcquireNanos + InstrCost;
+  const Nanos RelCost = CM.ReleaseNanos + InstrCost;
 
   const unsigned P = Machine.numProcs();
+
+  // Topology-aware machine models (dash-numa) price lock events from the
+  // home node of each lock's cache line and the contention depth; the flat
+  // models keep the seed's constant-folded arithmetic above, untouched.
+  const rt::MachineModel &MM = Machine.model();
+  const bool Topo = MM.topologyAware();
+  std::vector<int> *Homes = nullptr;
+  unsigned NumNodes = 1;
+  if (Topo) {
+    Homes = &Machine.lockHomes(SectionName, Binding.objectCount());
+    NumNodes = MM.nodeOf(P - 1) + 1;
+  }
+  const Nanos FailedAcqNanos =
+      Topo ? MM.failedAcquireNanos() : CM.FailedAcquireNanos;
+
+  // Per-node contention tallies plus the local/remote/cold acquire split,
+  // flushed into the metrics registry at interval end (topology-aware
+  // models only, so flat-machine metric exports stay byte-identical).
+  uint64_t TallyLocalAcq = 0, TallyRemoteAcq = 0, TallyColdAcq = 0;
+  std::vector<uint64_t> NodeContended(Topo ? NumNodes : 0);
+
+  // Prices one successful acquire and moves the lock's line to the
+  // acquirer's cluster. \p Depth is the number of waiters still queued.
+  auto AcquirePrice = [&](uint32_t ProcIdx, uint32_t Obj,
+                          unsigned Depth) -> Nanos {
+    if (!Topo)
+      return AcqCost;
+    const int Home = (*Homes)[Obj];
+    const unsigned Node = MM.nodeOf(ProcIdx);
+    if (Home < 0)
+      ++TallyColdAcq;
+    else if (static_cast<unsigned>(Home) == Node)
+      ++TallyLocalAcq;
+    else
+      ++TallyRemoteAcq;
+    const Nanos Cost =
+        MM.acquireNanos(rt::LockEvent{ProcIdx, Obj, Home, Depth}) + InstrCost;
+    (*Homes)[Obj] = static_cast<int>(Node);
+    return Cost;
+  };
+  auto ReleasePrice = [&](uint32_t ProcIdx, uint32_t Obj) -> Nanos {
+    if (!Topo)
+      return RelCost;
+    return MM.releaseNanos(rt::LockEvent{ProcIdx, Obj, (*Homes)[Obj], 0}) +
+           InstrCost;
+  };
   std::vector<Proc> Procs(P);
   std::vector<SimLock> Locks(Binding.objectCount());
   std::priority_queue<HeapEntry, std::vector<HeapEntry>,
@@ -181,7 +227,7 @@ IntervalReport SimSectionRunner::runInterval(unsigned V, Nanos Target) {
     TallyLockWaitNanos += Extra;
     Pr.Stats.WaitNanos += Extra;
     Pr.Stats.FailedAcquires += static_cast<uint64_t>(
-        (Extra + CM.FailedAcquireNanos - 1) / CM.FailedAcquireNanos);
+        (Extra + FailedAcqNanos - 1) / FailedAcqNanos);
     Pr.Clock += Extra;
     Injected += Extra;
     if (Trace)
@@ -213,11 +259,13 @@ IntervalReport SimSectionRunner::runInterval(unsigned V, Nanos Target) {
         // Self-scheduling: fetch the next chunk of iterations (exactly one
         // under dynamic scheduling).
         ++TallySchedFetches;
-        Pr.Clock += CM.SchedFetchNanos;
+        const Nanos FetchCost =
+            Topo ? MM.schedFetchNanos(Top.P) : CM.SchedFetchNanos;
+        Pr.Clock += FetchCost;
         if (SchedInstrumented)
-          Pr.Stats.SchedNanos += CM.SchedFetchNanos;
+          Pr.Stats.SchedNanos += FetchCost;
         if (Trace)
-          Trace->Procs[Top.P].OverheadNanos += CM.SchedFetchNanos;
+          Trace->Procs[Top.P].OverheadNanos += FetchCost;
         if (NextIter >= NumIterations) {
           Stop(Pr);
           continue;
@@ -245,7 +293,7 @@ IntervalReport SimSectionRunner::runInterval(unsigned V, Nanos Target) {
         continue;
       }
       // Chunk boundary, a potential switch point: poll the timer.
-      Nanos TimerCost = CM.TimerReadNanos;
+      Nanos TimerCost = Topo ? MM.timerReadNanos(Top.P) : CM.TimerReadNanos;
       if (PE) {
         Nanos Noise = PE->timerNoise(SectionName, Top.P, Pr.Clock);
         if (TimerCost + Noise < 0)
@@ -289,7 +337,8 @@ IntervalReport SimSectionRunner::runInterval(unsigned V, Nanos Target) {
       SimLock &L = Locks[Op.Obj];
       if (!L.Held) {
         InjectContention(Pr, Top.P, Op.Obj);
-        const Nanos Cost = AcqCost + LockExtra(Pr.Clock);
+        const Nanos Cost = AcquirePrice(Top.P, Op.Obj, 0) +
+                           LockExtra(Pr.Clock);
         L.Held = true;
         ++TallyAcquires;
         ++Pr.Stats.AcquireReleasePairs;
@@ -312,7 +361,7 @@ IntervalReport SimSectionRunner::runInterval(unsigned V, Nanos Target) {
     case MicroOp::Kind::Release: {
       SimLock &L = Locks[Op.Obj];
       assert(L.Held && "release of a free lock");
-      const Nanos RelTotal = RelCost + LockExtra(Pr.Clock);
+      const Nanos RelTotal = ReleasePrice(Top.P, Op.Obj) + LockExtra(Pr.Clock);
       Pr.Stats.LockOpNanos += RelTotal;
       Pr.Clock += RelTotal;
       ++Pr.Pc;
@@ -329,11 +378,12 @@ IntervalReport SimSectionRunner::runInterval(unsigned V, Nanos Target) {
         TallyLockWaitNanos += Wait;
         Waiter.Stats.WaitNanos += Wait;
         Waiter.Stats.FailedAcquires +=
-            Wait > 0 ? static_cast<uint64_t>((Wait + CM.FailedAcquireNanos -
-                                              1) /
-                                             CM.FailedAcquireNanos)
+            Wait > 0 ? static_cast<uint64_t>((Wait + FailedAcqNanos - 1) /
+                                             FailedAcqNanos)
                      : 1;
         Waiter.Clock = Pr.Clock;
+        if (Topo)
+          ++NodeContended[MM.nodeOf(W)];
         if (Trace) {
           IntervalTrace::ProcSummary &WS = Trace->Procs[W];
           WS.WaitNanos += Wait;
@@ -345,7 +395,10 @@ IntervalReport SimSectionRunner::runInterval(unsigned V, Nanos Target) {
         // The granted waiter completes its acquire (paying any injected
         // contention and lock-construct surcharge active at grant time).
         InjectContention(Waiter, W, Op.Obj);
-        const Nanos WAcqCost = AcqCost + LockExtra(Waiter.Clock);
+        const Nanos WAcqCost =
+            AcquirePrice(W, Op.Obj,
+                         static_cast<unsigned>(L.Waiters.size())) +
+            LockExtra(Waiter.Clock);
         ++Waiter.Stats.AcquireReleasePairs;
         Waiter.Stats.LockOpNanos += WAcqCost;
         Waiter.Clock += WAcqCost;
@@ -400,9 +453,20 @@ IntervalReport SimSectionRunner::runInterval(unsigned V, Nanos Target) {
       Imbalance += LastEnd - Pr.EndTime;
     C.BarrierImbalanceNanos.add(static_cast<uint64_t>(Imbalance));
   }
+  if (Topo) {
+    obs::MetricsRegistry &M = obs::globalMetrics();
+    M.counter("sim.numa.local_acquires").add(TallyLocalAcq);
+    M.counter("sim.numa.remote_acquires").add(TallyRemoteAcq);
+    M.counter("sim.numa.cold_acquires").add(TallyColdAcq);
+    for (unsigned Node = 0; Node < NumNodes; ++Node)
+      if (NodeContended[Node])
+        M.counter(format("sim.node%u.contended", Node))
+            .add(NodeContended[Node]);
+  }
 
   // Synchronous switch: all processors wait at a barrier for the slowest,
   // then the machine proceeds.
-  Machine.advance(Report.EffectiveNanos + CM.BarrierNanos);
+  Machine.advance(Report.EffectiveNanos +
+                  (Topo ? MM.barrierNanos() : CM.BarrierNanos));
   return Report;
 }

@@ -19,6 +19,7 @@
 #include "gtest/gtest.h"
 
 #include <cstdlib>
+#include <set>
 #include <unistd.h>
 
 using namespace dynfb;
@@ -292,6 +293,44 @@ TEST(Registry, BuiltinExperimentsRegisterOnce) {
   EXPECT_GE(registry().suite("all").size(), 6u);
 }
 
+TEST(Registry, EveryJobCarriesItsMachine) {
+  registerBuiltinExperiments();
+  RunOptions Opts;
+  Opts.Scale = 0.125;
+  Opts.Machine = "dash-numa";
+  for (const Experiment *E : registry().suite("all")) {
+    const std::vector<JobConfig> Jobs = E->MakeJobs(Opts);
+    ASSERT_FALSE(Jobs.empty()) << E->Name;
+    for (const JobConfig &C : Jobs) {
+      EXPECT_FALSE(C.getString("machine").empty()) << E->Name;
+      // The full parameter set rides along, so a model whose defaults ever
+      // change can never alias an old cache entry.
+      EXPECT_NE(C.getString("machine_params").find("AcquireNanos="),
+                std::string::npos)
+          << E->Name;
+    }
+  }
+}
+
+TEST(Registry, MachineSensitivitySweepsEveryModel) {
+  registerBuiltinExperiments();
+  const Experiment *E = registry().find("machine_sensitivity");
+  ASSERT_NE(E, nullptr);
+  EXPECT_EQ(E->Suite, "extension");
+  RunOptions Opts;
+  Opts.Machine = "uma-cheaplock"; // Ignored: the machine is the swept axis.
+  const std::vector<JobConfig> Jobs = E->MakeJobs(Opts);
+  // 3 machines x (3 fixed policies + dynamic).
+  ASSERT_EQ(Jobs.size(), 12u);
+  std::set<std::string> Machines;
+  for (const JobConfig &C : Jobs)
+    Machines.insert(C.getString("machine"));
+  EXPECT_EQ(Machines.size(), 3u);
+  EXPECT_TRUE(Machines.count("dash-flat"));
+  EXPECT_TRUE(Machines.count("dash-numa"));
+  EXPECT_TRUE(Machines.count("uma-cheaplock"));
+}
+
 TEST(Registry, GridsAreDeterministic) {
   registerBuiltinExperiments();
   const Experiment *E = registry().find("table2_fig4_barnes_hut");
@@ -317,6 +356,7 @@ ResultFile smallResultFile() {
   F.Suite = "paper";
   F.ScaleFactor = 0.25;
   F.Seed = 3;
+  F.Machine = "uma-cheaplock";
 
   JobRecord R1;
   R1.Experiment = "exp_a";
@@ -346,6 +386,7 @@ TEST(ResultFile, JsonRoundTrip) {
   EXPECT_EQ(Back->Suite, "paper");
   EXPECT_EQ(Back->ScaleFactor, 0.25);
   EXPECT_EQ(Back->Seed, 3u);
+  EXPECT_EQ(Back->Machine, "uma-cheaplock");
   ASSERT_EQ(Back->Jobs.size(), 2u);
   EXPECT_EQ(Back->Jobs[0].key(), F.Jobs[0].key());
   EXPECT_EQ(Back->Jobs[0].Result.metric("seconds"), 10.0);
@@ -356,7 +397,7 @@ TEST(ResultFile, JsonRoundTrip) {
 
 TEST(ResultFile, RejectsUnsupportedSchema) {
   std::string Text = toJson(smallResultFile());
-  const size_t Pos = Text.find("\"schema\":1");
+  const size_t Pos = Text.find("\"schema\":2");
   ASSERT_NE(Pos, std::string::npos);
   Text.replace(Pos, 10, "\"schema\":9");
   std::string Error;

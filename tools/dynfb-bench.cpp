@@ -28,6 +28,7 @@
 #include "exp/Diff.h"
 #include "exp/Result.h"
 #include "obs/Export.h"
+#include "rt/MachineModel.h"
 #include "support/BuildInfo.h"
 #include "support/CommandLine.h"
 #include "support/StringUtils.h"
@@ -37,6 +38,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <set>
 #include <sstream>
 
 using namespace dynfb;
@@ -50,10 +52,10 @@ int usage(FILE *To) {
       "usage: dynfb-bench <command> [options]\n"
       "\n"
       "commands:\n"
-      "  list  [--suite S]         list registered experiments\n"
+      "  list  [--suite S]         list registered experiments and grids\n"
       "  run   [--suite S] [--exp NAME] [--scale F] [--procs N] [--seed S]\n"
-      "        [--chunks K1,K2] [--jobs N] [--timeout SEC] [--retries N]\n"
-      "        [--cache DIR] [--no-cache] [--out FILE]\n"
+      "        [--chunks K1,K2] [--machine NAME] [--jobs N] [--timeout SEC]\n"
+      "        [--retries N] [--cache DIR] [--no-cache] [--out FILE]\n"
       "                            run experiment grids in parallel\n"
       "  diff  --baseline FILE --candidate FILE [--rel-tol F] [--abs-tol F]\n"
       "        [--tol SUFFIX=F] [--allow-missing]\n"
@@ -72,6 +74,41 @@ void printVersion() {
 // list
 //===----------------------------------------------------------------------===//
 
+/// The distinct values of one grid axis across an experiment's probe jobs.
+size_t axisArity(const std::vector<JobConfig> &Jobs,
+                 const std::function<std::string(const JobConfig &)> &Axis) {
+  std::set<std::string> Values;
+  for (const JobConfig &C : Jobs)
+    Values.insert(Axis(C));
+  return Values.size();
+}
+
+/// "apps x versions x procs x scales x seeds x machines" of one
+/// experiment's expanded grid. A "version" is the executable identity: the
+/// flavour plus whichever of policy/version/variant the experiment uses to
+/// distinguish executables.
+std::string gridSummary(const std::vector<JobConfig> &Jobs) {
+  return format(
+      "%zux%zux%zux%zux%zux%zu",
+      axisArity(Jobs, [](const JobConfig &C) { return C.getString("app"); }),
+      axisArity(Jobs,
+                [](const JobConfig &C) {
+                  return C.getString("flavour") + "/" +
+                         C.getString("policy") + "/" +
+                         C.getString("version") + "/" +
+                         C.getString("variant");
+                }),
+      axisArity(Jobs,
+                [](const JobConfig &C) { return C.getString("procs"); }),
+      axisArity(Jobs,
+                [](const JobConfig &C) { return C.getString("scale"); }),
+      axisArity(Jobs,
+                [](const JobConfig &C) { return C.getString("seed"); }),
+      axisArity(Jobs, [](const JobConfig &C) {
+        return C.getString("machine", "dash-flat");
+      }));
+}
+
 int cmdList(CommandLine &CL) {
   const std::string Suite = CL.getString("suite", "all");
   if (!rejectUnknownFlags(CL, "dynfb-bench list", {"suite"},
@@ -85,14 +122,16 @@ int cmdList(CommandLine &CL) {
     return 2;
   }
   Table T("Registered experiments");
-  T.setHeader({"Name", "Suite", "Jobs", "Description"});
+  T.setHeader({"Name", "Suite", "Jobs", "Grid", "Description"});
   for (const Experiment *E : Selected) {
     RunOptions Probe;
     Probe.Scale = E->DefaultScale;
-    T.addRow({E->Name, E->Suite, format("%zu", E->MakeJobs(Probe).size()),
-              E->Description});
+    const std::vector<JobConfig> Jobs = E->MakeJobs(Probe);
+    T.addRow({E->Name, E->Suite, format("%zu", Jobs.size()),
+              gridSummary(Jobs), E->Description});
   }
   std::fputs(T.renderText().c_str(), stdout);
+  std::printf("grid = apps x versions x procs x scales x seeds x machines\n");
   return 0;
 }
 
@@ -116,6 +155,7 @@ int cmdRun(CommandLine &CL) {
   const unsigned Procs = static_cast<unsigned>(CL.getInt("procs", 0));
   const uint64_t Seed = static_cast<uint64_t>(CL.getInt("seed", 0));
   const std::string Chunks = CL.getString("chunks", "");
+  const std::string Machine = CL.getString("machine", "");
   const std::string OutPath = CL.getString("out", "BENCH_results.json");
   const bool NoCache = CL.getBool("no-cache", false);
   const std::string CacheDir =
@@ -128,10 +168,23 @@ int cmdRun(CommandLine &CL) {
 
   if (!rejectUnknownFlags(CL, "dynfb-bench run",
                           {"suite", "exp", "scale", "procs", "seed", "chunks",
-                           "jobs", "timeout", "retries", "cache", "no-cache",
-                           "out"},
+                           "machine", "jobs", "timeout", "retries", "cache",
+                           "no-cache", "out"},
                           "'dynfb-bench' (no arguments)"))
     return 2;
+  if (!Machine.empty() && !rt::createMachineModel(Machine)) {
+    const std::string Near = closestMatch(Machine, rt::machineModelNames());
+    std::string Known;
+    for (const std::string &Name : rt::machineModelNames())
+      Known += (Known.empty() ? "" : ", ") + Name;
+    std::fprintf(stderr,
+                 "dynfb-bench: unknown machine model '%s'%s; known: %s\n",
+                 Machine.c_str(),
+                 Near.empty() ? ""
+                              : (" (did you mean '" + Near + "'?)").c_str(),
+                 Known.c_str());
+    return 2;
+  }
 
   std::vector<const Experiment *> Selected;
   if (!OnlyExp.empty()) {
@@ -169,6 +222,7 @@ int cmdRun(CommandLine &CL) {
     Opts.Procs = Procs;
     Opts.Seed = Seed;
     Opts.Chunks = Chunks;
+    Opts.Machine = Machine;
     for (JobConfig &Config : E->MakeJobs(Opts)) {
       PlannedJob P;
       P.Exp = E;
@@ -221,6 +275,7 @@ int cmdRun(CommandLine &CL) {
   Out.Suite = OnlyExp.empty() ? Suite : OnlyExp;
   Out.ScaleFactor = ScaleFactor;
   Out.Seed = Seed;
+  Out.Machine = Machine.empty() ? "dash-flat" : Machine;
   size_t NextMiss = 0;
   for (const PlannedJob &P : Plan) {
     JobRecord Record;

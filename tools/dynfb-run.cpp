@@ -40,6 +40,7 @@
 #include "exp/PaperGrids.h"
 #include "obs/Metrics.h"
 #include "perturb/Engine.h"
+#include "rt/MachineModel.h"
 #include "rt/NativeSection.h"
 #include "support/BuildInfo.h"
 #include "support/CommandLine.h"
@@ -64,8 +65,9 @@ int usage() {
                "[--production S] [--cutoff] [--ordering] [--spanning] "
                "[--sweep] [--repeats N] [--aggregate mean|median|trimmed] "
                "[--hysteresis X] [--drift X] [--slice S] "
-               "[--perturb SCHEDULE] [--trace-out FILE] [--chrome-out FILE] "
-               "[--metrics-out FILE]\n");
+               "[--perturb SCHEDULE] [--machine NAME] "
+               "[--cost Field=nanos[,Field=nanos]] [--trace-out FILE] "
+               "[--chrome-out FILE] [--metrics-out FILE]\n");
   return 1;
 }
 
@@ -112,8 +114,9 @@ int main(int Argc, char **Argv) {
           {"app", "procs", "policy", "scale", "dimensions", "chunks",
            "list-versions", "sampling", "production", "cutoff", "ordering",
            "spanning", "sweep", "repeats", "aggregate", "hysteresis",
-           "drift", "slice", "perturb", "trace-out", "chrome-out",
-           "metrics-out", "backend", "timescale", "trace", "version"},
+           "drift", "slice", "perturb", "machine", "cost", "trace-out",
+           "chrome-out", "metrics-out", "backend", "timescale", "trace",
+           "version"},
           "no arguments"))
     return 2;
   const std::string AppName = CL.getString("app", "");
@@ -140,6 +143,33 @@ int main(int Argc, char **Argv) {
   if (!TheApp)
     return fail("unknown application '" + AppName +
                 "' (expected barnes_hut, water or string)");
+
+  // Machine model selection (--machine) and per-field cost overrides
+  // (--cost). The default is the flat DASH-like machine of every paper
+  // table; plain runs print nothing extra and stay byte-identical.
+  const std::string MachineName = CL.getString("machine", "dash-flat");
+  std::unique_ptr<rt::MachineModel> Machine =
+      rt::createMachineModel(MachineName);
+  if (!Machine) {
+    const std::string Near =
+        closestMatch(MachineName, rt::machineModelNames());
+    std::string Known;
+    for (const std::string &Name : rt::machineModelNames())
+      Known += (Known.empty() ? "" : ", ") + Name;
+    return fail("unknown machine model '" + MachineName + "'" +
+                (Near.empty() ? "" : " (did you mean '" + Near + "'?)") +
+                "; known models: " + Known);
+  }
+  const std::string CostSpec = CL.getString("cost", "");
+  if (!CostSpec.empty()) {
+    std::string Error;
+    if (!rt::applyCostOverrides(*Machine, CostSpec, Error))
+      return fail(Error);
+  }
+  if (MachineName != "dash-flat" || !CostSpec.empty())
+    std::printf("machine: %s (%s)\n  %s\n", Machine->name().c_str(),
+                Machine->description().c_str(),
+                Machine->paramsString().c_str());
 
   if (CL.getBool("list-versions", false)) {
     const xform::CodeSizeModel SizeModel;
@@ -242,10 +272,9 @@ int main(int Argc, char **Argv) {
     Table T(AppName + ": execution times (seconds)");
     T.setHeader(exp::versionByProcsHeader(PaperProcCounts));
     auto Seconds = [&](unsigned N, const VersionSpec &Spec) {
-      return rt::nanosToSeconds(
-          runApp(*TheApp, N, Spec, Config, nullptr, rt::CostModel::dashLike(),
-                 Perturb.get())
-              .TotalNanos);
+      return rt::nanosToSeconds(runApp(*TheApp, N, Spec, *Machine, Config,
+                                       nullptr, Perturb.get())
+                                    .TotalNanos);
     };
     for (const xform::VersionDescriptor &D : Space.descriptors()) {
       std::vector<std::string> Row{D.name()};
@@ -288,7 +317,7 @@ int main(int Argc, char **Argv) {
         Versions.push_back({V.label(), V.Entry, V.Sched});
       auto Runner = rt::makeNativeIrRunner(
           Team, TheApp->binding(VS.Name), std::move(Versions),
-          rt::CostModel::dashLike(), TimeScale);
+          Machine->costs(), TimeScale);
       const fb::SectionExecutionTrace T =
           Controller.executeSection(*Runner, VS.Name);
       std::printf("  [native] %s -> %s in %.3f s real time (%llu pairs)\n",
@@ -324,14 +353,15 @@ int main(int Argc, char **Argv) {
     return fail("unknown policy '" + PolicyName +
                 "' (expected serial, original, bounded, aggressive or "
                 "dynamic)");
+  const VersionSpec Spec = F == Flavour::Fixed ? VersionSpec::fixed(Policy)
+                                               : VersionSpec{F, {}};
 
   fb::PolicyHistory History;
   RunObservation Obs;
   Obs.CollectSectionTraces = WantRunTrace;
   const fb::RunResult R =
-      runApp(*TheApp, Procs, F, Policy, Config,
-             Config.UsePolicyOrdering ? &History : nullptr,
-             rt::CostModel::dashLike(), Perturb.get(),
+      runApp(*TheApp, Procs, Spec, *Machine, Config,
+             Config.UsePolicyOrdering ? &History : nullptr, Perturb.get(),
              WantRunTrace ? &Obs : nullptr);
 
   std::printf("%s, %u procs, policy %s: %.3f s\n", AppName.c_str(), Procs,
@@ -363,8 +393,9 @@ int main(int Argc, char **Argv) {
   }
 
   if (WantRunTrace) {
-    const obs::RunTrace Trace =
-        buildRunTrace(AppName, Procs, PolicyName, R, &Obs);
+    obs::RunTrace Trace = buildRunTrace(AppName, Procs, PolicyName, R, &Obs);
+    Trace.Meta.Machine = Machine->name();
+    Trace.Meta.MachineParams = Machine->paramsString();
     std::string Error;
     if (!TraceOut.empty() && !writeFile(TraceOut, obs::toJsonl(Trace), Error))
       return fail(Error);
@@ -375,8 +406,7 @@ int main(int Argc, char **Argv) {
 
   if (CL.getBool("trace", false) && F == Flavour::Fixed) {
     // Contention report: re-run each section with an interval trace.
-    auto Backend = TheApp->makeSimBackend(Procs, rt::CostModel::dashLike(),
-                                          F, Policy);
+    auto Backend = TheApp->makeSimBackend(Procs, *Machine, Spec);
     for (const xform::VersionedSection &VS : TheApp->program().Sections) {
       auto Runner = Backend->beginSectionSim(VS.Name);
       sim::IntervalTrace Trace;
