@@ -1,0 +1,24 @@
+//===- bench/bench_serving_regret.cpp ---------------------------------------=//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+// Robustness experiment (not in the paper): kvserve under compiled
+// streaming traffic -- diurnal intensity, rotating hot tenants, seeded
+// perturbation storms -- on every machine model. Per (machine, mix) cell
+// the grid runs every fixed policy plus the resilient dynamic configuration
+// (quarantine + watchdog on) against the identical seeded stream; the
+// renderer replays a clairvoyant oracle (the best fixed policy of every
+// traffic window, switched for free) and exits nonzero when dynamic
+// feedback's cumulative regret exceeds the bound on any cell. The
+// experiment definition lives in the src/exp registry; this binary runs it
+// in-process and renders the table.
+//
+//   bench_serving_regret [--scale F] [--procs N] [--seed N]
+//
+//===----------------------------------------------------------------------===//
+
+#include "exp/BenchMain.h"
+
+int main(int Argc, char **Argv) {
+  return dynfb::exp::runBenchMain("serving", Argc, Argv);
+}

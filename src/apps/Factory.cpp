@@ -7,6 +7,7 @@
 #include "apps/Factory.h"
 
 #include "apps/barnes_hut/BarnesHutApp.h"
+#include "apps/kvserve/KvServeApp.h"
 #include "apps/string_tomo/StringApp.h"
 #include "apps/water/WaterApp.h"
 
@@ -14,7 +15,7 @@ using namespace dynfb;
 using namespace dynfb::apps;
 
 std::vector<std::string> apps::appNames() {
-  return {"barnes_hut", "water", "string"};
+  return {"barnes_hut", "water", "string", "kvserve"};
 }
 
 std::unique_ptr<App> apps::createApp(const std::string &Name, double Scale,
@@ -33,6 +34,11 @@ std::unique_ptr<App> apps::createApp(const std::string &Name, double Scale,
     string_tomo::StringConfig Config;
     Config.scale(Scale);
     return std::make_unique<string_tomo::StringApp>(Config, Space);
+  }
+  if (Name == "kvserve") {
+    kvserve::KvServeConfig Config;
+    Config.scale(Scale);
+    return std::make_unique<kvserve::KvServeApp>(Config, Space);
   }
   return nullptr;
 }

@@ -1,0 +1,95 @@
+//===- apps/kvserve/KvServeApp.h - Sharded KV serving app --------*- C++ -*-=//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A request-driven serving workload: a sharded in-memory key/value store
+/// answering a stream of Zipfian-skewed requests. Each parallel iteration
+/// serves one request -- a pure lookup computation proportional to the
+/// request's operation count, then a per-operation accounting loop that
+/// updates the owning shard's hit and byte counters under the shard lock.
+/// Original pays one lock pair per counter update, Bounded coalesces the
+/// two updates, and Aggressive lifts the shard lock out of the operation
+/// loop (one pair per request).
+///
+/// The request stream is identical for every occurrence of the SERVE
+/// section: the binding is pure, so runs are bit-reproducible. All time
+/// variation of serving traffic -- diurnal intensity, rotating hot tenants,
+/// perturbation storms -- is expressed through a compiled perturbation
+/// schedule (see perturb/Traffic.h) layered on virtual time, which shifts
+/// which synchronization policy wins from window to window.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNFB_APPS_KVSERVE_KVSERVEAPP_H
+#define DYNFB_APPS_KVSERVE_KVSERVEAPP_H
+
+#include "apps/App.h"
+
+#include <memory>
+#include <vector>
+
+namespace dynfb::apps::kvserve {
+
+/// Configuration of the kvserve workload.
+struct KvServeConfig {
+  uint32_t NumShards = 64;  ///< Shard (lock-object) count.
+  uint32_t NumKeys = 4096;  ///< Key space; keys map to shards by modulo.
+  uint32_t RequestsPerWindow = 512; ///< Requests served per SERVE occurrence.
+  unsigned Windows = 8;     ///< Serving windows (SERVE occurrences).
+  double ZipfAlpha = 1.6;   ///< Key-popularity skew exponent.
+  uint64_t Seed = 17;
+  rt::Nanos LookupNanos = 10000; ///< Pure lookup cost per operation.
+  rt::Nanos OpNanos = 30000;     ///< Response assembly cost per operation.
+  rt::Nanos IngestPhaseNanos = rt::millisToNanos(50.0); ///< Serial ingest
+                                                        ///< between windows.
+
+  void scale(double Factor);
+};
+
+/// One request of the precomputed stream.
+struct Request {
+  uint32_t Key = 0;
+  uint32_t Shard = 0;
+  uint32_t Ops = 1; ///< Operations (trip count of the accounting loop).
+};
+
+/// Draws \p Count Zipfian(\p Alpha) keys over [0, NumKeys) from \p Seed
+/// (inverse-CDF sampling; exposed for tests).
+std::vector<uint32_t> zipfKeys(uint32_t NumKeys, double Alpha, uint32_t Count,
+                               uint64_t Seed);
+
+/// The kvserve application.
+class KvServeApp : public App {
+public:
+  explicit KvServeApp(const KvServeConfig &Config,
+                      const xform::VersionSpace &Space = {});
+  ~KvServeApp() override;
+
+  rt::Schedule schedule() const override;
+  const rt::DataBinding &binding(const std::string &Section) const override;
+
+  static constexpr const char *ServeSection = "SERVE";
+
+  const KvServeConfig &config() const { return Config; }
+  const std::vector<Request> &requests() const { return Requests; }
+  uint64_t totalOps() const { return TotalOps; }
+
+private:
+  void buildProgram();
+
+  KvServeConfig Config;
+  std::vector<Request> Requests;
+  uint64_t TotalOps = 0;
+
+  unsigned OpLoopId = 0;
+  unsigned LookupCostClass = 0;
+  unsigned OpCostClass = 0;
+  std::unique_ptr<rt::DataBinding> ServeBinding;
+};
+
+} // namespace dynfb::apps::kvserve
+
+#endif // DYNFB_APPS_KVSERVE_KVSERVEAPP_H

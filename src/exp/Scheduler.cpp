@@ -15,6 +15,7 @@
 #include <cmath>
 #include <csignal>
 #include <cstdio>
+#include <cstring>
 #include <deque>
 #include <thread>
 
@@ -89,23 +90,57 @@ struct Worker {
   unsigned Attempt = 0;
   pid_t Pid = -1;
   int ReadFd = -1;
+  int ErrFd = -1; ///< Child's redirected stderr, kept for crash reports.
   std::chrono::steady_clock::time_point Started;
   std::string Buffer; ///< Drained incrementally so a child never blocks on
                       ///< a full pipe.
+  std::string ErrBuffer;
   bool KilledOnTimeout = false;
 };
 
-/// Drains whatever is currently readable from \p W without blocking.
-void drain(Worker &W) {
+/// Drains whatever is currently readable from \p Fd into \p Into without
+/// blocking.
+void drainFd(int Fd, std::string &Into) {
   char Buf[4096];
   for (;;) {
-    const ssize_t N = read(W.ReadFd, Buf, sizeof(Buf));
+    const ssize_t N = read(Fd, Buf, sizeof(Buf));
     if (N > 0) {
-      W.Buffer.append(Buf, static_cast<size_t>(N));
+      Into.append(Buf, static_cast<size_t>(N));
       continue;
     }
     return; // 0 = EOF (collected after waitpid); <0 = EAGAIN/EINTR.
   }
+}
+
+void drain(Worker &W) {
+  drainFd(W.ReadFd, W.Buffer);
+  drainFd(W.ErrFd, W.ErrBuffer);
+}
+
+/// The last (up to) \p MaxLines non-empty-trailing lines of \p Text --
+/// what a crash report quotes of the child's stderr.
+std::string lastLines(const std::string &Text, size_t MaxLines) {
+  std::string Trimmed = Text;
+  while (!Trimmed.empty() &&
+         (Trimmed.back() == '\n' || Trimmed.back() == '\r'))
+    Trimmed.pop_back();
+  if (Trimmed.empty())
+    return Trimmed;
+  size_t Lines = 0, Pos = Trimmed.size();
+  while (Pos > 0) {
+    const size_t Nl = Trimmed.rfind('\n', Pos - 1);
+    if (++Lines == MaxLines || Nl == std::string::npos)
+      return Nl == std::string::npos ? Trimmed : Trimmed.substr(Nl + 1);
+    Pos = Nl;
+  }
+  return Trimmed;
+}
+
+/// Human-readable signal description ("signal 6 (Aborted)").
+std::string describeSignal(int Sig) {
+  const char *Name = strsignal(Sig);
+  return Name ? format("signal %d (%s)", Sig, Name)
+              : format("signal %d", Sig);
 }
 
 } // namespace
@@ -136,10 +171,13 @@ std::vector<JobOutcome> exp::runJobs(
   Active.reserve(Workers);
 
   auto Launch = [&](size_t Job, unsigned Attempt) {
-    int Fds[2];
+    int Fds[2], EFds[2];
     DYNFB_CHECK(pipe(Fds) == 0, "pipe() failed");
-    // Parent end is non-blocking: the poll loop drains opportunistically.
-    const int FlagsRc = fcntl(Fds[0], F_SETFL, O_NONBLOCK);
+    DYNFB_CHECK(pipe(EFds) == 0, "pipe() failed");
+    // Parent ends are non-blocking: the poll loop drains opportunistically.
+    int FlagsRc = fcntl(Fds[0], F_SETFL, O_NONBLOCK);
+    DYNFB_CHECK(FlagsRc == 0, "fcntl(O_NONBLOCK) failed");
+    FlagsRc = fcntl(EFds[0], F_SETFL, O_NONBLOCK);
     DYNFB_CHECK(FlagsRc == 0, "fcntl(O_NONBLOCK) failed");
     std::fflush(stdout);
     std::fflush(stderr);
@@ -147,8 +185,13 @@ std::vector<JobOutcome> exp::runJobs(
     DYNFB_CHECK(Pid >= 0, "fork() failed");
     if (Pid == 0) {
       // Child: run the job, report the result over the pipe, _exit without
-      // running atexit handlers (the parent owns shared state).
+      // running atexit handlers (the parent owns shared state). stderr is
+      // redirected into the second pipe so a crash report can quote the
+      // child's final output (assertion message, DYNFB_CHECK diagnostic).
       close(Fds[0]);
+      close(EFds[0]);
+      dup2(EFds[1], 2);
+      close(EFds[1]);
       JobResult R;
       R = Run(Job, Attempt);
       const std::string Wire = jobResultToJson(R);
@@ -167,11 +210,13 @@ std::vector<JobOutcome> exp::runJobs(
       _exit(0);
     }
     close(Fds[1]);
+    close(EFds[1]);
     Worker W;
     W.Job = Job;
     W.Attempt = Attempt;
     W.Pid = Pid;
     W.ReadFd = Fds[0];
+    W.ErrFd = EFds[0];
     W.Started = std::chrono::steady_clock::now();
     Active.push_back(std::move(W));
   };
@@ -217,6 +262,7 @@ std::vector<JobOutcome> exp::runJobs(
       Progress = true;
       drain(W);
       close(W.ReadFd);
+      close(W.ErrFd);
       JobOutcome Outcome;
       Outcome.WallSeconds =
           std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -242,9 +288,12 @@ std::vector<JobOutcome> exp::runJobs(
         Outcome.Result.Ok = false;
         Outcome.Result.Error =
             WIFSIGNALED(Status)
-                ? format("worker killed by signal %d", WTERMSIG(Status))
+                ? "worker killed by " + describeSignal(WTERMSIG(Status))
                 : format("worker exited with status %d",
                          WIFEXITED(Status) ? WEXITSTATUS(Status) : -1);
+        const std::string Stderr = lastLines(W.ErrBuffer, 20);
+        if (!Stderr.empty())
+          Outcome.Result.Error += "; last stderr output:\n" + Stderr;
       }
       Settle(W.Job, std::move(Outcome), W.Attempt);
       Active.erase(Active.begin() + static_cast<ptrdiff_t>(I));

@@ -84,6 +84,42 @@ struct FeedbackConfig {
   /// piece (paper behaviour; drift detection then only applies in spanning
   /// mode, whose production is naturally sliced by occurrences).
   rt::Nanos ProductionSliceNanos = 0;
+
+  // --------- Controller resilience (long-running serving; defaults off) ----
+
+  /// Per-version quarantine: a version whose sampled measurement is
+  /// degenerate -- or catastrophically bad, see QuarantineOverheadLimit --
+  /// this many times within QuarantineWindowPhases sampling phases is
+  /// excluded from sampling until a decayed re-probe. 0 disables (paper
+  /// behaviour: every version is sampled every phase, forever).
+  unsigned QuarantineStrikes = 0;
+
+  /// Width, in sampling phases, of the sliding window strikes are counted
+  /// over.
+  unsigned QuarantineWindowPhases = 8;
+
+  /// A sampled overhead strictly above this limit counts as a strike
+  /// (catastrophic measurement). Overheads are clamped to [0, 1], so the
+  /// default of 1.0 can never fire and only degenerate intervals strike.
+  double QuarantineOverheadLimit = 1.0;
+
+  /// Initial quarantine duration in sampling phases. Each re-quarantine
+  /// after a failed re-probe doubles the duration, bounded by
+  /// QuarantineBackoffMaxPhases (the decayed re-probe schedule).
+  unsigned QuarantineBackoffPhases = 4;
+  unsigned QuarantineBackoffMaxPhases = 64;
+
+  /// Production watchdog: this many consecutive bad production intervals
+  /// (degenerate, or measured overhead above WatchdogOverheadLimit) force
+  /// an early resample even when drift detection has no baseline to compare
+  /// against (e.g. production entered by fallback). 0 disables. Each firing
+  /// doubles the required streak (bounded backoff, up to 8x); a healthy
+  /// production interval resets the escalation.
+  unsigned WatchdogBadSlices = 0;
+
+  /// Measured production overhead above this marks the interval bad for the
+  /// watchdog.
+  double WatchdogOverheadLimit = 0.9;
 };
 
 } // namespace dynfb::fb

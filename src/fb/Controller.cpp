@@ -47,6 +47,15 @@ struct FbCounters {
   obs::Counter &Fallbacks = obs::globalMetrics().counter("fb.fallbacks");
   obs::Counter &DriftResamples =
       obs::globalMetrics().counter("fb.drift_resamples");
+  obs::Counter &QuarantineAdded =
+      obs::globalMetrics().counter("fb.quarantine.added");
+  obs::Counter &QuarantineReprobes =
+      obs::globalMetrics().counter("fb.quarantine.reprobes");
+  obs::Counter &QuarantineCleared =
+      obs::globalMetrics().counter("fb.quarantine.cleared");
+  obs::Counter &WatchdogResamples =
+      obs::globalMetrics().counter("fb.watchdog.resamples");
+  obs::Counter &Degraded = obs::globalMetrics().counter("fb.degraded");
 };
 
 FbCounters &fbCounters() {
@@ -166,10 +175,111 @@ FeedbackController::samplingOrder(const std::vector<std::string> &Labels,
   return Order;
 }
 
+FeedbackController::ResilienceState &
+FeedbackController::resilienceState(const std::string &SectionName,
+                                    size_t NumVersions) {
+  ResilienceState &RS = Resilience[SectionName];
+  if (RS.Versions.size() < NumVersions)
+    RS.Versions.resize(NumVersions);
+  return RS;
+}
+
+bool FeedbackController::isExcluded(const ResilienceState &RS, unsigned V) {
+  if (V >= RS.Versions.size())
+    return false;
+  const VersionHealth &H = RS.Versions[V];
+  return H.Quarantined && RS.PhaseCounter < H.ReleasePhase;
+}
+
+bool FeedbackController::noteSampleHealth(const std::string &SectionName,
+                                          ResilienceState &RS, unsigned V,
+                                          const std::string &Label,
+                                          std::optional<double> Overhead,
+                                          rt::Nanos Now,
+                                          SectionExecutionTrace &Trace) {
+  VersionHealth &H = RS.Versions[V];
+  const bool Bad = !Overhead || *Overhead > Config.QuarantineOverheadLimit;
+  const unsigned MaxBackoff = std::max(1u, Config.QuarantineBackoffMaxPhases);
+
+  if (H.Quarantined) {
+    // This measurement was the decayed re-probe of a quarantined version.
+    fbCounters().QuarantineReprobes.add();
+    if (!Bad) {
+      H.Quarantined = false;
+      H.BackoffPhases = 0;
+      H.StrikePhases.clear();
+      ++Trace.Reprobes;
+      fbCounters().QuarantineCleared.add();
+      logReprobe(SectionName, Now, V, Label, *Overhead);
+      return false;
+    }
+    // Failed re-probe: stay out for twice as long (bounded).
+    H.BackoffPhases = std::min(H.BackoffPhases * 2, MaxBackoff);
+    H.ReleasePhase = RS.PhaseCounter + H.BackoffPhases;
+    ++Trace.Quarantines;
+    logQuarantine(SectionName, Now, V, Label, Overhead ? *Overhead : NaN,
+                  static_cast<unsigned>(H.StrikePhases.size()),
+                  H.BackoffPhases);
+    return true;
+  }
+
+  if (!Bad)
+    return false;
+
+  // Strike: count it within the sliding window of recent sampling phases.
+  H.StrikePhases.push_back(RS.PhaseCounter);
+  const unsigned Window = std::max(1u, Config.QuarantineWindowPhases);
+  const unsigned Oldest =
+      RS.PhaseCounter >= Window ? RS.PhaseCounter - Window + 1 : 0;
+  H.StrikePhases.erase(
+      std::remove_if(H.StrikePhases.begin(), H.StrikePhases.end(),
+                     [&](unsigned P) { return P < Oldest; }),
+      H.StrikePhases.end());
+  if (H.StrikePhases.size() < Config.QuarantineStrikes)
+    return false;
+
+  H.Quarantined = true;
+  H.BackoffPhases =
+      std::min(std::max(1u, Config.QuarantineBackoffPhases), MaxBackoff);
+  H.ReleasePhase = RS.PhaseCounter + H.BackoffPhases;
+  ++Trace.Quarantines;
+  logQuarantine(SectionName, Now, V, Label, Overhead ? *Overhead : NaN,
+                static_cast<unsigned>(H.StrikePhases.size()), H.BackoffPhases);
+  return true;
+}
+
+bool FeedbackController::noteProductionHealth(const std::string &SectionName,
+                                              ResilienceState &RS, unsigned V,
+                                              const std::string &Label,
+                                              std::optional<double> Overhead,
+                                              rt::Nanos Now,
+                                              SectionExecutionTrace &Trace) {
+  const bool Bad = !Overhead || *Overhead > Config.WatchdogOverheadLimit;
+  if (!Bad) {
+    // A healthy production interval resets both the streak and the
+    // escalated streak requirement.
+    RS.WatchdogBad = 0;
+    RS.WatchdogThreshold = 0;
+    return false;
+  }
+  ++RS.WatchdogBad;
+  const unsigned Base = std::max(1u, Config.WatchdogBadSlices);
+  const unsigned Threshold = RS.WatchdogThreshold ? RS.WatchdogThreshold : Base;
+  if (RS.WatchdogBad < Threshold)
+    return false;
+  ++Trace.WatchdogResamples;
+  logWatchdogResample(SectionName, Now, V, Label, Overhead ? *Overhead : NaN,
+                      RS.WatchdogBad);
+  RS.WatchdogThreshold = std::min(Threshold * 2, Base * 8);
+  RS.WatchdogBad = 0;
+  return true;
+}
+
 FeedbackController::BestPick
 FeedbackController::pickBest(const std::vector<std::optional<double>> &Overheads,
                              std::optional<unsigned> Incumbent,
-                             SectionExecutionTrace &Trace) const {
+                             SectionExecutionTrace &Trace,
+                             const ResilienceState *RS) const {
   // Least sampled overhead; ties resolve to the lowest version index, i.e.
   // the earliest policy. Non-finite entries never win (belt and braces: the
   // sampling loops already discard them).
@@ -182,10 +292,15 @@ FeedbackController::pickBest(const std::vector<std::optional<double>> &Overheads
     return {};
 
   // Switch hysteresis: keep a measured incumbent unless the challenger
-  // improves by more than the configured margin.
-  if (Config.SwitchHysteresis > 0.0 && Incumbent && *Incumbent != *Best &&
-      *Incumbent < Overheads.size() && Overheads[*Incumbent] &&
-      std::isfinite(*Overheads[*Incumbent]) &&
+  // improves by more than the configured margin. A quarantined incumbent is
+  // never held -- hysteresis must not keep a struck-out version in
+  // production.
+  const bool IncumbentQuarantined =
+      RS && Incumbent && *Incumbent < RS->Versions.size() &&
+      RS->Versions[*Incumbent].Quarantined;
+  if (Config.SwitchHysteresis > 0.0 && Incumbent && !IncumbentQuarantined &&
+      *Incumbent != *Best && *Incumbent < Overheads.size() &&
+      Overheads[*Incumbent] && std::isfinite(*Overheads[*Incumbent]) &&
       *Overheads[*Best] >=
           *Overheads[*Incumbent] - Config.SwitchHysteresis) {
     ++Trace.HysteresisHolds;
@@ -251,6 +366,75 @@ void FeedbackController::logDriftResample(const std::string &Section,
   Log->append(std::move(E));
 }
 
+void FeedbackController::logQuarantine(const std::string &Section, rt::Nanos T,
+                                       unsigned V, const std::string &Label,
+                                       double Overhead, unsigned Strikes,
+                                       unsigned OutPhases) const {
+  fbCounters().QuarantineAdded.add();
+  if (!Log)
+    return;
+  obs::DecisionEvent E;
+  E.Kind = obs::DecisionKind::Quarantine;
+  E.TimeNanos = T;
+  E.Section = Section;
+  E.Version = V;
+  E.Label = Label;
+  E.Overhead = Overhead;
+  E.Repeats = OutPhases;
+  E.Degenerate = Strikes;
+  Log->append(std::move(E));
+}
+
+void FeedbackController::logReprobe(const std::string &Section, rt::Nanos T,
+                                    unsigned V, const std::string &Label,
+                                    double Overhead) const {
+  if (!Log)
+    return;
+  obs::DecisionEvent E;
+  E.Kind = obs::DecisionKind::Reprobe;
+  E.TimeNanos = T;
+  E.Section = Section;
+  E.Version = V;
+  E.Label = Label;
+  E.Overhead = Overhead;
+  Log->append(std::move(E));
+}
+
+void FeedbackController::logWatchdogResample(const std::string &Section,
+                                             rt::Nanos T, unsigned V,
+                                             const std::string &Label,
+                                             double Overhead,
+                                             unsigned Streak) const {
+  fbCounters().WatchdogResamples.add();
+  if (!Log)
+    return;
+  obs::DecisionEvent E;
+  E.Kind = obs::DecisionKind::WatchdogResample;
+  E.TimeNanos = T;
+  E.Section = Section;
+  E.Version = V;
+  E.Label = Label;
+  E.Overhead = Overhead;
+  E.Degenerate = Streak;
+  Log->append(std::move(E));
+}
+
+void FeedbackController::logDegraded(const std::string &Section, rt::Nanos T,
+                                     unsigned V,
+                                     const std::string &Label) const {
+  fbCounters().Degraded.add();
+  if (!Log)
+    return;
+  obs::DecisionEvent E;
+  E.Kind = obs::DecisionKind::Degraded;
+  E.TimeNanos = T;
+  E.Section = Section;
+  E.Version = V;
+  E.Label = Label;
+  E.Overhead = NaN;
+  Log->append(std::move(E));
+}
+
 SectionExecutionTrace
 FeedbackController::executeSection(IntervalRunner &Runner,
                                    const std::string &SectionName) {
@@ -272,21 +456,60 @@ FeedbackController::executeSpanning(IntervalRunner &Runner,
   assert(NumVersions >= 1 && "section with no versions");
   const std::vector<std::string> Labels = versionLabels(Runner);
 
+  ResilienceState *RS = quarantineEnabled() || watchdogEnabled()
+                            ? &resilienceState(SectionName, NumVersions)
+                            : nullptr;
+  const auto AllQuarantined = [&] {
+    if (!RS || RS->Versions.empty())
+      return false;
+    for (const VersionHealth &H : RS->Versions)
+      if (!H.Quarantined)
+        return false;
+    return true;
+  };
+
   SpanState &State = SpanStates[SectionName];
   auto StartSamplingPhase = [&] {
     State.Phase = SpanState::PhaseKind::Sampling;
     State.Order = samplingOrder(Labels, SectionName);
+    if (RS && quarantineEnabled()) {
+      // Quarantined versions sit out until their re-probe phase comes due.
+      ++RS->PhaseCounter;
+      State.Order.erase(
+          std::remove_if(State.Order.begin(), State.Order.end(),
+                         [&](unsigned V) { return isExcluded(*RS, V); }),
+          State.Order.end());
+    }
     State.OrderIdx = 0;
     State.Overheads.assign(NumVersions, std::nullopt);
     State.CurrentIntervalStats = OverheadStats{};
     State.Remaining = Config.TargetSamplingNanos;
     State.ProductionOverhead.reset();
   };
-  if (State.Order.empty())
+  if (State.Overheads.empty())
     StartSamplingPhase(); // First ever occurrence of this section.
 
   while (!Runner.done()) {
     if (State.Phase == SpanState::PhaseKind::Sampling) {
+      if (State.Order.empty()) {
+        // Degraded mode: every version is quarantined, so there is nothing
+        // to sample. Pin the last known-good version (the first version if
+        // nothing ever completed production) for a full production interval;
+        // re-probes come due as the phase counter keeps advancing.
+        const unsigned Pin = State.LastGood ? *State.LastGood : 0u;
+        ++Trace.SamplingPhases;
+        ++Trace.DegradedPhases;
+        logDegraded(SectionName, Runner.now(), Pin, Labels[Pin]);
+        State.Phase = SpanState::PhaseKind::Production;
+        State.ProductionVersion = Pin;
+        State.ProductionOverhead.reset();
+        State.LastGood = Pin;
+        State.Remaining = Config.TargetProductionNanos;
+        Trace.ChosenVersions.push_back(Pin);
+        logSwitch(SectionName, Runner.now(), Pin, Labels[Pin], NaN,
+                  obs::SwitchReason::Fallback);
+        continue;
+      }
       const unsigned V = State.Order[State.OrderIdx];
       const IntervalReport Report = Runner.runInterval(V, State.Remaining);
       Trace.Total.merge(Report.Stats);
@@ -311,11 +534,18 @@ FeedbackController::executeSpanning(IntervalRunner &Runner,
             .addPoint(nanosToSeconds(Runner.now()), Overhead);
         logSample(SectionName, Runner.now(), V, Labels[V], Overhead,
                   /*Repeats=*/1, /*Degenerate=*/0);
+        if (RS && quarantineEnabled() &&
+            noteSampleHealth(SectionName, *RS, V, Labels[V], Overhead,
+                             Runner.now(), Trace))
+          State.Overheads[V].reset(); // Quarantined: out of this decision.
       } else {
         ++Trace.DegenerateIntervals;
         fbCounters().DegenerateIntervals.add();
         logSample(SectionName, Runner.now(), V, Labels[V], NaN,
                   /*Repeats=*/0, /*Degenerate=*/1);
+        if (RS && quarantineEnabled())
+          noteSampleHealth(SectionName, *RS, V, Labels[V], std::nullopt,
+                           Runner.now(), Trace);
       }
       State.CurrentIntervalStats = OverheadStats{};
       State.Remaining = Config.TargetSamplingNanos;
@@ -331,7 +561,8 @@ FeedbackController::executeSpanning(IntervalRunner &Runner,
         // entirely degenerate phase falls back to the last known-good
         // version (or the first in sampling order on the very first phase)
         // instead of aborting.
-        const BestPick Pick = pickBest(State.Overheads, State.LastGood, Trace);
+        const BestPick Pick =
+            pickBest(State.Overheads, State.LastGood, Trace, RS);
         std::optional<unsigned> Best = Pick.V;
         obs::SwitchReason Reason = Pick.HysteresisHeld
                                        ? obs::SwitchReason::HysteresisHeld
@@ -339,6 +570,12 @@ FeedbackController::executeSpanning(IntervalRunner &Runner,
         if (!Best) {
           Best = State.LastGood ? *State.LastGood : State.Order.front();
           Reason = obs::SwitchReason::Fallback;
+          if (AllQuarantined()) {
+            // Every re-probe failed this phase: the fallback pin is a
+            // degraded decision, not a plain degenerate-sampling one.
+            ++Trace.DegradedPhases;
+            logDegraded(SectionName, Runner.now(), *Best, Labels[*Best]);
+          }
         }
         if (History)
           History->recordBest(SectionName, Labels[*Best]);
@@ -379,8 +616,17 @@ FeedbackController::executeSpanning(IntervalRunner &Runner,
                        Report.Stats.totalOverhead());
       State.Remaining = 0;
     }
+    if (RS && watchdogEnabled() && State.Remaining > 0 &&
+        noteProductionHealth(SectionName, *RS, State.ProductionVersion,
+                             Labels[State.ProductionVersion],
+                             isUsable(Report.Stats)
+                                 ? std::optional<double>(
+                                       Report.Stats.totalOverhead())
+                                 : std::nullopt,
+                             Runner.now(), Trace))
+      State.Remaining = 0; // Stuck production phase: resample early.
     if (State.Remaining <= 0)
-      StartSamplingPhase(); // Periodic (or drift-triggered) resampling.
+      StartSamplingPhase(); // Periodic (or forced) resampling.
   }
 
   Trace.EndNanos = Runner.now();
@@ -402,11 +648,32 @@ FeedbackController::executePerOccurrence(IntervalRunner &Runner,
   // hysteresis comparison and the degenerate-sampling fallback.
   std::optional<unsigned> LastGood;
 
+  ResilienceState *RS = quarantineEnabled() || watchdogEnabled()
+                            ? &resilienceState(SectionName, NumVersions)
+                            : nullptr;
+  const auto AllQuarantined = [&] {
+    if (!RS || RS->Versions.empty())
+      return false;
+    for (const VersionHealth &H : RS->Versions)
+      if (!H.Quarantined)
+        return false;
+    return true;
+  };
+
   while (!Runner.done()) {
     // ---- Sampling phase: measure each candidate version's overhead. ----
     ++Trace.SamplingPhases;
     std::vector<std::optional<double>> Overheads(NumVersions);
-    const std::vector<unsigned> Order = samplingOrder(Labels, SectionName);
+    std::vector<unsigned> Order = samplingOrder(Labels, SectionName);
+    if (RS && quarantineEnabled()) {
+      // Quarantined versions sit out until their re-probe phase comes due.
+      // An empty order (every version quarantined) skips sampling entirely
+      // and degrades to the pinned last known-good below.
+      ++RS->PhaseCounter;
+      Order.erase(std::remove_if(Order.begin(), Order.end(),
+                                 [&](unsigned V) { return isExcluded(*RS, V); }),
+                  Order.end());
+    }
 
     for (size_t OIdx = 0; OIdx < Order.size(); ++OIdx) {
       const unsigned V = Order[OIdx];
@@ -436,6 +703,9 @@ FeedbackController::executePerOccurrence(IntervalRunner &Runner,
       if (Samples.empty()) {
         logSample(SectionName, Runner.now(), V, Labels[V], NaN,
                   /*Repeats=*/0, DegenerateRepeats);
+        if (RS && quarantineEnabled())
+          noteSampleHealth(SectionName, *RS, V, Labels[V], std::nullopt,
+                           Runner.now(), Trace);
         continue; // Version unmeasurable this phase.
       }
       const unsigned UsableRepeats = static_cast<unsigned>(Samples.size());
@@ -449,6 +719,9 @@ FeedbackController::executePerOccurrence(IntervalRunner &Runner,
         fbCounters().DegenerateIntervals.add();
         logSample(SectionName, Runner.now(), V, Labels[V], NaN,
                   /*Repeats=*/0, DegenerateRepeats + UsableRepeats);
+        if (RS && quarantineEnabled())
+          noteSampleHealth(SectionName, *RS, V, Labels[V], std::nullopt,
+                           Runner.now(), Trace);
         continue;
       }
       Overheads[V] = Overhead;
@@ -456,6 +729,12 @@ FeedbackController::executePerOccurrence(IntervalRunner &Runner,
           .addPoint(nanosToSeconds(Runner.now()), Overhead);
       logSample(SectionName, Runner.now(), V, Labels[V], Overhead,
                 UsableRepeats, DegenerateRepeats);
+      if (RS && quarantineEnabled() &&
+          noteSampleHealth(SectionName, *RS, V, Labels[V], Overhead,
+                           Runner.now(), Trace)) {
+        Overheads[V].reset(); // Quarantined: out of this decision.
+        continue;
+      }
       if (Config.EarlyCutoff && Overhead <= Config.EarlyCutoffThreshold) {
         // No other policy could do significantly better: cut sampling off.
         Trace.SkippedByCutoff +=
@@ -464,16 +743,26 @@ FeedbackController::executePerOccurrence(IntervalRunner &Runner,
       }
     }
 
-    const BestPick Pick = pickBest(Overheads, LastGood, Trace);
+    const BestPick Pick = pickBest(Overheads, LastGood, Trace, RS);
     std::optional<unsigned> Best = Pick.V;
     obs::SwitchReason Reason = Pick.HysteresisHeld
                                    ? obs::SwitchReason::HysteresisHeld
                                    : obs::SwitchReason::BeatBest;
     if (!Best) {
-      if (!LastGood)
+      if (AllQuarantined()) {
+        // Degraded mode: every version quarantined. Pin the last known-good
+        // (the first version if nothing ever completed production) and run
+        // production; re-probes come due as the phase counter advances.
+        Best = LastGood ? *LastGood : 0u;
+        Reason = obs::SwitchReason::Fallback;
+        ++Trace.DegradedPhases;
+        logDegraded(SectionName, Runner.now(), *Best, Labels[*Best]);
+      } else if (!LastGood) {
         break; // Nothing was ever measured and there is no fallback.
-      Best = LastGood; // Degenerate sampling phase: ride the known-good.
-      Reason = obs::SwitchReason::Fallback;
+      } else {
+        Best = LastGood; // Degenerate sampling phase: ride the known-good.
+        Reason = obs::SwitchReason::Fallback;
+      }
     }
     if (History)
       History->recordBest(SectionName, Labels[*Best]);
@@ -494,6 +783,9 @@ FeedbackController::executePerOccurrence(IntervalRunner &Runner,
       Trace.Total.merge(Report.Stats);
       if (Report.EffectiveNanos <= 0) {
         ++Trace.DegenerateIntervals;
+        if (RS && watchdogEnabled())
+          noteProductionHealth(SectionName, *RS, *Best, Labels[*Best],
+                               std::nullopt, Runner.now(), Trace);
         break; // A stuck production interval must not spin forever.
       }
       Budget -= Report.EffectiveNanos;
@@ -506,6 +798,14 @@ FeedbackController::executePerOccurrence(IntervalRunner &Runner,
                          Report.Stats.totalOverhead());
         break; // Overhead drifted: resample now instead of riding it out.
       }
+      if (RS && watchdogEnabled() && Budget > 0 &&
+          noteProductionHealth(SectionName, *RS, *Best, Labels[*Best],
+                               isUsable(Report.Stats)
+                                   ? std::optional<double>(
+                                         Report.Stats.totalOverhead())
+                                   : std::nullopt,
+                               Runner.now(), Trace))
+        break; // Stuck production phase: resample now.
       if (!Sliced)
         break; // Whole budget was requested in one interval.
     }

@@ -90,6 +90,18 @@ struct SectionExecutionTrace {
                                     ///< overhead drift.
   unsigned HysteresisHolds = 0;     ///< Switches suppressed by hysteresis.
 
+  // Resilience accounting (all zero unless the quarantine / watchdog knobs
+  // are enabled -- see FeedbackConfig).
+  unsigned Quarantines = 0;       ///< Versions quarantined (or
+                                  ///< re-quarantined after a bad re-probe).
+  unsigned Reprobes = 0;          ///< Quarantined versions re-probed and
+                                  ///< cleared back into the sampling pool.
+  unsigned WatchdogResamples = 0; ///< Production phases cut short by the
+                                  ///< bad-interval watchdog.
+  unsigned DegradedPhases = 0;    ///< Sampling phases skipped because every
+                                  ///< version was quarantined (the
+                                  ///< last-known-good version was pinned).
+
   rt::Nanos durationNanos() const { return EndNanos - StartNanos; }
 
   /// The version used for the most production time (the de-facto decision).
@@ -153,6 +165,59 @@ private:
     std::optional<unsigned> LastGood;
   };
 
+  /// Per-version health tracked by the quarantine mechanism.
+  struct VersionHealth {
+    /// Sampling-phase numbers (1-based) of recent strikes; pruned to the
+    /// sliding QuarantineWindowPhases window.
+    std::vector<unsigned> StrikePhases;
+    bool Quarantined = false;
+    /// First phase number at which a quarantined version is re-probed.
+    unsigned ReleasePhase = 0;
+    /// Current quarantine duration; doubles per failed re-probe up to
+    /// QuarantineBackoffMaxPhases, resets on a healthy re-probe.
+    unsigned BackoffPhases = 0;
+  };
+
+  /// Cross-phase resilience state for one section (quarantine + watchdog).
+  /// Only populated when the corresponding knobs are enabled.
+  struct ResilienceState {
+    unsigned PhaseCounter = 0; ///< Sampling phases started (1-based).
+    std::vector<VersionHealth> Versions;
+    unsigned WatchdogBad = 0;       ///< Current consecutive-bad-interval run.
+    unsigned WatchdogThreshold = 0; ///< Escalated streak requirement;
+                                    ///< 0 means Config.WatchdogBadSlices.
+  };
+
+  bool quarantineEnabled() const { return Config.QuarantineStrikes > 0; }
+  bool watchdogEnabled() const { return Config.WatchdogBadSlices > 0; }
+
+  /// Fetches (creating on first use) the resilience state for a section,
+  /// sized for \p NumVersions.
+  ResilienceState &resilienceState(const std::string &SectionName,
+                                   size_t NumVersions);
+
+  /// True when \p V is quarantined and not yet due for its re-probe.
+  static bool isExcluded(const ResilienceState &RS, unsigned V);
+
+  /// Feeds one sampling measurement (nullopt = degenerate) into the
+  /// quarantine tracker: counts strikes, quarantines on the Kth strike in
+  /// the window, and resolves re-probes of quarantined versions. Returns
+  /// true when the version is quarantined after this measurement, in which
+  /// case the caller must exclude it from the phase's decision.
+  bool noteSampleHealth(const std::string &SectionName, ResilienceState &RS,
+                        unsigned V, const std::string &Label,
+                        std::optional<double> Overhead, rt::Nanos Now,
+                        SectionExecutionTrace &Trace);
+
+  /// Feeds one production interval measurement into the watchdog. Returns
+  /// true when the bad-interval streak reached the (escalating) threshold
+  /// and the production phase must be cut short for an early resample.
+  bool noteProductionHealth(const std::string &SectionName,
+                            ResilienceState &RS, unsigned V,
+                            const std::string &Label,
+                            std::optional<double> Overhead, rt::Nanos Now,
+                            SectionExecutionTrace &Trace);
+
   SectionExecutionTrace executeSpanning(rt::IntervalRunner &Runner,
                                         const std::string &SectionName);
   SectionExecutionTrace executePerOccurrence(rt::IntervalRunner &Runner,
@@ -170,10 +235,12 @@ private:
   /// Picks the sampled version with the least overhead (ties to the lowest
   /// index). With SwitchHysteresis enabled and a measured incumbent, the
   /// incumbent is kept unless the challenger improves by more than the
-  /// margin; suppressed switches are counted in \p Trace.
+  /// margin; suppressed switches are counted in \p Trace. A quarantined
+  /// incumbent (per \p RS, which may be null) is never held by hysteresis.
   BestPick pickBest(const std::vector<std::optional<double>> &Overheads,
                     std::optional<unsigned> Incumbent,
-                    SectionExecutionTrace &Trace) const;
+                    SectionExecutionTrace &Trace,
+                    const ResilienceState *RS = nullptr) const;
 
   /// Decision-log emission helpers; no-ops without an attached log. Every
   /// event is mirrored into the global metrics registry ("fb.*" counters).
@@ -185,11 +252,22 @@ private:
                  obs::SwitchReason Reason) const;
   void logDriftResample(const std::string &Section, rt::Nanos T, unsigned V,
                         const std::string &Label, double Overhead) const;
+  void logQuarantine(const std::string &Section, rt::Nanos T, unsigned V,
+                     const std::string &Label, double Overhead,
+                     unsigned Strikes, unsigned OutPhases) const;
+  void logReprobe(const std::string &Section, rt::Nanos T, unsigned V,
+                  const std::string &Label, double Overhead) const;
+  void logWatchdogResample(const std::string &Section, rt::Nanos T, unsigned V,
+                           const std::string &Label, double Overhead,
+                           unsigned Streak) const;
+  void logDegraded(const std::string &Section, rt::Nanos T, unsigned V,
+                   const std::string &Label) const;
 
   const FeedbackConfig Config;
   PolicyHistory *const History;
   obs::DecisionLog *const Log;
   std::map<std::string, SpanState> SpanStates;
+  std::map<std::string, ResilienceState> Resilience;
 };
 
 } // namespace dynfb::fb

@@ -22,6 +22,14 @@ const char *obs::decisionKindName(DecisionKind K) {
     return "switch";
   case DecisionKind::DriftResample:
     return "drift_resample";
+  case DecisionKind::Quarantine:
+    return "quarantine";
+  case DecisionKind::Reprobe:
+    return "reprobe";
+  case DecisionKind::WatchdogResample:
+    return "watchdog_resample";
+  case DecisionKind::Degraded:
+    return "degraded";
   }
   DYNFB_UNREACHABLE("unknown decision kind");
 }
@@ -41,8 +49,10 @@ const char *obs::switchReasonName(SwitchReason R) {
 }
 
 std::optional<DecisionKind> obs::parseDecisionKind(const std::string &Name) {
-  for (DecisionKind K : {DecisionKind::Sample, DecisionKind::Switch,
-                         DecisionKind::DriftResample})
+  for (DecisionKind K :
+       {DecisionKind::Sample, DecisionKind::Switch, DecisionKind::DriftResample,
+        DecisionKind::Quarantine, DecisionKind::Reprobe,
+        DecisionKind::WatchdogResample, DecisionKind::Degraded})
     if (Name == decisionKindName(K))
       return K;
   return std::nullopt;
@@ -86,6 +96,30 @@ std::string DecisionLog::renderTimeline() const {
       Out += format("%10.4fs  %-10s drift   %-24s overhead %s\n",
                     rt::nanosToSeconds(E.TimeNanos), E.Section.c_str(),
                     E.Label.c_str(), Overhead.c_str());
+      break;
+    case DecisionKind::Quarantine:
+      Out += format("%10.4fs  %-10s quarnt  %-24s overhead %s"
+                    " (%u strikes, out for %u phases)\n",
+                    rt::nanosToSeconds(E.TimeNanos), E.Section.c_str(),
+                    E.Label.c_str(), Overhead.c_str(), E.Degenerate,
+                    E.Repeats);
+      break;
+    case DecisionKind::Reprobe:
+      Out += format("%10.4fs  %-10s reprobe %-24s overhead %s (cleared)\n",
+                    rt::nanosToSeconds(E.TimeNanos), E.Section.c_str(),
+                    E.Label.c_str(), Overhead.c_str());
+      break;
+    case DecisionKind::WatchdogResample:
+      Out += format("%10.4fs  %-10s wtchdg  %-24s overhead %s"
+                    " (%u bad intervals)\n",
+                    rt::nanosToSeconds(E.TimeNanos), E.Section.c_str(),
+                    E.Label.c_str(), Overhead.c_str(), E.Degenerate);
+      break;
+    case DecisionKind::Degraded:
+      Out += format("%10.4fs  %-10s degrad  %-24s all versions quarantined;"
+                    " pinned\n",
+                    rt::nanosToSeconds(E.TimeNanos), E.Section.c_str(),
+                    E.Label.c_str());
       break;
     }
   }

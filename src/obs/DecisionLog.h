@@ -31,9 +31,16 @@ namespace dynfb::obs {
 
 /// What one decision-log event records.
 enum class DecisionKind {
-  Sample,        ///< One version's sampling interval completed.
-  Switch,        ///< A production phase began with a chosen version.
-  DriftResample, ///< Production cut short: measured overhead drifted.
+  Sample,           ///< One version's sampling interval completed.
+  Switch,           ///< A production phase began with a chosen version.
+  DriftResample,    ///< Production cut short: measured overhead drifted.
+  Quarantine,       ///< A version struck out and left the sampling pool.
+  Reprobe,          ///< A quarantined version re-probed healthy and
+                    ///< re-entered the sampling pool.
+  WatchdogResample, ///< Production cut short: too many consecutive bad
+                    ///< intervals with no drift baseline to compare to.
+  Degraded,         ///< Every version quarantined: the controller pinned
+                    ///< the last known-good version instead of sampling.
 };
 
 /// Why a Switch event chose its version.
@@ -61,6 +68,17 @@ std::optional<SwitchReason> parseSwitchReason(const std::string &Name);
 ///    (NaN for a fallback with no measurement).
 ///  - DriftResample: Version/Label name the running production version and
 ///    Overhead the drifted measurement that triggered the resample.
+///  - Quarantine: Version/Label name the version leaving the sampling pool,
+///    Overhead the offending measurement (NaN when the last strike was a
+///    degenerate interval), Repeats the quarantine duration in sampling
+///    phases and Degenerate the strike count.
+///  - Reprobe: Version/Label name the version re-entering the pool and
+///    Overhead the healthy re-probe measurement.
+///  - WatchdogResample: Version/Label name the running production version,
+///    Overhead the last bad measurement (NaN when degenerate) and
+///    Degenerate the length of the bad streak.
+///  - Degraded: Version/Label name the pinned last-known-good version;
+///    Overhead is NaN (nothing was sampled).
 struct DecisionEvent {
   DecisionKind Kind = DecisionKind::Sample;
   rt::Nanos TimeNanos = 0; ///< Backend clock at the event.

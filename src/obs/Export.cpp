@@ -289,11 +289,30 @@ std::string obs::toChromeTrace(const RunTrace &Trace) {
             jsonEscape(E.Label).c_str(), E.Overhead));
       continue;
     }
-    const std::string Name =
-        E.Kind == DecisionKind::Switch
-            ? format("switch %s [%s]", E.Label.c_str(),
-                     switchReasonName(E.Reason))
-            : format("drift resample (%s)", E.Label.c_str());
+    std::string Name;
+    switch (E.Kind) {
+    case DecisionKind::Sample:
+      break; // Handled above.
+    case DecisionKind::Switch:
+      Name = format("switch %s [%s]", E.Label.c_str(),
+                    switchReasonName(E.Reason));
+      break;
+    case DecisionKind::DriftResample:
+      Name = format("drift resample (%s)", E.Label.c_str());
+      break;
+    case DecisionKind::Quarantine:
+      Name = format("quarantine %s", E.Label.c_str());
+      break;
+    case DecisionKind::Reprobe:
+      Name = format("reprobe %s", E.Label.c_str());
+      break;
+    case DecisionKind::WatchdogResample:
+      Name = format("watchdog resample (%s)", E.Label.c_str());
+      break;
+    case DecisionKind::Degraded:
+      Name = format("degraded: pinned %s", E.Label.c_str());
+      break;
+    }
     Events.push_back(
         format("{\"name\":\"%s\",\"cat\":\"decision\",\"ph\":\"i\","
                "\"ts\":%s,\"pid\":1,\"tid\":%u,\"s\":\"t\"}",

@@ -224,6 +224,36 @@ perturb::parseSchedule(const std::string &Spec, std::string &Error) {
   return Sched;
 }
 
+bool perturb::validateSchedule(const PerturbationSchedule &Sched,
+                               unsigned NumProcs, std::string &Error) {
+  const auto RenderEvent = [](const FaultEvent &E) {
+    PerturbationSchedule One;
+    One.Events.push_back(E);
+    return renderSchedule(One);
+  };
+  rt::Nanos PrevStart = 0;
+  for (size_t I = 0; I < Sched.Events.size(); ++I) {
+    const FaultEvent &E = Sched.Events[I];
+    if (E.Proc >= 0 && static_cast<unsigned>(E.Proc) >= NumProcs) {
+      Error = format("event %zu (%s): proc=%d out of range for %u processors "
+                     "(valid 0..%u)",
+                     I + 1, RenderEvent(E).c_str(), E.Proc, NumProcs,
+                     NumProcs - 1);
+      return false;
+    }
+    if (I > 0 && E.StartNanos < PrevStart) {
+      Error = format("event %zu (%s): activation time %gs precedes event "
+                     "%zu's %gs; list events in non-decreasing start order",
+                     I + 1, RenderEvent(E).c_str(),
+                     rt::nanosToSeconds(E.StartNanos), I,
+                     rt::nanosToSeconds(PrevStart));
+      return false;
+    }
+    PrevStart = E.StartNanos;
+  }
+  return true;
+}
+
 std::string perturb::renderSchedule(const PerturbationSchedule &Sched) {
   std::string Out;
   for (const FaultEvent &E : Sched.Events) {

@@ -119,6 +119,14 @@ std::optional<PerturbationSchedule> parseSchedule(const std::string &Spec,
 /// Renders a schedule back to the spec grammar (for diagnostics and tests).
 std::string renderSchedule(const PerturbationSchedule &Sched);
 
+/// Semantic validation of a parsed schedule against the machine it will run
+/// on: every proc-scoped event must reference a processor below \p NumProcs,
+/// and event activation times must be non-decreasing in spec order (a
+/// swapped pair almost always means a mistyped window). Returns false and
+/// fills \p Error with a one-line diagnostic naming the offending event.
+bool validateSchedule(const PerturbationSchedule &Sched, unsigned NumProcs,
+                      std::string &Error);
+
 } // namespace dynfb::perturb
 
 #endif // DYNFB_PERTURB_SCHEDULE_H

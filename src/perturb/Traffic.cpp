@@ -1,0 +1,267 @@
+//===- perturb/Traffic.cpp ------------------------------------------------==//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "perturb/Traffic.h"
+
+#include "support/Random.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+using namespace dynfb;
+using namespace dynfb::perturb;
+
+const char *perturb::trafficMixName(TrafficMix M) {
+  switch (M) {
+  case TrafficMix::Steady:
+    return "steady";
+  case TrafficMix::Diurnal:
+    return "diurnal";
+  case TrafficMix::Storm:
+    return "storm";
+  }
+  return "?";
+}
+
+namespace {
+
+std::optional<TrafficMix> mixFromName(const std::string &Name) {
+  for (TrafficMix M :
+       {TrafficMix::Steady, TrafficMix::Diurnal, TrafficMix::Storm})
+    if (Name == trafficMixName(M))
+      return M;
+  return std::nullopt;
+}
+
+std::optional<double> parseNumber(const std::string &Text) {
+  const char *Begin = Text.c_str();
+  char *End = nullptr;
+  const double Value = std::strtod(Begin, &End);
+  if (End == Begin || *End != '\0')
+    return std::nullopt;
+  return Value;
+}
+
+/// Parses "<number>[s|ms|us|ns]" into nanoseconds (default seconds).
+std::optional<rt::Nanos> parseTime(const std::string &Text) {
+  const char *Begin = Text.c_str();
+  char *End = nullptr;
+  const double Value = std::strtod(Begin, &End);
+  if (End == Begin || Value < 0)
+    return std::nullopt;
+  const std::string Unit(End);
+  double Scale = 1e9;
+  if (Unit == "s" || Unit.empty())
+    Scale = 1e9;
+  else if (Unit == "ms")
+    Scale = 1e6;
+  else if (Unit == "us")
+    Scale = 1e3;
+  else if (Unit == "ns")
+    Scale = 1;
+  else
+    return std::nullopt;
+  return static_cast<rt::Nanos>(Value * Scale);
+}
+
+} // namespace
+
+std::optional<TrafficSpec> perturb::parseTraffic(const std::string &Spec,
+                                                 std::string &Error) {
+  const std::string Text = trim(Spec);
+  if (Text.empty()) {
+    Error = "empty traffic spec";
+    return std::nullopt;
+  }
+  const std::vector<std::string> Parts = splitString(Text, ':');
+  TrafficSpec T;
+  if (std::optional<TrafficMix> M = mixFromName(Parts[0]))
+    T.Mix = *M;
+  else {
+    Error = "unknown traffic mix '" + Parts[0] +
+            "' (want steady|diurnal|storm)";
+    return std::nullopt;
+  }
+  for (size_t I = 1; I < Parts.size(); ++I) {
+    const std::vector<std::string> KV = splitString(Parts[I], '=');
+    if (KV.size() != 2 || KV[0].empty() || KV[1].empty()) {
+      Error = "traffic spec: bad option '" + Parts[I] + "' (want key=value)";
+      return std::nullopt;
+    }
+    const std::string &Key = KV[0], &Value = KV[1];
+    bool Ok = true;
+    if (Key == "window") {
+      const std::optional<rt::Nanos> N = parseTime(Value);
+      Ok = N && *N > 0;
+      if (Ok)
+        T.WindowNanos = *N;
+    } else if (Key == "windows") {
+      const std::optional<double> N = parseNumber(Value);
+      Ok = N && *N >= 1 && *N <= 100000 &&
+           *N == static_cast<double>(static_cast<unsigned>(*N));
+      if (Ok)
+        T.Windows = static_cast<unsigned>(*N);
+    } else if (Key == "tenants") {
+      const std::optional<double> N = parseNumber(Value);
+      Ok = N && *N >= 1 && *N <= 4096 &&
+           *N == static_cast<double>(static_cast<unsigned>(*N));
+      if (Ok)
+        T.Tenants = static_cast<unsigned>(*N);
+    } else if (Key == "peak") {
+      const std::optional<double> F = parseNumber(Value);
+      Ok = F && *F >= 1.0 && *F <= 1e3;
+      if (Ok)
+        T.PeakFactor = *F;
+    } else if (Key == "burst") {
+      const std::optional<rt::Nanos> N = parseTime(Value);
+      Ok = N.has_value();
+      if (Ok)
+        T.BurstExtraNanos = *N;
+    } else if (Key == "storm") {
+      const std::optional<double> P = parseNumber(Value);
+      Ok = P && *P >= 0.0 && *P <= 1.0;
+      if (Ok)
+        T.StormProbability = *P;
+    } else if (Key == "seed") {
+      const std::optional<double> S = parseNumber(Value);
+      Ok = S && *S >= 0;
+      if (Ok)
+        T.Seed = static_cast<uint64_t>(*S);
+    } else if (Key == "loop") {
+      if (Value == "open")
+        T.ClosedLoop = false;
+      else if (Value == "closed")
+        T.ClosedLoop = true;
+      else
+        Ok = false;
+    } else {
+      Error = "traffic spec: unknown option '" + Key + "'";
+      return std::nullopt;
+    }
+    if (!Ok) {
+      Error = "traffic spec: bad value for '" + Key + "': '" + Value + "'";
+      return std::nullopt;
+    }
+  }
+  return T;
+}
+
+std::string perturb::renderTraffic(const TrafficSpec &Spec) {
+  std::string Out = trafficMixName(Spec.Mix);
+  Out += format(":window=%gs", rt::nanosToSeconds(Spec.WindowNanos));
+  Out += format(":windows=%u", Spec.Windows);
+  Out += format(":tenants=%u", Spec.Tenants);
+  Out += format(":peak=%g", Spec.PeakFactor);
+  Out += format(":burst=%gus", static_cast<double>(Spec.BurstExtraNanos) / 1e3);
+  if (Spec.Mix == TrafficMix::Storm)
+    Out += format(":storm=%g", Spec.StormProbability);
+  Out += format(":seed=%llu", static_cast<unsigned long long>(Spec.Seed));
+  Out += format(":loop=%s", Spec.ClosedLoop ? "closed" : "open");
+  return Out;
+}
+
+PerturbationSchedule perturb::compileTraffic(const TrafficSpec &Spec,
+                                             unsigned NumShards,
+                                             unsigned NumProcs) {
+  PerturbationSchedule Sched;
+  Sched.Seed = Spec.Seed;
+  Rng R(Spec.Seed);
+
+  const unsigned Tenants = std::max(1u, std::min(Spec.Tenants, NumShards));
+  const unsigned ShardsPerTenant = std::max(1u, NumShards / Tenants);
+  const double Pi = 3.14159265358979323846;
+
+  for (unsigned W = 0; W < Spec.Windows; ++W) {
+    const rt::Nanos T0 = static_cast<rt::Nanos>(W) * Spec.WindowNanos;
+    const rt::Nanos T1 = T0 + Spec.WindowNanos;
+
+    // Diurnal intensity: a smooth single-peak curve over the horizon, 1.0
+    // at the troughs and PeakFactor at the mid-horizon peak, with a little
+    // seeded jitter so windows never repeat exactly.
+    double Intensity = 1.0;
+    if (Spec.Mix != TrafficMix::Steady && Spec.Windows > 1) {
+      const double Phase =
+          0.5 * (1.0 - std::cos(2.0 * Pi * W / Spec.Windows));
+      Intensity = 1.0 + (Spec.PeakFactor - 1.0) * Phase;
+      Intensity *= R.uniform(0.95, 1.05);
+    }
+
+    // Open-loop arrival pressure: per-request demand follows the curve.
+    // Closed-loop clients hold concurrency fixed, so no intensity event.
+    if (!Spec.ClosedLoop && std::abs(Intensity - 1.0) > 1e-9) {
+      FaultEvent E;
+      E.Kind = FaultKind::PhaseShift;
+      E.StartNanos = T0;
+      E.EndNanos = T1;
+      E.Factor = Intensity;
+      Sched.Events.push_back(E);
+    }
+
+    // Hot tenant of the window: its contiguous shard range sees extra
+    // acquire latency, scaled by the window's intensity.
+    const unsigned Tenant = W % Tenants;
+    const int64_t Lo = static_cast<int64_t>(Tenant) * ShardsPerTenant;
+    const int64_t Hi =
+        Tenant + 1 == Tenants
+            ? static_cast<int64_t>(NumShards) - 1
+            : Lo + static_cast<int64_t>(ShardsPerTenant) - 1;
+    if (Spec.BurstExtraNanos > 0 && NumShards > 0) {
+      FaultEvent E;
+      E.Kind = FaultKind::ContentionBurst;
+      E.StartNanos = T0;
+      E.EndNanos = T1;
+      E.ExtraNanos = static_cast<rt::Nanos>(
+          static_cast<double>(Spec.BurstExtraNanos) * Intensity);
+      E.ObjLo = Lo;
+      E.ObjHi = Hi;
+      Sched.Events.push_back(E);
+    }
+
+    // Storm windows: a machine-wide contention spike plus one struck
+    // processor, both drawn from the seed.
+    if (Spec.Mix == TrafficMix::Storm) {
+      const double Draw = R.nextDouble();
+      if (Draw < Spec.StormProbability) {
+        FaultEvent Spike;
+        Spike.Kind = FaultKind::ContentionBurst;
+        Spike.StartNanos = T0;
+        Spike.EndNanos = T1;
+        Spike.ExtraNanos = 4 * std::max<rt::Nanos>(Spec.BurstExtraNanos, 1);
+        Sched.Events.push_back(Spike);
+
+        FaultEvent Slow;
+        Slow.Kind = FaultKind::ProcSlowdown;
+        Slow.StartNanos = T0;
+        Slow.EndNanos = T1;
+        Slow.Factor = R.uniform(2.0, 5.0);
+        Slow.Proc = NumProcs > 0
+                        ? static_cast<int>(R.nextBelow(NumProcs))
+                        : -1;
+        Sched.Events.push_back(Slow);
+      }
+    }
+  }
+
+  // Storm mixes also carry a small machine-wide timer jitter for the whole
+  // horizon: measurement noise is part of the weather.
+  if (Spec.Mix == TrafficMix::Storm) {
+    FaultEvent Noise;
+    Noise.Kind = FaultKind::TimerNoise;
+    Noise.StartNanos = 0;
+    Noise.EndNanos = static_cast<rt::Nanos>(Spec.Windows) * Spec.WindowNanos;
+    Noise.AmplitudeNanos = 2000; // +-2 us per timer read.
+    Sched.Events.push_back(Noise);
+  }
+
+  // validateSchedule requires non-decreasing activation times.
+  std::stable_sort(Sched.Events.begin(), Sched.Events.end(),
+                   [](const FaultEvent &A, const FaultEvent &B) {
+                     return A.StartNanos < B.StartNanos;
+                   });
+  return Sched;
+}

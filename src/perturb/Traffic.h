@@ -1,0 +1,106 @@
+//===- perturb/Traffic.h - Serving traffic generator ------------*- C++ -*-===//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic serving-traffic generator for the request-driven kvserve
+/// workload. A TrafficSpec describes a stream of traffic windows -- diurnal
+/// intensity phases, rotating hot tenants and seeded perturbation storms --
+/// and compiles down to an ordinary PerturbationSchedule over virtual time.
+/// The workload binding itself stays pure and identical per occurrence; all
+/// time variation the serving experiment studies is expressed through the
+/// compiled schedule, so every run is exactly reproducible from the spec.
+///
+/// Open-loop traffic emits intensity (PhaseShift) events: per-request demand
+/// rises and falls with the arrival-rate curve regardless of how fast the
+/// server drains. Closed-loop traffic suppresses them: a fixed concurrency
+/// of clients keeps per-window demand flat and only the contention pattern
+/// (hot tenants, storms) varies.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNFB_PERTURB_TRAFFIC_H
+#define DYNFB_PERTURB_TRAFFIC_H
+
+#include "perturb/Schedule.h"
+
+#include <optional>
+#include <string>
+
+namespace dynfb::perturb {
+
+/// The built-in traffic mixes.
+enum class TrafficMix {
+  Steady,  ///< Flat intensity; only the hot tenant rotates.
+  Diurnal, ///< Smooth single-peak day curve over the horizon.
+  Storm,   ///< Diurnal curve plus seeded per-window perturbation storms.
+};
+
+/// Display / spec name of a traffic mix ("steady", "diurnal", "storm").
+const char *trafficMixName(TrafficMix M);
+
+/// A serving traffic stream: a horizon of fixed-length windows, each with a
+/// deterministic intensity, hot tenant, and (storm mix) storm draw.
+struct TrafficSpec {
+  TrafficMix Mix = TrafficMix::Diurnal;
+
+  /// Closed-loop clients (fixed concurrency): no intensity events.
+  bool ClosedLoop = false;
+
+  /// One traffic window: the granularity of intensity / hot-tenant change.
+  rt::Nanos WindowNanos = rt::secondsToNanos(2.0);
+
+  /// Horizon length in windows.
+  unsigned Windows = 8;
+
+  /// Tenants rotating through the hot-shard slot (window w heats tenant
+  /// w mod Tenants, i.e. that tenant's contiguous shard range).
+  unsigned Tenants = 4;
+
+  /// Peak-to-trough per-request demand ratio of the diurnal curve
+  /// (open-loop only; 1.0 flattens it).
+  double PeakFactor = 3.0;
+
+  /// Extra acquire latency on the hot tenant's shard locks per window.
+  rt::Nanos BurstExtraNanos = 200000; // 200 us.
+
+  /// Per-window storm probability (Storm mix only). A storm window adds a
+  /// machine-wide contention spike and a seeded single-processor slowdown.
+  double StormProbability = 0.25;
+
+  /// Seed driving every pseudo-random draw (storm placement, jitter, the
+  /// struck processor) and the compiled schedule's timer-noise stream.
+  uint64_t Seed = 42;
+};
+
+/// Parses a traffic spec of the form
+///
+///   <mix>[:key=value]...
+///
+/// where <mix> is steady | diurnal | storm and the keys are
+/// window=<time>, windows=<N>, tenants=<N>, peak=<F>, burst=<time>,
+/// storm=<P in [0,1]>, seed=<N>, loop=open|closed. Examples:
+///
+///   diurnal:windows=12:window=2s:peak=3
+///   storm:storm=0.4:seed=7:loop=closed
+///
+/// Returns std::nullopt and fills \p Error with a one-line diagnostic on
+/// malformed input.
+std::optional<TrafficSpec> parseTraffic(const std::string &Spec,
+                                        std::string &Error);
+
+/// Renders a spec back to the grammar (round-trips through parseTraffic).
+std::string renderTraffic(const TrafficSpec &Spec);
+
+/// Compiles the traffic stream into a perturbation schedule for a server of
+/// \p NumShards shard locks (lock-object ids 0..NumShards-1) on \p NumProcs
+/// processors. The result is sorted by activation time and deterministic in
+/// (Spec, NumShards, NumProcs).
+PerturbationSchedule compileTraffic(const TrafficSpec &Spec,
+                                    unsigned NumShards, unsigned NumProcs);
+
+} // namespace dynfb::perturb
+
+#endif // DYNFB_PERTURB_TRAFFIC_H

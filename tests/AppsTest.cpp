@@ -6,12 +6,14 @@
 
 #include "apps/barnes_hut/BarnesHutApp.h"
 #include "apps/barnes_hut/Octree.h"
+#include "apps/kvserve/KvServeApp.h"
 #include "apps/string_tomo/StringApp.h"
 #include "apps/water/WaterApp.h"
 #include "support/Random.h"
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 #include <set>
 #include <gtest/gtest.h>
 
@@ -306,6 +308,70 @@ TEST(StringAppTest, TraceCostDominatedByRayTracing) {
   const rt::Nanos TraceCost = B.computeNanos(0, Ctx);
   EXPECT_EQ(TraceCost, static_cast<rt::Nanos>(App.rays()[0].Segments) *
                            Config.TraceCellNanos);
+}
+
+// ---------------------------- KV serving app -------------------------------
+
+TEST(KvServeAppTest, WorkloadAndScheduleShape) {
+  kvserve::KvServeConfig Config;
+  Config.RequestsPerWindow = 128;
+  Config.Windows = 4;
+  kvserve::KvServeApp App(Config);
+  const rt::Schedule Sched = App.schedule();
+  ASSERT_EQ(Sched.size(), Config.Windows * 2u); // (ingest, SERVE) per window.
+  for (unsigned W = 0; W < Config.Windows; ++W) {
+    EXPECT_EQ(Sched[2 * W].K, rt::Phase::Kind::Serial);
+    EXPECT_EQ(Sched[2 * W].SerialNanos, Config.IngestPhaseNanos);
+    EXPECT_EQ(Sched[2 * W + 1].K, rt::Phase::Kind::Parallel);
+    EXPECT_EQ(Sched[2 * W + 1].SectionName,
+              kvserve::KvServeApp::ServeSection);
+  }
+  EXPECT_EQ(App.requests().size(), Config.RequestsPerWindow);
+  EXPECT_GT(App.totalOps(), App.requests().size()); // Multi-op requests.
+}
+
+TEST(KvServeAppTest, BindingIsConsistent) {
+  kvserve::KvServeConfig Config;
+  Config.RequestsPerWindow = 128;
+  kvserve::KvServeApp App(Config);
+  const rt::DataBinding &B =
+      App.binding(kvserve::KvServeApp::ServeSection);
+  EXPECT_EQ(B.iterationCount(), App.requests().size());
+  EXPECT_EQ(B.objectCount(), Config.NumShards);
+  for (const kvserve::Request &R : App.requests()) {
+    EXPECT_LT(R.Key, Config.NumKeys);
+    EXPECT_EQ(R.Shard, R.Key % Config.NumShards);
+    EXPECT_GE(R.Ops, 1u);
+  }
+}
+
+TEST(KvServeAppTest, ZipfKeysAreSkewedAndDeterministic) {
+  const auto A = kvserve::zipfKeys(1024, 1.6, 8192, 7);
+  const auto B = kvserve::zipfKeys(1024, 1.6, 8192, 7);
+  EXPECT_EQ(A, B);
+  EXPECT_NE(A, kvserve::zipfKeys(1024, 1.6, 8192, 8));
+
+  // Zipf(1.6): the head of the key space absorbs most of the draws. Compare
+  // the hottest key's share against the uniform expectation (8 draws/key).
+  std::map<uint32_t, unsigned> Freq;
+  for (uint32_t K : A)
+    ++Freq[K];
+  unsigned Hottest = 0;
+  for (const auto &[K, N] : Freq)
+    Hottest = std::max(Hottest, N);
+  EXPECT_GT(Hottest, 8192u / 1024u * 50u);
+}
+
+TEST(KvServeAppTest, ScaleShrinksWorkloadWithFloor) {
+  kvserve::KvServeConfig Config;
+  const auto BaseRequests = Config.RequestsPerWindow;
+  const auto BaseIngest = Config.IngestPhaseNanos;
+  Config.scale(0.5);
+  EXPECT_EQ(Config.RequestsPerWindow, BaseRequests / 2);
+  EXPECT_EQ(Config.IngestPhaseNanos, BaseIngest / 2);
+  EXPECT_EQ(Config.Windows, 8u); // The horizon never shrinks.
+  Config.scale(1e-6);
+  EXPECT_GE(Config.RequestsPerWindow, 16u); // Floor.
 }
 
 } // namespace

@@ -239,6 +239,45 @@ TEST(Scheduler, RetriesAreBounded) {
   EXPECT_EQ(Outcomes[0].Attempts, 2u); // Initial attempt + 1 retry.
 }
 
+TEST(Scheduler, CrashReportNamesSignalAndQuotesStderr) {
+  const std::vector<JobOutcome> Outcomes = runJobs(
+      1,
+      [](size_t, unsigned) -> JobResult {
+        std::fprintf(stderr, "first diagnostic line\n");
+        std::fprintf(stderr, "frobnication failed: shard 7 poisoned\n");
+        std::abort();
+      },
+      twoWorkers());
+  ASSERT_EQ(Outcomes.size(), 1u);
+  ASSERT_EQ(Outcomes[0].Status, JobStatus::Crashed);
+  const std::string &Error = Outcomes[0].Result.Error;
+  // The signal is named, not just numbered ...
+  EXPECT_NE(Error.find("signal 6"), std::string::npos) << Error;
+  EXPECT_NE(Error.find("Abort"), std::string::npos) << Error;
+  // ... and the report quotes the child's final stderr output.
+  EXPECT_NE(Error.find("last stderr output:"), std::string::npos) << Error;
+  EXPECT_NE(Error.find("shard 7 poisoned"), std::string::npos) << Error;
+}
+
+TEST(Scheduler, CrashReportKeepsOnlyTheStderrTail) {
+  const std::vector<JobOutcome> Outcomes = runJobs(
+      1,
+      [](size_t, unsigned) -> JobResult {
+        for (int I = 0; I < 100; ++I)
+          std::fprintf(stderr, "line %d\n", I);
+        std::abort();
+      },
+      twoWorkers());
+  ASSERT_EQ(Outcomes.size(), 1u);
+  ASSERT_EQ(Outcomes[0].Status, JobStatus::Crashed);
+  const std::string &Error = Outcomes[0].Result.Error;
+  // Last ~20 lines survive; the beginning is dropped.
+  EXPECT_NE(Error.find("line 99"), std::string::npos) << Error;
+  EXPECT_NE(Error.find("line 80"), std::string::npos) << Error;
+  EXPECT_EQ(Error.find("line 79\n"), std::string::npos) << Error;
+  EXPECT_EQ(Error.find("line 0\n"), std::string::npos) << Error;
+}
+
 TEST(Scheduler, JobLevelFailureIsReportedNotRetried) {
   SchedulerOptions Opts = twoWorkers();
   Opts.Retries = 3;
@@ -329,6 +368,48 @@ TEST(Registry, MachineSensitivitySweepsEveryModel) {
   EXPECT_TRUE(Machines.count("dash-flat"));
   EXPECT_TRUE(Machines.count("dash-numa"));
   EXPECT_TRUE(Machines.count("uma-cheaplock"));
+}
+
+TEST(Registry, ServingSweepsMachinesAndMixes) {
+  registerBuiltinExperiments();
+  const Experiment *E = registry().find("serving");
+  ASSERT_NE(E, nullptr);
+  EXPECT_EQ(E->Suite, "extension");
+  RunOptions Opts;
+  Opts.Machine = "uma-cheaplock"; // Ignored: the machine is a swept axis.
+  const std::vector<JobConfig> Jobs = E->MakeJobs(Opts);
+  // 3 machines x 3 mixes x (3 fixed policies + dynamic).
+  ASSERT_EQ(Jobs.size(), 36u);
+  std::set<std::string> Machines, Mixes;
+  for (const JobConfig &C : Jobs) {
+    Machines.insert(C.getString("machine"));
+    Mixes.insert(C.getString("mix"));
+    EXPECT_FALSE(C.getString("traffic").empty()) << C.label();
+  }
+  EXPECT_EQ(Machines.size(), 3u);
+  EXPECT_EQ(Mixes, (std::set<std::string>{"steady", "diurnal", "storm"}));
+}
+
+TEST(Registry, ServingDynamicJobEmitsRegretMaterial) {
+  registerBuiltinExperiments();
+  const Experiment *E = registry().find("serving");
+  ASSERT_NE(E, nullptr);
+  RunOptions Opts;
+  Opts.Scale = 0.125;
+  const std::vector<JobConfig> Jobs = E->MakeJobs(Opts);
+  // Last job of the first (machine, mix) cell is the dynamic variant.
+  const JobConfig &Dyn = Jobs[3];
+  ASSERT_EQ(Dyn.getString("variant"), "dynamic");
+  const JobResult R = E->RunJob(Dyn);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_GT(R.metric("seconds"), 0.0);
+  // One duration metric per traffic window, the oracle's raw material ...
+  for (unsigned W = 0; W < 8; ++W)
+    EXPECT_GT(R.metric(format("w%u_seconds", W)), 0.0) << W;
+  // ... and the resilience counters (present even when zero).
+  EXPECT_TRUE(R.hasMetric("quarantines"));
+  EXPECT_TRUE(R.hasMetric("watchdog_resamples"));
+  EXPECT_TRUE(R.hasMetric("degraded_phases"));
 }
 
 TEST(Registry, GridsAreDeterministic) {

@@ -515,6 +515,181 @@ TEST(SpanningTest, StatePerSectionIsIndependent) {
   EXPECT_EQ(BestB, 1u);
 }
 
+// ------------------- Resilience (quarantine / watchdog) --------------------
+
+TEST(ResilienceTest, QuarantineExcludesRepeatOffenderFromSampling) {
+  // Version 1 is catastrophically bad every time it is measured. Two strikes
+  // quarantine it; afterwards sampling phases run without it.
+  MockRunner R(2, secondsToNanos(3), [](unsigned V, Nanos) {
+    return V == 1 ? 0.95 : 0.1;
+  });
+  FeedbackConfig Config = smallConfig();
+  Config.QuarantineStrikes = 2;
+  Config.QuarantineOverheadLimit = 0.9;
+  Config.QuarantineBackoffPhases = 64; // No re-probe within this run.
+  FeedbackController C(Config);
+  const SectionExecutionTrace T = C.executeSection(R, "S");
+  EXPECT_EQ(T.Quarantines, 1u);
+  EXPECT_EQ(T.Reprobes, 0u);
+  // Sampled in the two striking phases, then never again.
+  EXPECT_EQ(R.IntervalsRun[1], 2u);
+  EXPECT_GT(T.SamplingPhases, 2u);
+  for (unsigned V : T.ChosenVersions)
+    EXPECT_EQ(V, 0u);
+}
+
+TEST(ResilienceTest, ReprobeClearsQuarantineWhenVersionRecovers) {
+  // Version 1 is catastrophic before 2.5 virtual seconds and excellent
+  // afterwards. It gets quarantined, fails one decayed re-probe (doubling
+  // the backoff), sits out a phase, then passes the next re-probe and wins
+  // production.
+  MockRunner R(2, secondsToNanos(4), [](unsigned V, Nanos Now) {
+    if (V == 0)
+      return 0.2;
+    return Now < secondsToNanos(2.5) ? 0.95 : 0.02;
+  });
+  FeedbackConfig Config = smallConfig();
+  Config.QuarantineStrikes = 1;
+  Config.QuarantineOverheadLimit = 0.9;
+  Config.QuarantineBackoffPhases = 1;
+  FeedbackController C(Config);
+  const SectionExecutionTrace T = C.executeSection(R, "S");
+  EXPECT_GE(T.Quarantines, 2u); // Initial strike-out plus a failed re-probe.
+  EXPECT_EQ(T.Reprobes, 1u);
+  // The quarantine kept version 1 out of at least one sampling phase
+  // (IntervalsRun also counts production intervals, so count samples).
+  const Series *V1 = T.SampledOverheads.find("v1");
+  ASSERT_NE(V1, nullptr);
+  EXPECT_LT(V1->size(), T.SamplingPhases);
+  ASSERT_FALSE(T.ChosenVersions.empty());
+  EXPECT_EQ(T.ChosenVersions.front(), 0u);
+  EXPECT_EQ(T.ChosenVersions.back(), 1u);
+}
+
+TEST(ResilienceTest, HysteresisNeverHoldsQuarantinedIncumbent) {
+  // The incumbent turns catastrophic after 0.5 virtual seconds. A huge
+  // hysteresis margin would hold it forever; quarantine must override the
+  // hold and hand production to the challenger.
+  const auto Overhead = [](unsigned V, Nanos Now) {
+    if (V == 1)
+      return 0.25;
+    return Now < millisToNanos(500) ? 0.05 : 0.97;
+  };
+  FeedbackConfig Config = smallConfig();
+  Config.SwitchHysteresis = 1.0; // Never switch on margin alone.
+  Config.QuarantineStrikes = 1;
+  Config.QuarantineOverheadLimit = 0.9;
+  Config.QuarantineBackoffPhases = 64;
+  MockRunner R(2, secondsToNanos(2.5), Overhead);
+  FeedbackController C(Config);
+  const SectionExecutionTrace T = C.executeSection(R, "S");
+  EXPECT_GE(T.Quarantines, 1u);
+  ASSERT_GE(T.ChosenVersions.size(), 2u);
+  EXPECT_EQ(T.ChosenVersions.front(), 0u);
+  EXPECT_EQ(T.ChosenVersions.back(), 1u);
+
+  // Control: with quarantine disabled the same hysteresis margin rides the
+  // bad incumbent to the end of the run -- the override above really is the
+  // quarantine, not the margin arithmetic.
+  FeedbackConfig NoQuarantine = smallConfig();
+  NoQuarantine.SwitchHysteresis = 1.0;
+  MockRunner R2(2, secondsToNanos(2.5), Overhead);
+  FeedbackController C2(NoQuarantine);
+  const SectionExecutionTrace T2 = C2.executeSection(R2, "S");
+  EXPECT_GT(T2.HysteresisHolds, 0u);
+  for (unsigned V : T2.ChosenVersions)
+    EXPECT_EQ(V, 0u);
+}
+
+TEST(ResilienceTest, AllVersionsQuarantinedDegradesToLastKnownGood) {
+  // Both versions turn catastrophic after 0.5 virtual seconds. Once both
+  // are quarantined the controller pins the last version that completed
+  // production (version 0) instead of aborting, and failed re-probes keep
+  // re-quarantining with doubled backoff.
+  MockRunner R(2, secondsToNanos(1.5), [](unsigned V, Nanos Now) {
+    if (Now < millisToNanos(500))
+      return V == 0 ? 0.1 : 0.2;
+    return V == 0 ? 0.96 : 0.97;
+  });
+  FeedbackConfig Config = smallConfig();
+  Config.QuarantineStrikes = 1;
+  Config.QuarantineOverheadLimit = 0.9;
+  Config.QuarantineBackoffPhases = 3;
+  FeedbackController C(Config);
+  const SectionExecutionTrace T = C.executeSection(R, "S");
+  EXPECT_GE(T.DegradedPhases, 2u);
+  EXPECT_GE(T.Quarantines, 2u);
+  EXPECT_EQ(T.Reprobes, 0u); // Nothing ever recovers in this run.
+  ASSERT_FALSE(T.ChosenVersions.empty());
+  for (unsigned V : T.ChosenVersions)
+    EXPECT_EQ(V, 0u); // Last known-good, never the worse version 1.
+  EXPECT_TRUE(R.done()); // Degraded mode still finishes the work.
+}
+
+TEST(ResilienceTest, SpanningModeDegradesWhenEverythingIsQuarantined) {
+  // Same degraded pin through the spanning-phase state machine: both
+  // versions strike out in the first spanning sampling phase and every
+  // later phase starts with an empty sampling order.
+  MockRunner R(2, millisToNanos(200), [](unsigned V, Nanos) {
+    return V == 0 ? 0.96 : 0.97;
+  });
+  FeedbackConfig Config = smallConfig();
+  Config.SpanSectionExecutions = true;
+  Config.TargetProductionNanos = millisToNanos(100);
+  Config.QuarantineStrikes = 1;
+  Config.QuarantineOverheadLimit = 0.9;
+  Config.QuarantineBackoffPhases = 64;
+  FeedbackController C(Config);
+  const SectionExecutionTrace T = C.executeSection(R, "S");
+  EXPECT_EQ(T.Quarantines, 2u);
+  EXPECT_GE(T.DegradedPhases, 1u);
+  for (unsigned V : T.ChosenVersions)
+    EXPECT_EQ(V, 0u); // No production ever completed: pin the first version.
+  EXPECT_TRUE(R.done());
+}
+
+TEST(ResilienceTest, WatchdogForcesResampleWithoutDriftBaseline) {
+  // A single-version section whose overhead explodes mid-production. Drift
+  // detection is off (threshold 0), so only the watchdog can cut the
+  // production phase short and force a resample.
+  MockRunner R(1, millisToNanos(800), [](unsigned, Nanos Now) {
+    return Now < millisToNanos(500) ? 0.1 : 0.95;
+  });
+  FeedbackConfig Config = smallConfig();
+  Config.TargetProductionNanos = secondsToNanos(5);
+  Config.ProductionSliceNanos = millisToNanos(100);
+  Config.WatchdogBadSlices = 2;
+  Config.WatchdogOverheadLimit = 0.9;
+  FeedbackController C(Config);
+  const SectionExecutionTrace T = C.executeSection(R, "S");
+  EXPECT_GE(T.WatchdogResamples, 1u);
+  EXPECT_GE(T.SamplingPhases, 2u);
+  EXPECT_EQ(T.EarlyResamples, 0u); // Drift never fired; the watchdog did.
+  EXPECT_TRUE(R.done());
+}
+
+TEST(ResilienceTest, WatchdogEscalatesStreakAfterEachFiring) {
+  // When every production interval is bad, each firing doubles the required
+  // streak (bounded): the forced resamples thin out instead of flapping
+  // once per slice pair.
+  MockRunner R(1, millisToNanos(600), [](unsigned, Nanos) { return 0.95; });
+  FeedbackConfig Config = smallConfig();
+  Config.TargetProductionNanos = secondsToNanos(5);
+  Config.ProductionSliceNanos = millisToNanos(100);
+  Config.WatchdogBadSlices = 2;
+  Config.WatchdogOverheadLimit = 0.9;
+  FeedbackController C(Config);
+  const SectionExecutionTrace T = C.executeSection(R, "S");
+  ASSERT_GE(T.WatchdogResamples, 2u);
+  // Every production slice was bad. Without escalation the watchdog would
+  // fire once per WatchdogBadSlices slices; the doubling schedule must keep
+  // it strictly below that rate.
+  const unsigned ProductionIntervals =
+      static_cast<unsigned>(R.IntervalsRun[0]) - T.SampledIntervals;
+  EXPECT_LT(T.WatchdogResamples, ProductionIntervals / 2);
+  EXPECT_TRUE(R.done());
+}
+
 // ---------------------------- Driver ---------------------------------------
 
 /// Backend over MockRunners: each beginSection creates a fresh runner.

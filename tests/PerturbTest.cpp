@@ -14,6 +14,7 @@
 #include "fb/Controller.h"
 #include "ir/Builder.h"
 #include "perturb/Engine.h"
+#include "perturb/Traffic.h"
 #include "sim/SectionSim.h"
 
 #include <cmath>
@@ -133,6 +134,128 @@ TEST(PerturbScheduleTest, ReportsReferencedSections) {
   ASSERT_TRUE(Sched.has_value()) << Error;
   EXPECT_EQ(Sched->referencedSections(),
             (std::vector<std::string>{"A", "B"}));
+}
+
+// --------------------------- Schedule validation --------------------------
+
+TEST(PerturbValidateTest, AcceptsInRangeMonotonicSchedule) {
+  std::string Error;
+  const auto Sched = parseSchedule(
+      "slowdown@0s-1s:factor=2:proc=3,contend@1s-2s:extra=100us", Error);
+  ASSERT_TRUE(Sched.has_value()) << Error;
+  EXPECT_TRUE(validateSchedule(*Sched, 4, Error)) << Error;
+}
+
+TEST(PerturbValidateTest, RejectsProcOutOfRangeWithDiagnostic) {
+  std::string Error;
+  const auto Sched =
+      parseSchedule("slowdown@1s-2s:factor=3:proc=7", Error);
+  ASSERT_TRUE(Sched.has_value()) << Error;
+  EXPECT_FALSE(validateSchedule(*Sched, 4, Error));
+  EXPECT_NE(Error.find("proc=7 out of range for 4 processors"),
+            std::string::npos)
+      << Error;
+  EXPECT_NE(Error.find("valid 0..3"), std::string::npos) << Error;
+  // The same schedule is fine on a machine that has the processor.
+  EXPECT_TRUE(validateSchedule(*Sched, 8, Error)) << Error;
+}
+
+TEST(PerturbValidateTest, RejectsNonMonotonicActivationTimes) {
+  std::string Error;
+  const auto Sched = parseSchedule(
+      "contend@2s-3s:extra=100us,contend@1s-2s:extra=100us", Error);
+  ASSERT_TRUE(Sched.has_value()) << Error;
+  EXPECT_FALSE(validateSchedule(*Sched, 4, Error));
+  EXPECT_NE(Error.find("non-decreasing"), std::string::npos) << Error;
+}
+
+// --------------------------- Traffic compilation --------------------------
+
+TEST(PerturbTrafficTest, ParseRenderRoundTrips) {
+  std::string Error;
+  const auto Spec = parseTraffic(
+      "storm:window=60ms:windows=6:tenants=3:peak=2.5:burst=150us:"
+      "storm=0.4:seed=9:loop=closed",
+      Error);
+  ASSERT_TRUE(Spec.has_value()) << Error;
+  EXPECT_EQ(Spec->Mix, TrafficMix::Storm);
+  EXPECT_EQ(Spec->WindowNanos, millisToNanos(60));
+  EXPECT_EQ(Spec->Windows, 6u);
+  EXPECT_EQ(Spec->Tenants, 3u);
+  EXPECT_DOUBLE_EQ(Spec->PeakFactor, 2.5);
+  EXPECT_EQ(Spec->BurstExtraNanos, 150000);
+  EXPECT_DOUBLE_EQ(Spec->StormProbability, 0.4);
+  EXPECT_EQ(Spec->Seed, 9u);
+  EXPECT_TRUE(Spec->ClosedLoop);
+
+  const std::string Rendered = renderTraffic(*Spec);
+  const auto Again = parseTraffic(Rendered, Error);
+  ASSERT_TRUE(Again.has_value()) << Rendered << ": " << Error;
+  EXPECT_EQ(renderTraffic(*Again), Rendered);
+}
+
+TEST(PerturbTrafficTest, RejectsMalformedSpecsWithDiagnostic) {
+  const char *Bad[] = {
+      "",                      // Empty.
+      "monsoon:windows=4",     // Unknown mix.
+      "steady:windows=",       // Missing value.
+      "diurnal:cadence=2s",    // Unknown option.
+      "storm:storm=nope",      // Unparseable value.
+  };
+  for (const char *Spec : Bad) {
+    std::string Error;
+    EXPECT_FALSE(parseTraffic(Spec, Error).has_value()) << Spec;
+    EXPECT_FALSE(Error.empty()) << Spec;
+  }
+}
+
+TEST(PerturbTrafficTest, CompiledScheduleIsSortedDeterministicAndValid) {
+  std::string Error;
+  const auto Spec =
+      parseTraffic("storm:window=50ms:windows=8:storm=1:seed=5", Error);
+  ASSERT_TRUE(Spec.has_value()) << Error;
+  const unsigned NumShards = 64, NumProcs = 8;
+  const PerturbationSchedule A = compileTraffic(*Spec, NumShards, NumProcs);
+  const PerturbationSchedule B = compileTraffic(*Spec, NumShards, NumProcs);
+  ASSERT_FALSE(A.empty());
+  EXPECT_EQ(renderSchedule(A), renderSchedule(B));
+  EXPECT_TRUE(validateSchedule(A, NumProcs, Error)) << Error;
+  for (size_t I = 1; I < A.Events.size(); ++I)
+    EXPECT_GE(A.Events[I].StartNanos, A.Events[I - 1].StartNanos);
+  for (const FaultEvent &E : A.Events) {
+    if (E.Kind == FaultKind::ContentionBurst && E.ObjLo >= 0) {
+      EXPECT_GE(E.ObjLo, 0);
+      EXPECT_LT(E.ObjHi, static_cast<int64_t>(NumShards));
+    }
+    if (E.Kind == FaultKind::ProcSlowdown && E.Proc >= 0)
+      EXPECT_LT(E.Proc, static_cast<int>(NumProcs));
+  }
+  // storm=1 guarantees every window storms: slowdowns must appear.
+  bool SawSlowdown = false, SawBurst = false;
+  for (const FaultEvent &E : A.Events) {
+    SawSlowdown |= E.Kind == FaultKind::ProcSlowdown;
+    SawBurst |= E.Kind == FaultKind::ContentionBurst;
+  }
+  EXPECT_TRUE(SawSlowdown);
+  EXPECT_TRUE(SawBurst);
+}
+
+TEST(PerturbTrafficTest, ClosedLoopSuppressesIntensityEvents) {
+  std::string Error;
+  const auto Open = parseTraffic("diurnal:window=100ms:peak=3", Error);
+  ASSERT_TRUE(Open.has_value()) << Error;
+  const auto Closed =
+      parseTraffic("diurnal:window=100ms:peak=3:loop=closed", Error);
+  ASSERT_TRUE(Closed.has_value()) << Error;
+
+  const auto CountShifts = [](const PerturbationSchedule &S) {
+    unsigned N = 0;
+    for (const FaultEvent &E : S.Events)
+      N += E.Kind == FaultKind::PhaseShift;
+    return N;
+  };
+  EXPECT_GT(CountShifts(compileTraffic(*Open, 16, 4)), 0u);
+  EXPECT_EQ(CountShifts(compileTraffic(*Closed, 16, 4)), 0u);
 }
 
 // ----------------------------- Engine queries -----------------------------

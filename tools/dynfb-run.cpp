@@ -19,8 +19,13 @@
 // space and exits. Dynamic-mode options: --sampling <seconds>,
 // --production <seconds>, --cutoff, --ordering, --spanning. Robustness
 // options: --repeats N, --aggregate mean|median|trimmed, --hysteresis X,
-// --drift X, --slice S. Fault injection: --perturb "<schedule>" (see
-// docs/ROBUSTNESS.md for the schedule grammar).
+// --drift X, --slice S. Controller resilience (docs/ROBUSTNESS.md):
+// --quarantine N, --quarantine-window N, --quarantine-limit X,
+// --quarantine-backoff N, --watchdog N, --watchdog-limit X. Fault
+// injection: --perturb "<schedule>" (see docs/ROBUSTNESS.md for the
+// schedule grammar; schedules are validated against the processor count
+// before the run). Streaming traffic: --traffic "<spec>" compiles a
+// serving-traffic stream (see perturb/Traffic.h) into the same machinery.
 //
 // Observability (default-off; see docs/OBSERVABILITY.md): --trace-out FILE
 // writes the run's JSONL adaptation trace (decision log + section + lock
@@ -40,6 +45,7 @@
 #include "exp/PaperGrids.h"
 #include "obs/Metrics.h"
 #include "perturb/Engine.h"
+#include "perturb/Traffic.h"
 #include "rt/MachineModel.h"
 #include "rt/NativeSection.h"
 #include "support/BuildInfo.h"
@@ -48,6 +54,7 @@
 #include "support/TablePrinter.h"
 #include "xform/CodeSize.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <limits>
 
@@ -58,14 +65,17 @@ namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: dynfb-run --app <barnes_hut|water|string> "
+               "usage: dynfb-run --app <barnes_hut|water|string|kvserve> "
                "[--procs N] [--policy serial|original|bounded|aggressive|"
                "dynamic] [--scale F] [--dimensions sync[,sched]] "
                "[--chunks K1,K2,...] [--list-versions] [--sampling S] "
                "[--production S] [--cutoff] [--ordering] [--spanning] "
                "[--sweep] [--repeats N] [--aggregate mean|median|trimmed] "
                "[--hysteresis X] [--drift X] [--slice S] "
-               "[--perturb SCHEDULE] [--machine NAME] "
+               "[--quarantine N] [--quarantine-window N] "
+               "[--quarantine-limit X] [--quarantine-backoff N] "
+               "[--watchdog N] [--watchdog-limit X] "
+               "[--perturb SCHEDULE] [--traffic SPEC] [--machine NAME] "
                "[--cost Field=nanos[,Field=nanos]] [--trace-out FILE] "
                "[--chrome-out FILE] [--metrics-out FILE]\n");
   return 1;
@@ -114,9 +124,11 @@ int main(int Argc, char **Argv) {
           {"app", "procs", "policy", "scale", "dimensions", "chunks",
            "list-versions", "sampling", "production", "cutoff", "ordering",
            "spanning", "sweep", "repeats", "aggregate", "hysteresis",
-           "drift", "slice", "perturb", "machine", "cost", "trace-out",
-           "chrome-out", "metrics-out", "backend", "timescale", "trace",
-           "version"},
+           "drift", "slice", "quarantine", "quarantine-window",
+           "quarantine-limit", "quarantine-backoff", "watchdog",
+           "watchdog-limit", "perturb", "traffic", "machine", "cost",
+           "trace-out", "chrome-out", "metrics-out", "backend", "timescale",
+           "trace", "version"},
           "no arguments"))
     return 2;
   const std::string AppName = CL.getString("app", "");
@@ -142,7 +154,7 @@ int main(int Argc, char **Argv) {
       createApp(AppName, CL.getDouble("scale", 1.0), Space);
   if (!TheApp)
     return fail("unknown application '" + AppName +
-                "' (expected barnes_hut, water or string)");
+                "' (expected barnes_hut, water, string or kvserve)");
 
   // Machine model selection (--machine) and per-field cost overrides
   // (--cost). The default is the flat DASH-like machine of every paper
@@ -229,9 +241,57 @@ int main(int Argc, char **Argv) {
     return fail("--slice must be a non-negative number of seconds");
   Config.ProductionSliceNanos = rt::secondsToNanos(SliceSeconds);
 
-  // Fault-injection schedule (see docs/ROBUSTNESS.md for the grammar).
+  // Controller resilience knobs (docs/ROBUSTNESS.md; defaults off).
+  const int64_t Quarantine = CL.getInt("quarantine", 0);
+  if (Quarantine < 0)
+    return fail("--quarantine must be a non-negative strike count "
+                "(0 disables)");
+  Config.QuarantineStrikes = static_cast<unsigned>(Quarantine);
+  const int64_t QuarantineWindow = CL.getInt("quarantine-window", 8);
+  if (QuarantineWindow < 1)
+    return fail("--quarantine-window must be at least 1 sampling phase");
+  Config.QuarantineWindowPhases = static_cast<unsigned>(QuarantineWindow);
+  Config.QuarantineOverheadLimit = CL.getDouble("quarantine-limit", 1.0);
+  if (Config.QuarantineOverheadLimit <= 0.0 ||
+      Config.QuarantineOverheadLimit > 1.0)
+    return fail("--quarantine-limit must be an overhead in (0, 1]");
+  const int64_t QuarantineBackoff = CL.getInt("quarantine-backoff", 4);
+  if (QuarantineBackoff < 1)
+    return fail("--quarantine-backoff must be at least 1 sampling phase");
+  Config.QuarantineBackoffPhases = static_cast<unsigned>(QuarantineBackoff);
+  Config.QuarantineBackoffMaxPhases = std::max(
+      Config.QuarantineBackoffMaxPhases, Config.QuarantineBackoffPhases);
+  const int64_t Watchdog = CL.getInt("watchdog", 0);
+  if (Watchdog < 0)
+    return fail("--watchdog must be a non-negative production-interval "
+                "count (0 disables)");
+  Config.WatchdogBadSlices = static_cast<unsigned>(Watchdog);
+  Config.WatchdogOverheadLimit = CL.getDouble("watchdog-limit", 0.9);
+  if (Config.WatchdogOverheadLimit <= 0.0 ||
+      Config.WatchdogOverheadLimit > 1.0)
+    return fail("--watchdog-limit must be an overhead in (0, 1]");
+
+  // Perturbation schedules are validated against the processor count the
+  // run will actually use: --procs for a single run, the largest paper
+  // processor count for --sweep.
+  const int64_t ProcsArg = CL.getInt("procs", 8);
+  if (ProcsArg < 1 || ProcsArg > 1024)
+    return fail("--procs must be between 1 and 1024");
+  const unsigned Procs = static_cast<unsigned>(ProcsArg);
+  const unsigned ValidationProcs =
+      CL.getBool("sweep", false)
+          ? *std::max_element(PaperProcCounts.begin(), PaperProcCounts.end())
+          : Procs;
+
+  // Fault-injection schedule (see docs/ROBUSTNESS.md for the grammar) or
+  // compiled serving traffic (see perturb/Traffic.h); both feed the same
+  // perturbation engine.
   std::unique_ptr<perturb::PerturbationEngine> Perturb;
   const std::string PerturbSpec = CL.getString("perturb", "");
+  const std::string TrafficSpec = CL.getString("traffic", "");
+  if (!PerturbSpec.empty() && !TrafficSpec.empty())
+    return fail("--perturb and --traffic are mutually exclusive (compiled "
+                "traffic already is a perturbation schedule)");
   if (!PerturbSpec.empty()) {
     std::string Error;
     std::optional<perturb::PerturbationSchedule> Schedule =
@@ -242,10 +302,35 @@ int main(int Argc, char **Argv) {
       if (!TheApp->program().find(Section))
         return fail("--perturb references unknown section '" + Section +
                     "' of application '" + AppName + "'");
+    if (!perturb::validateSchedule(*Schedule, ValidationProcs, Error))
+      return fail("invalid --perturb schedule: " + Error);
     Perturb =
         std::make_unique<perturb::PerturbationEngine>(std::move(*Schedule));
     std::printf("perturbation: %s\n",
                 perturb::renderSchedule(Perturb->schedule()).c_str());
+  } else if (!TrafficSpec.empty()) {
+    std::string Error;
+    const std::optional<perturb::TrafficSpec> Traffic =
+        perturb::parseTraffic(TrafficSpec, Error);
+    if (!Traffic)
+      return fail("malformed --traffic spec: " + Error);
+    // The traffic's shard locks are the lock objects of the app's first
+    // parallel section (kvserve: the store shards).
+    const auto &Sections = TheApp->program().Sections;
+    const unsigned NumShards =
+        Sections.empty() ? 0
+                         : TheApp->binding(Sections.front().Name)
+                               .objectCount();
+    perturb::PerturbationSchedule Schedule =
+        perturb::compileTraffic(*Traffic, NumShards, ValidationProcs);
+    if (!perturb::validateSchedule(Schedule, ValidationProcs, Error))
+      return fail("internal error: compiled traffic schedule invalid: " +
+                  Error);
+    std::printf("traffic: %s -> %u events over %u shard locks\n",
+                perturb::renderTraffic(*Traffic).c_str(),
+                static_cast<unsigned>(Schedule.Events.size()), NumShards);
+    Perturb =
+        std::make_unique<perturb::PerturbationEngine>(std::move(Schedule));
   }
 
   // Observability exports, all default-off so a plain run's output stays
@@ -293,10 +378,6 @@ int main(int Argc, char **Argv) {
     return 0;
   }
 
-  const int64_t ProcsArg = CL.getInt("procs", 8);
-  if (ProcsArg < 1 || ProcsArg > 1024)
-    return fail("--procs must be between 1 and 1024");
-  const unsigned Procs = static_cast<unsigned>(ProcsArg);
   const std::string PolicyName = CL.getString("policy", "dynamic");
 
   if (CL.getString("backend", "sim") == "native") {
@@ -389,6 +470,12 @@ int main(int Argc, char **Argv) {
                     "%u early resamples, %u hysteresis holds\n",
                     T.DegenerateIntervals, T.EarlyResamples,
                     T.HysteresisHolds);
+      if (T.Quarantines || T.Reprobes || T.WatchdogResamples ||
+          T.DegradedPhases)
+        std::printf("    resilience: %u quarantines, %u re-probes, "
+                    "%u watchdog resamples, %u degraded phases\n",
+                    T.Quarantines, T.Reprobes, T.WatchdogResamples,
+                    T.DegradedPhases);
     }
   }
 
