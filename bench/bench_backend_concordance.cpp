@@ -1,0 +1,24 @@
+//===- bench/bench_backend_concordance.cpp ----------------------------------=//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+// Extension experiment (not in the paper): the cross-backend validation of
+// the simulator. Per application, every fixed synchronization policy plus
+// dynamic feedback runs on both the virtual-time simulator and the native
+// thread-team backend (real host threads, busy-wait compute); the gate
+// checks that the fixed-policy ordering agrees on every pair that is
+// significant on both backends and that dynamic feedback tracks the best
+// fixed policy on each. The machine axis is deliberately absent: native
+// runs ignore MachineModel pricing, so every job is pinned to dash-flat.
+// The experiment definition lives in the src/exp registry; this binary
+// runs it in-process and renders the report.
+//
+//   bench_backend_concordance [--scale F] [--procs N]
+//
+//===----------------------------------------------------------------------===//
+
+#include "exp/BenchMain.h"
+
+int main(int Argc, char **Argv) {
+  return dynfb::exp::runBenchMain("backend_concordance", Argc, Argv);
+}

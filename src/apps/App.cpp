@@ -13,6 +13,32 @@ using namespace dynfb;
 using namespace dynfb::apps;
 using namespace dynfb::xform;
 
+rt::SectionRegistry App::makeSectionRegistry(const VersionSpec &Spec) const {
+  rt::SectionRegistry Registry;
+  for (const VersionedSection &VS : Program.Sections) {
+    rt::SectionDesc Desc;
+    Desc.Name = VS.Name;
+    Desc.Binding = &binding(VS.Name);
+    switch (Spec.F) {
+    case Flavour::Serial:
+      Desc.Versions.push_back(rt::IrVersion{"Serial", VS.SerialEntry, {}});
+      break;
+    case Flavour::Fixed: {
+      const SectionVersion &V = VS.versionFor(Spec.Fixed);
+      Desc.Versions.push_back(
+          rt::IrVersion{Spec.Fixed.name(), V.Entry, Spec.Fixed.Sched});
+      break;
+    }
+    case Flavour::Dynamic:
+      for (const SectionVersion &V : VS.Versions)
+        Desc.Versions.push_back(rt::IrVersion{V.label(), V.Entry, V.Sched});
+      break;
+    }
+    Registry.addSection(std::move(Desc));
+  }
+  return Registry;
+}
+
 std::unique_ptr<sim::SimBackend>
 App::makeSimBackend(unsigned Procs, const rt::MachineModel &Model,
                     const VersionSpec &Spec) const {
@@ -20,27 +46,15 @@ App::makeSimBackend(unsigned Procs, const rt::MachineModel &Model,
   // static flavours do not (paper Section 6).
   const bool Instrumented = Spec.F == Flavour::Dynamic;
   auto Backend = std::make_unique<sim::SimBackend>(Procs, Model, Instrumented);
-
-  for (const VersionedSection &VS : Program.Sections) {
-    std::vector<sim::SimVersion> Versions;
-    switch (Spec.F) {
-    case Flavour::Serial:
-      Versions.push_back(sim::SimVersion{"Serial", VS.SerialEntry, {}});
-      break;
-    case Flavour::Fixed: {
-      const SectionVersion &V = VS.versionFor(Spec.Fixed);
-      Versions.push_back(
-          sim::SimVersion{Spec.Fixed.name(), V.Entry, Spec.Fixed.Sched});
-      break;
-    }
-    case Flavour::Dynamic:
-      for (const SectionVersion &V : VS.Versions)
-        Versions.push_back(sim::SimVersion{V.label(), V.Entry, V.Sched});
-      break;
-    }
-    Backend->addSection(VS.Name, &binding(VS.Name), std::move(Versions));
-  }
+  Backend->addSections(makeSectionRegistry(Spec));
   return Backend;
+}
+
+std::unique_ptr<rt::NativeBackend>
+App::makeNativeBackend(unsigned Procs, const VersionSpec &Spec,
+                       rt::NativeBackend::Options Opts) const {
+  return std::make_unique<rt::NativeBackend>(Procs, makeSectionRegistry(Spec),
+                                             Opts);
 }
 
 SectionStats App::sectionStats(const std::string &Section,

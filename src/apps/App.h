@@ -23,6 +23,8 @@
 #include "rt/Binding.h"
 #include "rt/CostModel.h"
 #include "rt/MachineModel.h"
+#include "rt/NativeBackend.h"
+#include "rt/SectionRegistry.h"
 #include "sim/Backend.h"
 #include "xform/MultiVersion.h"
 
@@ -85,11 +87,28 @@ public:
   /// The data binding of the named section.
   virtual const rt::DataBinding &binding(const std::string &Section) const = 0;
 
+  /// The backend-agnostic section table for one executable described by
+  /// \p Spec: every backend (simulator or native threads) is constructed
+  /// from this single description. Bindings and IR are owned by the app and
+  /// must outlive the backend.
+  rt::SectionRegistry makeSectionRegistry(const VersionSpec &Spec) const;
+
   /// Builds a simulator backend for one executable described by \p Spec,
   /// on the machine \p Model describes (cloned into the backend).
   std::unique_ptr<sim::SimBackend>
   makeSimBackend(unsigned Procs, const rt::MachineModel &Model,
                  const VersionSpec &Spec) const;
+
+  /// Builds a native-threads backend for the same executable. Native runs
+  /// ignore MachineModel pricing (the hardware sets the prices); \p Opts
+  /// carries the virtual-to-real time scale.
+  std::unique_ptr<rt::NativeBackend>
+  makeNativeBackend(unsigned Procs, const VersionSpec &Spec,
+                    rt::NativeBackend::Options Opts) const;
+  std::unique_ptr<rt::NativeBackend>
+  makeNativeBackend(unsigned Procs, const VersionSpec &Spec) const {
+    return makeNativeBackend(Procs, Spec, rt::NativeBackend::Options());
+  }
 
   /// Flat-machine compatibility path: wraps \p Costs in the constant-cost
   /// model.

@@ -15,9 +15,18 @@ fb::RunResult apps::runApp(const App &App, unsigned Procs,
                            const fb::FeedbackConfig &Config,
                            fb::PolicyHistory *History,
                            const perturb::PerturbationEngine *Perturb,
-                           RunObservation *Obs) {
-  auto Backend = App.makeSimBackend(Procs, Model, Spec);
-  Backend->machine().setPerturbation(Perturb);
+                           RunObservation *Obs, const BackendOptions &BO) {
+  // The single backend-blind execution path: everything below this line is
+  // identical for the simulator and for real threads.
+  std::unique_ptr<rt::ExecutionBackend> Backend;
+  if (BO.Kind == rt::BackendKind::Native) {
+    rt::NativeBackend::Options NO;
+    NO.TimeScale = BO.TimeScale;
+    Backend = App.makeNativeBackend(Procs, Spec, NO);
+  } else {
+    Backend = App.makeSimBackend(Procs, Model, Spec);
+  }
+  Backend->setPerturbation(Perturb);
   if (Obs && Obs->CollectSectionTraces)
     Backend->setCollectSectionTraces(true);
   fb::RunOptions Options;
@@ -60,12 +69,14 @@ double apps::runAppSeconds(const App &App, unsigned Procs,
 obs::RunTrace apps::buildRunTrace(const std::string &AppName, unsigned Procs,
                                   const std::string &Policy,
                                   const fb::RunResult &Result,
-                                  const RunObservation *Obs) {
+                                  const RunObservation *Obs,
+                                  rt::BackendKind Backend) {
   obs::RunTrace Trace;
   Trace.Meta.App = AppName;
   Trace.Meta.Policy = Policy;
   Trace.Meta.Procs = Procs;
   Trace.Meta.TotalNanos = Result.TotalNanos;
+  Trace.Meta.Backend = rt::backendKindName(Backend);
 
   if (Obs)
     Trace.Decisions = Obs->Log.events();

@@ -48,17 +48,38 @@ struct RunObservation {
   std::map<std::string, sim::IntervalTrace> SectionTraces;
 };
 
-/// Runs the executable described by \p Spec of \p App on a fresh simulated
-/// machine built from \p Model. \p Perturb, when non-null, injects the
+/// Which execution substrate runApp builds, plus its native-only knobs.
+/// Defaults reproduce the seed behaviour: the simulator.
+struct BackendOptions {
+  rt::BackendKind Kind = rt::BackendKind::Sim;
+  /// Virtual-to-real compute scale for native runs (ignored on the sim).
+  double TimeScale = 0.0005;
+
+  static BackendOptions sim() { return BackendOptions{}; }
+  static BackendOptions native(double TimeScale = 0.0005) {
+    BackendOptions BO;
+    BO.Kind = rt::BackendKind::Native;
+    BO.TimeScale = TimeScale;
+    return BO;
+  }
+};
+
+/// Runs the executable described by \p Spec of \p App on a fresh backend:
+/// by default a simulated machine built from \p Model, or -- with
+/// \p Backend native -- a real thread team (which ignores \p Model: the
+/// hardware sets the prices). \p Perturb, when non-null, injects the
 /// engine's fault schedule into the simulated machine for the duration of
-/// the run (null: pristine machine). \p Obs, when non-null, collects the
-/// run's decision log and (optionally) per-section simulator traces.
+/// the run (null: pristine machine; native backends ignore it -- reject
+/// perturbed native runs before getting here). \p Obs, when non-null,
+/// collects the run's decision log and (optionally) per-section interval
+/// traces; both work identically on either backend.
 fb::RunResult runApp(const App &App, unsigned Procs, const VersionSpec &Spec,
                      const rt::MachineModel &Model,
                      const fb::FeedbackConfig &Config = {},
                      fb::PolicyHistory *History = nullptr,
                      const perturb::PerturbationEngine *Perturb = nullptr,
-                     RunObservation *Obs = nullptr);
+                     RunObservation *Obs = nullptr,
+                     const BackendOptions &Backend = {});
 
 /// Flat-machine path: wraps \p Costs in the constant-cost model (the seed
 /// behaviour, bit for bit).
@@ -76,7 +97,8 @@ fb::RunResult runApp(const App &App, unsigned Procs, const VersionSpec &Spec,
 obs::RunTrace buildRunTrace(const std::string &AppName, unsigned Procs,
                             const std::string &Policy,
                             const fb::RunResult &Result,
-                            const RunObservation *Obs = nullptr);
+                            const RunObservation *Obs = nullptr,
+                            rt::BackendKind Backend = rt::BackendKind::Sim);
 
 /// Convenience: end-to-end execution time in seconds.
 double runAppSeconds(const App &App, unsigned Procs, const VersionSpec &Spec,

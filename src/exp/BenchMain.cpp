@@ -33,11 +33,32 @@ int exp::runBenchMain(const std::string &ExperimentName, int Argc,
   Opts.Seed = static_cast<uint64_t>(CL.getInt("seed", 0));
   Opts.Chunks = CL.getString("chunks", "");
   Opts.Machine = CL.getString("machine", "");
+  const std::string Backend = CL.getString("backend", "");
+  Opts.Backend = Backend == "sim" ? "" : Backend;
   if (!rejectUnknownFlags(CL, ExperimentName,
-                          {"scale", "procs", "seed", "chunks", "machine"},
+                          {"scale", "procs", "seed", "chunks", "machine",
+                           "backend"},
                           "--scale F [--procs N] [--seed S] [--chunks K1,K2] "
-                          "[--machine NAME]"))
+                          "[--machine NAME] [--backend sim|native]"))
     return 2;
+  if (!Backend.empty() && Backend != "sim" && Backend != "native") {
+    std::fprintf(stderr, "%s: unknown backend '%s' (known: sim, native)\n",
+                 ExperimentName.c_str(), Backend.c_str());
+    return 2;
+  }
+  if (Opts.wantsNativeBackend() && !E->SupportsNativeBackend) {
+    std::fprintf(stderr,
+                 "%s: this experiment is sim-only (its grid sweeps "
+                 "simulator-priced dimensions); drop --backend native\n",
+                 ExperimentName.c_str());
+    return 2;
+  }
+  if (Opts.wantsNativeBackend() && !Opts.Machine.empty())
+    std::fprintf(stderr,
+                 "%s: note: the native backend runs on real hardware and "
+                 "ignores MachineModel pricing; --machine %s has no effect "
+                 "on native jobs\n",
+                 ExperimentName.c_str(), Opts.Machine.c_str());
   if (!Opts.Machine.empty() && !rt::createMachineModel(Opts.Machine)) {
     const std::string Near =
         closestMatch(Opts.Machine, rt::machineModelNames());

@@ -32,7 +32,16 @@ namespace dynfb::exp {
 /// v2: job configs carry the machine model ("machine") and its full
 /// parameter set ("machine_params"); result files carry the invocation's
 /// machine in the header.
-inline constexpr int64_t ResultSchemaVersion = 2;
+/// v3: the execution backend joins the axis set. Native-backend job configs
+/// carry "backend" (and its "timescale"); sim configs stay unchanged, so v2
+/// files -- and the checked-in sim baselines -- remain readable and their
+/// job keys remain comparable. Result files carry the invocation's backend
+/// in the header.
+inline constexpr int64_t ResultSchemaVersion = 3;
+
+/// Result-file schema versions parseResultFile accepts: v2 files differ
+/// from v3 only by fields v3 made explicit, with compatible defaults.
+inline constexpr int64_t MinResultSchemaVersion = 2;
 
 /// One job's parameter assignment: ordered string key/value pairs. Values
 /// are strings so a config round-trips losslessly through JSON and the
@@ -112,6 +121,15 @@ struct RunOptions {
   /// cache. Experiments that sweep machines themselves (machine_sensitivity)
   /// ignore it.
   std::string Machine;
+  /// Execution backend jobs run on ("" or "sim" = the simulator). Native
+  /// jobs get "backend" stamped into their configs (sim configs carry no
+  /// backend key, keeping their cache keys and the checked-in baselines
+  /// stable). Experiments that sweep the backend themselves
+  /// (backend_concordance) ignore it.
+  std::string Backend;
+
+  /// Whether this invocation asks for the native-threads backend.
+  bool wantsNativeBackend() const { return Backend == "native"; }
 };
 
 /// A registered experiment: a named parameter grid plus the job runner and
@@ -127,6 +145,10 @@ public:
   /// The metric names jobs may emit -- part of the schema hash, so renaming
   /// a metric invalidates cached results.
   std::vector<std::string> MetricNames;
+  /// Whether MakeJobs honors RunOptions::Backend = "native". Experiments
+  /// whose grids are sim-only (perturbation, serving, machine sweeps) leave
+  /// this false and are skipped/rejected under --backend native.
+  bool SupportsNativeBackend = false;
 
   /// Expands the parameter grid into jobs, deterministically ordered.
   /// Everything that affects a job's result is baked into its config --

@@ -26,6 +26,7 @@
 #include "support/StringUtils.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 using namespace dynfb;
@@ -58,23 +59,89 @@ void printTable(const Table &T) {
   std::fputs("\n", stdout);
 }
 
+/// Default virtual-to-real compute scale of native-backend jobs. Much
+/// larger than dynfb-run's interactive 0.0005 default on purpose: a real
+/// acquire/release pair costs ~300-400 ns on a contended cache line
+/// (including the acquire path's two clock reads) where the simulator
+/// prices ~4.5 virtual us, so at 0.08 a virtual nanosecond of compute and
+/// a lock operation shrink by roughly the same factor and the native
+/// compute-to-locking ratio tracks the simulated one -- the property the
+/// backend_concordance gate measures. Smaller values make native runs
+/// lock-dominated and invert policy orderings the simulator prices by
+/// serialization instead.
+constexpr double NativeJobTimeScale = 0.08;
+
+/// Wall-clock repeats per native job; the reported metric is the median
+/// (real time is noisy where virtual time is exact).
+constexpr unsigned NativeJobRepeats = 3;
+
 /// Base config every job carries: the identity axes of the grid, including
 /// the machine model and its full parameter set (satellite of the machine
 /// refactor: results on different machines -- or the same machine with
 /// tweaked parameters -- never collide in the cache or a result file).
+/// Native-backend jobs additionally carry the backend and its timescale --
+/// and pin the machine to dash-flat, because a real thread team ignores
+/// MachineModel pricing and a native result must never claim a machine it
+/// did not price. Sim configs carry no backend key, so their cache keys and
+/// the checked-in baselines are byte-identical to schema v2.
 JobConfig baseConfig(const std::string &App, const RunOptions &Opts) {
   JobConfig C;
   C.set("app", App);
   C.setDouble("scale", Opts.Scale);
   C.setInt("seed", static_cast<int64_t>(Opts.Seed));
+  const bool Native = Opts.wantsNativeBackend();
   const std::string Machine =
-      Opts.Machine.empty() ? "dash-flat" : Opts.Machine;
+      Native || Opts.Machine.empty() ? "dash-flat" : Opts.Machine;
   C.set("machine", Machine);
   if (const std::unique_ptr<rt::MachineModel> M =
           rt::createMachineModel(Machine))
     C.set("machine_params", M->paramsString());
   // Unknown machine names reach RunJob and fail there, with a diagnostic.
+  if (Native) {
+    C.set("backend", "native");
+    C.setDouble("timescale", NativeJobTimeScale);
+  }
   return C;
+}
+
+bool configIsNative(const JobConfig &Config) {
+  return Config.getString("backend", "sim") == "native";
+}
+
+/// Feedback budgets for native runs: real milliseconds, not the
+/// simulator's virtual-seconds defaults (a native section executes in
+/// milliseconds of wall clock; the sim default's 100 virtual seconds of
+/// production would never resample). Sampling spans section executions
+/// for the same reason the version-space experiment's does: native
+/// occurrences last tens of milliseconds, and re-sampling every one would
+/// drown the production phases the paper's guarantee relies on.
+fb::FeedbackConfig nativeFeedbackConfig() {
+  fb::FeedbackConfig Config;
+  Config.TargetSamplingNanos = rt::millisToNanos(1);
+  Config.TargetProductionNanos = rt::millisToNanos(50);
+  Config.SpanSectionExecutions = true;
+  return Config;
+}
+
+/// One native-backend execution of \p Spec; wall-clock seconds.
+fb::RunResult runNativeOnce(const App &TheApp, unsigned Procs,
+                            const VersionSpec &Spec,
+                            const rt::MachineModel &Model,
+                            double TimeScale) {
+  return runApp(TheApp, Procs, Spec, Model, nativeFeedbackConfig(), nullptr,
+                nullptr, nullptr, BackendOptions::native(TimeScale));
+}
+
+/// Median wall-clock seconds of NativeJobRepeats native runs of \p Spec.
+double nativeMedianSeconds(const App &TheApp, unsigned Procs,
+                           const VersionSpec &Spec,
+                           const rt::MachineModel &Model, double TimeScale) {
+  std::vector<double> Samples;
+  for (unsigned R = 0; R < NativeJobRepeats; ++R)
+    Samples.push_back(rt::nanosToSeconds(
+        runNativeOnce(TheApp, Procs, Spec, Model, TimeScale).TotalNanos));
+  std::sort(Samples.begin(), Samples.end());
+  return Samples[Samples.size() / 2];
 }
 
 /// Builds the machine model a job config names, with its stamped parameter
@@ -172,7 +239,12 @@ JobResult runTimingGridJob(const JobConfig &Config) {
     return jobError(Error);
 
   JobResult R;
-  R.add("seconds", runAppSeconds(*TheApp, Procs, Spec, *Model));
+  R.add("seconds",
+        configIsNative(Config)
+            ? nativeMedianSeconds(
+                  *TheApp, Procs, Spec, *Model,
+                  Config.getDouble("timescale", NativeJobTimeScale))
+            : runAppSeconds(*TheApp, Procs, Spec, *Model));
   return R;
 }
 
@@ -202,6 +274,7 @@ Experiment makeTable2BarnesHut() {
   E.Description =
       "Table 2 execution times + Figure 4 speedups for Barnes-Hut";
   E.MetricNames = {"seconds"};
+  E.SupportsNativeBackend = true;
   E.MakeJobs = [](const RunOptions &Opts) {
     return makeTimingGridJobs("barnes_hut", Opts);
   };
@@ -233,6 +306,7 @@ Experiment makeTable7Water() {
   E.Suite = "paper";
   E.Description = "Table 7 execution times + Figure 6 speedups for Water";
   E.MetricNames = {"seconds"};
+  E.SupportsNativeBackend = true;
   E.MakeJobs = [](const RunOptions &Opts) {
     return makeTimingGridJobs("water", Opts);
   };
@@ -286,16 +360,21 @@ JobResult runLockingJob(const JobConfig &Config) {
       machineFromConfig(Config, Error);
   if (!Model)
     return jobError(Error);
-  fb::RunResult R;
+  VersionSpec Spec;
   if (Config.getString("flavour") == "dynamic") {
-    R = runApp(*TheApp, Procs, VersionSpec::dynamicFeedback(), *Model);
+    Spec = VersionSpec::dynamicFeedback();
   } else {
     const std::optional<PolicyKind> P =
         parsePolicyName(Config.getString("policy"));
     if (!P)
       return jobError("unknown policy '" + Config.getString("policy") + "'");
-    R = runApp(*TheApp, Procs, VersionSpec::fixed(*P), *Model);
+    Spec = VersionSpec::fixed(*P);
   }
+  const fb::RunResult R =
+      configIsNative(Config)
+          ? runNativeOnce(*TheApp, Procs, Spec, *Model,
+                          Config.getDouble("timescale", NativeJobTimeScale))
+          : runApp(*TheApp, Procs, Spec, *Model);
   JobResult Out;
   Out.add("pairs", static_cast<double>(R.ParallelStats.AcquireReleasePairs));
   Out.add("lock_seconds", rt::nanosToSeconds(R.ParallelStats.LockOpNanos));
@@ -316,6 +395,7 @@ Experiment makeTable3BhLocking() {
   E.Suite = "paper";
   E.Description = "Table 3 locking overhead for Barnes-Hut";
   E.MetricNames = {"pairs", "lock_seconds"};
+  E.SupportsNativeBackend = true;
   E.MakeJobs = [](const RunOptions &Opts) {
     std::vector<JobConfig> Jobs;
     for (PolicyKind P : AllPolicies)
@@ -348,6 +428,7 @@ Experiment makeTable8WaterLocking() {
   E.Suite = "paper";
   E.Description = "Table 8 locking overhead for Water";
   E.MetricNames = {"pairs", "lock_seconds"};
+  E.SupportsNativeBackend = true;
   E.MakeJobs = [](const RunOptions &Opts) {
     std::vector<JobConfig> Jobs;
     for (PolicyKind P : AllPolicies)
@@ -1147,6 +1228,156 @@ Experiment makeServing() {
   return E;
 }
 
+//===----------------------------------------------------------------------===//
+// Backend concordance (extension experiment)
+//===----------------------------------------------------------------------===//
+
+/// The apps the concordance grid measures (every app makeGridApp builds).
+const char *const ConcordanceApps[] = {"water", "barnes_hut", "string"};
+
+/// A fixed-policy pair only gates concordance when the two policies differ
+/// by more than this relative band on BOTH backends: near-ties carry no
+/// ordering information, and real wall clock is noisy where virtual time
+/// is exact.
+constexpr double ConcordanceTieBand = 0.10;
+
+/// Dynamic feedback must finish within these factors of the best fixed
+/// policy. The sim bound matches the paper-table experience; the native
+/// bound is looser because sampling costs real milliseconds against runs
+/// that are themselves only tens of milliseconds long.
+constexpr double ConcordanceSimDynamicBound = 1.15;
+constexpr double ConcordanceNativeDynamicBound = 1.60;
+
+/// The tentpole's cross-backend validation: the simulator earns its keep
+/// only if the policy tradeoffs it prices match what real threads observe.
+/// Per app, the grid measures every fixed policy plus dynamic feedback on
+/// both backends; the renderer checks that the fixed-policy ordering agrees
+/// on every pair that is significant on both backends (a Kendall-tau-style
+/// pairwise test with a tie band) and that dynamic feedback tracks the best
+/// fixed policy on both. The machine axis is deliberately absent: the
+/// native backend runs on real hardware and ignores MachineModel pricing,
+/// so every job -- sim and native -- is pinned to dash-flat.
+Experiment makeBackendConcordance() {
+  Experiment E;
+  E.Name = "backend_concordance";
+  E.Suite = "extension";
+  E.Description =
+      "sim vs native threads: fixed-policy ordering agreement per app";
+  E.DefaultScale = 0.125;
+  E.MetricNames = {"seconds"};
+  E.SupportsNativeBackend = true;
+  E.MakeJobs = [](const RunOptions &Opts) {
+    // The backend is this experiment's swept dimension; Opts.Backend is
+    // deliberately ignored, as is Opts.Machine (see above).
+    const unsigned Procs = Opts.Procs ? Opts.Procs : 2;
+    std::vector<JobConfig> Jobs;
+    for (const char *App : ConcordanceApps) {
+      for (const char *Backend : {"", "native"}) {
+        RunOptions Cell = Opts;
+        Cell.Machine = "";
+        Cell.Backend = Backend;
+        for (PolicyKind P : AllPolicies) {
+          JobConfig C = baseConfig(App, Cell);
+          C.set("flavour", "fixed");
+          C.set("policy", policyName(P));
+          C.setInt("procs", Procs);
+          Jobs.push_back(std::move(C));
+        }
+        JobConfig C = baseConfig(App, Cell);
+        C.set("flavour", "dynamic");
+        C.setInt("procs", Procs);
+        Jobs.push_back(std::move(C));
+      }
+    }
+    return Jobs;
+  };
+  E.RunJob = runTimingGridJob;
+  E.Render = [](const RunOptions &Opts,
+                const std::vector<JobResult> &Results) {
+    const unsigned Procs = Opts.Procs ? Opts.Procs : 2;
+    std::printf("== Backend concordance: %zu apps x {sim, native} x %zu "
+                "fixed policies + dynamic, %u processors ==\n",
+                std::size(ConcordanceApps), std::size(AllPolicies), Procs);
+    std::printf("machine sweep skipped: the native backend runs on real "
+                "hardware and ignores MachineModel pricing, so every job "
+                "(sim and native) is pinned to dash-flat\n\n");
+
+    constexpr size_t NumPolicies = std::size(AllPolicies);
+    bool AllOk = true;
+    unsigned Concordant = 0, Gated = 0, Ties = 0;
+    size_t I = 0;
+    for (const char *App : ConcordanceApps) {
+      double Fixed[2][NumPolicies];
+      double Dyn[2];
+      for (unsigned B = 0; B < 2; ++B) {
+        for (size_t P = 0; P < NumPolicies; ++P)
+          Fixed[B][P] = Results[I++].metric("seconds");
+        Dyn[B] = Results[I++].metric("seconds");
+      }
+
+      Table T(format("%s (seconds; sim virtual, native median-of-%u wall "
+                     "clock)",
+                     App, NativeJobRepeats));
+      T.setHeader({"Version", "Sim", "Native"});
+      for (size_t P = 0; P < NumPolicies; ++P)
+        T.addRow({policyName(AllPolicies[P]), formatDouble(Fixed[0][P], 3),
+                  formatDouble(Fixed[1][P], 4)});
+      T.addRow({"Dynamic", formatDouble(Dyn[0], 3),
+                formatDouble(Dyn[1], 4)});
+      printTable(T);
+
+      // Pairwise ordering agreement over the significant pairs.
+      for (size_t A = 0; A < NumPolicies; ++A)
+        for (size_t B = A + 1; B < NumPolicies; ++B) {
+          const auto Significant = [&](const double *Row) {
+            const double Lo = std::min(Row[A], Row[B]);
+            return Lo > 0 && (std::abs(Row[A] - Row[B]) / Lo) >
+                                 ConcordanceTieBand;
+          };
+          if (!Significant(Fixed[0]) || !Significant(Fixed[1])) {
+            ++Ties;
+            continue;
+          }
+          ++Gated;
+          const bool Agrees =
+              (Fixed[0][A] < Fixed[0][B]) == (Fixed[1][A] < Fixed[1][B]);
+          Concordant += Agrees;
+          if (!Agrees) {
+            AllOk = false;
+            std::printf("  DISCORDANT on %s: sim orders %s %s %s, native "
+                        "disagrees\n",
+                        App, policyName(AllPolicies[A]),
+                        Fixed[0][A] < Fixed[0][B] ? "<" : ">",
+                        policyName(AllPolicies[B]));
+          }
+        }
+
+      const double BestSim =
+          *std::min_element(Fixed[0], Fixed[0] + NumPolicies);
+      const double BestNative =
+          *std::min_element(Fixed[1], Fixed[1] + NumPolicies);
+      const bool SimOk = Dyn[0] <= ConcordanceSimDynamicBound * BestSim;
+      const bool NativeOk =
+          Dyn[1] <= ConcordanceNativeDynamicBound * BestNative;
+      std::printf("  dynamic vs best fixed: sim %.2fx (<= %.2fx: %s), "
+                  "native %.2fx (<= %.2fx: %s)\n\n",
+                  Dyn[0] / BestSim, ConcordanceSimDynamicBound,
+                  SimOk ? "yes" : "NO", Dyn[1] / BestNative,
+                  ConcordanceNativeDynamicBound, NativeOk ? "yes" : "NO");
+      AllOk = AllOk && SimOk && NativeOk;
+    }
+
+    std::printf("concordant policy pairs: %u/%u (%u near-tie pairs "
+                "skipped)\n",
+                Concordant, Gated, Ties);
+    std::printf("backends agree on every significant policy ordering and "
+                "dynamic tracks the best fixed policy on both: %s\n",
+                AllOk ? "yes" : "NO");
+    return AllOk ? 0 : 1;
+  };
+  return E;
+}
+
 } // namespace
 
 void exp::registerBuiltinExperiments() {
@@ -1162,4 +1393,5 @@ void exp::registerBuiltinExperiments() {
   registry().add(makePerturbationAdaptivity());
   registry().add(makeMachineSensitivity());
   registry().add(makeServing());
+  registry().add(makeBackendConcordance());
 }

@@ -40,6 +40,8 @@ std::string exp::toJson(const ResultFile &File) {
                 static_cast<unsigned long long>(File.Seed));
   Out += ",\"machine\":\"";
   Out += obs::jsonEscape(File.Machine);
+  Out += "\",\"backend\":\"";
+  Out += obs::jsonEscape(File.Backend.empty() ? "sim" : File.Backend);
   Out += "\",\"jobs\":[";
   for (size_t I = 0; I < File.Jobs.size(); ++I) {
     const JobRecord &J = File.Jobs[I];
@@ -87,9 +89,11 @@ std::optional<ResultFile> exp::parseResultFile(const std::string &Text,
   }
   ResultFile File;
   File.Schema = V->getInt("schema", -1);
-  if (File.Schema != ResultSchemaVersion) {
-    Error = format("unsupported result schema %lld (expected %lld)",
+  if (File.Schema < MinResultSchemaVersion ||
+      File.Schema > ResultSchemaVersion) {
+    Error = format("unsupported result schema %lld (expected %lld..%lld)",
                    static_cast<long long>(File.Schema),
+                   static_cast<long long>(MinResultSchemaVersion),
                    static_cast<long long>(ResultSchemaVersion));
     return std::nullopt;
   }
@@ -98,6 +102,7 @@ std::optional<ResultFile> exp::parseResultFile(const std::string &Text,
   File.ScaleFactor = V->getNumber("scale", 1.0);
   File.Seed = static_cast<uint64_t>(V->getInt("seed"));
   File.Machine = V->getString("machine", "dash-flat");
+  File.Backend = V->getString("backend", "sim");
 
   const obs::JsonValue *Jobs = V->find("jobs");
   if (!Jobs || Jobs->kind() != obs::JsonValue::Kind::Array) {

@@ -50,6 +50,8 @@ struct ResultFile {
   /// The invocation's machine model name (the per-job configs additionally
   /// carry the model's full parameter set as "machine_params").
   std::string Machine = "dash-flat";
+  /// The invocation's execution backend (v3; v2 files default to "sim").
+  std::string Backend = "sim";
   std::vector<JobRecord> Jobs;
 
   size_t cachedJobs() const;

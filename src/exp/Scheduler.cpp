@@ -95,6 +95,7 @@ struct Worker {
   std::string Buffer; ///< Drained incrementally so a child never blocks on
                       ///< a full pipe.
   std::string ErrBuffer;
+  double TimeoutSeconds = 0; ///< Effective budget for this job (0 = none).
   bool KilledOnTimeout = false;
 };
 
@@ -218,6 +219,12 @@ std::vector<JobOutcome> exp::runJobs(
     W.ReadFd = Fds[0];
     W.ErrFd = EFds[0];
     W.Started = std::chrono::steady_clock::now();
+    W.TimeoutSeconds = Opts.TimeoutSeconds;
+    if (Opts.TimeoutForJob) {
+      const double Override = Opts.TimeoutForJob(Job);
+      if (Override > 0)
+        W.TimeoutSeconds = Override;
+    }
     Active.push_back(std::move(W));
   };
 
@@ -247,9 +254,9 @@ std::vector<JobOutcome> exp::runJobs(
     for (size_t I = 0; I < Active.size();) {
       Worker &W = Active[I];
       drain(W);
-      if (Opts.TimeoutSeconds > 0 && !W.KilledOnTimeout &&
+      if (W.TimeoutSeconds > 0 && !W.KilledOnTimeout &&
           std::chrono::duration<double>(Now - W.Started).count() >
-              Opts.TimeoutSeconds) {
+              W.TimeoutSeconds) {
         kill(W.Pid, SIGKILL);
         W.KilledOnTimeout = true;
       }
@@ -268,11 +275,13 @@ std::vector<JobOutcome> exp::runJobs(
           std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                         W.Started)
               .count();
+      const std::string Tag = Opts.JobTag ? Opts.JobTag(W.Job) : "";
+      const std::string TagSuffix = Tag.empty() ? "" : " [" + Tag + "]";
       if (W.KilledOnTimeout) {
         Outcome.Status = JobStatus::TimedOut;
         Outcome.Result.Ok = false;
         Outcome.Result.Error =
-            format("timed out after %.1f s", Opts.TimeoutSeconds);
+            format("timed out after %.1f s", W.TimeoutSeconds) + TagSuffix;
       } else if (WIFEXITED(Status) && WEXITSTATUS(Status) == 0) {
         std::string Error;
         if (jobResultFromJson(W.Buffer, Outcome.Result, Error)) {
@@ -287,10 +296,11 @@ std::vector<JobOutcome> exp::runJobs(
         Outcome.Status = JobStatus::Crashed;
         Outcome.Result.Ok = false;
         Outcome.Result.Error =
-            WIFSIGNALED(Status)
-                ? "worker killed by " + describeSignal(WTERMSIG(Status))
-                : format("worker exited with status %d",
-                         WIFEXITED(Status) ? WEXITSTATUS(Status) : -1);
+            (WIFSIGNALED(Status)
+                 ? "worker killed by " + describeSignal(WTERMSIG(Status))
+                 : format("worker exited with status %d",
+                          WIFEXITED(Status) ? WEXITSTATUS(Status) : -1)) +
+            TagSuffix;
         const std::string Stderr = lastLines(W.ErrBuffer, 20);
         if (!Stderr.empty())
           Outcome.Result.Error += "; last stderr output:\n" + Stderr;

@@ -32,6 +32,14 @@ struct SchedulerOptions {
   unsigned Workers = 0;
   /// Per-attempt wall-clock timeout in seconds; 0 = none.
   double TimeoutSeconds = 0;
+  /// Per-job timeout override; when set and returning > 0 for a job, it
+  /// replaces TimeoutSeconds for that job. Native-backend jobs use this:
+  /// their budget is real wall clock derived from the workload scale, not
+  /// the sim-tuned invocation-wide default.
+  std::function<double(size_t Job)> TimeoutForJob;
+  /// Per-job tag appended to timeout and crash diagnostics (e.g. "native
+  /// backend"); empty/unset adds nothing.
+  std::function<std::string(size_t Job)> JobTag;
   /// Additional attempts after a crash, timeout or nonzero child exit.
   unsigned Retries = 0;
   /// Called (from the parent, in completion order) after each job settles;

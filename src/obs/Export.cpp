@@ -111,6 +111,9 @@ std::string obs::toJsonl(const RunTrace &Trace) {
   Out += quoted(Trace.Meta.Policy);
   addField(Out, uintField("procs", Trace.Meta.Procs));
   addField(Out, intField("total_ns", Trace.Meta.TotalNanos));
+  // Additive within schema 1 (like the machine fields): absent means "sim".
+  Out += ",\"backend\":";
+  Out += quoted(Trace.Meta.Backend.empty() ? "sim" : Trace.Meta.Backend);
   if (!Trace.Meta.Machine.empty()) {
     Out += ",\"machine\":";
     Out += quoted(Trace.Meta.Machine);
@@ -174,6 +177,9 @@ std::optional<RunTrace> obs::parseJsonl(const std::string &Text,
       Trace.Meta.TotalNanos = V->getInt("total_ns");
       Trace.Meta.Machine = V->getString("machine");
       Trace.Meta.MachineParams = V->getString("machine_params");
+      Trace.Meta.Backend = V->getString("backend");
+      if (Trace.Meta.Backend.empty())
+        Trace.Meta.Backend = "sim";
       SawMeta = true;
     } else if (Type == "decision") {
       DecisionEvent E;

@@ -49,6 +49,10 @@ struct TraceMeta {
   /// unknown meta keys.
   std::string Machine;
   std::string MachineParams;
+  /// Execution substrate the run measured: "sim" (virtual time) or
+  /// "native" (real threads, steady-clock timestamps). Like the machine
+  /// fields, additive within schema 1; absent means "sim".
+  std::string Backend = "sim";
 };
 
 /// One parallel-section occurrence's aggregate measurements (the fields of

@@ -16,11 +16,17 @@
 #define DYNFB_RT_BACKEND_H
 
 #include "rt/IntervalRunner.h"
+#include "rt/SectionTrace.h"
 #include "rt/Time.h"
 
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
+
+namespace dynfb::perturb {
+class PerturbationEngine;
+} // namespace dynfb::perturb
 
 namespace dynfb::rt {
 
@@ -48,6 +54,17 @@ struct Phase {
 /// An application's phase schedule.
 using Schedule = std::vector<Phase>;
 
+/// Which execution substrate a backend runs on. Everything above
+/// ExecutionBackend is backend-blind; the kind exists only for stamping
+/// traces/results and for the few flags that are genuinely sim-only.
+enum class BackendKind { Sim, Native };
+
+/// Stable lowercase name ("sim" / "native"), the value exported in trace
+/// metadata and experiment result files.
+constexpr const char *backendKindName(BackendKind K) {
+  return K == BackendKind::Native ? "native" : "sim";
+}
+
 /// Execution backend abstraction (simulator or real threads).
 class ExecutionBackend {
 public:
@@ -63,6 +80,33 @@ public:
 
   /// Current backend time.
   virtual Nanos now() const = 0;
+
+  /// The substrate this backend executes on. Defaults to Sim, the
+  /// historical backend (mock backends in tests are simulators in spirit).
+  virtual BackendKind kind() const { return BackendKind::Sim; }
+
+  /// When enabled, every runner handed out by beginSection carries a
+  /// cumulative IntervalTrace owned by the backend (one per section name),
+  /// accumulating lock contention and per-processor time decomposition over
+  /// the whole run -- the data behind the trace exporter's lock records.
+  /// Off by default: tracing is observation only, never part of a plain
+  /// run's cost. Backends without instrumentation ignore the request.
+  virtual void setCollectSectionTraces(bool Enable) { (void)Enable; }
+
+  /// The accumulated per-section traces (empty unless collection was
+  /// enabled before the run, or the backend has no instrumentation).
+  virtual const std::map<std::string, IntervalTrace> &sectionTraces() const {
+    static const std::map<std::string, IntervalTrace> Empty;
+    return Empty;
+  }
+
+  /// Installs a perturbation engine for the run. Fault injection is a
+  /// property of the simulated machine; backends running on real hardware
+  /// ignore it (callers that need perturbations must insist on the
+  /// simulator before getting here).
+  virtual void setPerturbation(const perturb::PerturbationEngine *Engine) {
+    (void)Engine;
+  }
 };
 
 } // namespace dynfb::rt

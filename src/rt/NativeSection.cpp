@@ -61,7 +61,7 @@ rt::makeNativeIrRunner(ThreadTeam &Team, const DataBinding &Binding,
               break;
             case MicroOp::Kind::Acquire:
               assert(Op.Obj < State->LockCount && "object id out of range");
-              Ctx.acquire(State->Locks[Op.Obj]);
+              Ctx.acquire(State->Locks[Op.Obj], Op.Obj);
               break;
             case MicroOp::Kind::Release:
               Ctx.release(State->Locks[Op.Obj]);

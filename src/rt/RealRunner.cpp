@@ -39,6 +39,26 @@ void WorkerCtx::acquire(SpinLock &L) {
   }
 }
 
+void WorkerCtx::acquire(SpinLock &L, ObjectId Obj) {
+  const Nanos T0 = steadyNow();
+  const uint64_t Failed = L.acquire();
+  const Nanos T1 = steadyNow();
+  ++Stats.AcquireReleasePairs;
+  Stats.FailedAcquires += Failed;
+  IntervalTrace::LockSummary &Summary = LockStats[Obj];
+  ++Summary.Acquires;
+  if (Failed == 0) {
+    Stats.LockOpNanos += T1 - T0;
+  } else {
+    const Nanos Nominal = 50;
+    const Nanos Waited = (T1 - T0 > Nominal) ? (T1 - T0 - Nominal) : 0;
+    Stats.LockOpNanos += Nominal;
+    Stats.WaitNanos += Waited;
+    ++Summary.Contended;
+    Summary.WaitNanos += Waited;
+  }
+}
+
 void WorkerCtx::release(SpinLock &L) {
   const Nanos T0 = steadyNow();
   L.release();
@@ -69,6 +89,9 @@ IntervalReport RealSectionRunner::runInterval(unsigned V, Nanos Target) {
   const Nanos Deadline = Start + Target;
 
   std::vector<OverheadStats> PerWorker(Team.size());
+  std::vector<uint64_t> PerWorkerIters(Team.size(), 0);
+  std::vector<std::map<ObjectId, IntervalTrace::LockSummary>> PerWorkerLocks(
+      Team.size());
   std::vector<Nanos> EndTimes(Team.size(), Start);
 
   const uint64_t Chunk = Version.Sched.chunkIters();
@@ -86,10 +109,13 @@ IntervalReport RealSectionRunner::runInterval(unsigned V, Nanos Target) {
       const uint64_t End = std::min(Begin + Chunk, NumIterations);
       for (uint64_t Iter = Begin; Iter < End; ++Iter)
         Version.Body(Iter, Ctx);
+      Ctx.Iterations += End - Begin;
     }
     const Nanos WorkerEnd = steadyNow();
     Ctx.Stats.ExecNanos = WorkerEnd - WorkerStart;
     PerWorker[Worker] = Ctx.Stats;
+    PerWorkerIters[Worker] = Ctx.Iterations;
+    PerWorkerLocks[Worker] = std::move(Ctx.LockStats);
     EndTimes[Worker] = WorkerEnd;
   });
   // Team.run returning is the synchronous-switch barrier: all workers have
@@ -112,5 +138,32 @@ IntervalReport RealSectionRunner::runInterval(unsigned V, Nanos Target) {
   }
   Report.EffectiveNanos = LastEnd - Start;
   Report.Finished = NextIter.load() >= NumIterations;
+
+  if (Trace) {
+    if (!Trace->Cumulative)
+      Trace->clear();
+    if (Trace->Procs.size() < Team.size())
+      Trace->Procs.resize(Team.size());
+    for (unsigned W = 0; W < Team.size(); ++W) {
+      const OverheadStats &S = PerWorker[W];
+      IntervalTrace::ProcSummary &P = Trace->Procs[W];
+      // Real threads measure wall time, not categorized time: compute is
+      // what remains of the worker's execution after the instrumented
+      // overheads (clamped against clock jitter).
+      const Nanos Categorized = S.LockOpNanos + S.WaitNanos + S.SchedNanos;
+      P.ComputeNanos +=
+          S.ExecNanos > Categorized ? S.ExecNanos - Categorized : 0;
+      P.LockOpNanos += S.LockOpNanos;
+      P.WaitNanos += S.WaitNanos;
+      P.OverheadNanos += S.SchedNanos;
+      P.Iterations += PerWorkerIters[W];
+      for (const auto &[Obj, Summary] : PerWorkerLocks[W]) {
+        IntervalTrace::LockSummary &Into = Trace->Locks[Obj];
+        Into.Acquires += Summary.Acquires;
+        Into.Contended += Summary.Contended;
+        Into.WaitNanos += Summary.WaitNanos;
+      }
+    }
+  }
   return Report;
 }

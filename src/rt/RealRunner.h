@@ -24,12 +24,14 @@
 
 #include "rt/IntervalRunner.h"
 #include "rt/Sched.h"
+#include "rt/SectionTrace.h"
 #include "rt/SpinLock.h"
 #include "rt/ThreadTeam.h"
 
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -46,10 +48,16 @@ public:
   /// lock-op time.
   void acquire(SpinLock &L);
 
+  /// Like acquire, additionally recording a per-lock contention summary
+  /// under \p Obj (feeds the section's IntervalTrace lock table).
+  void acquire(SpinLock &L, ObjectId Obj);
+
   /// Releases \p L.
   void release(SpinLock &L);
 
   OverheadStats Stats;
+  uint64_t Iterations = 0; ///< Iterations this worker executed.
+  std::map<ObjectId, IntervalTrace::LockSummary> LockStats;
 };
 
 /// One native code version of a parallel section. \p Sched selects the
@@ -77,7 +85,17 @@ public:
   IntervalReport runInterval(unsigned V, Nanos Target) override;
   bool done() const override { return NextIter.load() >= NumIterations; }
   void reset() override { NextIter.store(0); }
-  Nanos now() const override { return steadyNow(); }
+  Nanos now() const override { return steadyNow() - ClockOffset; }
+
+  /// Rebases now() to a backend-local epoch so occurrence timestamps taken
+  /// from the runner and from ExecutionBackend::now() share one timeline
+  /// (the feedback driver mixes both).
+  void setClockOffset(Nanos Offset) { ClockOffset = Offset; }
+
+  /// Attaches an interval trace filled after every runInterval barrier
+  /// (per-worker time decomposition and per-lock contention). With
+  /// Trace->Cumulative the trace accumulates over the runner's lifetime.
+  void attachTrace(IntervalTrace *T) { Trace = T; }
 
 private:
   ThreadTeam &Team;
@@ -88,6 +106,8 @@ private:
   const bool SchedInstrumented;
   const uint64_t NumIterations;
   std::atomic<uint64_t> NextIter{0};
+  Nanos ClockOffset = 0;
+  IntervalTrace *Trace = nullptr;
 };
 
 } // namespace dynfb::rt

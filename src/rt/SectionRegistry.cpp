@@ -1,0 +1,26 @@
+//===- rt/SectionRegistry.cpp ---------------------------------------------==//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "rt/SectionRegistry.h"
+
+#include <cassert>
+
+using namespace dynfb;
+using namespace dynfb::rt;
+
+void SectionRegistry::addSection(SectionDesc Desc) {
+  assert(Desc.Binding && "section registered without a binding");
+  assert(!Desc.Versions.empty() && "section registered without versions");
+  assert(!find(Desc.Name) && "duplicate section name");
+  Sections.push_back(std::move(Desc));
+}
+
+const SectionDesc *SectionRegistry::find(const std::string &Name) const {
+  for (const SectionDesc &D : Sections)
+    if (D.Name == Name)
+      return &D;
+  return nullptr;
+}

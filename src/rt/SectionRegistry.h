@@ -1,0 +1,64 @@
+//===- rt/SectionRegistry.h - Backend-agnostic section table ----*- C++ -*-===//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The single backend-agnostic description of an application's parallel
+/// sections: name -> data binding + generated IR versions (each with its
+/// scheduling strategy). Applications build one registry per executable
+/// flavour; any ExecutionBackend -- the simulator or the native-threads
+/// backend -- consumes it verbatim, so there is exactly one construction
+/// path no matter where the code runs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNFB_RT_SECTIONREGISTRY_H
+#define DYNFB_RT_SECTIONREGISTRY_H
+
+#include "ir/Module.h"
+#include "rt/Binding.h"
+#include "rt/Sched.h"
+
+#include <string>
+#include <vector>
+
+namespace dynfb::rt {
+
+/// One generated code version of a parallel section, by IR entry method.
+struct IrVersion {
+  std::string Label;
+  const ir::Method *Entry = nullptr;
+  SchedSpec Sched;
+};
+
+/// One parallel section: its data binding plus the versions the executable
+/// carries. \p Binding must outlive every backend built from the registry.
+struct SectionDesc {
+  std::string Name;
+  const DataBinding *Binding = nullptr;
+  std::vector<IrVersion> Versions;
+};
+
+/// Ordered collection of section descriptions (registration order is the
+/// program's section order).
+class SectionRegistry {
+public:
+  /// Registers a section; the name must be unique and the description must
+  /// carry a binding and at least one version.
+  void addSection(SectionDesc Desc);
+
+  /// The description for \p Name, or nullptr.
+  const SectionDesc *find(const std::string &Name) const;
+
+  const std::vector<SectionDesc> &sections() const { return Sections; }
+  bool empty() const { return Sections.empty(); }
+
+private:
+  std::vector<SectionDesc> Sections;
+};
+
+} // namespace dynfb::rt
+
+#endif // DYNFB_RT_SECTIONREGISTRY_H

@@ -1,22 +1,22 @@
-//===- sim/Trace.cpp ------------------------------------------------------==//
+//===- rt/SectionTrace.cpp ------------------------------------------------==//
 //
 // Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
 //
 //===----------------------------------------------------------------------===//
 
-#include "sim/Trace.h"
+#include "rt/SectionTrace.h"
 
 #include "support/StringUtils.h"
 
 #include <algorithm>
 
 using namespace dynfb;
-using namespace dynfb::sim;
+using namespace dynfb::rt;
 
-std::vector<std::pair<rt::ObjectId, IntervalTrace::LockSummary>>
+std::vector<std::pair<ObjectId, IntervalTrace::LockSummary>>
 IntervalTrace::hottestLocks() const {
-  std::vector<std::pair<rt::ObjectId, LockSummary>> Out(Locks.begin(),
-                                                        Locks.end());
+  std::vector<std::pair<ObjectId, LockSummary>> Out(Locks.begin(),
+                                                    Locks.end());
   std::sort(Out.begin(), Out.end(), [](const auto &A, const auto &B) {
     if (A.second.WaitNanos != B.second.WaitNanos)
       return A.second.WaitNanos > B.second.WaitNanos;
@@ -30,7 +30,7 @@ std::string IntervalTrace::renderText() const {
   for (size_t P = 0; P < Procs.size(); ++P) {
     const ProcSummary &S = Procs[P];
     const double Total = static_cast<double>(S.total());
-    auto Pct = [&](rt::Nanos N) {
+    auto Pct = [&](Nanos N) {
       return Total > 0 ? 100.0 * static_cast<double>(N) / Total : 0.0;
     };
     Out += format("  proc %2zu: %6llu iters  compute %5.1f%%  locks %5.1f%%"
@@ -46,7 +46,7 @@ std::string IntervalTrace::renderText() const {
     Out += format("  lock %u: %llu acquires, %llu contended, total wait %s\n",
                   Obj, static_cast<unsigned long long>(S.Acquires),
                   static_cast<unsigned long long>(S.Contended),
-                  formatSeconds(rt::nanosToSeconds(S.WaitNanos)).c_str());
+                  formatSeconds(nanosToSeconds(S.WaitNanos)).c_str());
   }
   return Out;
 }

@@ -1,0 +1,76 @@
+//===- rt/SectionTrace.h - Interval tracing and contention reports -*- C++ -*-===//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Optional per-interval tracing, shared by every execution backend:
+/// per-processor time decomposition (compute / lock ops / waiting /
+/// dispatch+polling) and per-lock contention summaries. The simulator fills
+/// it from simulated processor timelines, the native backend from real
+/// worker clocks; the exporters and contention-analysis tools consume the
+/// same structure either way.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNFB_RT_SECTIONTRACE_H
+#define DYNFB_RT_SECTIONTRACE_H
+
+#include "rt/Binding.h"
+#include "rt/Time.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dynfb::rt {
+
+/// Filled by a section runner's runInterval when a trace is attached.
+struct IntervalTrace {
+  /// One processor's time decomposition over the interval.
+  struct ProcSummary {
+    Nanos ComputeNanos = 0;  ///< Useful computation (incl. updates).
+    Nanos LockOpNanos = 0;   ///< Successful acquire/release constructs.
+    Nanos WaitNanos = 0;     ///< Spinning on held locks.
+    Nanos OverheadNanos = 0; ///< Scheduler fetches + timer polls.
+    uint64_t Iterations = 0; ///< Iterations fetched and executed.
+
+    Nanos total() const {
+      return ComputeNanos + LockOpNanos + WaitNanos + OverheadNanos;
+    }
+  };
+
+  /// One lock's contention summary over the interval.
+  struct LockSummary {
+    uint64_t Acquires = 0;  ///< Successful acquires.
+    uint64_t Contended = 0; ///< Acquires that had to wait.
+    Nanos WaitNanos = 0;
+  };
+
+  std::vector<ProcSummary> Procs;
+  std::map<ObjectId, LockSummary> Locks;
+
+  /// When set, runInterval accumulates into the trace instead of resetting
+  /// it, so one trace can summarize a whole run of a section (the trace
+  /// exporter's per-section lock table). Defaults to the original
+  /// per-interval semantics.
+  bool Cumulative = false;
+
+  void clear() {
+    Procs.clear();
+    Locks.clear();
+  }
+
+  /// Locks ordered by total waiting time, worst first (the false-exclusion
+  /// suspects).
+  std::vector<std::pair<ObjectId, LockSummary>> hottestLocks() const;
+
+  /// Human-readable report.
+  std::string renderText() const;
+};
+
+} // namespace dynfb::rt
+
+#endif // DYNFB_RT_SECTIONTRACE_H

@@ -21,6 +21,16 @@ void SimBackend::addSection(const std::string &Name,
   Sections[Name] = SectionInfo{Binding, std::move(Versions)};
 }
 
+void SimBackend::addSections(const rt::SectionRegistry &Registry) {
+  for (const rt::SectionDesc &D : Registry.sections()) {
+    std::vector<SimVersion> Versions;
+    Versions.reserve(D.Versions.size());
+    for (const rt::IrVersion &V : D.Versions)
+      Versions.push_back(SimVersion{V.Label, V.Entry, V.Sched});
+    addSection(D.Name, D.Binding, std::move(Versions));
+  }
+}
+
 std::unique_ptr<SimSectionRunner>
 SimBackend::beginSectionSim(const std::string &Name) {
   auto It = Sections.find(Name);

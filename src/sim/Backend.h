@@ -16,6 +16,7 @@
 
 #include "rt/Backend.h"
 #include "rt/Binding.h"
+#include "rt/SectionRegistry.h"
 #include "sim/Machine.h"
 #include "sim/SectionSim.h"
 #include "sim/Trace.h"
@@ -43,7 +44,13 @@ public:
   void addSection(const std::string &Name, const rt::DataBinding *Binding,
                   std::vector<SimVersion> Versions);
 
+  /// Registers every section of a backend-agnostic registry (the single
+  /// construction path applications use; see rt/SectionRegistry.h).
+  void addSections(const rt::SectionRegistry &Registry);
+
   void runSerial(rt::Nanos Dur) override { Machine.advance(Dur); }
+
+  rt::BackendKind kind() const override { return rt::BackendKind::Sim; }
 
   std::unique_ptr<rt::IntervalRunner>
   beginSection(const std::string &Name) override;
@@ -63,12 +70,19 @@ public:
   /// the whole run -- the data behind the trace exporter's lock records.
   /// Off by default: tracing is observation only, never part of a plain
   /// run's cost.
-  void setCollectSectionTraces(bool Enable) { CollectSectionTraces = Enable; }
+  void setCollectSectionTraces(bool Enable) override {
+    CollectSectionTraces = Enable;
+  }
 
   /// The accumulated per-section traces (empty unless collection was
   /// enabled before the run).
-  const std::map<std::string, IntervalTrace> &sectionTraces() const {
+  const std::map<std::string, IntervalTrace> &sectionTraces() const override {
     return SectionTraces;
+  }
+
+  /// Simulated machines honor fault injection.
+  void setPerturbation(const perturb::PerturbationEngine *Engine) override {
+    Machine.setPerturbation(Engine);
   }
 
 private:

@@ -1,73 +1,25 @@
-//===- sim/Trace.h - Interval tracing and contention reports ----*- C++ -*-===//
+//===- sim/Trace.h - Interval tracing (rt::IntervalTrace alias) -*- C++ -*-===//
 //
 // Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Optional per-interval tracing for the simulator: per-processor time
-/// decomposition (compute / lock ops / waiting / dispatch+polling) and
-/// per-lock contention summaries. Used by the contention-analysis tests
-/// and available to library users diagnosing false exclusion.
+/// IntervalTrace started life simulator-only; it now lives in rt/ (see
+/// rt/SectionTrace.h) because the native backend fills the identical
+/// structure from real worker clocks. This header keeps the historical
+/// sim::IntervalTrace spelling working for existing callers.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef DYNFB_SIM_TRACE_H
 #define DYNFB_SIM_TRACE_H
 
-#include "rt/Binding.h"
-#include "rt/Time.h"
-
-#include <cstdint>
-#include <map>
-#include <string>
-#include <vector>
+#include "rt/SectionTrace.h"
 
 namespace dynfb::sim {
 
-/// Filled by SimSectionRunner::runInterval when a trace is attached.
-struct IntervalTrace {
-  /// One processor's time decomposition over the interval.
-  struct ProcSummary {
-    rt::Nanos ComputeNanos = 0; ///< Useful computation (incl. updates).
-    rt::Nanos LockOpNanos = 0;  ///< Successful acquire/release constructs.
-    rt::Nanos WaitNanos = 0;    ///< Spinning on held locks.
-    rt::Nanos OverheadNanos = 0; ///< Scheduler fetches + timer polls.
-    uint64_t Iterations = 0;    ///< Iterations fetched and executed.
-
-    rt::Nanos total() const {
-      return ComputeNanos + LockOpNanos + WaitNanos + OverheadNanos;
-    }
-  };
-
-  /// One lock's contention summary over the interval.
-  struct LockSummary {
-    uint64_t Acquires = 0;  ///< Successful acquires.
-    uint64_t Contended = 0; ///< Acquires that had to wait.
-    rt::Nanos WaitNanos = 0;
-  };
-
-  std::vector<ProcSummary> Procs;
-  std::map<rt::ObjectId, LockSummary> Locks;
-
-  /// When set, runInterval accumulates into the trace instead of resetting
-  /// it, so one trace can summarize a whole run of a section (the trace
-  /// exporter's per-section lock table). Defaults to the original
-  /// per-interval semantics.
-  bool Cumulative = false;
-
-  void clear() {
-    Procs.clear();
-    Locks.clear();
-  }
-
-  /// Locks ordered by total waiting time, worst first (the false-exclusion
-  /// suspects).
-  std::vector<std::pair<rt::ObjectId, LockSummary>> hottestLocks() const;
-
-  /// Human-readable report.
-  std::string renderText() const;
-};
+using IntervalTrace = rt::IntervalTrace;
 
 } // namespace dynfb::sim
 

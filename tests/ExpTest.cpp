@@ -478,12 +478,41 @@ TEST(ResultFile, JsonRoundTrip) {
 
 TEST(ResultFile, RejectsUnsupportedSchema) {
   std::string Text = toJson(smallResultFile());
-  const size_t Pos = Text.find("\"schema\":2");
+  const size_t Pos = Text.find("\"schema\":3");
   ASSERT_NE(Pos, std::string::npos);
   Text.replace(Pos, 10, "\"schema\":9");
   std::string Error;
   EXPECT_FALSE(parseResultFile(Text, Error).has_value());
   EXPECT_NE(Error.find("schema"), std::string::npos);
+}
+
+// v2 result files (no backend field) stay readable: the checked-in sim
+// baselines predate the backend axis, and diffing against them must keep
+// working.
+TEST(ResultFile, AcceptsPreviousSchemaWithSimDefault) {
+  std::string Text = toJson(smallResultFile());
+  const size_t Pos = Text.find("\"schema\":3");
+  ASSERT_NE(Pos, std::string::npos);
+  Text.replace(Pos, 10, "\"schema\":2");
+  const size_t BackendPos = Text.find(",\"backend\":\"sim\"");
+  ASSERT_NE(BackendPos, std::string::npos);
+  Text.erase(BackendPos, std::string(",\"backend\":\"sim\"").size());
+  std::string Error;
+  const std::optional<ResultFile> Back = parseResultFile(Text, Error);
+  ASSERT_TRUE(Back.has_value()) << Error;
+  EXPECT_EQ(Back->Schema, 2);
+  EXPECT_EQ(Back->Backend, "sim");
+  ASSERT_EQ(Back->Jobs.size(), 2u);
+}
+
+// The backend round-trips through the v3 header.
+TEST(ResultFile, BackendRoundTrip) {
+  ResultFile F = smallResultFile();
+  F.Backend = "native";
+  std::string Error;
+  const std::optional<ResultFile> Back = parseResultFile(toJson(F), Error);
+  ASSERT_TRUE(Back.has_value()) << Error;
+  EXPECT_EQ(Back->Backend, "native");
 }
 
 TEST(Diff, IdenticalFilesPass) {

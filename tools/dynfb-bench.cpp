@@ -4,10 +4,13 @@
 //
 // The driver over the src/exp experiment registry:
 //
-//   dynfb-bench list [--suite S]
-//       Lists the registered experiments and their grid sizes.
+//   dynfb-bench list [--suite S] [--backend sim|native]
+//       Lists the registered experiments, their grid sizes and which
+//       backends each grid supports; --backend native filters to the
+//       native-capable experiments.
 //
-//   dynfb-bench run [--suite S] [--exp NAME] [--scale F] [--procs N]
+//   dynfb-bench run [--suite S] [--exp NAME] [--backend sim|native]
+//                   [--scale F] [--procs N]
 //                   [--seed S] [--chunks K1,K2] [--jobs N] [--timeout SEC]
 //                   [--retries N] [--cache DIR] [--no-cache] [--out FILE]
 //       Expands the selected experiments' grids and runs the jobs across a
@@ -15,7 +18,13 @@
 //       from the content-addressed result cache, then writes the
 //       schema-versioned machine-readable summary (BENCH_results.json).
 //       --scale multiplies each experiment's natural scale (0.25 = a
-//       quarter-size sweep); exits nonzero when any job fails.
+//       quarter-size sweep); exits nonzero when any job fails. --backend
+//       native runs the grids on real host threads: sim-only experiments
+//       are skipped (or rejected under an explicit --exp), and native jobs
+//       get wall-clock timeouts derived from their workload scale instead
+//       of the sim-tuned --timeout. A run selecting a single --exp also
+//       renders that experiment's report and folds its gate into the exit
+//       code.
 //
 //   dynfb-bench diff --baseline FILE --candidate FILE [--rel-tol F]
 //                    [--abs-tol F] [--tol SUFFIX=F] [--allow-missing]
@@ -34,6 +43,7 @@
 #include "support/StringUtils.h"
 #include "support/TablePrinter.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -52,8 +62,10 @@ int usage(FILE *To) {
       "usage: dynfb-bench <command> [options]\n"
       "\n"
       "commands:\n"
-      "  list  [--suite S]         list registered experiments and grids\n"
-      "  run   [--suite S] [--exp NAME] [--scale F] [--procs N] [--seed S]\n"
+      "  list  [--suite S] [--backend sim|native]\n"
+      "                            list registered experiments and grids\n"
+      "  run   [--suite S] [--exp NAME] [--backend sim|native] [--scale F]\n"
+      "        [--procs N] [--seed S]\n"
       "        [--chunks K1,K2] [--machine NAME] [--jobs N] [--timeout SEC]\n"
       "        [--retries N] [--cache DIR] [--no-cache] [--out FILE]\n"
       "                            run experiment grids in parallel\n"
@@ -109,26 +121,50 @@ std::string gridSummary(const std::vector<JobConfig> &Jobs) {
       }));
 }
 
+/// Validates a --backend value; "" and "sim" mean the simulator. Returns
+/// false (after a one-line diagnostic) on anything else.
+bool validateBackendFlag(const std::string &Backend) {
+  if (Backend.empty() || Backend == "sim" || Backend == "native")
+    return true;
+  std::fprintf(stderr,
+               "dynfb-bench: unknown backend '%s' (known: sim, native)\n",
+               Backend.c_str());
+  return false;
+}
+
 int cmdList(CommandLine &CL) {
   const std::string Suite = CL.getString("suite", "all");
-  if (!rejectUnknownFlags(CL, "dynfb-bench list", {"suite"},
+  const std::string Backend = CL.getString("backend", "");
+  if (!rejectUnknownFlags(CL, "dynfb-bench list", {"suite", "backend"},
                           "'dynfb-bench' (no arguments)"))
     return 2;
+  if (!validateBackendFlag(Backend))
+    return 2;
+  const bool NativeOnly = Backend == "native";
 
-  const std::vector<const Experiment *> Selected = registry().suite(Suite);
+  std::vector<const Experiment *> Selected = registry().suite(Suite);
+  if (NativeOnly) {
+    std::erase_if(Selected, [](const Experiment *E) {
+      return !E->SupportsNativeBackend;
+    });
+  }
   if (Selected.empty()) {
-    std::fprintf(stderr, "dynfb-bench: no experiments in suite '%s'\n",
-                 Suite.c_str());
+    std::fprintf(stderr, "dynfb-bench: no experiments in suite '%s'%s\n",
+                 Suite.c_str(),
+                 NativeOnly ? " supporting the native backend" : "");
     return 2;
   }
-  Table T("Registered experiments");
-  T.setHeader({"Name", "Suite", "Jobs", "Grid", "Description"});
+  Table T(NativeOnly ? "Registered experiments (native-capable)"
+                     : "Registered experiments");
+  T.setHeader({"Name", "Suite", "Backends", "Jobs", "Grid", "Description"});
   for (const Experiment *E : Selected) {
     RunOptions Probe;
     Probe.Scale = E->DefaultScale;
     const std::vector<JobConfig> Jobs = E->MakeJobs(Probe);
-    T.addRow({E->Name, E->Suite, format("%zu", Jobs.size()),
-              gridSummary(Jobs), E->Description});
+    T.addRow({E->Name, E->Suite,
+              E->SupportsNativeBackend ? "sim+native" : "sim",
+              format("%zu", Jobs.size()), gridSummary(Jobs),
+              E->Description});
   }
   std::fputs(T.renderText().c_str(), stdout);
   std::printf("grid = apps x versions x procs x scales x seeds x machines\n");
@@ -156,6 +192,7 @@ int cmdRun(CommandLine &CL) {
   const uint64_t Seed = static_cast<uint64_t>(CL.getInt("seed", 0));
   const std::string Chunks = CL.getString("chunks", "");
   const std::string Machine = CL.getString("machine", "");
+  const std::string Backend = CL.getString("backend", "");
   const std::string OutPath = CL.getString("out", "BENCH_results.json");
   const bool NoCache = CL.getBool("no-cache", false);
   const std::string CacheDir =
@@ -168,10 +205,19 @@ int cmdRun(CommandLine &CL) {
 
   if (!rejectUnknownFlags(CL, "dynfb-bench run",
                           {"suite", "exp", "scale", "procs", "seed", "chunks",
-                           "machine", "jobs", "timeout", "retries", "cache",
-                           "no-cache", "out"},
+                           "machine", "backend", "jobs", "timeout", "retries",
+                           "cache", "no-cache", "out"},
                           "'dynfb-bench' (no arguments)"))
     return 2;
+  if (!validateBackendFlag(Backend))
+    return 2;
+  const bool Native = Backend == "native";
+  if (Native && !Machine.empty())
+    std::fprintf(stderr,
+                 "dynfb-bench: note: the native backend runs on real "
+                 "hardware and ignores MachineModel pricing; --machine %s "
+                 "has no effect on native jobs\n",
+                 Machine.c_str());
   if (!Machine.empty() && !rt::createMachineModel(Machine)) {
     const std::string Near = closestMatch(Machine, rt::machineModelNames());
     std::string Known;
@@ -200,12 +246,33 @@ int cmdRun(CommandLine &CL) {
                                 : (" (did you mean '" + Hint + "'?)").c_str());
       return 2;
     }
+    if (Native && !E->SupportsNativeBackend) {
+      std::fprintf(stderr,
+                   "dynfb-bench: experiment '%s' is sim-only (its grid "
+                   "sweeps simulator-priced dimensions); drop --backend "
+                   "native or pick a native-capable experiment "
+                   "(dynfb-bench list --backend native)\n",
+                   OnlyExp.c_str());
+      return 2;
+    }
     Selected.push_back(E);
   } else {
     Selected = registry().suite(Suite);
+    if (Native) {
+      for (const Experiment *E : Selected)
+        if (!E->SupportsNativeBackend)
+          std::fprintf(stderr,
+                       "dynfb-bench: skipping sim-only experiment '%s' "
+                       "under --backend native\n",
+                       E->Name.c_str());
+      std::erase_if(Selected, [](const Experiment *E) {
+        return !E->SupportsNativeBackend;
+      });
+    }
     if (Selected.empty()) {
-      std::fprintf(stderr, "dynfb-bench: no experiments in suite '%s'\n",
-                   Suite.c_str());
+      std::fprintf(stderr, "dynfb-bench: no experiments in suite '%s'%s\n",
+                   Suite.c_str(),
+                   Native ? " supporting the native backend" : "");
       return 2;
     }
   }
@@ -223,6 +290,7 @@ int cmdRun(CommandLine &CL) {
     Opts.Seed = Seed;
     Opts.Chunks = Chunks;
     Opts.Machine = Machine;
+    Opts.Backend = Backend == "sim" ? "" : Backend;
     for (JobConfig &Config : E->MakeJobs(Opts)) {
       PlannedJob P;
       P.Exp = E;
@@ -243,6 +311,23 @@ int cmdRun(CommandLine &CL) {
                "experiments\n",
                Plan.size(), Plan.size() - Misses.size(), Misses.size(),
                Selected.size());
+
+  // Native jobs run in real wall clock, so their budget scales with the
+  // workload instead of inheriting the sim-tuned --timeout (a sim job's
+  // wall clock is near-constant in the virtual workload size; a native
+  // job's is proportional to it).
+  const auto JobIsNative = [&](size_t Job) {
+    return Plan[Misses[Job]].Config.getString("backend", "sim") == "native";
+  };
+  Sched.TimeoutForJob = [&, JobIsNative](size_t Job) -> double {
+    if (!JobIsNative(Job))
+      return 0; // Keep the invocation-wide --timeout.
+    const double Scale = Plan[Misses[Job]].Config.getDouble("scale", 1.0);
+    return std::max(30.0, 240.0 * Scale);
+  };
+  Sched.JobTag = [&, JobIsNative](size_t Job) {
+    return JobIsNative(Job) ? std::string("native backend") : std::string();
+  };
 
   size_t Settled = 0;
   Sched.OnSettled = [&](size_t Job, const JobOutcome &Outcome) {
@@ -276,6 +361,7 @@ int cmdRun(CommandLine &CL) {
   Out.ScaleFactor = ScaleFactor;
   Out.Seed = Seed;
   Out.Machine = Machine.empty() ? "dash-flat" : Machine;
+  Out.Backend = Backend.empty() ? "sim" : Backend;
   size_t NextMiss = 0;
   for (const PlannedJob &P : Plan) {
     JobRecord Record;
@@ -315,14 +401,28 @@ int cmdRun(CommandLine &CL) {
               "results in %s\n",
               Out.Jobs.size(), Out.cachedJobs(), Failed,
               formatSeconds(WallSeconds).c_str(), OutPath.c_str());
-  if (Failed != 0)
+  if (Failed != 0) {
     for (const JobRecord &Record : Out.Jobs)
       if (Record.Status != JobStatus::Ok)
         std::printf("  FAILED %s [%s]: %s %s\n", Record.Experiment.c_str(),
                     Record.Config.label().c_str(),
                     jobStatusName(Record.Status),
                     Record.Result.Error.c_str());
-  return Failed == 0 ? 0 : 1;
+    return 1;
+  }
+
+  // A single-experiment run also renders that experiment's report -- and
+  // folds its gate (the render exit code) into ours, so e.g.
+  // `dynfb-bench run --exp backend_concordance` both measures and judges.
+  if (!OnlyExp.empty() && Selected.size() == 1 && Selected[0]->Render) {
+    std::vector<JobResult> Grid;
+    Grid.reserve(Out.Jobs.size());
+    for (const JobRecord &Record : Out.Jobs)
+      Grid.push_back(Record.Result);
+    std::printf("\n");
+    return Selected[0]->Render(ExpOptions[0], Grid);
+  }
+  return 0;
 }
 
 //===----------------------------------------------------------------------===//

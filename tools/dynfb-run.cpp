@@ -27,11 +27,19 @@
 // before the run). Streaming traffic: --traffic "<spec>" compiles a
 // serving-traffic stream (see perturb/Traffic.h) into the same machinery.
 //
+// Backends: --backend sim (default, virtual time) or --backend native
+// (real host threads; --timescale F converts virtual compute nanoseconds
+// to busy-wait nanoseconds, default 0.0005). The native backend ignores
+// --machine/--cost pricing and rejects --perturb/--traffic/--sweep/--trace;
+// everything else -- policies, the feedback controller, trace export --
+// works identically on both.
+//
 // Observability (default-off; see docs/OBSERVABILITY.md): --trace-out FILE
 // writes the run's JSONL adaptation trace (decision log + section + lock
 // records, readable by dynfb-report), --chrome-out FILE the same run in
 // Chrome trace_event format (chrome://tracing, Perfetto), --metrics-out
-// FILE the global metrics registry as JSON, scoped to this run.
+// FILE the global metrics registry as JSON, scoped to this run. All three
+// work on either backend (native timestamps come from the steady clock).
 //
 // Invalid input (unknown application, unknown section in a perturbation
 // schedule, malformed schedule or configuration) produces a one-line
@@ -76,7 +84,8 @@ int usage() {
                "[--quarantine-limit X] [--quarantine-backoff N] "
                "[--watchdog N] [--watchdog-limit X] "
                "[--perturb SCHEDULE] [--traffic SPEC] [--machine NAME] "
-               "[--cost Field=nanos[,Field=nanos]] [--trace-out FILE] "
+               "[--cost Field=nanos[,Field=nanos]] [--backend sim|native] "
+               "[--timescale F] [--trace-out FILE] "
                "[--chrome-out FILE] [--metrics-out FILE]\n");
   return 1;
 }
@@ -178,10 +187,34 @@ int main(int Argc, char **Argv) {
     if (!rt::applyCostOverrides(*Machine, CostSpec, Error))
       return fail(Error);
   }
-  if (MachineName != "dash-flat" || !CostSpec.empty())
-    std::printf("machine: %s (%s)\n  %s\n", Machine->name().c_str(),
-                Machine->description().c_str(),
-                Machine->paramsString().c_str());
+
+  // Execution backend: the virtual-time simulator (default) or real host
+  // threads. Everything downstream of backend selection is one shared path.
+  const std::string BackendName = CL.getString("backend", "sim");
+  if (BackendName != "sim" && BackendName != "native")
+    return fail("unknown backend '" + BackendName +
+                "' (expected sim or native)");
+  const bool Native = BackendName == "native";
+  const double TimeScale = CL.getDouble("timescale", 0.0005);
+  if (Native && TimeScale <= 0)
+    return fail(format(
+        "--timescale must be a positive virtual-to-real factor (got %g; "
+        "did you mean the default 0.0005, which runs 1 ms of virtual "
+        "compute as a 0.5 us busy-wait?)",
+        TimeScale));
+  if (!Native && CL.has("timescale"))
+    return fail("--timescale only applies to --backend native (the "
+                "simulator already runs in virtual time)");
+
+  if (!Native) {
+    if (MachineName != "dash-flat" || !CostSpec.empty())
+      std::printf("machine: %s (%s)\n  %s\n", Machine->name().c_str(),
+                  Machine->description().c_str(),
+                  Machine->paramsString().c_str());
+  } else if (MachineName != "dash-flat" || !CostSpec.empty()) {
+    std::printf("note: --machine/--cost price the simulated machine; the "
+                "native backend runs on real hardware and ignores them\n");
+  }
 
   if (CL.getBool("list-versions", false)) {
     const xform::CodeSizeModel SizeModel;
@@ -201,11 +234,14 @@ int main(int Argc, char **Argv) {
     return 0;
   }
 
+  // Native defaults shrink the feedback intervals: targets are real wall
+  // time there, and a 100 s production interval would outlive the scaled
+  // workload. Explicit --sampling/--production always win.
   fb::FeedbackConfig Config;
-  Config.TargetSamplingNanos =
-      rt::secondsToNanos(CL.getDouble("sampling", 0.01));
-  Config.TargetProductionNanos =
-      rt::secondsToNanos(CL.getDouble("production", 100.0));
+  Config.TargetSamplingNanos = rt::secondsToNanos(
+      CL.getDouble("sampling", Native ? 0.005 : 0.01));
+  Config.TargetProductionNanos = rt::secondsToNanos(
+      CL.getDouble("production", Native ? 0.2 : 100.0));
   Config.EarlyCutoff = CL.getBool("cutoff", false);
   Config.UsePolicyOrdering = CL.getBool("ordering", false);
   Config.SpanSectionExecutions = CL.getBool("spanning", false);
@@ -289,6 +325,9 @@ int main(int Argc, char **Argv) {
   std::unique_ptr<perturb::PerturbationEngine> Perturb;
   const std::string PerturbSpec = CL.getString("perturb", "");
   const std::string TrafficSpec = CL.getString("traffic", "");
+  if (Native && (!PerturbSpec.empty() || !TrafficSpec.empty()))
+    return fail("--perturb/--traffic require the simulator backend (fault "
+                "injection perturbs the simulated machine)");
   if (!PerturbSpec.empty() && !TrafficSpec.empty())
     return fail("--perturb and --traffic are mutually exclusive (compiled "
                 "traffic already is a perturbation schedule)");
@@ -351,6 +390,9 @@ int main(int Argc, char **Argv) {
   };
 
   if (CL.getBool("sweep", false)) {
+    if (Native)
+      return fail("--sweep requires the simulator backend (for native "
+                  "grids, see dynfb-bench run --exp backend_concordance)");
     if (WantRunTrace)
       return fail("--trace-out/--chrome-out apply to a single run, not "
                   "--sweep");
@@ -380,44 +422,6 @@ int main(int Argc, char **Argv) {
 
   const std::string PolicyName = CL.getString("policy", "dynamic");
 
-  if (CL.getString("backend", "sim") == "native") {
-    if (WantRunTrace)
-      return fail("--trace-out/--chrome-out require the simulator backend");
-    // Execute the generated IR on real host threads (compute costs scaled
-    // down by --timescale; serial phases skipped). Dynamic feedback only.
-    const double TimeScale = CL.getDouble("timescale", 0.0005);
-    rt::ThreadTeam Team(std::max(1u, Procs));
-    fb::FeedbackConfig NativeConfig = Config;
-    NativeConfig.TargetSamplingNanos = rt::millisToNanos(5);
-    NativeConfig.TargetProductionNanos = rt::millisToNanos(200);
-    fb::FeedbackController Controller(NativeConfig);
-    const rt::Nanos Start = rt::steadyNow();
-    for (const xform::VersionedSection &VS : TheApp->program().Sections) {
-      std::vector<rt::NativeIrVersion> Versions;
-      for (const xform::SectionVersion &V : VS.Versions)
-        Versions.push_back({V.label(), V.Entry, V.Sched});
-      auto Runner = rt::makeNativeIrRunner(
-          Team, TheApp->binding(VS.Name), std::move(Versions),
-          Machine->costs(), TimeScale);
-      const fb::SectionExecutionTrace T =
-          Controller.executeSection(*Runner, VS.Name);
-      std::printf("  [native] %s -> %s in %.3f s real time (%llu pairs)\n",
-                  VS.Name.c_str(),
-                  T.dominantVersion()
-                      ? Runner->versionLabel(*T.dominantVersion()).c_str()
-                      : "(finished during sampling)",
-                  rt::nanosToSeconds(T.durationNanos()),
-                  static_cast<unsigned long long>(
-                      T.Total.AcquireReleasePairs));
-    }
-    std::printf("native run total %.3f s (timescale %g, serial phases "
-                "skipped)\n",
-                rt::nanosToSeconds(rt::steadyNow() - Start), TimeScale);
-    if (std::optional<std::string> Error = WriteMetrics())
-      return fail(*Error);
-    return 0;
-  }
-
   Flavour F = Flavour::Dynamic;
   xform::PolicyKind Policy = xform::PolicyKind::Original;
   if (PolicyName == "serial")
@@ -440,13 +444,21 @@ int main(int Argc, char **Argv) {
   fb::PolicyHistory History;
   RunObservation Obs;
   Obs.CollectSectionTraces = WantRunTrace;
+  const BackendOptions BO =
+      Native ? BackendOptions::native(TimeScale) : BackendOptions::sim();
   const fb::RunResult R =
       runApp(*TheApp, Procs, Spec, *Machine, Config,
              Config.UsePolicyOrdering ? &History : nullptr, Perturb.get(),
-             WantRunTrace ? &Obs : nullptr);
+             WantRunTrace ? &Obs : nullptr, BO);
 
-  std::printf("%s, %u procs, policy %s: %.3f s\n", AppName.c_str(), Procs,
-              PolicyName.c_str(), rt::nanosToSeconds(R.TotalNanos));
+  if (Native)
+    std::printf("%s, %u procs, policy %s [native backend, timescale %g]: "
+                "%.3f s real\n",
+                AppName.c_str(), Procs, PolicyName.c_str(), TimeScale,
+                rt::nanosToSeconds(R.TotalNanos));
+  else
+    std::printf("%s, %u procs, policy %s: %.3f s\n", AppName.c_str(), Procs,
+                PolicyName.c_str(), rt::nanosToSeconds(R.TotalNanos));
   std::printf("  acquire/release pairs: %s\n",
               withThousandsSep(R.ParallelStats.AcquireReleasePairs).c_str());
   std::printf("  locking overhead: %s, waiting: %s (proportion %.3f)\n",
@@ -480,9 +492,15 @@ int main(int Argc, char **Argv) {
   }
 
   if (WantRunTrace) {
-    obs::RunTrace Trace = buildRunTrace(AppName, Procs, PolicyName, R, &Obs);
-    Trace.Meta.Machine = Machine->name();
-    Trace.Meta.MachineParams = Machine->paramsString();
+    obs::RunTrace Trace =
+        buildRunTrace(AppName, Procs, PolicyName, R, &Obs,
+                      Native ? rt::BackendKind::Native : rt::BackendKind::Sim);
+    if (!Native) {
+      // Machine pricing is a simulator concept; native traces carry no
+      // machine fields (real hardware set the prices).
+      Trace.Meta.Machine = Machine->name();
+      Trace.Meta.MachineParams = Machine->paramsString();
+    }
     std::string Error;
     if (!TraceOut.empty() && !writeFile(TraceOut, obs::toJsonl(Trace), Error))
       return fail(Error);
@@ -491,6 +509,10 @@ int main(int Argc, char **Argv) {
       return fail(Error);
   }
 
+  if (Native && CL.getBool("trace", false))
+    return fail("--trace (interval contention report) requires the "
+                "simulator backend; use --trace-out FILE, which works on "
+                "both backends");
   if (CL.getBool("trace", false) && F == Flavour::Fixed) {
     // Contention report: re-run each section with an interval trace.
     auto Backend = TheApp->makeSimBackend(Procs, *Machine, Spec);
