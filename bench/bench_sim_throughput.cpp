@@ -1,0 +1,17 @@
+//===- bench/bench_sim_throughput.cpp ---------------------------------------=//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+// Simulator hot-loop throughput: simulated micro-ops and intervals per
+// wall-clock second across the four apps at 2/8 processors. The experiment
+// definition lives in the src/exp registry; this binary runs it in-process
+// and renders the table. The checked-in BENCH_sim_throughput.json at the
+// repo root tracks these rates PR over PR (see BENCHMARKING.md).
+//
+//===----------------------------------------------------------------------===//
+
+#include "exp/BenchMain.h"
+
+int main(int Argc, char **Argv) {
+  return dynfb::exp::runBenchMain("sim_throughput", Argc, Argv);
+}

@@ -62,6 +62,12 @@ public:
     (void)CC;
     return InteractNanos;
   }
+  // Pure function of the iteration over construction-time state (the
+  // interaction counts are fixed at tree build), so emitted ops are
+  // cacheable.
+  int64_t iterationClass(uint64_t Iter) const override {
+    return static_cast<int64_t>(Iter);
+  }
 
 private:
   const std::vector<uint32_t> &Counts;

@@ -96,6 +96,11 @@ public:
     return static_cast<rt::Nanos>(static_cast<double>(Config.OpNanos) *
                                   Jitter);
   }
+  // Pure function of the iteration over the request table built at
+  // construction, so emitted ops are cacheable.
+  int64_t iterationClass(uint64_t Iter) const override {
+    return static_cast<int64_t>(Iter);
+  }
 
 private:
   const std::vector<Request> &Requests;

@@ -78,6 +78,11 @@ public:
     assert(CC == BackprojectCC && "unexpected cost class");
     return Config.BackprojectCellNanos;
   }
+  // Pure function of the iteration over the ray table built at
+  // construction, so emitted ops are cacheable.
+  int64_t iterationClass(uint64_t Iter) const override {
+    return static_cast<int64_t>(Iter);
+  }
 
 private:
   const std::vector<Ray> &Rays;

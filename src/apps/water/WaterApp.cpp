@@ -67,6 +67,11 @@ public:
         static_cast<double>(Config.PairKernelNanos) *
         jitterFactor(Key, 0.15));
   }
+  // Pure function of the iteration over construction-time state (neighbor
+  // lists and jitter keys never change), so emitted ops are cacheable.
+  int64_t iterationClass(uint64_t Iter) const override {
+    return static_cast<int64_t>(Iter);
+  }
 
 private:
   const WaterConfig &Config;
@@ -112,6 +117,10 @@ public:
     return static_cast<rt::Nanos>(
         static_cast<double>(Config.TermKernelNanos) *
         jitterFactor(Key, 0.15));
+  }
+  // Pure over construction-time state, like InterfBindingImpl above.
+  int64_t iterationClass(uint64_t Iter) const override {
+    return static_cast<int64_t>(Iter);
   }
 
 private:

@@ -22,9 +22,10 @@ bool endsWith(const std::string &S, const std::string &Suffix) {
          S.compare(S.size() - Suffix.size(), Suffix.size(), Suffix) == 0;
 }
 
-/// `*.ok` metrics are 0/1 acceptance flags: higher is better.
+/// `*.ok` metrics are 0/1 acceptance flags and `*_per_sec` metrics are
+/// throughputs: higher is better for both.
 bool higherIsBetter(const std::string &Name) {
-  return endsWith(Name, ".ok") || Name == "ok";
+  return endsWith(Name, ".ok") || Name == "ok" || endsWith(Name, "_per_sec");
 }
 
 } // namespace

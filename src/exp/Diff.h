@@ -8,8 +8,9 @@
 /// The regression gate behind `dynfb-bench diff`: compares two result files
 /// metric by metric. Jobs are matched by (experiment, canonical config);
 /// metrics are cost-like (seconds, overheads, pair counts) and gate on
-/// increase, except metrics named `*.ok` (0/1 acceptance flags) which gate
-/// on decrease. Thresholds are noise-aware: a candidate only regresses when
+/// increase, except metrics named `*.ok` (0/1 acceptance flags) and
+/// `*_per_sec` (throughputs) which gate on decrease. Thresholds are
+/// noise-aware: a candidate only regresses when
 /// it exceeds baseline * (1 + rel) + abs, with per-metric-suffix overrides
 /// for known-noisier series, so simulator-deterministic metrics can gate
 /// tightly while genuinely noisy ones get slack.

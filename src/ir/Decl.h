@@ -17,7 +17,9 @@
 
 #include "ir/Stmt.h"
 
+#include <atomic>
 #include <cassert>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -101,6 +103,33 @@ public:
   bool isSynthetic() const { return Synthetic; }
   void setSynthetic() { Synthetic = true; }
 
+  /// Sentinel for loweringUsedParams: mask not yet computed.
+  static constexpr uint32_t LoweringParamsUnknown = UINT32_MAX;
+
+  /// Cached bitmask of parameters whose bound objects the micro-op lowering
+  /// actually reads (lock-operation receivers and arguments forwarded to
+  /// callees that read them -- expression operands never resolve objects).
+  /// Structural metadata computed lazily by the interpreter on first use;
+  /// atomic so concurrent emitters (native-threads backend) may race to
+  /// store the same value. LoweringParamsUnknown until computed.
+  uint32_t loweringUsedParams() const {
+    return LoweringUsedParams.load(std::memory_order_relaxed);
+  }
+  void setLoweringUsedParams(uint32_t Mask) const {
+    LoweringUsedParams.store(Mask, std::memory_order_relaxed);
+  }
+
+  /// Cached tri-state: does this method's lowering consist of compute time
+  /// only (no lock operations, directly or through callees)? 0 = not yet
+  /// computed, 1 = pure compute, 2 = not. Same caching discipline as
+  /// loweringUsedParams.
+  uint8_t loweringPureCompute() const {
+    return LoweringPureCompute.load(std::memory_order_relaxed);
+  }
+  void setLoweringPureCompute(uint8_t V) const {
+    LoweringPureCompute.store(V, std::memory_order_relaxed);
+  }
+
 private:
   const unsigned Id;
   const std::string Name;
@@ -108,6 +137,8 @@ private:
   std::vector<Param> Params;
   std::vector<Stmt *> Body;
   bool Synthetic = false;
+  mutable std::atomic<uint32_t> LoweringUsedParams{LoweringParamsUnknown};
+  mutable std::atomic<uint8_t> LoweringPureCompute{0};
 };
 
 /// A parallel section: a parallel loop whose iteration i invokes IterMethod

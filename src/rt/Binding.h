@@ -88,6 +88,17 @@ public:
 
   /// Cost of one execution of the compute kernel \p CostClass in \p Ctx.
   virtual Nanos computeNanos(unsigned CostClass, const LoopCtx &Ctx) const = 0;
+
+  /// Cache key for iteration \p Iter's emitted micro-op sequence, or a
+  /// negative value when the sequence cannot be cached. Two iterations with
+  /// the same non-negative class must lower to identical micro-op sequences
+  /// (per code version) for the binding's whole lifetime, and keys must be
+  /// dense in [0, iterationCount()). Bindings whose iterations depend on
+  /// mutable state keep the default: every emit interprets the IR live.
+  virtual int64_t iterationClass(uint64_t Iter) const {
+    (void)Iter;
+    return -1;
+  }
 };
 
 } // namespace dynfb::rt

@@ -8,6 +8,7 @@
 
 #include "support/Compiler.h"
 
+#include <algorithm>
 #include <cassert>
 
 using namespace dynfb;
@@ -20,6 +21,115 @@ IterationEmitter::IterationEmitter(const Method *Entry,
     : Entry(Entry), Binding(Binding), Costs(Costs) {
   assert(Entry && "emitter needs an entry method");
 }
+
+namespace {
+
+void markUsedRecv(const Receiver &R, uint32_t &Mask) {
+  switch (R.Kind) {
+  case RecvKind::This:
+    return;
+  case RecvKind::Param:
+  case RecvKind::ParamIndexed:
+    Mask |= 1u << R.ParamIdx;
+    return;
+  }
+}
+
+uint32_t usedParamsOf(const Method *M);
+
+void markUsedList(const std::vector<Stmt *> &List, uint32_t &Mask) {
+  for (const Stmt *S : List) {
+    switch (S->kind()) {
+    case StmtKind::Compute:
+    case StmtKind::Update:
+      // Lowered without resolving any object: compute reads only the cost
+      // class, updates fold into compute time.
+      break;
+    case StmtKind::Acquire:
+      markUsedRecv(stmtCast<AcquireStmt>(S).Recv, Mask);
+      break;
+    case StmtKind::Release:
+      markUsedRecv(stmtCast<ReleaseStmt>(S).Recv, Mask);
+      break;
+    case StmtKind::Call: {
+      const auto &C = stmtCast<CallStmt>(S);
+      markUsedRecv(C.Recv, Mask);
+      // An argument matters only if the callee's lowering reads the
+      // parameter it binds.
+      const uint32_t CalleeMask = usedParamsOf(C.callee());
+      size_t NextArg = 0;
+      for (unsigned P = 0; P < C.callee()->params().size(); ++P) {
+        if (!C.callee()->param(P).isObject())
+          continue;
+        assert(NextArg < C.ObjArgs.size() && "missing object argument");
+        if (CalleeMask & (1u << P))
+          markUsedRecv(C.ObjArgs[NextArg], Mask);
+        ++NextArg;
+      }
+      break;
+    }
+    case StmtKind::Loop:
+      markUsedList(stmtCast<LoopStmt>(S).Body, Mask);
+      break;
+    }
+  }
+}
+
+/// The bitmask of \p M's parameters whose bound objects the lowering reads,
+/// computed on demand and cached on the method (see Method docs). A
+/// recursion cycle leaves the in-progress conservative all-used mask in
+/// place for the inner query.
+uint32_t usedParamsOf(const Method *M) {
+  const uint32_t Cached = M->loweringUsedParams();
+  if (Cached != Method::LoweringParamsUnknown)
+    return Cached;
+  M->setLoweringUsedParams(0x7fffffffu);
+  uint32_t Mask = 0;
+  markUsedList(M->body(), Mask);
+  M->setLoweringUsedParams(Mask);
+  return Mask;
+}
+
+bool pureComputeOf(const Method *M);
+
+/// Does \p List lower to compute time only -- no lock operations emitted,
+/// directly or through callees? Such a list needs no call frames and no
+/// object resolution, so its trips can be folded into a running duration.
+bool pureComputeList(const std::vector<Stmt *> &List) {
+  for (const Stmt *S : List) {
+    switch (S->kind()) {
+    case StmtKind::Compute:
+    case StmtKind::Update:
+      break;
+    case StmtKind::Acquire:
+    case StmtKind::Release:
+      return false;
+    case StmtKind::Call:
+      if (!pureComputeOf(stmtCast<CallStmt>(S).callee()))
+        return false;
+      break;
+    case StmtKind::Loop:
+      if (!pureComputeList(stmtCast<LoopStmt>(S).Body))
+        return false;
+      break;
+    }
+  }
+  return true;
+}
+
+/// Cached method-level purity (see Method::loweringPureCompute). A
+/// recursion cycle sees the in-progress conservative "not pure" state.
+bool pureComputeOf(const Method *M) {
+  const uint8_t Cached = M->loweringPureCompute();
+  if (Cached)
+    return Cached == 1;
+  M->setLoweringPureCompute(2);
+  const bool Pure = pureComputeList(M->body());
+  M->setLoweringPureCompute(Pure ? 1 : 2);
+  return Pure;
+}
+
+} // namespace
 
 void IterationEmitter::pushCompute(std::vector<MicroOp> &Out, Nanos Dur) {
   if (Dur <= 0)
@@ -60,6 +170,46 @@ ObjectId IterationEmitter::resolveObject(const Receiver &R, const Method *M,
   return Ref.Id;
 }
 
+Nanos IterationEmitter::sumComputeList(const std::vector<Stmt *> &List,
+                                       LoopCtx &Ctx) const {
+  Nanos Sum = 0;
+  for (const Stmt *S : List) {
+    switch (S->kind()) {
+    case StmtKind::Compute: {
+      const Nanos D =
+          Binding.computeNanos(stmtCast<ComputeStmt>(S).CostClass, Ctx);
+      if (D > 0)
+        Sum += D;
+      break;
+    }
+    case StmtKind::Update:
+      if (Costs.UpdateNanos > 0)
+        Sum += Costs.UpdateNanos;
+      break;
+    case StmtKind::Call:
+      // Pure-compute callees never read their receiver or parameters, so
+      // no frame is built.
+      Sum += sumComputeList(stmtCast<CallStmt>(S).callee()->body(), Ctx);
+      break;
+    case StmtKind::Loop: {
+      const auto &L = stmtCast<LoopStmt>(S);
+      const uint64_t Trip = Binding.tripCount(L.LoopId, Ctx);
+      Ctx.Loops.emplace_back(L.LoopId, 0);
+      for (uint64_t I = 0; I < Trip; ++I) {
+        Ctx.Loops.back().second = I;
+        Sum += sumComputeList(L.Body, Ctx);
+      }
+      Ctx.Loops.pop_back();
+      break;
+    }
+    case StmtKind::Acquire:
+    case StmtKind::Release:
+      DYNFB_UNREACHABLE("lock operation in a pure-compute list");
+    }
+  }
+  return Sum;
+}
+
 void IterationEmitter::runList(const Method *M,
                                const std::vector<Stmt *> &List,
                                const Frame &F, LoopCtx &Ctx,
@@ -85,6 +235,11 @@ void IterationEmitter::runList(const Method *M,
     case StmtKind::Call: {
       const auto &C = stmtCast<CallStmt>(S);
       const Method *Callee = C.callee();
+      if (pureComputeOf(Callee)) {
+        pushCompute(Out, sumComputeList(Callee->body(), Ctx));
+        break;
+      }
+      const uint32_t CalleeUsed = usedParamsOf(Callee);
       Frame CalleeFrame;
       CalleeFrame.This = resolveObject(C.Recv, M, F, Ctx);
       CalleeFrame.Params.resize(Callee->params().size());
@@ -93,7 +248,11 @@ void IterationEmitter::runList(const Method *M,
         if (!Callee->param(P).isObject())
           continue;
         assert(NextArg < C.ObjArgs.size() && "missing object argument");
-        CalleeFrame.Params[P] = resolveRef(C.ObjArgs[NextArg++], M, F, Ctx);
+        // Bind only parameters the callee's lowering reads; resolving the
+        // rest (a binding query per loop trip on the hot path) is dead work.
+        if (CalleeUsed & (1u << P))
+          CalleeFrame.Params[P] = resolveRef(C.ObjArgs[NextArg], M, F, Ctx);
+        ++NextArg;
       }
       runMethod(Callee, CalleeFrame, Ctx, Out);
       break;
@@ -102,9 +261,21 @@ void IterationEmitter::runList(const Method *M,
       const auto &L = stmtCast<LoopStmt>(S);
       const uint64_t Trip = Binding.tripCount(L.LoopId, Ctx);
       Ctx.Loops.emplace_back(L.LoopId, 0);
-      for (uint64_t I = 0; I < Trip; ++I) {
-        Ctx.Loops.back().second = I;
-        runList(M, L.Body, F, Ctx, Out);
+      if (pureComputeList(L.Body)) {
+        // Compute-only body: fold every trip into one running duration
+        // instead of building a frame and merging op-by-op per trip. The
+        // merged output is identical because adjacent computes coalesce.
+        Nanos Sum = 0;
+        for (uint64_t I = 0; I < Trip; ++I) {
+          Ctx.Loops.back().second = I;
+          Sum += sumComputeList(L.Body, Ctx);
+        }
+        pushCompute(Out, Sum);
+      } else {
+        for (uint64_t I = 0; I < Trip; ++I) {
+          Ctx.Loops.back().second = I;
+          runList(M, L.Body, F, Ctx, Out);
+        }
       }
       Ctx.Loops.pop_back();
       break;
@@ -122,18 +293,54 @@ void IterationEmitter::emit(uint64_t Iter, std::vector<MicroOp> &Out) const {
   Out.clear();
   Frame Top;
   Top.This = Binding.thisObject(Iter);
-  const std::vector<ObjRef> Args = Binding.sectionArgs(Iter);
   Top.Params.resize(Entry->params().size());
-  size_t NextArg = 0;
-  for (unsigned P = 0; P < Entry->params().size(); ++P) {
-    if (!Entry->param(P).isObject())
-      continue;
-    assert(NextArg < Args.size() && "binding supplies too few section args");
-    Top.Params[P] = Args[NextArg++];
+  if (const uint32_t EntryUsed = usedParamsOf(Entry)) {
+    const std::vector<ObjRef> Args = Binding.sectionArgs(Iter);
+    size_t NextArg = 0;
+    for (unsigned P = 0; P < Entry->params().size(); ++P) {
+      if (!Entry->param(P).isObject())
+        continue;
+      assert(NextArg < Args.size() && "binding supplies too few section args");
+      if (EntryUsed & (1u << P))
+        Top.Params[P] = Args[NextArg];
+      ++NextArg;
+    }
   }
   LoopCtx Ctx;
   Ctx.Iter = Iter;
   runMethod(Entry, Top, Ctx, Out);
+}
+
+const std::vector<MicroOp> &
+IterationEmitter::ops(uint64_t Iter, std::vector<MicroOp> &Scratch) const {
+  const int64_t Class = Cache ? Binding.iterationClass(Iter) : -1;
+  if (Class < 0) {
+    emit(Iter, Scratch);
+    return Scratch;
+  }
+  const size_t Key = static_cast<size_t>(Class);
+  if (Key >= Cache->Seqs.size()) {
+    const size_t NewSize =
+        std::max<size_t>(Key + 1, Binding.iterationCount());
+    Cache->Seqs.resize(NewSize);
+    Cache->Filled.resize(NewSize, 0);
+  }
+  if (!Cache->Filled[Key]) {
+    emit(Iter, Cache->Seqs[Key]);
+    Cache->Filled[Key] = 1;
+    return Cache->Seqs[Key];
+  }
+#ifndef NDEBUG
+  // A cache hit must match a live emit exactly: a binding whose iterations
+  // drift while claiming a stable iterationClass corrupts the simulation.
+  emit(Iter, Scratch);
+  const std::vector<MicroOp> &Cached = Cache->Seqs[Key];
+  assert(Scratch.size() == Cached.size() && "stale ops cache");
+  for (size_t I = 0; I < Cached.size(); ++I)
+    assert(Scratch[I].K == Cached[I].K && Scratch[I].Obj == Cached[I].Obj &&
+           Scratch[I].Dur == Cached[I].Dur && "stale ops cache");
+#endif
+  return Cache->Seqs[Key];
 }
 
 uint64_t IterationEmitter::countPairs(uint64_t Iter) const {

@@ -25,6 +25,17 @@
 
 namespace dynfb::rt {
 
+/// Memoized micro-op sequences for one section version, keyed by
+/// DataBinding::iterationClass. Owned by whoever owns the binding's
+/// lifetime (the sim backend keeps one per version per section, so cached
+/// sequences survive across section occurrences); filled lazily by
+/// IterationEmitter::ops.
+class EmittedOpsCache {
+  friend class IterationEmitter;
+  std::vector<std::vector<MicroOp>> Seqs; ///< Indexed by iteration class.
+  std::vector<uint8_t> Filled;            ///< 1 once Seqs[Class] is valid.
+};
+
 /// Lowers iterations of one section version to micro-operations.
 class IterationEmitter {
 public:
@@ -36,6 +47,19 @@ public:
   /// Appends iteration \p Iter's micro-ops to \p Out (Out is cleared first).
   void emit(uint64_t Iter, std::vector<MicroOp> &Out) const;
 
+  /// Attaches a memoization cache for this emitter's (version, binding)
+  /// pair. Only iterations the binding assigns a non-negative
+  /// iterationClass are memoized; everything else falls back to live
+  /// interpretation. Pass nullptr to detach.
+  void attachCache(EmittedOpsCache *C) { Cache = C; }
+
+  /// Iteration \p Iter's micro-ops: a reference into the attached cache on
+  /// the memoized path, or into \p Scratch (re-emitted live) on the
+  /// fallback path. The reference is valid until the cache is destroyed or
+  /// \p Scratch is next touched, whichever path produced it.
+  const std::vector<MicroOp> &ops(uint64_t Iter,
+                                  std::vector<MicroOp> &Scratch) const;
+
   /// Counts the acquire/release pairs iteration \p Iter executes, without
   /// materializing ops (used by analytical reports).
   uint64_t countPairs(uint64_t Iter) const;
@@ -45,15 +69,50 @@ public:
   Nanos computeTime(uint64_t Iter) const;
 
 private:
+  /// Fixed-capacity parameter storage: one call frame is built per callee
+  /// invocation -- per loop trip in the hot emission path -- so Params must
+  /// never touch the heap. Generated methods take at most a handful of
+  /// object parameters; the capacity asserts rather than spills.
+  class ParamArray {
+  public:
+    void resize(size_t N) {
+      assert(N <= Cap && "generated method exceeds frame parameter capacity");
+      for (size_t I = Size; I < N; ++I)
+        Elems[I] = ObjRef();
+      Size = N;
+    }
+    size_t size() const { return Size; }
+    ObjRef &operator[](size_t I) {
+      assert(I < Size && "parameter index out of range");
+      return Elems[I];
+    }
+    const ObjRef &operator[](size_t I) const {
+      assert(I < Size && "parameter index out of range");
+      return Elems[I];
+    }
+
+  private:
+    static constexpr size_t Cap = 8;
+    ObjRef Elems[Cap];
+    size_t Size = 0;
+  };
+
   struct Frame {
     ObjectId This = 0;
-    std::vector<ObjRef> Params; ///< Indexed by object-parameter position.
+    ParamArray Params; ///< Indexed by object-parameter position.
   };
 
   void runMethod(const ir::Method *M, const Frame &F, LoopCtx &Ctx,
                  std::vector<MicroOp> &Out) const;
   void runList(const ir::Method *M, const std::vector<ir::Stmt *> &List,
                const Frame &F, LoopCtx &Ctx, std::vector<MicroOp> &Out) const;
+
+  /// Sums the compute time of a statement list whose lowering is pure
+  /// compute (no lock operations, so no frames or object resolution are
+  /// needed). Fast path for the hot per-trip emission of compute-only loop
+  /// bodies; per-statement durations are clamped to >= 0 exactly as
+  /// pushCompute would, so the folded result matches op-by-op emission.
+  Nanos sumComputeList(const std::vector<ir::Stmt *> &List, LoopCtx &Ctx) const;
 
   ObjectId resolveObject(const ir::Receiver &R, const ir::Method *M,
                          const Frame &F, const LoopCtx &Ctx) const;
@@ -65,6 +124,7 @@ private:
   const ir::Method *const Entry;
   const DataBinding &Binding;
   const CostModel Costs;
+  EmittedOpsCache *Cache = nullptr;
 };
 
 } // namespace dynfb::rt

@@ -8,6 +8,7 @@
 
 #include "support/StringUtils.h"
 
+#include <cerrno>
 #include <cstdlib>
 
 using namespace dynfb;
@@ -176,8 +177,10 @@ bool rt::applyCostOverrides(MachineModel &M, const std::string &Spec,
     const std::string Field = Item.substr(0, Eq);
     const std::string ValueText = Item.substr(Eq + 1);
     char *End = nullptr;
+    errno = 0; // strtoll saturates out-of-range input and only sets errno.
     const long long Value = std::strtoll(ValueText.c_str(), &End, 10);
-    if (ValueText.empty() || (End && *End != '\0') || Value < 0) {
+    if (ValueText.empty() || (End && *End != '\0') || errno == ERANGE ||
+        Value < 0) {
       Error = "cost override '" + Item +
               "' wants a non-negative integer nanosecond value";
       return false;

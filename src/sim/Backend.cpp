@@ -18,7 +18,12 @@ void SimBackend::addSection(const std::string &Name,
                             std::vector<SimVersion> Versions) {
   assert(Binding && "section registered without a binding");
   assert(!Versions.empty() && "section registered without versions");
-  Sections[Name] = SectionInfo{Binding, std::move(Versions)};
+  SectionInfo &Info = Sections[Name];
+  Info.Binding = Binding;
+  Info.Versions = std::move(Versions);
+  // Fresh caches: a re-registered section may bring new code versions or a
+  // new binding, invalidating previously memoized sequences.
+  Info.OpsCaches = std::vector<rt::EmittedOpsCache>(Info.Versions.size());
 }
 
 void SimBackend::addSections(const rt::SectionRegistry &Registry) {
@@ -38,6 +43,7 @@ SimBackend::beginSectionSim(const std::string &Name) {
     reportFatalError("beginSection: unknown parallel section name");
   auto Runner = std::make_unique<SimSectionRunner>(
       Machine, *It->second.Binding, It->second.Versions, Instrumented);
+  Runner->attachOpsCaches(&It->second.OpsCaches);
   Runner->setPerturbation(Machine.perturbation(), Name);
   if (CollectSectionTraces) {
     IntervalTrace &Trace = SectionTraces[Name];

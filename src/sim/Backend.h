@@ -89,6 +89,11 @@ private:
   struct SectionInfo {
     const rt::DataBinding *Binding = nullptr;
     std::vector<SimVersion> Versions;
+    /// One memoized micro-op cache per code version, shared by every
+    /// runner of this section so cached sequences survive across section
+    /// occurrences (valid because iterationClass keys are stable for the
+    /// binding's lifetime; re-registering a section replaces the caches).
+    std::vector<rt::EmittedOpsCache> OpsCaches;
   };
 
   SimMachine Machine;

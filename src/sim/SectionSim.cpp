@@ -13,19 +13,28 @@
 // into counted failed acquire attempts, exactly how the paper's
 // instrumentation accounts waiting overhead.
 //
+// The loop is allocation-free in steady state: the per-interval state
+// (processors, locks, ready heap) lives in a reusable IntervalState that is
+// reset -- not reallocated -- each interval, iteration micro-op sequences
+// come from the backend-owned EmittedOpsCache (or a reused per-processor
+// scratch buffer on the live-interpretation fallback), and the whole loop
+// is instantiated per machine-model topology so the flat-model path
+// contains no virtual pricing calls.
+//
 //===----------------------------------------------------------------------===//
 
 #include "sim/SectionSim.h"
 
 #include "obs/Metrics.h"
 #include "perturb/Engine.h"
+#include "sim/Throughput.h"
 #include "support/StringUtils.h"
 
 #include <algorithm>
 #include <cassert>
 #include <cmath>
-#include <deque>
-#include <queue>
+#include <functional>
+#include <memory>
 
 namespace {
 
@@ -67,6 +76,72 @@ using namespace dynfb;
 using namespace dynfb::rt;
 using namespace dynfb::sim;
 
+ThroughputCounters &sim::throughputCounters() {
+  static ThroughputCounters C;
+  return C;
+}
+
+namespace {
+
+/// Sentinel processor index ("none") for the intrusive waiter links.
+constexpr uint32_t NoProc = ~0u;
+
+struct Proc {
+  Nanos Clock = 0;
+  /// Current iteration's micro-ops: a view into the version's ops cache or
+  /// into this processor's Scratch buffer (live-interpretation fallback).
+  const MicroOp *Ops = nullptr;
+  size_t NumOps = 0;
+  size_t Pc = 0;
+  bool HasIteration = false;
+  bool Stopped = false;
+  Nanos EndTime = 0;
+  OverheadStats Stats;
+  /// Claimed-but-unexecuted iteration range of the current scheduling
+  /// chunk ([ClaimNext, ClaimEnd)). Empty under dynamic self-scheduling,
+  /// where every fetch claims exactly one iteration.
+  uint64_t ClaimNext = 0;
+  uint64_t ClaimEnd = 0;
+  /// Next processor in the lock's FIFO while this one is blocked (a
+  /// processor waits on at most one lock at a time).
+  uint32_t NextWaiter = NoProc;
+  /// Reused live-emit buffer; its capacity survives across iterations and
+  /// intervals.
+  std::vector<MicroOp> Scratch;
+};
+
+/// FIFO spin lock over the intrusive Proc::NextWaiter links.
+struct SimLock {
+  bool Held = false;
+  uint32_t WaitHead = NoProc;
+  uint32_t WaitTail = NoProc;
+  uint32_t NumWaiters = 0;
+};
+
+struct HeapEntry {
+  Nanos T;
+  uint32_t P;
+  friend bool operator>(const HeapEntry &A, const HeapEntry &B) {
+    if (A.T != B.T)
+      return A.T > B.T;
+    return A.P > B.P;
+  }
+};
+
+} // namespace
+
+/// The per-interval simulation state, hoisted out of runInterval so buffers
+/// are reset rather than reallocated each interval. (T, P) heap keys are
+/// unique -- a processor is in the heap at most once -- so the
+/// push_heap/pop_heap order is identical to the std::priority_queue the
+/// seed used.
+struct SimSectionRunner::IntervalState {
+  std::vector<Proc> Procs;
+  std::vector<SimLock> Locks;
+  std::vector<HeapEntry> Heap;
+  std::vector<uint64_t> NodeContended;
+};
+
 SimSectionRunner::SimSectionRunner(SimMachine &Machine,
                                    const DataBinding &Binding,
                                    std::vector<SimVersion> Versions,
@@ -91,42 +166,25 @@ void SimSectionRunner::setPerturbation(
   Perturb = Engine && Engine->mayAffect(SectionName) ? Engine : nullptr;
 }
 
-namespace {
-
-struct Proc {
-  Nanos Clock = 0;
-  std::vector<MicroOp> Ops;
-  size_t Pc = 0;
-  bool HasIteration = false;
-  bool Stopped = false;
-  Nanos EndTime = 0;
-  OverheadStats Stats;
-  /// Claimed-but-unexecuted iteration range of the current scheduling
-  /// chunk ([ClaimNext, ClaimEnd)). Empty under dynamic self-scheduling,
-  /// where every fetch claims exactly one iteration.
-  uint64_t ClaimNext = 0;
-  uint64_t ClaimEnd = 0;
-};
-
-struct SimLock {
-  bool Held = false;
-  std::deque<uint32_t> Waiters;
-};
-
-struct HeapEntry {
-  Nanos T;
-  uint32_t P;
-  friend bool operator>(const HeapEntry &A, const HeapEntry &B) {
-    if (A.T != B.T)
-      return A.T > B.T;
-    return A.P > B.P;
-  }
-};
-
-} // namespace
+void SimSectionRunner::attachOpsCaches(
+    std::vector<rt::EmittedOpsCache> *Caches) {
+  assert((!Caches || Caches->size() == Emitters.size()) &&
+         "one ops cache per code version");
+  for (size_t V = 0; V < Emitters.size(); ++V)
+    Emitters[V].attachCache(Caches ? &(*Caches)[V] : nullptr);
+}
 
 IntervalReport SimSectionRunner::runInterval(unsigned V, Nanos Target) {
+  // One instantiation per topology class: the flat path carries no virtual
+  // pricing calls and no per-op topology branches.
+  return Machine.model().topologyAware() ? runIntervalImpl<true>(V, Target)
+                                         : runIntervalImpl<false>(V, Target);
+}
+
+template <bool Topo>
+IntervalReport SimSectionRunner::runIntervalImpl(unsigned V, Nanos Target) {
   assert(V < Versions.size() && "version index out of range");
+  assert(Machine.model().topologyAware() == Topo && "wrong instantiation");
   const CostModel &CM = Machine.costs();
   const Nanos Start = Machine.now();
   const Nanos Deadline = Start + Target;
@@ -140,57 +198,97 @@ IntervalReport SimSectionRunner::runInterval(unsigned V, Nanos Target) {
   // home node of each lock's cache line and the contention depth; the flat
   // models keep the seed's constant-folded arithmetic above, untouched.
   const rt::MachineModel &MM = Machine.model();
-  const bool Topo = MM.topologyAware();
   std::vector<int> *Homes = nullptr;
   unsigned NumNodes = 1;
-  if (Topo) {
+  if constexpr (Topo) {
     Homes = &Machine.lockHomes(SectionName, Binding.objectCount());
     NumNodes = MM.nodeOf(P - 1) + 1;
   }
   const Nanos FailedAcqNanos =
       Topo ? MM.failedAcquireNanos() : CM.FailedAcquireNanos;
+  // Waiting time is converted to counted failed acquires by ceil-dividing
+  // with the failed-attempt cost. Zero is a legal cost ("spinning is free"),
+  // so the conversion divisor is clamped to one nanosecond per attempt.
+  const Nanos FailedAcqDiv = std::max<Nanos>(1, FailedAcqNanos);
 
   // Per-node contention tallies plus the local/remote/cold acquire split,
   // flushed into the metrics registry at interval end (topology-aware
   // models only, so flat-machine metric exports stay byte-identical).
   uint64_t TallyLocalAcq = 0, TallyRemoteAcq = 0, TallyColdAcq = 0;
-  std::vector<uint64_t> NodeContended(Topo ? NumNodes : 0);
+
+  if (!State)
+    State = std::make_unique<IntervalState>();
+  IntervalState &S = *State;
+  if (S.Procs.size() != P) {
+    S.Procs.assign(P, Proc{});
+    for (Proc &Pr : S.Procs)
+      Pr.Scratch.reserve(64);
+  }
+  for (Proc &Pr : S.Procs) {
+    Pr.Clock = Start;
+    Pr.Ops = nullptr;
+    Pr.NumOps = 0;
+    Pr.Pc = 0;
+    Pr.HasIteration = false;
+    Pr.Stopped = false;
+    Pr.EndTime = 0;
+    Pr.Stats = OverheadStats{};
+    Pr.ClaimNext = 0;
+    Pr.ClaimEnd = 0;
+    Pr.NextWaiter = NoProc;
+  }
+  // assign() keeps the vectors' capacity: no reallocation after the first
+  // interval of a run.
+  S.Locks.assign(Binding.objectCount(), SimLock{});
+  S.NodeContended.assign(Topo ? NumNodes : 0, 0);
+  S.Heap.clear();
+  std::vector<Proc> &Procs = S.Procs;
+  std::vector<SimLock> &Locks = S.Locks;
+  std::vector<HeapEntry> &Heap = S.Heap;
+
+  const auto HeapPush = [&Heap](Nanos T, uint32_t ProcIdx) {
+    Heap.push_back(HeapEntry{T, ProcIdx});
+    std::push_heap(Heap.begin(), Heap.end(), std::greater<HeapEntry>());
+  };
 
   // Prices one successful acquire and moves the lock's line to the
   // acquirer's cluster. \p Depth is the number of waiters still queued.
   auto AcquirePrice = [&](uint32_t ProcIdx, uint32_t Obj,
                           unsigned Depth) -> Nanos {
-    if (!Topo)
+    if constexpr (!Topo) {
+      (void)ProcIdx;
+      (void)Obj;
+      (void)Depth;
       return AcqCost;
-    const int Home = (*Homes)[Obj];
-    const unsigned Node = MM.nodeOf(ProcIdx);
-    if (Home < 0)
-      ++TallyColdAcq;
-    else if (static_cast<unsigned>(Home) == Node)
-      ++TallyLocalAcq;
-    else
-      ++TallyRemoteAcq;
-    const Nanos Cost =
-        MM.acquireNanos(rt::LockEvent{ProcIdx, Obj, Home, Depth}) + InstrCost;
-    (*Homes)[Obj] = static_cast<int>(Node);
-    return Cost;
+    } else {
+      const int Home = (*Homes)[Obj];
+      const unsigned Node = MM.nodeOf(ProcIdx);
+      if (Home < 0)
+        ++TallyColdAcq;
+      else if (static_cast<unsigned>(Home) == Node)
+        ++TallyLocalAcq;
+      else
+        ++TallyRemoteAcq;
+      const Nanos Cost =
+          MM.acquireNanos(rt::LockEvent{ProcIdx, Obj, Home, Depth}) +
+          InstrCost;
+      (*Homes)[Obj] = static_cast<int>(Node);
+      return Cost;
+    }
   };
   auto ReleasePrice = [&](uint32_t ProcIdx, uint32_t Obj) -> Nanos {
-    if (!Topo)
+    if constexpr (!Topo) {
+      (void)ProcIdx;
+      (void)Obj;
       return RelCost;
-    return MM.releaseNanos(rt::LockEvent{ProcIdx, Obj, (*Homes)[Obj], 0}) +
-           InstrCost;
+    } else {
+      return MM.releaseNanos(rt::LockEvent{ProcIdx, Obj, (*Homes)[Obj], 0}) +
+             InstrCost;
+    }
   };
-  std::vector<Proc> Procs(P);
-  std::vector<SimLock> Locks(Binding.objectCount());
-  std::priority_queue<HeapEntry, std::vector<HeapEntry>,
-                      std::greater<HeapEntry>>
-      Ready;
 
-  for (unsigned I = 0; I < P; ++I) {
-    Procs[I].Clock = Start;
-    Ready.push(HeapEntry{Start, I});
-  }
+  for (unsigned I = 0; I < P; ++I)
+    HeapPush(Start, I);
 
   if (Trace) {
     if (!Trace->Cumulative)
@@ -202,6 +300,7 @@ IntervalReport SimSectionRunner::runInterval(unsigned V, Nanos Target) {
   // Interval-local tallies flushed into the metrics registry at the end;
   // plain integers so the event loop stays free of atomics.
   uint64_t TallyIterations = 0;
+  uint64_t TallyMicroOps = 0;
   uint64_t TallySchedFetches = 0;
   uint64_t TallyAcquires = 0;
   uint64_t TallyContended = 0;
@@ -227,7 +326,7 @@ IntervalReport SimSectionRunner::runInterval(unsigned V, Nanos Target) {
     TallyLockWaitNanos += Extra;
     Pr.Stats.WaitNanos += Extra;
     Pr.Stats.FailedAcquires += static_cast<uint64_t>(
-        (Extra + FailedAcqNanos - 1) / FailedAcqNanos);
+        (Extra + FailedAcqDiv - 1) / FailedAcqDiv);
     Pr.Clock += Extra;
     Injected += Extra;
     if (Trace)
@@ -248,9 +347,10 @@ IntervalReport SimSectionRunner::runInterval(unsigned V, Nanos Target) {
   // self-scheduling, the chunk size under blocked scheduling.
   const uint64_t Chunk = Versions[V].Sched.chunkIters();
 
-  while (!Ready.empty()) {
-    const HeapEntry Top = Ready.top();
-    Ready.pop();
+  while (!Heap.empty()) {
+    std::pop_heap(Heap.begin(), Heap.end(), std::greater<HeapEntry>());
+    const HeapEntry Top = Heap.back();
+    Heap.pop_back();
     Proc &Pr = Procs[Top.P];
     assert(!Pr.Stopped && "stopped processor in ready heap");
 
@@ -274,22 +374,28 @@ IntervalReport SimSectionRunner::runInterval(unsigned V, Nanos Target) {
         Pr.ClaimEnd = std::min(NextIter + Chunk, NumIterations);
         NextIter = Pr.ClaimEnd;
       }
-      Emitter.emit(Pr.ClaimNext++, Pr.Ops);
+      const std::vector<MicroOp> &Seq =
+          Emitter.ops(Pr.ClaimNext++, Pr.Scratch);
+      Pr.Ops = Seq.data();
+      Pr.NumOps = Seq.size();
       Pr.Pc = 0;
       Pr.HasIteration = true;
       ++TallyIterations;
+      // Fetched iterations always run to completion (the deadline is only
+      // checked at chunk boundaries), so ops-at-fetch equals ops-executed.
+      TallyMicroOps += Pr.NumOps;
       if (Trace)
         ++Trace->Procs[Top.P].Iterations;
-      Ready.push(HeapEntry{Pr.Clock, Top.P});
+      HeapPush(Pr.Clock, Top.P);
       continue;
     }
 
-    if (Pr.Pc == Pr.Ops.size()) {
+    if (Pr.Pc == Pr.NumOps) {
       Pr.HasIteration = false;
       if (Pr.ClaimNext < Pr.ClaimEnd) {
         // Mid-chunk iteration boundary: the claimed chunk continues
         // back-to-back -- no timer poll, not a potential switch point.
-        Ready.push(HeapEntry{Pr.Clock, Top.P});
+        HeapPush(Pr.Clock, Top.P);
         continue;
       }
       // Chunk boundary, a potential switch point: poll the timer.
@@ -307,7 +413,7 @@ IntervalReport SimSectionRunner::runInterval(unsigned V, Nanos Target) {
       if (Pr.Clock >= Deadline)
         Stop(Pr);
       else
-        Ready.push(HeapEntry{Pr.Clock, Top.P});
+        HeapPush(Pr.Clock, Top.P);
       continue;
     }
 
@@ -329,7 +435,7 @@ IntervalReport SimSectionRunner::runInterval(unsigned V, Nanos Target) {
       ++Pr.Pc;
       if (Trace)
         Trace->Procs[Top.P].ComputeNanos += Dur;
-      Ready.push(HeapEntry{Pr.Clock, Top.P});
+      HeapPush(Pr.Clock, Top.P);
       break;
     }
 
@@ -349,11 +455,17 @@ IntervalReport SimSectionRunner::runInterval(unsigned V, Nanos Target) {
           Trace->Procs[Top.P].LockOpNanos += Cost;
           ++Trace->Locks[Op.Obj].Acquires;
         }
-        Ready.push(HeapEntry{Pr.Clock, Top.P});
+        HeapPush(Pr.Clock, Top.P);
       } else {
         // Block: the processor spins until the holder's release grants it
         // the lock. Its clock stays at the request time.
-        L.Waiters.push_back(Top.P);
+        Pr.NextWaiter = NoProc;
+        if (L.WaitTail == NoProc)
+          L.WaitHead = Top.P;
+        else
+          Procs[L.WaitTail].NextWaiter = Top.P;
+        L.WaitTail = Top.P;
+        ++L.NumWaiters;
       }
       break;
     }
@@ -367,10 +479,14 @@ IntervalReport SimSectionRunner::runInterval(unsigned V, Nanos Target) {
       ++Pr.Pc;
       if (Trace)
         Trace->Procs[Top.P].LockOpNanos += RelTotal;
-      if (!L.Waiters.empty()) {
-        const uint32_t W = L.Waiters.front();
-        L.Waiters.pop_front();
+      if (L.WaitHead != NoProc) {
+        const uint32_t W = L.WaitHead;
         Proc &Waiter = Procs[W];
+        L.WaitHead = Waiter.NextWaiter;
+        if (L.WaitHead == NoProc)
+          L.WaitTail = NoProc;
+        --L.NumWaiters;
+        Waiter.NextWaiter = NoProc;
         const Nanos Wait = Pr.Clock - Waiter.Clock;
         assert(Wait >= 0 && "negative waiting time");
         ++TallyAcquires;
@@ -378,12 +494,12 @@ IntervalReport SimSectionRunner::runInterval(unsigned V, Nanos Target) {
         TallyLockWaitNanos += Wait;
         Waiter.Stats.WaitNanos += Wait;
         Waiter.Stats.FailedAcquires +=
-            Wait > 0 ? static_cast<uint64_t>((Wait + FailedAcqNanos - 1) /
-                                             FailedAcqNanos)
+            Wait > 0 ? static_cast<uint64_t>((Wait + FailedAcqDiv - 1) /
+                                             FailedAcqDiv)
                      : 1;
         Waiter.Clock = Pr.Clock;
-        if (Topo)
-          ++NodeContended[MM.nodeOf(W)];
+        if constexpr (Topo)
+          ++S.NodeContended[MM.nodeOf(W)];
         if (Trace) {
           IntervalTrace::ProcSummary &WS = Trace->Procs[W];
           WS.WaitNanos += Wait;
@@ -396,20 +512,18 @@ IntervalReport SimSectionRunner::runInterval(unsigned V, Nanos Target) {
         // contention and lock-construct surcharge active at grant time).
         InjectContention(Waiter, W, Op.Obj);
         const Nanos WAcqCost =
-            AcquirePrice(W, Op.Obj,
-                         static_cast<unsigned>(L.Waiters.size())) +
-            LockExtra(Waiter.Clock);
+            AcquirePrice(W, Op.Obj, L.NumWaiters) + LockExtra(Waiter.Clock);
         ++Waiter.Stats.AcquireReleasePairs;
         Waiter.Stats.LockOpNanos += WAcqCost;
         Waiter.Clock += WAcqCost;
         ++Waiter.Pc;
         if (Trace)
           Trace->Procs[W].LockOpNanos += WAcqCost;
-        Ready.push(HeapEntry{Waiter.Clock, W});
+        HeapPush(Waiter.Clock, W);
       } else {
         L.Held = false;
       }
-      Ready.push(HeapEntry{Pr.Clock, Top.P});
+      HeapPush(Pr.Clock, Top.P);
       break;
     }
     }
@@ -453,15 +567,21 @@ IntervalReport SimSectionRunner::runInterval(unsigned V, Nanos Target) {
       Imbalance += LastEnd - Pr.EndTime;
     C.BarrierImbalanceNanos.add(static_cast<uint64_t>(Imbalance));
   }
-  if (Topo) {
+  {
+    ThroughputCounters &TC = throughputCounters();
+    TC.MicroOps += TallyMicroOps;
+    TC.Iterations += TallyIterations;
+    ++TC.Intervals;
+  }
+  if constexpr (Topo) {
     obs::MetricsRegistry &M = obs::globalMetrics();
     M.counter("sim.numa.local_acquires").add(TallyLocalAcq);
     M.counter("sim.numa.remote_acquires").add(TallyRemoteAcq);
     M.counter("sim.numa.cold_acquires").add(TallyColdAcq);
     for (unsigned Node = 0; Node < NumNodes; ++Node)
-      if (NodeContended[Node])
+      if (S.NodeContended[Node])
         M.counter(format("sim.node%u.contended", Node))
-            .add(NodeContended[Node]);
+            .add(S.NodeContended[Node]);
   }
 
   // Synchronous switch: all processors wait at a barrier for the slowest,

@@ -77,7 +77,21 @@ public:
   void setPerturbation(const perturb::PerturbationEngine *Engine,
                        std::string Section);
 
+  /// Attaches per-version micro-op caches (\p Caches must hold one entry
+  /// per code version and outlive this runner; SimBackend owns them per
+  /// section, so cached sequences survive across section occurrences).
+  /// Without caches every iteration is interpreted live. Pass nullptr to
+  /// detach.
+  void attachOpsCaches(std::vector<rt::EmittedOpsCache> *Caches);
+
 private:
+  /// Reusable per-interval simulation state (processors, locks, ready
+  /// heap), reset -- not reallocated -- each interval; see SectionSim.cpp.
+  struct IntervalState;
+
+  template <bool Topo>
+  rt::IntervalReport runIntervalImpl(unsigned V, rt::Nanos Target);
+
   IntervalTrace *Trace = nullptr;
   const perturb::PerturbationEngine *Perturb = nullptr;
   std::string SectionName;
@@ -94,6 +108,7 @@ private:
   const bool SchedInstrumented;
   const uint64_t NumIterations;
   uint64_t NextIter = 0;
+  std::unique_ptr<IntervalState> State;
 };
 
 } // namespace dynfb::sim

@@ -22,6 +22,7 @@ public:
   uint32_t Objects = 8;
   uint64_t Trip = 3;
   Nanos ComputeCost = 1000;
+  bool Cacheable = false; ///< Advertise stable per-iteration sequences.
 
   uint64_t iterationCount() const override { return Iterations; }
   uint32_t objectCount() const override { return Objects; }
@@ -31,6 +32,7 @@ public:
   std::vector<ObjRef> sectionArgs(uint64_t) const override { return Args; }
   ObjectId elementOf(ArrayId, uint64_t Index,
                      const LoopCtx &Ctx) const override {
+    ++ElementOfCalls;
     return static_cast<ObjectId>((Ctx.Iter + 1 + Index) % Objects);
   }
   uint64_t tripCount(unsigned, const LoopCtx &) const override {
@@ -39,9 +41,22 @@ public:
   Nanos computeNanos(unsigned, const LoopCtx &) const override {
     return ComputeCost;
   }
+  int64_t iterationClass(uint64_t Iter) const override {
+    return Cacheable ? static_cast<int64_t>(Iter) : -1;
+  }
 
   std::vector<ObjRef> Args;
+  mutable uint64_t ElementOfCalls = 0;
 };
+
+bool sameOps(const std::vector<MicroOp> &A, const std::vector<MicroOp> &B) {
+  if (A.size() != B.size())
+    return false;
+  for (size_t I = 0; I < A.size(); ++I)
+    if (A[I].K != B[I].K || A[I].Obj != B[I].Obj || A[I].Dur != B[I].Dur)
+      return false;
+  return true;
+}
 
 TEST(InterpTest, EmitsExplicitRegionOps) {
   Module M("m");
@@ -195,6 +210,113 @@ TEST(InterpTest, ComputeTimeExcludesLockOps) {
   IterationEmitter E(Entry, Binding, CM);
   EXPECT_EQ(E.computeTime(0), Binding.ComputeCost + CM.UpdateNanos);
   EXPECT_EQ(E.countPairs(0), 1u);
+}
+
+/// Entry method whose iteration is: acquire(this); loop { call
+/// one_interaction(m[i]) with a compute+update body }; release(this) -- the
+/// shape of a coarse-grained generated version, whose loop body lowers to
+/// pure compute.
+struct CoarseLoopWorkload {
+  Module M{"m"};
+  Method *Entry = nullptr;
+
+  CoarseLoopWorkload() {
+    ClassDecl *C = M.createClass("c");
+    const unsigned F = C->addField("f");
+    Method *Callee = M.createMethod("one", C);
+    Callee->addParam(Param{"x", C, false});
+    {
+      MethodBuilder B(M, Callee);
+      B.compute();
+      B.update(Receiver::thisObj(), F, BinOp::Add, M.exprConst(1.0));
+    }
+    Entry = M.createMethod("e", C);
+    Entry->addParam(Param{"m", C, true});
+    MethodBuilder B(M, Entry);
+    B.acquire(Receiver::thisObj());
+    const unsigned L = B.beginLoop();
+    B.call(Callee, Receiver::thisObj(), {Receiver::paramIndexed(0, L)});
+    B.endLoop();
+    B.release(Receiver::thisObj());
+  }
+};
+
+TEST(InterpTest, PureComputeLoopFoldsToOneMergedOp) {
+  // The pure-compute fast path folds every trip of the loop into a single
+  // merged compute op: acquire, one compute of Trip * (compute + update),
+  // release.
+  CoarseLoopWorkload W;
+  TestBinding Binding;
+  Binding.Trip = 5;
+  Binding.Args = {ObjRef::array(0)};
+  CostModel CM;
+  IterationEmitter E(W.Entry, Binding, CM);
+  std::vector<MicroOp> Ops;
+  E.emit(2, Ops);
+  ASSERT_EQ(Ops.size(), 3u);
+  EXPECT_EQ(Ops[0].K, MicroOp::Kind::Acquire);
+  EXPECT_EQ(Ops[1].K, MicroOp::Kind::Compute);
+  EXPECT_EQ(Ops[1].Dur,
+            static_cast<Nanos>(Binding.Trip) *
+                (Binding.ComputeCost + CM.UpdateNanos));
+  EXPECT_EQ(Ops[2].K, MicroOp::Kind::Release);
+}
+
+TEST(InterpTest, UnreadArgumentsAreNotResolved) {
+  // The callee's lowering never reads its object parameter, so the
+  // emitter skips resolving it -- the binding's elementOf must not be
+  // queried on the per-trip hot path.
+  CoarseLoopWorkload W;
+  TestBinding Binding;
+  Binding.Trip = 7;
+  Binding.Args = {ObjRef::array(0)};
+  IterationEmitter E(W.Entry, Binding, CostModel{});
+  std::vector<MicroOp> Ops;
+  E.emit(0, Ops);
+  EXPECT_EQ(Binding.ElementOfCalls, 0u);
+  EXPECT_EQ(E.countPairs(0), 1u);
+}
+
+TEST(InterpTest, OpsCacheReturnsStableMemoizedSequences) {
+  CoarseLoopWorkload W;
+  TestBinding Binding;
+  Binding.Cacheable = true;
+  Binding.Args = {ObjRef::array(0)};
+  IterationEmitter E(W.Entry, Binding, CostModel{});
+
+  std::vector<MicroOp> Live;
+  E.emit(1, Live);
+
+  EmittedOpsCache Cache;
+  E.attachCache(&Cache);
+  std::vector<MicroOp> Scratch;
+  const std::vector<MicroOp> &FirstRef = E.ops(1, Scratch);
+  EXPECT_TRUE(sameOps(FirstRef, Live));
+  // A repeat returns the same memoized storage, not Scratch.
+  const std::vector<MicroOp> &SecondRef = E.ops(1, Scratch);
+  EXPECT_EQ(&FirstRef, &SecondRef);
+  EXPECT_NE(&SecondRef, &Scratch);
+
+  // Detached again (or an uncacheable binding), ops falls back to live
+  // interpretation into Scratch.
+  E.attachCache(nullptr);
+  const std::vector<MicroOp> &LiveRef = E.ops(1, Scratch);
+  EXPECT_EQ(&LiveRef, &Scratch);
+  EXPECT_TRUE(sameOps(LiveRef, Live));
+}
+
+TEST(InterpTest, UncacheableIterationsBypassTheCache) {
+  CoarseLoopWorkload W;
+  TestBinding Binding; // Default iterationClass: -1, never memoized.
+  Binding.Args = {ObjRef::array(0)};
+  IterationEmitter E(W.Entry, Binding, CostModel{});
+  EmittedOpsCache Cache;
+  E.attachCache(&Cache);
+  std::vector<MicroOp> Scratch;
+  const std::vector<MicroOp> &R1 = E.ops(0, Scratch);
+  EXPECT_EQ(&R1, &Scratch);
+  const std::vector<MicroOp> &R2 = E.ops(0, Scratch);
+  EXPECT_EQ(&R2, &Scratch);
 }
 
 } // namespace

@@ -98,6 +98,19 @@ TEST(MachineModelTest, ApplyCostOverridesParsesAndDiagnoses) {
   EXPECT_FALSE(applyCostOverrides(*M, "AcquireNanos=-3", Error));
   EXPECT_FALSE(applyCostOverrides(*M, "AcquireNanos=fast", Error));
 
+  // Regression: values past the int64 range used to saturate silently
+  // through strtoll (LLONG_MAX passed the >= 0 check); they must be
+  // diagnosed like any other malformed value.
+  EXPECT_FALSE(
+      applyCostOverrides(*M, "AcquireNanos=99999999999999999999", Error));
+  EXPECT_NE(Error.find("non-negative integer"), std::string::npos) << Error;
+
+  // Zero stays legal -- FailedAcquireNanos=0 is a meaningful "free retry"
+  // configuration (the simulator clamps its waiting-time divisor instead
+  // of rejecting the cost).
+  EXPECT_TRUE(applyCostOverrides(*M, "FailedAcquireNanos=0", Error)) << Error;
+  EXPECT_EQ(M->costs().FailedAcquireNanos, 0);
+
   // The paramsString rendering parses back verbatim (the exp-layer round
   // trip that makes machine parameters part of the cache key).
   const std::unique_ptr<MachineModel> N = createMachineModel("dash-numa");

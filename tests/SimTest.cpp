@@ -8,6 +8,7 @@
 #include "sim/Backend.h"
 #include "sim/SectionSim.h"
 
+#include <array>
 #include <gtest/gtest.h>
 #include <limits>
 
@@ -44,6 +45,7 @@ public:
   uint64_t Iterations = 8;
   uint32_t Objects = 8;
   bool SharedLock = false; ///< All iterations lock object 0.
+  bool Cacheable = false;  ///< Advertise stable per-iteration ops sequences.
   Nanos ComputeCost = 100000; // 100 us
 
   uint64_t iterationCount() const override { return Iterations; }
@@ -59,7 +61,25 @@ public:
   Nanos computeNanos(unsigned, const LoopCtx &) const override {
     return ComputeCost;
   }
+  int64_t iterationClass(uint64_t Iter) const override {
+    return Cacheable ? static_cast<int64_t>(Iter) : -1;
+  }
 };
+
+/// Field-by-field interval report equality (IntervalReport carries no
+/// operator==); bitwise agreement is the contract reused simulator state
+/// must honor.
+void expectReportsIdentical(const IntervalReport &A, const IntervalReport &B) {
+  EXPECT_EQ(A.EffectiveNanos, B.EffectiveNanos);
+  EXPECT_EQ(A.Finished, B.Finished);
+  EXPECT_EQ(A.InjectedNanos, B.InjectedNanos);
+  EXPECT_EQ(A.Stats.AcquireReleasePairs, B.Stats.AcquireReleasePairs);
+  EXPECT_EQ(A.Stats.FailedAcquires, B.Stats.FailedAcquires);
+  EXPECT_EQ(A.Stats.LockOpNanos, B.Stats.LockOpNanos);
+  EXPECT_EQ(A.Stats.WaitNanos, B.Stats.WaitNanos);
+  EXPECT_EQ(A.Stats.SchedNanos, B.Stats.SchedNanos);
+  EXPECT_EQ(A.Stats.ExecNanos, B.Stats.ExecNanos);
+}
 
 TEST(SimTest, SingleProcessorTimingIsExact) {
   ToyWorkload W;
@@ -238,6 +258,89 @@ TEST(SimTest, EmptySectionFinishesImmediately) {
   const IntervalReport R = Runner.runInterval(0, Unbounded);
   EXPECT_TRUE(R.Finished);
   EXPECT_EQ(R.Stats.AcquireReleasePairs, 0u);
+}
+
+TEST(SimTest, ZeroFailedAcquireCostRunsToCompletion) {
+  // Regression: FailedAcquireNanos=0 used to divide by zero (SIGFPE) when
+  // converting contended waiting time into counted failed acquires. Zero
+  // stays a legal configuration; the divisor is clamped instead.
+  ToyWorkload W;
+  ToyBinding B;
+  B.Iterations = 32;
+  B.SharedLock = true;
+  B.ComputeCost = 1000; // Critical section dominates: real contention.
+  CostModel CM;
+  CM.FailedAcquireNanos = 0;
+  SimMachine Machine(4, CM);
+  SimSectionRunner Runner(Machine, B, {SimVersion{"only", W.Entry}}, false);
+  const IntervalReport R = Runner.runInterval(0, Unbounded);
+  EXPECT_TRUE(R.Finished);
+  EXPECT_GT(R.Stats.WaitNanos, 0);
+  EXPECT_EQ(R.Stats.AcquireReleasePairs, 32u);
+}
+
+TEST(SimTest, ReusedIntervalStateIsBitIdentical) {
+  // The per-interval simulation state (processors, locks, ready heap) is
+  // reset rather than reallocated. A contended two-interval pass repeated
+  // on the same runner after reset() -- and compared against a fresh
+  // runner -- must agree bit for bit; any stale lock waiter list or
+  // un-reset processor field shows up here.
+  ToyWorkload W;
+  CostModel CM;
+  const Nanos Split = 8 * 150000; // Mid-section: interval 1 parks procs.
+  auto TwoIntervals = [&](SimSectionRunner &R) {
+    std::array<IntervalReport, 2> Out{R.runInterval(0, Split),
+                                      R.runInterval(0, Unbounded)};
+    EXPECT_FALSE(Out[0].Finished);
+    EXPECT_TRUE(Out[1].Finished);
+    return Out;
+  };
+
+  ToyBinding B;
+  B.Iterations = 64;
+  B.SharedLock = true;
+  SimMachine Machine(4, CM);
+  SimSectionRunner Reused(Machine, B, {SimVersion{"only", W.Entry}}, false);
+  const auto First = TwoIntervals(Reused);
+  Reused.reset();
+  const auto Again = TwoIntervals(Reused);
+
+  SimMachine FreshMachine(4, CM);
+  SimSectionRunner Fresh(FreshMachine, B, {SimVersion{"only", W.Entry}},
+                         false);
+  const auto FreshRun = TwoIntervals(Fresh);
+
+  for (int I = 0; I < 2; ++I) {
+    expectReportsIdentical(First[I], Again[I]);
+    expectReportsIdentical(First[I], FreshRun[I]);
+  }
+}
+
+TEST(SimBackendTest, OpsCacheMatchesLiveInterpretation) {
+  // The backend attaches per-version emitted-ops caches that survive across
+  // section occurrences. A cacheable binding served from the cache (all
+  // occurrences after the first hit memoized sequences) must simulate
+  // exactly like an uncacheable binding interpreted live every iteration.
+  ToyWorkload W;
+  ToyBinding CachedB;
+  CachedB.Cacheable = true;
+  ToyBinding LiveB;
+  for (ToyBinding *B : {&CachedB, &LiveB}) {
+    B->Iterations = 64;
+    B->SharedLock = true;
+  }
+  SimBackend Cached(4, CostModel{}, false);
+  Cached.addSection("S", &CachedB, {SimVersion{"only", W.Entry}});
+  SimBackend Live(4, CostModel{}, false);
+  Live.addSection("S", &LiveB, {SimVersion{"only", W.Entry}});
+  for (int Occurrence = 0; Occurrence < 3; ++Occurrence) {
+    auto CR = Cached.beginSection("S");
+    auto LR = Live.beginSection("S");
+    const IntervalReport A = CR->runInterval(0, Unbounded);
+    const IntervalReport B = LR->runInterval(0, Unbounded);
+    EXPECT_TRUE(A.Finished);
+    expectReportsIdentical(A, B);
+  }
 }
 
 TEST(SimBackendTest, RegistersAndBeginsSections) {
