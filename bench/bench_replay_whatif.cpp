@@ -1,0 +1,19 @@
+//===- bench/bench_replay_whatif.cpp -----------------------------------------=//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+// Checkpointed what-if exactness: every counterfactual the replay::Explorer
+// produces by forking machine state at a phase boundary must be bit-identical
+// to a fresh uninterrupted run pinning the same version, across the four apps
+// at 8 processors, plus the dynamic policy's regret against the per-interval
+// clairvoyant oracle. The experiment definition lives in the src/exp
+// registry; this binary runs it in-process and renders the table (see
+// docs/REPLAY.md).
+//
+//===----------------------------------------------------------------------===//
+
+#include "exp/BenchMain.h"
+
+int main(int Argc, char **Argv) {
+  return dynfb::exp::runBenchMain("replay_whatif", Argc, Argv);
+}

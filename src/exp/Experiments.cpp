@@ -22,6 +22,7 @@
 #include "apps/water/WaterApp.h"
 #include "perturb/Engine.h"
 #include "perturb/Traffic.h"
+#include "replay/Explorer.h"
 #include "rt/MachineModel.h"
 #include "sim/Throughput.h"
 #include "support/StringUtils.h"
@@ -1509,6 +1510,132 @@ Experiment makeSimThroughput() {
   return E;
 }
 
+//===----------------------------------------------------------------------===//
+// Replay what-if exactness
+//===----------------------------------------------------------------------===//
+
+/// Validates the checkpointed counterfactual machinery (replay::Explorer)
+/// against ground truth: for every section occurrence, a what-if produced
+/// by forking the run at the phase boundary (checkpoint, pin a version,
+/// run the occurrence, restore) must agree EXACTLY -- same duration, same
+/// overhead accounting -- with a fresh uninterrupted run that pinned the
+/// same version from the start. On the default (non-topology) machine an
+/// occurrence's cost is independent of the virtual clock and lock homes,
+/// so this is an equality gate, not a tolerance gate: one diverging
+/// nanosecond means checkpoint/restore leaked state. The clairvoyant
+/// regret per app rides along as trajectory data.
+Experiment makeReplayWhatif() {
+  Experiment E;
+  E.Name = "replay_whatif";
+  E.Suite = "extension";
+  E.Description =
+      "checkpointed what-if counterfactuals match fresh pinned runs "
+      "exactly, plus dynamic's regret vs the clairvoyant oracle";
+  E.DefaultScale = 0.125;
+  E.MetricNames = {"whatif_checks",     "mismatches",
+                   "max_abs_diff_ns",   "dynamic_seconds",
+                   "clairvoyant_seconds", "regret_ratio"};
+  E.MakeJobs = [](const RunOptions &Opts) {
+    std::vector<JobConfig> Jobs;
+    for (const char *App : ThroughputApps) {
+      const unsigned N = 8;
+      if (Opts.Procs && Opts.Procs != N)
+        continue;
+      JobConfig C = baseConfig(App, Opts);
+      C.set("flavour", "dynamic");
+      C.setInt("procs", N);
+      Jobs.push_back(std::move(C));
+    }
+    return Jobs;
+  };
+  E.RunJob = [](const JobConfig &Config) {
+    const std::unique_ptr<App> TheApp = makeGridApp(Config);
+    if (!TheApp)
+      return jobError("unknown app '" + Config.getString("app") + "'");
+    const unsigned Procs = static_cast<unsigned>(Config.getInt("procs", 8));
+    std::string Error;
+    const std::unique_ptr<rt::MachineModel> Model =
+        machineFromConfig(Config, Error);
+    if (!Model)
+      return jobError(Error);
+
+    const replay::Exploration Ex = replay::explore(*TheApp, Procs, *Model);
+    unsigned MaxVersions = 0;
+    for (const replay::WhatIf &W : Ex.WhatIfs)
+      MaxVersions = std::max(MaxVersions, W.Version + 1);
+
+    // Ground truth: one fresh uninterrupted run per candidate version,
+    // nothing checkpointed. Sections with fewer versions clamp the pin, so
+    // a ground-truth occurrence is matched by (occurrence, clamped
+    // version); the duplicate checks this produces are harmless.
+    uint64_t Checks = 0, Mismatches = 0;
+    rt::Nanos MaxAbsDiff = 0;
+    for (unsigned V = 0; V < MaxVersions; ++V) {
+      const std::vector<replay::WhatIf> Fresh =
+          replay::runPinned(*TheApp, Procs, *Model, V);
+      for (const replay::WhatIf &G : Fresh)
+        for (const replay::WhatIf *W : Ex.occurrence(G.Occurrence)) {
+          if (W->Version != G.Version)
+            continue;
+          ++Checks;
+          const rt::Nanos Diff =
+              W->DurationNanos > G.DurationNanos
+                  ? W->DurationNanos - G.DurationNanos
+                  : G.DurationNanos - W->DurationNanos;
+          MaxAbsDiff = std::max(MaxAbsDiff, Diff);
+          const bool StatsEqual =
+              W->Stats.AcquireReleasePairs == G.Stats.AcquireReleasePairs &&
+              W->Stats.FailedAcquires == G.Stats.FailedAcquires &&
+              W->Stats.LockOpNanos == G.Stats.LockOpNanos &&
+              W->Stats.WaitNanos == G.Stats.WaitNanos &&
+              W->Stats.SchedNanos == G.Stats.SchedNanos &&
+              W->Stats.ExecNanos == G.Stats.ExecNanos;
+          if (Diff != 0 || !StatsEqual)
+            ++Mismatches;
+        }
+    }
+
+    const replay::RegretSummary S = replay::summarizeRegret(Ex);
+    JobResult R;
+    R.add("whatif_checks", static_cast<double>(Checks));
+    R.add("mismatches", static_cast<double>(Mismatches));
+    R.add("max_abs_diff_ns", static_cast<double>(MaxAbsDiff));
+    R.add("dynamic_seconds", rt::nanosToSeconds(S.DynamicParallelNanos));
+    R.add("clairvoyant_seconds",
+          rt::nanosToSeconds(S.ClairvoyantParallelNanos));
+    R.add("regret_ratio", S.regretRatio());
+    return R;
+  };
+  E.Render = [](const RunOptions &Opts,
+                const std::vector<JobResult> &Results) {
+    std::printf("== Replay what-if: checkpointed counterfactuals vs fresh "
+                "pinned runs ==\n\n");
+    Table T("what-if exactness and clairvoyant regret");
+    T.setHeader({"App", "Checks", "Mismatches", "Dynamic", "Clairvoyant",
+                 "Regret"});
+    bool AllExact = !Results.empty();
+    size_t I = 0;
+    for (const char *App : ThroughputApps) {
+      if (Opts.Procs && Opts.Procs != 8)
+        continue;
+      const JobResult &R = Results[I++];
+      const double Checks = R.metric("whatif_checks");
+      const double Mism = R.metric("mismatches");
+      AllExact = AllExact && Checks > 0 && Mism == 0;
+      T.addRow({App, format("%.0f", Checks), format("%.0f", Mism),
+                formatSeconds(R.metric("dynamic_seconds")),
+                formatSeconds(R.metric("clairvoyant_seconds")),
+                format("%.1f%%", R.metric("regret_ratio") * 100.0)});
+    }
+    printTable(T);
+    std::printf("gate: every checkpointed what-if bit-identical to its "
+                "fresh pinned run: %s\n",
+                AllExact ? "PASS" : "FAIL");
+    return AllExact ? 0 : 1;
+  };
+  return E;
+}
+
 } // namespace
 
 void exp::registerBuiltinExperiments() {
@@ -1526,4 +1653,5 @@ void exp::registerBuiltinExperiments() {
   registry().add(makeServing());
   registry().add(makeBackendConcordance());
   registry().add(makeSimThroughput());
+  registry().add(makeReplayWhatif());
 }

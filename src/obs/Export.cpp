@@ -10,6 +10,7 @@
 #include "support/BuildInfo.h"
 #include "support/StringUtils.h"
 
+#include <algorithm>
 #include <cmath>
 #include <map>
 
@@ -40,11 +41,94 @@ std::string overheadField(double V) {
                           : std::string("\"overhead\":null");
 }
 
+/// %.17g round-trips every finite double exactly through strtod, the
+/// property record -> replay -> record byte-identity relies on.
+std::string doubleField(const char *Key, double V) {
+  return format("\"%s\":%.17g", Key, V);
+}
+
+std::string boolField(const char *Key, bool V) {
+  return format("\"%s\":%s", Key, V ? "true" : "false");
+}
+
 /// Appends "," followed by \p Field. Separate statements, not operator+ on
 /// a string literal: GCC's -Wrestrict mis-fires on that pattern.
 void addField(std::string &Out, const std::string &Field) {
   Out += ',';
   Out += Field;
+}
+
+/// The "run_spec" meta object: fixed key order, every field always present,
+/// so a spec round-trips byte for byte.
+std::string runSpecObject(const RunSpec &Spec) {
+  std::string Out = "{";
+  Out += doubleField("scale", Spec.Scale);
+  Out += ",\"dimensions\":";
+  Out += quoted(Spec.Dimensions);
+  Out += ",\"chunks\":";
+  Out += quoted(Spec.Chunks);
+  addField(Out, intField("sampling_ns", Spec.SamplingNanos));
+  addField(Out, intField("production_ns", Spec.ProductionNanos));
+  addField(Out, boolField("cutoff", Spec.Cutoff));
+  addField(Out, boolField("ordering", Spec.Ordering));
+  addField(Out, boolField("spanning", Spec.Spanning));
+  addField(Out, uintField("repeats", Spec.Repeats));
+  Out += ",\"aggregate\":";
+  Out += quoted(Spec.Aggregate);
+  addField(Out, doubleField("hysteresis", Spec.Hysteresis));
+  addField(Out, doubleField("drift", Spec.Drift));
+  addField(Out, intField("slice_ns", Spec.SliceNanos));
+  addField(Out, uintField("quarantine", Spec.QuarantineStrikes));
+  addField(Out, uintField("quarantine_window", Spec.QuarantineWindow));
+  addField(Out, doubleField("quarantine_limit", Spec.QuarantineLimit));
+  addField(Out, uintField("quarantine_backoff", Spec.QuarantineBackoff));
+  addField(Out, uintField("watchdog", Spec.Watchdog));
+  addField(Out, doubleField("watchdog_limit", Spec.WatchdogLimit));
+  Out += ",\"perturb\":";
+  Out += quoted(Spec.PerturbSpec);
+  Out += ",\"traffic\":";
+  Out += quoted(Spec.TrafficSpec);
+  Out += ",\"cost\":";
+  Out += quoted(Spec.CostOverrides);
+  addField(Out, doubleField("timescale", Spec.TimeScale));
+  Out += "}";
+  return Out;
+}
+
+bool jsonBool(const JsonValue &Obj, const char *Key) {
+  const JsonValue *V = Obj.find(Key);
+  return V && V->asBool();
+}
+
+RunSpec parseRunSpec(const JsonValue &Obj) {
+  RunSpec Spec;
+  Spec.Present = true;
+  Spec.Scale = Obj.getNumber("scale", 1.0);
+  Spec.Dimensions = Obj.getString("dimensions");
+  Spec.Chunks = Obj.getString("chunks");
+  Spec.SamplingNanos = Obj.getInt("sampling_ns");
+  Spec.ProductionNanos = Obj.getInt("production_ns");
+  Spec.Cutoff = jsonBool(Obj, "cutoff");
+  Spec.Ordering = jsonBool(Obj, "ordering");
+  Spec.Spanning = jsonBool(Obj, "spanning");
+  Spec.Repeats = static_cast<unsigned>(Obj.getInt("repeats", 1));
+  Spec.Aggregate = Obj.getString("aggregate", "mean");
+  Spec.Hysteresis = Obj.getNumber("hysteresis");
+  Spec.Drift = Obj.getNumber("drift");
+  Spec.SliceNanos = Obj.getInt("slice_ns");
+  Spec.QuarantineStrikes = static_cast<unsigned>(Obj.getInt("quarantine"));
+  Spec.QuarantineWindow =
+      static_cast<unsigned>(Obj.getInt("quarantine_window", 8));
+  Spec.QuarantineLimit = Obj.getNumber("quarantine_limit", 1.0);
+  Spec.QuarantineBackoff =
+      static_cast<unsigned>(Obj.getInt("quarantine_backoff", 4));
+  Spec.Watchdog = static_cast<unsigned>(Obj.getInt("watchdog"));
+  Spec.WatchdogLimit = Obj.getNumber("watchdog_limit", 0.9);
+  Spec.PerturbSpec = Obj.getString("perturb");
+  Spec.TrafficSpec = Obj.getString("traffic");
+  Spec.CostOverrides = Obj.getString("cost");
+  Spec.TimeScale = Obj.getNumber("timescale");
+  return Spec;
 }
 
 std::string decisionLine(const DecisionEvent &E) {
@@ -120,6 +204,12 @@ std::string obs::toJsonl(const RunTrace &Trace) {
     Out += ",\"machine_params\":";
     Out += quoted(Trace.Meta.MachineParams);
   }
+  // Self-description for replay (additive within schema 1, like the machine
+  // fields): the full recorded run configuration.
+  if (Trace.Meta.Spec.Present) {
+    Out += ",\"run_spec\":";
+    Out += runSpecObject(Trace.Meta.Spec);
+  }
   Out += "}\n";
   for (const DecisionEvent &E : Trace.Decisions) {
     Out += decisionLine(E);
@@ -139,6 +229,22 @@ std::string obs::toJsonl(const RunTrace &Trace) {
 std::optional<RunTrace> obs::parseJsonl(const std::string &Text,
                                         std::string &Error) {
   RunTrace Trace;
+  // toJsonl terminates every record with a newline, so a non-empty final
+  // line without one can only be a file cut mid-write (e.g. a crashed or
+  // still-running recorder). Reject it up front with the line number: the
+  // alternative -- parsing whatever prefix survived -- silently drops an
+  // unknowable number of trailing events.
+  const size_t LastNl = Text.find_last_of('\n');
+  const std::string Tail =
+      trim(LastNl == std::string::npos ? Text : Text.substr(LastNl + 1));
+  if (!Tail.empty()) {
+    const size_t FinalLine =
+        1 + static_cast<size_t>(std::count(Text.begin(), Text.end(), '\n'));
+    Error = format("line %zu: truncated record (no trailing newline; file "
+                   "cut mid-write?)",
+                   FinalLine);
+    return std::nullopt;
+  }
   bool SawMeta = false;
   size_t LineNo = 0;
   size_t Pos = 0;
@@ -180,6 +286,9 @@ std::optional<RunTrace> obs::parseJsonl(const std::string &Text,
       Trace.Meta.Backend = V->getString("backend");
       if (Trace.Meta.Backend.empty())
         Trace.Meta.Backend = "sim";
+      if (const JsonValue *RS = V->find("run_spec"))
+        if (RS->kind() == JsonValue::Kind::Object)
+          Trace.Meta.Spec = parseRunSpec(*RS);
       SawMeta = true;
     } else if (Type == "decision") {
       DecisionEvent E;

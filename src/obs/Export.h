@@ -37,6 +37,42 @@ namespace dynfb::obs {
 /// meaning so downstream consumers can reject files they do not understand.
 inline constexpr int64_t TraceSchemaVersion = 1;
 
+/// The full run configuration stamped into trace meta at record time (the
+/// "run_spec" object of the meta line; additive within schema 1, so PR-3-era
+/// traces without one still parse -- Present is false there). Everything a
+/// replay needs to reconstruct and re-drive the recorded run: workload
+/// scale, version-space dimensions, feedback / robustness / resilience
+/// knobs, the perturbation or traffic spec (whose text carries its own
+/// seed), machine cost overrides and the native timescale. Plain value
+/// types only: obs sits below fb in the library layering, so the fb
+/// configuration is re-derived from these fields by src/replay.
+struct RunSpec {
+  bool Present = false; ///< False for traces recorded before replay support.
+  double Scale = 1.0;
+  std::string Dimensions; ///< --dimensions ("" = the default sync space).
+  std::string Chunks;     ///< --chunks ("" = none).
+  rt::Nanos SamplingNanos = 0;
+  rt::Nanos ProductionNanos = 0;
+  bool Cutoff = false;
+  bool Ordering = false;
+  bool Spanning = false;
+  unsigned Repeats = 1;
+  std::string Aggregate = "mean"; ///< mean | median | trimmed.
+  double Hysteresis = 0.0;
+  double Drift = 0.0;
+  rt::Nanos SliceNanos = 0;
+  unsigned QuarantineStrikes = 0;
+  unsigned QuarantineWindow = 8;
+  double QuarantineLimit = 1.0;
+  unsigned QuarantineBackoff = 4;
+  unsigned Watchdog = 0;
+  double WatchdogLimit = 0.9;
+  std::string PerturbSpec;   ///< --perturb schedule text ("" = none).
+  std::string TrafficSpec;   ///< --traffic spec text ("" = none).
+  std::string CostOverrides; ///< --cost Field=nanos list ("" = none).
+  double TimeScale = 0.0;    ///< Native backend only; 0 on the simulator.
+};
+
 /// Identity of the traced run.
 struct TraceMeta {
   std::string App;    ///< Application/workload name.
@@ -53,6 +89,10 @@ struct TraceMeta {
   /// "native" (real threads, steady-clock timestamps). Like the machine
   /// fields, additive within schema 1; absent means "sim".
   std::string Backend = "sim";
+  /// The recorded run configuration (self-description; additive within
+  /// schema 1). Spec.Present distinguishes a replayable trace from one
+  /// recorded before replay support existed.
+  RunSpec Spec;
 };
 
 /// One parallel-section occurrence's aggregate measurements (the fields of
@@ -97,8 +137,11 @@ struct RunTrace {
 std::string toJsonl(const RunTrace &Trace);
 
 /// Parses a JSONL trace produced by toJsonl (unknown line types and object
-/// keys are ignored, so newer writers stay readable). On failure returns
-/// nullopt and sets \p Error.
+/// keys are ignored, so newer writers stay readable). Every record toJsonl
+/// writes ends in a newline, so a non-empty final line without one is a
+/// file cut mid-write: it is rejected with a diagnostic naming the line
+/// number rather than silently dropping the trailing events. On failure
+/// returns nullopt and sets \p Error.
 std::optional<RunTrace> parseJsonl(const std::string &Text,
                                    std::string &Error);
 

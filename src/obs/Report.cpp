@@ -107,6 +107,54 @@ std::string obs::renderReport(const RunTrace &Trace,
              Trace.Meta.Procs,
              formatSeconds(rt::nanosToSeconds(Trace.Meta.TotalNanos))
                  .c_str());
+  if (Trace.Meta.Spec.Present) {
+    // Full provenance from the recorded run_spec: everything dynfb-run
+    // --replay uses to reconstruct the run (docs/REPLAY.md).
+    const RunSpec &S = Trace.Meta.Spec;
+    const std::string Machine =
+        Trace.Meta.Machine.empty() ? "dash-flat" : Trace.Meta.Machine;
+    std::string Dims = S.Dimensions.empty() ? "sync" : S.Dimensions;
+    if (!S.Chunks.empty())
+      Dims += " (chunks " + S.Chunks + ")";
+    Out += format("provenance: backend %s, machine %s, scale %g, "
+                  "dimensions %s\n",
+                  Trace.Meta.Backend.c_str(), Machine.c_str(), S.Scale,
+                  Dims.c_str());
+    Out += format("provenance: sampling %s, production %s, repeats %u "
+                  "(%s)%s%s%s\n",
+                  formatSeconds(rt::nanosToSeconds(S.SamplingNanos)).c_str(),
+                  formatSeconds(rt::nanosToSeconds(S.ProductionNanos))
+                      .c_str(),
+                  S.Repeats, S.Aggregate.c_str(),
+                  S.Cutoff ? ", cutoff" : "", S.Ordering ? ", ordering" : "",
+                  S.Spanning ? ", spanning" : "");
+    std::string Rob;
+    if (S.Hysteresis > 0)
+      Rob += format(", hysteresis %g", S.Hysteresis);
+    if (S.Drift > 0)
+      Rob += format(", drift %g", S.Drift);
+    if (S.SliceNanos > 0)
+      Rob += ", slice " + formatSeconds(rt::nanosToSeconds(S.SliceNanos));
+    if (S.QuarantineStrikes > 0)
+      Rob += format(", quarantine %u/%u limit %g backoff %u",
+                    S.QuarantineStrikes, S.QuarantineWindow,
+                    S.QuarantineLimit, S.QuarantineBackoff);
+    if (S.Watchdog > 0)
+      Rob += format(", watchdog %u limit %g", S.Watchdog, S.WatchdogLimit);
+    if (!Rob.empty())
+      Out += "provenance: robustness" + Rob.substr(1) + "\n";
+    std::string Env;
+    if (!S.PerturbSpec.empty())
+      Env += ", perturb \"" + S.PerturbSpec + "\"";
+    if (!S.TrafficSpec.empty())
+      Env += ", traffic \"" + S.TrafficSpec + "\"";
+    if (!S.CostOverrides.empty())
+      Env += ", cost " + S.CostOverrides;
+    if (S.TimeScale > 0)
+      Env += format(", timescale %g", S.TimeScale);
+    if (!Env.empty())
+      Out += "provenance: environment" + Env.substr(1) + "\n";
+  }
   Out += format("decisions: %zu events (%zu switches, %zu samples)\n",
                 Trace.Decisions.size(),
                 std::count_if(Trace.Decisions.begin(), Trace.Decisions.end(),

@@ -1,0 +1,260 @@
+//===- replay/Replay.cpp --------------------------------------------------==//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "replay/Replay.h"
+
+#include "apps/Factory.h"
+#include "apps/Harness.h"
+#include "perturb/Traffic.h"
+#include "support/StringUtils.h"
+#include "xform/VersionSpace.h"
+
+#include <utility>
+
+using namespace dynfb;
+using namespace dynfb::replay;
+
+namespace {
+
+/// Maps the recorded policy name to the executable flavour, exactly as
+/// dynfb-run does on the way in.
+std::optional<apps::VersionSpec> specForPolicy(const std::string &Policy) {
+  if (Policy == "serial")
+    return apps::VersionSpec::serial();
+  if (Policy == "original")
+    return apps::VersionSpec::fixed(xform::PolicyKind::Original);
+  if (Policy == "bounded")
+    return apps::VersionSpec::fixed(xform::PolicyKind::Bounded);
+  if (Policy == "aggressive")
+    return apps::VersionSpec::fixed(xform::PolicyKind::Aggressive);
+  if (Policy == "dynamic")
+    return apps::VersionSpec::dynamicFeedback();
+  return std::nullopt;
+}
+
+/// Rebuilds the FeedbackConfig the recorded flags produced. Field for field
+/// the mapping dynfb-run applies to its command line, so a replayed
+/// controller sees the configuration the recorded one ran under.
+std::optional<fb::FeedbackConfig> configFromSpec(const obs::RunSpec &Spec,
+                                                 std::string &Error) {
+  fb::FeedbackConfig Config;
+  Config.TargetSamplingNanos = Spec.SamplingNanos;
+  Config.TargetProductionNanos = Spec.ProductionNanos;
+  Config.EarlyCutoff = Spec.Cutoff;
+  Config.UsePolicyOrdering = Spec.Ordering;
+  Config.SpanSectionExecutions = Spec.Spanning;
+  Config.SamplingRepeats = Spec.Repeats;
+  if (Spec.Aggregate == "mean")
+    Config.SamplingAggregation = rt::OverheadAggregation::Mean;
+  else if (Spec.Aggregate == "median")
+    Config.SamplingAggregation = rt::OverheadAggregation::Median;
+  else if (Spec.Aggregate == "trimmed")
+    Config.SamplingAggregation = rt::OverheadAggregation::TrimmedMean;
+  else {
+    Error = "run_spec has unknown aggregate '" + Spec.Aggregate + "'";
+    return std::nullopt;
+  }
+  Config.SwitchHysteresis = Spec.Hysteresis;
+  Config.DriftResampleThreshold = Spec.Drift;
+  Config.ProductionSliceNanos = Spec.SliceNanos;
+  Config.QuarantineStrikes = Spec.QuarantineStrikes;
+  Config.QuarantineWindowPhases = Spec.QuarantineWindow;
+  Config.QuarantineOverheadLimit = Spec.QuarantineLimit;
+  Config.QuarantineBackoffPhases = Spec.QuarantineBackoff;
+  Config.QuarantineBackoffMaxPhases = std::max(
+      Config.QuarantineBackoffMaxPhases, Config.QuarantineBackoffPhases);
+  Config.WatchdogBadSlices = Spec.Watchdog;
+  Config.WatchdogOverheadLimit = Spec.WatchdogLimit;
+  return Config;
+}
+
+/// The "type" of one serialized JSONL line, for divergence messages.
+std::string lineType(const std::string &Line) {
+  const std::string Key = "\"type\":\"";
+  const size_t Pos = Line.find(Key);
+  if (Pos == std::string::npos)
+    return "record";
+  const size_t Start = Pos + Key.size();
+  const size_t End = Line.find('"', Start);
+  return End == std::string::npos ? "record" : Line.substr(Start, End - Start);
+}
+
+} // namespace
+
+std::optional<MaterializedRun>
+replay::materialize(const obs::RunTrace &Trace, std::string &Error) {
+  const obs::TraceMeta &Meta = Trace.Meta;
+  if (!Meta.Spec.Present) {
+    Error = "trace has no run_spec (recorded before replay support; "
+            "re-record with a current dynfb-run --trace-out)";
+    return std::nullopt;
+  }
+  if (Meta.Backend != "sim") {
+    Error = "trace was recorded on the '" + Meta.Backend +
+            "' backend; only simulator traces are replayable (real time "
+            "is not deterministic)";
+    return std::nullopt;
+  }
+  if (Meta.Procs < 1) {
+    Error = "trace meta has no processor count";
+    return std::nullopt;
+  }
+  const obs::RunSpec &Spec = Meta.Spec;
+
+  MaterializedRun Run;
+  Run.Procs = Meta.Procs;
+  Run.PolicyName = Meta.Policy;
+  const std::optional<apps::VersionSpec> VSpec = specForPolicy(Meta.Policy);
+  if (!VSpec) {
+    Error = "trace meta has unknown policy '" + Meta.Policy + "'";
+    return std::nullopt;
+  }
+  Run.Spec = *VSpec;
+
+  xform::VersionSpace Space;
+  if (!Spec.Dimensions.empty() || !Spec.Chunks.empty()) {
+    std::optional<xform::VersionSpace> Parsed = xform::VersionSpace::parse(
+        Spec.Dimensions.empty() ? "sync" : Spec.Dimensions, Spec.Chunks,
+        Error);
+    if (!Parsed)
+      return std::nullopt;
+    Space = std::move(*Parsed);
+  }
+  Run.App = apps::createApp(Meta.App, Spec.Scale, Space);
+  if (!Run.App) {
+    Error = "trace meta names unknown application '" + Meta.App + "'";
+    return std::nullopt;
+  }
+
+  const std::string MachineName =
+      Meta.Machine.empty() ? "dash-flat" : Meta.Machine;
+  Run.Machine = rt::createMachineModel(MachineName);
+  if (!Run.Machine) {
+    Error = "trace meta names unknown machine model '" + MachineName + "'";
+    return std::nullopt;
+  }
+  if (!Spec.CostOverrides.empty() &&
+      !rt::applyCostOverrides(*Run.Machine, Spec.CostOverrides, Error))
+    return std::nullopt;
+  // The recorded parameter set is the ground truth: a mismatch means the
+  // model's defaults changed since the recording, and a replay on different
+  // prices would diverge for a reason the diff could not explain.
+  if (!Meta.MachineParams.empty() &&
+      Run.Machine->paramsString() != Meta.MachineParams) {
+    Error = "rebuilt machine parameters differ from the recording "
+            "(recorded '" +
+            Meta.MachineParams + "', rebuilt '" +
+            Run.Machine->paramsString() + "')";
+    return std::nullopt;
+  }
+
+  const std::optional<fb::FeedbackConfig> Config =
+      configFromSpec(Spec, Error);
+  if (!Config)
+    return std::nullopt;
+  Run.Config = *Config;
+
+  if (!Spec.PerturbSpec.empty() && !Spec.TrafficSpec.empty()) {
+    Error = "run_spec carries both a perturbation schedule and a traffic "
+            "spec; they are mutually exclusive";
+    return std::nullopt;
+  }
+  if (!Spec.PerturbSpec.empty()) {
+    std::optional<perturb::PerturbationSchedule> Schedule =
+        perturb::parseSchedule(Spec.PerturbSpec, Error);
+    if (!Schedule) {
+      Error = "malformed recorded perturbation schedule: " + Error;
+      return std::nullopt;
+    }
+    for (const std::string &Section : Schedule->referencedSections())
+      if (!Run.App->program().find(Section)) {
+        Error = "recorded perturbation schedule references unknown section "
+                "'" +
+                Section + "'";
+        return std::nullopt;
+      }
+    if (!perturb::validateSchedule(*Schedule, Run.Procs, Error))
+      return std::nullopt;
+    Run.Perturb =
+        std::make_unique<perturb::PerturbationEngine>(std::move(*Schedule));
+  } else if (!Spec.TrafficSpec.empty()) {
+    const std::optional<perturb::TrafficSpec> Traffic =
+        perturb::parseTraffic(Spec.TrafficSpec, Error);
+    if (!Traffic) {
+      Error = "malformed recorded traffic spec: " + Error;
+      return std::nullopt;
+    }
+    const auto &Sections = Run.App->program().Sections;
+    const unsigned NumShards =
+        Sections.empty()
+            ? 0
+            : Run.App->binding(Sections.front().Name).objectCount();
+    perturb::PerturbationSchedule Schedule =
+        perturb::compileTraffic(*Traffic, NumShards, Run.Procs);
+    if (!perturb::validateSchedule(Schedule, Run.Procs, Error)) {
+      Error = "recompiled traffic schedule invalid: " + Error;
+      return std::nullopt;
+    }
+    Run.Perturb =
+        std::make_unique<perturb::PerturbationEngine>(std::move(Schedule));
+  }
+
+  return Run;
+}
+
+std::string replay::compareTraces(const obs::RunTrace &Recorded,
+                                  const obs::RunTrace &Replayed) {
+  const std::vector<std::string> A = splitString(obs::toJsonl(Recorded), '\n');
+  const std::vector<std::string> B = splitString(obs::toJsonl(Replayed), '\n');
+  const size_t Common = std::min(A.size(), B.size());
+  for (size_t I = 0; I < Common; ++I)
+    if (A[I] != B[I])
+      return format("line %zu (%s): recorded %s | replayed %s", I + 1,
+                    lineType(A[I]).c_str(), A[I].c_str(), B[I].c_str());
+  if (A.size() != B.size()) {
+    const bool RecordedLonger = A.size() > B.size();
+    const std::string &Extra = RecordedLonger ? A[Common] : B[Common];
+    return format("line %zu (%s): %s trace has %zu extra record(s), first: "
+                  "%s",
+                  Common + 1, lineType(Extra).c_str(),
+                  RecordedLonger ? "recorded" : "replayed",
+                  (RecordedLonger ? A.size() : B.size()) - Common,
+                  Extra.c_str());
+  }
+  return "";
+}
+
+std::optional<ReplayResult> replay::replayTrace(const obs::RunTrace &Recorded,
+                                                std::string &Error) {
+  std::optional<MaterializedRun> Run = materialize(Recorded, Error);
+  if (!Run)
+    return std::nullopt;
+
+  // Re-drive exactly the recording path: section traces on (the recording
+  // had --trace-out), history only under policy ordering, observation
+  // attached. Observation never alters the run, so the replayed behaviour
+  // is the recorded configuration's behaviour.
+  fb::PolicyHistory History;
+  apps::RunObservation Obs;
+  Obs.CollectSectionTraces = true;
+  const fb::RunResult R = apps::runApp(
+      *Run->App, Run->Procs, Run->Spec, *Run->Machine, Run->Config,
+      Run->Config.UsePolicyOrdering ? &History : nullptr, Run->Perturb.get(),
+      &Obs, apps::BackendOptions::sim());
+
+  ReplayResult Result;
+  Result.Replayed = apps::buildRunTrace(Recorded.Meta.App, Run->Procs,
+                                        Run->PolicyName, R, &Obs,
+                                        rt::BackendKind::Sim);
+  Result.Replayed.Meta.Machine = Run->Machine->name();
+  Result.Replayed.Meta.MachineParams = Run->Machine->paramsString();
+  // The spec is configuration, not measurement: carried over verbatim so a
+  // re-export of the replayed trace is replayable (and byte-identical when
+  // the behaviour matched).
+  Result.Replayed.Meta.Spec = Recorded.Meta.Spec;
+  Result.Divergence = compareTraces(Recorded, Result.Replayed);
+  return Result;
+}

@@ -77,6 +77,30 @@ public:
     return Homes;
   }
 
+  /// A snapshot of the machine's cross-interval state: the virtual clock
+  /// and every section's lock home-node tracker. This is the complete
+  /// forkable state -- interval-local simulation state
+  /// (SimSectionRunner::IntervalState) is quiescent between intervals, the
+  /// perturbation engine is stateless (pure functions of section, processor
+  /// and virtual time), and the machine model is immutable -- so restoring
+  /// a checkpoint taken at a phase boundary makes every subsequent
+  /// simulation bit-identical to one that never diverged (docs/REPLAY.md
+  /// states the invariants; replay::Explorer is the main consumer).
+  struct Checkpoint {
+    rt::Nanos Clock = 0;
+    std::map<std::string, std::vector<int>> LockHomes;
+  };
+
+  Checkpoint checkpoint() const { return Checkpoint{Clock, LockHomes}; }
+
+  /// Rewinds the machine to \p CP. Legal at any point where no interval is
+  /// in flight; the engine attachment is deliberately not part of the
+  /// snapshot (it is configuration, not simulated state).
+  void restore(const Checkpoint &CP) {
+    Clock = CP.Clock;
+    LockHomes = CP.LockHomes;
+  }
+
   /// Current global virtual time.
   rt::Nanos now() const { return Clock; }
 

@@ -63,6 +63,13 @@ public:
   rt::IntervalReport runInterval(unsigned V, rt::Nanos Target) override;
   bool done() const override { return NextIter >= NumIterations; }
   void reset() override { NextIter = 0; }
+
+  /// Scheduling position, for checkpoint/rollback: the next unclaimed
+  /// iteration. Only meaningful between intervals, where the interval-local
+  /// state is quiescent -- together with SimMachine::Checkpoint this is all
+  /// the state a mid-section fork needs (docs/REPLAY.md).
+  uint64_t nextIteration() const { return NextIter; }
+  void setNextIteration(uint64_t Iter) { NextIter = Iter; }
   rt::Nanos now() const override { return Machine.now(); }
 
   /// Attaches a trace; each subsequent runInterval fills it (clearing any

@@ -1,0 +1,363 @@
+//===- tests/ReplayTest.cpp - Record/replay and what-if explorer tests ----==//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+// Covers the src/replay subsystem (docs/REPLAY.md): trace materialization
+// and replay divergence detection, the run_spec meta round-trip, the
+// truncated-trace diagnostic, SimMachine checkpoint/restore identity and
+// the Explorer's checkpointed counterfactuals against fresh pinned runs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/Factory.h"
+#include "apps/Harness.h"
+#include "obs/Export.h"
+#include "replay/Explorer.h"
+#include "replay/Replay.h"
+#include "rt/MachineModel.h"
+#include "sim/Backend.h"
+
+#include <gtest/gtest.h>
+#include <limits>
+
+using namespace dynfb;
+using namespace dynfb::rt;
+
+namespace {
+
+constexpr Nanos Unbounded = std::numeric_limits<Nanos>::max() / 4;
+
+/// First parallel section of \p App's schedule.
+std::string firstParallelSection(const apps::App &App) {
+  for (const Phase &P : App.schedule())
+    if (P.K == Phase::Kind::Parallel)
+      return P.SectionName;
+  return "";
+}
+
+/// Runs \p Section to completion with version \p V pinned and returns the
+/// accumulated stats.
+OverheadStats runSectionPinned(sim::SimBackend &Backend,
+                               const std::string &Section, unsigned V) {
+  const std::unique_ptr<sim::SimSectionRunner> Runner =
+      Backend.beginSectionSim(Section);
+  OverheadStats S;
+  while (!Runner->done()) {
+    const IntervalReport Report = Runner->runInterval(V, Unbounded);
+    S.merge(Report.Stats);
+    if (Report.Finished)
+      break;
+  }
+  return S;
+}
+
+void expectStatsEqual(const OverheadStats &A, const OverheadStats &B) {
+  EXPECT_EQ(A.AcquireReleasePairs, B.AcquireReleasePairs);
+  EXPECT_EQ(A.FailedAcquires, B.FailedAcquires);
+  EXPECT_EQ(A.LockOpNanos, B.LockOpNanos);
+  EXPECT_EQ(A.WaitNanos, B.WaitNanos);
+  EXPECT_EQ(A.SchedNanos, B.SchedNanos);
+  EXPECT_EQ(A.ExecNanos, B.ExecNanos);
+}
+
+// --------------------- Checkpoint / restore --------------------------------
+
+// A section re-run after restore() must be bit-identical to the first run
+// from that state, and to an uninterrupted run on a fresh machine that
+// reached the same state -- on the topology-aware model, whose pricing
+// depends on the lock-home state a restore must rewind.
+TEST(ReplayCheckpointTest, RestoreRerunsBitIdentical) {
+  const std::unique_ptr<apps::App> App = apps::createApp("water", 0.125);
+  ASSERT_NE(App, nullptr);
+  const std::unique_ptr<MachineModel> Model =
+      createMachineModel("dash-numa");
+  ASSERT_NE(Model, nullptr);
+  const std::string Section = firstParallelSection(*App);
+  ASSERT_FALSE(Section.empty());
+
+  const std::unique_ptr<sim::SimBackend> Backend = App->makeSimBackend(
+      4, *Model, apps::VersionSpec::dynamicFeedback());
+  Backend->runSerial(5000000);
+  const sim::SimMachine::Checkpoint CP = Backend->machine().checkpoint();
+  const Nanos Before = Backend->now();
+
+  const OverheadStats First = runSectionPinned(*Backend, Section, 0);
+  const Nanos After = Backend->now();
+  // Disturb the clock and lock homes past the checkpoint...
+  runSectionPinned(*Backend, Section, 1);
+  EXPECT_GT(Backend->now(), After);
+  // ...then rewind and re-run: same end state, same measurements.
+  Backend->machine().restore(CP);
+  EXPECT_EQ(Backend->now(), Before);
+  const OverheadStats Second = runSectionPinned(*Backend, Section, 0);
+  EXPECT_EQ(Backend->now(), After);
+  expectStatsEqual(First, Second);
+
+  // An uninterrupted run that never checkpointed agrees too.
+  const std::unique_ptr<sim::SimBackend> Fresh = App->makeSimBackend(
+      4, *Model, apps::VersionSpec::dynamicFeedback());
+  Fresh->runSerial(5000000);
+  const OverheadStats Uninterrupted = runSectionPinned(*Fresh, Section, 0);
+  EXPECT_EQ(Fresh->now(), After);
+  expectStatsEqual(First, Uninterrupted);
+}
+
+// ------------------------- Explorer ----------------------------------------
+
+// The mainline the Explorer records while forking counterfactuals must be
+// the run the dynamic policy would have executed with no exploration at
+// all (restore() leaves no residue).
+TEST(ExplorerTest, MainlineMatchesUninterruptedRun) {
+  const std::unique_ptr<apps::App> App = apps::createApp("string", 0.125);
+  ASSERT_NE(App, nullptr);
+  const std::unique_ptr<MachineModel> Model =
+      createMachineModel("dash-flat");
+  ASSERT_NE(Model, nullptr);
+
+  const replay::Exploration E = replay::explore(*App, 8, *Model);
+  const fb::RunResult R = apps::runApp(
+      *App, 8, apps::VersionSpec::dynamicFeedback(), *Model);
+
+  EXPECT_EQ(E.Mainline.TotalNanos, R.TotalNanos);
+  EXPECT_EQ(E.Mainline.Occurrences.size(), R.Occurrences.size());
+  expectStatsEqual(E.Mainline.ParallelStats, R.ParallelStats);
+}
+
+// Every checkpointed what-if must agree exactly with a fresh uninterrupted
+// run pinning the same version: on the default (non-topology) machine an
+// occurrence's cost is independent of its start state, so forking at the
+// phase boundary is indistinguishable from never having run anything else.
+TEST(ExplorerTest, CounterfactualsMatchFreshPinnedRuns) {
+  const std::unique_ptr<apps::App> App = apps::createApp("water", 0.125);
+  ASSERT_NE(App, nullptr);
+  const std::unique_ptr<MachineModel> Model =
+      createMachineModel("dash-flat");
+  ASSERT_NE(Model, nullptr);
+
+  const replay::Exploration E = replay::explore(*App, 4, *Model);
+  ASSERT_FALSE(E.WhatIfs.empty());
+  unsigned MaxVersions = 0;
+  for (const replay::WhatIf &W : E.WhatIfs)
+    MaxVersions = std::max(MaxVersions, W.Version + 1);
+
+  size_t Checks = 0;
+  for (unsigned V = 0; V < MaxVersions; ++V)
+    for (const replay::WhatIf &G : replay::runPinned(*App, 4, *Model, V))
+      for (const replay::WhatIf *W : E.occurrence(G.Occurrence)) {
+        if (W->Version != G.Version)
+          continue;
+        ++Checks;
+        EXPECT_EQ(W->DurationNanos, G.DurationNanos)
+            << "occurrence " << G.Occurrence << " version " << G.Version;
+        expectStatsEqual(W->Stats, G.Stats);
+      }
+  EXPECT_GT(Checks, 0u);
+
+  const replay::RegretSummary S = replay::summarizeRegret(E);
+  EXPECT_GT(S.DynamicParallelNanos, 0);
+  EXPECT_GT(S.ClairvoyantParallelNanos, 0);
+  const std::string Report = replay::renderWhatIfReport(E);
+  EXPECT_NE(Report.find("What-if exploration"), std::string::npos);
+  EXPECT_NE(Report.find("Clairvoyant"), std::string::npos);
+}
+
+// ------------------------- Record / replay ---------------------------------
+
+/// Records a water run the way dynfb-run --trace-out does: run, build the
+/// trace, stamp machine identity and the run_spec (mirroring the CLI's
+/// stamping of its own configuration).
+obs::RunTrace recordWaterRun(const MachineModel &Model) {
+  const std::unique_ptr<apps::App> App = apps::createApp("water", 0.25);
+  EXPECT_NE(App, nullptr);
+  fb::FeedbackConfig Config;
+  Config.SpanSectionExecutions = true;
+  Config.TargetSamplingNanos = millisToNanos(2);
+  Config.TargetProductionNanos = secondsToNanos(2);
+
+  apps::RunObservation Obs;
+  Obs.CollectSectionTraces = true;
+  const fb::RunResult R =
+      apps::runApp(*App, 4, apps::VersionSpec::dynamicFeedback(), Model,
+                   Config, nullptr, nullptr, &Obs);
+
+  obs::RunTrace Trace = apps::buildRunTrace("water", 4, "dynamic", R, &Obs);
+  Trace.Meta.Machine = Model.name();
+  Trace.Meta.MachineParams = Model.paramsString();
+  obs::RunSpec &Spec = Trace.Meta.Spec;
+  Spec.Present = true;
+  Spec.Scale = 0.25;
+  Spec.SamplingNanos = Config.TargetSamplingNanos;
+  Spec.ProductionNanos = Config.TargetProductionNanos;
+  Spec.Spanning = Config.SpanSectionExecutions;
+  return Trace;
+}
+
+// record -> replay -> record: zero divergence and a byte-identical
+// serialization, through the JSONL round-trip as well.
+TEST(ReplayTest, RecordReplayRecordByteIdentical) {
+  const std::unique_ptr<MachineModel> Model =
+      createMachineModel("dash-flat");
+  ASSERT_NE(Model, nullptr);
+  const obs::RunTrace Recorded = recordWaterRun(*Model);
+
+  std::string Error;
+  const std::optional<replay::ReplayResult> Result =
+      replay::replayTrace(Recorded, Error);
+  ASSERT_TRUE(Result.has_value()) << Error;
+  EXPECT_FALSE(Result->diverged()) << Result->Divergence;
+  EXPECT_EQ(obs::toJsonl(Recorded), obs::toJsonl(Result->Replayed));
+
+  // The file-format round-trip preserves replayability byte for byte.
+  const std::string Jsonl = obs::toJsonl(Recorded);
+  const std::optional<obs::RunTrace> Parsed = obs::parseJsonl(Jsonl, Error);
+  ASSERT_TRUE(Parsed.has_value()) << Error;
+  EXPECT_TRUE(Parsed->Meta.Spec.Present);
+  EXPECT_EQ(obs::toJsonl(*Parsed), Jsonl);
+  const std::optional<replay::ReplayResult> Again =
+      replay::replayTrace(*Parsed, Error);
+  ASSERT_TRUE(Again.has_value()) << Error;
+  EXPECT_FALSE(Again->diverged()) << Again->Divergence;
+}
+
+// A tampered recording diverges, and the report names the first
+// mismatching line (the first diverging interval's decision record).
+TEST(ReplayTest, DivergenceNamesFirstMismatchingLine) {
+  const std::unique_ptr<MachineModel> Model =
+      createMachineModel("dash-flat");
+  ASSERT_NE(Model, nullptr);
+  const obs::RunTrace Recorded = recordWaterRun(*Model);
+  ASSERT_GE(Recorded.Decisions.size(), 2u);
+
+  obs::RunTrace Tampered = Recorded;
+  Tampered.Decisions[1].TimeNanos += 1;
+  const std::string Divergence = replay::compareTraces(Recorded, Tampered);
+  // Meta is line 1, decisions follow in order: decision [1] is line 3.
+  EXPECT_NE(Divergence.find("line 3 (decision)"), std::string::npos)
+      << Divergence;
+
+  obs::RunTrace Longer = Recorded;
+  Longer.Decisions.push_back(Recorded.Decisions.back());
+  // An appended decision shifts every later line; the first mismatch is
+  // where the section records used to start.
+  EXPECT_NE(replay::compareTraces(Recorded, Longer).find("line"),
+            std::string::npos);
+  EXPECT_EQ(replay::compareTraces(Recorded, Recorded), "");
+}
+
+// Traces recorded before replay support (no run_spec) still parse -- the
+// schema is additive -- but refuse to materialize with a clear message.
+TEST(ReplayTest, PreReplayTraceParsesButIsNotReplayable) {
+  const std::string Old =
+      "{\"type\":\"meta\",\"schema\":1,\"app\":\"water\","
+      "\"policy\":\"dynamic\",\"procs\":4,\"total_ns\":5}\n";
+  std::string Error;
+  const std::optional<obs::RunTrace> Trace = obs::parseJsonl(Old, Error);
+  ASSERT_TRUE(Trace.has_value()) << Error;
+  EXPECT_FALSE(Trace->Meta.Spec.Present);
+  EXPECT_FALSE(replay::materialize(*Trace, Error).has_value());
+  EXPECT_NE(Error.find("no run_spec"), std::string::npos) << Error;
+}
+
+// Native-backend traces are not replayable (real time is not
+// deterministic); the refusal says so.
+TEST(ReplayTest, NativeTraceIsNotReplayable) {
+  const std::unique_ptr<MachineModel> Model =
+      createMachineModel("dash-flat");
+  ASSERT_NE(Model, nullptr);
+  obs::RunTrace Trace = recordWaterRun(*Model);
+  Trace.Meta.Backend = "native";
+  std::string Error;
+  EXPECT_FALSE(replay::materialize(Trace, Error).has_value());
+  EXPECT_NE(Error.find("only simulator traces"), std::string::npos) << Error;
+}
+
+// ------------------------- run_spec round-trip ------------------------------
+
+TEST(ReplayTest, RunSpecRoundTripsThroughJsonl) {
+  obs::RunTrace Trace;
+  Trace.Meta.App = "string";
+  Trace.Meta.Policy = "dynamic";
+  Trace.Meta.Procs = 8;
+  Trace.Meta.TotalNanos = 123456789;
+  obs::RunSpec &S = Trace.Meta.Spec;
+  S.Present = true;
+  S.Scale = 0.1; // Not exactly representable: exercises %.17g round-trip.
+  S.Dimensions = "sync,sched";
+  S.Chunks = "8,32";
+  S.SamplingNanos = 2000000;
+  S.ProductionNanos = 2000000000;
+  S.Cutoff = true;
+  S.Ordering = true;
+  S.Spanning = true;
+  S.Repeats = 5;
+  S.Aggregate = "trimmed";
+  S.Hysteresis = 0.3;
+  S.Drift = 0.25;
+  S.SliceNanos = 50000000;
+  S.QuarantineStrikes = 3;
+  S.QuarantineWindow = 12;
+  S.QuarantineLimit = 1.5;
+  S.QuarantineBackoff = 6;
+  S.Watchdog = 2;
+  S.WatchdogLimit = 0.7;
+  S.PerturbSpec = "contend@0.5s-1.5s:extra=300us:obj=1-64";
+  S.CostOverrides = "AcquireNanos=400";
+
+  const std::string Jsonl = obs::toJsonl(Trace);
+  std::string Error;
+  const std::optional<obs::RunTrace> Parsed = obs::parseJsonl(Jsonl, Error);
+  ASSERT_TRUE(Parsed.has_value()) << Error;
+  const obs::RunSpec &P = Parsed->Meta.Spec;
+  EXPECT_TRUE(P.Present);
+  EXPECT_EQ(P.Scale, S.Scale);
+  EXPECT_EQ(P.Dimensions, S.Dimensions);
+  EXPECT_EQ(P.Chunks, S.Chunks);
+  EXPECT_EQ(P.SamplingNanos, S.SamplingNanos);
+  EXPECT_EQ(P.ProductionNanos, S.ProductionNanos);
+  EXPECT_EQ(P.Cutoff, S.Cutoff);
+  EXPECT_EQ(P.Ordering, S.Ordering);
+  EXPECT_EQ(P.Spanning, S.Spanning);
+  EXPECT_EQ(P.Repeats, S.Repeats);
+  EXPECT_EQ(P.Aggregate, S.Aggregate);
+  EXPECT_EQ(P.Hysteresis, S.Hysteresis);
+  EXPECT_EQ(P.Drift, S.Drift);
+  EXPECT_EQ(P.SliceNanos, S.SliceNanos);
+  EXPECT_EQ(P.QuarantineStrikes, S.QuarantineStrikes);
+  EXPECT_EQ(P.QuarantineWindow, S.QuarantineWindow);
+  EXPECT_EQ(P.QuarantineLimit, S.QuarantineLimit);
+  EXPECT_EQ(P.QuarantineBackoff, S.QuarantineBackoff);
+  EXPECT_EQ(P.Watchdog, S.Watchdog);
+  EXPECT_EQ(P.WatchdogLimit, S.WatchdogLimit);
+  EXPECT_EQ(P.PerturbSpec, S.PerturbSpec);
+  EXPECT_EQ(P.TrafficSpec, S.TrafficSpec);
+  EXPECT_EQ(P.CostOverrides, S.CostOverrides);
+  // Byte-identical re-serialization: the record->replay->record identity
+  // rests on this.
+  EXPECT_EQ(obs::toJsonl(*Parsed), Jsonl);
+}
+
+// ------------------------- Truncation rejection -----------------------------
+
+TEST(ReplayTest, TruncatedTraceRejectedWithLineNumber) {
+  std::string Error;
+  // File cut mid-record on line 2.
+  EXPECT_FALSE(obs::parseJsonl("{\"type\":\"meta\",\"schema\":1,"
+                               "\"app\":\"w\",\"policy\":\"dynamic\","
+                               "\"procs\":4,\"total_ns\":1}\n"
+                               "{\"type\":\"decisio",
+                               Error)
+                   .has_value());
+  EXPECT_NE(Error.find("line 2"), std::string::npos) << Error;
+  EXPECT_NE(Error.find("truncated"), std::string::npos) << Error;
+
+  // Even a syntactically complete final object without its newline is a
+  // mid-write cut (toJsonl terminates every record).
+  EXPECT_FALSE(obs::parseJsonl("{\"type\":\"meta\",\"schema\":1,"
+                               "\"app\":\"w\",\"policy\":\"dynamic\","
+                               "\"procs\":4,\"total_ns\":1}",
+                               Error)
+                   .has_value());
+  EXPECT_NE(Error.find("line 1"), std::string::npos) << Error;
+}
+
+} // namespace

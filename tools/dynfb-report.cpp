@@ -10,6 +10,13 @@
 //
 //   dynfb-report --trace water.trace.jsonl
 //   dynfb-report --trace water.trace.jsonl --locks 5 --samples
+//   dynfb-report --trace water.trace.jsonl --whatif
+//
+// --whatif re-drives the recorded run on the simulator (the trace must
+// carry a run_spec; see docs/REPLAY.md) and appends the checkpointed
+// counterfactual table: per section occurrence, what every version would
+// have cost from the identical machine state, with the clairvoyant best
+// marked and the dynamic policy's regret summarized.
 //
 // Invalid input (missing file, malformed JSON, unsupported schema) produces
 // a one-line diagnostic on stderr and a nonzero exit status -- never an
@@ -20,6 +27,8 @@
 #include "exp/Experiment.h"
 #include "obs/Export.h"
 #include "obs/Report.h"
+#include "replay/Explorer.h"
+#include "replay/Replay.h"
 #include "support/BuildInfo.h"
 #include "support/CommandLine.h"
 
@@ -32,7 +41,7 @@ namespace {
 
 int usage() {
   std::fprintf(stderr, "usage: dynfb-report --trace FILE [--locks N] "
-                       "[--samples]\n");
+                       "[--samples] [--whatif]\n");
   return 1;
 }
 
@@ -75,7 +84,7 @@ int main(int Argc, char **Argv) {
     return 0;
   }
   if (!rejectUnknownFlags(CL, "dynfb-report",
-                          {"trace", "locks", "samples", "version"},
+                          {"trace", "locks", "samples", "whatif", "version"},
                           "no arguments"))
     return 2;
   const std::string TracePath = CL.getString("trace", "");
@@ -99,5 +108,17 @@ int main(int Argc, char **Argv) {
   Options.MaxLocks = static_cast<size_t>(Locks);
   Options.ShowSamples = CL.getBool("samples", false);
   std::fputs(obs::renderReport(*Trace, Options).c_str(), stdout);
+
+  if (CL.getBool("whatif", false)) {
+    // Reconstruct the run from the trace's own run_spec and re-drive it
+    // with checkpointed counterfactuals (docs/REPLAY.md).
+    std::optional<replay::MaterializedRun> Run =
+        replay::materialize(*Trace, Error);
+    if (!Run)
+      return fail("cannot explore '" + TracePath + "': " + Error);
+    const replay::Exploration E = replay::explore(
+        *Run->App, Run->Procs, *Run->Machine, Run->Config, Run->Perturb.get());
+    std::fputs(("\n" + replay::renderWhatIfReport(E)).c_str(), stdout);
+  }
   return 0;
 }

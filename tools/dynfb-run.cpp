@@ -40,6 +40,10 @@
 // Chrome trace_event format (chrome://tracing, Perfetto), --metrics-out
 // FILE the global metrics registry as JSON, scoped to this run. All three
 // work on either backend (native timestamps come from the steady clock).
+// Recorded traces stamp the full run configuration into their meta line,
+// so --replay TRACE reconstructs and re-drives the run, verifying every
+// decision, section and lock record against the recording (docs/REPLAY.md;
+// zero divergence and exit 0, or the first mismatching record and exit 1).
 //
 // Invalid input (unknown application, unknown section in a perturbation
 // schedule, malformed schedule or configuration) produces a one-line
@@ -50,6 +54,7 @@
 #include "apps/Factory.h"
 #include "apps/Harness.h"
 #include "exp/Experiment.h"
+#include "replay/Replay.h"
 #include "exp/PaperGrids.h"
 #include "obs/Metrics.h"
 #include "perturb/Engine.h"
@@ -86,7 +91,8 @@ int usage() {
                "[--perturb SCHEDULE] [--traffic SPEC] [--machine NAME] "
                "[--cost Field=nanos[,Field=nanos]] [--backend sim|native] "
                "[--timescale F] [--trace-out FILE] "
-               "[--chrome-out FILE] [--metrics-out FILE]\n");
+               "[--chrome-out FILE] [--metrics-out FILE]\n"
+               "       dynfb-run --replay TRACE [--trace-out FILE]\n");
   return 1;
 }
 
@@ -115,6 +121,90 @@ bool writeFile(const std::string &Path, const std::string &Contents,
   return true;
 }
 
+/// Reads the whole of \p Path; nullopt (with \p Error set) on failure.
+std::optional<std::string> readFile(const std::string &Path,
+                                    std::string &Error) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F) {
+    Error = "cannot open '" + Path + "'";
+    return std::nullopt;
+  }
+  std::string Out;
+  char Buf[64 * 1024];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Out.append(Buf, N);
+  const bool ReadError = std::ferror(F) != 0;
+  std::fclose(F);
+  if (ReadError) {
+    Error = "failed reading '" + Path + "'";
+    return std::nullopt;
+  }
+  return Out;
+}
+
+/// The --replay mode: reconstruct the recorded run from the trace's meta
+/// line, re-drive it on a fresh simulator, and verify every record.
+int runReplay(const CommandLine &CL, const std::string &ReplayPath) {
+  // The replayed configuration comes entirely from the trace; any shaping
+  // flag would silently disagree with it. Only --trace-out (re-export of
+  // the replayed trace) composes.
+  static const char *const Conflicting[] = {
+      "app",         "procs",      "policy",
+      "scale",       "dimensions", "chunks",
+      "list-versions", "sampling", "production",
+      "cutoff",      "ordering",   "spanning",
+      "sweep",       "repeats",    "aggregate",
+      "hysteresis",  "drift",      "slice",
+      "quarantine",  "quarantine-window", "quarantine-limit",
+      "quarantine-backoff", "watchdog", "watchdog-limit",
+      "perturb",     "traffic",    "machine",
+      "cost",        "chrome-out", "metrics-out",
+      "backend",     "timescale",  "trace"};
+  for (const char *Flag : Conflicting)
+    if (CL.has(Flag))
+      return fail(format("--replay takes its whole configuration from the "
+                         "trace; --%s cannot be combined with it",
+                         Flag));
+
+  std::string Error;
+  const std::optional<std::string> Text = readFile(ReplayPath, Error);
+  if (!Text)
+    return fail(Error);
+  const std::optional<obs::RunTrace> Recorded =
+      obs::parseJsonl(*Text, Error);
+  if (!Recorded)
+    return fail("malformed trace '" + ReplayPath + "': " + Error);
+
+  std::printf("replay: %s, policy %s, %u procs, machine %s\n",
+              Recorded->Meta.App.c_str(), Recorded->Meta.Policy.c_str(),
+              Recorded->Meta.Procs,
+              Recorded->Meta.Machine.empty()
+                  ? "dash-flat"
+                  : Recorded->Meta.Machine.c_str());
+
+  const std::optional<replay::ReplayResult> Result =
+      replay::replayTrace(*Recorded, Error);
+  if (!Result)
+    return fail("cannot replay '" + ReplayPath + "': " + Error);
+
+  const std::string TraceOut = CL.getString("trace-out", "");
+  if (!TraceOut.empty() &&
+      !writeFile(TraceOut, obs::toJsonl(Result->Replayed), Error))
+    return fail(Error);
+
+  if (Result->diverged()) {
+    std::fprintf(stderr, "dynfb-run: replay DIVERGED at %s\n",
+                 Result->Divergence.c_str());
+    return 1;
+  }
+  std::printf("replay: zero divergence (%zu decisions, %zu sections, "
+              "%zu locks verified)\n",
+              Recorded->Decisions.size(), Recorded->Sections.size(),
+              Recorded->Locks.size());
+  return 0;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -137,9 +227,12 @@ int main(int Argc, char **Argv) {
            "quarantine-limit", "quarantine-backoff", "watchdog",
            "watchdog-limit", "perturb", "traffic", "machine", "cost",
            "trace-out", "chrome-out", "metrics-out", "backend", "timescale",
-           "trace", "version"},
+           "trace", "replay", "version"},
           "no arguments"))
     return 2;
+  const std::string ReplayPath = CL.getString("replay", "");
+  if (!ReplayPath.empty())
+    return runReplay(CL, ReplayPath);
   const std::string AppName = CL.getString("app", "");
   if (AppName.empty())
     return usage();
@@ -501,6 +594,34 @@ int main(int Argc, char **Argv) {
       Trace.Meta.Machine = Machine->name();
       Trace.Meta.MachineParams = Machine->paramsString();
     }
+    // Self-description: the full run configuration, so the trace is
+    // executable (dynfb-run --replay) and dynfb-report can print the run's
+    // provenance. Values are the resolved ones the run actually used.
+    obs::RunSpec &RS = Trace.Meta.Spec;
+    RS.Present = true;
+    RS.Scale = CL.getDouble("scale", 1.0);
+    RS.Dimensions = Dimensions;
+    RS.Chunks = Chunks;
+    RS.SamplingNanos = Config.TargetSamplingNanos;
+    RS.ProductionNanos = Config.TargetProductionNanos;
+    RS.Cutoff = Config.EarlyCutoff;
+    RS.Ordering = Config.UsePolicyOrdering;
+    RS.Spanning = Config.SpanSectionExecutions;
+    RS.Repeats = Config.SamplingRepeats;
+    RS.Aggregate = Aggregate;
+    RS.Hysteresis = Config.SwitchHysteresis;
+    RS.Drift = Config.DriftResampleThreshold;
+    RS.SliceNanos = Config.ProductionSliceNanos;
+    RS.QuarantineStrikes = Config.QuarantineStrikes;
+    RS.QuarantineWindow = Config.QuarantineWindowPhases;
+    RS.QuarantineLimit = Config.QuarantineOverheadLimit;
+    RS.QuarantineBackoff = Config.QuarantineBackoffPhases;
+    RS.Watchdog = Config.WatchdogBadSlices;
+    RS.WatchdogLimit = Config.WatchdogOverheadLimit;
+    RS.PerturbSpec = PerturbSpec;
+    RS.TrafficSpec = TrafficSpec;
+    RS.CostOverrides = CostSpec;
+    RS.TimeScale = Native ? TimeScale : 0.0;
     std::string Error;
     if (!TraceOut.empty() && !writeFile(TraceOut, obs::toJsonl(Trace), Error))
       return fail(Error);
