@@ -1,0 +1,21 @@
+//===- bench/bench_version_search.cpp ---------------------------------------=//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+// Extension experiment (not in the paper): sub-linear version search. Runs
+// the same dynamic-feedback Water workload over the 3x5 sync-by-scheduling
+// space under each sampling strategy (exhaustive, halving, ucb) and gates
+// that the partial-sampling strategies reach within 10% of exhaustive's
+// chosen-version overhead while spending at most 50% of its sampling cost.
+// The experiment definition lives in the src/exp registry; this binary runs
+// it in-process and renders the table.
+//
+//   bench_version_search [--scale F] [--procs N] [--chunks K1,K2,...]
+//
+//===----------------------------------------------------------------------===//
+
+#include "exp/BenchMain.h"
+
+int main(int Argc, char **Argv) {
+  return dynfb::exp::runBenchMain("version_search", Argc, Argv);
+}

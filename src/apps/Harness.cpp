@@ -33,6 +33,8 @@ fb::RunResult apps::runApp(const App &App, unsigned Procs,
   Options.Mode =
       Spec.F == Flavour::Dynamic ? fb::ExecMode::Dynamic : fb::ExecMode::Fixed;
   Options.Config = Config;
+  if (!Options.Config.Machine)
+    Options.Config.Machine = &Model; // Ucb sampling prior; outlives the run.
   Options.History = History;
   Options.Log = Obs ? &Obs->Log : nullptr;
   fb::RunResult Result = fb::runSchedule(*Backend, App.schedule(), Options);

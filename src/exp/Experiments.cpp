@@ -20,6 +20,7 @@
 #include "apps/kvserve/KvServeApp.h"
 #include "apps/string_tomo/StringApp.h"
 #include "apps/water/WaterApp.h"
+#include "fb/Sampling.h"
 #include "perturb/Engine.h"
 #include "perturb/Traffic.h"
 #include "replay/Explorer.h"
@@ -668,6 +669,181 @@ Experiment makeVersionSpace() {
                 "%s, barnes_hut %s\n",
                 WaterOk ? "yes" : "NO", BhOk ? "yes" : "NO");
     return WaterOk && BhOk ? 0 : 1;
+  };
+  return E;
+}
+
+//===----------------------------------------------------------------------===//
+// Sub-linear version search (extension experiment)
+//===----------------------------------------------------------------------===//
+
+/// The search workload: Water at 1/8 size but 4x the timesteps of the
+/// version_space experiment. Small occurrences keep the sub-second sampling
+/// slices of the partial strategies meaningful (an interval can never end
+/// mid-occurrence, so occurrence cost is the slice granularity floor), and
+/// the long timestep run gives every strategy the same production runway
+/// after its search concludes.
+std::unique_ptr<App> makeSearchApp(const JobConfig &Config,
+                                   const VersionSpace &Space) {
+  water::WaterConfig C;
+  C.scale(0.125 * Config.getDouble("scale", 1.0));
+  C.Timesteps = 192;
+  return std::make_unique<water::WaterApp>(C, Space);
+}
+
+/// The feedback configuration of the search experiment: spanning phases
+/// with sampling intervals long enough (1s) that a half-length or shorter
+/// partial-sampling slice still covers several occurrences.
+fb::FeedbackConfig searchConfig() {
+  fb::FeedbackConfig Config = spanningConfig();
+  Config.TargetSamplingNanos = rt::secondsToNanos(1.0);
+  // 0.4 rather than the 0.5 default: interval overshoot at occurrence
+  // boundaries is charged to the strategy, so the nominal budget leaves
+  // headroom under the 50% gate.
+  Config.SearchBudgetFraction = 0.4;
+  return Config;
+}
+
+JobResult runVersionSearchJob(const JobConfig &Config) {
+  std::string Error;
+  const std::string Chunks = Config.getString("chunks", "8,fac,wfac,afac");
+  const std::optional<VersionSpace> Space =
+      VersionSpace::parse("sync,sched", Chunks, Error);
+  if (!Space)
+    return jobError(Error);
+  const std::unique_ptr<App> TheApp = makeSearchApp(Config, *Space);
+  const unsigned Procs = static_cast<unsigned>(Config.getInt("procs", 8));
+  std::string MachineError;
+  const std::unique_ptr<rt::MachineModel> Model =
+      machineFromConfig(Config, MachineError);
+  if (!Model)
+    return jobError(MachineError);
+
+  fb::FeedbackConfig FC = searchConfig();
+  const std::string SamplerName = Config.getString("sampler", "exhaustive");
+  const std::optional<fb::SamplerKind> Sampler =
+      fb::parseSamplerName(SamplerName);
+  if (!Sampler)
+    return jobError("unknown sampler '" + SamplerName + "'");
+  FC.Sampler = *Sampler;
+
+  RunObservation Obs;
+  const fb::RunResult Dyn =
+      runApp(*TheApp, Procs, VersionSpec::dynamicFeedback(), *Model, FC,
+             nullptr, nullptr, &Obs);
+
+  double SamplingSeconds = 0;
+  unsigned Sampled = 0, Prunes = 0, Promotes = 0;
+  for (const fb::SectionExecutionTrace &Trace : Dyn.Occurrences) {
+    SamplingSeconds += rt::nanosToSeconds(Trace.SampledNanos);
+    Sampled += Trace.SampledIntervals;
+    Prunes += Trace.Prunes;
+    Promotes += Trace.Promotes;
+  }
+  // Decision-quality metric: the whole run's lock+wait+sched overhead
+  // ratio. Production dominates the run, so this is in effect the true
+  // overhead of the versions the strategy chose -- a strategy that saved
+  // sampling by picking worse versions pays here, and one that picked the
+  // same versions converges to the same ratio regardless of how its
+  // sampled estimates were sliced.
+  const double RunOverhead = Dyn.ParallelStats.totalOverhead();
+  unsigned Switches = 0;
+  for (const obs::DecisionEvent &E : Obs.Log.events())
+    if (E.Kind == obs::DecisionKind::Switch)
+      ++Switches;
+
+  JobResult Out;
+  Out.add("seconds", rt::nanosToSeconds(Dyn.TotalNanos));
+  Out.add("run_overhead", RunOverhead);
+  Out.add("sampling_seconds", SamplingSeconds);
+  Out.add("sampled_intervals", Sampled);
+  Out.add("switches", Switches);
+  Out.add("prunes", Prunes);
+  Out.add("promotes", Promotes);
+  return Out;
+}
+
+Experiment makeVersionSearch() {
+  Experiment E;
+  E.Name = "version_search";
+  E.Suite = "extension";
+  E.Description = "sub-linear version search: halving and ucb vs exhaustive "
+                  "sampling over the 3x5 sync-by-scheduling space";
+  E.MetricNames = {"seconds",           "run_overhead", "sampling_seconds",
+                   "sampled_intervals", "switches",     "prunes",
+                   "promotes"};
+  E.MakeJobs = [](const RunOptions &Opts) {
+    const std::string Chunks =
+        Opts.Chunks.empty() ? "8,fac,wfac,afac" : Opts.Chunks;
+    const unsigned Procs = Opts.Procs ? Opts.Procs : 8;
+    std::vector<JobConfig> Jobs;
+    for (const char *Sampler : {"exhaustive", "halving", "ucb"}) {
+      JobConfig C = baseConfig("water", Opts);
+      C.set("chunks", Chunks);
+      C.set("sampler", Sampler);
+      C.setInt("procs", Procs);
+      Jobs.push_back(std::move(C));
+    }
+    return Jobs;
+  };
+  E.RunJob = runVersionSearchJob;
+  E.Render = [](const RunOptions &Opts,
+                const std::vector<JobResult> &Results) {
+    const std::string Chunks =
+        Opts.Chunks.empty() ? "8,fac,wfac,afac" : Opts.Chunks;
+    std::string Error;
+    const std::optional<VersionSpace> Space =
+        VersionSpace::parse("sync,sched", Chunks, Error);
+    if (!Space) {
+      std::fprintf(stderr, "bench_version_search: %s\n", Error.c_str());
+      return 1;
+    }
+    if (Results.size() < 3) {
+      std::fprintf(stderr, "bench_version_search: incomplete results\n");
+      return 1;
+    }
+    static const char *const Samplers[] = {"exhaustive", "halving", "ucb"};
+    const JobResult &Ex = Results[0];
+    std::printf("== Sub-linear version search: %u versions (%zu policies x "
+                "%zu schedulings), Water, spanning feedback ==\n\n",
+                static_cast<unsigned>(Space->size()),
+                Space->policies().size(), Space->scheds().size());
+    Table T("sampling strategies (cost measured in effective sampling "
+            "seconds)");
+    T.setHeader({"sampler", "seconds", "run overhead", "sampling s",
+                 "intervals", "prunes", "promotes", "cost vs exhaustive"});
+    for (size_t I = 0; I < 3; ++I) {
+      const JobResult &R = Results[I];
+      T.addRow({Samplers[I], formatDouble(R.metric("seconds"), 2),
+                formatDouble(R.metric("run_overhead"), 4),
+                formatDouble(R.metric("sampling_seconds"), 3),
+                format("%u",
+                       static_cast<unsigned>(R.metric("sampled_intervals"))),
+                format("%u", static_cast<unsigned>(R.metric("prunes"))),
+                format("%u", static_cast<unsigned>(R.metric("promotes"))),
+                formatDouble(R.metric("sampling_seconds") /
+                                 Ex.metric("sampling_seconds"),
+                             2)});
+    }
+    printTable(T);
+
+    bool AllOk = true;
+    for (size_t I = 1; I < 3; ++I) {
+      const JobResult &R = Results[I];
+      const bool QualityOk = R.metric("run_overhead") <=
+                             1.10 * Ex.metric("run_overhead") + 1e-12;
+      const bool CostOk = R.metric("sampling_seconds") <=
+                          0.50 * Ex.metric("sampling_seconds");
+      std::printf("%s: chosen-version overhead within 10%% of exhaustive: "
+                  "%s; sampling cost at most 50%%: %s\n",
+                  Samplers[I], QualityOk ? "yes" : "NO",
+                  CostOk ? "yes" : "NO");
+      AllOk = AllOk && QualityOk && CostOk;
+    }
+    std::printf("gate: sub-linear search matches exhaustive decision "
+                "quality at half the sampling cost: %s\n",
+                AllOk ? "PASS" : "FAIL");
+    return AllOk ? 0 : 1;
   };
   return E;
 }
@@ -1648,6 +1824,7 @@ void exp::registerBuiltinExperiments() {
   registry().add(makeTable7Water());
   registry().add(makeTable8WaterLocking());
   registry().add(makeVersionSpace());
+  registry().add(makeVersionSearch());
   registry().add(makePerturbationAdaptivity());
   registry().add(makeMachineSensitivity());
   registry().add(makeServing());

@@ -18,7 +18,17 @@
 #include "rt/Stats.h"
 #include "rt/Time.h"
 
+namespace dynfb::rt {
+class MachineModel;
+} // namespace dynfb::rt
+
 namespace dynfb::fb {
+
+/// Which sampling strategy drives a sampling phase (see fb/Sampling.h).
+/// Exhaustive reproduces the paper: every candidate version is measured
+/// once per phase. Halving and Ucb trade per-version certainty for
+/// sub-linear sampling cost over large version spaces.
+enum class SamplerKind { Exhaustive, Halving, Ucb };
 
 /// Tuning knobs of the dynamic feedback controller.
 struct FeedbackConfig {
@@ -120,6 +130,29 @@ struct FeedbackConfig {
   /// Measured production overhead above this marks the interval bad for the
   /// watchdog.
   double WatchdogOverheadLimit = 0.9;
+
+  // --------- Version search (sub-linear sampling; defaults reproduce the
+  // --------- paper's exhaustive phase exactly) ----------------------------
+
+  /// Sampling strategy for each sampling phase. The default Exhaustive is
+  /// byte-identical to the paper's loop; Halving and Ucb measure only part
+  /// of the version space per phase (see fb/Sampling.h).
+  SamplerKind Sampler = SamplerKind::Exhaustive;
+
+  /// Fraction of exhaustive's sampling budget (NumVersions *
+  /// TargetSamplingNanos) a partial-sampling strategy may spend per phase.
+  /// Ignored by Exhaustive.
+  double SearchBudgetFraction = 0.5;
+
+  /// Exploration constant of the UCB1 selection rule (the multiplier on the
+  /// confidence radius). Ignored by other strategies.
+  double UcbExplore = 2.0;
+
+  /// Machine model the Ucb strategy derives its cost prior from: versions
+  /// whose policy/scheduling combination is cheap on this machine are tried
+  /// first. Optional (no prior without it); not owned, must outlive the
+  /// controller. Never consulted by Exhaustive.
+  const rt::MachineModel *Machine = nullptr;
 };
 
 } // namespace dynfb::fb

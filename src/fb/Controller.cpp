@@ -22,6 +22,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdio>
 #include <limits>
 #include <map>
 
@@ -153,11 +154,16 @@ FeedbackController::samplingOrder(const std::vector<std::string> &Labels,
 
   // Policy ordering: the previously best version is sampled first, so a
   // still-acceptable measurement can cut sampling short. History names
-  // descriptors, not indices, so it survives space changes.
+  // descriptors, not indices, so it survives space changes. A name that no
+  // longer resolves (e.g. the sched dimension changed across runs) is
+  // diagnosed and counted, never silently dropped.
   if (Config.UsePolicyOrdering && History) {
-    if (std::optional<std::string> Last = History->lastBest(SectionName))
+    if (std::optional<std::string> Last = History->lastBest(SectionName)) {
       if (std::optional<unsigned> V = resolveVersionName(*Last, Labels))
         Order.push_back(*V);
+      else
+        noteHistoryMiss(SectionName, *Last);
+    }
   }
 
   if (Config.EarlyCutoff) {
@@ -435,6 +441,87 @@ void FeedbackController::logDegraded(const std::string &Section, rt::Nanos T,
   Log->append(std::move(E));
 }
 
+void FeedbackController::logPrune(const std::string &Section, rt::Nanos T,
+                                  unsigned V, const std::string &Label,
+                                  double Overhead, unsigned Round) const {
+  // Registered lazily so runs under the default exhaustive sampler (which
+  // never prunes) keep their metrics dumps byte-identical.
+  static obs::Counter &Prunes =
+      obs::globalMetrics().counter("fb.search.prunes");
+  Prunes.add();
+  if (!Log)
+    return;
+  obs::DecisionEvent E;
+  E.Kind = obs::DecisionKind::Prune;
+  E.TimeNanos = T;
+  E.Section = Section;
+  E.Version = V;
+  E.Label = Label;
+  E.Overhead = Overhead;
+  E.Repeats = Round;
+  Log->append(std::move(E));
+}
+
+void FeedbackController::logPromote(const std::string &Section, rt::Nanos T,
+                                    unsigned V, const std::string &Label,
+                                    double Overhead, unsigned Round) const {
+  static obs::Counter &Promotes =
+      obs::globalMetrics().counter("fb.search.promotes");
+  Promotes.add();
+  if (!Log)
+    return;
+  obs::DecisionEvent E;
+  E.Kind = obs::DecisionKind::Promote;
+  E.TimeNanos = T;
+  E.Section = Section;
+  E.Version = V;
+  E.Label = Label;
+  E.Overhead = Overhead;
+  E.Repeats = Round;
+  Log->append(std::move(E));
+}
+
+void FeedbackController::drainSearchEvents(
+    SamplingStrategy &S, const std::string &Section, rt::Nanos Now,
+    const std::vector<std::string> &Labels,
+    std::vector<std::optional<double>> &Overheads,
+    SectionExecutionTrace &Trace) const {
+  for (const SearchEvent &E : S.takeEvents()) {
+    const std::string &Label =
+        E.Version < Labels.size() ? Labels[E.Version] : Labels.back();
+    switch (E.K) {
+    case SearchEvent::Kind::Prune:
+      // A pruned version is out of this phase's decision. Clearing its
+      // estimate is also what keeps switch hysteresis from holding a pruned
+      // incumbent: the hold requires a measured incumbent overhead.
+      if (E.Version < Overheads.size())
+        Overheads[E.Version].reset();
+      ++Trace.Prunes;
+      logPrune(Section, Now, E.Version, Label, E.Overhead, E.Round);
+      break;
+    case SearchEvent::Kind::Promote:
+      ++Trace.Promotes;
+      logPromote(Section, Now, E.Version, Label, E.Overhead, E.Round);
+      break;
+    }
+  }
+}
+
+void FeedbackController::noteHistoryMiss(const std::string &SectionName,
+                                         const std::string &StaleName) const {
+  // Registered lazily: the counter only appears in metrics dumps of runs
+  // that actually missed.
+  static obs::Counter &Misses =
+      obs::globalMetrics().counter("fb.history_misses");
+  Misses.add();
+  if (!ReportedHistoryMisses.insert(SectionName + '\0' + StaleName).second)
+    return; // Already diagnosed this (section, name) pair.
+  std::fprintf(stderr,
+               "dynfb: section '%s': recorded best version '%s' does not "
+               "name any version in the current space; ignoring history\n",
+               SectionName.c_str(), StaleName.c_str());
+}
+
 SectionExecutionTrace
 FeedbackController::executeSection(IntervalRunner &Runner,
                                    const std::string &SectionName) {
@@ -480,10 +567,24 @@ FeedbackController::executeSpanning(IntervalRunner &Runner,
                          [&](unsigned V) { return isExcluded(*RS, V); }),
           State.Order.end());
     }
-    State.OrderIdx = 0;
+    if (!State.Strategy)
+      State.Strategy = createSamplingStrategy(Config);
+    if (Config.Sampler != SamplerKind::Exhaustive) {
+      // Lazily registered like the prune/promote counters: dumps of
+      // default-sampler runs stay byte-identical.
+      static obs::Counter &Phases =
+          obs::globalMetrics().counter("fb.search.phases");
+      Phases.add();
+    }
+    State.Current.reset();
+    if (!State.Order.empty()) {
+      State.Strategy->beginPhase(State.Order, Labels);
+      State.Current = State.Strategy->next();
+    }
     State.Overheads.assign(NumVersions, std::nullopt);
     State.CurrentIntervalStats = OverheadStats{};
-    State.Remaining = Config.TargetSamplingNanos;
+    State.Remaining =
+        State.Current ? State.Current->SliceNanos : Config.TargetSamplingNanos;
     State.ProductionOverhead.reset();
   };
   if (State.Overheads.empty())
@@ -510,13 +611,15 @@ FeedbackController::executeSpanning(IntervalRunner &Runner,
                   obs::SwitchReason::Fallback);
         continue;
       }
-      const unsigned V = State.Order[State.OrderIdx];
+      DYNFB_CHECK(State.Current, "sampling phase with no pending request");
+      const unsigned V = State.Current->Version;
       const IntervalReport Report = Runner.runInterval(V, State.Remaining);
       Trace.Total.merge(Report.Stats);
       State.CurrentIntervalStats.merge(Report.Stats);
-      if (Report.EffectiveNanos > 0)
+      if (Report.EffectiveNanos > 0) {
         State.Remaining -= Report.EffectiveNanos;
-      else
+        Trace.SampledNanos += Report.EffectiveNanos;
+      } else
         State.Remaining = 0; // A stuck interval must not stall the phase.
 
       const bool IntervalDone = State.Remaining <= 0;
@@ -527,36 +630,45 @@ FeedbackController::executeSpanning(IntervalRunner &Runner,
       // accumulated measurement is degenerate (zero duration, non-finite).
       ++Trace.SampledIntervals;
       fbCounters().SampledIntervals.add();
+      std::optional<double> Measured;
       if (isUsable(State.CurrentIntervalStats)) {
-        const double Overhead = State.CurrentIntervalStats.totalOverhead();
-        State.Overheads[V] = Overhead;
+        Measured = State.CurrentIntervalStats.totalOverhead();
         Trace.SampledOverheads.getOrCreate(Runner.versionLabel(V))
-            .addPoint(nanosToSeconds(Runner.now()), Overhead);
-        logSample(SectionName, Runner.now(), V, Labels[V], Overhead,
+            .addPoint(nanosToSeconds(Runner.now()), *Measured);
+        logSample(SectionName, Runner.now(), V, Labels[V], *Measured,
                   /*Repeats=*/1, /*Degenerate=*/0);
-        if (RS && quarantineEnabled() &&
-            noteSampleHealth(SectionName, *RS, V, Labels[V], Overhead,
-                             Runner.now(), Trace))
-          State.Overheads[V].reset(); // Quarantined: out of this decision.
       } else {
         ++Trace.DegenerateIntervals;
         fbCounters().DegenerateIntervals.add();
         logSample(SectionName, Runner.now(), V, Labels[V], NaN,
                   /*Repeats=*/0, /*Degenerate=*/1);
-        if (RS && quarantineEnabled())
-          noteSampleHealth(SectionName, *RS, V, Labels[V], std::nullopt,
+      }
+      const bool Quarantined =
+          RS && quarantineEnabled() &&
+          noteSampleHealth(SectionName, *RS, V, Labels[V], Measured,
                            Runner.now(), Trace);
+      const std::optional<double> Est = State.Strategy->report(V, Measured);
+      if (Quarantined) {
+        State.Overheads[V].reset(); // Quarantined: out of this decision.
+        State.Strategy->disqualify(V);
+      } else if (Est) {
+        State.Overheads[V] = *Est;
       }
       State.CurrentIntervalStats = OverheadStats{};
-      State.Remaining = Config.TargetSamplingNanos;
-      ++State.OrderIdx;
 
-      const bool CutOff = Config.EarlyCutoff && State.Overheads[V] &&
+      const bool CutOff = !Quarantined && Config.EarlyCutoff &&
+                          State.Overheads[V] &&
                           *State.Overheads[V] <= Config.EarlyCutoffThreshold;
       if (CutOff)
-        Trace.SkippedByCutoff += static_cast<unsigned>(
-            State.Order.size() - State.OrderIdx);
-      if (State.OrderIdx >= State.Order.size() || CutOff) {
+        Trace.SkippedByCutoff += State.Strategy->pendingCount();
+      State.Current = CutOff ? std::nullopt : State.Strategy->next();
+      drainSearchEvents(*State.Strategy, SectionName, Runner.now(), Labels,
+                        State.Overheads, Trace);
+      if (State.Current) {
+        State.Remaining = State.Current->SliceNanos;
+        continue;
+      }
+      {
         // Sampling phase complete: pick the best and enter production. An
         // entirely degenerate phase falls back to the last known-good
         // version (or the first in sampling order on the very first phase)
@@ -675,21 +787,32 @@ FeedbackController::executePerOccurrence(IntervalRunner &Runner,
                   Order.end());
     }
 
-    for (size_t OIdx = 0; OIdx < Order.size(); ++OIdx) {
-      const unsigned V = Order[OIdx];
-      if (Runner.done())
-        break;
+    const std::unique_ptr<SamplingStrategy> Strat =
+        createSamplingStrategy(Config);
+    if (Config.Sampler != SamplerKind::Exhaustive) {
+      static obs::Counter &Phases =
+          obs::globalMetrics().counter("fb.search.phases");
+      Phases.add();
+    }
+    std::optional<SampleRequest> Req;
+    if (!Order.empty()) {
+      Strat->beginPhase(Order, Labels);
+      Req = Strat->next();
+    }
+    while (Req && !Runner.done()) {
+      const unsigned V = Req->Version;
       // One measurement reproduces the paper; SamplingRepeats > 1 buys
       // outlier resistance through the configured robust aggregator.
       const unsigned Repeats = std::max(1u, Config.SamplingRepeats);
       std::vector<double> Samples;
       unsigned DegenerateRepeats = 0;
       for (unsigned Rep = 0; Rep < Repeats && !Runner.done(); ++Rep) {
-        const IntervalReport Report =
-            Runner.runInterval(V, Config.TargetSamplingNanos);
+        const IntervalReport Report = Runner.runInterval(V, Req->SliceNanos);
         ++Trace.SampledIntervals;
         fbCounters().SampledIntervals.add();
         Trace.Total.merge(Report.Stats);
+        if (Report.EffectiveNanos > 0)
+          Trace.SampledNanos += Report.EffectiveNanos;
         if (Report.EffectiveNanos <= 0 || !isUsable(Report.Stats)) {
           ++Trace.DegenerateIntervals;
           fbCounters().DegenerateIntervals.add();
@@ -700,47 +823,51 @@ FeedbackController::executePerOccurrence(IntervalRunner &Runner,
         Trace.EffectiveSamplingByVersion[Runner.versionLabel(V)].add(
             nanosToSeconds(Report.EffectiveNanos));
       }
+      std::optional<double> Measured;
       if (Samples.empty()) {
         logSample(SectionName, Runner.now(), V, Labels[V], NaN,
                   /*Repeats=*/0, DegenerateRepeats);
-        if (RS && quarantineEnabled())
-          noteSampleHealth(SectionName, *RS, V, Labels[V], std::nullopt,
-                           Runner.now(), Trace);
-        continue; // Version unmeasurable this phase.
+      } else {
+        const unsigned UsableRepeats = static_cast<unsigned>(Samples.size());
+        const double Overhead =
+            aggregateOverheads(std::move(Samples), Config.SamplingAggregation,
+                               Config.TrimFraction);
+        if (!std::isfinite(Overhead)) {
+          // Belt and braces: aggregateOverheads returns its NaN sentinel
+          // when every sample was discarded. A non-finite aggregate must
+          // never enter the decision as a measured overhead.
+          ++Trace.DegenerateIntervals;
+          fbCounters().DegenerateIntervals.add();
+          logSample(SectionName, Runner.now(), V, Labels[V], NaN,
+                    /*Repeats=*/0, DegenerateRepeats + UsableRepeats);
+        } else {
+          Measured = Overhead;
+          Trace.SampledOverheads.getOrCreate(Runner.versionLabel(V))
+              .addPoint(nanosToSeconds(Runner.now()), Overhead);
+          logSample(SectionName, Runner.now(), V, Labels[V], Overhead,
+                    UsableRepeats, DegenerateRepeats);
+        }
       }
-      const unsigned UsableRepeats = static_cast<unsigned>(Samples.size());
-      const double Overhead = aggregateOverheads(
-          std::move(Samples), Config.SamplingAggregation, Config.TrimFraction);
-      if (!std::isfinite(Overhead)) {
-        // Belt and braces: aggregateOverheads returns its NaN sentinel when
-        // every sample was discarded. A non-finite aggregate must never
-        // enter the decision as a measured overhead.
-        ++Trace.DegenerateIntervals;
-        fbCounters().DegenerateIntervals.add();
-        logSample(SectionName, Runner.now(), V, Labels[V], NaN,
-                  /*Repeats=*/0, DegenerateRepeats + UsableRepeats);
-        if (RS && quarantineEnabled())
-          noteSampleHealth(SectionName, *RS, V, Labels[V], std::nullopt,
+      const bool Quarantined =
+          RS && quarantineEnabled() &&
+          noteSampleHealth(SectionName, *RS, V, Labels[V], Measured,
                            Runner.now(), Trace);
-        continue;
-      }
-      Overheads[V] = Overhead;
-      Trace.SampledOverheads.getOrCreate(Runner.versionLabel(V))
-          .addPoint(nanosToSeconds(Runner.now()), Overhead);
-      logSample(SectionName, Runner.now(), V, Labels[V], Overhead,
-                UsableRepeats, DegenerateRepeats);
-      if (RS && quarantineEnabled() &&
-          noteSampleHealth(SectionName, *RS, V, Labels[V], Overhead,
-                           Runner.now(), Trace)) {
+      const std::optional<double> Est = Strat->report(V, Measured);
+      if (Quarantined) {
         Overheads[V].reset(); // Quarantined: out of this decision.
-        continue;
+        Strat->disqualify(V);
+      } else if (Est) {
+        Overheads[V] = *Est;
       }
-      if (Config.EarlyCutoff && Overhead <= Config.EarlyCutoffThreshold) {
+      const bool CutOff = !Quarantined && Config.EarlyCutoff &&
+                          Overheads[V] &&
+                          *Overheads[V] <= Config.EarlyCutoffThreshold;
+      if (CutOff)
         // No other policy could do significantly better: cut sampling off.
-        Trace.SkippedByCutoff +=
-            static_cast<unsigned>(Order.size() - OIdx - 1);
-        break;
-      }
+        Trace.SkippedByCutoff += Strat->pendingCount();
+      Req = CutOff ? std::nullopt : Strat->next();
+      drainSearchEvents(*Strat, SectionName, Runner.now(), Labels, Overheads,
+                        Trace);
     }
 
     const BestPick Pick = pickBest(Overheads, LastGood, Trace, RS);

@@ -22,12 +22,15 @@
 #define DYNFB_FB_CONTROLLER_H
 
 #include "fb/Config.h"
+#include "fb/Sampling.h"
 #include "obs/DecisionLog.h"
 #include "rt/IntervalRunner.h"
 #include "support/Statistics.h"
 
 #include <map>
+#include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -102,6 +105,17 @@ struct SectionExecutionTrace {
                                   ///< version was quarantined (the
                                   ///< last-known-good version was pinned).
 
+  // Version-search accounting (all zero under the default exhaustive
+  // sampler -- see FeedbackConfig::Sampler).
+  unsigned Prunes = 0;   ///< Versions the sampling strategy dropped from a
+                         ///< phase's search.
+  unsigned Promotes = 0; ///< Versions advanced into later search rounds (or
+                         ///< made provisional winner).
+  /// Effective time spent inside sampling intervals, the cost a sub-linear
+  /// strategy reduces (exhaustive spends ~NumVersions *
+  /// TargetSamplingNanos per phase).
+  rt::Nanos SampledNanos = 0;
+
   rt::Nanos durationNanos() const { return EndNanos - StartNanos; }
 
   /// The version used for the most production time (the de-facto decision).
@@ -146,9 +160,11 @@ private:
   struct SpanState {
     enum class PhaseKind { Sampling, Production } Phase =
         PhaseKind::Sampling;
-    /// Sampling: position in the sampling order and per-version overheads
-    /// accumulated for the current sampling phase.
-    unsigned OrderIdx = 0;
+    /// Sampling: the strategy driving the phase, its in-flight request, the
+    /// phase's candidate order (kept for fallback decisions) and the
+    /// per-version overhead estimates accumulated so far.
+    std::unique_ptr<SamplingStrategy> Strategy;
+    std::optional<SampleRequest> Current;
     std::vector<unsigned> Order;
     std::vector<std::optional<double>> Overheads;
     rt::OverheadStats CurrentIntervalStats;
@@ -242,6 +258,23 @@ private:
                     SectionExecutionTrace &Trace,
                     const ResilienceState *RS = nullptr) const;
 
+  /// Drains \p S's prune/promote events: logs each, counts it, and resets
+  /// the sampled overhead of every pruned version in \p Overheads -- a
+  /// pruned version is out of this phase's decision, which is also what
+  /// keeps switch hysteresis from holding a pruned incumbent.
+  void drainSearchEvents(SamplingStrategy &S, const std::string &Section,
+                         rt::Nanos Now,
+                         const std::vector<std::string> &Labels,
+                         std::vector<std::optional<double>> &Overheads,
+                         SectionExecutionTrace &Trace) const;
+
+  /// Records a policy-ordering history entry that no longer resolves
+  /// against the current version space: bumps the fb.history_misses metric
+  /// every time and emits a one-line stderr diagnostic once per distinct
+  /// (section, stale name) pair.
+  void noteHistoryMiss(const std::string &SectionName,
+                       const std::string &StaleName) const;
+
   /// Decision-log emission helpers; no-ops without an attached log. Every
   /// event is mirrored into the global metrics registry ("fb.*" counters).
   void logSample(const std::string &Section, rt::Nanos T, unsigned V,
@@ -262,12 +295,20 @@ private:
                            unsigned Streak) const;
   void logDegraded(const std::string &Section, rt::Nanos T, unsigned V,
                    const std::string &Label) const;
+  void logPrune(const std::string &Section, rt::Nanos T, unsigned V,
+                const std::string &Label, double Overhead,
+                unsigned Round) const;
+  void logPromote(const std::string &Section, rt::Nanos T, unsigned V,
+                  const std::string &Label, double Overhead,
+                  unsigned Round) const;
 
   const FeedbackConfig Config;
   PolicyHistory *const History;
   obs::DecisionLog *const Log;
   std::map<std::string, SpanState> SpanStates;
   std::map<std::string, ResilienceState> Resilience;
+  /// (section, stale name) pairs already reported by noteHistoryMiss.
+  mutable std::set<std::string> ReportedHistoryMisses;
 };
 
 } // namespace dynfb::fb

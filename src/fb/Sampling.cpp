@@ -1,0 +1,507 @@
+//===- fb/Sampling.cpp ----------------------------------------------------==//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// The three shipped sampling strategies. Everything here is deterministic:
+// no randomness, no host clocks -- the same candidate set and the same
+// measurement sequence always produce the same requests and prune/promote
+// decisions, which is what keeps record/replay a fixed point under every
+// strategy.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fb/Sampling.h"
+
+#include "rt/MachineModel.h"
+#include "support/Compiler.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+
+using namespace dynfb;
+using namespace dynfb::fb;
+
+const char *fb::samplerName(SamplerKind K) {
+  switch (K) {
+  case SamplerKind::Exhaustive:
+    return "exhaustive";
+  case SamplerKind::Halving:
+    return "halving";
+  case SamplerKind::Ucb:
+    return "ucb";
+  }
+  DYNFB_UNREACHABLE("invalid sampler kind");
+}
+
+std::optional<SamplerKind> fb::parseSamplerName(const std::string &Name) {
+  for (SamplerKind K :
+       {SamplerKind::Exhaustive, SamplerKind::Halving, SamplerKind::Ucb})
+    if (Name == samplerName(K))
+      return K;
+  return std::nullopt;
+}
+
+std::vector<std::string> fb::samplerNames() {
+  return {samplerName(SamplerKind::Exhaustive),
+          samplerName(SamplerKind::Halving), samplerName(SamplerKind::Ucb)};
+}
+
+SamplingStrategy::~SamplingStrategy() = default;
+
+namespace {
+
+constexpr double NaN = std::numeric_limits<double>::quiet_NaN();
+
+//===----------------------------------------------------------------------===//
+// Exhaustive: the paper's sampling loop, extracted.
+//===----------------------------------------------------------------------===//
+
+class ExhaustiveStrategy final : public SamplingStrategy {
+public:
+  explicit ExhaustiveStrategy(rt::Nanos Slice) : Slice(Slice) {}
+
+  void beginPhase(const std::vector<unsigned> &Candidates,
+                  const std::vector<std::string> &Labels) override {
+    (void)Labels;
+    Cands = Candidates;
+    Idx = 0;
+    Events.clear();
+  }
+
+  std::optional<SampleRequest> next() override {
+    if (Idx >= Cands.size())
+      return std::nullopt;
+    return SampleRequest{Cands[Idx], Slice};
+  }
+
+  std::optional<double> report(unsigned V,
+                               std::optional<double> Overhead) override {
+    (void)V;
+    ++Idx;
+    return Overhead; // Pass-through: the measurement IS the estimate.
+  }
+
+  void disqualify(unsigned V) override {
+    // The version was just measured and each candidate is requested exactly
+    // once, so there is nothing left to exclude.
+    (void)V;
+  }
+
+  unsigned pendingCount() const override {
+    return static_cast<unsigned>(Cands.size() - Idx);
+  }
+
+private:
+  const rt::Nanos Slice;
+  std::vector<unsigned> Cands;
+  size_t Idx = 0;
+};
+
+//===----------------------------------------------------------------------===//
+// Halving: successive halving over the phase budget.
+//===----------------------------------------------------------------------===//
+
+class HalvingStrategy final : public SamplingStrategy {
+public:
+  HalvingStrategy(rt::Nanos TargetSlice, double BudgetFraction)
+      : TargetSlice(TargetSlice),
+        BudgetFraction(std::max(0.0, BudgetFraction)) {}
+
+  void beginPhase(const std::vector<unsigned> &Candidates,
+                  const std::vector<std::string> &Labels) override {
+    (void)Labels;
+    Alive = Candidates;
+    Dead.assign(Alive.empty() ? 0
+                              : 1 + *std::max_element(Alive.begin(),
+                                                      Alive.end()),
+                false);
+    Events.clear();
+    Round = 0;
+    Done = Alive.empty();
+    if (Done)
+      return;
+    const double N = static_cast<double>(Alive.size());
+    Rounds = 1;
+    while ((1u << Rounds) < Alive.size())
+      ++Rounds; // ceil(log2 N), at least 1.
+    // Budget: the configured fraction of exhaustive's phase cost, shaved by
+    // ~3% because effective intervals overshoot their targets at iteration
+    // boundaries -- the real spend must stay at or under the fraction.
+    BudgetLeft = static_cast<rt::Nanos>(BudgetFraction * N *
+                                        static_cast<double>(TargetSlice));
+    BudgetLeft -= BudgetLeft / 32;
+    startRound();
+  }
+
+  std::optional<SampleRequest> next() override {
+    if (Done)
+      return std::nullopt;
+    return SampleRequest{Alive[Idx], Slice};
+  }
+
+  std::optional<double> report(unsigned V,
+                               std::optional<double> Overhead) override {
+    DYNFB_CHECK(!Done && Idx < Alive.size() && Alive[Idx] == V,
+                "halving: report out of protocol");
+    Vals[Idx] = Overhead;
+    BudgetLeft -= std::min(BudgetLeft, Slice);
+    ++Idx;
+    skipDisqualified();
+    if (Idx >= Alive.size())
+      finishRound();
+    return Overhead; // The slice measurement is the current estimate.
+  }
+
+  void disqualify(unsigned V) override {
+    if (V < Dead.size())
+      Dead[V] = true;
+    skipDisqualified();
+    if (!Done && Idx >= Alive.size())
+      finishRound();
+  }
+
+  unsigned pendingCount() const override {
+    if (Done)
+      return 0;
+    return static_cast<unsigned>(Alive.size() - Idx);
+  }
+
+private:
+  void skipDisqualified() {
+    while (Idx < Alive.size() && Dead[Alive[Idx]])
+      ++Idx;
+  }
+
+  void startRound() {
+    ++Round;
+    Vals.assign(Alive.size(), std::nullopt);
+    Idx = 0;
+    skipDisqualified();
+    if (Idx >= Alive.size()) {
+      // Every survivor was disqualified before the round could start.
+      Done = true;
+      return;
+    }
+    const unsigned RoundsLeft = Rounds >= Round ? Rounds - Round + 1 : 1;
+    const rt::Nanos RoundBudget = BudgetLeft / RoundsLeft;
+    Slice = std::max<rt::Nanos>(
+        1, RoundBudget / static_cast<rt::Nanos>(Alive.size()));
+  }
+
+  void finishRound() {
+    // Order the survivors: disqualified first (gone regardless), then by
+    // measured overhead descending with unmeasured treated as worst; prune
+    // from the front until half remain. Stable, so ties keep sampling
+    // order and the whole round is deterministic.
+    std::vector<size_t> ByWorst(Alive.size());
+    for (size_t I = 0; I < ByWorst.size(); ++I)
+      ByWorst[I] = I;
+    const auto Badness = [&](size_t I) -> double {
+      if (Dead[Alive[I]])
+        return std::numeric_limits<double>::infinity();
+      if (!Vals[I])
+        return std::numeric_limits<double>::max();
+      return *Vals[I];
+    };
+    std::stable_sort(ByWorst.begin(), ByWorst.end(),
+                     [&](size_t A, size_t B) { return Badness(A) > Badness(B); });
+
+    size_t Keep = (Alive.size() + 1) / 2;
+    // Disqualified survivors don't count toward the kept half.
+    size_t AliveNow = 0;
+    for (size_t I = 0; I < Alive.size(); ++I)
+      AliveNow += !Dead[Alive[I]];
+    Keep = std::min(Keep, AliveNow);
+
+    std::vector<bool> Pruned(Alive.size(), false);
+    for (size_t I = 0; I + Keep < ByWorst.size(); ++I) {
+      const size_t At = ByWorst[I];
+      Pruned[At] = true;
+      if (!Dead[Alive[At]])
+        Events.push_back({SearchEvent::Kind::Prune, Alive[At],
+                          Vals[At] ? *Vals[At] : NaN, Round});
+    }
+
+    std::vector<unsigned> NextAlive;
+    NextAlive.reserve(Keep);
+    for (size_t I = 0; I < Alive.size(); ++I)
+      if (!Pruned[I] && !Dead[Alive[I]])
+        NextAlive.push_back(Alive[I]);
+    // Promote events only once a real cut happened -- a phase too small to
+    // prune is just exhaustive sampling.
+    if (NextAlive.size() < Alive.size())
+      for (size_t I = 0; I < Alive.size(); ++I)
+        if (!Pruned[I] && !Dead[Alive[I]])
+          Events.push_back({SearchEvent::Kind::Promote, Alive[I],
+                            Vals[I] ? *Vals[I] : NaN, Round});
+    Alive = std::move(NextAlive);
+
+    if (Alive.size() <= 1 || Round >= Rounds || BudgetLeft <= 0) {
+      Done = true;
+      return;
+    }
+    startRound();
+  }
+
+  const rt::Nanos TargetSlice;
+  const double BudgetFraction;
+  std::vector<unsigned> Alive;
+  std::vector<bool> Dead; ///< Indexed by version, not position.
+  std::vector<std::optional<double>> Vals;
+  size_t Idx = 0;
+  unsigned Round = 0;
+  unsigned Rounds = 1;
+  rt::Nanos BudgetLeft = 0;
+  rt::Nanos Slice = 1;
+  bool Done = true;
+};
+
+//===----------------------------------------------------------------------===//
+// Ucb: UCB1 with a MachineModel cost prior.
+//===----------------------------------------------------------------------===//
+
+/// Relative lock-operation weight of a synchronization policy: how much
+/// locking a version with this policy performs compared to Bounded.
+/// Original locks per update, Aggressive coarsens maximally.
+double policyLockWeight(const std::string &PolicyName) {
+  if (PolicyName == "Original")
+    return 2.0;
+  if (PolicyName == "Bounded")
+    return 1.0;
+  if (PolicyName == "Aggressive")
+    return 0.5;
+  return 1.0;
+}
+
+/// Relative scheduler-fetch weight of a scheduling strategy: fetches per
+/// iteration compared to dynamic self-scheduling.
+double schedFetchWeight(const std::string &SchedName) {
+  if (SchedName.empty() || SchedName == "dyn")
+    return 1.0;
+  if (SchedName.rfind("chunk", 0) == 0) {
+    const double K = std::atof(SchedName.c_str() + 5);
+    return K >= 1.0 ? 1.0 / K : 1.0;
+  }
+  // The DLS family amortizes fetches over tapering chunks; mean chunk sizes
+  // order fac > wfac > afac in fetch frequency.
+  if (SchedName == "fac")
+    return 0.20;
+  if (SchedName == "wfac")
+    return 0.18;
+  if (SchedName == "afac")
+    return 0.15;
+  return 1.0;
+}
+
+/// Prior overhead in (0, 1) for a version label on \p Machine, from the
+/// label's policy and scheduling components. A label may be a "/"-joined
+/// merge of several descriptors (deduplicated versions); the cheapest
+/// component prices the merged version. No machine: uninformative 0.5.
+double priorFor(const std::string &Label, const rt::MachineModel *Machine) {
+  if (!Machine)
+    return 0.5;
+  const rt::CostModel &C = Machine->costs();
+  double BestCost = std::numeric_limits<double>::infinity();
+  for (const std::string &Component : splitString(Label, '/')) {
+    std::string Policy = Component, Sched;
+    const size_t Plus = Component.find('+');
+    if (Plus != std::string::npos) {
+      Policy = Component.substr(0, Plus);
+      Sched = Component.substr(Plus + 1);
+    }
+    const double Cost =
+        policyLockWeight(Policy) *
+            static_cast<double>(C.AcquireNanos + C.ReleaseNanos) +
+        schedFetchWeight(Sched) * static_cast<double>(C.SchedFetchNanos);
+    BestCost = std::min(BestCost, Cost);
+  }
+  if (!std::isfinite(BestCost))
+    return 0.5;
+  // Squash into (0, 1): a version costing ~4us of overhead primitives per
+  // unit of work maps to 0.5.
+  return BestCost / (BestCost + 4000.0);
+}
+
+class UcbStrategy final : public SamplingStrategy {
+public:
+  UcbStrategy(rt::Nanos TargetSlice, double BudgetFraction, double Explore,
+              const rt::MachineModel *Machine)
+      : TargetSlice(TargetSlice),
+        BudgetFraction(std::max(0.0, BudgetFraction)),
+        Explore(std::max(0.0, Explore)), Machine(Machine) {}
+
+  void beginPhase(const std::vector<unsigned> &Candidates,
+                  const std::vector<std::string> &Labels) override {
+    Arms.clear();
+    Arms.reserve(Candidates.size());
+    for (unsigned V : Candidates) {
+      Arm A;
+      A.V = V;
+      A.Prior = V < Labels.size() ? priorFor(Labels[V], Machine) : 0.5;
+      Arms.push_back(A);
+    }
+    Events.clear();
+    Used = 0;
+    Leader.reset();
+    Current.reset();
+    // Budget: the configured fraction of exhaustive's phase cost in nanos,
+    // shaved by ~3% because effective intervals overshoot their targets at
+    // iteration boundaries. Spent in short slices sized so that two thirds
+    // of the budget cover every arm once; the rest goes to the arms UCB
+    // considers promising. (Fewer, larger slices beat many tiny ones: each
+    // interval overshoots by up to one occurrence, so per-pull overshoot
+    // is what erodes the budget.)
+    const double N = static_cast<double>(Candidates.size());
+    BudgetLeft = static_cast<rt::Nanos>(BudgetFraction * N *
+                                        static_cast<double>(TargetSlice));
+    BudgetLeft -= BudgetLeft / 32;
+    Slice = std::max<rt::Nanos>(
+        1, Candidates.empty()
+               ? 1
+               : (2 * BudgetLeft) /
+                     static_cast<rt::Nanos>(3 * Candidates.size()));
+    Finished = Arms.empty() || BudgetLeft < Slice;
+  }
+
+  std::optional<SampleRequest> next() override {
+    if (Finished || BudgetLeft < Slice) {
+      finish();
+      return std::nullopt;
+    }
+    // Coverage first: until every live arm has one measurement, pull
+    // unpulled arms in ascending prior-cost order -- the machine model
+    // decides who gets tried first, but nobody is skipped.
+    std::optional<size_t> Pick;
+    double PickScore = 0.0;
+    for (size_t I = 0; I < Arms.size(); ++I) {
+      const Arm &A = Arms[I];
+      if (A.Dead || A.Pulls > 0)
+        continue;
+      if (!Pick || A.Prior < PickScore) {
+        Pick = I;
+        PickScore = A.Prior;
+      }
+    }
+    // Then UCB1 on overheads (lower is better): pick the arm minimizing
+    // the prior-seeded mean minus the exploration radius.
+    if (!Pick) {
+      const double LogT = std::log(static_cast<double>(Used + 2));
+      for (size_t I = 0; I < Arms.size(); ++I) {
+        const Arm &A = Arms[I];
+        if (A.Dead)
+          continue;
+        const double Mean = (A.Prior + A.Sum) / (1.0 + A.Usable);
+        const double Score =
+            Mean - Explore * std::sqrt(LogT / (1.0 + A.Pulls));
+        if (!Pick || Score < PickScore) {
+          Pick = I;
+          PickScore = Score;
+        }
+      }
+    }
+    if (!Pick) {
+      finish();
+      return std::nullopt;
+    }
+    Current = *Pick;
+    return SampleRequest{Arms[*Pick].V, Slice};
+  }
+
+  std::optional<double> report(unsigned V,
+                               std::optional<double> Overhead) override {
+    DYNFB_CHECK(Current && Arms[*Current].V == V,
+                "ucb: report out of protocol");
+    Arm &A = Arms[*Current];
+    ++A.Pulls;
+    ++Used;
+    BudgetLeft -= std::min(BudgetLeft, Slice);
+    if (Overhead) {
+      A.Sum += *Overhead;
+      ++A.Usable;
+    }
+    Current.reset();
+    // Leadership change: the empirically best arm so far is the phase's
+    // provisional winner -- worth a promote event in the timeline.
+    std::optional<size_t> Best;
+    for (size_t I = 0; I < Arms.size(); ++I)
+      if (!Arms[I].Dead && Arms[I].Usable > 0 &&
+          (!Best || mean(Arms[I]) < mean(Arms[*Best])))
+        Best = I;
+    if (Best && (!Leader || *Leader != *Best)) {
+      Leader = Best;
+      Events.push_back({SearchEvent::Kind::Promote, Arms[*Best].V,
+                        mean(Arms[*Best]), Used});
+    }
+    return A.Usable > 0 ? std::optional<double>(mean(A)) : std::nullopt;
+  }
+
+  void disqualify(unsigned V) override {
+    for (Arm &A : Arms)
+      if (A.V == V)
+        A.Dead = true;
+    if (Leader && Arms[*Leader].Dead)
+      Leader.reset();
+  }
+
+  unsigned pendingCount() const override {
+    return Finished ? 0 : static_cast<unsigned>(BudgetLeft / Slice);
+  }
+
+private:
+  struct Arm {
+    unsigned V = 0;
+    double Prior = 0.5;
+    unsigned Pulls = 0;
+    unsigned Usable = 0;
+    double Sum = 0.0;
+    bool Dead = false;
+  };
+
+  static double mean(const Arm &A) { return A.Sum / A.Usable; }
+
+  void finish() {
+    if (Finished)
+      return;
+    Finished = true;
+    // Unexplored arms were implicitly ruled out by the budget: record them
+    // so the timeline explains why they carry no sampled overhead.
+    for (const Arm &A : Arms)
+      if (!A.Dead && A.Pulls == 0)
+        Events.push_back({SearchEvent::Kind::Prune, A.V, NaN, Used});
+  }
+
+  const rt::Nanos TargetSlice;
+  const double BudgetFraction;
+  const double Explore;
+  const rt::MachineModel *const Machine;
+  std::vector<Arm> Arms;
+  unsigned Used = 0;
+  rt::Nanos BudgetLeft = 0;
+  rt::Nanos Slice = 1;
+  std::optional<size_t> Current;
+  std::optional<size_t> Leader;
+  bool Finished = true;
+};
+
+} // namespace
+
+std::unique_ptr<SamplingStrategy>
+fb::createSamplingStrategy(const FeedbackConfig &Config) {
+  switch (Config.Sampler) {
+  case SamplerKind::Exhaustive:
+    return std::make_unique<ExhaustiveStrategy>(Config.TargetSamplingNanos);
+  case SamplerKind::Halving:
+    return std::make_unique<HalvingStrategy>(Config.TargetSamplingNanos,
+                                             Config.SearchBudgetFraction);
+  case SamplerKind::Ucb:
+    return std::make_unique<UcbStrategy>(
+        Config.TargetSamplingNanos, Config.SearchBudgetFraction,
+        Config.UcbExplore, Config.Machine);
+  }
+  DYNFB_UNREACHABLE("invalid sampler kind");
+}

@@ -1,0 +1,138 @@
+//===- fb/Sampling.h - Pluggable sampling-phase strategies ------*- C++ -*-===//
+//
+// Part of the dynfb project (PLDI 1997 "Dynamic Feedback" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The sampling-phase strategy seam of the feedback controller. A strategy
+/// owns two decisions the paper's loop hard-codes: which version to measure
+/// next (and for how long), and when the sampling phase is over. The
+/// controller keeps everything else -- running intervals, logging,
+/// degenerate-measurement handling, quarantine, hysteresis, the production
+/// phase -- so a strategy is a pure search policy over version indices.
+///
+/// Protocol, per sampling phase:
+///
+///   beginPhase(Candidates, Labels)       // quarantined versions excluded
+///   while (auto Req = next()) {
+///     measure Req->Version for Req->SliceNanos
+///     estimate = report(Req->Version, measured overhead or nullopt)
+///     // controller stores *estimate as the version's sampled overhead
+///   }                                    // next() == nullopt ends the phase
+///
+/// disqualify(V) tells the strategy a version was quarantined mid-phase and
+/// must not be requested again. takeEvents() drains the prune/promote
+/// events a partial-sampling strategy emits; the controller logs them and
+/// resets the sampled overhead of every pruned version (which is what keeps
+/// switch hysteresis from holding a pruned incumbent).
+///
+/// Three strategies ship (createSamplingStrategy):
+///
+///  - Exhaustive: the paper's loop, extracted. One full-length measurement
+///    per candidate, in sampling order. Byte-identical to the historical
+///    controller: same intervals, same decisions, same logs.
+///  - Halving: successive halving. The phase budget (SearchBudgetFraction
+///    of exhaustive's NumVersions * TargetSamplingNanos) is split over
+///    ceil(log2 N) rounds; each round measures every survivor with one
+///    equal slice of the round budget and prunes the worst half, until one
+///    survivor remains.
+///  - Ucb: UCB1 over running overhead means, seeded with a MachineModel
+///    cost prior (one pseudo-observation per version). The phase budget
+///    (SearchBudgetFraction of exhaustive's cost) is spent in short
+///    slices: two thirds cover every version once, cheapest-prior first,
+///    and the rest goes to the arms UCB considers promising, so the
+///    eventual winner carries the most precise estimate.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNFB_FB_SAMPLING_H
+#define DYNFB_FB_SAMPLING_H
+
+#include "fb/Config.h"
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dynfb::fb {
+
+/// Canonical strategy name ("exhaustive", "halving", "ucb").
+const char *samplerName(SamplerKind K);
+
+/// Parses a strategy name; nullopt when unknown.
+std::optional<SamplerKind> parseSamplerName(const std::string &Name);
+
+/// All strategy names, in declaration order (for listings and did-you-mean
+/// hints).
+std::vector<std::string> samplerNames();
+
+/// One measurement the strategy asks the controller to take.
+struct SampleRequest {
+  unsigned Version = 0;
+  rt::Nanos SliceNanos = 0;
+};
+
+/// A search decision a partial-sampling strategy took: a version pruned
+/// from (or promoted into the next round of) the current phase's search.
+struct SearchEvent {
+  enum class Kind { Prune, Promote };
+  Kind K = Kind::Prune;
+  unsigned Version = 0;
+  /// The overhead estimate the decision was taken on (NaN when the version
+  /// was never measured, e.g. an unexplored arm at budget exhaustion).
+  double Overhead = 0.0;
+  /// Search round (halving) or pull count (ucb) at decision time.
+  unsigned Round = 0;
+};
+
+/// Abstract sampling-phase search policy. Not thread-safe; one instance
+/// drives one section's phases sequentially.
+class SamplingStrategy {
+public:
+  virtual ~SamplingStrategy();
+
+  /// Starts a new sampling phase over \p Candidates (version indices in
+  /// sampling order, already filtered of quarantined versions). \p Labels
+  /// holds every version's display label, indexed by version.
+  virtual void beginPhase(const std::vector<unsigned> &Candidates,
+                          const std::vector<std::string> &Labels) = 0;
+
+  /// The next measurement to take; nullopt ends the sampling phase.
+  virtual std::optional<SampleRequest> next() = 0;
+
+  /// Reports the measurement taken for the most recent next() request
+  /// (nullopt = degenerate, discarded by the controller). Returns the
+  /// strategy's current overhead estimate for \p V -- what the controller
+  /// stores as the version's sampled overhead -- or nullopt for "no
+  /// estimate". Exhaustive passes the measurement through unchanged.
+  virtual std::optional<double> report(unsigned V,
+                                       std::optional<double> Overhead) = 0;
+
+  /// Excludes \p V from the rest of the phase (quarantined mid-phase).
+  virtual void disqualify(unsigned V) = 0;
+
+  /// Measurements still planned if the phase ended right now (the
+  /// controller's early cut-off accounting).
+  virtual unsigned pendingCount() const = 0;
+
+  /// Drains the prune/promote events accumulated since the last call.
+  std::vector<SearchEvent> takeEvents() {
+    std::vector<SearchEvent> Out;
+    Out.swap(Events);
+    return Out;
+  }
+
+protected:
+  std::vector<SearchEvent> Events;
+};
+
+/// Creates the strategy \p Config selects. \p Config must outlive the
+/// returned strategy (the Ucb strategy keeps Config.Machine).
+std::unique_ptr<SamplingStrategy>
+createSamplingStrategy(const FeedbackConfig &Config);
+
+} // namespace dynfb::fb
+
+#endif // DYNFB_FB_SAMPLING_H

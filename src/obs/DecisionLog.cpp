@@ -30,6 +30,10 @@ const char *obs::decisionKindName(DecisionKind K) {
     return "watchdog_resample";
   case DecisionKind::Degraded:
     return "degraded";
+  case DecisionKind::Prune:
+    return "prune";
+  case DecisionKind::Promote:
+    return "promote";
   }
   DYNFB_UNREACHABLE("unknown decision kind");
 }
@@ -52,7 +56,8 @@ std::optional<DecisionKind> obs::parseDecisionKind(const std::string &Name) {
   for (DecisionKind K :
        {DecisionKind::Sample, DecisionKind::Switch, DecisionKind::DriftResample,
         DecisionKind::Quarantine, DecisionKind::Reprobe,
-        DecisionKind::WatchdogResample, DecisionKind::Degraded})
+        DecisionKind::WatchdogResample, DecisionKind::Degraded,
+        DecisionKind::Prune, DecisionKind::Promote})
     if (Name == decisionKindName(K))
       return K;
   return std::nullopt;
@@ -120,6 +125,16 @@ std::string DecisionLog::renderTimeline() const {
                     " pinned\n",
                     rt::nanosToSeconds(E.TimeNanos), E.Section.c_str(),
                     E.Label.c_str());
+      break;
+    case DecisionKind::Prune:
+      Out += format("%10.4fs  %-10s prune   %-24s overhead %s (round %u)\n",
+                    rt::nanosToSeconds(E.TimeNanos), E.Section.c_str(),
+                    E.Label.c_str(), Overhead.c_str(), E.Repeats);
+      break;
+    case DecisionKind::Promote:
+      Out += format("%10.4fs  %-10s promote %-24s overhead %s (round %u)\n",
+                    rt::nanosToSeconds(E.TimeNanos), E.Section.c_str(),
+                    E.Label.c_str(), Overhead.c_str(), E.Repeats);
       break;
     }
   }

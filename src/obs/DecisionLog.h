@@ -41,6 +41,11 @@ enum class DecisionKind {
                     ///< intervals with no drift baseline to compare to.
   Degraded,         ///< Every version quarantined: the controller pinned
                     ///< the last known-good version instead of sampling.
+  Prune,            ///< A partial-sampling strategy dropped a version from
+                    ///< the current phase's search.
+  Promote,          ///< A partial-sampling strategy advanced a version into
+                    ///< the next search round (or made it the provisional
+                    ///< winner).
 };
 
 /// Why a Switch event chose its version.
@@ -79,6 +84,10 @@ std::optional<SwitchReason> parseSwitchReason(const std::string &Name);
 ///    Degenerate the length of the bad streak.
 ///  - Degraded: Version/Label name the pinned last-known-good version;
 ///    Overhead is NaN (nothing was sampled).
+///  - Prune/Promote: Version/Label name the version a partial-sampling
+///    strategy dropped from / advanced within the phase's search, Overhead
+///    the estimate the decision was taken on (NaN when never measured) and
+///    Repeats the search round (halving) or pull count (ucb).
 struct DecisionEvent {
   DecisionKind Kind = DecisionKind::Sample;
   rt::Nanos TimeNanos = 0; ///< Backend clock at the event.

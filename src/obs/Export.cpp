@@ -84,6 +84,10 @@ std::string runSpecObject(const RunSpec &Spec) {
   addField(Out, uintField("quarantine_backoff", Spec.QuarantineBackoff));
   addField(Out, uintField("watchdog", Spec.Watchdog));
   addField(Out, doubleField("watchdog_limit", Spec.WatchdogLimit));
+  Out += ",\"sampler\":";
+  Out += quoted(Spec.Sampler);
+  addField(Out, doubleField("search_budget", Spec.SearchBudget));
+  addField(Out, doubleField("ucb_explore", Spec.UcbExplore));
   Out += ",\"perturb\":";
   Out += quoted(Spec.PerturbSpec);
   Out += ",\"traffic\":";
@@ -124,6 +128,9 @@ RunSpec parseRunSpec(const JsonValue &Obj) {
       static_cast<unsigned>(Obj.getInt("quarantine_backoff", 4));
   Spec.Watchdog = static_cast<unsigned>(Obj.getInt("watchdog"));
   Spec.WatchdogLimit = Obj.getNumber("watchdog_limit", 0.9);
+  Spec.Sampler = Obj.getString("sampler", "exhaustive");
+  Spec.SearchBudget = Obj.getNumber("search_budget", 0.5);
+  Spec.UcbExplore = Obj.getNumber("ucb_explore", 2.0);
   Spec.PerturbSpec = Obj.getString("perturb");
   Spec.TrafficSpec = Obj.getString("traffic");
   Spec.CostOverrides = Obj.getString("cost");
@@ -426,6 +433,12 @@ std::string obs::toChromeTrace(const RunTrace &Trace) {
       break;
     case DecisionKind::Degraded:
       Name = format("degraded: pinned %s", E.Label.c_str());
+      break;
+    case DecisionKind::Prune:
+      Name = format("prune %s (round %u)", E.Label.c_str(), E.Repeats);
+      break;
+    case DecisionKind::Promote:
+      Name = format("promote %s (round %u)", E.Label.c_str(), E.Repeats);
       break;
     }
     Events.push_back(

@@ -67,6 +67,9 @@ struct RunSpec {
   unsigned QuarantineBackoff = 4;
   unsigned Watchdog = 0;
   double WatchdogLimit = 0.9;
+  std::string Sampler = "exhaustive"; ///< Sampling strategy name.
+  double SearchBudget = 0.5;          ///< --search-budget fraction.
+  double UcbExplore = 2.0;            ///< --ucb-explore constant.
   std::string PerturbSpec;   ///< --perturb schedule text ("" = none).
   std::string TrafficSpec;   ///< --traffic spec text ("" = none).
   std::string CostOverrides; ///< --cost Field=nanos list ("" = none).

@@ -8,6 +8,7 @@
 
 #include "apps/Factory.h"
 #include "apps/Harness.h"
+#include "fb/Sampling.h"
 #include "perturb/Traffic.h"
 #include "support/StringUtils.h"
 #include "xform/VersionSpace.h"
@@ -68,6 +69,14 @@ std::optional<fb::FeedbackConfig> configFromSpec(const obs::RunSpec &Spec,
       Config.QuarantineBackoffMaxPhases, Config.QuarantineBackoffPhases);
   Config.WatchdogBadSlices = Spec.Watchdog;
   Config.WatchdogOverheadLimit = Spec.WatchdogLimit;
+  if (std::optional<fb::SamplerKind> K = fb::parseSamplerName(Spec.Sampler))
+    Config.Sampler = *K;
+  else {
+    Error = "run_spec has unknown sampler '" + Spec.Sampler + "'";
+    return std::nullopt;
+  }
+  Config.SearchBudgetFraction = Spec.SearchBudget;
+  Config.UcbExplore = Spec.UcbExplore;
   return Config;
 }
 

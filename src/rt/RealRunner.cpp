@@ -94,7 +94,9 @@ IntervalReport RealSectionRunner::runInterval(unsigned V, Nanos Target) {
       Team.size());
   std::vector<Nanos> EndTimes(Team.size(), Start);
 
+  const bool VariableChunk = Version.Sched.variableChunk();
   const uint64_t Chunk = Version.Sched.chunkIters();
+  const unsigned Workers = static_cast<unsigned>(Team.size());
   Team.run([&](unsigned Worker) {
     WorkerCtx Ctx;
     const Nanos WorkerStart = steadyNow();
@@ -103,10 +105,26 @@ IntervalReport RealSectionRunner::runInterval(unsigned V, Nanos Target) {
       // iteration under dynamic self-scheduling).
       if (steadyNow() >= Deadline)
         break;
-      const uint64_t Begin = NextIter.fetch_add(Chunk);
-      if (Begin >= NumIterations)
-        break;
-      const uint64_t End = std::min(Begin + Chunk, NumIterations);
+      uint64_t Begin, End;
+      if (!VariableChunk) {
+        Begin = NextIter.fetch_add(Chunk);
+        if (Begin >= NumIterations)
+          break;
+        End = std::min(Begin + Chunk, NumIterations);
+      } else {
+        // DLS claims depend on the unassigned remainder, so the fetch is a
+        // CAS loop instead of a fetch_add of a fixed chunk.
+        Begin = NextIter.load(std::memory_order_relaxed);
+        do {
+          if (Begin >= NumIterations)
+            break;
+          const uint64_t Claim = Version.Sched.fetchIters(
+              NumIterations - Begin, NumIterations, Workers, Worker);
+          End = std::min(Begin + Claim, NumIterations);
+        } while (!NextIter.compare_exchange_weak(Begin, End));
+        if (Begin >= NumIterations)
+          break;
+      }
       for (uint64_t Iter = Begin; Iter < End; ++Iter)
         Version.Body(Iter, Ctx);
       Ctx.Iterations += End - Begin;

@@ -14,6 +14,13 @@
 ///    chunk of iterations, amortizing the scheduler fetch over the chunk at
 ///    the price of coarser potential switch points (the timer is only
 ///    polled at chunk boundaries) and load imbalance at the tail.
+///  - Factoring / WeightedFactoring / AdaptiveFactoring: the dynamic loop
+///    scheduling (DLS) family -- each fetch claims a chunk computed from the
+///    iterations still unassigned, so chunks start large and taper toward
+///    the tail. Factoring claims remaining/(2P); weighted factoring scales
+///    that by a per-processor weight (faster processors claim more);
+///    adaptive factoring tapers quadratically in the remaining fraction, a
+///    deterministic stand-in for the variance-driven variant.
 /// The strategy is a runtime property of the dispatch loop, not of the
 /// generated method body: versions that differ only in scheduling share
 /// their section code.
@@ -25,13 +32,20 @@
 
 #include "support/Compiler.h"
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 
 namespace dynfb::rt {
 
 /// Iteration-assignment strategy of a parallel loop.
-enum class SchedKind { Dynamic, Chunked };
+enum class SchedKind {
+  Dynamic,
+  Chunked,
+  Factoring,
+  WeightedFactoring,
+  AdaptiveFactoring,
+};
 
 /// One point of the loop scheduling dimension.
 struct SchedSpec {
@@ -44,19 +58,83 @@ struct SchedSpec {
     DYNFB_CHECK(Iters >= 2, "chunked scheduling needs a chunk size >= 2");
     return SchedSpec{SchedKind::Chunked, Iters};
   }
+  static SchedSpec factoring() { return SchedSpec{SchedKind::Factoring, 1}; }
+  static SchedSpec weightedFactoring() {
+    return SchedSpec{SchedKind::WeightedFactoring, 1};
+  }
+  static SchedSpec adaptiveFactoring() {
+    return SchedSpec{SchedKind::AdaptiveFactoring, 1};
+  }
 
-  /// Iterations one fetch claims under this strategy.
+  /// True when the chunk a fetch claims depends on loop progress (the DLS
+  /// family); fixed-chunk strategies can hoist chunkIters() out of the
+  /// dispatch loop.
+  bool variableChunk() const {
+    return Kind == SchedKind::Factoring ||
+           Kind == SchedKind::WeightedFactoring ||
+           Kind == SchedKind::AdaptiveFactoring;
+  }
+
+  /// Iterations one fetch claims under a fixed-chunk strategy (the DLS
+  /// family reports its floor of 1; use fetchIters() at fetch time).
   uint64_t chunkIters() const {
     return Kind == SchedKind::Chunked ? ChunkIters : 1;
   }
 
-  /// Display name as used in version-space listings ("dyn", "chunk8").
+  /// Iterations one fetch claims given \p Remaining unassigned iterations of
+  /// a \p Total -iteration loop, fetched by processor \p ProcIdx of
+  /// \p Procs. Deterministic: the claim depends only on these arguments.
+  uint64_t fetchIters(uint64_t Remaining, uint64_t Total, unsigned Procs,
+                      unsigned ProcIdx) const {
+    if (Remaining == 0)
+      return 1;
+    const uint64_t TwoP = 2 * static_cast<uint64_t>(Procs ? Procs : 1);
+    switch (Kind) {
+    case SchedKind::Dynamic:
+      return 1;
+    case SchedKind::Chunked:
+      return ChunkIters;
+    case SchedKind::Factoring:
+      // Batch of remaining/(2P) per fetch: every processor's claim within a
+      // "round" of remaining work is the same, halving assigned-but-unrun
+      // work each sweep (Hummel et al.'s factoring).
+      return std::max<uint64_t>(1, (Remaining + TwoP - 1) / TwoP);
+    case SchedKind::WeightedFactoring: {
+      // Factoring scaled by a fixed per-processor weight 2*(P-p)/(P+1)
+      // (weights average to 1 across the team); lower-indexed processors
+      // stand in for the faster machines of the weighted-factoring paper.
+      const uint64_t P = Procs ? Procs : 1;
+      const uint64_t W2 = 2 * (P - std::min<uint64_t>(ProcIdx, P - 1));
+      const uint64_t Scaled = (Remaining * W2) / (P + 1);
+      return std::max<uint64_t>(1, (Scaled + TwoP - 1) / TwoP);
+    }
+    case SchedKind::AdaptiveFactoring: {
+      // Deterministic stand-in for adaptive factoring: the chunk tapers
+      // with the square of the remaining fraction, so claims shrink faster
+      // than plain factoring as the tail approaches.
+      const uint64_t T = Total ? Total : Remaining;
+      const uint64_t Num = Remaining * Remaining;
+      const uint64_t Den = TwoP * T;
+      return std::max<uint64_t>(1, (Num + Den - 1) / Den);
+    }
+    }
+    DYNFB_UNREACHABLE("invalid scheduling kind");
+  }
+
+  /// Display name as used in version-space listings ("dyn", "chunk8",
+  /// "fac").
   std::string name() const {
     switch (Kind) {
     case SchedKind::Dynamic:
       return "dyn";
     case SchedKind::Chunked:
       return "chunk" + std::to_string(ChunkIters);
+    case SchedKind::Factoring:
+      return "fac";
+    case SchedKind::WeightedFactoring:
+      return "wfac";
+    case SchedKind::AdaptiveFactoring:
+      return "afac";
     }
     DYNFB_UNREACHABLE("invalid scheduling kind");
   }
@@ -68,6 +146,12 @@ struct SchedSpec {
       return "";
     case SchedKind::Chunked:
       return "$c" + std::to_string(ChunkIters);
+    case SchedKind::Factoring:
+      return "$fac";
+    case SchedKind::WeightedFactoring:
+      return "$wfac";
+    case SchedKind::AdaptiveFactoring:
+      return "$afac";
     }
     DYNFB_UNREACHABLE("invalid scheduling kind");
   }

@@ -344,8 +344,11 @@ IntervalReport SimSectionRunner::runIntervalImpl(unsigned V, Nanos Target) {
 
   const IterationEmitter &Emitter = Emitters[V];
   // Iterations one scheduler fetch claims: 1 under dynamic
-  // self-scheduling, the chunk size under blocked scheduling.
-  const uint64_t Chunk = Versions[V].Sched.chunkIters();
+  // self-scheduling, the chunk size under blocked scheduling. The DLS
+  // family computes its claim per fetch from the unassigned remainder.
+  const rt::SchedSpec &Sched = Versions[V].Sched;
+  const bool VariableChunk = Sched.variableChunk();
+  const uint64_t Chunk = Sched.chunkIters();
 
   while (!Heap.empty()) {
     std::pop_heap(Heap.begin(), Heap.end(), std::greater<HeapEntry>());
@@ -370,8 +373,12 @@ IntervalReport SimSectionRunner::runIntervalImpl(unsigned V, Nanos Target) {
           Stop(Pr);
           continue;
         }
+        const uint64_t Claim =
+            VariableChunk ? Sched.fetchIters(NumIterations - NextIter,
+                                             NumIterations, P, Top.P)
+                          : Chunk;
         Pr.ClaimNext = NextIter;
-        Pr.ClaimEnd = std::min(NextIter + Chunk, NumIterations);
+        Pr.ClaimEnd = std::min(NextIter + Claim, NumIterations);
         NextIter = Pr.ClaimEnd;
       }
       const std::vector<MicroOp> &Seq =

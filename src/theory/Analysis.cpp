@@ -125,3 +125,67 @@ theory::requiredProductionInterval(const AnalysisParams &Params) {
     return std::nullopt;
   return Region->first;
 }
+
+double theory::workDifferencePartial(double P, double S, unsigned K,
+                                     double Delta, double Alpha) {
+  assert(Alpha > 0.0 && "decay rate must be positive");
+  assert(Delta >= 0.0 && Delta < 1.0 && "selection error is an overhead");
+  return workDifference(P, S, K, Alpha) +
+         Delta / Alpha * (1.0 - std::exp(-Alpha * P));
+}
+
+double theory::differencePerUnitTimePartial(double P, double S, unsigned K,
+                                            double Delta, double Alpha) {
+  const double Span = P + S * static_cast<double>(K);
+  assert(Span > 0.0 && "degenerate time span");
+  return workDifferencePartial(P, S, K, Delta, Alpha) / Span;
+}
+
+double theory::bestAchievableEpsilonPartial(double S, unsigned K, double Delta,
+                                            double Alpha) {
+  assert(Alpha > 0.0 && "decay rate must be positive");
+  assert(Delta >= 0.0 && Delta < 1.0 && "selection error is an overhead");
+  const double SK = S * static_cast<double>(K);
+  if (SK == 0.0)
+    return Delta; // No sampling cost: the infimum (at P -> 0) is the
+                  // selection error itself.
+  if (Delta == 0.0)
+    return bestAchievableEpsilon(S, K, Alpha);
+
+  // Write the work difference as F(P) = A + P + B e^{-alpha P} with
+  // A = SK - 1/alpha + Delta/alpha and B = (1 - Delta)/alpha; the span is
+  // T(P) = P + SK. d/dP [F/T] = 0 iff G(P) = F'(P) T(P) - F(P) = 0 with
+  // F'(P) = 1 - alpha B e^{-alpha P}. G(0) = -SK (1 - Delta) < 0 and
+  // G -> (1 - Delta)/alpha > 0, so the stationary point exists and
+  // bisection finds it.
+  const double A = SK - 1.0 / Alpha + Delta / Alpha;
+  const double B = (1.0 - Delta) / Alpha;
+  auto G = [&](double P) {
+    const double E = std::exp(-Alpha * P);
+    return (1.0 - Alpha * B * E) * (P + SK) - (A + P + B * E);
+  };
+  double Hi = 1.0;
+  while (G(Hi) <= 0.0)
+    Hi *= 2.0;
+  const auto Root = bisect(G, 0.0, Hi, 1e-10);
+  assert(Root && "partial-sampling stationary point must exist");
+  return differencePerUnitTimePartial(Root->X, S, K, Delta, Alpha);
+}
+
+double theory::breakEvenSelectionError(double S, unsigned K, unsigned N,
+                                       double Alpha) {
+  if (K >= N || S <= 0.0)
+    return 0.0; // Nothing saved over exhaustive: no error is affordable.
+  const double Target = bestAchievableEpsilon(S, N, Alpha);
+  auto G = [&](double Delta) {
+    return bestAchievableEpsilonPartial(S, K, Delta, Alpha) - Target;
+  };
+  // G(0) < 0 (K < N samples cost less) and G is monotonically increasing
+  // in Delta toward ~1 > Target; bisect on the open interval.
+  const double Lo = 0.0, Hi = 1.0 - 1e-9;
+  if (G(Hi) <= 0.0)
+    return Hi; // Even near-total selection error stays ahead (tiny S).
+  const auto Root = bisect(G, Lo, Hi, 1e-9);
+  assert(Root && "break-even selection error must exist");
+  return Root->X;
+}

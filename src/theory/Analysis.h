@@ -28,6 +28,20 @@
 /// The P minimizing the per-unit-time work difference (Eq. 8) satisfies
 ///   e^{-alpha P} (P + SN + 1/alpha) = 1/alpha               (Eq. 9).
 ///
+/// Partial-sampling extension (sub-linear version search): when a sampling
+/// strategy measures only k of the N versions, the sampling term shrinks to
+/// S k, but the selected version is no longer guaranteed to tie the true
+/// best at sampled overhead v -- it may start the production phase up to a
+/// selection error delta worse (o0(0) = v + delta). Re-deriving Eqs. 3-6
+/// with o0(t) = 1 + (v + delta - 1) e^{-alpha t}, the measured overhead v
+/// still cancels and the work difference over P + S k time units becomes
+///   Work1 - Work0 = S k + P + e^{-alpha P}/alpha - 1/alpha
+///                   + (delta/alpha)(1 - e^{-alpha P})
+/// which reduces exactly to Eq. 6 at k = N, delta = 0. The per-unit-time
+/// bound trades S (N - k) of saved sampling against the delta regret term;
+/// breakEvenSelectionError() gives the largest delta a strategy can afford
+/// before the trade stops paying.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DYNFB_THEORY_ANALYSIS_H
@@ -96,6 +110,32 @@ double bestAchievableEpsilon(double S, unsigned N, double Alpha);
 /// feasible region), or nullopt when no interval achieves it.
 std::optional<double>
 requiredProductionInterval(const AnalysisParams &Params);
+
+/// Partial-sampling work difference over P + S*K time units when only \p K
+/// versions were measured and the selected version starts production up to
+/// \p Delta (an overhead in [0, 1)) worse than the true best. Reduces to
+/// workDifference() at Delta = 0 (with K in place of N).
+double workDifferencePartial(double P, double S, unsigned K, double Delta,
+                             double Alpha);
+
+/// Partial-sampling work difference per unit time over P + S*K.
+double differencePerUnitTimePartial(double P, double S, unsigned K,
+                                    double Delta, double Alpha);
+
+/// The tightest epsilon guarantee achievable when sampling \p K versions
+/// with selection error \p Delta: differencePerUnitTimePartial minimized
+/// over the production interval. Monotone in both K (sampling cost) and
+/// Delta (regret); equals bestAchievableEpsilon(S, K, Alpha) at Delta = 0
+/// and tends to Delta as the sampling cost S*K vanishes.
+double bestAchievableEpsilonPartial(double S, unsigned K, double Delta,
+                                    double Alpha);
+
+/// The largest selection error a strategy sampling only \p K of \p N
+/// versions can afford before its guarantee falls behind exhaustive
+/// sampling: the Delta at which bestAchievableEpsilonPartial(S, K, Delta)
+/// equals bestAchievableEpsilon(S, N). Returns 0 when K >= N (no sampling
+/// saved, no error budget).
+double breakEvenSelectionError(double S, unsigned K, unsigned N, double Alpha);
 
 } // namespace dynfb::theory
 

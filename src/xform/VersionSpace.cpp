@@ -85,22 +85,34 @@ std::optional<VersionSpace> VersionSpace::parse(const std::string &Dimensions,
       return std::nullopt;
     }
     for (const std::string &C : splitString(Chunks, ',')) {
-      unsigned long long K = 0;
-      try {
-        size_t Pos = 0;
-        K = std::stoull(C, &Pos);
-        if (Pos != C.size())
-          throw std::invalid_argument(C);
-      } catch (const std::exception &) {
-        Error = "malformed chunk size '" + C + "'";
-        return std::nullopt;
+      rt::SchedSpec S;
+      // Named tokens select the DLS family; numeric tokens are blocked
+      // self-scheduling chunk sizes.
+      if (C == "fac") {
+        S = rt::SchedSpec::factoring();
+      } else if (C == "wfac") {
+        S = rt::SchedSpec::weightedFactoring();
+      } else if (C == "afac") {
+        S = rt::SchedSpec::adaptiveFactoring();
+      } else {
+        unsigned long long K = 0;
+        try {
+          size_t Pos = 0;
+          K = std::stoull(C, &Pos);
+          if (Pos != C.size())
+            throw std::invalid_argument(C);
+        } catch (const std::exception &) {
+          Error = "malformed chunk size '" + C +
+                  "' (expected an integer >= 2 or one of fac, wfac, afac)";
+          return std::nullopt;
+        }
+        if (K < 2) {
+          Error = "chunk size must be >= 2 (got '" + C +
+                  "'; chunk 1 is dynamic self-scheduling)";
+          return std::nullopt;
+        }
+        S = rt::SchedSpec::chunked(K);
       }
-      if (K < 2) {
-        Error = "chunk size must be >= 2 (got '" + C +
-                "'; chunk 1 is dynamic self-scheduling)";
-        return std::nullopt;
-      }
-      const rt::SchedSpec S = rt::SchedSpec::chunked(K);
       if (std::find(Scheds.begin(), Scheds.end(), S) != Scheds.end()) {
         Error = "duplicate chunk size '" + C + "'";
         return std::nullopt;

@@ -6,6 +6,8 @@
 
 #include "fb/Controller.h"
 #include "fb/Driver.h"
+#include "fb/Sampling.h"
+#include "obs/Metrics.h"
 
 #include <functional>
 #include <gtest/gtest.h>
@@ -688,6 +690,240 @@ TEST(ResilienceTest, WatchdogEscalatesStreakAfterEachFiring) {
       static_cast<unsigned>(R.IntervalsRun[0]) - T.SampledIntervals;
   EXPECT_LT(T.WatchdogResamples, ProductionIntervals / 2);
   EXPECT_TRUE(R.done());
+}
+
+// ------------------------- Sampling strategies ------------------------------
+
+/// Everything one drained sampling phase produced, for protocol assertions.
+struct DrivenPhase {
+  std::vector<unsigned> Requested;
+  Nanos RequestedNanos = 0;
+  std::map<unsigned, double> Estimates;
+  std::vector<SearchEvent> Events;
+};
+
+/// Drives \p S through one full phase over \p Cands, answering every request
+/// from the fixed overhead table \p OverheadOf.
+DrivenPhase drivePhase(SamplingStrategy &S, const std::vector<unsigned> &Cands,
+                       std::function<double(unsigned)> OverheadOf) {
+  std::vector<std::string> Labels;
+  for (unsigned V = 0; V <= *std::max_element(Cands.begin(), Cands.end());
+       ++V)
+    Labels.push_back("v" + std::to_string(V));
+  DrivenPhase Out;
+  S.beginPhase(Cands, Labels);
+  while (const std::optional<SampleRequest> Req = S.next()) {
+    Out.Requested.push_back(Req->Version);
+    Out.RequestedNanos += Req->SliceNanos;
+    if (const std::optional<double> Est =
+            S.report(Req->Version, OverheadOf(Req->Version)))
+      Out.Estimates[Req->Version] = *Est;
+    for (const SearchEvent &E : S.takeEvents())
+      Out.Events.push_back(E);
+  }
+  for (const SearchEvent &E : S.takeEvents())
+    Out.Events.push_back(E);
+  return Out;
+}
+
+std::unique_ptr<SamplingStrategy> makeStrategy(SamplerKind K) {
+  FeedbackConfig Config = smallConfig();
+  Config.Sampler = K;
+  return createSamplingStrategy(Config);
+}
+
+TEST(SamplingStrategyTest, NamesRoundTripAndRejectUnknown) {
+  for (SamplerKind K :
+       {SamplerKind::Exhaustive, SamplerKind::Halving, SamplerKind::Ucb})
+    EXPECT_EQ(parseSamplerName(samplerName(K)), K);
+  EXPECT_FALSE(parseSamplerName("bogus"));
+  EXPECT_EQ(samplerNames().size(), 3u);
+}
+
+TEST(SamplingStrategyTest, ExhaustiveRequestsEachCandidateOnceInOrder) {
+  const auto S = makeStrategy(SamplerKind::Exhaustive);
+  const DrivenPhase P =
+      drivePhase(*S, {2, 0, 1}, [](unsigned V) { return 0.1 * (V + 1); });
+  EXPECT_EQ(P.Requested, (std::vector<unsigned>{2, 0, 1}));
+  EXPECT_EQ(P.RequestedNanos, 3 * smallConfig().TargetSamplingNanos);
+  // The measurement passes through as the estimate; no search events.
+  EXPECT_DOUBLE_EQ(P.Estimates.at(2), 0.3);
+  EXPECT_TRUE(P.Events.empty());
+}
+
+TEST(SamplingStrategyTest, HalvingPrunesToTheBestWithinBudget) {
+  const auto S = makeStrategy(SamplerKind::Halving);
+  const DrivenPhase P = drivePhase(*S, {0, 1, 2, 3, 4, 5, 6, 7},
+                                   [](unsigned V) { return 0.1 * V; });
+  // The budget is half of exhaustive's 8 full-length intervals.
+  EXPECT_LE(P.RequestedNanos, 4 * smallConfig().TargetSamplingNanos);
+  // Three rounds prune 4 + 2 + 1 versions; the best version survives and
+  // is never pruned.
+  unsigned Prunes = 0;
+  for (const SearchEvent &E : P.Events)
+    if (E.K == SearchEvent::Kind::Prune) {
+      ++Prunes;
+      EXPECT_NE(E.Version, 0u);
+    }
+  EXPECT_EQ(Prunes, 7u);
+  // Every round re-measures the survivors, so the winner has several
+  // requests and a current estimate.
+  EXPECT_GE(std::count(P.Requested.begin(), P.Requested.end(), 0u), 2);
+  EXPECT_DOUBLE_EQ(P.Estimates.at(0), 0.0);
+}
+
+TEST(SamplingStrategyTest, UcbCoversEveryArmWithinBudget) {
+  const auto S = makeStrategy(SamplerKind::Ucb);
+  const DrivenPhase P = drivePhase(
+      *S, {0, 1, 2, 3, 4}, [](unsigned V) { return V == 3 ? 0.02 : 0.4; });
+  EXPECT_LE(P.RequestedNanos,
+            static_cast<Nanos>(0.5 * 5 * smallConfig().TargetSamplingNanos));
+  // Coverage: every arm is measured at least once (nothing is ruled out on
+  // the prior alone), so no prune events are emitted at budget exhaustion.
+  for (unsigned V : {0u, 1u, 2u, 3u, 4u}) {
+    EXPECT_GE(std::count(P.Requested.begin(), P.Requested.end(), V), 1)
+        << "arm " << V;
+    EXPECT_TRUE(P.Estimates.count(V)) << "arm " << V;
+  }
+  for (const SearchEvent &E : P.Events)
+    EXPECT_EQ(E.K, SearchEvent::Kind::Promote);
+  // The spare budget refines the empirical leader.
+  EXPECT_GE(std::count(P.Requested.begin(), P.Requested.end(), 3u), 2);
+  ASSERT_FALSE(P.Events.empty());
+  EXPECT_EQ(P.Events.back().Version, 3u);
+}
+
+TEST(SamplingStrategyTest, DisqualifiedVersionIsNeverRequestedAgain) {
+  for (SamplerKind K : {SamplerKind::Halving, SamplerKind::Ucb}) {
+    const auto S = makeStrategy(K);
+    std::vector<std::string> Labels{"v0", "v1", "v2", "v3"};
+    S->beginPhase({0, 1, 2, 3}, Labels);
+    bool Disqualified = false;
+    while (const std::optional<SampleRequest> Req = S->next()) {
+      EXPECT_FALSE(Disqualified && Req->Version == 1u)
+          << samplerName(K) << " re-requested a disqualified version";
+      S->report(Req->Version, 0.1 * (Req->Version + 1));
+      if (Req->Version == 1u && !Disqualified) {
+        S->disqualify(1);
+        Disqualified = true;
+      }
+    }
+    EXPECT_TRUE(Disqualified);
+  }
+}
+
+TEST(ResilienceTest, QuarantineExcludesOffenderUnderEveryStrategy) {
+  // The ResilienceTest quarantine guarantee is strategy-independent:
+  // version 1 strikes out under halving and ucb exactly as it does under
+  // the exhaustive sampler, and later phases never touch it.
+  for (SamplerKind K : {SamplerKind::Halving, SamplerKind::Ucb}) {
+    MockRunner R(2, secondsToNanos(3), [](unsigned V, Nanos) {
+      return V == 1 ? 0.95 : 0.1;
+    });
+    FeedbackConfig Config = smallConfig();
+    Config.Sampler = K;
+    Config.QuarantineStrikes = 2;
+    Config.QuarantineOverheadLimit = 0.9;
+    Config.QuarantineBackoffPhases = 64; // No re-probe within this run.
+    FeedbackController C(Config);
+    const SectionExecutionTrace T = C.executeSection(R, "S");
+    EXPECT_EQ(T.Quarantines, 1u) << samplerName(K);
+    EXPECT_EQ(T.Reprobes, 0u) << samplerName(K);
+    // Two strikes and out: the quarantined version is measured exactly
+    // twice across the whole run, then excluded from every later phase.
+    EXPECT_EQ(R.IntervalsRun[1], 2u) << samplerName(K);
+    EXPECT_GT(T.SamplingPhases, 2u) << samplerName(K);
+    for (unsigned V : T.ChosenVersions)
+      EXPECT_EQ(V, 0u) << samplerName(K);
+    EXPECT_TRUE(R.done()) << samplerName(K);
+  }
+}
+
+TEST(ResilienceTest, DegradedModePinsLastKnownGoodUnderPartialSampling) {
+  // Both versions turn catastrophic after 0.5 virtual seconds, under the
+  // partial-sampling strategies this time: degraded mode must still pin
+  // the last version that completed production instead of aborting.
+  for (SamplerKind K : {SamplerKind::Halving, SamplerKind::Ucb}) {
+    MockRunner R(2, secondsToNanos(1.5), [](unsigned V, Nanos Now) {
+      if (Now < millisToNanos(500))
+        return V == 0 ? 0.1 : 0.2;
+      return V == 0 ? 0.96 : 0.97;
+    });
+    FeedbackConfig Config = smallConfig();
+    Config.Sampler = K;
+    Config.QuarantineStrikes = 1;
+    Config.QuarantineOverheadLimit = 0.9;
+    Config.QuarantineBackoffPhases = 64;
+    FeedbackController C(Config);
+    const SectionExecutionTrace T = C.executeSection(R, "S");
+    EXPECT_GE(T.DegradedPhases, 1u) << samplerName(K);
+    EXPECT_EQ(T.Quarantines, 2u) << samplerName(K);
+    ASSERT_FALSE(T.ChosenVersions.empty()) << samplerName(K);
+    for (unsigned V : T.ChosenVersions)
+      EXPECT_EQ(V, 0u) << samplerName(K);
+    EXPECT_TRUE(R.done()) << samplerName(K);
+  }
+}
+
+TEST(ResilienceTest, HysteresisNeverHoldsPrunedIncumbent) {
+  // The incumbent degrades mid-run and halving prunes it in a later phase.
+  // Pruning resets its sampled overhead, so even a margin that would never
+  // switch on overhead alone cannot hold it: hysteresis compares against
+  // the incumbent's estimate, and a pruned incumbent has none.
+  const auto Overhead = [](unsigned V, Nanos Now) {
+    if (V == 0)
+      return Now < millisToNanos(1500) ? 0.05 : 0.6;
+    if (V == 1)
+      return 0.10;
+    return V == 2 ? 0.7 : 0.8;
+  };
+  FeedbackConfig Config = smallConfig();
+  Config.Sampler = SamplerKind::Halving;
+  Config.SwitchHysteresis = 1.0; // Never switch on margin alone.
+  MockRunner R(4, secondsToNanos(3), Overhead);
+  FeedbackController C(Config);
+  const SectionExecutionTrace T = C.executeSection(R, "S");
+  EXPECT_GT(T.Prunes, 0u);
+  ASSERT_GE(T.ChosenVersions.size(), 2u);
+  EXPECT_EQ(T.ChosenVersions.front(), 0u);
+  EXPECT_EQ(T.ChosenVersions.back(), 1u);
+
+  // Control: the exhaustive sampler never prunes, so the same margin rides
+  // the degraded incumbent to the end of the run.
+  FeedbackConfig Exhaustive = smallConfig();
+  Exhaustive.SwitchHysteresis = 1.0;
+  MockRunner R2(4, secondsToNanos(3), Overhead);
+  FeedbackController C2(Exhaustive);
+  const SectionExecutionTrace T2 = C2.executeSection(R2, "S");
+  EXPECT_GT(T2.HysteresisHolds, 0u);
+  for (unsigned V : T2.ChosenVersions)
+    EXPECT_EQ(V, 0u);
+}
+
+TEST(ControllerTest, StaleHistoryNameIsDiagnosedAndCounted) {
+  // A recorded best that no longer names any version must not silently
+  // vanish: the miss is counted in the metrics registry and the order
+  // falls back to space order.
+  PolicyHistory History;
+  History.recordBest("S", "v9-gone");
+  FeedbackConfig Config = smallConfig();
+  Config.UsePolicyOrdering = true;
+  FeedbackController C(Config, &History);
+  const uint64_t Before =
+      obs::globalMetrics().counterValue("fb.history_misses");
+  EXPECT_EQ(C.samplingOrder(mockLabels(3), "S"),
+            (std::vector<unsigned>{0, 1, 2}));
+  EXPECT_EQ(obs::globalMetrics().counterValue("fb.history_misses"),
+            Before + 1);
+  // Every miss counts, even for an already-diagnosed (section, name) pair.
+  C.samplingOrder(mockLabels(3), "S");
+  EXPECT_EQ(obs::globalMetrics().counterValue("fb.history_misses"),
+            Before + 2);
+  // A resolvable name is not a miss.
+  History.recordBest("S", "v2");
+  C.samplingOrder(mockLabels(3), "S");
+  EXPECT_EQ(obs::globalMetrics().counterValue("fb.history_misses"),
+            Before + 2);
 }
 
 // ---------------------------- Driver ---------------------------------------

@@ -133,7 +133,8 @@ TEST(JsonTest, RejectsMalformedInput) {
 TEST(DecisionLogTest, KindAndReasonNamesRoundTrip) {
   for (obs::DecisionKind K :
        {obs::DecisionKind::Sample, obs::DecisionKind::Switch,
-        obs::DecisionKind::DriftResample})
+        obs::DecisionKind::DriftResample, obs::DecisionKind::Prune,
+        obs::DecisionKind::Promote})
     EXPECT_EQ(obs::parseDecisionKind(obs::decisionKindName(K)), K);
   for (obs::SwitchReason R :
        {obs::SwitchReason::None, obs::SwitchReason::BeatBest,
@@ -174,6 +175,28 @@ TEST(DecisionLogTest, TimelineNamesTheReason) {
   EXPECT_NE(T.find("INTERF"), std::string::npos);
   EXPECT_NE(T.find("Bounded"), std::string::npos);
   EXPECT_NE(T.find("beat-best"), std::string::npos);
+}
+
+TEST(DecisionLogTest, SearchEventsRenderWithRound) {
+  obs::DecisionLog Log;
+  obs::DecisionEvent E;
+  E.Kind = obs::DecisionKind::Prune;
+  E.Section = "INTERF";
+  E.Label = "Original+chunk8";
+  E.Overhead = 0.7;
+  E.Repeats = 2; // The search round the decision was taken in.
+  Log.append(E);
+  E.Kind = obs::DecisionKind::Promote;
+  E.Label = "Aggressive+fac";
+  E.Overhead = 0.05;
+  Log.append(E);
+  EXPECT_EQ(Log.count(obs::DecisionKind::Prune), 1u);
+  EXPECT_EQ(Log.count(obs::DecisionKind::Promote), 1u);
+  const std::string T = Log.renderTimeline();
+  EXPECT_NE(T.find("prune"), std::string::npos);
+  EXPECT_NE(T.find("promote"), std::string::npos);
+  EXPECT_NE(T.find("Original+chunk8"), std::string::npos);
+  EXPECT_NE(T.find("Aggressive+fac"), std::string::npos);
 }
 
 // ----------------------- Controller integration ----------------------------

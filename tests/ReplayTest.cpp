@@ -11,6 +11,7 @@
 
 #include "apps/Factory.h"
 #include "apps/Harness.h"
+#include "fb/Sampling.h"
 #include "obs/Export.h"
 #include "replay/Explorer.h"
 #include "replay/Replay.h"
@@ -166,13 +167,16 @@ TEST(ExplorerTest, CounterfactualsMatchFreshPinnedRuns) {
 /// Records a water run the way dynfb-run --trace-out does: run, build the
 /// trace, stamp machine identity and the run_spec (mirroring the CLI's
 /// stamping of its own configuration).
-obs::RunTrace recordWaterRun(const MachineModel &Model) {
+obs::RunTrace recordWaterRun(
+    const MachineModel &Model,
+    fb::SamplerKind Sampler = fb::SamplerKind::Exhaustive) {
   const std::unique_ptr<apps::App> App = apps::createApp("water", 0.25);
   EXPECT_NE(App, nullptr);
   fb::FeedbackConfig Config;
   Config.SpanSectionExecutions = true;
   Config.TargetSamplingNanos = millisToNanos(2);
   Config.TargetProductionNanos = secondsToNanos(2);
+  Config.Sampler = Sampler;
 
   apps::RunObservation Obs;
   Obs.CollectSectionTraces = true;
@@ -189,6 +193,9 @@ obs::RunTrace recordWaterRun(const MachineModel &Model) {
   Spec.SamplingNanos = Config.TargetSamplingNanos;
   Spec.ProductionNanos = Config.TargetProductionNanos;
   Spec.Spanning = Config.SpanSectionExecutions;
+  Spec.Sampler = fb::samplerName(Config.Sampler);
+  Spec.SearchBudget = Config.SearchBudgetFraction;
+  Spec.UcbExplore = Config.UcbExplore;
   return Trace;
 }
 
@@ -217,6 +224,43 @@ TEST(ReplayTest, RecordReplayRecordByteIdentical) {
       replay::replayTrace(*Parsed, Error);
   ASSERT_TRUE(Again.has_value()) << Error;
   EXPECT_FALSE(Again->diverged()) << Again->Divergence;
+}
+
+// The partial-sampling strategies are replayable too: a ucb recording
+// replays with zero divergence and re-serializes byte for byte, its
+// prune/promote search decisions included, and a halving recording
+// survives the JSONL round-trip the same way.
+TEST(ReplayTest, PartialSamplingRecordingReplaysByteIdentical) {
+  const std::unique_ptr<MachineModel> Model =
+      createMachineModel("dash-flat");
+  ASSERT_NE(Model, nullptr);
+  const obs::RunTrace Recorded =
+      recordWaterRun(*Model, fb::SamplerKind::Ucb);
+  EXPECT_EQ(Recorded.Meta.Spec.Sampler, "ucb");
+  bool SawSearchDecision = false;
+  for (const obs::DecisionEvent &E : Recorded.Decisions)
+    if (E.Kind == obs::DecisionKind::Prune ||
+        E.Kind == obs::DecisionKind::Promote)
+      SawSearchDecision = true;
+  EXPECT_TRUE(SawSearchDecision);
+
+  std::string Error;
+  const std::optional<replay::ReplayResult> Result =
+      replay::replayTrace(Recorded, Error);
+  ASSERT_TRUE(Result.has_value()) << Error;
+  EXPECT_FALSE(Result->diverged()) << Result->Divergence;
+  EXPECT_EQ(obs::toJsonl(Recorded), obs::toJsonl(Result->Replayed));
+
+  const obs::RunTrace Halving =
+      recordWaterRun(*Model, fb::SamplerKind::Halving);
+  const std::optional<obs::RunTrace> Parsed =
+      obs::parseJsonl(obs::toJsonl(Halving), Error);
+  ASSERT_TRUE(Parsed.has_value()) << Error;
+  const std::optional<replay::ReplayResult> Again =
+      replay::replayTrace(*Parsed, Error);
+  ASSERT_TRUE(Again.has_value()) << Error;
+  EXPECT_FALSE(Again->diverged()) << Again->Divergence;
+  EXPECT_EQ(obs::toJsonl(*Parsed), obs::toJsonl(Again->Replayed));
 }
 
 // A tampered recording diverges, and the report names the first
@@ -300,6 +344,9 @@ TEST(ReplayTest, RunSpecRoundTripsThroughJsonl) {
   S.QuarantineBackoff = 6;
   S.Watchdog = 2;
   S.WatchdogLimit = 0.7;
+  S.Sampler = "halving";
+  S.SearchBudget = 0.35;
+  S.UcbExplore = 1.25;
   S.PerturbSpec = "contend@0.5s-1.5s:extra=300us:obj=1-64";
   S.CostOverrides = "AcquireNanos=400";
 
@@ -328,6 +375,9 @@ TEST(ReplayTest, RunSpecRoundTripsThroughJsonl) {
   EXPECT_EQ(P.QuarantineBackoff, S.QuarantineBackoff);
   EXPECT_EQ(P.Watchdog, S.Watchdog);
   EXPECT_EQ(P.WatchdogLimit, S.WatchdogLimit);
+  EXPECT_EQ(P.Sampler, S.Sampler);
+  EXPECT_EQ(P.SearchBudget, S.SearchBudget);
+  EXPECT_EQ(P.UcbExplore, S.UcbExplore);
   EXPECT_EQ(P.PerturbSpec, S.PerturbSpec);
   EXPECT_EQ(P.TrafficSpec, S.TrafficSpec);
   EXPECT_EQ(P.CostOverrides, S.CostOverrides);

@@ -212,4 +212,59 @@ TEST(TheoryTest, WorkDifferenceNonNegativeAndGrowsWithSampling) {
   }
 }
 
+// ---------------------- Partial-sampling extension --------------------------
+
+TEST(TheoryTest, PartialWorkDifferenceReducesToEquation6) {
+  // At delta = 0 the partial-sampling bound is Eq. 6 with k in place of N;
+  // any positive selection error strictly widens the gap.
+  const double S = 1.0, Alpha = 0.065;
+  for (double P : {1.0, 5.0, 20.0})
+    for (unsigned K : {1u, 3u, 9u}) {
+      EXPECT_NEAR(workDifferencePartial(P, S, K, 0.0, Alpha),
+                  workDifference(P, S, K, Alpha), 1e-12);
+      EXPECT_GT(workDifferencePartial(P, S, K, 0.2, Alpha),
+                workDifference(P, S, K, Alpha));
+      EXPECT_LT(workDifferencePartial(P, S, K, 0.2, Alpha),
+                workDifferencePartial(P, S, K, 0.4, Alpha));
+    }
+}
+
+TEST(TheoryTest, PartialEpsilonMatchesExhaustiveAtZeroErrorFullCoverage) {
+  const double S = 1.0, Alpha = 0.065;
+  for (unsigned N : {2u, 9u, 15u})
+    EXPECT_NEAR(bestAchievableEpsilonPartial(S, N, 0.0, Alpha),
+                bestAchievableEpsilon(S, N, Alpha), 1e-9);
+}
+
+TEST(TheoryTest, PartialEpsilonMonotoneInCoverageAndError) {
+  // Fewer sampled versions tighten the bound (less sampling cost); a
+  // larger selection error loosens it.
+  const double S = 1.0, Alpha = 0.065;
+  EXPECT_LT(bestAchievableEpsilonPartial(S, 5, 0.05, Alpha),
+            bestAchievableEpsilonPartial(S, 15, 0.05, Alpha));
+  EXPECT_LT(bestAchievableEpsilonPartial(S, 5, 0.05, Alpha),
+            bestAchievableEpsilonPartial(S, 5, 0.2, Alpha));
+  // The stationary point is a genuine minimum of the per-unit-time bound.
+  const double Eps = bestAchievableEpsilonPartial(S, 5, 0.1, Alpha);
+  for (double P : {1.0, 5.0, 20.0, 80.0})
+    EXPECT_LE(Eps, differencePerUnitTimePartial(P, S, 5, 0.1, Alpha) + 1e-9);
+}
+
+TEST(TheoryTest, BreakEvenSelectionErrorBoundsTheTrade) {
+  // Sampling 5 of 15 versions buys a strictly positive error budget; at
+  // exactly the break-even delta the partial bound meets the exhaustive
+  // one, and K >= N buys nothing.
+  const double S = 1.0, Alpha = 0.065;
+  const double Delta = breakEvenSelectionError(S, 5, 15, Alpha);
+  EXPECT_GT(Delta, 0.0);
+  EXPECT_LT(Delta, 1.0);
+  EXPECT_NEAR(bestAchievableEpsilonPartial(S, 5, Delta, Alpha),
+              bestAchievableEpsilon(S, 15, Alpha), 1e-6);
+  EXPECT_EQ(breakEvenSelectionError(S, 15, 15, Alpha), 0.0);
+  EXPECT_EQ(breakEvenSelectionError(S, 20, 15, Alpha), 0.0);
+  // A deeper cut (fewer sampled versions) affords a larger error.
+  EXPECT_GT(breakEvenSelectionError(S, 3, 15, Alpha),
+            breakEvenSelectionError(S, 10, 15, Alpha));
+}
+
 } // namespace

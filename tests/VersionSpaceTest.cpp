@@ -92,6 +92,60 @@ TEST(VersionSpaceTest, ParseProductSpec) {
   EXPECT_EQ(Space->descriptors()[2].name(), "Original+chunk64");
 }
 
+TEST(VersionSpaceTest, ParseDlsChunkTokens) {
+  // The named tokens of the DLS scheduling family parse next to literal
+  // chunk sizes and expand the product to the 3x5 search space.
+  std::string Error;
+  const auto Space =
+      VersionSpace::parse("sync,sched", "8,fac,wfac,afac", Error);
+  ASSERT_TRUE(Space.has_value()) << Error;
+  EXPECT_EQ(Space->size(), 15u); // 3 policies x (dyn, chunk8, fac, wfac, afac)
+  ASSERT_EQ(Space->scheds().size(), 5u);
+  EXPECT_EQ(Space->descriptors()[1].name(), "Original+chunk8");
+  EXPECT_EQ(Space->descriptors()[2].name(), "Original+fac");
+  EXPECT_EQ(Space->descriptors()[3].name(), "Original+wfac");
+  EXPECT_EQ(Space->descriptors()[4].name(), "Original+afac");
+  // DLS schedulings taper their chunks; fixed-size ones do not.
+  EXPECT_FALSE(Space->scheds()[0].variableChunk()); // dynamic
+  EXPECT_FALSE(Space->scheds()[1].variableChunk()); // chunk8
+  for (size_t I = 2; I < 5; ++I)
+    EXPECT_TRUE(Space->scheds()[I].variableChunk());
+  // Every descriptor name is distinct.
+  std::set<std::string> Names;
+  for (const VersionDescriptor &D : Space->descriptors())
+    Names.insert(D.name());
+  EXPECT_EQ(Names.size(), 15u);
+}
+
+TEST(VersionSpaceTest, DlsFetchSizesTaperAndCoverTheLoop) {
+  // fetchIters() is the runtime contract of the DLS family: positive while
+  // work remains, no larger than what remains, and tapering as the loop
+  // drains.
+  const unsigned Total = 1000, Procs = 8;
+  for (const char *Name : {"fac", "wfac", "afac"}) {
+    std::string Error;
+    const auto Space = VersionSpace::parse("sync,sched", Name, Error);
+    ASSERT_TRUE(Space.has_value()) << Error;
+    const rt::SchedSpec Sched = Space->scheds()[1];
+    unsigned Remaining = Total;
+    unsigned First = 0, Fetches = 0;
+    while (Remaining > 0) {
+      const unsigned K =
+          Sched.fetchIters(Remaining, Total, Procs, Fetches % Procs);
+      ASSERT_GT(K, 0u) << Name << " starved with " << Remaining << " left";
+      ASSERT_LE(K, Remaining) << Name;
+      if (!First)
+        First = K;
+      Remaining -= K;
+      ++Fetches;
+    }
+    // Tapering: the first chunk is large, and far fewer fetches than
+    // one-iteration self-scheduling would take.
+    EXPECT_GE(First, Total / (4 * Procs)) << Name;
+    EXPECT_LT(Fetches, Total / 2) << Name;
+  }
+}
+
 TEST(VersionSpaceTest, ParseRejectsMalformedSpecs) {
   const struct {
     const char *Dimensions;
@@ -106,6 +160,8 @@ TEST(VersionSpaceTest, ParseRejectsMalformedSpecs) {
       {"sync,sched", "1"}, // chunk 1 is dynamic self-scheduling
       {"sync,sched", "8,8"},   // duplicate chunk size
       {"sync,sched", "8,abc"}, // malformed chunk size
+      {"sync,sched", "facc"},  // typo of a DLS token
+      {"sync,sched", "fac,fac"}, // duplicate DLS token
   };
   for (const auto &Spec : Bad) {
     std::string Error;

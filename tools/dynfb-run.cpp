@@ -54,6 +54,7 @@
 #include "apps/Factory.h"
 #include "apps/Harness.h"
 #include "exp/Experiment.h"
+#include "fb/Sampling.h"
 #include "replay/Replay.h"
 #include "exp/PaperGrids.h"
 #include "obs/Metrics.h"
@@ -84,6 +85,8 @@ int usage() {
                "[--chunks K1,K2,...] [--list-versions] [--sampling S] "
                "[--production S] [--cutoff] [--ordering] [--spanning] "
                "[--sweep] [--repeats N] [--aggregate mean|median|trimmed] "
+               "[--sampler exhaustive|halving|ucb] [--search-budget F] "
+               "[--ucb-explore C] "
                "[--hysteresis X] [--drift X] [--slice S] "
                "[--quarantine N] [--quarantine-window N] "
                "[--quarantine-limit X] [--quarantine-backoff N] "
@@ -155,6 +158,7 @@ int runReplay(const CommandLine &CL, const std::string &ReplayPath) {
       "list-versions", "sampling", "production",
       "cutoff",      "ordering",   "spanning",
       "sweep",       "repeats",    "aggregate",
+      "sampler",     "search-budget", "ucb-explore",
       "hysteresis",  "drift",      "slice",
       "quarantine",  "quarantine-window", "quarantine-limit",
       "quarantine-backoff", "watchdog", "watchdog-limit",
@@ -222,7 +226,8 @@ int main(int Argc, char **Argv) {
           CL, "dynfb-run",
           {"app", "procs", "policy", "scale", "dimensions", "chunks",
            "list-versions", "sampling", "production", "cutoff", "ordering",
-           "spanning", "sweep", "repeats", "aggregate", "hysteresis",
+           "spanning", "sweep", "repeats", "aggregate", "sampler",
+           "search-budget", "ucb-explore", "hysteresis",
            "drift", "slice", "quarantine", "quarantine-window",
            "quarantine-limit", "quarantine-backoff", "watchdog",
            "watchdog-limit", "perturb", "traffic", "machine", "cost",
@@ -358,6 +363,36 @@ int main(int Argc, char **Argv) {
   else
     return fail("--aggregate must be mean, median or trimmed (got '" +
                 Aggregate + "')");
+
+  // Sampling strategy (the sub-linear version-search seam; default is the
+  // paper's exhaustive loop).
+  const std::string SamplerName = CL.getString("sampler", "exhaustive");
+  const std::optional<fb::SamplerKind> Sampler =
+      fb::parseSamplerName(SamplerName);
+  if (!Sampler) {
+    const std::string Near = closestMatch(SamplerName, fb::samplerNames());
+    std::string Known;
+    for (const std::string &Name : fb::samplerNames())
+      Known += (Known.empty() ? "" : ", ") + Name;
+    return fail("unknown sampler '" + SamplerName + "'" +
+                (Near.empty() ? "" : " (did you mean '" + Near + "'?)") +
+                "; known samplers: " + Known);
+  }
+  Config.Sampler = *Sampler;
+  if (CL.has("search-budget") && Config.Sampler == fb::SamplerKind::Exhaustive)
+    return fail("--search-budget only applies to --sampler halving or ucb "
+                "(exhaustive always measures every version)");
+  Config.SearchBudgetFraction = CL.getDouble("search-budget", 0.5);
+  if (Config.SearchBudgetFraction <= 0.0 ||
+      Config.SearchBudgetFraction > 1.0)
+    return fail("--search-budget must be a fraction of the exhaustive "
+                "sampling cost in (0, 1]");
+  if (CL.has("ucb-explore") && Config.Sampler != fb::SamplerKind::Ucb)
+    return fail("--ucb-explore only applies to --sampler ucb");
+  Config.UcbExplore = CL.getDouble("ucb-explore", 2.0);
+  if (Config.UcbExplore < 0.0)
+    return fail("--ucb-explore must be a non-negative exploration constant");
+
   Config.SwitchHysteresis = CL.getDouble("hysteresis", 0.0);
   if (Config.SwitchHysteresis < 0.0 || Config.SwitchHysteresis >= 1.0)
     return fail("--hysteresis must be an overhead margin in [0, 1)");
@@ -618,6 +653,9 @@ int main(int Argc, char **Argv) {
     RS.QuarantineBackoff = Config.QuarantineBackoffPhases;
     RS.Watchdog = Config.WatchdogBadSlices;
     RS.WatchdogLimit = Config.WatchdogOverheadLimit;
+    RS.Sampler = fb::samplerName(Config.Sampler);
+    RS.SearchBudget = Config.SearchBudgetFraction;
+    RS.UcbExplore = Config.UcbExplore;
     RS.PerturbSpec = PerturbSpec;
     RS.TrafficSpec = TrafficSpec;
     RS.CostOverrides = CostSpec;
